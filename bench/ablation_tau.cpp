@@ -1,0 +1,108 @@
+// Ablation over the delay parameter tau and the exponent mode
+// (Remark 2): the paper's experiments fix tau = F and k = l = 1, but
+// Algorithm 1 allows any tau > 1 and draws k, l from 6/(pi^2 k^2). This
+// bench compares fixed-exponent UGF at several tau against the fully
+// sampled variant (with an exponent cap), showing how the delay
+// magnitude trades time damage against message damage.
+//
+// Flags: --n=100 --fraction=0.3 --runs=24 --csv=ablation_tau.csv
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "adversary/factory.hpp"
+#include "core/ugf.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+struct Variant {
+  std::string label;
+  ugf::core::UgfConfig config;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ugf;
+  const util::CliArgs args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
+  const double fraction = args.get_double("fraction", 0.3);
+  const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 24));
+  const auto csv_path = args.get_string("csv", "ablation_tau.csv");
+
+  runner::RunSpec spec;
+  spec.n = n;
+  spec.f = static_cast<std::uint32_t>(fraction * n);
+  spec.runs = runs;
+  spec.base_seed = 0x7A0;
+
+  const auto f = spec.f;
+  const std::vector<std::uint64_t> taus = {
+      2, 8, static_cast<std::uint64_t>(std::sqrt(static_cast<double>(f))),
+      f, std::uint64_t{2} * f};
+  std::vector<Variant> variants;
+  for (const std::uint64_t tau : taus) {
+    Variant v;
+    v.config.tau = tau;
+    v.label = "tau=" + std::to_string(tau) + " k=l=1";
+    variants.push_back(v);
+  }
+  for (const std::uint32_t cap : {2u, 4u, 8u}) {
+    Variant v;
+    v.config.sample_exponents = true;
+    v.config.exponent_cap = cap;
+    v.label = "tau=F sampled k,l<=" + std::to_string(cap);
+    variants.push_back(v);
+  }
+
+  util::CsvWriter csv(csv_path, {"protocol", "variant", "messages_median",
+                                 "messages_q3", "time_median", "time_q3",
+                                 "truncated"});
+  runner::MonteCarloRunner runner;
+
+  for (const char* protocol_name : {"push-pull", "ears"}) {
+    const auto protocol = protocols::make_protocol(protocol_name);
+    const adversary::NoAdversaryFactory none;
+    const auto baseline = runner.run_batch(spec, *protocol, none);
+    std::cout << "== " << protocol_name << " at N=" << n << ", F=" << f
+              << " — baseline messages="
+              << static_cast<std::uint64_t>(baseline.messages.median)
+              << ", time=" << std::fixed << std::setprecision(1)
+              << baseline.time.median << " ==\n";
+    std::cout << std::left << std::setw(26) << "variant" << std::setw(24)
+              << "messages med (q3)" << std::setw(20) << "time med (q3)"
+              << "\n";
+    for (const auto& variant : variants) {
+      const core::UgfFactory factory(variant.config);
+      const auto batch = runner.run_batch(spec, *protocol, factory);
+      std::ostringstream m, t;
+      m << static_cast<std::uint64_t>(batch.messages.median) << " ("
+        << static_cast<std::uint64_t>(batch.messages.q3) << ")";
+      t << std::fixed << std::setprecision(1) << batch.time.median << " ("
+        << batch.time.q3 << ")";
+      std::cout << std::setw(26) << variant.label << std::setw(24) << m.str()
+                << std::setw(20) << t.str()
+                << (batch.truncated > 0
+                        ? " truncated=" + std::to_string(batch.truncated)
+                        : "")
+                << "\n";
+      csv.row_values(std::string(protocol_name), variant.label,
+                     batch.messages.median, batch.messages.q3,
+                     batch.time.median, batch.time.q3,
+                     static_cast<std::uint64_t>(batch.truncated));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "csv: " << csv_path << "\n"
+            << "Expected: small tau weakens the delay strategies (delays "
+               "are absorbed by the tau+tau^2 normalization sooner), while "
+               "tau ~ F maximizes the damage; sampled exponents spread the "
+               "damage across runs (heavier upper quartiles).\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 3a: time complexity of Push-Pull — no adversary vs UGF vs the
+// most damaging fixed strategy for Push-Pull time, which the paper
+// reports to be Strategy 1 (crash C). Expected shape: logarithmic
+// baseline, ~linear under UGF / Strategy 1.
+
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  ugf::bench::PanelSpec spec;
+  spec.figure_id = "fig3a";
+  spec.title = "Fig. 3a - Push-Pull time complexity";
+  spec.protocol = "push-pull";
+  spec.metric = ugf::runner::Metric::kTime;
+  spec.max_label = "max UGF (strategy 1)";
+  spec.max_adversary = "strategy-1";
+  return ugf::bench::run_panel(argc, argv, spec);
+}

@@ -1,0 +1,18 @@
+// Figure 3b: time complexity of EARS — no adversary vs UGF vs the most
+// damaging fixed strategy for EARS time, which the paper reports to be
+// Strategy 2.1.0 (isolation). Expected shape: logarithmic baseline,
+// ~linear under UGF / Strategy 2.1.0.
+
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  ugf::bench::PanelSpec spec;
+  spec.figure_id = "fig3b";
+  spec.title = "Fig. 3b - EARS time complexity";
+  spec.protocol = "ears";
+  spec.metric = ugf::runner::Metric::kTime;
+  spec.max_label = "max UGF (strategy 2.1.0)";
+  spec.max_adversary = "strategy-2.k.0";
+  spec.max_k = 1;
+  return ugf::bench::run_panel(argc, argv, spec);
+}

@@ -1,0 +1,19 @@
+// Figure 3c: message complexity of Push-Pull — no adversary vs UGF vs
+// Strategy 2.1.1 (delay), the paper's most damaging strategy for message
+// complexity on all three protocols. Expected: ~N log N baseline,
+// ~quadratic under UGF / Strategy 2.1.1.
+
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  ugf::bench::PanelSpec spec;
+  spec.figure_id = "fig3c";
+  spec.title = "Fig. 3c - Push-Pull message complexity";
+  spec.protocol = "push-pull";
+  spec.metric = ugf::runner::Metric::kMessages;
+  spec.max_label = "max UGF (strategy 2.1.1)";
+  spec.max_adversary = "strategy-2.k.l";
+  spec.max_k = 1;
+  spec.max_l = 1;
+  return ugf::bench::run_panel(argc, argv, spec);
+}

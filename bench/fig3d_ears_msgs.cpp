@@ -1,0 +1,18 @@
+// Figure 3d: message complexity of EARS — no adversary vs UGF vs
+// Strategy 2.1.1 (delay). Expected: ~N log N baseline, ~quadratic under
+// UGF / Strategy 2.1.1.
+
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  ugf::bench::PanelSpec spec;
+  spec.figure_id = "fig3d";
+  spec.title = "Fig. 3d - EARS message complexity";
+  spec.protocol = "ears";
+  spec.metric = ugf::runner::Metric::kMessages;
+  spec.max_label = "max UGF (strategy 2.1.1)";
+  spec.max_adversary = "strategy-2.k.l";
+  spec.max_k = 1;
+  spec.max_l = 1;
+  return ugf::bench::run_panel(argc, argv, spec);
+}

@@ -1,0 +1,23 @@
+// Figure 3e: message complexity of SEARS (c = 1, eps = 0.5) — no
+// adversary vs UGF vs Strategy 2.1.1. The paper's takeaway: SEARS is
+// already ~quadratic *without* an adversary (it trades message
+// complexity for constant time), so all three curves sit near N^2.
+
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  ugf::bench::PanelSpec spec;
+  spec.figure_id = "fig3e";
+  spec.title = "Fig. 3e - SEARS message complexity";
+  spec.protocol = "sears";
+  spec.metric = ugf::runner::Metric::kMessages;
+  spec.max_label = "max UGF (strategy 2.1.1)";
+  spec.max_adversary = "strategy-2.k.l";
+  spec.max_k = 1;
+  spec.max_l = 1;
+  // A delayed SEARS run at N=500 moves ~13M messages; 20 runs keep the
+  // default invocation under a few minutes. Pass --runs=50 for the
+  // paper's exact run count (medians are already stable at 20).
+  spec.default_runs = 20;
+  return ugf::bench::run_panel(argc, argv, spec);
+}

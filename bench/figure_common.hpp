@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file figure_common.hpp
+/// Shared harness for the Figure-3 panel benches. Every panel compares,
+/// for one protocol and one metric, three curves over the paper's N grid
+/// (§V-A.1): no adversary, UGF (q1 = 1/3, q2 = 1/2, tau = F, k = l = 1),
+/// and the single fixed strategy the paper reports as "max UGF" for that
+/// panel. Results are printed as a median/[Q1,Q3] table with growth-law
+/// fits and mirrored to a CSV next to the binary.
+///
+/// Flags (all optional):
+///   --grid=10,20,...   N values            (default: the paper's grid)
+///   --runs=K           runs per grid point (default: paper's 50)
+///   --fraction=0.3     F = fraction * N    (default: 0.3, as in Fig. 3)
+///   --seed=S           base seed
+///   --csv=path         CSV output path     (default: <figure_id>.csv)
+///   --json=path        JSON output path    (default: <figure_id>.json)
+///   --quick            small grid + few runs (CI-friendly)
+
+#include <string>
+
+#include "runner/report.hpp"
+
+namespace ugf::bench {
+
+struct PanelSpec {
+  std::string figure_id;      ///< e.g. "fig3a"
+  std::string title;          ///< printed header
+  std::string protocol;       ///< protocols::make_protocol name
+  runner::Metric metric;      ///< the metric the paper plots in the panel
+  std::string max_label;      ///< e.g. "max UGF (strategy 1)"
+  std::string max_adversary;  ///< core::make_adversary name for "max UGF"
+  std::uint32_t max_k = 1;    ///< k of the max strategy (if applicable)
+  std::uint32_t max_l = 1;    ///< l of the max strategy (if applicable)
+  /// Default --runs. The paper uses 50; panels whose attacked runs are
+  /// expensive (SEARS under delays) default lower and document it.
+  std::uint32_t default_runs = 50;
+};
+
+/// Runs a panel; returns a process exit code.
+int run_panel(int argc, const char* const* argv, const PanelSpec& spec);
+
+}  // namespace ugf::bench

@@ -1,0 +1,78 @@
+// Informed vs universal (§VII: "whether some realistic additional
+// information about the gossip could improve the performance of our
+// algorithm"). The informed fighter watches a short warm-up window,
+// classifies the protocol by its traffic rate, and commits to the
+// strategy the paper identifies as maximal for that family; UGF draws a
+// strategy blindly. Per protocol we compare their damage on both
+// metrics against the benign baseline and report which strategy the
+// informed fighter picked.
+//
+// Flags: --n=150 --fraction=0.3 --runs=20 --csv=informed_vs_ugf.csv
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ugf;
+  const util::CliArgs args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 150));
+  const double fraction = args.get_double("fraction", 0.3);
+  const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 20));
+  const auto csv_path = args.get_string("csv", "informed_vs_ugf.csv");
+
+  runner::RunSpec spec;
+  spec.n = n;
+  spec.f = static_cast<std::uint32_t>(fraction * n);
+  spec.runs = runs;
+  spec.base_seed = 0x1F0;
+
+  std::cout << "Informed vs universal at N=" << n << ", F=" << spec.f << ", "
+            << runs << " runs per cell (medians; q3 in brackets)\n\n";
+  std::cout << std::left << std::setw(14) << "protocol" << std::setw(10)
+            << "adversary" << std::setw(22) << "messages" << std::setw(20)
+            << "time" << "picked strategy\n";
+
+  util::CsvWriter csv(csv_path, {"protocol", "adversary", "messages_median",
+                                 "messages_q3", "time_median", "time_q3",
+                                 "strategies"});
+  runner::MonteCarloRunner runner;
+
+  for (const auto& protocol_name : protocols::protocol_names()) {
+    const auto protocol = protocols::make_protocol(protocol_name);
+    for (const char* adversary_name : {"none", "ugf", "informed"}) {
+      const auto adversary = core::make_adversary(adversary_name);
+      const auto batch = runner.run_batch(spec, *protocol, *adversary);
+      std::ostringstream m, t, strategies;
+      m << static_cast<std::uint64_t>(batch.messages.median) << " ("
+        << static_cast<std::uint64_t>(batch.messages.q3) << ")";
+      t << std::fixed << std::setprecision(1) << batch.time.median << " ("
+        << batch.time.q3 << ")";
+      bool first = true;
+      for (const auto& [strategy, count] : batch.strategy_counts) {
+        if (!first) strategies << " ";
+        strategies << strategy << ":" << count;
+        first = false;
+      }
+      std::cout << std::setw(14) << protocol_name << std::setw(10)
+                << adversary_name << std::setw(22) << m.str() << std::setw(20)
+                << t.str() << strategies.str() << "\n";
+      csv.row_values(std::string(protocol_name), std::string(adversary_name),
+                     batch.messages.median, batch.messages.q3,
+                     batch.time.median, batch.time.q3, strategies.str());
+    }
+    std::cout << "\n";
+  }
+  std::cout << "csv: " << csv_path << "\n"
+            << "Expected: the informed fighter's medians match the per-"
+               "protocol 'max UGF' curves (it always plays the right "
+               "strategy), while UGF's medians sit lower because only ~1/3 "
+               "of its draws hit that strategy — information helps, exactly "
+               "as §VII anticipates, at the price of universality.\n";
+  return 0;
+}

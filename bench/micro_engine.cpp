@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the substrate's hot paths:
+// the event-driven engine, the knowledge-set merges and the samplers.
+// These guard the constants behind the figure benches — a regression
+// here multiplies directly into the Fig. 3 harness wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/fixed_strategies.hpp"
+#include "core/ugf.hpp"
+#include "protocols/ears.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/engine.hpp"
+#include "util/bitset2d.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/rng.hpp"
+#include "util/zeta_sampler.hpp"
+
+namespace {
+
+using namespace ugf;
+
+void BM_RngBelow(benchmark::State& state) {
+  util::Rng rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += rng.below(1000);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_ZetaSample(benchmark::State& state) {
+  util::Rng rng(2);
+  util::Zeta2Sampler sampler(0);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += sampler.sample(rng);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ZetaSample);
+
+void BM_BitsetOr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::DynamicBitset a(n), b(n);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < n / 3; ++i) b.set(rng.below(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.or_with(b));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitsetOr)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_Bitset2DOr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Bitset2D a(n, n), b(n, n);
+  util::Rng rng(4);
+  for (std::size_t i = 0; i < n; ++i) b.set(rng.below(n), rng.below(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.or_with(b));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Bitset2DOr)->Arg(100)->Arg(500);
+
+void BM_PushPullRunBenign(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullFactory factory;
+  std::uint64_t seed = 1;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed++;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    messages += out.total_messages;
+  }
+  state.counters["msgs/run"] =
+      static_cast<double>(messages) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PushPullRunBenign)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PushPullRunUnderUgf(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullFactory factory;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed;
+    core::UniversalGossipFighter ugf(seed ^ 0xADu);
+    ++seed;
+    sim::Engine engine(cfg, factory, &ugf);
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_PushPullRunUnderUgf)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EarsRunBenign(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::EarsFactory factory;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed++;
+    sim::Engine engine(cfg, factory, nullptr);
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_EarsRunBenign)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SearsRunUnderDelay(benchmark::State& state) {
+  // The heaviest realistic workload: SEARS with delayed C (Strategy
+  // 2.1.1) — the cost driver of the Fig. 3e harness.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::SearsFactory factory;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed;
+    adversary::DelayAdversary delay(seed ^ 0xDE1u);
+    ++seed;
+    sim::Engine engine(cfg, factory, &delay);
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_SearsRunUnderDelay)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

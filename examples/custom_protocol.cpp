@@ -1,0 +1,146 @@
+// Implementing your own all-to-all gossip protocol against the public
+// Protocol interface — and discovering that UGF hurts it too, without
+// being told anything about it (the universality claim, §III-B).
+//
+// The protocol below ("BinaryDissemination") is deliberately not one of
+// the bundled ones: each process maintains a set of known gossips and,
+// per local step, pushes its whole set to `ceil(log2 N)` random targets,
+// sleeping once it knows everyone and has pushed a configurable number
+// of rounds. It is time-efficient (O(log N) rounds) in the benign case.
+//
+//   ./custom_protocol [--n=100] [--runs=10]
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "adversary/factory.hpp"
+#include "core/ugf.hpp"
+#include "protocols/payloads.hpp"
+#include "runner/monte_carlo.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ugf;
+
+/// A straightforward log-fanout pusher. Demonstrates the full Protocol
+/// surface: payload reuse, sleep/wake, completion and the rumor-
+/// gathering hook.
+class BinaryDissemination final : public sim::Protocol {
+ public:
+  BinaryDissemination(sim::ProcessId self, const sim::SystemInfo& info)
+      : self_(self),
+        n_(info.n),
+        fanout_(std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(
+                   std::ceil(std::log2(static_cast<double>(info.n)))))),
+        rounds_after_full_(2),
+        // Crash tolerance: if nothing new arrives for this many steps,
+        // assume the missing gossips belong to crashed processes and
+        // quiesce (a protocol that waits for *all* gossips forever
+        // livelocks as soon as one process crashes).
+        stale_limit_(3 * fanout_ + static_cast<std::uint32_t>(info.f)),
+        known_(info.n) {
+    known_.set(self_);
+  }
+
+  void on_message(sim::ProcessContext&, const sim::Message& msg) override {
+    if (const auto* gossips =
+            sim::payload_as<protocols::GossipSetPayload>(msg)) {
+      if (known_.or_with(gossips->gossips())) {
+        snapshot_.reset();
+        stale_rounds_ = 0;
+      }
+    }
+  }
+
+  void on_local_step(sim::ProcessContext& ctx) override {
+    if (wants_sleep()) return;
+    if (!snapshot_)
+      snapshot_ = std::make_shared<protocols::GossipSetPayload>(known_);
+    const auto targets = ctx.rng().sample_without_replacement(
+        n_ - 1, std::min(fanout_, n_ - 1));
+    for (const auto raw : targets) {
+      const auto to = static_cast<sim::ProcessId>(raw >= self_ ? raw + 1 : raw);
+      ctx.send(to, snapshot_);
+    }
+    if (known_.all())
+      ++full_rounds_;
+    else
+      ++stale_rounds_;
+  }
+
+  [[nodiscard]] bool wants_sleep() const noexcept override {
+    return (known_.all() && full_rounds_ >= rounds_after_full_) ||
+           stale_rounds_ >= stale_limit_;
+  }
+  [[nodiscard]] bool completed() const noexcept override {
+    return wants_sleep();
+  }
+  [[nodiscard]] bool has_gossip_of(sim::ProcessId p) const noexcept override {
+    return known_.test(p);
+  }
+
+ private:
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint32_t fanout_;
+  std::uint32_t rounds_after_full_;
+  std::uint32_t stale_limit_;
+  std::uint32_t full_rounds_ = 0;
+  std::uint32_t stale_rounds_ = 0;
+  util::DynamicBitset known_;
+  std::shared_ptr<const protocols::GossipSetPayload> snapshot_;
+};
+
+class BinaryDisseminationFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "binary-dissemination";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<BinaryDissemination>(self, info);
+  }
+};
+
+void report(const char* label, const runner::BatchResult& batch) {
+  std::cout << label << ": messages median=" << batch.messages.median
+            << " [" << batch.messages.q1 << ", " << batch.messages.q3
+            << "], time median=" << batch.time.median << " ["
+            << batch.time.q1 << ", " << batch.time.q3
+            << "], rumor failures=" << batch.rumor_failures << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
+  const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 10));
+
+  BinaryDisseminationFactory factory;
+  runner::RunSpec spec;
+  spec.n = n;
+  spec.f = n * 3 / 10;
+  spec.runs = runs;
+  spec.base_seed = 0xC0FFEE;
+
+  std::cout << "Custom protocol '" << factory.name() << "' at N=" << n
+            << ", F=" << spec.f << ", " << runs << " runs per adversary.\n\n";
+
+  runner::MonteCarloRunner runner;
+  const adversary::NoAdversaryFactory none;
+  report("no adversary", runner.run_batch(spec, factory, none));
+  const core::UgfFactory ugf;
+  const auto attacked = runner.run_batch(spec, factory, ugf);
+  report("under UGF   ", attacked);
+
+  std::cout << "\nStrategies drawn by UGF across the attacked runs:\n";
+  for (const auto& [strategy, count] : attacked.strategy_counts)
+    std::cout << "  " << strategy << ": " << count << "\n";
+  std::cout << "\nUGF never saw this protocol before — universality in "
+               "action: compare the message medians above.\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Fake-news containment: the paper's motivating scenario (§I).
+//
+// A social platform of N accounts spreads posts by all-to-all gossip.
+// The platform operator plays the adversary — it may throttle accounts
+// (raise their step/delivery times) and suspend up to F of them
+// (crashes), but it does NOT know which gossip protocol the clients
+// run. UGF is exactly that operator: a universal containment strategy.
+//
+// The operator cannot know in advance *which* account will post the
+// poisoned content, so the meaningful measure is the slowest post: the
+// global step by which EVERY post (from every surviving account) has
+// reached 50% / 90% / 100% of the surviving accounts. UGF's control set
+// C covers the poisoned account with probability |C|/N per run — and
+// whenever it does, that post's spread collapses.
+//
+//   ./fake_news_containment [--n=100] [--fraction=0.3] [--trials=10]
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/statistics.hpp"
+#include "core/ugf.hpp"
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ugf;
+
+/// Wraps any protocol and records, for every origin, the global step at
+/// which each process first held that origin's gossip. (Reads
+/// Message::arrives_at — measurement instrumentation, not protocol
+/// logic.)
+class InfectionProbe final : public sim::Protocol {
+ public:
+  InfectionProbe(std::unique_ptr<sim::Protocol> inner, sim::ProcessId self,
+                 std::uint32_t n, std::vector<sim::GlobalStep>* first_held)
+      : inner_(std::move(inner)), self_(self), n_(n), seen_(n),
+        first_held_(first_held) {
+    seen_.set(self_);
+  }
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override {
+    inner_->on_message(ctx, msg);
+    for (sim::ProcessId q = 0; q < n_; ++q) {
+      if (!seen_.test(q) && inner_->has_gossip_of(q)) {
+        seen_.set(q);
+        auto& slot = (*first_held_)[self_ * n_ + q];
+        slot = std::min(slot, msg.arrives_at);
+      }
+    }
+  }
+  void on_local_step(sim::ProcessContext& ctx) override {
+    inner_->on_local_step(ctx);
+  }
+  [[nodiscard]] bool wants_sleep() const noexcept override {
+    return inner_->wants_sleep();
+  }
+  [[nodiscard]] bool completed() const noexcept override {
+    return inner_->completed();
+  }
+  [[nodiscard]] bool has_gossip_of(sim::ProcessId p) const noexcept override {
+    return inner_->has_gossip_of(p);
+  }
+
+ private:
+  std::unique_ptr<sim::Protocol> inner_;
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  util::DynamicBitset seen_;
+  std::vector<sim::GlobalStep>* first_held_;  ///< n*n matrix, row = holder
+};
+
+class ProbeFactory final : public sim::ProtocolFactory {
+ public:
+  ProbeFactory(const sim::ProtocolFactory& inner,
+               std::vector<sim::GlobalStep>* first_held)
+      : inner_(inner), first_held_(first_held) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return inner_.name();
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<InfectionProbe>(inner_.create(self, info), self,
+                                            info.n, first_held_);
+  }
+
+ private:
+  const sim::ProtocolFactory& inner_;
+  std::vector<sim::GlobalStep>* first_held_;
+};
+
+/// Step by which `quantile` of the surviving accounts (other than the
+/// origin) held the origin's post; kNeverStep if never reached.
+sim::GlobalStep coverage_step(const std::vector<sim::GlobalStep>& first_held,
+                              const sim::Outcome& out, std::uint32_t n,
+                              sim::ProcessId origin, double quantile) {
+  std::vector<sim::GlobalStep> steps;
+  std::size_t survivors = 0;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    if (p == origin) continue;
+    if (out.final_state[p] == sim::ProcessState::kCrashed) continue;
+    ++survivors;
+    const auto step = first_held[p * n + origin];
+    if (step != sim::kNeverStep) steps.push_back(step);
+  }
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(quantile * static_cast<double>(survivors)));
+  if (steps.size() < needed || needed == 0) return sim::kNeverStep;
+  std::nth_element(steps.begin(),
+                   steps.begin() + static_cast<long>(needed - 1), steps.end());
+  return steps[needed - 1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
+  const double fraction = args.get_double("fraction", 0.3);
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 10));
+  const auto f = static_cast<std::uint32_t>(fraction * n);
+
+  std::cout << "Fake-news containment: N=" << n << " accounts, operator may "
+            << "suspend F=" << f << " and throttle; " << trials
+            << " trials per cell.\nValues: median over trials of the step "
+               "by which the SLOWEST surviving post reached 50% / 90% / "
+               "100% of surviving accounts ('-' = some post never made "
+               "it).\n\n";
+
+  std::cout << std::left << std::setw(15) << "protocol" << std::setw(12)
+            << "operator" << std::setw(12) << "50%" << std::setw(12) << "90%"
+            << std::setw(12) << "100%" << "\n";
+
+  for (const auto& protocol_name : protocols::protocol_names()) {
+    const auto protocol = protocols::make_protocol(protocol_name);
+    for (const bool attack : {false, true}) {
+      std::vector<double> p50, p90, p100;
+      std::uint32_t never = 0;
+      for (std::uint32_t trial = 0; trial < trials; ++trial) {
+        const std::uint64_t seed = ugf::util::mix_seed(0xFA4E, trial);
+        std::vector<sim::GlobalStep> first_held(
+            static_cast<std::size_t>(n) * n, sim::kNeverStep);
+        ProbeFactory probe(*protocol, &first_held);
+
+        sim::EngineConfig config;
+        config.n = n;
+        config.f = f;
+        config.seed = seed;
+        std::unique_ptr<sim::Adversary> adversary;
+        if (attack)
+          adversary = std::make_unique<core::UniversalGossipFighter>(
+              ugf::util::mix_seed(seed, 0xADu));
+        sim::Engine engine(config, probe, adversary.get());
+        const auto out = engine.run();
+
+        // Slowest surviving post per coverage level.
+        bool complete = true;
+        sim::GlobalStep worst50 = 0, worst90 = 0, worst100 = 0;
+        for (sim::ProcessId origin = 0; origin < n; ++origin) {
+          if (out.final_state[origin] == sim::ProcessState::kCrashed)
+            continue;
+          const auto s50 = coverage_step(first_held, out, n, origin, 0.5);
+          const auto s90 = coverage_step(first_held, out, n, origin, 0.9);
+          const auto s100 = coverage_step(first_held, out, n, origin, 1.0);
+          if (s50 == sim::kNeverStep || s90 == sim::kNeverStep ||
+              s100 == sim::kNeverStep) {
+            complete = false;
+            break;
+          }
+          worst50 = std::max(worst50, s50);
+          worst90 = std::max(worst90, s90);
+          worst100 = std::max(worst100, s100);
+        }
+        if (!complete) {
+          ++never;
+          continue;
+        }
+        p50.push_back(static_cast<double>(worst50));
+        p90.push_back(static_cast<double>(worst90));
+        p100.push_back(static_cast<double>(worst100));
+      }
+      auto cell = [&](const std::vector<double>& v) -> std::string {
+        if (v.size() < (trials + 1) / 2) return "-";
+        return std::to_string(static_cast<std::uint64_t>(
+            ugf::analysis::summarize(v).median));
+      };
+      std::cout << std::setw(15) << protocol_name << std::setw(12)
+                << (attack ? "UGF" : "idle") << std::setw(12) << cell(p50)
+                << std::setw(12) << cell(p90) << std::setw(12) << cell(p100)
+                << (never > 0 ? "  (no full coverage in " +
+                                    std::to_string(never) + " trials)"
+                              : "")
+                << "\n";
+    }
+  }
+  std::cout << "\nTakeaway: idle, every post saturates within a few dozen "
+               "steps. Under UGF the slowest post needs orders of magnitude "
+               "longer (throttled accounts) or never reaches everyone "
+               "(suspended accounts) — and the operator needed no knowledge "
+               "of the client protocol.\n";
+  return 0;
+}

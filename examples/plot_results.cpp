@@ -1,0 +1,65 @@
+// Renders a figure CSV (written by any bench/fig3* binary) as a log-log
+// ASCII chart in the terminal — the Fig. 3 panels without leaving the
+// shell. Complexity classes appear as straight lines of different
+// slope, exactly as in the paper's log-scale plots.
+//
+//   ./plot_results fig3a.csv --metric=time
+//   ./plot_results fig3c.csv --metric=messages --width=100 --height=28
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ugf;
+  const util::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::cerr << "usage: plot_results <figure.csv> [--metric=time|messages]"
+                 " [--width=72] [--height=20]\n";
+    return 1;
+  }
+  const std::string path = args.positional().front();
+  const std::string metric = args.get_string("metric", "messages");
+
+  try {
+    const auto table = util::read_csv(path);
+    // One series per curve label, filtered to the requested metric.
+    std::map<std::string, analysis::PlotSeries> by_label;
+    const char markers[] = {'o', '*', '#', '+', 'x', '@'};
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      if (table.at(r, "metric") != metric) continue;
+      const auto& label = table.at(r, "curve");
+      auto [it, inserted] = by_label.try_emplace(label);
+      if (inserted) {
+        it->second.label = label;
+        it->second.marker =
+            markers[(by_label.size() - 1) % (sizeof markers)];
+      }
+      it->second.xs.push_back(std::stod(table.at(r, "n")));
+      it->second.ys.push_back(std::stod(table.at(r, "median")));
+    }
+    if (by_label.empty()) {
+      std::cerr << "no rows with metric '" << metric << "' in " << path
+                << "\n";
+      return 1;
+    }
+    std::vector<analysis::PlotSeries> series;
+    for (auto& [label, s] : by_label) series.push_back(std::move(s));
+
+    analysis::PlotOptions options;
+    options.width = static_cast<std::size_t>(args.get_uint("width", 72));
+    options.height = static_cast<std::size_t>(args.get_uint("height", 20));
+    options.y_label = metric + " complexity (median)";
+    std::cout << table.at(0, "figure") << " - " << metric
+              << " complexity, medians\n\n"
+              << analysis::render_plot(series, options);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file factory.hpp
+/// Per-run adversary construction. Adversaries are stateful (they track
+/// their control set, crash progress, timers), so the Monte-Carlo runner
+/// creates a fresh instance per run, seeded from the run's seed stream.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/adversary_iface.hpp"
+
+namespace ugf::adversary {
+
+class AdversaryFactory {
+ public:
+  virtual ~AdversaryFactory() = default;
+
+  /// Human-readable name for reports.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Creates one run's adversary. May return nullptr for "no adversary"
+  /// (the engine treats nullptr as benign).
+  [[nodiscard]] virtual std::unique_ptr<sim::Adversary> create(
+      std::uint64_t seed) const = 0;
+};
+
+/// Wraps a callable plus a name; convenient for benches and tests.
+class LambdaAdversaryFactory final : public AdversaryFactory {
+ public:
+  using Maker =
+      std::function<std::unique_ptr<sim::Adversary>(std::uint64_t seed)>;
+
+  LambdaAdversaryFactory(std::string name, Maker maker)
+      : name_(std::move(name)), maker_(std::move(maker)) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return name_.c_str();
+  }
+  [[nodiscard]] std::unique_ptr<sim::Adversary> create(
+      std::uint64_t seed) const override {
+    return maker_(seed);
+  }
+
+ private:
+  std::string name_;
+  Maker maker_;
+};
+
+/// Factory for the benign baseline.
+class NoAdversaryFactory final : public AdversaryFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "none"; }
+  [[nodiscard]] std::unique_ptr<sim::Adversary> create(
+      std::uint64_t /*seed*/) const override {
+    return nullptr;
+  }
+};
+
+}  // namespace ugf::adversary

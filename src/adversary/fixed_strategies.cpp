@@ -1,0 +1,56 @@
+#include "adversary/fixed_strategies.hpp"
+
+#include <algorithm>
+
+#include "util/saturating.hpp"
+
+namespace ugf::adversary {
+
+std::vector<sim::ProcessId> sample_control_set(
+    util::Rng& rng, const sim::AdversaryControl& ctl) {
+  const std::uint32_t size = ctl.crash_budget() / 2;
+  return rng.sample_without_replacement(ctl.num_processes(), size);
+}
+
+std::uint64_t resolve_tau(std::uint64_t tau, const sim::AdversaryControl& ctl) {
+  if (tau == 0) tau = ctl.crash_budget();
+  return std::max<std::uint64_t>(2, tau);
+}
+
+void Strategy1Adversary::on_run_start(sim::AdversaryControl& ctl) {
+  control_set_ = sample_control_set(rng_, ctl);
+  for (const auto p : control_set_) ctl.crash(p);
+}
+
+void IsolationAdversary::on_run_start(sim::AdversaryControl& ctl) {
+  control_set_ = sample_control_set(rng_, ctl);
+  if (control_set_.empty()) return;
+  const std::uint64_t tau = resolve_tau(tau_, ctl);
+  const std::uint64_t delta = util::sat_pow(tau, k_);
+  for (const auto p : control_set_) ctl.set_local_step_time(p, delta);
+  rho_hat_ = control_set_[static_cast<std::size_t>(
+      rng_.below(control_set_.size()))];
+  for (const auto p : control_set_)
+    if (p != rho_hat_) ctl.crash(p);
+}
+
+void IsolationAdversary::on_message_emitted(sim::AdversaryControl& ctl,
+                                            const sim::SendEvent& event) {
+  if (event.from != rho_hat_) return;
+  if (ctl.crashes_used() >= ctl.crash_budget()) return;
+  if (ctl.is_crashed(event.to)) return;
+  ctl.crash(event.to);
+}
+
+void DelayAdversary::on_run_start(sim::AdversaryControl& ctl) {
+  control_set_ = sample_control_set(rng_, ctl);
+  const std::uint64_t tau = resolve_tau(tau_, ctl);
+  const std::uint64_t delta = util::sat_pow(tau, k_);
+  const std::uint64_t delivery = util::sat_pow(tau, k_ + l_);
+  for (const auto p : control_set_) {
+    ctl.set_local_step_time(p, delta);
+    ctl.set_delivery_time(p, delivery);
+  }
+}
+
+}  // namespace ugf::adversary

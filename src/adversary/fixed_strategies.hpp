@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file fixed_strategies.hpp
+/// The three strategy families of Algorithm 1, each packaged as a
+/// standalone adversary so they can be (a) composed by UGF's
+/// randomization scheme and (b) benchmarked individually — the paper's
+/// "max UGF" curves are exactly these adversaries.
+///
+/// Every strategy first draws the control set C: a uniform sample of
+/// floor(F/2) processes (F = the crash budget the engine enforces).
+/// `tau == 0` means "resolve tau to F at run start", the instantiation
+/// used throughout the paper's experiments (tau = F, k = l = 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "sim/adversary_iface.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::adversary {
+
+/// Samples the control set C (floor(F/2) distinct processes).
+[[nodiscard]] std::vector<sim::ProcessId> sample_control_set(
+    util::Rng& rng, const sim::AdversaryControl& ctl);
+
+/// Resolves a tau parameter: 0 -> max(F, 2) (tau must exceed 1 for the
+/// indistinguishability lemmas), anything else passes through.
+[[nodiscard]] std::uint64_t resolve_tau(std::uint64_t tau,
+                                        const sim::AdversaryControl& ctl);
+
+/// Strategy 1: crash every process of C before the first global step.
+class Strategy1Adversary final : public sim::Adversary {
+ public:
+  explicit Strategy1Adversary(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "strategy-1";
+  }
+  void on_run_start(sim::AdversaryControl& ctl) override;
+
+  [[nodiscard]] const std::vector<sim::ProcessId>& control_set()
+      const noexcept {
+    return control_set_;
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<sim::ProcessId> control_set_;
+};
+
+/// Strategy 2.k.0: slow C down to delta = tau^k, keep a single random
+/// rho-hat of C alive, crash everyone rho-hat sends to until the crash
+/// budget F is exhausted.
+class IsolationAdversary final : public sim::Adversary {
+ public:
+  /// tau == 0 resolves to F at run start (the paper's choice).
+  IsolationAdversary(std::uint64_t seed, std::uint64_t tau = 0,
+                     std::uint32_t k = 1)
+      : rng_(seed), tau_(tau), k_(k) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "strategy-2.k.0";
+  }
+  void on_run_start(sim::AdversaryControl& ctl) override;
+  void on_message_emitted(sim::AdversaryControl& ctl,
+                          const sim::SendEvent& event) override;
+
+  [[nodiscard]] sim::ProcessId isolated_process() const noexcept {
+    return rho_hat_;
+  }
+  [[nodiscard]] const std::vector<sim::ProcessId>& control_set()
+      const noexcept {
+    return control_set_;
+  }
+
+ private:
+  util::Rng rng_;
+  std::uint64_t tau_;
+  std::uint32_t k_;
+  sim::ProcessId rho_hat_ = sim::kNoProcess;
+  std::vector<sim::ProcessId> control_set_;
+};
+
+/// Strategy 2.k.l (l >= 1): slow C down to delta = tau^k and delay its
+/// messages to d = tau^(k+l). No crashes at all — the damage is message
+/// overhead on the processes that keep gossiping into the void.
+class DelayAdversary final : public sim::Adversary {
+ public:
+  /// tau == 0 resolves to F at run start (the paper's choice).
+  DelayAdversary(std::uint64_t seed, std::uint64_t tau = 0,
+                 std::uint32_t k = 1, std::uint32_t l = 1)
+      : rng_(seed), tau_(tau), k_(k), l_(l) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "strategy-2.k.l";
+  }
+  void on_run_start(sim::AdversaryControl& ctl) override;
+
+  [[nodiscard]] const std::vector<sim::ProcessId>& control_set()
+      const noexcept {
+    return control_set_;
+  }
+
+ private:
+  util::Rng rng_;
+  std::uint64_t tau_;
+  std::uint32_t k_;
+  std::uint32_t l_;
+  std::vector<sim::ProcessId> control_set_;
+};
+
+}  // namespace ugf::adversary

@@ -1,0 +1,63 @@
+#include "adversary/informed.hpp"
+
+#include "adversary/fixed_strategies.hpp"
+#include "util/saturating.hpp"
+
+namespace ugf::adversary {
+
+void InformedFighter::on_run_start(sim::AdversaryControl& ctl) {
+  ctl.request_timer(config_.warmup);
+}
+
+void InformedFighter::on_timer(sim::AdversaryControl& ctl,
+                               sim::GlobalStep step) {
+  if (applied_) return;
+  applied_ = true;
+
+  const auto n = ctl.num_processes();
+  std::uint64_t total = 0;
+  for (sim::ProcessId p = 0; p < n; ++p) total += ctl.messages_sent_by(p);
+  rate_ = static_cast<double>(total) /
+          (static_cast<double>(n) * static_cast<double>(std::max<sim::GlobalStep>(1, step)));
+
+  control_set_ = sample_control_set(rng_, ctl);
+  const std::uint64_t tau = resolve_tau(config_.tau, ctl);
+
+  if (rate_ > config_.fanout_threshold) {
+    // Fan-out family (SEARS-like): time is already constant-ish, so the
+    // only damage worth doing is message inflation via delays.
+    choice_ = StrategyChoice{StrategyKind::kDelay, 1, 1};
+    for (const auto p : control_set_) {
+      ctl.set_local_step_time(p, tau);
+      ctl.set_delivery_time(p, util::sat_mul(tau, tau));
+    }
+    return;
+  }
+  if (rate_ > config_.pushpull_threshold) {
+    // Push-Pull-like: crashing C forces every survivor to burn a pull
+    // request per crashed process — linear time (the paper's max for
+    // Push-Pull time).
+    choice_ = StrategyChoice{StrategyKind::kCrashC, 0, 0};
+    for (const auto p : control_set_) ctl.crash(p);
+    return;
+  }
+  // One-message-per-step family (EARS-like): isolation hurts the most.
+  choice_ = StrategyChoice{StrategyKind::kIsolate, 1, 0};
+  if (control_set_.empty()) return;
+  for (const auto p : control_set_) ctl.set_local_step_time(p, tau);
+  rho_hat_ =
+      control_set_[static_cast<std::size_t>(rng_.below(control_set_.size()))];
+  for (const auto p : control_set_)
+    if (p != rho_hat_) ctl.crash(p);
+}
+
+void InformedFighter::on_message_emitted(sim::AdversaryControl& ctl,
+                                         const sim::SendEvent& event) {
+  if (!applied_ || choice_.kind != StrategyKind::kIsolate) return;
+  if (event.from != rho_hat_) return;
+  if (ctl.crashes_used() >= ctl.crash_budget()) return;
+  if (ctl.is_crashed(event.to)) return;
+  ctl.crash(event.to);
+}
+
+}  // namespace ugf::adversary

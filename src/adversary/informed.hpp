@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file informed.hpp
+/// The informed fighter — §VII asks "whether some realistic additional
+/// information about the gossip could improve the performance of our
+/// algorithm". This adversary answers with the cheapest realistic
+/// information there is: the observable per-process send rate.
+///
+/// It watches the dissemination for a short warm-up window, classifies
+/// the protocol family by its traffic signature and then plays the
+/// strategy the paper identifies as maximal for that family:
+///
+///   rate > fanout_threshold  (many msgs/step)  -> SEARS-like  -> delay
+///   rate > pushpull_threshold (2 msgs/step)    -> Push-Pull   -> crash C
+///   otherwise                 (1 msg/step)     -> EARS-like   -> isolate
+///
+/// Unlike UGF it is *not* universal-by-randomization — it bets on its
+/// classification — but when the guess is right it should match or beat
+/// the "max UGF" curves without a lucky draw. bench/informed_vs_ugf
+/// quantifies the gap.
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "sim/adversary_iface.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::adversary {
+
+struct InformedConfig {
+  /// Warm-up observation window in global steps.
+  sim::GlobalStep warmup = 3;
+  /// tau for the chosen strategy; 0 -> F.
+  std::uint64_t tau = 0;
+  /// Per-process per-step rate above which the protocol is classified
+  /// as fan-out (SEARS-like). Rates are measured as total sends /
+  /// (N * warmup); with emissions at the *ends* of local steps a
+  /// 1-message-per-step protocol measures ~(warmup-1)/warmup, a
+  /// 2-message protocol ~2(warmup-1)/warmup — the thresholds sit
+  /// between those bands.
+  double fanout_threshold = 3.0;
+  /// Rate above which it is classified as Push-Pull-like.
+  double pushpull_threshold = 1.05;
+};
+
+class InformedFighter final : public sim::Adversary {
+ public:
+  explicit InformedFighter(std::uint64_t seed, InformedConfig config = {})
+      : rng_(seed), config_(config) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "informed";
+  }
+  [[nodiscard]] std::string strategy_descriptor() const override {
+    return applied_ ? "informed+" + to_string(choice_) : "informed(warmup)";
+  }
+
+  void on_run_start(sim::AdversaryControl& ctl) override;
+  void on_timer(sim::AdversaryControl& ctl, sim::GlobalStep step) override;
+  void on_message_emitted(sim::AdversaryControl& ctl,
+                          const sim::SendEvent& event) override;
+
+  /// The observed per-process per-step rate (valid after the warm-up).
+  [[nodiscard]] double observed_rate() const noexcept { return rate_; }
+  [[nodiscard]] const adversary::StrategyChoice& chosen_strategy()
+      const noexcept {
+    return choice_;
+  }
+
+ private:
+  util::Rng rng_;
+  InformedConfig config_;
+  bool applied_ = false;
+  double rate_ = 0.0;
+  StrategyChoice choice_;
+  std::vector<sim::ProcessId> control_set_;
+  sim::ProcessId rho_hat_ = sim::kNoProcess;
+};
+
+}  // namespace ugf::adversary

@@ -1,0 +1,32 @@
+#include "adversary/jitter.hpp"
+
+#include <algorithm>
+
+namespace ugf::adversary {
+
+void JitterAdversary::on_run_start(sim::AdversaryControl& ctl) {
+  shake(ctl);
+  if (config_.max_periods > 0) ctl.request_timer(config_.period);
+}
+
+void JitterAdversary::on_timer(sim::AdversaryControl& ctl,
+                               sim::GlobalStep step) {
+  shake(ctl);
+  if (++periods_done_ < config_.max_periods)
+    ctl.request_timer(step + config_.period);
+}
+
+void JitterAdversary::shake(sim::AdversaryControl& ctl) {
+  const auto n = ctl.num_processes();
+  const auto count = static_cast<std::uint32_t>(
+      std::clamp(config_.churn, 0.0, 1.0) * static_cast<double>(n));
+  const auto victims = rng_.sample_without_replacement(n, count);
+  const std::uint64_t amplitude = std::max<std::uint64_t>(1, config_.amplitude);
+  for (const auto p : victims) {
+    if (ctl.is_crashed(p)) continue;
+    ctl.set_local_step_time(p, rng_.between(1, amplitude));
+    ctl.set_delivery_time(p, rng_.between(1, amplitude));
+  }
+}
+
+}  // namespace ugf::adversary

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file jitter.hpp
+/// Benign network jitter — Remark 1 of the paper notes that local-step
+/// lengths and delivery times could vary over time; the analysis fixes
+/// them only "for presentation simplicity". This adversary exercises
+/// exactly that freedom: every `period` global steps it re-draws the
+/// local-step and delivery times of a random subset of processes
+/// uniformly from [1, amplitude]. It crashes nobody and its delays are
+/// bounded by a constant, so a correct protocol must still gather all
+/// rumors and quiesce with complexities within a constant factor of the
+/// benign baseline — which is what the robustness tests assert.
+
+#include <cstdint>
+
+#include "sim/adversary_iface.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::adversary {
+
+struct JitterConfig {
+  /// Upper bound for both delta_rho and d_rho (>= 1).
+  std::uint64_t amplitude = 4;
+  /// Re-draw interval in global steps.
+  sim::GlobalStep period = 5;
+  /// Fraction of processes re-drawn per period, in [0, 1].
+  double churn = 0.5;
+  /// Stop re-drawing after this many periods (keeps the timer stream
+  /// finite; the system has long quiesced by then in practice).
+  std::uint32_t max_periods = 200;
+};
+
+class JitterAdversary final : public sim::Adversary {
+ public:
+  explicit JitterAdversary(std::uint64_t seed, JitterConfig config = {})
+      : rng_(seed), config_(config) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "jitter"; }
+
+  void on_run_start(sim::AdversaryControl& ctl) override;
+  void on_timer(sim::AdversaryControl& ctl, sim::GlobalStep step) override;
+
+ private:
+  void shake(sim::AdversaryControl& ctl);
+
+  util::Rng rng_;
+  JitterConfig config_;
+  std::uint32_t periods_done_ = 0;
+};
+
+}  // namespace ugf::adversary

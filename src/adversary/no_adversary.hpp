@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file no_adversary.hpp
+/// The benign adversary: leaves every d_rho = delta_rho = 1 and crashes
+/// nobody. This is the paper's experimental baseline (§V-A.4).
+
+#include "sim/adversary_iface.hpp"
+
+namespace ugf::adversary {
+
+class NoAdversary final : public sim::Adversary {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "none"; }
+};
+
+}  // namespace ugf::adversary

@@ -1,0 +1,31 @@
+#include "adversary/oblivious.hpp"
+
+#include <algorithm>
+
+namespace ugf::adversary {
+
+void ObliviousAdversary::on_run_start(sim::AdversaryControl& ctl) {
+  const auto n = ctl.num_processes();
+  const auto f = ctl.crash_budget();
+  const sim::GlobalStep horizon =
+      horizon_ == 0 ? sim::GlobalStep{4} * n : horizon_;
+  const auto victims = rng_.sample_without_replacement(n, f);
+  plan_.reserve(victims.size());
+  for (const auto v : victims)
+    plan_.push_back(PlannedCrash{rng_.below(horizon + 1), v});
+  std::sort(plan_.begin(), plan_.end(),
+            [](const PlannedCrash& a, const PlannedCrash& b) {
+              return a.at < b.at || (a.at == b.at && a.victim < b.victim);
+            });
+  for (const auto& planned : plan_) ctl.request_timer(planned.at);
+}
+
+void ObliviousAdversary::on_timer(sim::AdversaryControl& ctl,
+                                  sim::GlobalStep step) {
+  while (next_ < plan_.size() && plan_[next_].at <= step) {
+    ctl.crash(plan_[next_].victim);
+    ++next_;
+  }
+}
+
+}  // namespace ugf::adversary

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file oblivious.hpp
+/// An oblivious (non-adaptive) adversary: it commits to its entire
+/// schedule — which processes to crash and when — before the run starts,
+/// without ever observing the dissemination. §VI recalls the result of
+/// Georgiou et al. that oblivious adversaries are *not* powerful enough
+/// to harm gossip; this adversary exists to reproduce that contrast
+/// empirically (see bench/strategy_breakdown).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/adversary_iface.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::adversary {
+
+class ObliviousAdversary final : public sim::Adversary {
+ public:
+  /// Crashes `budget` (= F by default) random processes at independent
+  /// uniformly random steps in [0, horizon]. horizon == 0 picks 4*N,
+  /// a window comfortably covering a benign dissemination.
+  explicit ObliviousAdversary(std::uint64_t seed, sim::GlobalStep horizon = 0)
+      : rng_(seed), horizon_(horizon) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "oblivious";
+  }
+  void on_run_start(sim::AdversaryControl& ctl) override;
+  void on_timer(sim::AdversaryControl& ctl, sim::GlobalStep step) override;
+
+ private:
+  struct PlannedCrash {
+    sim::GlobalStep at = 0;
+    sim::ProcessId victim = sim::kNoProcess;
+  };
+
+  util::Rng rng_;
+  sim::GlobalStep horizon_;
+  std::vector<PlannedCrash> plan_;  ///< sorted by `at`
+  std::size_t next_ = 0;
+};
+
+}  // namespace ugf::adversary

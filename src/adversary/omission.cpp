@@ -1,0 +1,29 @@
+#include "adversary/omission.hpp"
+
+#include "adversary/fixed_strategies.hpp"
+#include "util/saturating.hpp"
+
+namespace ugf::adversary {
+
+void OmissionAdversary::on_run_start(sim::AdversaryControl& ctl) {
+  control_set_ = sample_control_set(rng_, ctl);
+  in_control_.assign(ctl.num_processes(), false);
+  for (const auto p : control_set_) in_control_[p] = true;
+  const std::uint64_t tau = resolve_tau(tau_, ctl);
+  const std::uint64_t delta = util::sat_pow(tau, k_);
+  for (const auto p : control_set_) ctl.set_local_step_time(p, delta);
+  if (quota_ == 0) quota_ = util::sat_pow(tau, l_);
+}
+
+void OmissionAdversary::on_message_emitted(sim::AdversaryControl& ctl,
+                                           const sim::SendEvent& event) {
+  if (!in_control_[event.from]) return;
+  // sender_total counts the message being emitted, so the first `quota`
+  // messages of each C member vanish.
+  if (event.sender_total <= quota_) {
+    ctl.suppress_message();
+    ++omitted_;
+  }
+}
+
+}  // namespace ugf::adversary

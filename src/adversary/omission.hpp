@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file omission.hpp
+/// Omission-failure adversary — the paper's §VII asks whether an
+/// adversary that can *omit* messages (after Kowalski & Strojnowski,
+/// IPL 2009) harms dissemination more than one that merely delays them.
+///
+/// The strategy mirrors Strategy 2.k.l so the two are comparable: the
+/// control set C (floor(F/2) random processes) is slowed to
+/// delta = tau^k, and instead of delaying C's messages by tau^(k+l),
+/// the adversary *silently discards* the first `quota` messages of each
+/// C member (default quota = tau^l, i.e. the number of extra sends the
+/// delay variant forces before anything useful lands). Omitted messages
+/// still count toward M_rho — the send happened — but never arrive, so
+/// the protocol has to keep re-sending until the quota is exhausted.
+/// The quota is finite, so rumor gathering and quiescence still hold.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/adversary_iface.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::adversary {
+
+class OmissionAdversary final : public sim::Adversary {
+ public:
+  /// tau == 0 resolves to F at run start (as everywhere else).
+  /// quota == 0 defaults to tau^l.
+  OmissionAdversary(std::uint64_t seed, std::uint64_t tau = 0,
+                    std::uint32_t k = 1, std::uint32_t l = 1,
+                    std::uint64_t quota = 0)
+      : rng_(seed), tau_(tau), k_(k), l_(l), quota_(quota) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "omission";
+  }
+  void on_run_start(sim::AdversaryControl& ctl) override;
+  void on_message_emitted(sim::AdversaryControl& ctl,
+                          const sim::SendEvent& event) override;
+
+  [[nodiscard]] const std::vector<sim::ProcessId>& control_set()
+      const noexcept {
+    return control_set_;
+  }
+  [[nodiscard]] std::uint64_t quota() const noexcept { return quota_; }
+  [[nodiscard]] std::uint64_t omitted() const noexcept { return omitted_; }
+
+ private:
+  util::Rng rng_;
+  std::uint64_t tau_;
+  std::uint32_t k_;
+  std::uint32_t l_;
+  std::uint64_t quota_;
+  std::uint64_t omitted_ = 0;
+  std::vector<sim::ProcessId> control_set_;
+  std::vector<bool> in_control_;  ///< indexed by process id
+};
+
+}  // namespace ugf::adversary

@@ -1,0 +1,20 @@
+#include "adversary/strategy.hpp"
+
+namespace ugf::adversary {
+
+std::string to_string(const StrategyChoice& choice) {
+  switch (choice.kind) {
+    case StrategyKind::kNone:
+      return "none";
+    case StrategyKind::kCrashC:
+      return "strategy-1";
+    case StrategyKind::kIsolate:
+      return "strategy-2." + std::to_string(choice.k) + ".0";
+    case StrategyKind::kDelay:
+      return "strategy-2." + std::to_string(choice.k) + "." +
+             std::to_string(choice.l);
+  }
+  return "unknown";
+}
+
+}  // namespace ugf::adversary

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file strategy.hpp
+/// Taxonomy of UGF's adversarial strategies (§III-B, Fig. 1):
+///   * Strategy 1      — crash the control set C outright; hurts
+///                       protocols whose remaining processes gossip
+///                       slowly (forces high *time* complexity);
+///   * Strategy 2.k.0  — slow C down (delta = tau^k), keep one process
+///                       rho-hat of C alive and crash the receivers of
+///                       its messages (isolation; forces high *time*
+///                       complexity against slow-sending C);
+///   * Strategy 2.k.l  — slow C down and additionally delay its messages
+///                       (d = tau^(k+l)); fast-sending processes are
+///                       forced to emit many messages (high *message*
+///                       complexity).
+
+#include <cstdint>
+#include <string>
+
+namespace ugf::adversary {
+
+enum class StrategyKind : std::uint8_t {
+  kNone,     ///< no adversarial action
+  kCrashC,   ///< Strategy 1
+  kIsolate,  ///< Strategy 2.k.0
+  kDelay,    ///< Strategy 2.k.l (l >= 1)
+};
+
+/// A fully instantiated strategy choice (k and l are meaningful only
+/// for the strategy families that use them).
+struct StrategyChoice {
+  StrategyKind kind = StrategyKind::kNone;
+  std::uint32_t k = 0;
+  std::uint32_t l = 0;
+
+  friend bool operator==(const StrategyChoice&,
+                         const StrategyChoice&) = default;
+};
+
+/// "none", "strategy-1", "strategy-2.3.0", "strategy-2.1.2", ...
+[[nodiscard]] std::string to_string(const StrategyChoice& choice);
+
+}  // namespace ugf::adversary

@@ -1,0 +1,106 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ugf::analysis {
+
+namespace {
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  if (v >= 1e5 || (v > 0 && v < 1e-2)) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else if (v >= 100.0) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(2) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  if (series.empty()) throw std::invalid_argument("render_plot: no series");
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = min_x, max_y = -min_x;
+  for (const auto& s : series) {
+    if (s.xs.size() != s.ys.size() || s.xs.empty())
+      throw std::invalid_argument("render_plot: bad series " + s.label);
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if ((options.log_x && s.xs[i] <= 0.0) ||
+          (options.log_y && s.ys[i] <= 0.0))
+        throw std::invalid_argument(
+            "render_plot: non-positive value on a log axis");
+      min_x = std::min(min_x, s.xs[i]);
+      max_x = std::max(max_x, s.xs[i]);
+      min_y = std::min(min_y, s.ys[i]);
+      max_y = std::max(max_y, s.ys[i]);
+    }
+  }
+  const double tx0 = transform(min_x, options.log_x);
+  const double tx1 = transform(max_x, options.log_x);
+  const double ty0 = transform(min_y, options.log_y);
+  const double ty1 = transform(max_y, options.log_y);
+  const double x_span = tx1 > tx0 ? tx1 - tx0 : 1.0;
+  const double y_span = ty1 > ty0 ? ty1 - ty0 : 1.0;
+
+  const std::size_t w = std::max<std::size_t>(16, options.width);
+  const std::size_t h = std::max<std::size_t>(6, options.height);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx =
+          (transform(s.xs[i], options.log_x) - tx0) / x_span;
+      const double fy =
+          (transform(s.ys[i], options.log_y) - ty0) / y_span;
+      const auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(w - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::lround(fy * static_cast<double>(h - 1)));
+      grid[h - 1 - row_from_bottom][col] = s.marker;
+    }
+  }
+
+  std::ostringstream out;
+  const std::string y_hi = format_tick(max_y);
+  const std::string y_lo = format_tick(min_y);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size()) + 1;
+
+  if (!options.y_label.empty())
+    out << std::string(margin, ' ') << options.y_label
+        << (options.log_y ? " (log)" : "") << "\n";
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string tick(margin, ' ');
+    if (r == 0) tick = y_hi + std::string(margin - y_hi.size(), ' ');
+    if (r == h - 1) tick = y_lo + std::string(margin - y_lo.size(), ' ');
+    out << tick << "|" << grid[r] << "\n";
+  }
+  out << std::string(margin, ' ') << "+" << std::string(w, '-') << "\n";
+  const std::string x_lo = format_tick(min_x);
+  const std::string x_hi = format_tick(max_x);
+  out << std::string(margin + 1, ' ') << x_lo
+      << std::string(w > x_lo.size() + x_hi.size()
+                         ? w - x_lo.size() - x_hi.size()
+                         : 1,
+                     ' ')
+      << x_hi << "\n";
+  out << std::string(margin + 1, ' ') << options.x_label
+      << (options.log_x ? " (log)" : "") << "   legend:";
+  for (const auto& s : series) out << "  " << s.marker << " = " << s.label;
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace ugf::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file ascii_plot.hpp
+/// Terminal rendering of complexity series as log-log scatter charts —
+/// the paper's Fig. 3 uses log axes, and its qualitative content
+/// (complexity classes as straight lines of different slope, crossovers
+/// as intersections) survives an 80-column terminal remarkably well.
+
+#include <string>
+#include <vector>
+
+namespace ugf::analysis {
+
+struct PlotSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<double> xs;  ///< strictly positive
+  std::vector<double> ys;  ///< strictly positive
+};
+
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area columns
+  std::size_t height = 20;  ///< plot area rows
+  bool log_x = true;
+  bool log_y = true;
+  std::string x_label = "N";
+  std::string y_label;
+};
+
+/// Renders the series into a multi-line string (axes, tick labels,
+/// legend). Overlapping points show the marker of the later series.
+/// Throws std::invalid_argument on empty/non-positive data for a log
+/// axis.
+[[nodiscard]] std::string render_plot(const std::vector<PlotSeries>& series,
+                                      const PlotOptions& options = {});
+
+}  // namespace ugf::analysis

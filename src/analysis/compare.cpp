@@ -1,0 +1,92 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/statistics.hpp"
+
+namespace ugf::analysis {
+
+MannWhitneyResult mann_whitney_greater(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("mann_whitney_greater: empty sample");
+  const std::size_t na = a.size(), nb = b.size();
+
+  // Pool and midrank.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(na + nb);
+  for (const double v : a) pooled.push_back({v, true});
+  for (const double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j + 1 < pooled.size() && pooled[j + 1].value == pooled[i].value)
+      ++j;
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    const double ties = static_cast<double>(j - i + 1);
+    if (ties > 1.0) tie_correction += ties * ties * ties - ties;
+    for (std::size_t k = i; k <= j; ++k)
+      if (pooled[k].from_a) rank_sum_a += midrank;
+    i = j + 1;
+  }
+
+  MannWhitneyResult result;
+  const double nad = static_cast<double>(na), nbd = static_cast<double>(nb);
+  result.u_statistic = rank_sum_a - nad * (nad + 1.0) / 2.0;
+  result.effect_size = result.u_statistic / (nad * nbd);
+
+  const double mean_u = nad * nbd / 2.0;
+  const double n = nad + nbd;
+  const double variance =
+      nad * nbd / 12.0 *
+      ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  result.z = variance > 0.0
+                 ? (result.u_statistic - mean_u) / std::sqrt(variance)
+                 : 0.0;
+  return result;
+}
+
+BootstrapInterval bootstrap_median_ci(const std::vector<double>& sample,
+                                      double confidence,
+                                      std::uint32_t resamples,
+                                      std::uint64_t seed) {
+  if (sample.empty())
+    throw std::invalid_argument("bootstrap_median_ci: empty sample");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("bootstrap_median_ci: bad confidence");
+
+  auto sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  BootstrapInterval interval;
+  interval.point = quantile_sorted(sorted, 0.5);
+
+  util::Rng rng(seed);
+  std::vector<double> medians;
+  medians.reserve(resamples);
+  std::vector<double> resample(sample.size());
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample)
+      v = sample[static_cast<std::size_t>(rng.below(sample.size()))];
+    std::sort(resample.begin(), resample.end());
+    medians.push_back(quantile_sorted(resample, 0.5));
+  }
+  std::sort(medians.begin(), medians.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  interval.low = quantile_sorted(medians, alpha);
+  interval.high = quantile_sorted(medians, 1.0 - alpha);
+  return interval;
+}
+
+}  // namespace ugf::analysis

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file compare.hpp
+/// Distribution comparison for attacked-vs-baseline claims. The paper's
+/// figures assert dominance visually; EXPERIMENTS.md backs the same
+/// statements with a Mann-Whitney U test (does the attacked complexity
+/// distribution stochastically dominate the baseline?) and bootstrap
+/// confidence intervals for the medians.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ugf::analysis {
+
+/// Result of a one-sided Mann-Whitney U test of "sample A tends to be
+/// GREATER than sample B".
+struct MannWhitneyResult {
+  double u_statistic = 0.0;  ///< U for sample A
+  /// Normal-approximation z score (ties handled by midranks; the
+  /// approximation is standard for n >= ~8 per side).
+  double z = 0.0;
+  /// Common-language effect size P[A > B] + 0.5 P[A == B].
+  double effect_size = 0.5;
+};
+
+/// One-sided Mann-Whitney U ("A greater than B"); both samples need at
+/// least one element. z > 2.33 rejects "no difference" at ~1%.
+[[nodiscard]] MannWhitneyResult mann_whitney_greater(
+    const std::vector<double>& a, const std::vector<double>& b);
+
+/// Percentile bootstrap confidence interval for the median.
+struct BootstrapInterval {
+  double low = 0.0;
+  double high = 0.0;
+  double point = 0.0;  ///< sample median
+};
+
+/// `confidence` in (0,1), e.g. 0.95. Deterministic in `seed`.
+[[nodiscard]] BootstrapInterval bootstrap_median_ci(
+    const std::vector<double>& sample, double confidence = 0.95,
+    std::uint32_t resamples = 2000, std::uint64_t seed = 0xB007);
+
+}  // namespace ugf::analysis

@@ -1,0 +1,110 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ugf::analysis {
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fit_linear: need >= 2 paired points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += r * r;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+namespace {
+
+std::vector<double> log_all(const std::vector<double>& values,
+                            const char* what) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    if (v <= 0.0)
+      throw std::invalid_argument(std::string("regression: non-positive ") +
+                                  what);
+    out.push_back(std::log(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFit fit_power_law(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  return fit_linear(log_all(xs, "x"), log_all(ys, "y"));
+}
+
+LinearFit fit_logarithmic(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  return fit_linear(log_all(xs, "x"), ys);
+}
+
+const char* to_string(GrowthClass g) noexcept {
+  switch (g) {
+    case GrowthClass::kConstant:
+      return "constant";
+    case GrowthClass::kLogarithmic:
+      return "logarithmic";
+    case GrowthClass::kQuasiLinear:
+      return "~linear";
+    case GrowthClass::kQuadratic:
+      return "~quadratic";
+    case GrowthClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+double growth_exponent(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  return fit_power_law(xs, ys).slope;
+}
+
+GrowthClass classify_growth(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() < 4)
+    throw std::invalid_argument("classify_growth: need >= 4 points");
+  const LinearFit power = fit_power_law(xs, ys);
+  const double b = power.slope;
+  if (b < 0.4) {
+    // Nearly flat in log-log space: constant or logarithmic. A
+    // logarithmic series grows by a roughly constant amount per decade;
+    // compare total relative growth against log growth.
+    const LinearFit logfit = fit_logarithmic(xs, ys);
+    const double span = ys.back() - ys.front();
+    if (logfit.slope > 0.0 && logfit.r2 > 0.7 && span > 0.0)
+      return GrowthClass::kLogarithmic;
+    return GrowthClass::kConstant;
+  }
+  if (b >= 0.75 && b < 1.35) return GrowthClass::kQuasiLinear;
+  if (b >= 1.65 && b < 2.6) return GrowthClass::kQuadratic;
+  return GrowthClass::kOther;
+}
+
+}  // namespace ugf::analysis

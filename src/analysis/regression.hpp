@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file regression.hpp
+/// Growth-law fitting for complexity series. The reproduction does not
+/// try to match the paper's absolute numbers (different substrate); what
+/// must match is the *shape*: e.g. Push-Pull's time complexity is
+/// logarithmic in N without an adversary and becomes linear under UGF,
+/// and message complexity becomes quadratic (§V-B). `classify_growth`
+/// turns a (N, complexity) series into one of those shapes; it backs the
+/// assertions in EXPERIMENTS.md and the integration tests.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ugf::analysis {
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// Fit log(y) = intercept + slope * log(x): `slope` estimates the
+/// polynomial growth exponent. Requires strictly positive data.
+[[nodiscard]] LinearFit fit_power_law(const std::vector<double>& xs,
+                                      const std::vector<double>& ys);
+
+/// Fit y = intercept + slope * log(x) (logarithmic growth model).
+[[nodiscard]] LinearFit fit_logarithmic(const std::vector<double>& xs,
+                                        const std::vector<double>& ys);
+
+enum class GrowthClass {
+  kConstant,
+  kLogarithmic,
+  kQuasiLinear,  ///< exponent in [0.75, 1.35): N, N log N, ...
+  kQuadratic,    ///< exponent in [1.65, 2.6)
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(GrowthClass g) noexcept;
+
+/// Classifies the growth of ys as a function of xs (both positive,
+/// at least 4 points, xs increasing). The classifier first estimates the
+/// power-law exponent; near-zero exponents are disambiguated into
+/// constant vs logarithmic by the fit quality of the log model.
+[[nodiscard]] GrowthClass classify_growth(const std::vector<double>& xs,
+                                          const std::vector<double>& ys);
+
+/// Convenience: the estimated power-law exponent of the series.
+[[nodiscard]] double growth_exponent(const std::vector<double>& xs,
+                                     const std::vector<double>& ys);
+
+}  // namespace ugf::analysis

@@ -1,0 +1,73 @@
+#include "analysis/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ugf::analysis {
+
+double quantile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty())
+    throw std::invalid_argument("quantile_sorted: empty sample");
+  if (p <= 0.0) return sorted.front();
+  if (p >= 1.0) return sorted.back();
+  const double h = p * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.5);
+  s.q3 = quantile_sorted(values, 0.75);
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / (static_cast<double>(values.size()) - 1.0));
+  }
+  return s;
+}
+
+double chi_square_statistic(const std::vector<std::size_t>& observed,
+                            const std::vector<double>& expected_probability) {
+  if (observed.size() != expected_probability.size())
+    throw std::invalid_argument("chi_square_statistic: size mismatch");
+  std::size_t total = 0;
+  for (const auto o : observed) total += o;
+  if (total == 0) throw std::invalid_argument("chi_square_statistic: no data");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        expected_probability[i] * static_cast<double>(total);
+    if (expected <= 0.0)
+      throw std::invalid_argument("chi_square_statistic: zero expectation");
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double chi_square_critical_001(std::size_t degrees_of_freedom) {
+  // chi^2_{0.999} quantiles for df = 1..30.
+  static constexpr double kTable[] = {
+      10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.124,
+      27.877, 29.588, 31.264, 32.909, 34.528, 36.123, 37.697, 39.252,
+      40.790, 42.312, 43.820, 45.315, 46.797, 48.268, 49.728, 51.179,
+      52.620, 54.052, 55.476, 56.892, 58.301, 59.703};
+  if (degrees_of_freedom == 0 || degrees_of_freedom > 30)
+    throw std::out_of_range("chi_square_critical_001: df must be 1..30");
+  return kTable[degrees_of_freedom - 1];
+}
+
+}  // namespace ugf::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file statistics.hpp
+/// Descriptive statistics for experiment series. The paper reports the
+/// median over 50 runs with first/third quartiles as the shaded area
+/// (Fig. 3 caption); `Summary` carries exactly those plus mean/stddev.
+
+#include <cstddef>
+#include <vector>
+
+namespace ugf::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< first quartile
+  double median = 0.0;
+  double q3 = 0.0;      ///< third quartile
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+};
+
+/// p-quantile (p in [0,1]) of a *sorted* sample, with linear
+/// interpolation between order statistics (type-7, the R default).
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
+                                     double p);
+
+/// Full summary of a sample (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (sizes must match; probabilities must sum to ~1).
+[[nodiscard]] double chi_square_statistic(
+    const std::vector<std::size_t>& observed,
+    const std::vector<double>& expected_probability);
+
+/// Upper critical values of the chi-square distribution at alpha = 0.001
+/// for 1..30 degrees of freedom (used by the statistical tests; a
+/// conservative significance level keeps seeded tests deterministic and
+/// non-flaky).
+[[nodiscard]] double chi_square_critical_001(std::size_t degrees_of_freedom);
+
+}  // namespace ugf::analysis

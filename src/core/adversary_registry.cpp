@@ -1,0 +1,89 @@
+#include "core/adversary_registry.hpp"
+
+#include <stdexcept>
+
+#include "adversary/fixed_strategies.hpp"
+#include "adversary/informed.hpp"
+#include "adversary/jitter.hpp"
+#include "adversary/oblivious.hpp"
+#include "adversary/omission.hpp"
+
+namespace ugf::core {
+
+using adversary::LambdaAdversaryFactory;
+
+std::unique_ptr<adversary::AdversaryFactory> make_adversary(
+    std::string_view name, const AdversaryParams& params) {
+  if (name == "none") return std::make_unique<adversary::NoAdversaryFactory>();
+  if (name == "ugf") return std::make_unique<UgfFactory>(params.ugf);
+  if (name == "ugf-sampled") {
+    UgfConfig config = params.ugf;
+    config.sample_exponents = true;
+    return std::make_unique<UgfFactory>(config);
+  }
+  if (name == "strategy-1") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "strategy-1", [](std::uint64_t seed) {
+          return std::make_unique<adversary::Strategy1Adversary>(seed);
+        });
+  }
+  if (name == "strategy-2.k.0" || name == "isolate") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "strategy-2." + std::to_string(params.k) + ".0",
+        [params](std::uint64_t seed) {
+          return std::make_unique<adversary::IsolationAdversary>(
+              seed, params.tau, params.k);
+        });
+  }
+  if (name == "strategy-2.k.l" || name == "delay") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "strategy-2." + std::to_string(params.k) + "." +
+            std::to_string(params.l),
+        [params](std::uint64_t seed) {
+          return std::make_unique<adversary::DelayAdversary>(
+              seed, params.tau, params.k, params.l);
+        });
+  }
+  if (name == "oblivious") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "oblivious", [](std::uint64_t seed) {
+          return std::make_unique<adversary::ObliviousAdversary>(seed);
+        });
+  }
+  if (name == "ugf-omission") {
+    UgfConfig config = params.ugf;
+    config.omission_mode = true;
+    return std::make_unique<UgfFactory>(config);
+  }
+  if (name == "omission") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "omission", [params](std::uint64_t seed) {
+          return std::make_unique<adversary::OmissionAdversary>(
+              seed, params.tau, params.k, params.l);
+        });
+  }
+  if (name == "informed") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "informed", [params](std::uint64_t seed) {
+          adversary::InformedConfig config;
+          config.tau = params.tau;
+          return std::make_unique<adversary::InformedFighter>(seed, config);
+        });
+  }
+  if (name == "jitter") {
+    return std::make_unique<LambdaAdversaryFactory>(
+        "jitter", [](std::uint64_t seed) {
+          return std::make_unique<adversary::JitterAdversary>(seed);
+        });
+  }
+  throw std::invalid_argument("unknown adversary: " + std::string(name));
+}
+
+std::vector<std::string> adversary_names() {
+  return {"none",           "ugf",          "ugf-sampled",
+          "strategy-1",     "strategy-2.k.0", "strategy-2.k.l",
+          "oblivious",      "omission",     "ugf-omission",
+          "informed",       "jitter"};
+}
+
+}  // namespace ugf::core

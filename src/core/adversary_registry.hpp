@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file adversary_registry.hpp
+/// Name-based construction of adversary factories. Names:
+///   "none"            — benign baseline
+///   "ugf"             — the Universal Gossip Fighter (paper defaults)
+///   "ugf-sampled"     — UGF with zeta-sampled exponents (full Alg. 1)
+///   "strategy-1"      — crash C
+///   "strategy-2.k.0"  — isolation (k from params)
+///   "strategy-2.k.l"  — delay (k, l from params)
+///   "oblivious"       — non-adaptive schedule baseline
+///   "omission"        — omission-failure variant of the delay strategy
+///                       (extension, §VII)
+///   "ugf-omission"    — UGF with omissions instead of delays (§VII)
+///   "informed"        — protocol-classifying adversary (extension, §VII)
+///   "jitter"          — benign bounded time-variation (Remark 1)
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/factory.hpp"
+#include "core/ugf.hpp"
+
+namespace ugf::core {
+
+/// Numeric parameters shared by the strategy families.
+struct AdversaryParams {
+  std::uint64_t tau = 0;  ///< 0 -> F
+  std::uint32_t k = 1;
+  std::uint32_t l = 1;
+  UgfConfig ugf;  ///< used by the "ugf" family
+};
+
+/// Creates the factory registered under `name` (see file comment);
+/// throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<adversary::AdversaryFactory> make_adversary(
+    std::string_view name, const AdversaryParams& params = {});
+
+/// All registered adversary names.
+[[nodiscard]] std::vector<std::string> adversary_names();
+
+}  // namespace ugf::core

@@ -1,0 +1,72 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/saturating.hpp"
+
+namespace ugf::core::theory {
+
+namespace {
+constexpr double kPi2 = std::numbers::pi * std::numbers::pi;
+}
+
+std::uint32_t ceil_log(std::uint64_t tau, std::uint64_t t) {
+  if (tau < 2) throw std::invalid_argument("ceil_log: tau must be > 1");
+  if (t <= 1) return t == 1 ? 0 : throw std::invalid_argument("ceil_log: t >= 1");
+  // smallest k with tau^k >= t
+  std::uint32_t k = 0;
+  std::uint64_t power = 1;
+  while (power < t) {
+    power = util::sat_mul(power, tau);
+    ++k;
+  }
+  return k;
+}
+
+double lemma4_probability(double q1, std::uint64_t tau, std::uint64_t t) {
+  const std::uint32_t logs = std::max<std::uint32_t>(1, ceil_log(tau, t));
+  return 6.0 * (1.0 - q1) / (kPi2 * static_cast<double>(logs));
+}
+
+double lemma5_probability(double q2, std::uint64_t tau, std::uint64_t t) {
+  const std::uint32_t logs = std::max<std::uint32_t>(1, ceil_log(tau, t));
+  return 6.0 * (1.0 - q2) / (kPi2 * static_cast<double>(logs));
+}
+
+double time_bound_case_i(double q1, std::uint32_t alpha, std::uint32_t f) {
+  return 0.5 * q1 * static_cast<double>(alpha) * static_cast<double>(f);
+}
+
+double time_bound_case_iia(double q1, double q2, std::uint32_t alpha,
+                           std::uint32_t f) {
+  return 0.75 * (1.0 - q1) * q2 * static_cast<double>(alpha) *
+         static_cast<double>(f) / kPi2;
+}
+
+double message_bound_case_iib(double q1, double q2, std::uint64_t tau,
+                              std::uint32_t alpha, std::uint32_t f) {
+  const std::uint64_t af =
+      util::sat_mul(static_cast<std::uint64_t>(alpha), f);
+  const std::uint32_t logs = std::max<std::uint32_t>(1, ceil_log(tau, af));
+  const double fd = static_cast<double>(f);
+  const double logd = static_cast<double>(logs);
+  return (fd * fd / 8.0) * 9.0 * (1.0 - q1) * (1.0 - q2) /
+         (kPi2 * kPi2 * logd * logd);
+}
+
+double message_envelope(double q1, double q2, std::uint64_t tau,
+                        std::uint32_t alpha, std::uint32_t n,
+                        std::uint32_t f) {
+  return static_cast<double>(n) +
+         message_bound_case_iib(q1, q2, tau, alpha, f);
+}
+
+double time_envelope(double q1, double q2, std::uint32_t alpha,
+                     std::uint32_t f) {
+  return std::min(time_bound_case_i(q1, alpha, f),
+                  time_bound_case_iia(q1, q2, alpha, f));
+}
+
+}  // namespace ugf::core::theory

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file theory.hpp
+/// Closed-form quantities from the paper's analysis (§IV): the strategy
+/// probabilities of Lemmas 4 and 5, and the complexity envelopes of
+/// Theorem 1. These are used by the validation tests (the empirical
+/// strategy frequencies must dominate the lemma bounds) and by
+/// bench/tradeoff_alpha, which plots the theoretical time/message
+/// trade-off next to measured complexities.
+
+#include <cstdint>
+
+namespace ugf::core::theory {
+
+/// ceil(log_tau(t)) for tau > 1, t >= 1 — the paper's ⌈log_tau t⌉.
+/// Computed with integer arithmetic (no floating-point log drift).
+[[nodiscard]] std::uint32_t ceil_log(std::uint64_t tau, std::uint64_t t);
+
+/// Lemma 4: a lower bound on the probability that UGF applies a
+/// strategy 2.k with tau^k >= t:  6 (1-q1) / (pi^2 ceil(log_tau t)).
+[[nodiscard]] double lemma4_probability(double q1, std::uint64_t tau,
+                                        std::uint64_t t);
+
+/// Lemma 5: given a strategy 2.k, a lower bound on the probability of a
+/// strategy 2.k.l with tau^l >= t:  6 (1-q2) / (pi^2 ceil(log_tau t)).
+[[nodiscard]] double lemma5_probability(double q2, std::uint64_t tau,
+                                        std::uint64_t t);
+
+/// Theorem 1 (Part 1 conclusion): the average time complexity lower
+/// bound  (q1 / 2) * alpha * F  of Case (i).
+[[nodiscard]] double time_bound_case_i(double q1, std::uint32_t alpha,
+                                       std::uint32_t f);
+
+/// Theorem 1 (Part 2.a conclusion): the average time complexity lower
+/// bound  (3/4) (1-q1) q2 / (pi^2 ceil(log_tau aF)) * aF ceil(log_tau aF)
+/// of Case (ii)+(ii.a); simplifies to (3/4)(1-q1) q2 aF / pi^2.
+[[nodiscard]] double time_bound_case_iia(double q1, double q2,
+                                         std::uint32_t alpha, std::uint32_t f);
+
+/// Theorem 1 (Part 2.b conclusion): the average message complexity lower
+/// bound  (F^2/8) * 9 (1-q1)(1-q2) / (pi^4 ceil(log_tau aF)^2)
+/// of Case (ii)+(ii.b).
+[[nodiscard]] double message_bound_case_iib(double q1, double q2,
+                                            std::uint64_t tau,
+                                            std::uint32_t alpha,
+                                            std::uint32_t f);
+
+/// The full Theorem-1 message envelope Omega(N + F^2 / log_tau^2(aF)),
+/// with the explicit Part-2.b constant: N + message_bound_case_iib.
+[[nodiscard]] double message_envelope(double q1, double q2, std::uint64_t tau,
+                                      std::uint32_t alpha, std::uint32_t n,
+                                      std::uint32_t f);
+
+/// The smaller of the Theorem-1 time lower bounds (the adversary can
+/// force at least one of time >= this or messages >= message_envelope).
+[[nodiscard]] double time_envelope(double q1, double q2, std::uint32_t alpha,
+                                   std::uint32_t f);
+
+}  // namespace ugf::core::theory

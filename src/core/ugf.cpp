@@ -1,0 +1,96 @@
+#include "core/ugf.hpp"
+
+#include <stdexcept>
+
+#include "adversary/fixed_strategies.hpp"
+#include "util/saturating.hpp"
+
+namespace ugf::core {
+
+using adversary::StrategyChoice;
+using adversary::StrategyKind;
+
+UniversalGossipFighter::UniversalGossipFighter(std::uint64_t seed,
+                                               const UgfConfig& config)
+    : rng_(seed), config_(config), zeta_(config.exponent_cap) {
+  if (config_.q1 < 0.0 || config_.q1 > 1.0 || config_.q2 < 0.0 ||
+      config_.q2 > 1.0)
+    throw std::invalid_argument("UGF: q1, q2 must lie in [0, 1]");
+  if (config_.tau == 1)
+    throw std::invalid_argument("UGF: tau must be 0 (auto) or > 1");
+  if (!config_.sample_exponents &&
+      (config_.fixed_k == 0 || config_.fixed_l == 0))
+    throw std::invalid_argument("UGF: fixed exponents must be >= 1");
+}
+
+std::uint32_t UniversalGossipFighter::draw_exponent(std::uint32_t fixed) {
+  return config_.sample_exponents ? zeta_.sample(rng_) : fixed;
+}
+
+void UniversalGossipFighter::on_run_start(sim::AdversaryControl& ctl) {
+  // Algorithm 1, line by line. C is a uniform sample of floor(F/2)
+  // processes; all d_rho = delta_rho = 1 initially (the engine default).
+  control_set_ = adversary::sample_control_set(rng_, ctl);
+  in_control_.assign(ctl.num_processes(), false);
+  for (const auto p : control_set_) in_control_[p] = true;
+  const std::uint64_t tau = adversary::resolve_tau(config_.tau, ctl);
+
+  if (rng_.bernoulli(config_.q1)) {
+    // Strategy 1: crash all of C.
+    choice_ = StrategyChoice{StrategyKind::kCrashC, 0, 0};
+    for (const auto p : control_set_) ctl.crash(p);
+    return;
+  }
+
+  // Type-2 strategy: draw k, slow C down to delta = tau^k.
+  const std::uint32_t k = draw_exponent(config_.fixed_k);
+  const std::uint64_t delta = util::sat_pow(tau, k);
+  for (const auto p : control_set_) ctl.set_local_step_time(p, delta);
+
+  if (rng_.bernoulli(config_.q2)) {
+    // Strategy 2.k.0: isolate a random rho-hat of C; crash the rest of C
+    // now and the receivers of rho-hat's messages online (see
+    // on_message_emitted) until the budget F is exhausted.
+    choice_ = StrategyChoice{StrategyKind::kIsolate, k, 0};
+    if (control_set_.empty()) return;
+    rho_hat_ = control_set_[static_cast<std::size_t>(
+        rng_.below(control_set_.size()))];
+    for (const auto p : control_set_)
+      if (p != rho_hat_) ctl.crash(p);
+    return;
+  }
+
+  // Strategy 2.k.l: additionally delay C's messages to d = tau^(k+l) —
+  // or, in omission mode (§VII extension), discard the first tau^l
+  // messages of each C member instead.
+  const std::uint32_t l = draw_exponent(config_.fixed_l);
+  choice_ = StrategyChoice{StrategyKind::kDelay, k, l};
+  if (config_.omission_mode) {
+    omission_quota_ = util::sat_pow(tau, l);
+    return;
+  }
+  const std::uint64_t delivery = util::sat_pow(tau, k + l);
+  for (const auto p : control_set_) ctl.set_delivery_time(p, delivery);
+}
+
+void UniversalGossipFighter::on_message_emitted(sim::AdversaryControl& ctl,
+                                                const sim::SendEvent& event) {
+  switch (choice_.kind) {
+    case StrategyKind::kIsolate:
+      if (event.from != rho_hat_) return;
+      if (ctl.crashes_used() >= ctl.crash_budget()) return;
+      if (ctl.is_crashed(event.to)) return;
+      ctl.crash(event.to);
+      return;
+    case StrategyKind::kDelay:
+      if (omission_quota_ > 0 && in_control_[event.from] &&
+          event.sender_total <= omission_quota_) {
+        ctl.suppress_message();
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace ugf::core

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file ugf.hpp
+/// The Universal Gossip Fighter — the paper's Algorithm 1.
+///
+/// UGF is an adaptive adversary that disrupts *any* all-to-all gossip
+/// protocol without prior knowledge of it. Its randomization scheme
+/// (Fig. 2) draws one of three strategy families per run:
+///
+///   with probability q1                 : Strategy 1      (crash C)
+///   with probability (1-q1) * q2        : Strategy 2.k.0  (isolate)
+///   with probability (1-q1) * (1-q2)    : Strategy 2.k.l  (delay)
+///
+/// where the exponents k and l are drawn from P[k] = 6/(pi^2 k^2)
+/// (Remark 2) and C is a uniform sample of floor(F/2) processes. The
+/// indistinguishability lemmas (IV-A) rest on this randomization: during
+/// [1, tau^k] no process outside C can tell which strategy is running,
+/// so an adaptive protocol cannot counter it.
+///
+/// Defaults follow the paper's experiments (§V-A.3): q1 = 1/3, q2 = 1/2
+/// (all three families equiprobable), tau = F, and k = l = 1 fixed.
+/// Sampled exponents (the full Algorithm 1) are available via
+/// `UgfConfig::sample_exponents`.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/factory.hpp"
+#include "adversary/strategy.hpp"
+#include "sim/adversary_iface.hpp"
+#include "util/rng.hpp"
+#include "util/zeta_sampler.hpp"
+
+namespace ugf::core {
+
+struct UgfConfig {
+  /// Probability of Strategy 1. The theory holds for any q1 in (0,1).
+  double q1 = 1.0 / 3.0;
+  /// Probability of Strategy 2.k.0 given a type-2 strategy.
+  double q2 = 0.5;
+  /// Delay base tau (> 1). 0 resolves to max(F, 2) at run start — the
+  /// paper's tau = F.
+  std::uint64_t tau = 0;
+  /// false (default): use fixed exponents k = fixed_k, l = fixed_l, as
+  /// in the paper's experiments. true: draw k and l from 6/(pi^2 k^2).
+  bool sample_exponents = false;
+  std::uint32_t fixed_k = 1;
+  std::uint32_t fixed_l = 1;
+  /// Cap for sampled exponents (tail mass collapses onto the cap); keeps
+  /// tau^k representable. Ignored for fixed exponents.
+  std::uint32_t exponent_cap = 8;
+  /// Extension (§VII): replace Strategy 2.k.l's delays with omissions —
+  /// instead of delivering C's messages tau^(k+l) steps late, silently
+  /// discard the first tau^l messages of each C member. Strictly
+  /// stronger: one-shot protocols (Push-Pull, Sequential, BroadcastAll)
+  /// can lose gossips for good, so rumor gathering may fail.
+  bool omission_mode = false;
+};
+
+class UniversalGossipFighter final : public sim::Adversary {
+ public:
+  UniversalGossipFighter(std::uint64_t seed, const UgfConfig& config = {});
+
+  [[nodiscard]] const char* name() const noexcept override { return "ugf"; }
+
+  /// The strategy drawn this run, e.g. "strategy-1" or "strategy-2.1.1".
+  [[nodiscard]] std::string strategy_descriptor() const override {
+    return adversary::to_string(choice_);
+  }
+
+  void on_run_start(sim::AdversaryControl& ctl) override;
+  void on_message_emitted(sim::AdversaryControl& ctl,
+                          const sim::SendEvent& event) override;
+
+  /// The strategy drawn for this run (valid after on_run_start).
+  [[nodiscard]] const adversary::StrategyChoice& chosen_strategy()
+      const noexcept {
+    return choice_;
+  }
+  /// The control set C of this run (valid after on_run_start).
+  [[nodiscard]] const std::vector<sim::ProcessId>& control_set()
+      const noexcept {
+    return control_set_;
+  }
+  /// Strategy 2.k.0 only: the process kept alive and isolated.
+  [[nodiscard]] sim::ProcessId isolated_process() const noexcept {
+    return rho_hat_;
+  }
+  [[nodiscard]] const UgfConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::uint32_t draw_exponent(std::uint32_t fixed);
+
+  util::Rng rng_;
+  UgfConfig config_;
+  util::Zeta2Sampler zeta_;
+  adversary::StrategyChoice choice_;
+  std::vector<sim::ProcessId> control_set_;
+  std::vector<bool> in_control_;
+  sim::ProcessId rho_hat_ = sim::kNoProcess;
+  std::uint64_t omission_quota_ = 0;  ///< per C member, omission mode only
+};
+
+/// Per-run factory for UGF (see adversary::AdversaryFactory).
+class UgfFactory final : public adversary::AdversaryFactory {
+ public:
+  explicit UgfFactory(UgfConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "ugf"; }
+  [[nodiscard]] std::unique_ptr<sim::Adversary> create(
+      std::uint64_t seed) const override {
+    return std::make_unique<UniversalGossipFighter>(seed, config_);
+  }
+
+  [[nodiscard]] const UgfConfig& config() const noexcept { return config_; }
+
+ private:
+  UgfConfig config_;
+};
+
+}  // namespace ugf::core

@@ -1,0 +1,27 @@
+#include "protocols/broadcast_all.hpp"
+
+namespace ugf::protocols {
+
+BroadcastAllProcess::BroadcastAllProcess(sim::ProcessId self,
+                                         const sim::SystemInfo& info)
+    : self_(self), n_(info.n), known_(info.n) {
+  known_.set(self_);
+}
+
+void BroadcastAllProcess::on_message(sim::ProcessContext& /*ctx*/,
+                                     const sim::Message& msg) {
+  if (const auto* gossips = payload_as<GossipSetPayload>(msg))
+    known_.or_with(gossips->gossips());
+}
+
+void BroadcastAllProcess::on_local_step(sim::ProcessContext& ctx) {
+  if (done_) return;
+  util::DynamicBitset own(n_);
+  own.set(self_);
+  const auto payload = std::make_shared<GossipSetPayload>(std::move(own));
+  for (sim::ProcessId q = 0; q < n_; ++q)
+    if (q != self_) ctx.send(q, payload);
+  done_ = true;
+}
+
+}  // namespace ugf::protocols

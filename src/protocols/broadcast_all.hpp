@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file broadcast_all.hpp
+/// The trivial one-round protocol from §I / §III-A: every process sends
+/// its gossip to everyone in its first local step. Constant time,
+/// N(N-1) messages — the "logical limit" corner of the time/message
+/// trade-off that SEARS approaches, and a useful worst-case fixture.
+
+#include <memory>
+
+#include "protocols/payloads.hpp"
+#include "sim/protocol.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::protocols {
+
+class BroadcastAllProcess final : public sim::Protocol {
+ public:
+  BroadcastAllProcess(sim::ProcessId self, const sim::SystemInfo& info);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override { return done_; }
+  [[nodiscard]] bool completed() const noexcept override { return done_; }
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override {
+    return known_.test(origin);
+  }
+
+ private:
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  bool done_ = false;
+  util::DynamicBitset known_;
+};
+
+class BroadcastAllFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "broadcast-all";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<BroadcastAllProcess>(self, info);
+  }
+};
+
+}  // namespace ugf::protocols

@@ -1,0 +1,183 @@
+#include "protocols/ears.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ugf::protocols {
+
+namespace {
+
+std::uint32_t silence_threshold_for(std::uint32_t n, std::uint32_t f,
+                                    double multiplier) {
+  // ceil((N / (N - F)) * ln N) local steps of silence (paper, §V-A.2b).
+  const double ratio =
+      static_cast<double>(n) / static_cast<double>(n - std::min(f, n - 1));
+  const double steps = multiplier * ratio * std::log(static_cast<double>(n));
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::ceil(steps)));
+}
+
+}  // namespace
+
+EarsProcess::EarsProcess(sim::ProcessId self, const sim::SystemInfo& info,
+                         const EarsConfig& config, std::uint32_t fanout)
+    : self_(self),
+      n_(info.n),
+      fanout_(std::clamp<std::uint32_t>(fanout, 1, info.n - 1)),
+      silence_threshold_(
+          silence_threshold_for(info.n, info.f, config.silence_multiplier)),
+      bookkeeping_fallback_(silence_threshold_ *
+                            std::max<std::uint32_t>(1,
+                                                    config.fallback_factor)),
+      // The own-gossip gate must outlast any adversarial silence window:
+      // the isolated rho-hat of Strategy 2.k.0 needs F/2 silent local
+      // steps to exhaust the crash budget, and a delayed process of
+      // Strategy 2.k.l hears its first acknowledgment after tau^(k+l)
+      // global steps = F local steps (tau = F, k = l = 1). F (known to
+      // the protocol, cf. the N/(N-F) timer) plus the bookkeeping
+      // fallback covers both without stretching benign tails to Theta(N).
+      own_fallback_(info.f + bookkeeping_fallback_),
+      gossips_(info.n),
+      knows_(info.n, info.n),
+      seen_versions_(info.n, 0) {
+  gossips_.set(self_);
+  knows_.set(self_, self_);
+}
+
+sim::PayloadPtr EarsProcess::snapshot() {
+  if (!snapshot_)
+    snapshot_ =
+        std::make_shared<KnowledgePayload>(self_, version_, gossips_, knows_);
+  return snapshot_;
+}
+
+void EarsProcess::on_message(sim::ProcessContext& /*ctx*/,
+                             const sim::Message& msg) {
+  const auto* payload = payload_as<KnowledgePayload>(msg);
+  if (payload == nullptr) return;
+  // Snapshot dedup: a slow sender (Strategy 2.k.l) emits the same
+  // (sender, version) snapshot for many steps; merging it again is a
+  // no-op, so skip the word-heavy OR entirely.
+  if (seen_versions_[payload->sender()] >= payload->version()) return;
+  seen_versions_[payload->sender()] = payload->version();
+
+  // Courtesy reply (see class comment): a completed process answers each
+  // first-seen snapshot version once, so stragglers can still collect
+  // the acknowledgments their completion condition needs after the bulk
+  // of the system has quiesced. Deduplication above makes this finite.
+  if (completed_) pending_replies_.push_back(msg.from);
+
+  const bool gossip_news = gossips_.or_with(payload->gossips());
+  bool changed = gossip_news;
+  changed |= knows_.or_with(payload->knows());
+  // Self-acknowledgment: having received these gossips, this process now
+  // knows them — record (self, g) so the fact can spread and the
+  // knowledge condition of our peers can eventually hold.
+  changed |= knows_.or_row_with(self_, gossips_);
+  if (changed) {
+    snapshot_.reset();
+    ++version_;
+  }
+  if (gossip_news) {
+    // Only a genuinely new *gossip* counts as news: it resets the
+    // silence timer and revives a completed process (quiescence is only
+    // promised "unless new information arrives"; late adversarially
+    // delayed gossips must still spread). Acknowledgment-bit updates are
+    // merged and forwarded lazily but neither reset the timer nor wake
+    // anyone — otherwise every bookkeeping ripple would re-excite the
+    // whole system and the fan-out protocols would never quiesce
+    // cheaply.
+    news_pending_ = true;
+    completed_ = false;
+  }
+}
+
+void EarsProcess::on_local_step(sim::ProcessContext& ctx) {
+  if (completed_) {
+    // Woken while quiescent: serve the courtesy replies and go back to
+    // sleep without touching the silence machinery.
+    for (const auto requester : pending_replies_)
+      ctx.send(requester, snapshot());
+    pending_replies_.clear();
+    return;
+  }
+  pending_replies_.clear();  // an active process gossips anyway
+
+  if (news_pending_) {
+    silent_steps_ = 0;
+    news_pending_ = false;
+  } else {
+    ++silent_steps_;
+  }
+
+  // Share (G, I) with `fanout_` distinct uniformly random other processes.
+  if (fanout_ == 1) {
+    auto target = static_cast<sim::ProcessId>(ctx.rng().below(n_ - 1));
+    if (target >= self_) ++target;  // uniform over everyone but self
+    ctx.send(target, snapshot());
+  } else {
+    // Sample from {0..n-2} and shift past self to exclude it.
+    const auto raw = ctx.rng().sample_without_replacement(n_ - 1, fanout_);
+    const auto payload = snapshot();
+    for (const auto r : raw) {
+      const auto target = static_cast<sim::ProcessId>(r >= self_ ? r + 1 : r);
+      ctx.send(target, payload);
+    }
+  }
+
+  if (silent_steps_ >= silence_threshold_ &&
+      (own_gossip_acknowledged() || silent_steps_ >= own_fallback_) &&
+      (knowledge_condition() || silent_steps_ >= bookkeeping_fallback_)) {
+    completed_ = true;
+  }
+}
+
+bool EarsProcess::knowledge_condition() const noexcept {
+  // Every gossip we hold must be known by every process according to I.
+  // Quantified over the processes we have ever seen acknowledge
+  // something (non-empty row): a process that crashed before
+  // acknowledging anything can never satisfy the condition and is
+  // rightly excluded, which keeps the condition satisfiable under
+  // crashes (see the class comment).
+  for (std::uint32_t row = 0; row < n_; ++row) {
+    if (!knows_.row_any(row)) continue;
+    if (!knows_.row_contains(row, gossips_)) return false;
+  }
+  return true;
+}
+
+bool EarsProcess::own_gossip_acknowledged() const noexcept {
+  // Every process ever seen acknowledging something must have
+  // acknowledged this process's own gossip.
+  for (std::uint32_t row = 0; row < n_; ++row) {
+    if (row == self_) continue;
+    if (knows_.row_any(row) && !knows_.test(row, self_)) return false;
+  }
+  return true;
+}
+
+bool EarsProcess::wants_sleep() const noexcept { return completed_; }
+bool EarsProcess::completed() const noexcept { return completed_; }
+
+bool EarsProcess::has_gossip_of(sim::ProcessId origin) const noexcept {
+  return gossips_.test(origin);
+}
+
+std::unique_ptr<sim::Protocol> EarsFactory::create(
+    sim::ProcessId self, const sim::SystemInfo& info) const {
+  return std::make_unique<EarsProcess>(self, info, config_, /*fanout=*/1);
+}
+
+std::uint32_t SearsFactory::fanout_for(std::uint32_t n, double c, double eps) {
+  const double nd = static_cast<double>(n);
+  const double raw = c * std::pow(nd, eps) * std::log(nd);
+  const auto fanout = static_cast<std::uint32_t>(std::ceil(raw));
+  return std::clamp<std::uint32_t>(fanout, 1, n - 1);
+}
+
+std::unique_ptr<sim::Protocol> SearsFactory::create(
+    sim::ProcessId self, const sim::SystemInfo& info) const {
+  return std::make_unique<EarsProcess>(
+      self, info, config_.base, fanout_for(info.n, config_.c, config_.eps));
+}
+
+}  // namespace ugf::protocols

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file ears.hpp
+/// Epidemic Asynchronous Rumor Spreading — EARS (§V-A.2b, after
+/// Georgiou, Gilbert, Guerraoui, Kowalski, PODC 2008) and its spamming
+/// variant SEARS (§V-A.2c).
+///
+/// Every process rho maintains a gossip set G(rho) and the receipt
+/// relation I(rho) = {(rho', g) : rho' knows g}. At each local step it
+/// sends (G, I) to `fanout` processes chosen uniformly at random
+/// (fanout = 1 for EARS; ceil(c * N^eps * ln N) distinct targets for
+/// SEARS, defaults c = 1, eps = 0.5 as in the paper's experiments).
+///
+/// Completion: the paper completes a process after it has received no
+/// new message for ceil((N/(N-F)) * ln N) local steps, provided the
+/// knowledge condition holds — every gossip in G is known by every
+/// process according to I. Stated literally the condition is
+/// unsatisfiable once any process crashes (a crashed process never
+/// acknowledges anything), which would break Quiescence (Def II.2).
+/// This implementation therefore restricts and splits the condition
+/// (see DESIGN.md, "Substitutions"):
+///
+///  * quantification runs over the processes this one has ever seen
+///    acknowledge something (non-empty row in I) — a process that
+///    crashed before acknowledging anything is rightly ignored;
+///  * the *own-gossip* gate — every such process has acknowledged MY
+///    gossip — is the process's primary duty and is only overridden
+///    after max(N, fallback_factor * threshold) silent local steps.
+///    This is what keeps the isolated rho-hat of Strategy 2.k.0 sending
+///    through its F/2-message crash-out phase (F < N), preserving the
+///    paper's linear-time effect;
+///  * the *bookkeeping* gate — every gossip I hold is acknowledged by
+///    every such process — is best-effort and is overridden after
+///    fallback_factor * threshold silent steps, so third-party gaps
+///    created by mid-run crashes or long delays cannot stall the whole
+///    system for Theta(N) steps.
+///
+/// Receiving a message that carries a new *gossip* resets the silence
+/// counter and un-completes a completed process, so late (adversarially
+/// delayed) gossips still disseminate. A *completed* process that
+/// receives a snapshot version it has not seen before answers it with a
+/// single courtesy reply carrying its own snapshot (deduplicated per
+/// (sender, version), hence loop-free and finite): this keeps the
+/// acknowledgment epidemic alive for stragglers whose completion
+/// condition would otherwise starve once the bulk of the system has
+/// quiesced, without the unbounded re-excitation that reviving on every
+/// acknowledgment ripple would cause.
+
+#include <cstdint>
+#include <memory>
+
+#include "protocols/payloads.hpp"
+#include "sim/protocol.hpp"
+#include "util/bitset2d.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::protocols {
+
+struct EarsConfig {
+  /// Silence threshold multiplier k in k * (N/(N-F)) * ln N; the paper
+  /// uses k = 1.
+  double silence_multiplier = 1.0;
+  /// Quiescence fallback multiplier (must be >= 1): the bookkeeping gate
+  /// yields after fallback_factor * threshold silent local steps, the
+  /// own-gossip gate after max(N, fallback_factor * threshold).
+  std::uint32_t fallback_factor = 3;
+};
+
+struct SearsConfig {
+  EarsConfig base;
+  /// Fan-out coefficient c (paper: 1).
+  double c = 1.0;
+  /// Fan-out exponent eps in c * N^eps * ln N (paper: 0.5).
+  double eps = 0.5;
+};
+
+/// Shared implementation; EARS is fanout == 1.
+class EarsProcess : public sim::Protocol {
+ public:
+  EarsProcess(sim::ProcessId self, const sim::SystemInfo& info,
+              const EarsConfig& config, std::uint32_t fanout);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override;
+  [[nodiscard]] bool completed() const noexcept override;
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override;
+
+  /// White-box accessors for tests.
+  [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {
+    return gossips_;
+  }
+  [[nodiscard]] const util::Bitset2D& knows() const noexcept { return knows_; }
+  [[nodiscard]] std::uint32_t silence_threshold() const noexcept {
+    return silence_threshold_;
+  }
+  [[nodiscard]] bool knowledge_condition() const noexcept;
+  [[nodiscard]] bool own_gossip_acknowledged() const noexcept;
+
+ private:
+  [[nodiscard]] sim::PayloadPtr snapshot();
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint32_t fanout_;
+  std::uint32_t silence_threshold_;
+  std::uint32_t bookkeeping_fallback_;
+  std::uint32_t own_fallback_;
+
+  util::DynamicBitset gossips_;  ///< G(rho)
+  util::Bitset2D knows_;         ///< I(rho): row = knower, col = gossip
+  std::uint32_t silent_steps_ = 0;
+  bool news_pending_ = false;  ///< state changed since last local step
+  bool completed_ = false;
+  std::uint64_t version_ = 1;  ///< state-change counter for snapshot dedup
+  /// Last merged snapshot version per sender (0 = none yet); lets
+  /// receivers skip re-merging identical snapshots from slow senders.
+  std::vector<std::uint64_t> seen_versions_;
+  /// Senders owed a courtesy reply at the next (wake) step.
+  std::vector<sim::ProcessId> pending_replies_;
+  std::shared_ptr<const KnowledgePayload> snapshot_;  ///< invalidated on change
+};
+
+class EarsFactory final : public sim::ProtocolFactory {
+ public:
+  explicit EarsFactory(EarsConfig config = {}) : config_(config) {}
+  [[nodiscard]] const char* name() const noexcept override { return "ears"; }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override;
+
+ private:
+  EarsConfig config_;
+};
+
+class SearsFactory final : public sim::ProtocolFactory {
+ public:
+  explicit SearsFactory(SearsConfig config = {}) : config_(config) {}
+  [[nodiscard]] const char* name() const noexcept override { return "sears"; }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override;
+
+  /// The SEARS per-step fan-out ceil(c * n^eps * ln n), clamped to
+  /// [1, n-1]; exposed for tests and reports.
+  [[nodiscard]] static std::uint32_t fanout_for(std::uint32_t n, double c,
+                                                double eps);
+
+ private:
+  SearsConfig config_;
+};
+
+}  // namespace ugf::protocols

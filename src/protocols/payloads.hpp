@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file payloads.hpp
+/// Message payload types shared by the bundled all-to-all gossip
+/// protocols. Payloads are immutable; a sender that fans the same state
+/// out to many receivers (SEARS) shares one allocation. Message
+/// complexity ignores payload size (Def II.3), so carrying a whole
+/// knowledge snapshot still counts as a single message.
+
+#include <memory>
+
+#include "sim/message.hpp"
+#include "util/bitset2d.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::protocols {
+
+/// A pull request (Push-Pull): "please send me everything you know".
+class PullRequestPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x50554C4C;  // 'PULL'
+
+  PullRequestPayload() noexcept : Payload(kKind) {}
+};
+
+/// A set of gossips, identified by the originating process of each
+/// gossip (bit g set == "the gossip that originated at process g").
+class GossipSetPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x474F5353;  // 'GOSS'
+
+  explicit GossipSetPayload(util::DynamicBitset gossips)
+      : Payload(kKind), gossips_(std::move(gossips)) {}
+
+  [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {
+    return gossips_;
+  }
+
+ private:
+  util::DynamicBitset gossips_;
+};
+
+/// An EARS/SEARS knowledge snapshot: the sender's gossip set G and its
+/// receipt relation I = {(rho', g) : rho' knows g} (row = knower,
+/// column = gossip). `saturated()` is precomputed so receivers that are
+/// already saturated can skip the merge entirely.
+class KnowledgePayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x4B4E4F57;  // 'KNOW'
+
+  /// (sender, version) identifies the snapshot content: `version` is the
+  /// sender's state-change counter. Receivers use it to skip re-merging
+  /// a snapshot they have already absorbed — under Strategy 2.k.l a slow
+  /// sender emits the *same* snapshot for many steps.
+  KnowledgePayload(sim::ProcessId sender, std::uint64_t version,
+                   util::DynamicBitset gossips, util::Bitset2D knows)
+      : Payload(kKind),
+        gossips_(std::move(gossips)),
+        knows_(std::move(knows)),
+        version_(version),
+        sender_(sender) {}
+
+  [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {
+    return gossips_;
+  }
+  [[nodiscard]] const util::Bitset2D& knows() const noexcept { return knows_; }
+  [[nodiscard]] sim::ProcessId sender() const noexcept { return sender_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  util::DynamicBitset gossips_;
+  util::Bitset2D knows_;
+  std::uint64_t version_;
+  sim::ProcessId sender_;
+};
+
+}  // namespace ugf::protocols

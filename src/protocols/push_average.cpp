@@ -1,0 +1,150 @@
+#include "protocols/push_average.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/message.hpp"
+
+namespace ugf::protocols {
+
+namespace {
+
+std::uint32_t silence_threshold_for(std::uint32_t n, std::uint32_t f,
+                                    double multiplier) {
+  const double ratio =
+      static_cast<double>(n) / static_cast<double>(n - std::min(f, n - 1));
+  const double steps = multiplier * ratio * std::log(static_cast<double>(n));
+  return std::max<std::uint32_t>(1,
+                                 static_cast<std::uint32_t>(std::ceil(steps)));
+}
+
+}  // namespace
+
+PushAverageProcess::PushAverageProcess(sim::ProcessId self,
+                                       const sim::SystemInfo& info,
+                                       const PushAverageConfig& config,
+                                       std::vector<double> initial)
+    : self_(self),
+      n_(info.n),
+      // F + 2 distinct targets: at most F can ever be crashed, so at
+      // least two floor pushes deterministically reach live processes.
+      min_sends_(std::min<std::uint64_t>(std::uint64_t{info.f} + 2,
+                                         info.n - 1)),
+      silence_threshold_(
+          silence_threshold_for(info.n, info.f, config.silence_multiplier)),
+      s_(std::move(initial)),
+      origins_(info.n),
+      courtesy_budget_(2 * silence_threshold_) {
+  origins_.set(self_);
+}
+
+void PushAverageProcess::on_message(sim::ProcessContext& /*ctx*/,
+                                    const sim::Message& msg) {
+  const auto* mass = payload_as<MassPayload>(msg);
+  if (mass == nullptr) return;
+  for (std::size_t j = 0; j < s_.size() && j < mass->s().size(); ++j)
+    s_[j] += mass->s()[j];
+  w_ += mass->w();
+  if (origins_.or_with(mass->origins())) {
+    news_pending_ = true;
+    // A brand-new contribution (e.g. the isolated process finally
+    // breaking through) must keep spreading: resume gossiping until the
+    // silence timer expires again. Mass-only deliveries are absorbed
+    // silently — the sender halved its share regardless, so the global
+    // sums stay conserved either way.
+    completed_ = false;
+  } else if (completed_ && courtesy_budget_ > 0) {
+    // Courtesy push (see class comment): a straggler still gossiping at
+    // us is probably missing origins we hold; push once back to it.
+    reply_to_ = msg.from;
+  }
+}
+
+void PushAverageProcess::on_local_step(sim::ProcessContext& ctx) {
+  if (completed_) {
+    if (reply_to_ != sim::kNoProcess && courtesy_budget_ > 0) {
+      --courtesy_budget_;
+      std::vector<double> half(s_.size());
+      for (std::size_t j = 0; j < s_.size(); ++j) {
+        s_[j] *= 0.5;
+        half[j] = s_[j];
+      }
+      w_ *= 0.5;
+      ctx.send(reply_to_, std::make_shared<MassPayload>(std::move(half), w_,
+                                                        origins_));
+    }
+    reply_to_ = sim::kNoProcess;
+    return;
+  }
+  reply_to_ = sim::kNoProcess;
+
+  if (news_pending_) {
+    silent_steps_ = 0;
+    news_pending_ = false;
+  } else {
+    ++silent_steps_;
+  }
+
+  // Halve (s, w) and push one half: the first min_sends_ pushes follow
+  // a shuffled list of distinct targets (the deterministic robustness
+  // floor), later ones pick uniformly at random.
+  std::vector<double> half(s_.size());
+  for (std::size_t j = 0; j < s_.size(); ++j) {
+    s_[j] *= 0.5;
+    half[j] = s_[j];
+  }
+  w_ *= 0.5;
+  sim::ProcessId target;
+  if (sent_ < min_sends_) {
+    if (floor_targets_.empty()) {
+      floor_targets_.reserve(n_ - 1);
+      for (sim::ProcessId q = 0; q < n_; ++q)
+        if (q != self_) floor_targets_.push_back(q);
+      ctx.rng().shuffle(floor_targets_);
+    }
+    target = floor_targets_[static_cast<std::size_t>(sent_)];
+  } else {
+    target = static_cast<sim::ProcessId>(ctx.rng().below(n_ - 1));
+    if (target >= self_) ++target;
+  }
+  ctx.send(target, std::make_shared<MassPayload>(std::move(half), w_,
+                                                 origins_));
+  ++sent_;
+
+  if (sent_ >= min_sends_ && silent_steps_ >= silence_threshold_)
+    completed_ = true;
+}
+
+bool PushAverageProcess::wants_sleep() const noexcept { return completed_; }
+bool PushAverageProcess::completed() const noexcept { return completed_; }
+
+bool PushAverageProcess::has_gossip_of(
+    sim::ProcessId origin) const noexcept {
+  return origins_.test(origin);
+}
+
+std::vector<double> PushAverageProcess::estimate() const {
+  std::vector<double> out(s_.size());
+  for (std::size_t j = 0; j < s_.size(); ++j) out[j] = s_[j] / w_;
+  return out;
+}
+
+std::vector<double> PushAverageFactory::default_initializer(
+    sim::ProcessId self, std::uint32_t dimension) {
+  std::vector<double> x(dimension);
+  for (std::uint32_t j = 0; j < dimension; ++j)
+    x[j] = static_cast<double>(self + 1) * static_cast<double>(j + 1);
+  return x;
+}
+
+std::unique_ptr<sim::Protocol> PushAverageFactory::create(
+    sim::ProcessId self, const sim::SystemInfo& info) const {
+  auto initial = initializer_ != nullptr
+                     ? initializer_(self, config_.dimension)
+                     : default_initializer(self, config_.dimension);
+  initial.resize(config_.dimension, 0.0);
+  return std::make_unique<PushAverageProcess>(self, info, config_,
+                                              std::move(initial));
+}
+
+}  // namespace ugf::protocols

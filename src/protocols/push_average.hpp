@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file push_average.hpp
+/// Push-sum gossip averaging (after Kempe, Dobra, Gehrke FOCS'03) cast
+/// as an all-to-all gossip protocol — the substrate for the paper's
+/// §VII collaborative-learning scenario, where UGF models "an
+/// adversarial system provider that fights against the design of
+/// personalized machine learning models by slowing the network".
+///
+/// Every process holds a model vector x_i and maintains push-sum mass
+/// (s, w), initially (x_i, 1). Per local step it keeps half of (s, w)
+/// and sends the other half to one uniformly random peer; merging is
+/// addition. The running estimate s/w converges to the average of the
+/// surviving contributions. Each message also carries the union of
+/// contributing origins, which makes the protocol a bona-fide
+/// all-to-all gossip (the "gossip" of process i is its contribution;
+/// has_gossip_of(i) == "my estimate incorporates x_i").
+///
+/// Completion: a process keeps gossiping until (a) it has pushed to at
+/// least `min(F + 2, N - 1)` *distinct* targets (in a random order) —
+/// at most F processes can ever be crashed, so at least two of those
+/// pushes deterministically reach live processes even when Strategy
+/// 2.k.0 spends its whole budget crashing this process's receivers —
+/// and (b) it has seen no new origin for ceil((N/(N-F)) ln N) local
+/// steps. A sleeping process absorbs late (delayed) mass silently, but a
+/// delivery carrying a brand-new origin resumes it, so late-breaking
+/// contributions keep spreading (rumor gathering holds even under the
+/// isolation strategy). A completed process additionally answers a small
+/// bounded number of incoming pushes with one push back to the sender:
+/// a straggler that is still missing an origin keeps soliciting the
+/// (long since completed) rest of the system and receives the missing
+/// origin set with the reply; the bounded budget keeps quiescence. Mass
+/// stays conserved throughout because a sender always halves its own
+/// share regardless of the receiver's state.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::protocols {
+
+/// Push-sum mass in flight.
+class MassPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x4D415353;  // 'MASS'
+
+  MassPayload(std::vector<double> s, double w, util::DynamicBitset origins)
+      : Payload(kKind), s_(std::move(s)), w_(w), origins_(std::move(origins)) {}
+
+  [[nodiscard]] const std::vector<double>& s() const noexcept { return s_; }
+  [[nodiscard]] double w() const noexcept { return w_; }
+  [[nodiscard]] const util::DynamicBitset& origins() const noexcept {
+    return origins_;
+  }
+
+ private:
+  std::vector<double> s_;
+  double w_;
+  util::DynamicBitset origins_;
+};
+
+struct PushAverageConfig {
+  /// Model dimension (each process contributes a vector of this size).
+  std::uint32_t dimension = 1;
+  /// Silence threshold multiplier (as in EARS). Push-average has no
+  /// acknowledgment machinery, so it defaults to a longer window than
+  /// EARS to keep origin gathering reliable.
+  double silence_multiplier = 2.0;
+};
+
+class PushAverageProcess final : public sim::Protocol {
+ public:
+  PushAverageProcess(sim::ProcessId self, const sim::SystemInfo& info,
+                     const PushAverageConfig& config,
+                     std::vector<double> initial);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override;
+  [[nodiscard]] bool completed() const noexcept override;
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override;
+
+  /// Current model estimate s/w (well-defined: w > 0 always).
+  [[nodiscard]] std::vector<double> estimate() const;
+  [[nodiscard]] double weight() const noexcept { return w_; }
+  [[nodiscard]] std::uint64_t min_sends() const noexcept { return min_sends_; }
+  [[nodiscard]] std::uint32_t silence_threshold() const noexcept {
+    return silence_threshold_;
+  }
+
+ private:
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint64_t min_sends_;
+  std::uint32_t silence_threshold_;
+  std::vector<double> s_;
+  double w_ = 1.0;
+  util::DynamicBitset origins_;
+  std::uint64_t sent_ = 0;
+  std::uint32_t silent_steps_ = 0;
+  bool news_pending_ = false;
+  bool completed_ = false;
+  std::uint32_t courtesy_budget_;          ///< replies left while completed
+  sim::ProcessId reply_to_ = sim::kNoProcess;  ///< pending courtesy target
+  /// Shuffled distinct targets for the first min_sends_ pushes (lazily
+  /// initialised from the process's own random stream).
+  std::vector<sim::ProcessId> floor_targets_;
+};
+
+/// Factory; initial contributions are produced by a deterministic
+/// per-process generator so runs stay a pure function of the seed.
+class PushAverageFactory final : public sim::ProtocolFactory {
+ public:
+  using Initializer =
+      std::vector<double> (*)(sim::ProcessId self, std::uint32_t dimension);
+
+  explicit PushAverageFactory(PushAverageConfig config = {},
+                              Initializer initializer = nullptr)
+      : config_(config), initializer_(initializer) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "push-average";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override;
+
+  /// Default contribution: dimension-d vector with entries
+  /// (self + 1) * (j + 1), a spread-out deterministic profile whose
+  /// exact average is easy to compute in tests.
+  static std::vector<double> default_initializer(sim::ProcessId self,
+                                                 std::uint32_t dimension);
+
+ private:
+  PushAverageConfig config_;
+  Initializer initializer_;
+};
+
+}  // namespace ugf::protocols

@@ -1,0 +1,93 @@
+#include "protocols/push_pull.hpp"
+
+namespace ugf::protocols {
+
+PushPullProcess::PushPullProcess(sim::ProcessId self,
+                                 const sim::SystemInfo& info)
+    : self_(self),
+      n_(info.n),
+      known_(info.n),
+      pulled_(info.n),
+      served_(info.n) {
+  known_.set(self_);
+  // Never pull or push to oneself.
+  pulled_.set(self_);
+  served_.set(self_);
+}
+
+sim::PayloadPtr PushPullProcess::known_snapshot() {
+  if (!snapshot_) snapshot_ = std::make_shared<GossipSetPayload>(known_);
+  return snapshot_;
+}
+
+void PushPullProcess::on_message(sim::ProcessContext& /*ctx*/,
+                                 const sim::Message& msg) {
+  if (payload_as<PullRequestPayload>(msg) != nullptr) {
+    pending_replies_.push_back(msg.from);
+    return;
+  }
+  if (const auto* gossips = payload_as<GossipSetPayload>(msg)) {
+    if (known_.or_with(gossips->gossips())) snapshot_.reset();
+  }
+}
+
+void PushPullProcess::on_local_step(sim::ProcessContext& ctx) {
+  // 1. Answer pull requests with everything we know.
+  for (const sim::ProcessId requester : pending_replies_) {
+    ctx.send(requester, known_snapshot());
+    served_.set(requester);  // the reply carries our own gossip
+  }
+  pending_replies_.clear();
+
+  // Once the sleep condition holds (every other process known or
+  // pull-requested) the process stops *initiating* traffic for good; a
+  // wake-up only merges gossips and answers pull requests. Without this
+  // guard a single push would chain wake-ups through the whole system
+  // and the benign dissemination would degenerate to Theta(N^2) time.
+  if (satisfied()) return;
+
+  // 2. Pull: one request to a uniformly random process whose gossip we
+  //    miss and have not asked yet.
+  std::vector<sim::ProcessId> pull_candidates;
+  pull_candidates.reserve(n_);
+  for (sim::ProcessId q = 0; q < n_; ++q)
+    if (!known_.test(q) && !pulled_.test(q)) pull_candidates.push_back(q);
+  if (!pull_candidates.empty()) {
+    const auto pick = pull_candidates[static_cast<std::size_t>(
+        ctx.rng().below(pull_candidates.size()))];
+    ctx.send(pick, std::make_shared<PullRequestPayload>());
+    pulled_.set(pick);
+  }
+
+  // 3. Push: everything we know to a uniformly random process that has
+  //    not received our gossip from us yet.
+  std::vector<sim::ProcessId> push_candidates;
+  push_candidates.reserve(n_);
+  for (sim::ProcessId q = 0; q < n_; ++q)
+    if (!served_.test(q)) push_candidates.push_back(q);
+  if (!push_candidates.empty()) {
+    const auto pick = push_candidates[static_cast<std::size_t>(
+        ctx.rng().below(push_candidates.size()))];
+    ctx.send(pick, known_snapshot());
+    served_.set(pick);
+  }
+}
+
+bool PushPullProcess::satisfied() const noexcept {
+  // Every other process is either known or already pull-requested.
+  // known_ and pulled_ both have the self bit set, so the union covering
+  // everything is exactly the paper's sleep condition.
+  return util::DynamicBitset::union_all(known_, pulled_);
+}
+
+bool PushPullProcess::wants_sleep() const noexcept {
+  return pending_replies_.empty() && satisfied();
+}
+
+bool PushPullProcess::completed() const noexcept { return wants_sleep(); }
+
+bool PushPullProcess::has_gossip_of(sim::ProcessId origin) const noexcept {
+  return known_.test(origin);
+}
+
+}  // namespace ugf::protocols

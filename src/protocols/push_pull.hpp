@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file push_pull.hpp
+/// The Push-Pull all-to-all gossip protocol (§V-A.2a, after Karp et
+/// al., FOCS 2000).
+///
+/// Per local step every process:
+///  1. answers each pull request delivered since its previous step with
+///     a message containing every gossip it knows;
+///  2. sends a pull request to one process chosen uniformly among those
+///     whose gossip it does not know *and* that it has not already
+///     pull-requested;
+///  3. pushes every gossip it knows to one process chosen uniformly
+///     among those to which it has not yet sent its own gossip (pushes
+///     and pull replies both carry the sender's own gossip, so both mark
+///     the receiver as served).
+///
+/// A process falls asleep once, for every other process, it has either
+/// pull-requested it or knows its gossip, and no replies are pending
+/// (the paper's sleep rule). A later delivery wakes it: new gossips are
+/// merged and fresh pull requests may be answered.
+
+#include <memory>
+#include <vector>
+
+#include "protocols/payloads.hpp"
+#include "sim/protocol.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::protocols {
+
+class PushPullProcess final : public sim::Protocol {
+ public:
+  PushPullProcess(sim::ProcessId self, const sim::SystemInfo& info);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override;
+  [[nodiscard]] bool completed() const noexcept override;
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override;
+
+  /// Exposed for white-box tests.
+  [[nodiscard]] const util::DynamicBitset& known() const noexcept {
+    return known_;
+  }
+  [[nodiscard]] const util::DynamicBitset& pulled() const noexcept {
+    return pulled_;
+  }
+
+ private:
+  [[nodiscard]] bool satisfied() const noexcept;
+  [[nodiscard]] sim::PayloadPtr known_snapshot();
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  util::DynamicBitset known_;   ///< gossips held (bit = origin)
+  util::DynamicBitset pulled_;  ///< processes already pull-requested
+  util::DynamicBitset served_;  ///< processes that received our gossip
+  std::vector<sim::ProcessId> pending_replies_;
+  std::shared_ptr<const GossipSetPayload> snapshot_;  ///< cache, invalidated on change
+};
+
+class PushPullFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "push-pull";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<PushPullProcess>(self, info);
+  }
+};
+
+}  // namespace ugf::protocols

@@ -1,0 +1,31 @@
+#include "protocols/registry.hpp"
+
+#include <stdexcept>
+
+#include "protocols/broadcast_all.hpp"
+#include "protocols/push_average.hpp"
+#include "protocols/ears.hpp"
+#include "protocols/push_pull.hpp"
+#include "protocols/sequential.hpp"
+
+namespace ugf::protocols {
+
+std::unique_ptr<sim::ProtocolFactory> make_protocol(std::string_view name) {
+  if (name == "push-pull" || name == "push_pull")
+    return std::make_unique<PushPullFactory>();
+  if (name == "ears") return std::make_unique<EarsFactory>();
+  if (name == "sears") return std::make_unique<SearsFactory>();
+  if (name == "sequential") return std::make_unique<SequentialFactory>();
+  if (name == "broadcast-all" || name == "broadcast_all")
+    return std::make_unique<BroadcastAllFactory>();
+  if (name == "push-average" || name == "push_average")
+    return std::make_unique<PushAverageFactory>();
+  throw std::invalid_argument("unknown protocol: " + std::string(name));
+}
+
+std::vector<std::string> protocol_names() {
+  return {"push-pull", "ears",           "sears",
+          "sequential", "broadcast-all", "push-average"};
+}
+
+}  // namespace ugf::protocols

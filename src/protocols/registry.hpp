@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name-based construction of the bundled protocols, used by benches,
+/// examples and sweep configurations ("push-pull", "ears", "sears",
+/// "sequential", "broadcast-all").
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace ugf::protocols {
+
+/// Creates the factory registered under `name`; throws
+/// std::invalid_argument for unknown names. Accepted spellings are
+/// case-sensitive and use dashes ("push-pull").
+[[nodiscard]] std::unique_ptr<sim::ProtocolFactory> make_protocol(
+    std::string_view name);
+
+/// All registered protocol names.
+[[nodiscard]] std::vector<std::string> protocol_names();
+
+}  // namespace ugf::protocols

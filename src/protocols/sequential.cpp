@@ -1,0 +1,37 @@
+#include "protocols/sequential.hpp"
+
+namespace ugf::protocols {
+
+SequentialProcess::SequentialProcess(sim::ProcessId self,
+                                     const sim::SystemInfo& info)
+    : self_(self), n_(info.n), known_(info.n) {
+  known_.set(self_);
+  util::DynamicBitset own(n_);
+  own.set(self_);
+  own_gossip_ = std::make_shared<GossipSetPayload>(std::move(own));
+}
+
+void SequentialProcess::on_message(sim::ProcessContext& /*ctx*/,
+                                   const sim::Message& msg) {
+  if (const auto* gossips = payload_as<GossipSetPayload>(msg))
+    known_.or_with(gossips->gossips());
+}
+
+void SequentialProcess::on_local_step(sim::ProcessContext& ctx) {
+  if (next_offset_ >= n_) return;  // all N-1 sends done; woken for merges only
+  const auto target = static_cast<sim::ProcessId>((self_ + next_offset_) % n_);
+  ctx.send(target, own_gossip_);
+  ++next_offset_;
+}
+
+bool SequentialProcess::wants_sleep() const noexcept {
+  return next_offset_ >= n_;
+}
+
+bool SequentialProcess::completed() const noexcept { return wants_sleep(); }
+
+bool SequentialProcess::has_gossip_of(sim::ProcessId origin) const noexcept {
+  return known_.test(origin);
+}
+
+}  // namespace ugf::protocols

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file sequential.hpp
+/// The deterministic protocol of the paper's Example 1: every process
+/// fixes an order over the other processes and sends its own gossip to
+/// one of them per local step, for N-1 steps. It has
+/// M(O) = N(N-1) = Theta(N^2) and T(O) = Theta(N) for every outcome —
+/// the paper's reference point for an inefficient dissemination — and,
+/// being deterministic, it anchors the metric-pipeline unit tests.
+
+#include <memory>
+
+#include "protocols/payloads.hpp"
+#include "sim/protocol.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::protocols {
+
+class SequentialProcess final : public sim::Protocol {
+ public:
+  SequentialProcess(sim::ProcessId self, const sim::SystemInfo& info);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override;
+  [[nodiscard]] bool completed() const noexcept override;
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override;
+
+ private:
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint32_t next_offset_ = 1;  ///< send to (self + next_offset) mod n
+  util::DynamicBitset known_;
+  std::shared_ptr<const GossipSetPayload> own_gossip_;
+};
+
+class SequentialFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "sequential";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<SequentialProcess>(self, info);
+  }
+};
+
+}  // namespace ugf::protocols

@@ -1,0 +1,59 @@
+#include "runner/monte_carlo.hpp"
+
+#include "util/rng.hpp"
+
+namespace ugf::runner {
+
+RunRecord MonteCarloRunner::run_once(
+    const RunSpec& spec, std::uint32_t run_index,
+    const sim::ProtocolFactory& protocol,
+    const adversary::AdversaryFactory& adversary) {
+  const std::uint64_t run_seed = util::mix_seed(spec.base_seed, run_index);
+  const std::uint64_t adversary_seed = util::mix_seed(run_seed, 0xAD7E25A27ull);
+
+  sim::EngineConfig config;
+  config.n = spec.n;
+  config.f = spec.f;
+  config.seed = run_seed;
+  config.max_steps = spec.max_steps;
+  config.max_events = spec.max_events;
+
+  const auto instance = adversary.create(adversary_seed);
+  sim::Engine engine(config, protocol, instance.get());
+
+  RunRecord record;
+  record.outcome = engine.run();
+  record.seed = run_seed;
+  record.strategy =
+      instance ? instance->strategy_descriptor() : std::string("none");
+  return record;
+}
+
+BatchResult MonteCarloRunner::run_batch(
+    const RunSpec& spec, const sim::ProtocolFactory& protocol,
+    const adversary::AdversaryFactory& adversary) {
+  BatchResult result;
+  result.runs.resize(spec.runs);
+
+  pool_.parallel_for(spec.runs, [&](std::size_t i) {
+    result.runs[i] =
+        run_once(spec, static_cast<std::uint32_t>(i), protocol, adversary);
+  });
+
+  std::vector<double> messages;
+  std::vector<double> times;
+  messages.reserve(spec.runs);
+  times.reserve(spec.runs);
+  for (const auto& record : result.runs) {
+    messages.push_back(static_cast<double>(record.outcome.total_messages));
+    times.push_back(record.outcome.time_complexity);
+    ++result.strategy_counts[record.strategy];
+    if (!record.outcome.rumor_gathering_ok) ++result.rumor_failures;
+    if (record.outcome.truncated) ++result.truncated;
+  }
+  result.messages = analysis::summarize(std::move(messages));
+  result.time = analysis::summarize(std::move(times));
+  return result;
+}
+
+}  // namespace ugf::runner

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file monte_carlo.hpp
+/// Seeded repeated-run execution. One batch = `runs` independent
+/// simulations of (protocol, adversary) at fixed (N, F); run i derives
+/// its engine and adversary seeds deterministically from the batch's
+/// base seed, so batches are reproducible bit-for-bit regardless of the
+/// thread count.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/factory.hpp"
+#include "analysis/statistics.hpp"
+#include "sim/engine.hpp"
+#include "sim/outcome.hpp"
+#include "sim/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ugf::runner {
+
+struct RunSpec {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::uint32_t runs = 1;
+  std::uint64_t base_seed = 0x5EEDBA5Eull;
+  sim::GlobalStep max_steps = 1'000'000'000'000ull;
+  std::uint64_t max_events = 50'000'000ull;
+};
+
+/// One run's outcome plus provenance.
+struct RunRecord {
+  sim::Outcome outcome;
+  std::uint64_t seed = 0;
+  /// The adversary's per-run strategy descriptor ("none",
+  /// "strategy-2.1.1", ...).
+  std::string strategy;
+};
+
+/// Aggregate of a batch.
+struct BatchResult {
+  std::vector<RunRecord> runs;
+  analysis::Summary messages;  ///< over M(O)
+  analysis::Summary time;      ///< over T(O)
+  /// How often each strategy descriptor occurred (interesting for UGF).
+  std::map<std::string, std::size_t> strategy_counts;
+  std::size_t rumor_failures = 0;
+  std::size_t truncated = 0;
+};
+
+/// Executes batches on an internal thread pool.
+class MonteCarloRunner {
+ public:
+  /// threads == 0 -> hardware concurrency.
+  explicit MonteCarloRunner(std::size_t threads = 0) : pool_(threads) {}
+
+  /// Runs the batch; deterministic in spec.base_seed.
+  [[nodiscard]] BatchResult run_batch(
+      const RunSpec& spec, const sim::ProtocolFactory& protocol,
+      const adversary::AdversaryFactory& adversary);
+
+  /// Executes a single run (convenience for examples/tests).
+  [[nodiscard]] static RunRecord run_once(
+      const RunSpec& spec, std::uint32_t run_index,
+      const sim::ProtocolFactory& protocol,
+      const adversary::AdversaryFactory& adversary);
+
+ private:
+  util::ThreadPool pool_;
+};
+
+}  // namespace ugf::runner

@@ -1,0 +1,240 @@
+#include "runner/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include <fstream>
+
+#include "analysis/compare.hpp"
+#include "analysis/regression.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace ugf::runner {
+
+namespace {
+
+std::string format_value(double v) {
+  std::ostringstream os;
+  if (v == 0.0) {
+    os << "0";
+  } else if (std::abs(v) >= 1e6) {
+    os << std::scientific << std::setprecision(2) << v;
+  } else if (std::abs(v) >= 100.0) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(2) << v;
+  }
+  return os.str();
+}
+
+const analysis::Summary& metric_summary(const CurvePoint& point,
+                                        Metric metric) {
+  return metric == Metric::kTime ? point.time : point.messages;
+}
+
+std::string cell(const CurvePoint& point, Metric metric) {
+  const auto& s = metric_summary(point, metric);
+  return format_value(s.median) + " [" + format_value(s.q1) + ", " +
+         format_value(s.q3) + "]";
+}
+
+}  // namespace
+
+const char* to_string(Metric metric) noexcept {
+  return metric == Metric::kTime ? "time" : "messages";
+}
+
+void print_figure(std::ostream& out, const std::string& title,
+                  const std::vector<Curve>& curves, Metric metric) {
+  out << "=== " << title << " ===\n";
+  out << "metric: " << to_string(metric)
+      << " complexity, median [Q1, Q3] over runs\n\n";
+  if (curves.empty() || curves.front().points.empty()) {
+    out << "(no data)\n";
+    return;
+  }
+
+  // Column widths.
+  std::vector<std::size_t> widths;
+  widths.push_back(6);  // "N"
+  for (const auto& curve : curves) {
+    std::size_t w = curve.label.size();
+    for (const auto& point : curve.points)
+      w = std::max(w, cell(point, metric).size());
+    widths.push_back(w + 2);
+  }
+
+  out << std::left << std::setw(static_cast<int>(widths[0])) << "N";
+  for (std::size_t c = 0; c < curves.size(); ++c)
+    out << std::setw(static_cast<int>(widths[c + 1])) << curves[c].label;
+  out << "\n";
+
+  const std::size_t rows = curves.front().points.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << std::setw(static_cast<int>(widths[0]))
+        << curves.front().points[r].n;
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      const std::string text = r < curves[c].points.size()
+                                   ? cell(curves[c].points[r], metric)
+                                   : std::string("-");
+      out << std::setw(static_cast<int>(widths[c + 1])) << text;
+    }
+    out << "\n";
+  }
+  out << "\n";
+  print_growth_summary(out, curves, metric);
+}
+
+void print_growth_summary(std::ostream& out, const std::vector<Curve>& curves,
+                          Metric metric) {
+  out << "growth in N (power-law exponent of the median series):\n";
+  for (const auto& curve : curves) {
+    if (curve.points.size() < 4) {
+      out << "  " << curve.label << ": (too few points)\n";
+      continue;
+    }
+    const auto xs = curve.ns();
+    const auto ys = metric == Metric::kTime ? curve.time_medians()
+                                            : curve.message_medians();
+    bool positive = true;
+    for (const double y : ys) positive &= (y > 0.0);
+    if (!positive) {
+      out << "  " << curve.label << ": (non-positive values)\n";
+      continue;
+    }
+    const double b = analysis::growth_exponent(xs, ys);
+    const auto cls = analysis::classify_growth(xs, ys);
+    out << "  " << curve.label << ": exponent " << std::fixed
+        << std::setprecision(2) << b << " -> " << analysis::to_string(cls)
+        << "\n";
+  }
+  out << "\n";
+}
+
+void print_dominance(std::ostream& out, const Curve& baseline,
+                     const Curve& attacked, Metric metric) {
+  out << "dominance of '" << attacked.label << "' over '" << baseline.label
+      << "' (" << to_string(metric) << "): median [95% CI], one-sided "
+      << "Mann-Whitney z, effect P[attacked > baseline]\n";
+  const std::size_t rows =
+      std::min(baseline.points.size(), attacked.points.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto& base_point = baseline.points[r];
+    const auto& att_point = attacked.points[r];
+    const auto& base_samples = metric == Metric::kTime
+                                   ? base_point.time_samples
+                                   : base_point.message_samples;
+    const auto& att_samples = metric == Metric::kTime
+                                  ? att_point.time_samples
+                                  : att_point.message_samples;
+    if (base_samples.empty() || att_samples.empty()) continue;
+    const auto base_ci = analysis::bootstrap_median_ci(base_samples);
+    const auto att_ci = analysis::bootstrap_median_ci(att_samples);
+    const auto mw = analysis::mann_whitney_greater(att_samples, base_samples);
+    out << "  N=" << base_point.n << ": baseline " << format_value(base_ci.point)
+        << " [" << format_value(base_ci.low) << ", "
+        << format_value(base_ci.high) << "], attacked "
+        << format_value(att_ci.point) << " [" << format_value(att_ci.low)
+        << ", " << format_value(att_ci.high) << "], z="
+        << format_value(mw.z) << ", effect=" << format_value(mw.effect_size)
+        << "\n";
+  }
+  out << "\n";
+}
+
+void print_strategy_histogram(std::ostream& out,
+                              const std::vector<Curve>& curves) {
+  std::map<std::string, std::size_t> totals;
+  for (const auto& curve : curves)
+    for (const auto& point : curve.points)
+      for (const auto& [strategy, count] : point.strategy_counts)
+        totals[strategy] += count;
+  out << "strategy histogram (all curves, all grid points):\n";
+  for (const auto& [strategy, count] : totals)
+    out << "  " << strategy << ": " << count << "\n";
+  out << "\n";
+}
+
+namespace {
+
+void write_summary_json(util::JsonWriter& json, const analysis::Summary& s) {
+  json.begin_object();
+  json.member("count", static_cast<std::uint64_t>(s.count));
+  json.member("min", s.min);
+  json.member("q1", s.q1);
+  json.member("median", s.median);
+  json.member("q3", s.q3);
+  json.member("max", s.max);
+  json.member("mean", s.mean);
+  json.member("stddev", s.stddev);
+  json.end_object();
+}
+
+}  // namespace
+
+void write_figure_json(const std::string& path, const std::string& figure_id,
+                       const std::vector<Curve>& curves) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.member("figure", figure_id);
+  json.key("curves").begin_array();
+  for (const auto& curve : curves) {
+    json.begin_object();
+    json.member("label", curve.label);
+    json.member("adversary", curve.adversary);
+    json.key("points").begin_array();
+    for (const auto& point : curve.points) {
+      json.begin_object();
+      json.member("n", std::uint64_t{point.n});
+      json.member("f", std::uint64_t{point.f});
+      json.key("time");
+      write_summary_json(json, point.time);
+      json.key("messages");
+      write_summary_json(json, point.messages);
+      json.key("strategies").begin_object();
+      for (const auto& [strategy, count] : point.strategy_counts)
+        json.member(strategy, static_cast<std::uint64_t>(count));
+      json.end_object();
+      json.member("rumor_failures",
+                  static_cast<std::uint64_t>(point.rumor_failures));
+      json.member("truncated", static_cast<std::uint64_t>(point.truncated));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_figure_json: cannot open " + path);
+  out << json.str() << "\n";
+}
+
+void write_figure_csv(const std::string& path, const std::string& figure_id,
+                      const std::vector<Curve>& curves) {
+  util::CsvWriter csv(path, {"figure", "curve", "adversary", "n", "f",
+                             "metric", "median", "q1", "q3", "mean", "min",
+                             "max", "runs", "rumor_failures", "truncated"});
+  for (const auto& curve : curves) {
+    for (const auto& point : curve.points) {
+      for (const Metric metric : {Metric::kTime, Metric::kMessages}) {
+        const auto& s = metric_summary(point, metric);
+        csv.row_values(figure_id, curve.label, curve.adversary,
+                       std::uint64_t{point.n}, std::uint64_t{point.f},
+                       std::string(to_string(metric)), s.median, s.q1, s.q3,
+                       s.mean, s.min, s.max,
+                       static_cast<std::uint64_t>(s.count),
+                       static_cast<std::uint64_t>(point.rumor_failures),
+                       static_cast<std::uint64_t>(point.truncated));
+      }
+    }
+  }
+}
+
+}  // namespace ugf::runner

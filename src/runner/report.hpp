@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file report.hpp
+/// Text and CSV rendering of sweep results. Each bench binary prints the
+/// figure it regenerates as an aligned table (one row per N, one column
+/// group per curve: median [Q1, Q3], matching the paper's Fig. 3
+/// reporting) plus a growth-law summary, and mirrors everything into a
+/// long-format CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace ugf::runner {
+
+enum class Metric { kTime, kMessages };
+
+[[nodiscard]] const char* to_string(Metric metric) noexcept;
+
+/// Prints one figure panel: a header, the per-N table of medians and
+/// quartiles for each curve, and a growth classification per curve.
+void print_figure(std::ostream& out, const std::string& title,
+                  const std::vector<Curve>& curves, Metric metric);
+
+/// Prints the UGF strategy histogram accumulated over a sweep (how often
+/// each strategy was drawn; interesting for the randomization scheme).
+void print_strategy_histogram(std::ostream& out,
+                              const std::vector<Curve>& curves);
+
+/// Writes all curves and both metrics in long format:
+/// figure,curve,adversary,n,f,metric,median,q1,q3,mean,min,max,runs,
+/// rumor_failures,truncated.
+void write_figure_csv(const std::string& path, const std::string& figure_id,
+                      const std::vector<Curve>& curves);
+
+/// Fits and renders "label: exponent b, class" lines for a metric.
+void print_growth_summary(std::ostream& out, const std::vector<Curve>& curves,
+                          Metric metric);
+
+/// Statistical dominance of `attacked` over `baseline` per grid point:
+/// medians with bootstrap CIs, one-sided Mann-Whitney z and the
+/// common-language effect size P[attacked > baseline]. Both curves must
+/// cover the same grid and carry raw samples. Backs the "UGF dominates
+/// the baseline" claims in EXPERIMENTS.md with numbers instead of
+/// eyeballing.
+void print_dominance(std::ostream& out, const Curve& baseline,
+                     const Curve& attacked, Metric metric);
+
+/// Writes the curves as structured JSON:
+/// { "figure": ..., "curves": [ { "label", "adversary", "points": [
+///   { "n", "f", "time": {summary}, "messages": {summary},
+///     "strategies": {...}, "rumor_failures", "truncated" } ] } ] }.
+void write_figure_json(const std::string& path, const std::string& figure_id,
+                       const std::vector<Curve>& curves);
+
+}  // namespace ugf::runner

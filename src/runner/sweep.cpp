@@ -1,0 +1,99 @@
+#include "runner/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ugf::runner {
+
+std::uint32_t f_for(std::uint32_t n, double f_fraction) {
+  if (f_fraction < 0.0 || f_fraction >= 1.0)
+    throw std::invalid_argument("f_for: fraction must be in [0, 1)");
+  const auto f = static_cast<std::uint32_t>(
+      std::llround(f_fraction * static_cast<double>(n)));
+  return f >= n ? n - 1 : f;
+}
+
+std::vector<double> Curve::ns() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(static_cast<double>(p.n));
+  return out;
+}
+
+std::vector<double> Curve::time_medians() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.time.median);
+  return out;
+}
+
+std::vector<double> Curve::message_medians() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.messages.median);
+  return out;
+}
+
+Curve sweep_curve(const SweepConfig& config,
+                  const sim::ProtocolFactory& protocol,
+                  const adversary::AdversaryFactory& adversary,
+                  std::string label, const ProgressFn& progress) {
+  MonteCarloRunner runner(config.threads);
+  Curve curve;
+  curve.label = std::move(label);
+  curve.adversary = adversary.name();
+  curve.points.reserve(config.grid.size());
+
+  for (std::size_t gi = 0; gi < config.grid.size(); ++gi) {
+    const std::uint32_t n = config.grid[gi];
+    RunSpec spec;
+    spec.n = n;
+    spec.f = f_for(n, config.f_fraction);
+    spec.runs = config.runs;
+    // Seed depends on the grid point, never on the curve label, so the
+    // same adversary under two labels yields identical results.
+    spec.base_seed = util::mix_seed(config.base_seed, n);
+    spec.max_steps = config.max_steps;
+    spec.max_events = config.max_events;
+
+    const BatchResult batch = runner.run_batch(spec, protocol, adversary);
+    CurvePoint point;
+    point.n = n;
+    point.f = spec.f;
+    point.time = batch.time;
+    point.messages = batch.messages;
+    point.time_samples.reserve(batch.runs.size());
+    point.message_samples.reserve(batch.runs.size());
+    for (const auto& record : batch.runs) {
+      point.time_samples.push_back(record.outcome.time_complexity);
+      point.message_samples.push_back(
+          static_cast<double>(record.outcome.total_messages));
+    }
+    point.strategy_counts = batch.strategy_counts;
+    point.rumor_failures = batch.rumor_failures;
+    point.truncated = batch.truncated;
+    curve.points.push_back(std::move(point));
+
+    if (progress) progress(curve.label, gi + 1, config.grid.size());
+  }
+  return curve;
+}
+
+std::vector<Curve> sweep_figure(
+    const SweepConfig& config, const sim::ProtocolFactory& protocol,
+    const std::vector<LabelledAdversary>& adversaries,
+    const ProgressFn& progress) {
+  std::vector<Curve> curves;
+  curves.reserve(adversaries.size());
+  for (const auto& labelled : adversaries) {
+    if (labelled.factory == nullptr)
+      throw std::invalid_argument("sweep_figure: null adversary factory");
+    curves.push_back(sweep_curve(config, protocol, *labelled.factory,
+                                 labelled.label, progress));
+  }
+  return curves;
+}
+
+}  // namespace ugf::runner

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Parameter sweeps over the system size N (and crash fraction F/N),
+/// producing the per-curve series of the paper's Figure 3: for every
+/// grid point, the median and quartiles of time and message complexity
+/// over `runs` seeded runs.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adversary/factory.hpp"
+#include "analysis/statistics.hpp"
+#include "runner/monte_carlo.hpp"
+#include "sim/protocol.hpp"
+
+namespace ugf::runner {
+
+struct SweepConfig {
+  /// The N grid; paper: {10, 20, 30, 50, 70, 100, 200, 300, 400, 500}.
+  std::vector<std::uint32_t> grid = {10, 20, 30, 50, 70, 100, 200, 300, 400, 500};
+  /// F = round(f_fraction * N); paper presents F = 0.3 N.
+  double f_fraction = 0.3;
+  /// Runs per grid point; paper uses 50.
+  std::uint32_t runs = 50;
+  std::uint64_t base_seed = 0xF16BA5Eull;
+  std::size_t threads = 0;
+  sim::GlobalStep max_steps = 1'000'000'000'000ull;
+  std::uint64_t max_events = 50'000'000ull;
+};
+
+/// F for one grid point under a SweepConfig.
+[[nodiscard]] std::uint32_t f_for(std::uint32_t n, double f_fraction);
+
+struct CurvePoint {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  analysis::Summary time;
+  analysis::Summary messages;
+  /// Raw per-run values backing the summaries (for significance tests).
+  std::vector<double> time_samples;
+  std::vector<double> message_samples;
+  std::map<std::string, std::size_t> strategy_counts;
+  std::size_t rumor_failures = 0;
+  std::size_t truncated = 0;
+};
+
+struct Curve {
+  std::string label;      ///< e.g. "no adversary", "UGF", "max UGF (2.1.1)"
+  std::string adversary;  ///< factory name
+  std::vector<CurvePoint> points;
+
+  [[nodiscard]] std::vector<double> ns() const;
+  [[nodiscard]] std::vector<double> time_medians() const;
+  [[nodiscard]] std::vector<double> message_medians() const;
+};
+
+/// Progress callback: (curve label, grid index, grid size).
+using ProgressFn =
+    std::function<void(const std::string&, std::size_t, std::size_t)>;
+
+/// Sweeps one (protocol, adversary) pair over the grid.
+[[nodiscard]] Curve sweep_curve(const SweepConfig& config,
+                                const sim::ProtocolFactory& protocol,
+                                const adversary::AdversaryFactory& adversary,
+                                std::string label,
+                                const ProgressFn& progress = {});
+
+/// A labelled adversary for multi-curve sweeps.
+struct LabelledAdversary {
+  std::string label;
+  const adversary::AdversaryFactory* factory = nullptr;
+};
+
+/// Sweeps several adversaries against the same protocol (one Figure-3
+/// panel = one call).
+[[nodiscard]] std::vector<Curve> sweep_figure(
+    const SweepConfig& config, const sim::ProtocolFactory& protocol,
+    const std::vector<LabelledAdversary>& adversaries,
+    const ProgressFn& progress = {});
+
+}  // namespace ugf::runner

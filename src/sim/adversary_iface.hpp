@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file adversary_iface.hpp
+/// The adaptive-adversary abstraction (Def II.5). An adversary observes
+/// the dissemination online and may (a) crash up to F processes and
+/// (b) rewrite per-process delivery times d_rho and local-step times
+/// delta_rho. The engine exposes exactly that power — no more — through
+/// `AdversaryControl`, and notifies the adversary of the observable
+/// events it needs:
+///
+///  * `on_run_start`        — before global step 0 (UGF samples its
+///                            strategy and applies initial crashes/delays
+///                            here);
+///  * `on_message_emitted`  — synchronously when a process emits a
+///                            message, *before* the network accepts it.
+///                            Crashing the receiver inside this hook
+///                            drops the message (it still counts as sent
+///                            by the emitter), which is exactly the
+///                            "crash the receiver at the global step t at
+///                            which rho-hat sends" move of Strategy 2.k.0;
+///  * `on_timer`            — fired at steps previously requested via
+///                            `AdversaryControl::request_timer` (used by
+///                            time-triggered adversaries such as the
+///                            oblivious baseline).
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace ugf::sim {
+
+/// A send observation passed to the adversary.
+struct SendEvent {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  GlobalStep step = 0;               ///< emission step
+  std::uint64_t sender_total = 0;    ///< messages sent by `from` so far (incl.)
+};
+
+/// The mutation/observation surface the engine hands to adversaries.
+class AdversaryControl {
+ public:
+  virtual ~AdversaryControl() = default;
+
+  // --- observation -------------------------------------------------------
+  [[nodiscard]] virtual std::uint32_t num_processes() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t crash_budget() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t crashes_used() const noexcept = 0;
+  [[nodiscard]] virtual bool is_crashed(ProcessId p) const noexcept = 0;
+  [[nodiscard]] virtual bool is_asleep(ProcessId p) const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t messages_sent_by(
+      ProcessId p) const noexcept = 0;
+  [[nodiscard]] virtual GlobalStep now() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t delivery_time(
+      ProcessId p) const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t local_step_time(
+      ProcessId p) const noexcept = 0;
+
+  // --- mutation -----------------------------------------------------------
+  /// Crashes `p`. Returns false (and does nothing) if `p` is already
+  /// crashed or the crash budget F is exhausted.
+  virtual bool crash(ProcessId p) = 0;
+
+  /// Sets the delivery time d_p (>= 1) for messages *sent by* p from now on.
+  virtual void set_delivery_time(ProcessId p, std::uint64_t d) = 0;
+
+  /// Sets the local-step duration delta_p (>= 1) for p's future steps.
+  virtual void set_local_step_time(ProcessId p, std::uint64_t delta) = 0;
+
+  /// Requests an `on_timer` callback at global step `step` (>= now).
+  virtual void request_timer(GlobalStep step) = 0;
+
+  /// Omission power (extension, §VII of the paper / Kowalski &
+  /// Strojnowski): only valid inside `on_message_emitted` — the message
+  /// currently being emitted is lost instead of accepted by the network.
+  /// It still counts toward the sender's message complexity (the send
+  /// happened); the sender is not notified. Throws std::logic_error when
+  /// called outside an emission hook.
+  virtual void suppress_message() = 0;
+};
+
+/// Base class for all adversaries. The default implementation is the
+/// benign "no adversary" behaviour; concrete adversaries override the
+/// hooks they need.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Human-readable name (for reports).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Description of the concrete strategy applied in the current run
+  /// (meaningful after on_run_start). Randomized adversaries such as UGF
+  /// report the strategy they drew, e.g. "strategy-2.1.1".
+  [[nodiscard]] virtual std::string strategy_descriptor() const {
+    return name();
+  }
+
+  /// Called once before the first global step.
+  virtual void on_run_start(AdversaryControl& ctl) { (void)ctl; }
+
+  /// Called for every message emission, before network acceptance.
+  virtual void on_message_emitted(AdversaryControl& ctl,
+                                  const SendEvent& event) {
+    (void)ctl;
+    (void)event;
+  }
+
+  /// Called at steps requested via request_timer.
+  virtual void on_timer(AdversaryControl& ctl, GlobalStep step) {
+    (void)ctl;
+    (void)step;
+  }
+};
+
+}  // namespace ugf::sim

@@ -1,0 +1,379 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/saturating.hpp"
+
+namespace ugf::sim {
+
+using util::sat_add;
+
+void Engine::Inbox::push(std::uint64_t d, Message msg, std::uint64_t seq) {
+  Lane* lane = nullptr;
+  for (auto& candidate : lanes_) {
+    if (candidate.d == d) {
+      lane = &candidate;
+      break;
+    }
+  }
+  if (lane == nullptr) {
+    lanes_.push_back(Lane{d, {}});
+    lane = &lanes_.back();
+  }
+  assert(lane->fifo.empty() ||
+         lane->fifo.back().msg.arrives_at <= msg.arrives_at);
+  lane->fifo.push_back(InboxEntry{std::move(msg), seq});
+  ++size_;
+}
+
+GlobalStep Engine::Inbox::earliest_arrival() const noexcept {
+  GlobalStep earliest = kNeverStep;
+  for (const auto& lane : lanes_) {
+    if (!lane.fifo.empty())
+      earliest = std::min(earliest, lane.fifo.front().msg.arrives_at);
+  }
+  return earliest;
+}
+
+bool Engine::Inbox::pop_due(GlobalStep step, Message& out) {
+  Lane* best = nullptr;
+  for (auto& lane : lanes_) {
+    if (lane.fifo.empty()) continue;
+    const auto& front = lane.fifo.front();
+    if (front.msg.arrives_at > step) continue;
+    if (best == nullptr ||
+        front.msg.arrives_at < best->fifo.front().msg.arrives_at ||
+        (front.msg.arrives_at == best->fifo.front().msg.arrives_at &&
+         front.seq < best->fifo.front().seq)) {
+      best = &lane;
+    }
+  }
+  if (best == nullptr) return false;
+  out = std::move(best->fifo.front().msg);
+  best->fifo.pop_front();
+  --size_;
+  return true;
+}
+
+void Engine::Inbox::clear() noexcept {
+  lanes_.clear();
+  size_ = 0;
+}
+
+/// Per-step protocol services; bound to the process whose StepBegin is
+/// currently executing.
+class Engine::ContextImpl final : public ProcessContext {
+ public:
+  ContextImpl(Engine& engine, ProcessId self, SystemInfo info) noexcept
+      : engine_(engine), self_(self), info_(info) {}
+
+  [[nodiscard]] ProcessId self() const noexcept override { return self_; }
+  [[nodiscard]] const SystemInfo& system() const noexcept override {
+    return info_;
+  }
+  [[nodiscard]] util::Rng& rng() noexcept override {
+    return engine_.procs_[self_].rng;
+  }
+
+  void send(ProcessId to, PayloadPtr payload) override {
+    if (to >= engine_.config_.n)
+      throw std::out_of_range("ProcessContext::send: bad destination");
+    if (to == self_)
+      throw std::invalid_argument("ProcessContext::send: self-send");
+    if (!payload)
+      throw std::invalid_argument("ProcessContext::send: null payload");
+    engine_.procs_[self_].outgoing.emplace_back(to, std::move(payload));
+  }
+
+  [[nodiscard]] std::size_t queued_sends() const noexcept override {
+    return engine_.procs_[self_].outgoing.size();
+  }
+
+ private:
+  Engine& engine_;
+  ProcessId self_;
+  SystemInfo info_;
+};
+
+/// The adversary's observation/mutation surface (Def II.5).
+class Engine::ControlImpl final : public AdversaryControl {
+ public:
+  explicit ControlImpl(Engine& engine) noexcept : engine_(engine) {}
+
+  [[nodiscard]] std::uint32_t num_processes() const noexcept override {
+    return engine_.config_.n;
+  }
+  [[nodiscard]] std::uint32_t crash_budget() const noexcept override {
+    return engine_.config_.f;
+  }
+  [[nodiscard]] std::uint32_t crashes_used() const noexcept override {
+    return engine_.crashes_used_;
+  }
+  [[nodiscard]] bool is_crashed(ProcessId p) const noexcept override {
+    return engine_.procs_[p].state == ProcessState::kCrashed;
+  }
+  [[nodiscard]] bool is_asleep(ProcessId p) const noexcept override {
+    return engine_.procs_[p].state == ProcessState::kAsleep;
+  }
+  [[nodiscard]] std::uint64_t messages_sent_by(
+      ProcessId p) const noexcept override {
+    return engine_.procs_[p].sent;
+  }
+  [[nodiscard]] GlobalStep now() const noexcept override {
+    return engine_.now_;
+  }
+  [[nodiscard]] std::uint64_t delivery_time(
+      ProcessId p) const noexcept override {
+    return engine_.procs_[p].d;
+  }
+  [[nodiscard]] std::uint64_t local_step_time(
+      ProcessId p) const noexcept override {
+    return engine_.procs_[p].delta;
+  }
+
+  bool crash(ProcessId p) override {
+    if (p >= engine_.config_.n) return false;
+    auto& rt = engine_.procs_[p];
+    if (rt.state == ProcessState::kCrashed) return false;
+    if (engine_.crashes_used_ >= engine_.config_.f) return false;
+    ++engine_.crashes_used_;
+    engine_.crash_process(p);
+    return true;
+  }
+
+  void set_delivery_time(ProcessId p, std::uint64_t d) override {
+    if (p >= engine_.config_.n)
+      throw std::out_of_range("AdversaryControl::set_delivery_time");
+    engine_.procs_[p].d = std::max<std::uint64_t>(1, d);
+  }
+
+  void set_local_step_time(ProcessId p, std::uint64_t delta) override {
+    if (p >= engine_.config_.n)
+      throw std::out_of_range("AdversaryControl::set_local_step_time");
+    engine_.procs_[p].delta = std::max<std::uint64_t>(1, delta);
+  }
+
+  void request_timer(GlobalStep step) override {
+    const GlobalStep at = std::max(step, engine_.now_);
+    engine_.events_.push(Event{at, engine_.next_seq_++, EventKind::kTimer,
+                               kNoProcess, /*token=*/0});
+  }
+
+  void suppress_message() override {
+    if (!engine_.in_emission_hook_)
+      throw std::logic_error(
+          "AdversaryControl::suppress_message outside on_message_emitted");
+    engine_.suppress_current_ = true;
+  }
+
+ private:
+  Engine& engine_;
+};
+
+Engine::Engine(const EngineConfig& config, const ProtocolFactory& factory,
+               Adversary* adversary)
+    : config_(config), factory_(factory), adversary_(adversary) {
+  if (config_.n < 2) throw std::invalid_argument("Engine: need n >= 2");
+  if (config_.f >= config_.n)
+    throw std::invalid_argument("Engine: need f < n");
+  control_ = std::make_unique<ControlImpl>(*this);
+
+  const SystemInfo info{config_.n, config_.f};
+  const util::Rng master(config_.seed);
+  procs_.resize(config_.n);
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    auto& rt = procs_[p];
+    rt.protocol = factory_.create(p, info);
+    if (!rt.protocol) throw std::runtime_error("ProtocolFactory returned null");
+    rt.rng = master.child(p);
+  }
+  outcome_.per_process_sent.assign(config_.n, 0);
+  outcome_.final_state.assign(config_.n, ProcessState::kAwake);
+  outcome_.completion_step.assign(config_.n, kNeverStep);
+}
+
+Engine::~Engine() = default;
+
+void Engine::crash_process(ProcessId pid) {
+  auto& rt = procs_[pid];
+  rt.state = ProcessState::kCrashed;
+  // Invalidate every scheduled event of this process.
+  ++rt.begin_token;
+  ++rt.end_token;
+  rt.next_begin = kNeverStep;
+  outcome_.dropped_messages += rt.inbox.size();
+  rt.inbox.clear();
+  rt.outgoing.clear();
+}
+
+void Engine::schedule_begin_direct(ProcessId pid, GlobalStep at) {
+  auto& rt = procs_[pid];
+  ++rt.begin_token;
+  rt.next_begin = at;
+  events_.push(Event{at, next_seq_++, EventKind::kStepBegin, pid,
+                     rt.begin_token});
+}
+
+void Engine::schedule_wake(ProcessId pid, GlobalStep at) {
+  auto& rt = procs_[pid];
+  if (rt.state != ProcessState::kAsleep) return;
+  if (rt.next_begin != kNeverStep && rt.next_begin <= at) return;
+  schedule_begin_direct(pid, at);
+}
+
+void Engine::handle_step_begin(const Event& ev) {
+  auto& rt = procs_[ev.pid];
+  if (ev.token != rt.begin_token || rt.state == ProcessState::kCrashed) return;
+  rt.next_begin = kNeverStep;
+  rt.state = ProcessState::kAwake;
+
+  const GlobalStep s = ev.step;
+  ContextImpl ctx(*this, ev.pid, SystemInfo{config_.n, config_.f});
+
+  // Deliver everything that has arrived by the start of the step.
+  Message msg;
+  while (rt.inbox.pop_due(s, msg)) {
+    ++outcome_.delivered_messages;
+    rt.protocol->on_message(ctx, msg);
+  }
+
+  rt.protocol->on_local_step(ctx);
+
+  const GlobalStep end = sat_add(s, rt.delta);
+  ++rt.end_token;
+  events_.push(Event{end, next_seq_++, EventKind::kStepEnd, ev.pid,
+                     rt.end_token});
+}
+
+void Engine::handle_step_end(const Event& ev) {
+  auto& rt = procs_[ev.pid];
+  if (ev.token != rt.end_token || rt.state == ProcessState::kCrashed) return;
+
+  const GlobalStep e = ev.step;
+
+  // Emit the messages queued during the step, one by one; the adversary
+  // observes each emission and may crash the receiver first (Strategy
+  // 2.k.0) or, in principle, the sender (which aborts the remainder of
+  // the fan-out: a crashed process sends nothing further).
+  for (auto& [to, payload] : rt.outgoing) {
+    if (rt.state == ProcessState::kCrashed) break;
+    ++rt.sent;
+    ++outcome_.total_messages;
+    outcome_.last_send_step = std::max(outcome_.last_send_step, e);
+    if (adversary_ != nullptr) {
+      in_emission_hook_ = true;
+      suppress_current_ = false;
+      adversary_->on_message_emitted(*control_,
+                                     SendEvent{ev.pid, to, e, rt.sent});
+      in_emission_hook_ = false;
+      if (suppress_current_) {
+        ++outcome_.omitted_messages;
+        continue;
+      }
+    }
+    auto& target = procs_[to];
+    if (target.state == ProcessState::kCrashed) {
+      ++outcome_.dropped_messages;
+      continue;
+    }
+    const GlobalStep arrival = sat_add(e, rt.d);
+    target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, std::move(payload)},
+                      next_msg_seq_++);
+    if (target.state == ProcessState::kAsleep) schedule_wake(to, arrival);
+  }
+  rt.outgoing.clear();
+  if (rt.state == ProcessState::kCrashed) return;
+
+  rt.last_step_end = e;
+  ++outcome_.local_steps_executed;
+
+  if (rt.protocol->wants_sleep()) {
+    rt.state = ProcessState::kAsleep;
+    if (!rt.inbox.empty()) {
+      // A message arrived during the step (or is in flight): the process
+      // notices it and wakes no earlier than the end of this step.
+      schedule_wake(ev.pid, std::max(e, rt.inbox.earliest_arrival()));
+    }
+  } else {
+    schedule_begin_direct(ev.pid, e);
+  }
+}
+
+Outcome Engine::run() {
+  if (ran_) throw std::logic_error("Engine::run called twice");
+  ran_ = true;
+
+  if (adversary_ != nullptr) adversary_->on_run_start(*control_);
+
+  // Every non-crashed process starts its first local step at step 0.
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    if (procs_[p].state != ProcessState::kCrashed)
+      schedule_begin_direct(p, 0);
+  }
+
+  std::uint64_t processed = 0;
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.step > config_.max_steps || ++processed > config_.max_events) {
+      outcome_.truncated = true;
+      break;
+    }
+    now_ = ev.step;
+    switch (ev.kind) {
+      case EventKind::kStepBegin:
+        handle_step_begin(ev);
+        break;
+      case EventKind::kStepEnd:
+        handle_step_end(ev);
+        break;
+      case EventKind::kTimer:
+        if (adversary_ != nullptr) adversary_->on_timer(*control_, ev.step);
+        break;
+    }
+  }
+
+  finalize(outcome_);
+  return outcome_;
+}
+
+void Engine::finalize(Outcome& outcome) const {
+  outcome.crashed = crashes_used_;
+  outcome.delta_max = 1;
+  outcome.d_max = 1;
+  outcome.t_end = 0;
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    const auto& rt = procs_[p];
+    outcome.per_process_sent[p] = rt.sent;
+    outcome.final_state[p] = rt.state;
+    outcome.delta_max = std::max(outcome.delta_max, rt.delta);
+    outcome.d_max = std::max(outcome.d_max, rt.d);
+    if (rt.state != ProcessState::kCrashed) {
+      outcome.completion_step[p] = rt.last_step_end;
+      outcome.t_end = std::max(outcome.t_end, rt.last_step_end);
+    }
+  }
+  outcome.time_complexity =
+      static_cast<double>(outcome.t_end) /
+      static_cast<double>(outcome.delta_max + outcome.d_max);
+
+  // Rumor gathering (Def II.1): every correct process must hold the
+  // gossip of every correct process. Meaningless if truncated.
+  outcome.rumor_gathering_ok = !outcome.truncated;
+  if (outcome.rumor_gathering_ok) {
+    for (ProcessId p = 0; p < config_.n && outcome.rumor_gathering_ok; ++p) {
+      if (procs_[p].state == ProcessState::kCrashed) continue;
+      for (ProcessId q = 0; q < config_.n; ++q) {
+        if (procs_[q].state == ProcessState::kCrashed) continue;
+        if (!procs_[p].protocol->has_gossip_of(q)) {
+          outcome.rumor_gathering_ok = false;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ugf::sim

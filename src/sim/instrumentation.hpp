@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file instrumentation.hpp
+/// Measurement wrappers around the Protocol and Adversary interfaces.
+/// They observe without interfering, which makes them suitable both for
+/// the test suite (the executable indistinguishability lemmas) and for
+/// analysis tooling (infection curves, traffic traces). Note that the
+/// delivery recorder reads Message::sent_at / arrives_at — global-clock
+/// facts a real protocol never sees; instrumentation lives outside the
+/// partial-synchrony rules by design.
+
+#include <memory>
+#include <vector>
+
+#include "sim/adversary_iface.hpp"
+#include "sim/protocol.hpp"
+
+namespace ugf::sim {
+
+/// One observed emission.
+struct SendRecord {
+  GlobalStep step = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  auto operator<=>(const SendRecord&) const = default;
+};
+
+/// Wraps an adversary (possibly nullptr) and records every emission the
+/// engine reports, in engine order.
+class TracingAdversary final : public Adversary {
+ public:
+  explicit TracingAdversary(Adversary* inner = nullptr) noexcept
+      : inner_(inner) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return inner_ != nullptr ? inner_->name() : "trace";
+  }
+  [[nodiscard]] std::string strategy_descriptor() const override {
+    return inner_ != nullptr ? inner_->strategy_descriptor() : "trace";
+  }
+  void on_run_start(AdversaryControl& ctl) override {
+    if (inner_ != nullptr) inner_->on_run_start(ctl);
+  }
+  void on_message_emitted(AdversaryControl& ctl,
+                          const SendEvent& event) override {
+    records_.push_back(SendRecord{event.step, event.from, event.to});
+    if (inner_ != nullptr) inner_->on_message_emitted(ctl, event);
+  }
+  void on_timer(AdversaryControl& ctl, GlobalStep step) override {
+    if (inner_ != nullptr) inner_->on_timer(ctl, step);
+  }
+
+  [[nodiscard]] const std::vector<SendRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  Adversary* inner_;
+  std::vector<SendRecord> records_;
+};
+
+/// One observed delivery.
+struct DeliveryRecord {
+  ProcessId to = kNoProcess;
+  ProcessId from = kNoProcess;
+  GlobalStep sent_at = 0;
+  GlobalStep arrives_at = 0;
+  auto operator<=>(const DeliveryRecord&) const = default;
+};
+
+/// Wraps a protocol instance; forwards everything, logging deliveries.
+class DeliveryRecordingProtocol final : public Protocol {
+ public:
+  DeliveryRecordingProtocol(std::unique_ptr<Protocol> inner, ProcessId self,
+                            std::vector<DeliveryRecord>* log)
+      : inner_(std::move(inner)), self_(self), log_(log) {}
+
+  void on_message(ProcessContext& ctx, const Message& msg) override {
+    if (log_ != nullptr)
+      log_->push_back(
+          DeliveryRecord{self_, msg.from, msg.sent_at, msg.arrives_at});
+    inner_->on_message(ctx, msg);
+  }
+  void on_local_step(ProcessContext& ctx) override {
+    inner_->on_local_step(ctx);
+  }
+  [[nodiscard]] bool wants_sleep() const noexcept override {
+    return inner_->wants_sleep();
+  }
+  [[nodiscard]] bool completed() const noexcept override {
+    return inner_->completed();
+  }
+  [[nodiscard]] bool has_gossip_of(ProcessId p) const noexcept override {
+    return inner_->has_gossip_of(p);
+  }
+
+  /// The wrapped instance (white-box inspection in tests).
+  [[nodiscard]] const Protocol& inner() const noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Protocol> inner_;
+  ProcessId self_;
+  std::vector<DeliveryRecord>* log_;
+};
+
+/// Factory wrapper matching DeliveryRecordingProtocol. The shared log is
+/// safe because one engine run is single-threaded.
+class DeliveryRecordingFactory final : public ProtocolFactory {
+ public:
+  DeliveryRecordingFactory(const ProtocolFactory& inner,
+                           std::vector<DeliveryRecord>* log) noexcept
+      : inner_(inner), log_(log) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return inner_.name();
+  }
+  [[nodiscard]] std::unique_ptr<Protocol> create(
+      ProcessId self, const SystemInfo& info) const override {
+    return std::make_unique<DeliveryRecordingProtocol>(
+        inner_.create(self, info), self, log_);
+  }
+
+ private:
+  const ProtocolFactory& inner_;
+  std::vector<DeliveryRecord>* log_;
+};
+
+}  // namespace ugf::sim

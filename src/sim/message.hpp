@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file message.hpp
+/// Messages exchanged by processes. A message is one point-to-point
+/// send: message complexity (Def II.3) counts messages, never bytes, so
+/// a payload may carry arbitrarily many gossips at once. Payloads are
+/// immutable and shared: a fan-out of k sends of the same content (the
+/// SEARS hot path) allocates the payload once.
+
+#include <memory>
+
+#include "sim/types.hpp"
+
+namespace ugf::sim {
+
+/// Base class for protocol-defined message contents. Payloads must be
+/// immutable after construction (they are shared between the network
+/// and many receivers).
+///
+/// Each concrete payload type declares a distinct `kind` tag (a
+/// `static constexpr std::uint32_t kKind`, conventionally a four-char
+/// literal like 'PULL') and passes it up; `payload_as` dispatches on the
+/// tag instead of RTTI because delivery is the simulator's hottest path
+/// (tens of millions of messages under Strategy 2.k.l).
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  [[nodiscard]] std::uint32_t kind() const noexcept { return kind_; }
+
+ protected:
+  explicit Payload(std::uint32_t kind) noexcept : kind_(kind) {}
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+
+ private:
+  std::uint32_t kind_;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// An in-flight or delivered message.
+struct Message {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  GlobalStep sent_at = 0;     ///< global step of emission (end of local step)
+  GlobalStep arrives_at = 0;  ///< sent_at + d_from(at send time)
+  PayloadPtr payload;
+};
+
+/// Downcast helper for receivers; returns nullptr on kind mismatch.
+template <typename T>
+const T* payload_as(const Message& msg) noexcept {
+  const Payload* p = msg.payload.get();
+  return (p != nullptr && p->kind() == T::kKind) ? static_cast<const T*>(p)
+                                                 : nullptr;
+}
+
+}  // namespace ugf::sim

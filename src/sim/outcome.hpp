@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file outcome.hpp
+/// The result record of one simulated dissemination — everything the
+/// paper's Definitions II.3 and II.4 need, plus bookkeeping used by the
+/// test suite's invariants.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ugf::sim {
+
+struct Outcome {
+  // --- complexities (Defs II.3 / II.4) -----------------------------------
+  /// M(O): total number of messages sent by all processes.
+  std::uint64_t total_messages = 0;
+  /// T_end(O): the last global step at which a correct process finished a
+  /// local step (i.e. entered its final asleep/completed state).
+  GlobalStep t_end = 0;
+  /// max_rho delta_rho over the outcome (final values, crashed included).
+  std::uint64_t delta_max = 1;
+  /// max_rho d_rho over the outcome (final values, crashed included).
+  std::uint64_t d_max = 1;
+  /// T(O) = T_end / (delta_max + d_max).
+  double time_complexity = 0.0;
+
+  // --- dissemination status -----------------------------------------------
+  /// Every correct process holds the gossip of every correct process
+  /// (rumor gathering, Def II.1).
+  bool rumor_gathering_ok = false;
+  /// The run hit the engine's max_steps safety cap before quiescing.
+  bool truncated = false;
+  /// Number of processes crashed by the adversary.
+  std::uint32_t crashed = 0;
+
+  // --- bookkeeping for tests & diagnostics --------------------------------
+  std::uint64_t delivered_messages = 0;
+  /// Messages whose receiver was crashed (at emission or before arrival).
+  std::uint64_t dropped_messages = 0;
+  /// Messages suppressed by an omission-capable adversary (extension).
+  std::uint64_t omitted_messages = 0;
+  /// Global step of the last message emission by any process.
+  GlobalStep last_send_step = 0;
+  /// Total local steps executed across all processes.
+  std::uint64_t local_steps_executed = 0;
+  /// Per-process sent-message counts (M_rho(O)).
+  std::vector<std::uint64_t> per_process_sent;
+  /// Per-process final state.
+  std::vector<ProcessState> final_state;
+  /// Per-process step at which the process finished its last local step
+  /// (kNeverStep if it never executed one or crashed).
+  std::vector<GlobalStep> completion_step;
+};
+
+}  // namespace ugf::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The all-to-all gossip protocol interface (§II-B).
+///
+/// Execution model realised by the engine (matching §II-A exactly):
+/// a local step of process `rho` spans `[s, s + delta_rho)`. At the
+/// start of the step every message with arrival <= s is delivered via
+/// `on_message`; then `on_local_step` runs the protocol logic; messages
+/// queued with `ProcessContext::send` are emitted at the *end* of the
+/// step (s + delta_rho) and arrive d_rho steps later. After the step the
+/// engine queries `wants_sleep` — a sleeping process (Def IV.2) executes
+/// no further steps until a message arrives for it.
+///
+/// Protocols never see the global clock, delta or d (partial synchrony);
+/// the only facts available are SystemInfo (N and the crash bound F) and
+/// whatever arrives in messages.
+
+#include <memory>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::sim {
+
+/// Per-step services the engine offers to the protocol code of one
+/// process. Only valid during the `on_message` / `on_local_step` calls
+/// it is passed to.
+class ProcessContext {
+ public:
+  virtual ~ProcessContext() = default;
+
+  /// This process's own id.
+  [[nodiscard]] virtual ProcessId self() const noexcept = 0;
+
+  /// Static system facts (N, F).
+  [[nodiscard]] virtual const SystemInfo& system() const noexcept = 0;
+
+  /// This process's private random stream (deterministic per run seed).
+  [[nodiscard]] virtual util::Rng& rng() noexcept = 0;
+
+  /// Queues a message to `to`; it is emitted at the end of the current
+  /// local step. Each call is one message for complexity accounting.
+  /// Self-sends are rejected (all-to-all protocols never need them).
+  virtual void send(ProcessId to, PayloadPtr payload) = 0;
+
+  /// Number of messages queued so far in this step (diagnostics).
+  [[nodiscard]] virtual std::size_t queued_sends() const noexcept = 0;
+};
+
+/// State machine of one process executing an all-to-all gossip protocol.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Delivery of one message, invoked at the start of a local step for
+  /// every message whose arrival step has passed (in arrival order).
+  virtual void on_message(ProcessContext& ctx, const Message& msg) = 0;
+
+  /// One local step's worth of protocol logic; called after deliveries.
+  virtual void on_local_step(ProcessContext& ctx) = 0;
+
+  /// Queried after each local step. Returning true puts the process to
+  /// sleep; a later message arrival wakes it (a fresh local step starts
+  /// at the arrival step). `completed()` processes must also sleep.
+  [[nodiscard]] virtual bool wants_sleep() const noexcept = 0;
+
+  /// True once the process has decided it will stop sending forever
+  /// (quiescence, Def II.2) unless new information arrives.
+  [[nodiscard]] virtual bool completed() const noexcept = 0;
+
+  /// Verification hook: does this process currently hold the gossip that
+  /// originated at `origin`? Used by the engine to validate rumor
+  /// gathering (Def II.1); not visible to adversaries or other processes.
+  [[nodiscard]] virtual bool has_gossip_of(ProcessId origin) const noexcept = 0;
+};
+
+/// Creates the per-process protocol instances of one run.
+class ProtocolFactory {
+ public:
+  virtual ~ProtocolFactory() = default;
+
+  /// Human-readable protocol name (for reports).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Instantiates the state machine of process `self`.
+  [[nodiscard]] virtual std::unique_ptr<Protocol> create(
+      ProcessId self, const SystemInfo& info) const = 0;
+};
+
+}  // namespace ugf::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental identifiers and time units of the simulation (§II-A of
+/// the paper). Time advances in discrete *global steps*; each process
+/// has a local-step duration `delta_rho` and a delivery time `d_rho`,
+/// both of which the adversary may change at run time.
+
+#include <cstdint>
+#include <limits>
+
+namespace ugf::sim {
+
+/// Index of a process in Pi = {0, ..., N-1}.
+using ProcessId = std::uint32_t;
+
+/// Discrete global step counter (the paper's t).
+using GlobalStep = std::uint64_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Sentinel for "never" / unset step values.
+inline constexpr GlobalStep kNeverStep = std::numeric_limits<GlobalStep>::max();
+
+/// Liveness/scheduling state of a process runtime.
+enum class ProcessState : std::uint8_t {
+  kAwake,    ///< has a scheduled local step
+  kAsleep,   ///< fell asleep (Def IV.2); wakes on message arrival
+  kCrashed,  ///< crashed by the adversary; never acts again
+};
+
+/// Static facts about the system a protocol instance may rely on
+/// (the paper's protocols know N and the crash bound F, but never the
+/// clock, delta or d — partial synchrony, §II-A.4).
+struct SystemInfo {
+  std::uint32_t n = 0;  ///< total number of processes N
+  std::uint32_t f = 0;  ///< crash bound F known to the protocol
+};
+
+}  // namespace ugf::sim

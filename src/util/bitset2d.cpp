@@ -1,0 +1,108 @@
+#include "util/bitset2d.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace ugf::util {
+
+Bitset2D::Bitset2D(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + kWordBits - 1) / kWordBits) {
+  words_.assign(rows_ * words_per_row_, 0);
+}
+
+std::uint64_t Bitset2D::tail_mask() const noexcept {
+  const std::size_t rem = cols_ % kWordBits;
+  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+void Bitset2D::set(std::size_t r, std::size_t c) noexcept {
+  assert(r < rows_ && c < cols_);
+  words_[word_index(r, c)] |= std::uint64_t{1} << (c % kWordBits);
+}
+
+void Bitset2D::reset(std::size_t r, std::size_t c) noexcept {
+  assert(r < rows_ && c < cols_);
+  words_[word_index(r, c)] &= ~(std::uint64_t{1} << (c % kWordBits));
+}
+
+bool Bitset2D::test(std::size_t r, std::size_t c) const noexcept {
+  assert(r < rows_ && c < cols_);
+  return (words_[word_index(r, c)] >> (c % kWordBits)) & 1u;
+}
+
+void Bitset2D::set_row(std::size_t r) noexcept {
+  assert(r < rows_);
+  const std::size_t base = r * words_per_row_;
+  for (std::size_t w = 0; w < words_per_row_; ++w)
+    words_[base + w] = ~std::uint64_t{0};
+  if (words_per_row_ > 0) words_[base + words_per_row_ - 1] &= tail_mask();
+}
+
+bool Bitset2D::row_all(std::size_t r) const noexcept {
+  assert(r < rows_);
+  const std::size_t base = r * words_per_row_;
+  for (std::size_t w = 0; w + 1 < words_per_row_; ++w)
+    if (words_[base + w] != ~std::uint64_t{0}) return false;
+  return words_per_row_ == 0 || words_[base + words_per_row_ - 1] == tail_mask();
+}
+
+std::size_t Bitset2D::row_count(std::size_t r) const noexcept {
+  assert(r < rows_);
+  const std::size_t base = r * words_per_row_;
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_per_row_; ++w)
+    n += static_cast<std::size_t>(std::popcount(words_[base + w]));
+  return n;
+}
+
+bool Bitset2D::or_with(const Bitset2D& other) noexcept {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  bool changed = false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t merged = words_[i] | other.words_[i];
+    changed |= (merged != words_[i]);
+    words_[i] = merged;
+  }
+  return changed;
+}
+
+bool Bitset2D::row_contains(std::size_t r,
+                            const DynamicBitset& bits) const noexcept {
+  assert(r < rows_ && bits.size() == cols_);
+  const std::size_t base = r * words_per_row_;
+  for (std::size_t w = 0; w < words_per_row_ && w < bits.words().size(); ++w)
+    if ((bits.words()[w] & ~words_[base + w]) != 0) return false;
+  return true;
+}
+
+bool Bitset2D::or_row_with(std::size_t r, const DynamicBitset& bits) noexcept {
+  assert(r < rows_ && bits.size() == cols_);
+  const std::size_t base = r * words_per_row_;
+  bool changed = false;
+  for (std::size_t w = 0; w < words_per_row_ && w < bits.words().size(); ++w) {
+    const std::uint64_t merged = words_[base + w] | bits.words()[w];
+    changed |= (merged != words_[base + w]);
+    words_[base + w] = merged;
+  }
+  return changed;
+}
+
+bool Bitset2D::row_any(std::size_t r) const noexcept {
+  assert(r < rows_);
+  const std::size_t base = r * words_per_row_;
+  for (std::size_t w = 0; w < words_per_row_; ++w)
+    if (words_[base + w] != 0) return true;
+  return false;
+}
+
+std::size_t Bitset2D::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool Bitset2D::all() const noexcept {
+  return count() == rows_ * cols_;
+}
+
+}  // namespace ugf::util

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file bitset2d.hpp
+/// A dense rows x cols bit matrix backed by a single contiguous buffer.
+///
+/// EARS/SEARS carry the relation I = {(rho', g) : rho' knows g}; at
+/// N = 500 that is a 500x500 bit matrix (~31 KiB), merged by word-wise
+/// OR. Rows are word-aligned so row operations never straddle rows.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/dynamic_bitset.hpp"
+
+namespace ugf::util {
+
+class Bitset2D {
+ public:
+  Bitset2D() = default;
+  Bitset2D(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  void set(std::size_t r, std::size_t c) noexcept;
+  void reset(std::size_t r, std::size_t c) noexcept;
+  [[nodiscard]] bool test(std::size_t r, std::size_t c) const noexcept;
+
+  /// Sets every bit in row r.
+  void set_row(std::size_t r) noexcept;
+  /// True iff every bit in row r is set.
+  [[nodiscard]] bool row_all(std::size_t r) const noexcept;
+  /// Number of set bits in row r.
+  [[nodiscard]] std::size_t row_count(std::size_t r) const noexcept;
+
+  /// this |= other; sizes must match. Returns true iff this changed.
+  bool or_with(const Bitset2D& other) noexcept;
+
+  /// True iff every set bit of `bits` (size == cols) is set in row r.
+  [[nodiscard]] bool row_contains(std::size_t r,
+                                  const DynamicBitset& bits) const noexcept;
+
+  /// row r |= bits (size == cols). Returns true iff the row changed.
+  bool or_row_with(std::size_t r, const DynamicBitset& bits) noexcept;
+
+  /// True iff row r has at least one set bit.
+  [[nodiscard]] bool row_any(std::size_t r) const noexcept;
+
+  /// Total number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+  /// True iff every bit in the matrix is set.
+  [[nodiscard]] bool all() const noexcept;
+
+  friend bool operator==(const Bitset2D&, const Bitset2D&) = default;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  [[nodiscard]] std::size_t word_index(std::size_t r,
+                                       std::size_t c) const noexcept {
+    return r * words_per_row_ + c / kWordBits;
+  }
+  [[nodiscard]] std::uint64_t tail_mask() const noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+};
+
+}  // namespace ugf::util

@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ugf::util {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::raw(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.contains(name);
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::stoll(*v);
+}
+
+std::uint64_t CliArgs::get_uint(const std::string& name,
+                                std::uint64_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::stoull(*v);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::stod(*v);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on")
+    return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("CliArgs: bad boolean for --" + name + ": " + *v);
+}
+
+std::vector<std::uint64_t> CliArgs::get_uint_list(
+    const std::string& name, const std::vector<std::uint64_t>& fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  std::vector<std::uint64_t> out;
+  for (const auto& part : split_commas(*v))
+    if (!part.empty()) out.push_back(std::stoull(part));
+  return out;
+}
+
+std::vector<double> CliArgs::get_double_list(
+    const std::string& name, const std::vector<double>& fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  std::vector<double> out;
+  for (const auto& part : split_commas(*v))
+    if (!part.empty()) out.push_back(std::stod(part));
+  return out;
+}
+
+}  // namespace ugf::util

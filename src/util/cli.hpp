@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line flag parser shared by benches and examples.
+/// Accepts `--name=value`, `--name value` and boolean `--name`.
+/// Unknown flags are collected so harnesses can reject typos.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ugf::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True iff the flag appeared at all (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of unsigned integers, e.g. --grid=10,20,50.
+  [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
+      const std::string& name, const std::vector<std::uint64_t>& fallback) const;
+
+  /// Comma-separated list of doubles, e.g. --fracs=0.1,0.3,0.5.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name, const std::vector<double>& fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ugf::util

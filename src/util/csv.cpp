@@ -1,0 +1,114 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace ugf::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<std::string> csv_parse_line(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw std::out_of_range("CsvTable: no column named " + std::string(name));
+}
+
+const std::string& CsvTable::at(std::size_t row, std::string_view name) const {
+  return rows.at(row).at(column(name));
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("read_csv: empty file " + path);
+  table.header = csv_parse_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = csv_parse_line(line);
+    if (fields.size() != table.header.size())
+      throw std::runtime_error("read_csv: ragged row in " + path);
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), path_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_)
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::format_field(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("nan");
+}
+
+std::string CsvWriter::format_field(std::uint64_t v) {
+  return std::to_string(v);
+}
+std::string CsvWriter::format_field(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::format_field(std::uint32_t v) { return std::to_string(v); }
+std::string CsvWriter::format_field(int v) { return std::to_string(v); }
+
+}  // namespace ugf::util

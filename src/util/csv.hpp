@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emission for experiment outputs. Every bench binary
+/// writes the series it prints as a CSV so figures can be re-plotted
+/// without re-running the sweep. Fields containing separators/quotes
+/// are quoted per RFC 4180.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ugf::util {
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Parses one RFC 4180 CSV record (quotes, escaped quotes, embedded
+/// separators). Trailing CR is stripped. Multi-line quoted fields are
+/// not supported (the writers in this project never emit them).
+[[nodiscard]] std::vector<std::string> csv_parse_line(std::string_view line);
+
+/// A parsed CSV file: header plus rows, with name-based column lookup.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t column(std::string_view name) const;
+  /// Field of `row` under the named column.
+  [[nodiscard]] const std::string& at(std::size_t row,
+                                      std::string_view name) const;
+};
+
+/// Reads a CSV file written by CsvWriter; throws std::runtime_error on
+/// I/O failure or ragged rows.
+[[nodiscard]] CsvTable read_csv(const std::string& path);
+
+/// Streams rows to a file; the header row is written on construction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must have as many fields as the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with shortest round-trip
+  /// representation and passes strings through.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format_field(values)), ...);
+    row(fields);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string format_field(const std::string& s) { return s; }
+  static std::string format_field(const char* s) { return s; }
+  static std::string format_field(double v);
+  static std::string format_field(std::uint64_t v);
+  static std::string format_field(std::int64_t v);
+  static std::string format_field(std::uint32_t v);
+  static std::string format_field(int v);
+
+  std::ofstream out_;
+  std::string path_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ugf::util

@@ -1,0 +1,139 @@
+#include "util/dynamic_bitset.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace ugf::util {
+
+DynamicBitset::DynamicBitset(std::size_t size, bool value)
+    : words_((size + kWordBits - 1) / kWordBits,
+             value ? ~std::uint64_t{0} : std::uint64_t{0}),
+      size_(size) {
+  if (value && !words_.empty()) words_.back() &= tail_mask();
+}
+
+std::uint64_t DynamicBitset::tail_mask() const noexcept {
+  const std::size_t rem = size_ % kWordBits;
+  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+void DynamicBitset::set(std::size_t i) noexcept {
+  assert(i < size_);
+  words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+void DynamicBitset::reset(std::size_t i) noexcept {
+  assert(i < size_);
+  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+void DynamicBitset::assign(std::size_t i, bool value) noexcept {
+  if (value)
+    set(i);
+  else
+    reset(i);
+}
+
+bool DynamicBitset::test(std::size_t i) const noexcept {
+  assert(i < size_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void DynamicBitset::set_all() noexcept {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  if (!words_.empty()) words_.back() &= tail_mask();
+}
+
+void DynamicBitset::reset_all() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::all() const noexcept {
+  if (words_.empty()) return true;
+  for (std::size_t i = 0; i + 1 < words_.size(); ++i)
+    if (words_[i] != ~std::uint64_t{0}) return false;
+  return words_.back() == tail_mask();
+}
+
+bool DynamicBitset::none() const noexcept {
+  for (const auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool DynamicBitset::or_with(const DynamicBitset& other) noexcept {
+  assert(size_ == other.size_);
+  bool changed = false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t merged = words_[i] | other.words_[i];
+    changed |= (merged != words_[i]);
+    words_[i] = merged;
+  }
+  return changed;
+}
+
+void DynamicBitset::and_with(const DynamicBitset& other) noexcept {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+bool DynamicBitset::contains(const DynamicBitset& other) const noexcept {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  return true;
+}
+
+bool DynamicBitset::union_all(const DynamicBitset& a,
+                              const DynamicBitset& b) noexcept {
+  assert(a.size_ == b.size_);
+  if (a.words_.empty()) return true;
+  for (std::size_t i = 0; i + 1 < a.words_.size(); ++i)
+    if ((a.words_[i] | b.words_[i]) != ~std::uint64_t{0}) return false;
+  return (a.words_.back() | b.words_.back()) == a.tail_mask();
+}
+
+std::size_t DynamicBitset::find_first_clear() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t inv =
+        ~words_[w] & (w + 1 == words_.size() ? tail_mask() : ~std::uint64_t{0});
+    if (inv != 0) {
+      const std::size_t i =
+          w * kWordBits + static_cast<std::size_t>(std::countr_zero(inv));
+      return i < size_ ? i : size_;
+    }
+  }
+  return size_;
+}
+
+std::size_t DynamicBitset::find_first_set() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0)
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+  }
+  return size_;
+}
+
+std::vector<std::uint32_t> DynamicBitset::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for_each_set([&out](std::uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<std::uint32_t> DynamicBitset::clear_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(size_ - count());
+  for (std::size_t i = 0; i < size_; ++i)
+    if (!test(i)) out.push_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+}  // namespace ugf::util

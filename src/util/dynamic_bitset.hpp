@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file dynamic_bitset.hpp
+/// A compact runtime-sized bitset used for gossip-knowledge bookkeeping.
+///
+/// Protocol state such as "which gossips do I know" and "which processes
+/// have I pull-requested" is one bit per process; at N = 500 a set is
+/// 8 words, so unions (the hot path of EARS/SEARS merges) are word-wise
+/// ORs. `count()` is cached-free but cheap (popcount); callers that need
+/// saturation checks use `all()`.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ugf::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size, bool value = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void set(std::size_t i) noexcept;
+  void reset(std::size_t i) noexcept;
+  void assign(std::size_t i, bool value) noexcept;
+  [[nodiscard]] bool test(std::size_t i) const noexcept;
+
+  void set_all() noexcept;
+  void reset_all() noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+  /// True iff every bit is set.
+  [[nodiscard]] bool all() const noexcept;
+  /// True iff no bit is set.
+  [[nodiscard]] bool none() const noexcept;
+  /// True iff at least one bit is set.
+  [[nodiscard]] bool any() const noexcept { return !none(); }
+
+  /// this |= other. Sizes must match. Returns true iff this changed.
+  bool or_with(const DynamicBitset& other) noexcept;
+  /// this &= other. Sizes must match.
+  void and_with(const DynamicBitset& other) noexcept;
+  /// True iff other is a subset of this (other & ~this == 0).
+  [[nodiscard]] bool contains(const DynamicBitset& other) const noexcept;
+
+  /// True iff (a | b) has every bit set; allocation-free.
+  [[nodiscard]] static bool union_all(const DynamicBitset& a,
+                                      const DynamicBitset& b) noexcept;
+
+  /// Index of the first clear bit, or size() if all set.
+  [[nodiscard]] std::size_t find_first_clear() const noexcept;
+  /// Index of the first set bit, or size() if none set.
+  [[nodiscard]] std::size_t find_first_set() const noexcept;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
+  /// Indices of all clear bits, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> clear_indices() const;
+
+  /// Calls f(index) for each set bit, ascending.
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const DynamicBitset&, const DynamicBitset&) = default;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  [[nodiscard]] std::uint64_t tail_mask() const noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ugf::util

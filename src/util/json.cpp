@@ -1,0 +1,191 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ugf::util {
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty() || !done_)
+    throw std::logic_error("JsonWriter: document not finished");
+  return out_;
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already finished");
+  if (stack_.empty()) {
+    if (!out_.empty())
+      throw std::logic_error("JsonWriter: multiple root values");
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    if (expecting_key_)
+      throw std::logic_error("JsonWriter: expected key(), got value");
+    return;  // key() already wrote the separator
+  }
+  if (!first_in_scope_) raw(",");
+}
+
+void JsonWriter::finish_value() {
+  if (stack_.empty()) {
+    done_ = true;
+    return;
+  }
+  first_in_scope_ = false;
+  if (stack_.back() == Scope::kObject) expecting_key_ = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_) throw std::logic_error("JsonWriter: document already finished");
+  if (stack_.empty() || stack_.back() != Scope::kObject || !expecting_key_)
+    throw std::logic_error("JsonWriter: key() outside object");
+  if (!first_in_scope_) raw(",");
+  raw("\"");
+  raw(escape(name));
+  raw("\":");
+  expecting_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Scope::kObject);
+  expecting_key_ = true;
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || !expecting_key_)
+    throw std::logic_error("JsonWriter: end_object mismatch");
+  raw("}");
+  stack_.pop_back();
+  // Restore the parent scope's expectations.
+  expecting_key_ = false;
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Scope::kArray);
+  expecting_key_ = false;
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray)
+    throw std::logic_error("JsonWriter: end_array mismatch");
+  raw("]");
+  stack_.pop_back();
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  raw("\"");
+  raw(escape(text));
+  raw("\"");
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    raw("null");
+  } else {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, number);
+    raw(ec == std::errc{}
+            ? std::string_view(buf, static_cast<std::size_t>(ptr - buf))
+            : std::string_view("null"));
+  }
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  raw(std::to_string(number));
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  raw(std::to_string(number));
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint32_t number) {
+  return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  raw(flag ? "true" : "false");
+  finish_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  finish_value();
+  return *this;
+}
+
+}  // namespace ugf::util

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file json.hpp
+/// A minimal streaming JSON writer for experiment exports — no external
+/// dependencies, no DOM. Values are written in document order; the
+/// writer validates nesting (closing an array as an object throws).
+/// Doubles are emitted with shortest round-trip formatting; NaN and
+/// infinities become null (JSON has no representation for them).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ugf::util {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  /// The finished document; valid once all scopes are closed.
+  [[nodiscard]] const std::string& str() const;
+
+  // --- scopes --------------------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  // --- values --------------------------------------------------------------
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint32_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void finish_value();
+  void raw(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool expecting_key_ = false;  ///< inside an object, next token is a key
+  bool first_in_scope_ = true;
+  bool done_ = false;
+};
+
+}  // namespace ugf::util

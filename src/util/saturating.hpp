@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file saturating.hpp
+/// Saturating 64-bit arithmetic. UGF sets local-step and delivery times
+/// to tau^k and tau^(k+l); with sampled exponents these overflow quickly,
+/// so all delay computations saturate at a large sentinel instead of
+/// wrapping. The sentinel is far beyond any simulation horizon, so a
+/// saturated delay simply means "longer than the run".
+
+#include <cstdint>
+#include <limits>
+
+namespace ugf::util {
+
+/// Saturation ceiling for simulated global steps. Kept well below
+/// UINT64_MAX so that adding small offsets to a saturated value cannot
+/// wrap either.
+inline constexpr std::uint64_t kStepInfinity =
+    std::numeric_limits<std::uint64_t>::max() / 4;
+
+[[nodiscard]] constexpr std::uint64_t sat_add(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return (s < a || s > kStepInfinity) ? kStepInfinity : s;
+}
+
+[[nodiscard]] constexpr std::uint64_t sat_mul(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > kStepInfinity / b) return kStepInfinity;
+  return a * b;
+}
+
+/// base^exp with saturation; 0^0 == 1.
+[[nodiscard]] constexpr std::uint64_t sat_pow(std::uint64_t base,
+                                              std::uint32_t exp) noexcept {
+  std::uint64_t result = 1;
+  std::uint64_t b = base;
+  std::uint32_t e = exp;
+  while (e > 0) {
+    if ((e & 1u) != 0) result = sat_mul(result, b);
+    e >>= 1u;
+    if (e > 0) b = sat_mul(b, b);
+    if (result == kStepInfinity) return kStepInfinity;
+  }
+  return result;
+}
+
+}  // namespace ugf::util

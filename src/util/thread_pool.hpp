@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size work-queue thread pool used by the Monte-Carlo runner to
+/// execute independent simulation runs in parallel. Each run owns its
+/// seed-derived RNG and its own engine, so tasks share no mutable state
+/// (CP.2/CP.3: no data races, minimal sharing); the pool only
+/// synchronises on the queue itself.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ugf::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes its result/exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs f(i) for i in [0, n), blocking until all complete. Exceptions
+  /// from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ugf::util

@@ -1,0 +1,51 @@
+#include "util/zeta_sampler.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace ugf::util {
+
+namespace {
+constexpr double kBasel = 6.0 / (std::numbers::pi * std::numbers::pi);
+}
+
+double zeta2_pmf(std::uint32_t k) noexcept {
+  if (k == 0) return 0.0;
+  const double kd = static_cast<double>(k);
+  return kBasel / (kd * kd);
+}
+
+double zeta2_cdf(std::uint32_t k) noexcept {
+  double h2 = 0.0;
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    const double id = static_cast<double>(i);
+    h2 += 1.0 / (id * id);
+  }
+  return kBasel * h2;
+}
+
+Zeta2Sampler::Zeta2Sampler(std::uint32_t cap) noexcept
+    : cap_(cap == 0 ? std::numeric_limits<std::uint32_t>::max() : cap) {}
+
+std::uint32_t Zeta2Sampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  double cdf = 0.0;
+  for (std::uint32_t k = 1;; ++k) {
+    if (k >= cap_) return cap_;  // remaining tail mass collapses here
+    cdf += zeta2_pmf(k);
+    if (u < cdf) return k;
+    // The untruncated tail mass below machine epsilon cannot be hit by a
+    // 53-bit uniform; bail out defensively.
+    if (cdf >= 1.0 - 1e-15) return k;
+  }
+}
+
+double Zeta2Sampler::pmf(std::uint32_t k) const noexcept {
+  if (k == 0 || k > cap_) return 0.0;
+  if (k < cap_) return zeta2_pmf(k);
+  // All mass at and above the cap.
+  return 1.0 - zeta2_cdf(cap_ - 1);
+}
+
+}  // namespace ugf::util

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file zeta_sampler.hpp
+/// Sampler for the discrete distribution P[k] = 6 / (pi^2 k^2), k >= 1,
+/// used by UGF (Algorithm 1) to pick the delay exponents k and l.
+///
+/// The paper (Remark 2) notes that any infinite sequence of
+/// probabilities summing to 1 would do; the Basel weights 6/(pi^2 k^2)
+/// are used because they guarantee the indistinguishability lemmas with
+/// a heavy enough tail. We sample exactly via the inverse CDF: the CDF
+/// at k is (6/pi^2) * H2(k) with H2(k) = sum_{i<=k} 1/i^2, and the tail
+/// beyond any k is bounded using 1/k - 1/(k+1) <= 1/k^2, so the search
+/// terminates after O(1/u_tail) iterations which has finite expectation.
+///
+/// A cap can be supplied so that tau^k stays representable; probability
+/// mass beyond the cap is assigned to the cap itself (truncated law).
+/// The paper's own experiments fix k = l = 1, which corresponds to
+/// cap = 1.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ugf::util {
+
+/// Exact probability P[k] = 6/(pi^2 k^2) for k >= 1 (0 for k == 0).
+[[nodiscard]] double zeta2_pmf(std::uint32_t k) noexcept;
+
+/// CDF P[K <= k] of the untruncated law.
+[[nodiscard]] double zeta2_cdf(std::uint32_t k) noexcept;
+
+/// Draws from P[k] ∝ 1/k^2 on {1, ..., cap}; mass above `cap` collapses
+/// onto `cap`. With `cap == 0` the law is untruncated (cap = 2^32-1 in
+/// practice, far beyond what saturating arithmetic distinguishes).
+class Zeta2Sampler {
+ public:
+  explicit Zeta2Sampler(std::uint32_t cap = 0) noexcept;
+
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::uint32_t cap() const noexcept { return cap_; }
+
+  /// PMF of the *truncated* law this sampler realises.
+  [[nodiscard]] double pmf(std::uint32_t k) const noexcept;
+
+ private:
+  std::uint32_t cap_;
+};
+
+}  // namespace ugf::util

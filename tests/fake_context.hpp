@@ -1,0 +1,59 @@
+#pragma once
+
+/// Test double for sim::ProcessContext: records sends and serves a
+/// deterministic RNG, so protocol state machines can be unit-tested
+/// step by step without an engine.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::testsupport {
+
+class FakeContext final : public sim::ProcessContext {
+ public:
+  FakeContext(sim::ProcessId self, sim::SystemInfo info,
+              std::uint64_t seed = 1234)
+      : self_(self), info_(info), rng_(seed) {}
+
+  [[nodiscard]] sim::ProcessId self() const noexcept override { return self_; }
+  [[nodiscard]] const sim::SystemInfo& system() const noexcept override {
+    return info_;
+  }
+  [[nodiscard]] util::Rng& rng() noexcept override { return rng_; }
+
+  void send(sim::ProcessId to, sim::PayloadPtr payload) override {
+    sends_.emplace_back(to, std::move(payload));
+  }
+
+  [[nodiscard]] std::size_t queued_sends() const noexcept override {
+    return sends_.size();
+  }
+
+  /// All sends recorded since the last clear().
+  [[nodiscard]] const std::vector<std::pair<sim::ProcessId, sim::PayloadPtr>>&
+  sends() const noexcept {
+    return sends_;
+  }
+
+  void clear() { sends_.clear(); }
+
+  /// Builds a Message as if `payload` travelled from `from` to `to`.
+  static sim::Message message(sim::ProcessId from, sim::ProcessId to,
+                              sim::PayloadPtr payload,
+                              sim::GlobalStep sent_at = 0,
+                              sim::GlobalStep arrives_at = 1) {
+    return sim::Message{from, to, sent_at, arrives_at, std::move(payload)};
+  }
+
+ private:
+  sim::ProcessId self_;
+  sim::SystemInfo info_;
+  util::Rng rng_;
+  std::vector<std::pair<sim::ProcessId, sim::PayloadPtr>> sends_;
+};
+
+}  // namespace ugf::testsupport

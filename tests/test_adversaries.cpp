@@ -1,0 +1,189 @@
+// Tests for the fixed strategy adversaries (Algorithm 1's building
+// blocks), the oblivious baseline and the registries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/fixed_strategies.hpp"
+#include "adversary/no_adversary.hpp"
+#include "adversary/oblivious.hpp"
+#include "core/adversary_registry.hpp"
+#include "protocols/push_pull.hpp"
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+
+sim::EngineConfig config(std::uint32_t n, std::uint32_t f,
+                         std::uint64_t seed = 11) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Strategy1, CrashesExactlyTheControlSetAtStart) {
+  protocols::PushPullFactory proto;
+  adversary::Strategy1Adversary adv(123);
+  sim::Engine engine(config(30, 10), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 5u);  // floor(F/2)
+  EXPECT_EQ(adv.control_set().size(), 5u);
+  for (const auto p : adv.control_set()) {
+    EXPECT_EQ(out.final_state[p], sim::ProcessState::kCrashed);
+    EXPECT_EQ(out.per_process_sent[p], 0u);  // crashed before any step
+  }
+  EXPECT_TRUE(out.rumor_gathering_ok);  // correct processes still gather
+}
+
+TEST(Strategy1, ControlSetIsSampledFromSeed) {
+  adversary::Strategy1Adversary a(1), b(1), c(2);
+  protocols::PushPullFactory proto;
+  (void)sim::Engine(config(30, 10), proto, &a).run();
+  (void)sim::Engine(config(30, 10), proto, &b).run();
+  (void)sim::Engine(config(30, 10), proto, &c).run();
+  EXPECT_EQ(a.control_set(), b.control_set());
+  EXPECT_NE(a.control_set(), c.control_set());
+}
+
+TEST(Isolation, KeepsOneProcessOfCAliveAndCrashesItsReceivers) {
+  protocols::PushPullFactory proto;
+  adversary::IsolationAdversary adv(42, /*tau=*/0, /*k=*/1);
+  sim::Engine engine(config(30, 10), proto, &adv);
+  const auto out = engine.run();
+  const auto rho_hat = adv.isolated_process();
+  ASSERT_NE(rho_hat, sim::kNoProcess);
+  // rho-hat is in C and alive; the rest of C crashed.
+  bool in_c = false;
+  for (const auto p : adv.control_set()) {
+    if (p == rho_hat) {
+      in_c = true;
+      EXPECT_NE(out.final_state[p], sim::ProcessState::kCrashed);
+    } else {
+      EXPECT_EQ(out.final_state[p], sim::ProcessState::kCrashed);
+    }
+  }
+  EXPECT_TRUE(in_c);
+  // The whole budget is eventually spent on receivers (rho-hat keeps
+  // sending until its messages get through).
+  EXPECT_EQ(out.crashed, 10u);
+  // rho-hat is slowed to delta = tau^1 = F.
+  EXPECT_EQ(out.delta_max, 10u);
+  EXPECT_EQ(out.d_max, 1u);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+}
+
+TEST(Delay, SetsDeltaAndDeliveryForC) {
+  protocols::PushPullFactory proto;
+  adversary::DelayAdversary adv(7, /*tau=*/0, /*k=*/1, /*l=*/1);
+  sim::Engine engine(config(20, 6), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 0u);  // Strategy 2.k.l never crashes anyone
+  EXPECT_EQ(out.delta_max, 6u);   // tau = F = 6
+  EXPECT_EQ(out.d_max, 36u);      // tau^(k+l) = 36
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+}
+
+TEST(Delay, ExplicitTauAndExponents) {
+  protocols::PushPullFactory proto;
+  adversary::DelayAdversary adv(7, /*tau=*/3, /*k=*/2, /*l=*/1);
+  sim::Engine engine(config(20, 6), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(out.delta_max, 9u);  // 3^2
+  EXPECT_EQ(out.d_max, 27u);     // 3^3
+}
+
+TEST(FixedStrategies, EmptyControlSetWhenBudgetUnderTwo) {
+  // F = 1: floor(F/2) = 0, every strategy is a no-op.
+  protocols::PushPullFactory proto;
+  adversary::Strategy1Adversary s1(5);
+  const auto out1 = sim::Engine(config(10, 1), proto, &s1).run();
+  EXPECT_EQ(out1.crashed, 0u);
+  adversary::DelayAdversary d(5);
+  const auto out2 = sim::Engine(config(10, 1), proto, &d).run();
+  EXPECT_EQ(out2.delta_max, 1u);
+  EXPECT_EQ(out2.d_max, 1u);
+}
+
+TEST(Oblivious, CrashesUpToBudgetWithoutObserving) {
+  protocols::PushPullFactory proto;
+  adversary::ObliviousAdversary adv(99);
+  sim::Engine engine(config(30, 9), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_LE(out.crashed, 9u);
+  EXPECT_GE(out.crashed, 1u);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(NoAdversary, LeavesEverythingBenign) {
+  protocols::PushPullFactory proto;
+  adversary::NoAdversary adv;
+  sim::Engine engine(config(20, 6), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 0u);
+  EXPECT_EQ(out.delta_max, 1u);
+  EXPECT_EQ(out.d_max, 1u);
+  EXPECT_EQ(adv.strategy_descriptor(), "none");
+}
+
+TEST(StrategyToString, Formats) {
+  using adversary::StrategyChoice;
+  using adversary::StrategyKind;
+  EXPECT_EQ(to_string(StrategyChoice{StrategyKind::kNone, 0, 0}), "none");
+  EXPECT_EQ(to_string(StrategyChoice{StrategyKind::kCrashC, 0, 0}),
+            "strategy-1");
+  EXPECT_EQ(to_string(StrategyChoice{StrategyKind::kIsolate, 3, 0}),
+            "strategy-2.3.0");
+  EXPECT_EQ(to_string(StrategyChoice{StrategyKind::kDelay, 1, 2}),
+            "strategy-2.1.2");
+}
+
+TEST(Registries, KnownNamesConstruct) {
+  for (const auto& name : core::adversary_names()) {
+    const auto factory = core::make_adversary(name);
+    ASSERT_NE(factory, nullptr) << name;
+    // "none" legitimately creates a null adversary.
+    (void)factory->create(1);
+  }
+  for (const auto& name : protocols::protocol_names()) {
+    const auto factory = protocols::make_protocol(name);
+    ASSERT_NE(factory, nullptr) << name;
+    EXPECT_NE(factory->create(0, sim::SystemInfo{4, 1}), nullptr) << name;
+  }
+}
+
+TEST(Registries, UnknownNamesThrow) {
+  EXPECT_THROW((void)core::make_adversary("nope"), std::invalid_argument);
+  EXPECT_THROW((void)protocols::make_protocol("nope"), std::invalid_argument);
+}
+
+TEST(ResolveTau, Behaviour) {
+  // Needs a control surface; use a tiny engine run with a hook.
+  protocols::PushPullFactory proto;
+
+  class Probe final : public sim::Adversary {
+   public:
+    std::uint64_t resolved_auto = 0, resolved_explicit = 0, resolved_small = 0;
+    [[nodiscard]] const char* name() const noexcept override {
+      return "probe";
+    }
+    void on_run_start(sim::AdversaryControl& ctl) override {
+      resolved_auto = adversary::resolve_tau(0, ctl);
+      resolved_explicit = adversary::resolve_tau(17, ctl);
+      resolved_small = adversary::resolve_tau(1, ctl);
+    }
+  } probe;
+
+  (void)sim::Engine(config(20, 6), proto, &probe).run();
+  EXPECT_EQ(probe.resolved_auto, 6u);      // tau = F
+  EXPECT_EQ(probe.resolved_explicit, 17u);
+  EXPECT_EQ(probe.resolved_small, 2u);     // clamped above 1
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Tests for the CSV reader round-trip and the ASCII log-log plotter.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/ascii_plot.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using ugf::analysis::PlotOptions;
+using ugf::analysis::PlotSeries;
+using ugf::analysis::render_plot;
+using ugf::util::csv_parse_line;
+using ugf::util::CsvWriter;
+using ugf::util::read_csv;
+
+TEST(CsvParse, PlainAndQuotedFields) {
+  EXPECT_EQ(csv_parse_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv_parse_line("\"x,y\",z"),
+            (std::vector<std::string>{"x,y", "z"}));
+  EXPECT_EQ(csv_parse_line("\"he said \"\"hi\"\"\",2"),
+            (std::vector<std::string>{"he said \"hi\"", "2"}));
+  EXPECT_EQ(csv_parse_line("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(csv_parse_line("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(csv_parse_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvRoundTrip, WriterThenReader) {
+  const std::string path = ::testing::TempDir() + "/ugf_roundtrip.csv";
+  {
+    CsvWriter writer(path, {"name", "value"});
+    writer.row({"plain", "1"});
+    writer.row({"with,comma", "2"});
+    writer.row({"with\"quote", "3"});
+  }
+  const auto table = read_csv(path);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"name", "value"}));
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.at(1, "name"), "with,comma");
+  EXPECT_EQ(table.at(2, "name"), "with\"quote");
+  EXPECT_EQ(table.at(0, "value"), "1");
+  EXPECT_EQ(table.column("value"), 1u);
+  EXPECT_THROW((void)table.column("absent"), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(CsvRead, Validation) {
+  EXPECT_THROW((void)read_csv("/nonexistent-xyz.csv"), std::runtime_error);
+}
+
+PlotSeries series(const char* label, char marker, std::vector<double> xs,
+                  std::vector<double> ys) {
+  PlotSeries s;
+  s.label = label;
+  s.marker = marker;
+  s.xs = std::move(xs);
+  s.ys = std::move(ys);
+  return s;
+}
+
+TEST(AsciiPlot, RendersMarkersAxesAndLegend) {
+  const auto text = render_plot(
+      {series("base", 'o', {10, 100, 500}, {5, 8, 10}),
+       series("ugf", '*', {10, 100, 500}, {5, 14, 45})});
+  EXPECT_NE(text.find('o'), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  EXPECT_NE(text.find("o = base"), std::string::npos);
+  EXPECT_NE(text.find("* = ugf"), std::string::npos);
+  EXPECT_NE(text.find("N (log)"), std::string::npos);
+  EXPECT_NE(text.find("10.00"), std::string::npos);  // y max tick
+  EXPECT_NE(text.find("500"), std::string::npos);    // x max tick
+}
+
+TEST(AsciiPlot, HigherSeriesLandsOnHigherRows) {
+  // With log axes, y = x lands on the diagonal; the top-left cell must
+  // be blank and the top-right populated.
+  PlotOptions small;
+  small.width = 20;
+  small.height = 10;
+  const auto text =
+      render_plot({series("diag", '#', {1, 10, 100}, {1, 10, 100})}, small);
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // First plot row contains the top-right marker.
+  const auto first_bar = lines[0].find('|');
+  ASSERT_NE(first_bar, std::string::npos);
+  EXPECT_EQ(lines[0].back(), '#');
+  // Bottom plot row (height 10 -> index 9) holds the bottom-left marker.
+  EXPECT_EQ(lines[9][first_bar + 1], '#');
+}
+
+TEST(AsciiPlot, LinearScalesSupported) {
+  PlotOptions options;
+  options.log_x = false;
+  options.log_y = false;
+  const auto text =
+      render_plot({series("s", '+', {0, 5, 10}, {0, 1, 2})}, options);
+  EXPECT_EQ(text.find("(log)"), std::string::npos);
+}
+
+TEST(AsciiPlot, Validation) {
+  EXPECT_THROW((void)render_plot({}), std::invalid_argument);
+  EXPECT_THROW((void)render_plot({series("bad", '?', {1, 2}, {1})}),
+               std::invalid_argument);
+  EXPECT_THROW((void)render_plot({series("neg", '?', {0}, {1})}),
+               std::invalid_argument);  // log axis with x = 0
+}
+
+TEST(AsciiPlot, DegenerateSinglePoint) {
+  const auto text = render_plot({series("dot", '*', {100}, {42})});
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+}  // namespace

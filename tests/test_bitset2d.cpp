@@ -1,0 +1,118 @@
+// Tests for util::Bitset2D — the EARS/SEARS receipt relation I.
+
+#include <gtest/gtest.h>
+
+#include "util/bitset2d.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace {
+
+using ugf::util::Bitset2D;
+using ugf::util::DynamicBitset;
+
+TEST(Bitset2D, StartsClear) {
+  Bitset2D m(5, 7);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 7u);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_FALSE(m.all());
+}
+
+TEST(Bitset2D, SetResetTest) {
+  Bitset2D m(4, 100);
+  m.set(2, 99);
+  m.set(0, 0);
+  EXPECT_TRUE(m.test(2, 99));
+  EXPECT_TRUE(m.test(0, 0));
+  EXPECT_FALSE(m.test(2, 98));
+  EXPECT_FALSE(m.test(1, 99));
+  EXPECT_EQ(m.count(), 2u);
+  m.reset(2, 99);
+  EXPECT_FALSE(m.test(2, 99));
+}
+
+TEST(Bitset2D, RowsAreIndependent) {
+  Bitset2D m(3, 70);  // two words per row, word-aligned rows
+  m.set(1, 69);
+  EXPECT_FALSE(m.test(0, 69));
+  EXPECT_FALSE(m.test(2, 69));
+  m.set_row(0);
+  EXPECT_TRUE(m.row_all(0));
+  EXPECT_FALSE(m.row_all(1));
+  EXPECT_EQ(m.row_count(0), 70u);
+  EXPECT_EQ(m.row_count(1), 1u);
+}
+
+class Bitset2DColsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Bitset2DColsTest, RowAllRespectsTailMask) {
+  const std::size_t cols = GetParam();
+  Bitset2D m(2, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    EXPECT_FALSE(m.row_all(0));
+    m.set(0, c);
+  }
+  EXPECT_TRUE(m.row_all(0));
+  EXPECT_FALSE(m.row_all(1));
+  EXPECT_FALSE(m.all());
+  m.set_row(1);
+  EXPECT_TRUE(m.all());
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, Bitset2DColsTest,
+                         ::testing::Values(1, 63, 64, 65, 128, 500));
+
+TEST(Bitset2D, OrWithReportsChange) {
+  Bitset2D a(3, 80), b(3, 80);
+  a.set(0, 1);
+  b.set(0, 1);
+  EXPECT_FALSE(a.or_with(b));
+  b.set(2, 79);
+  EXPECT_TRUE(a.or_with(b));
+  EXPECT_TRUE(a.test(2, 79));
+}
+
+TEST(Bitset2D, RowContains) {
+  Bitset2D m(2, 100);
+  DynamicBitset bits(100);
+  bits.set(3);
+  bits.set(90);
+  EXPECT_FALSE(m.row_contains(0, bits));
+  m.set(0, 3);
+  EXPECT_FALSE(m.row_contains(0, bits));
+  m.set(0, 90);
+  EXPECT_TRUE(m.row_contains(0, bits));
+  EXPECT_FALSE(m.row_contains(1, bits));
+  EXPECT_TRUE(m.row_contains(1, DynamicBitset(100)));  // empty subset
+}
+
+TEST(Bitset2D, OrRowWith) {
+  Bitset2D m(3, 70);
+  DynamicBitset bits(70);
+  bits.set(0);
+  bits.set(69);
+  EXPECT_TRUE(m.or_row_with(1, bits));
+  EXPECT_TRUE(m.test(1, 0));
+  EXPECT_TRUE(m.test(1, 69));
+  EXPECT_FALSE(m.test(0, 0));
+  EXPECT_FALSE(m.or_row_with(1, bits));  // no change the second time
+}
+
+TEST(Bitset2D, RowAny) {
+  Bitset2D m(2, 70);
+  EXPECT_FALSE(m.row_any(0));
+  m.set(0, 65);
+  EXPECT_TRUE(m.row_any(0));
+  EXPECT_FALSE(m.row_any(1));
+}
+
+TEST(Bitset2D, Equality) {
+  Bitset2D a(2, 10), b(2, 10);
+  EXPECT_EQ(a, b);
+  a.set(1, 5);
+  EXPECT_NE(a, b);
+  b.set(1, 5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for the CSV writer and the CLI flag parser used by benches.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using ugf::util::CliArgs;
+using ugf::util::csv_escape;
+using ugf::util::CsvWriter;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CsvEscape, PassthroughAndQuoting) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/ugf_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row({"1", "x,y", "2.5"});
+    csv.row_values(std::uint64_t{7}, std::string("s"), 1.5);
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path), "a,b,c\n1,\"x,y\",2.5\n7,s,1.5\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/ugf_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+CliArgs make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, EqualsAndSpaceForms) {
+  const auto args = make_args({"--runs=50", "--seed", "123", "--quick"});
+  EXPECT_TRUE(args.has("runs"));
+  EXPECT_EQ(args.get_uint("runs", 0), 50u);
+  EXPECT_EQ(args.get_uint("seed", 0), 123u);
+  EXPECT_TRUE(args.get_bool("quick", false));
+  EXPECT_FALSE(args.has("absent"));
+  EXPECT_EQ(args.get_uint("absent", 9), 9u);
+}
+
+TEST(CliArgs, TypedGetters) {
+  const auto args =
+      make_args({"--frac=0.25", "--neg=-3", "--flag=false", "--name=abc"});
+  EXPECT_DOUBLE_EQ(args.get_double("frac", 0.0), 0.25);
+  EXPECT_EQ(args.get_int("neg", 0), -3);
+  EXPECT_FALSE(args.get_bool("flag", true));
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+  EXPECT_THROW((void)args.get_bool("name", false), std::invalid_argument);
+}
+
+TEST(CliArgs, Lists) {
+  const auto args = make_args({"--grid=10,20,30", "--fracs=0.1,0.5"});
+  EXPECT_EQ(args.get_uint_list("grid", {}),
+            (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(args.get_double_list("fracs", {}),
+            (std::vector<double>{0.1, 0.5}));
+  EXPECT_EQ(args.get_uint_list("missing", {1, 2}),
+            (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CliArgs, Positional) {
+  const auto args = make_args({"pos1", "--a=1", "pos2"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliArgs, BoolSpellings) {
+  for (const char* t : {"--x=1", "--x=true", "--x=yes", "--x=on", "--x"}) {
+    const auto args = make_args({t});
+    EXPECT_TRUE(args.get_bool("x", false)) << t;
+  }
+  for (const char* f : {"--x=0", "--x=false", "--x=no", "--x=off"}) {
+    const auto args = make_args({f});
+    EXPECT_FALSE(args.get_bool("x", true)) << f;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Tests for util::DynamicBitset, including the word-boundary sizes the
+// tail mask must get right.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/dynamic_bitset.hpp"
+
+namespace {
+
+using ugf::util::DynamicBitset;
+
+TEST(DynamicBitset, StartsClear) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_FALSE(b.all());
+}
+
+TEST(DynamicBitset, ValueConstructorSetsAll) {
+  DynamicBitset b(70, true);
+  EXPECT_TRUE(b.all());
+  EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+  b.assign(5, true);
+  EXPECT_TRUE(b.test(5));
+  b.assign(5, false);
+  EXPECT_FALSE(b.test(5));
+}
+
+class DynamicBitsetSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DynamicBitsetSizeTest, AllAndTailMaskBehave) {
+  const std::size_t n = GetParam();
+  DynamicBitset b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(b.all()) << "i=" << i;
+    b.set(i);
+  }
+  EXPECT_TRUE(b.all());
+  EXPECT_EQ(b.count(), n);
+  EXPECT_EQ(b.find_first_clear(), n);
+  b.reset_all();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first_set(), n);
+  b.set_all();
+  EXPECT_TRUE(b.all());
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, DynamicBitsetSizeTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           500));
+
+TEST(DynamicBitset, OrWithReportsChange) {
+  DynamicBitset a(80), b(80);
+  a.set(3);
+  b.set(3);
+  EXPECT_FALSE(a.or_with(b));
+  b.set(77);
+  EXPECT_TRUE(a.or_with(b));
+  EXPECT_TRUE(a.test(77));
+  EXPECT_FALSE(a.or_with(b));
+}
+
+TEST(DynamicBitset, AndWith) {
+  DynamicBitset a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  a.and_with(b);
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_FALSE(a.test(3));
+}
+
+TEST(DynamicBitset, Contains) {
+  DynamicBitset a(100), b(100);
+  a.set(10);
+  a.set(70);
+  b.set(10);
+  EXPECT_TRUE(a.contains(b));
+  b.set(71);
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_TRUE(a.contains(DynamicBitset(100)));  // empty subset
+}
+
+TEST(DynamicBitset, UnionAll) {
+  DynamicBitset a(65), b(65);
+  for (std::size_t i = 0; i < 65; i += 2) a.set(i);
+  for (std::size_t i = 1; i < 65; i += 2) b.set(i);
+  EXPECT_TRUE(DynamicBitset::union_all(a, b));
+  b.reset(63);
+  EXPECT_FALSE(DynamicBitset::union_all(a, b));
+}
+
+TEST(DynamicBitset, FindFirst) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.find_first_set(), 130u);
+  EXPECT_EQ(b.find_first_clear(), 0u);
+  b.set(65);
+  EXPECT_EQ(b.find_first_set(), 65u);
+  b.set_all();
+  b.reset(100);
+  EXPECT_EQ(b.find_first_clear(), 100u);
+}
+
+TEST(DynamicBitset, ToIndicesAndClearIndices) {
+  DynamicBitset b(10);
+  b.set(2);
+  b.set(7);
+  b.set(9);
+  EXPECT_EQ(b.to_indices(), (std::vector<std::uint32_t>{2, 7, 9}));
+  EXPECT_EQ(b.clear_indices(), (std::vector<std::uint32_t>{0, 1, 3, 4, 5, 6, 8}));
+}
+
+TEST(DynamicBitset, ForEachSetVisitsAscending) {
+  DynamicBitset b(200);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  std::vector<std::uint32_t> seen;
+  b.for_each_set([&seen](std::uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 63, 64, 199}));
+}
+
+TEST(DynamicBitset, Equality) {
+  DynamicBitset a(50), b(50);
+  EXPECT_EQ(a, b);
+  a.set(25);
+  EXPECT_NE(a, b);
+  b.set(25);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynamicBitset, EmptyBitset) {
+  DynamicBitset b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.all());  // vacuous
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,307 @@
+// Unit tests for EARS (§V-A.2b): the (G, I) state machine, the silence
+// timer, the split completion gates and the snapshot version dedup.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fake_context.hpp"
+#include "protocols/ears.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using protocols::EarsConfig;
+using protocols::EarsFactory;
+using protocols::EarsProcess;
+using protocols::KnowledgePayload;
+using testsupport::FakeContext;
+
+sim::SystemInfo info(std::uint32_t n, std::uint32_t f) {
+  return sim::SystemInfo{n, f};
+}
+
+/// Builds a payload as process `sender` would after knowing `gossips`
+/// (with matching self-acknowledgment row).
+sim::PayloadPtr payload_from(std::uint32_t n, sim::ProcessId sender,
+                             std::initializer_list<std::uint32_t> gossips,
+                             std::uint64_t version = 1) {
+  util::DynamicBitset g(n);
+  g.set(sender);
+  for (const auto i : gossips) g.set(i);
+  util::Bitset2D knows(n, n);
+  g.for_each_set([&](std::uint32_t i) { knows.set(sender, i); });
+  return std::make_shared<KnowledgePayload>(sender, version, g, knows);
+}
+
+TEST(Ears, SilenceThresholdMatchesPaperFormula) {
+  // ceil((N/(N-F)) * ln N)
+  EarsProcess p(0, info(100, 30), EarsConfig{}, 1);
+  const double expected = std::ceil(100.0 / 70.0 * std::log(100.0));
+  EXPECT_EQ(p.silence_threshold(), static_cast<std::uint32_t>(expected));
+}
+
+TEST(Ears, InitialState) {
+  EarsProcess p(3, info(10, 3), EarsConfig{}, 1);
+  EXPECT_TRUE(p.has_gossip_of(3));
+  EXPECT_FALSE(p.has_gossip_of(0));
+  EXPECT_TRUE(p.knows().test(3, 3));
+  EXPECT_EQ(p.knows().count(), 1u);
+  EXPECT_FALSE(p.completed());
+}
+
+TEST(Ears, SendsExactlyOneMessagePerStepUntilCompletion) {
+  EarsProcess p(0, info(8, 2), EarsConfig{}, 1);
+  FakeContext ctx(0, info(8, 2));
+  // A process that hears nothing completes once the silence timer
+  // expires (both gates are vacuous/true when nobody was ever heard),
+  // i.e. after exactly silence_threshold() steps.
+  for (std::uint32_t step = 0; step < p.silence_threshold(); ++step) {
+    ctx.clear();
+    EXPECT_FALSE(p.completed());
+    p.on_local_step(ctx);
+    ASSERT_EQ(ctx.sends().size(), 1u) << "step " << step;
+    EXPECT_NE(ctx.sends()[0].first, 0u);
+  }
+  EXPECT_TRUE(p.completed());
+}
+
+TEST(Ears, MergesGossipsAndSelfAcknowledges) {
+  EarsProcess p(0, info(6, 2), EarsConfig{}, 1);
+  FakeContext ctx(0, info(6, 2));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(6, 1, {2, 3})));
+  EXPECT_TRUE(p.has_gossip_of(1));
+  EXPECT_TRUE(p.has_gossip_of(2));
+  EXPECT_TRUE(p.has_gossip_of(3));
+  // Self-acknowledgment: (0, g) recorded for everything now known.
+  EXPECT_TRUE(p.knows().test(0, 1));
+  EXPECT_TRUE(p.knows().test(0, 2));
+  EXPECT_TRUE(p.knows().test(0, 0));
+  // Sender's row merged too.
+  EXPECT_TRUE(p.knows().test(1, 3));
+}
+
+TEST(Ears, VersionDedupSkipsRepeatedSnapshots) {
+  EarsProcess p(0, info(6, 2), EarsConfig{}, 1);
+  FakeContext ctx(0, info(6, 2));
+  const auto payload = payload_from(6, 1, {2}, /*version=*/5);
+  p.on_message(ctx, FakeContext::message(1, 0, payload));
+  const auto knows_before = p.knows();
+  // Same version again, even with different content, is skipped.
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(6, 1, {4}, 5)));
+  EXPECT_EQ(p.knows(), knows_before);
+  EXPECT_FALSE(p.has_gossip_of(4));
+  // A strictly newer version is merged.
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(6, 1, {4}, 6)));
+  EXPECT_TRUE(p.has_gossip_of(4));
+}
+
+TEST(Ears, KnowledgeConditionIgnoresNeverHeardProcesses) {
+  // n = 3: process 0 knows gossips {0, 1} after hearing from 1; process
+  // 2 never acknowledged anything, so it must not block the condition.
+  EarsProcess p(0, info(3, 1), EarsConfig{}, 1);
+  FakeContext ctx(0, info(3, 1));
+  EXPECT_TRUE(p.knowledge_condition());  // only own row, fully covered
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(3, 1, {0})));
+  // Row 1 contains {0, 1} = G; row 0 self-acknowledged; row 2 empty.
+  EXPECT_TRUE(p.knowledge_condition());
+}
+
+TEST(Ears, KnowledgeConditionBlocksOnPartialRows) {
+  EarsProcess p(0, info(3, 1), EarsConfig{}, 1);
+  FakeContext ctx(0, info(3, 1));
+  // Process 1 acknowledged only its own gossip; after the merge we hold
+  // G = {0, 1} but row 1 misses gossip 0.
+  util::DynamicBitset g(3);
+  g.set(1);
+  util::Bitset2D knows(3, 3);
+  knows.set(1, 1);
+  p.on_message(ctx, FakeContext::message(
+                        1, 0, std::make_shared<KnowledgePayload>(1, 1, g,
+                                                                 knows)));
+  EXPECT_FALSE(p.knowledge_condition());
+}
+
+TEST(Ears, OwnGossipGate) {
+  EarsProcess p(0, info(3, 1), EarsConfig{}, 1);
+  FakeContext ctx(0, info(3, 1));
+  EXPECT_TRUE(p.own_gossip_acknowledged());  // nobody heard from: vacuous
+  // Process 1 acknowledged its own gossip but not ours.
+  util::DynamicBitset g(3);
+  g.set(1);
+  util::Bitset2D knows(3, 3);
+  knows.set(1, 1);
+  p.on_message(ctx, FakeContext::message(
+                        1, 0,
+                        std::make_shared<KnowledgePayload>(1, 1, g, knows)));
+  EXPECT_FALSE(p.own_gossip_acknowledged());
+  // Now process 1 acknowledges gossip 0 as well.
+  knows.set(1, 0);
+  p.on_message(ctx, FakeContext::message(
+                        1, 0,
+                        std::make_shared<KnowledgePayload>(1, 2, g, knows)));
+  EXPECT_TRUE(p.own_gossip_acknowledged());
+}
+
+TEST(Ears, CompletesAfterSilentThresholdWhenConditionsHold) {
+  // n = 2: after one exchange both gossips are known and acknowledged.
+  EarsProcess p(0, info(2, 0), EarsConfig{}, 1);
+  FakeContext ctx(0, info(2, 0));
+  util::DynamicBitset g(2);
+  g.set_all();
+  util::Bitset2D knows(2, 2);
+  knows.set_row(0);
+  knows.set_row(1);
+  p.on_message(ctx, FakeContext::message(
+                        1, 0,
+                        std::make_shared<KnowledgePayload>(1, 1, g, knows)));
+  const auto threshold = p.silence_threshold();
+  // First step after news resets the counter; then `threshold` silent
+  // steps complete the process.
+  for (std::uint32_t i = 0; i <= threshold; ++i) {
+    EXPECT_FALSE(p.completed()) << "step " << i;
+    p.on_local_step(ctx);
+  }
+  EXPECT_TRUE(p.completed());
+  EXPECT_TRUE(p.wants_sleep());
+  // Completed processes send nothing further.
+  ctx.clear();
+  p.on_local_step(ctx);
+  EXPECT_TRUE(ctx.sends().empty());
+}
+
+TEST(Ears, NewGossipRevivesACompletedProcess) {
+  EarsProcess p(0, info(3, 0), EarsConfig{}, 1);
+  FakeContext ctx(0, info(3, 0));
+  // Drive to completion via the fallbacks (nothing ever heard).
+  const auto own_fallback =
+      3 * p.silence_threshold();  // f = 0: own fallback == bookkeeping
+  for (std::uint32_t i = 0; i <= own_fallback + 1 && !p.completed(); ++i)
+    p.on_local_step(ctx);
+  ASSERT_TRUE(p.completed());
+  // A payload carrying a brand-new gossip must wake it up.
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(3, 1, {})));
+  EXPECT_FALSE(p.completed());
+  ctx.clear();
+  p.on_local_step(ctx);
+  EXPECT_EQ(ctx.sends().size(), 1u);
+}
+
+TEST(Ears, AcknowledgmentOnlyUpdatesDoNotReviveCompleted) {
+  EarsProcess p(0, info(3, 0), EarsConfig{}, 1);
+  FakeContext ctx(0, info(3, 0));
+  // Learn gossip 1 first, then complete.
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(3, 1, {})));
+  for (std::uint32_t i = 0; i < 10 * p.silence_threshold() && !p.completed();
+       ++i)
+    p.on_local_step(ctx);
+  ASSERT_TRUE(p.completed());
+  // Process 2 acknowledges everything — new I facts, no new gossip.
+  util::DynamicBitset g(3);
+  g.set(0);
+  g.set(1);
+  util::Bitset2D knows(3, 3);
+  knows.set(2, 0);
+  knows.set(2, 1);
+  knows.set(2, 2);
+  g.set(2);  // payload G also carries gossip 2... that would be news;
+  g.reset(2);  // keep G = {0, 1}: strictly acknowledgment-only
+  p.on_message(ctx, FakeContext::message(
+                        2, 0,
+                        std::make_shared<KnowledgePayload>(2, 1, g, knows)));
+  EXPECT_TRUE(p.completed());
+}
+
+TEST(Ears, EngineRunGathersRumorsAndQuiesces) {
+  EarsFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 30;
+  cfg.f = 9;
+  cfg.seed = 7;
+  sim::Engine engine(cfg, factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+}
+
+}  // namespace
+
+namespace courtesy_tests {
+
+using namespace ugf;
+using protocols::EarsConfig;
+using protocols::EarsProcess;
+using protocols::KnowledgePayload;
+using testsupport::FakeContext;
+
+sim::SystemInfo info2(std::uint32_t n, std::uint32_t f) {
+  return sim::SystemInfo{n, f};
+}
+
+sim::PayloadPtr payload2(std::uint32_t n, sim::ProcessId sender,
+                         std::initializer_list<std::uint32_t> gossips,
+                         std::uint64_t version) {
+  util::DynamicBitset g(n);
+  g.set(sender);
+  for (const auto i : gossips) g.set(i);
+  util::Bitset2D knows(n, n);
+  g.for_each_set([&](std::uint32_t i) { knows.set(sender, i); });
+  return std::make_shared<KnowledgePayload>(sender, version, g, knows);
+}
+
+TEST(EarsCourtesy, CompletedProcessAnswersFirstSeenVersionsOnce) {
+  EarsProcess p(0, info2(4, 0), EarsConfig{}, 1);
+  FakeContext ctx(0, info2(4, 0));
+  // Drive to completion (nothing heard: gates are vacuous).
+  for (std::uint32_t i = 0; i <= p.silence_threshold() && !p.completed(); ++i)
+    p.on_local_step(ctx);
+  ASSERT_TRUE(p.completed());
+
+  // An acknowledgment-only message (no new gossip is possible here, so
+  // craft one that only adds I facts) from a straggler: stays completed,
+  // but one courtesy reply is queued for the wake step.
+  util::DynamicBitset g(4);
+  g.set(0);  // only our own gossip: no G news for us
+  util::Bitset2D knows(4, 4);
+  knows.set(2, 0);
+  p.on_message(ctx, FakeContext::message(
+                        2, 0,
+                        std::make_shared<KnowledgePayload>(2, 1, g, knows)));
+  EXPECT_TRUE(p.completed());
+  ctx.clear();
+  p.on_local_step(ctx);
+  ASSERT_EQ(ctx.sends().size(), 1u);
+  EXPECT_EQ(ctx.sends()[0].first, 2u);
+
+  // The same version again is deduplicated: no second reply.
+  p.on_message(ctx, FakeContext::message(
+                        2, 0,
+                        std::make_shared<KnowledgePayload>(2, 1, g, knows)));
+  ctx.clear();
+  p.on_local_step(ctx);
+  EXPECT_TRUE(ctx.sends().empty());
+
+  // A fresh version earns a fresh reply.
+  knows.set(2, 2);
+  p.on_message(ctx, FakeContext::message(
+                        2, 0,
+                        std::make_shared<KnowledgePayload>(2, 2, g, knows)));
+  ctx.clear();
+  p.on_local_step(ctx);
+  EXPECT_EQ(ctx.sends().size(), 1u);
+}
+
+TEST(EarsCourtesy, ActiveProcessDoesNotReplyDirectly) {
+  EarsProcess p(0, info2(4, 0), EarsConfig{}, 1);
+  FakeContext ctx(0, info2(4, 0));
+  p.on_message(ctx, FakeContext::message(1, 0, payload2(4, 1, {}, 1)));
+  ASSERT_FALSE(p.completed());
+  ctx.clear();
+  p.on_local_step(ctx);
+  // Exactly the regular single EARS send, not an extra reply.
+  EXPECT_EQ(ctx.sends().size(), 1u);
+}
+
+}  // namespace courtesy_tests

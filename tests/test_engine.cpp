@@ -1,0 +1,438 @@
+// Engine semantics tests (§II-A execution model): step timing, delivery,
+// sleep/wake, crashes, budget enforcement, adversary hooks, metrics and
+// determinism — all pinned with scripted protocols and adversaries.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using sim::GlobalStep;
+using sim::ProcessId;
+
+/// Marker payload for scripted sends.
+class MarkerPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x4D41524B;  // 'MARK'
+  explicit MarkerPayload(int tag = 0) noexcept : Payload(kKind), tag_(tag) {}
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ private:
+  int tag_;
+};
+
+struct Delivery {
+  ProcessId to = 0;
+  ProcessId from = 0;
+  GlobalStep sent_at = 0;
+  GlobalStep arrives_at = 0;
+};
+
+/// Follows a fixed per-step send plan, then sleeps. Records deliveries.
+class ScriptProtocol final : public sim::Protocol {
+ public:
+  using Plan = std::vector<std::vector<ProcessId>>;
+
+  ScriptProtocol(ProcessId self, Plan plan, std::vector<Delivery>* log)
+      : self_(self), plan_(std::move(plan)), log_(log) {}
+
+  void on_message(sim::ProcessContext&, const sim::Message& msg) override {
+    if (log_ != nullptr)
+      log_->push_back(Delivery{self_, msg.from, msg.sent_at, msg.arrives_at});
+  }
+
+  void on_local_step(sim::ProcessContext& ctx) override {
+    if (step_ < plan_.size()) {
+      for (const auto target : plan_[step_])
+        ctx.send(target, std::make_shared<MarkerPayload>());
+    }
+    ++step_;
+  }
+
+  [[nodiscard]] bool wants_sleep() const noexcept override {
+    return step_ >= plan_.size();
+  }
+  [[nodiscard]] bool completed() const noexcept override {
+    return wants_sleep();
+  }
+  [[nodiscard]] bool has_gossip_of(ProcessId) const noexcept override {
+    return true;  // scripted runs are not about rumor gathering
+  }
+
+ private:
+  ProcessId self_;
+  Plan plan_;
+  std::vector<Delivery>* log_;
+  std::size_t step_ = 0;
+};
+
+class ScriptFactory final : public sim::ProtocolFactory {
+ public:
+  ScriptFactory(std::vector<ScriptProtocol::Plan> plans,
+                std::vector<Delivery>* log)
+      : plans_(std::move(plans)), log_(log) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "script"; }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      ProcessId self, const sim::SystemInfo& info) const override {
+    EXPECT_LT(self, plans_.size());
+    (void)info;
+    return std::make_unique<ScriptProtocol>(self, plans_[self], log_);
+  }
+
+ private:
+  std::vector<ScriptProtocol::Plan> plans_;
+  std::vector<Delivery>* log_;
+};
+
+/// Adversary with std::function hooks for ad-hoc scripting.
+class HookAdversary final : public sim::Adversary {
+ public:
+  std::function<void(sim::AdversaryControl&)> start;
+  std::function<void(sim::AdversaryControl&, const sim::SendEvent&)> emitted;
+  std::function<void(sim::AdversaryControl&, GlobalStep)> timer;
+
+  [[nodiscard]] const char* name() const noexcept override { return "hook"; }
+  void on_run_start(sim::AdversaryControl& ctl) override {
+    if (start) start(ctl);
+  }
+  void on_message_emitted(sim::AdversaryControl& ctl,
+                          const sim::SendEvent& ev) override {
+    if (emitted) emitted(ctl, ev);
+  }
+  void on_timer(sim::AdversaryControl& ctl, GlobalStep step) override {
+    if (timer) timer(ctl, step);
+  }
+};
+
+sim::EngineConfig config2(std::uint32_t n = 2, std::uint32_t f = 1) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Engine, MessagesAreEmittedAtEndOfLocalStep) {
+  // delta = d = 1: a message decided in step [0,1) is sent at 1 and
+  // arrives at 2.
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  sim::Engine engine(config2(), factory, nullptr);
+  const auto out = engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].to, 1u);
+  EXPECT_EQ(log[0].from, 0u);
+  EXPECT_EQ(log[0].sent_at, 1u);
+  EXPECT_EQ(log[0].arrives_at, 2u);
+  EXPECT_EQ(out.total_messages, 1u);
+  EXPECT_EQ(out.delivered_messages, 1u);
+}
+
+TEST(Engine, LocalStepTimeDelaysEmission) {
+  // delta_0 = 5 (Lemma-1 setup): nothing leaves process 0 before step 5.
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  HookAdversary adv;
+  adv.start = [](sim::AdversaryControl& ctl) {
+    ctl.set_local_step_time(0, 5);
+  };
+  sim::Engine engine(config2(), factory, &adv);
+  (void)engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].sent_at, 5u);
+  EXPECT_EQ(log[0].arrives_at, 6u);
+}
+
+TEST(Engine, DeliveryTimeDelaysArrival) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  HookAdversary adv;
+  adv.start = [](sim::AdversaryControl& ctl) {
+    ctl.set_local_step_time(0, 5);
+    ctl.set_delivery_time(0, 10);
+  };
+  sim::Engine engine(config2(), factory, &adv);
+  (void)engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].sent_at, 5u);
+  EXPECT_EQ(log[0].arrives_at, 15u);
+}
+
+TEST(Engine, SleepingProcessWakesOnArrivalAndExtendsTend) {
+  // Process 1 sleeps immediately (empty plan); the arrival at step 2
+  // wakes it for one step ending at 3, which defines T_end.
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  sim::Engine engine(config2(), factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_EQ(out.t_end, 3u);
+  EXPECT_EQ(out.completion_step[1], 3u);
+  EXPECT_DOUBLE_EQ(out.time_complexity, 3.0 / 2.0);  // delta = d = 1
+}
+
+TEST(Engine, CrashedReceiverDropsMessages) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  HookAdversary adv;
+  adv.start = [](sim::AdversaryControl& ctl) { EXPECT_TRUE(ctl.crash(1)); };
+  sim::Engine engine(config2(), factory, &adv);
+  const auto out = engine.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(out.total_messages, 1u);  // sending still counted
+  EXPECT_EQ(out.delivered_messages, 0u);
+  EXPECT_EQ(out.dropped_messages, 1u);
+  EXPECT_EQ(out.crashed, 1u);
+  EXPECT_EQ(out.final_state[1], sim::ProcessState::kCrashed);
+  EXPECT_EQ(out.completion_step[1], sim::kNeverStep);
+}
+
+TEST(Engine, CrashBudgetIsEnforced) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{}, {}, {}, {}}, &log);
+  HookAdversary adv;
+  adv.start = [](sim::AdversaryControl& ctl) {
+    EXPECT_TRUE(ctl.crash(0));
+    EXPECT_TRUE(ctl.crash(1));
+    EXPECT_FALSE(ctl.crash(2)) << "third crash exceeds F = 2";
+    EXPECT_FALSE(ctl.crash(1)) << "double crash must fail";
+    EXPECT_FALSE(ctl.crash(99)) << "out of range";
+    EXPECT_EQ(ctl.crashes_used(), 2u);
+  };
+  sim::Engine engine(config2(4, 2), factory, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 2u);
+}
+
+TEST(Engine, CrashAtEmissionDropsThatMessage) {
+  // The adversary observes process 0's emission and crashes the receiver
+  // before the network accepts it — the Strategy 2.k.0 move.
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  HookAdversary adv;
+  adv.emitted = [](sim::AdversaryControl& ctl, const sim::SendEvent& ev) {
+    EXPECT_EQ(ev.from, 0u);
+    EXPECT_EQ(ev.to, 1u);
+    EXPECT_EQ(ev.step, 1u);
+    EXPECT_EQ(ev.sender_total, 1u);
+    EXPECT_TRUE(ctl.crash(ev.to));
+  };
+  sim::Engine engine(config2(), factory, &adv);
+  const auto out = engine.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(out.total_messages, 1u);
+  EXPECT_EQ(out.dropped_messages, 1u);
+}
+
+TEST(Engine, CrashCancelsPendingActivity) {
+  // Process 1 would send at steps 1..3; crashing it at step 2 (via a
+  // timer) stops the remaining sends.
+  std::vector<Delivery> log;
+  ScriptFactory factory({{}, {{0}, {0}, {0}}}, &log);
+  HookAdversary adv;
+  adv.start = [](sim::AdversaryControl& ctl) { ctl.request_timer(2); };
+  adv.timer = [](sim::AdversaryControl& ctl, GlobalStep step) {
+    EXPECT_EQ(step, 2u);
+    EXPECT_TRUE(ctl.crash(1));
+  };
+  sim::Engine engine(config2(2, 1), factory, &adv);
+  const auto out = engine.run();
+  // Emissions at steps 1 and 2 happen (timer fires at step 2 but after
+  // insertion order: the step-2 emission event was queued first), the
+  // step-3 one is cancelled.
+  EXPECT_LE(out.total_messages, 2u);
+  EXPECT_GE(out.total_messages, 1u);
+  EXPECT_EQ(out.final_state[1], sim::ProcessState::kCrashed);
+}
+
+TEST(Engine, MetricsAreConsistent) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}, {1, 1}}, {{0}}}, &log);
+  sim::Engine engine(config2(), factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_EQ(out.total_messages, 4u);
+  EXPECT_EQ(out.per_process_sent[0], 3u);
+  EXPECT_EQ(out.per_process_sent[1], 1u);
+  EXPECT_EQ(out.delivered_messages + out.dropped_messages,
+            out.total_messages);
+  GlobalStep max_completion = 0;
+  for (const auto c : out.completion_step)
+    if (c != sim::kNeverStep) max_completion = std::max(max_completion, c);
+  EXPECT_EQ(out.t_end, max_completion);
+  EXPECT_DOUBLE_EQ(out.time_complexity,
+                   static_cast<double>(out.t_end) /
+                       static_cast<double>(out.delta_max + out.d_max));
+}
+
+TEST(Engine, DeltaAndDMaxTrackAdversaryValues) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  HookAdversary adv;
+  adv.start = [](sim::AdversaryControl& ctl) {
+    ctl.set_local_step_time(0, 7);
+    ctl.set_delivery_time(1, 13);
+  };
+  sim::Engine engine(config2(), factory, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(out.delta_max, 7u);
+  EXPECT_EQ(out.d_max, 13u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  for (const std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    auto run = [seed]() {
+      std::vector<Delivery> log;
+      ScriptFactory factory({{{1}, {2}}, {{2}}, {{0}, {1}}}, &log);
+      auto cfg = config2(3, 1);
+      cfg.seed = seed;
+      sim::Engine engine(cfg, factory, nullptr);
+      return engine.run();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.total_messages, b.total_messages);
+    EXPECT_EQ(a.t_end, b.t_end);
+    EXPECT_EQ(a.per_process_sent, b.per_process_sent);
+    EXPECT_EQ(a.completion_step, b.completion_step);
+  }
+}
+
+TEST(Engine, ValidatesConfiguration) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{}, {}}, &log);
+  sim::EngineConfig bad_n;
+  bad_n.n = 1;
+  bad_n.f = 0;
+  EXPECT_THROW(sim::Engine(bad_n, factory, nullptr), std::invalid_argument);
+  sim::EngineConfig bad_f;
+  bad_f.n = 2;
+  bad_f.f = 2;
+  EXPECT_THROW(sim::Engine(bad_f, factory, nullptr), std::invalid_argument);
+}
+
+TEST(Engine, RunTwiceThrows) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{}, {}}, &log);
+  sim::Engine engine(config2(), factory, nullptr);
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+/// Never-quiescing protocol to exercise the safety caps.
+class PingPongProtocol final : public sim::Protocol {
+ public:
+  explicit PingPongProtocol(ProcessId self) : self_(self) {}
+  void on_message(sim::ProcessContext&, const sim::Message&) override {}
+  void on_local_step(sim::ProcessContext& ctx) override {
+    ctx.send(self_ == 0 ? 1 : 0, std::make_shared<MarkerPayload>());
+  }
+  [[nodiscard]] bool wants_sleep() const noexcept override { return false; }
+  [[nodiscard]] bool completed() const noexcept override { return false; }
+  [[nodiscard]] bool has_gossip_of(ProcessId) const noexcept override {
+    return true;
+  }
+
+ private:
+  ProcessId self_;
+};
+
+class PingPongFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "ping-pong";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      ProcessId self, const sim::SystemInfo&) const override {
+    return std::make_unique<PingPongProtocol>(self);
+  }
+};
+
+TEST(Engine, MaxEventsTruncatesLivelockedProtocols) {
+  PingPongFactory factory;
+  auto cfg = config2();
+  cfg.max_events = 1000;
+  sim::Engine engine(cfg, factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.truncated);
+  EXPECT_FALSE(out.rumor_gathering_ok);  // unknown when truncated
+}
+
+TEST(Engine, MaxStepsTruncates) {
+  PingPongFactory factory;
+  auto cfg = config2();
+  cfg.max_steps = 50;
+  sim::Engine engine(cfg, factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.truncated);
+  EXPECT_LE(out.t_end, 51u);
+}
+
+/// Protocol that misuses the context, to verify the guard rails.
+class MisbehavingProtocol final : public sim::Protocol {
+ public:
+  explicit MisbehavingProtocol(ProcessId self) : self_(self) {}
+  void on_message(sim::ProcessContext&, const sim::Message&) override {}
+  void on_local_step(sim::ProcessContext& ctx) override {
+    EXPECT_THROW(ctx.send(self_, std::make_shared<MarkerPayload>()),
+                 std::invalid_argument);
+    EXPECT_THROW(ctx.send(1000, std::make_shared<MarkerPayload>()),
+                 std::out_of_range);
+    EXPECT_THROW(ctx.send((self_ + 1) % 2, nullptr), std::invalid_argument);
+    EXPECT_EQ(ctx.queued_sends(), 0u);
+    done_ = true;
+  }
+  [[nodiscard]] bool wants_sleep() const noexcept override { return done_; }
+  [[nodiscard]] bool completed() const noexcept override { return done_; }
+  [[nodiscard]] bool has_gossip_of(ProcessId) const noexcept override {
+    return true;
+  }
+
+ private:
+  ProcessId self_;
+  bool done_ = false;
+};
+
+class MisbehavingFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "evil"; }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      ProcessId self, const sim::SystemInfo&) const override {
+    return std::make_unique<MisbehavingProtocol>(self);
+  }
+};
+
+TEST(Engine, ContextRejectsBadSends) {
+  MisbehavingFactory factory;
+  sim::Engine engine(config2(), factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_EQ(out.total_messages, 0u);
+}
+
+TEST(Engine, AdversaryObservationSurface) {
+  std::vector<Delivery> log;
+  ScriptFactory factory({{{1}}, {}}, &log);
+  HookAdversary adv;
+  bool checked = false;
+  adv.start = [&checked](sim::AdversaryControl& ctl) {
+    EXPECT_EQ(ctl.num_processes(), 2u);
+    EXPECT_EQ(ctl.crash_budget(), 1u);
+    EXPECT_EQ(ctl.crashes_used(), 0u);
+    EXPECT_FALSE(ctl.is_crashed(0));
+    EXPECT_EQ(ctl.messages_sent_by(0), 0u);
+    EXPECT_EQ(ctl.delivery_time(0), 1u);
+    EXPECT_EQ(ctl.local_step_time(0), 1u);
+    EXPECT_EQ(ctl.now(), 0u);
+    checked = true;
+  };
+  sim::Engine engine(config2(), factory, &adv);
+  (void)engine.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Engine edge cases: minimal system sizes, multi-lane inbox ordering,
+// omission-hook misuse, and zero crash budgets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace {
+
+using namespace ugf;
+using sim::GlobalStep;
+using sim::ProcessId;
+
+class NotePayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x4E4F5445;  // 'NOTE'
+  explicit NotePayload(int tag) noexcept : Payload(kKind), tag_(tag) {}
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ private:
+  int tag_;
+};
+
+/// Sends `bursts` tagged messages to process 0 in its first step, then
+/// sleeps; process 0 records the tags in delivery order.
+class LaneProtocol final : public sim::Protocol {
+ public:
+  LaneProtocol(ProcessId self, std::vector<int>* order, int bursts)
+      : self_(self), order_(order), bursts_(bursts) {}
+
+  void on_message(sim::ProcessContext&, const sim::Message& msg) override {
+    if (const auto* note = sim::payload_as<NotePayload>(msg))
+      order_->push_back(note->tag());
+  }
+  void on_local_step(sim::ProcessContext& ctx) override {
+    if (self_ != 0 && !sent_) {
+      for (int b = 0; b < bursts_; ++b)
+        ctx.send(0, std::make_shared<NotePayload>(
+                        static_cast<int>(self_) * 100 + b));
+      sent_ = true;
+    }
+  }
+  [[nodiscard]] bool wants_sleep() const noexcept override {
+    return self_ == 0 || sent_;
+  }
+  [[nodiscard]] bool completed() const noexcept override {
+    return wants_sleep();
+  }
+  [[nodiscard]] bool has_gossip_of(ProcessId) const noexcept override {
+    return true;
+  }
+
+ private:
+  ProcessId self_;
+  std::vector<int>* order_;
+  int bursts_;
+  bool sent_ = false;
+};
+
+class LaneFactory final : public sim::ProtocolFactory {
+ public:
+  LaneFactory(std::vector<int>* order, int bursts)
+      : order_(order), bursts_(bursts) {}
+  [[nodiscard]] const char* name() const noexcept override { return "lane"; }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      ProcessId self, const sim::SystemInfo&) const override {
+    return std::make_unique<LaneProtocol>(self, order_, bursts_);
+  }
+
+ private:
+  std::vector<int>* order_;
+  int bursts_;
+};
+
+/// Adversary that sets distinct delivery times per sender at start.
+class PerSenderDelay final : public sim::Adversary {
+ public:
+  explicit PerSenderDelay(std::vector<std::uint64_t> delays)
+      : delays_(std::move(delays)) {}
+  [[nodiscard]] const char* name() const noexcept override { return "psd"; }
+  void on_run_start(sim::AdversaryControl& ctl) override {
+    for (ProcessId p = 0; p < delays_.size() && p < ctl.num_processes(); ++p)
+      ctl.set_delivery_time(p, delays_[p]);
+  }
+
+ private:
+  std::vector<std::uint64_t> delays_;
+};
+
+TEST(EngineEdges, MultiLaneDeliveriesMergeByArrivalThenAcceptance) {
+  // Senders 1..3 emit at step 1 with d = 5, 3, 5: arrivals at 6, 4, 6.
+  // Expected delivery order at process 0: sender 2 first (arrival 4),
+  // then senders 1 and 3 in acceptance order (same arrival 6).
+  std::vector<int> order;
+  LaneFactory factory(&order, /*bursts=*/2);
+  PerSenderDelay adversary({1, 5, 3, 5});
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 0;
+  cfg.seed = 1;
+  sim::Engine engine(cfg, factory, &adversary);
+  const auto out = engine.run();
+  EXPECT_EQ(out.delivered_messages, 6u);
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 200);
+  EXPECT_EQ(order[1], 201);
+  // Same arrival step: acceptance (emission) order wins; emissions are
+  // processed in process-id order at the same step.
+  EXPECT_EQ(order[2], 100);
+  EXPECT_EQ(order[3], 101);
+  EXPECT_EQ(order[4], 300);
+  EXPECT_EQ(order[5], 301);
+}
+
+TEST(EngineEdges, SleepingReceiverWakesAtEarliestLane) {
+  std::vector<int> order;
+  LaneFactory factory(&order, 1);
+  PerSenderDelay adversary({1, 9, 2, 30});
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 0;
+  cfg.seed = 1;
+  sim::Engine engine(cfg, factory, &adversary);
+  const auto out = engine.run();
+  // Last arrival at 1 + 30 = 31; the wake step [31, 32) defines T_end.
+  EXPECT_EQ(out.t_end, 32u);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 200);  // d = 2 first
+  EXPECT_EQ(order[1], 100);  // then d = 9
+  EXPECT_EQ(order[2], 300);  // then d = 30
+}
+
+TEST(EngineEdges, MinimalSystemOfTwo) {
+  for (const auto& name : protocols::protocol_names()) {
+    const auto proto = protocols::make_protocol(name);
+    sim::EngineConfig cfg;
+    cfg.n = 2;
+    cfg.f = 0;
+    cfg.seed = 9;
+    sim::Engine engine(cfg, *proto, nullptr);
+    const auto out = engine.run();
+    EXPECT_TRUE(out.rumor_gathering_ok) << name;
+    EXPECT_FALSE(out.truncated) << name;
+  }
+}
+
+TEST(EngineEdges, SuppressOutsideEmissionHookThrows) {
+  class BadAdversary final : public sim::Adversary {
+   public:
+    [[nodiscard]] const char* name() const noexcept override { return "bad"; }
+    void on_run_start(sim::AdversaryControl& ctl) override {
+      EXPECT_THROW(ctl.suppress_message(), std::logic_error);
+    }
+    void on_timer(sim::AdversaryControl& ctl, GlobalStep) override {
+      EXPECT_THROW(ctl.suppress_message(), std::logic_error);
+    }
+  } adversary;
+  const auto proto = protocols::make_protocol("push-pull");
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.seed = 2;
+  sim::Engine engine(cfg, *proto, &adversary);
+  (void)engine.run();
+}
+
+TEST(EngineEdges, ZeroCrashBudgetNeutralizesCrashStrategies) {
+  const auto proto = protocols::make_protocol("push-pull");
+  class CrashHungry final : public sim::Adversary {
+   public:
+    [[nodiscard]] const char* name() const noexcept override {
+      return "hungry";
+    }
+    void on_run_start(sim::AdversaryControl& ctl) override {
+      for (ProcessId p = 0; p < ctl.num_processes(); ++p)
+        EXPECT_FALSE(ctl.crash(p));
+    }
+  } adversary;
+  sim::EngineConfig cfg;
+  cfg.n = 8;
+  cfg.f = 0;
+  cfg.seed = 3;
+  sim::Engine engine(cfg, *proto, &adversary);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 0u);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(EngineEdges, DeltaOneIsContiguousSteps) {
+  // A process with delta = 1 that never sleeps executes steps back to
+  // back: local_steps_executed ~ t_end for a 2-process sequential run.
+  const auto proto = protocols::make_protocol("sequential");
+  sim::EngineConfig cfg;
+  cfg.n = 2;
+  cfg.f = 0;
+  cfg.seed = 4;
+  sim::Engine engine(cfg, *proto, nullptr);
+  const auto out = engine.run();
+  EXPECT_EQ(out.total_messages, 2u);  // each sends its gossip once
+  EXPECT_LE(out.t_end, 4u);
+}
+
+}  // namespace

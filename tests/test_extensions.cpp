@@ -1,0 +1,186 @@
+// Tests for the §VII / Remark-1 extensions: omission adversaries, the
+// informed (protocol-classifying) fighter and benign network jitter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "adversary/informed.hpp"
+#include "adversary/jitter.hpp"
+#include "adversary/omission.hpp"
+#include "core/adversary_registry.hpp"
+#include "core/ugf.hpp"
+#include "protocols/ears.hpp"
+#include "protocols/push_pull.hpp"
+#include "protocols/registry.hpp"
+#include "protocols/sequential.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+
+sim::EngineConfig config(std::uint32_t n, std::uint32_t f,
+                         std::uint64_t seed = 77) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Omission, SuppressedMessagesCountAsSentButNotDelivered) {
+  protocols::EarsFactory proto;
+  adversary::OmissionAdversary adv(3, /*tau=*/0, 1, 1);
+  sim::Engine engine(config(30, 10), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_GT(out.omitted_messages, 0u);
+  EXPECT_EQ(out.omitted_messages, adv.omitted());
+  EXPECT_EQ(out.delivered_messages + out.dropped_messages +
+                out.omitted_messages,
+            out.total_messages);
+  EXPECT_EQ(out.crashed, 0u);  // omission never crashes
+  EXPECT_FALSE(out.truncated);
+  // EARS retries, so rumor gathering survives omission.
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(Omission, QuotaBoundsTheDamage) {
+  protocols::EarsFactory proto;
+  adversary::OmissionAdversary adv(3, /*tau=*/0, 1, 1, /*quota=*/4);
+  sim::Engine engine(config(30, 10), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_EQ(adv.quota(), 4u);
+  // At most quota omissions per member of C.
+  EXPECT_LE(out.omitted_messages, 4u * adv.control_set().size());
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(Omission, BreaksOneShotProtocols) {
+  // Sequential sends each gossip exactly once per destination: omitted
+  // copies are gone for good, so with a meaningful quota some correct
+  // process must miss some gossip — the §VII answer ("omission harms
+  // even more") in its starkest form.
+  protocols::SequentialFactory proto;
+  adversary::OmissionAdversary adv(5, /*tau=*/0, 1, 1);
+  sim::Engine engine(config(30, 10), proto, &adv);
+  const auto out = engine.run();
+  EXPECT_GT(out.omitted_messages, 0u);
+  EXPECT_FALSE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);  // quiescence still holds
+}
+
+TEST(Omission, UgfOmissionModeSuppressesInsteadOfDelaying) {
+  protocols::EarsFactory proto;
+  core::UgfConfig ugf_config;
+  ugf_config.q1 = 0.0;
+  ugf_config.q2 = 0.0;  // force the (now omission-flavoured) 2.k.l branch
+  ugf_config.omission_mode = true;
+  core::UniversalGossipFighter ugf(9, ugf_config);
+  sim::Engine engine(config(30, 10), proto, &ugf);
+  const auto out = engine.run();
+  EXPECT_EQ(out.d_max, 1u) << "omission mode must not touch delivery times";
+  EXPECT_EQ(out.delta_max, 10u) << "the tau^k slowdown of C remains";
+  EXPECT_GT(out.omitted_messages, 0u);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(Informed, ClassifiesPushPullAndCrashesC) {
+  protocols::PushPullFactory proto;
+  adversary::InformedFighter informed(11);
+  sim::Engine engine(config(40, 12), proto, &informed);
+  const auto out = engine.run();
+  // Push-Pull emits ~2 messages per process-step: between the two
+  // thresholds -> Strategy 1 (crash C).
+  EXPECT_GT(informed.observed_rate(), 1.05);
+  EXPECT_LE(informed.observed_rate(), 3.0);
+  EXPECT_EQ(informed.chosen_strategy().kind,
+            adversary::StrategyKind::kCrashC);
+  EXPECT_EQ(out.crashed, 6u);  // floor(F/2)
+  EXPECT_EQ(informed.strategy_descriptor(), "informed+strategy-1");
+}
+
+TEST(Informed, ClassifiesEarsAndIsolates) {
+  protocols::EarsFactory proto;
+  adversary::InformedFighter informed(11);
+  sim::Engine engine(config(40, 12), proto, &informed);
+  const auto out = engine.run();
+  EXPECT_LE(informed.observed_rate(), 1.05);
+  EXPECT_EQ(informed.chosen_strategy().kind,
+            adversary::StrategyKind::kIsolate);
+  EXPECT_GT(out.crashed, 0u);
+  EXPECT_EQ(out.delta_max, 12u);  // tau = F slowdown of C
+}
+
+TEST(Informed, ClassifiesSearsAndDelays) {
+  const auto proto = protocols::make_protocol("sears");
+  adversary::InformedFighter informed(11);
+  sim::Engine engine(config(40, 12), *proto, &informed);
+  const auto out = engine.run();
+  EXPECT_GT(informed.observed_rate(), 3.0);
+  EXPECT_EQ(informed.chosen_strategy().kind, adversary::StrategyKind::kDelay);
+  EXPECT_EQ(out.crashed, 0u);
+  EXPECT_EQ(out.d_max, 144u);  // tau^2
+}
+
+TEST(Informed, MatchesOrBeatsUgfMedianOnItsGuess) {
+  // On EARS, the informed fighter always plays isolation; UGF only draws
+  // it a third of the time — the informed time complexity must dominate
+  // UGF's median (this is the §VII "does information help" answer).
+  protocols::EarsFactory proto;
+  std::vector<double> informed_times, ugf_times;
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    adversary::InformedFighter informed(seed);
+    const auto a = sim::Engine(config(40, 12, seed), proto, &informed).run();
+    informed_times.push_back(a.time_complexity);
+    core::UniversalGossipFighter ugf(seed);
+    const auto b = sim::Engine(config(40, 12, seed), proto, &ugf).run();
+    ugf_times.push_back(b.time_complexity);
+  }
+  std::sort(informed_times.begin(), informed_times.end());
+  std::sort(ugf_times.begin(), ugf_times.end());
+  EXPECT_GE(informed_times[4], ugf_times[4]);  // medians of 9
+}
+
+TEST(Jitter, BoundedJitterPreservesCorrectnessAndShape) {
+  for (const auto& name : protocols::protocol_names()) {
+    const auto proto = protocols::make_protocol(name);
+    adversary::JitterAdversary jitter(21);
+    sim::Engine engine(config(30, 9, 5), *proto, &jitter);
+    const auto out = engine.run();
+    EXPECT_TRUE(out.rumor_gathering_ok) << name;
+    EXPECT_FALSE(out.truncated) << name;
+    EXPECT_EQ(out.crashed, 0u) << name;
+    EXPECT_LE(out.delta_max, 4u) << name;  // default amplitude
+    EXPECT_LE(out.d_max, 4u) << name;
+  }
+}
+
+TEST(Jitter, ChangingDeliveryTimesMidRunKeepsEngineConsistent) {
+  // Regression guard for the per-d inbox lanes: jitter produces several
+  // distinct d values per receiver, interleaved, and the engine must
+  // still deliver everything exactly once.
+  protocols::EarsFactory proto;
+  adversary::JitterConfig jcfg;
+  jcfg.amplitude = 7;
+  jcfg.period = 2;
+  jcfg.churn = 0.9;
+  adversary::JitterAdversary jitter(33, jcfg);
+  sim::Engine engine(config(24, 7, 8), proto, &jitter);
+  const auto out = engine.run();
+  EXPECT_EQ(out.delivered_messages + out.dropped_messages +
+                out.omitted_messages,
+            out.total_messages);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(Extensions, RegistryNamesWork) {
+  for (const char* name : {"omission", "ugf-omission", "informed", "jitter"}) {
+    const auto factory = core::make_adversary(name);
+    ASSERT_NE(factory, nullptr) << name;
+    EXPECT_NE(factory->create(1), nullptr) << name;
+  }
+}
+
+}  // namespace

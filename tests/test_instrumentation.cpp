@@ -1,0 +1,80 @@
+// Tests for the measurement wrappers (sim/instrumentation.hpp).
+
+#include <gtest/gtest.h>
+
+#include "adversary/fixed_strategies.hpp"
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace {
+
+using namespace ugf;
+
+sim::EngineConfig config(std::uint32_t n, std::uint32_t f,
+                         std::uint64_t seed = 3) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(TracingAdversary, RecordsEveryEmissionInOrder) {
+  const auto proto = protocols::make_protocol("push-pull");
+  sim::TracingAdversary trace;  // no inner adversary
+  sim::Engine engine(config(16, 4), *proto, &trace);
+  const auto out = engine.run();
+  EXPECT_EQ(trace.records().size(), out.total_messages);
+  sim::GlobalStep prev = 0;
+  for (const auto& record : trace.records()) {
+    EXPECT_GE(record.step, prev);  // emissions observed in time order
+    prev = record.step;
+    EXPECT_LT(record.from, 16u);
+    EXPECT_LT(record.to, 16u);
+    EXPECT_NE(record.from, record.to);
+  }
+}
+
+TEST(TracingAdversary, DelegatesToInnerAdversary) {
+  const auto proto = protocols::make_protocol("push-pull");
+  adversary::Strategy1Adversary inner(5);
+  sim::TracingAdversary trace(&inner);
+  sim::Engine engine(config(20, 6), *proto, &trace);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 3u);  // the inner Strategy 1 still acted
+  EXPECT_STREQ(trace.name(), inner.name());
+  EXPECT_EQ(trace.strategy_descriptor(), inner.strategy_descriptor());
+}
+
+TEST(DeliveryRecording, RecordsEveryDeliveryConsistently) {
+  const auto proto = protocols::make_protocol("ears");
+  std::vector<sim::DeliveryRecord> deliveries;
+  sim::DeliveryRecordingFactory recording(*proto, &deliveries);
+  sim::Engine engine(config(16, 4), recording, nullptr);
+  const auto out = engine.run();
+  EXPECT_EQ(deliveries.size(), out.delivered_messages);
+  for (const auto& d : deliveries) {
+    EXPECT_GT(d.arrives_at, d.sent_at);
+    EXPECT_NE(d.to, d.from);
+  }
+  EXPECT_STREQ(recording.name(), proto->name());
+}
+
+TEST(DeliveryRecording, TransparencyOfOutcome) {
+  // Wrapping must not change the run at all (same seed, same results).
+  const auto proto = protocols::make_protocol("push-pull");
+  sim::Engine plain_engine(config(18, 5, 77), *proto, nullptr);
+  const auto plain = plain_engine.run();
+
+  std::vector<sim::DeliveryRecord> deliveries;
+  sim::DeliveryRecordingFactory recording(*proto, &deliveries);
+  sim::Engine wrapped_engine(config(18, 5, 77), recording, nullptr);
+  const auto wrapped = wrapped_engine.run();
+
+  EXPECT_EQ(plain.total_messages, wrapped.total_messages);
+  EXPECT_EQ(plain.t_end, wrapped.t_end);
+  EXPECT_EQ(plain.per_process_sent, wrapped.per_process_sent);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Integration tests reproducing the paper's qualitative findings
+// (§V-B) on a reduced grid: who wins, in which direction the curves
+// bend, and which strategy is the damaging one per protocol. Absolute
+// values are substrate-specific; shapes are asserted.
+
+#include <gtest/gtest.h>
+
+#include "analysis/regression.hpp"
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/sweep.hpp"
+
+namespace {
+
+using namespace ugf;
+using analysis::growth_exponent;
+using runner::SweepConfig;
+
+SweepConfig shape_config() {
+  SweepConfig cfg;
+  cfg.grid = {20, 40, 80, 160, 320};
+  cfg.f_fraction = 0.3;
+  cfg.runs = 7;  // medians of 7 are stable enough for shape assertions
+  cfg.base_seed = 0x5AFE;
+  cfg.threads = 2;
+  return cfg;
+}
+
+runner::Curve sweep(const char* protocol, const char* adversary,
+                    core::AdversaryParams params = {}) {
+  const auto proto = protocols::make_protocol(protocol);
+  const auto adv = core::make_adversary(adversary, params);
+  return runner::sweep_curve(shape_config(), *proto, *adv, adversary);
+}
+
+TEST(PaperShapes, PushPullBaselineTimeIsLogarithmicButStrategy1IsLinear) {
+  // Fig. 3a.
+  const auto baseline = sweep("push-pull", "none");
+  const auto attacked = sweep("push-pull", "strategy-1");
+  const double b_base = growth_exponent(baseline.ns(),
+                                        baseline.time_medians());
+  const double b_attacked =
+      growth_exponent(attacked.ns(), attacked.time_medians());
+  EXPECT_LT(b_base, 0.4) << "baseline time should be ~log N";
+  EXPECT_GT(b_attacked, 0.55) << "Strategy 1 should push time toward ~N";
+  // The attacked curve dominates the baseline at scale.
+  EXPECT_GT(attacked.points.back().time.median,
+            2.0 * baseline.points.back().time.median);
+}
+
+TEST(PaperShapes, EarsBaselineTimeIsLogarithmicButIsolationIsLinear) {
+  // Fig. 3b.
+  const auto baseline = sweep("ears", "none");
+  const auto attacked = sweep("ears", "strategy-2.k.0");
+  const double b_base =
+      growth_exponent(baseline.ns(), baseline.time_medians());
+  const double b_attacked =
+      growth_exponent(attacked.ns(), attacked.time_medians());
+  EXPECT_LT(b_base, 0.4);
+  EXPECT_GT(b_attacked, 0.6);
+  EXPECT_GT(attacked.points.back().time.median,
+            2.0 * baseline.points.back().time.median);
+}
+
+TEST(PaperShapes, PushPullMessagesBecomeQuadraticUnderDelays) {
+  // Fig. 3c.
+  const auto baseline = sweep("push-pull", "none");
+  const auto attacked = sweep("push-pull", "strategy-2.k.l");
+  const double b_base =
+      growth_exponent(baseline.ns(), baseline.message_medians());
+  const double b_attacked =
+      growth_exponent(attacked.ns(), attacked.message_medians());
+  EXPECT_LT(b_base, 1.45) << "baseline messages ~N log N";
+  EXPECT_GT(b_attacked, 1.6) << "delayed messages ~N^2";
+  EXPECT_GT(attacked.points.back().messages.median,
+            2.0 * baseline.points.back().messages.median);
+}
+
+TEST(PaperShapes, EarsMessagesBecomeQuadraticUnderDelays) {
+  // Fig. 3d.
+  const auto baseline = sweep("ears", "none");
+  const auto attacked = sweep("ears", "strategy-2.k.l");
+  EXPECT_LT(growth_exponent(baseline.ns(), baseline.message_medians()), 1.45);
+  EXPECT_GT(growth_exponent(attacked.ns(), attacked.message_medians()), 1.6);
+}
+
+TEST(PaperShapes, SearsIsAlreadyQuadraticWithoutAdversary) {
+  // Fig. 3e / §V-B.3: SEARS trades message complexity for constant time,
+  // so its baseline already sits at the quadratic limit.
+  const auto baseline = sweep("sears", "none");
+  EXPECT_GT(growth_exponent(baseline.ns(), baseline.message_medians()), 1.7);
+}
+
+TEST(PaperShapes, UgfElevatesMessagesAboveBaselineOnEveryProtocol) {
+  // "UGF forces either linear time or quadratic message complexity" —
+  // over the strategy mixture, the third quartile of messages at the
+  // largest N is far above the baseline for every protocol.
+  for (const char* protocol : {"push-pull", "ears", "sears"}) {
+    const auto baseline = sweep(protocol, "none");
+    const auto attacked = sweep(protocol, "ugf");
+    const auto& base_top = baseline.points.back().messages;
+    const auto& att_top = attacked.points.back().messages;
+    EXPECT_GT(att_top.q3, 1.5 * base_top.median) << protocol;
+  }
+}
+
+TEST(PaperShapes, ObliviousAdversaryIsWeak) {
+  // §VI: oblivious adversaries are not powerful enough to harm gossip.
+  // Random crash schedules leave Push-Pull's time logarithmic and its
+  // messages well below quadratic.
+  const auto attacked = sweep("push-pull", "oblivious");
+  EXPECT_LT(growth_exponent(attacked.ns(), attacked.time_medians()), 0.5);
+  EXPECT_LT(growth_exponent(attacked.ns(), attacked.message_medians()), 1.5);
+}
+
+}  // namespace

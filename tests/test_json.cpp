@@ -1,0 +1,135 @@
+// Tests for the streaming JSON writer and the figure JSON export.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <fstream>
+#include <sstream>
+
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/report.hpp"
+#include "runner/sweep.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using ugf::util::JsonWriter;
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object()
+      .member("name", "ugf")
+      .member("n", std::uint64_t{500})
+      .member("ratio", 0.5)
+      .member("ok", true)
+      .key("nothing")
+      .null()
+      .end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"ugf","n":500,"ratio":0.5,"ok":true,"nothing":null})");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  JsonWriter json;
+  json.begin_object()
+      .key("points")
+      .begin_array()
+      .begin_object()
+      .member("x", 1)
+      .end_object()
+      .begin_object()
+      .member("x", 2)
+      .end_object()
+      .end_array()
+      .key("grid")
+      .begin_array()
+      .value(std::uint64_t{10})
+      .value(std::uint64_t{20})
+      .end_array()
+      .end_object();
+  EXPECT_EQ(json.str(),
+            R"({"points":[{"x":1},{"x":2}],"grid":[10,20]})");
+}
+
+TEST(JsonWriter, RootArrayAndScalars) {
+  JsonWriter json;
+  json.begin_array().value(1).value("two").value(false).end_array();
+  EXPECT_EQ(json.str(), R"([1,"two",false])");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  JsonWriter json;
+  json.begin_object().member("k\"ey", "v\nal").end_object();
+  EXPECT_EQ(json.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, RejectsMisuse) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+    EXPECT_THROW(json.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW((void)json.str(), std::logic_error);  // unfinished
+    json.value(1);
+    EXPECT_THROW(json.value(2), std::logic_error);  // second root
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("a");
+    EXPECT_THROW(json.end_object(), std::logic_error);  // dangling key
+  }
+}
+
+TEST(FigureJson, ExportsCurves) {
+  using namespace ugf;
+  runner::SweepConfig config;
+  config.grid = {8, 12};
+  config.runs = 3;
+  config.threads = 1;
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto ugf_adv = core::make_adversary("ugf");
+  const auto curve = runner::sweep_curve(config, *proto, *ugf_adv, "UGF");
+
+  const std::string path = ::testing::TempDir() + "/ugf_fig.json";
+  runner::write_figure_json(path, "figX", {curve});
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"figure\":\"figX\""), std::string::npos);
+  EXPECT_NE(text.find("\"label\":\"UGF\""), std::string::npos);
+  EXPECT_NE(text.find("\"n\":8"), std::string::npos);
+  EXPECT_NE(text.find("\"n\":12"), std::string::npos);
+  EXPECT_NE(text.find("\"median\":"), std::string::npos);
+  EXPECT_NE(text.find("\"strategies\":{"), std::string::npos);
+  // Rough structural sanity: braces balance.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  std::remove(path.c_str());
+}
+
+}  // namespace

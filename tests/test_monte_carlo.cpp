@@ -1,0 +1,100 @@
+// Tests for the Monte-Carlo runner: determinism across thread counts,
+// aggregation correctness, strategy accounting.
+
+#include <gtest/gtest.h>
+
+#include "adversary/factory.hpp"
+#include "core/ugf.hpp"
+#include "protocols/push_pull.hpp"
+#include "runner/monte_carlo.hpp"
+
+namespace {
+
+using namespace ugf;
+using runner::BatchResult;
+using runner::MonteCarloRunner;
+using runner::RunSpec;
+
+RunSpec spec(std::uint32_t n = 20, std::uint32_t f = 6,
+             std::uint32_t runs = 8, std::uint64_t seed = 33) {
+  RunSpec s;
+  s.n = n;
+  s.f = f;
+  s.runs = runs;
+  s.base_seed = seed;
+  return s;
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  protocols::PushPullFactory proto;
+  core::UgfFactory ugf;
+  MonteCarloRunner one(1);
+  MonteCarloRunner four(4);
+  const auto a = one.run_batch(spec(), proto, ugf);
+  const auto b = four.run_batch(spec(), proto, ugf);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].seed, b.runs[i].seed);
+    EXPECT_EQ(a.runs[i].strategy, b.runs[i].strategy);
+    EXPECT_EQ(a.runs[i].outcome.total_messages,
+              b.runs[i].outcome.total_messages);
+    EXPECT_EQ(a.runs[i].outcome.t_end, b.runs[i].outcome.t_end);
+  }
+  EXPECT_EQ(a.messages.median, b.messages.median);
+  EXPECT_EQ(a.time.median, b.time.median);
+}
+
+TEST(MonteCarlo, DifferentBaseSeedsDiffer) {
+  protocols::PushPullFactory proto;
+  core::UgfFactory ugf;
+  MonteCarloRunner runner(2);
+  const auto a = runner.run_batch(spec(20, 6, 8, 1), proto, ugf);
+  const auto b = runner.run_batch(spec(20, 6, 8, 2), proto, ugf);
+  EXPECT_NE(a.runs[0].seed, b.runs[0].seed);
+}
+
+TEST(MonteCarlo, AggregatesSummariesAndCounts) {
+  protocols::PushPullFactory proto;
+  adversary::NoAdversaryFactory none;
+  MonteCarloRunner runner(2);
+  const auto batch = runner.run_batch(spec(16, 4, 10), proto, none);
+  EXPECT_EQ(batch.runs.size(), 10u);
+  EXPECT_EQ(batch.messages.count, 10u);
+  EXPECT_EQ(batch.time.count, 10u);
+  EXPECT_EQ(batch.rumor_failures, 0u);
+  EXPECT_EQ(batch.truncated, 0u);
+  ASSERT_TRUE(batch.strategy_counts.contains("none"));
+  EXPECT_EQ(batch.strategy_counts.at("none"), 10u);
+  EXPECT_GE(batch.messages.max, batch.messages.min);
+  EXPECT_GE(batch.messages.median, batch.messages.q1);
+  EXPECT_LE(batch.messages.median, batch.messages.q3);
+}
+
+TEST(MonteCarlo, UgfStrategyHistogramSumsToRunCount) {
+  protocols::PushPullFactory proto;
+  core::UgfFactory ugf;
+  MonteCarloRunner runner(1);
+  const auto batch = runner.run_batch(spec(20, 6, 30, 5), proto, ugf);
+  std::size_t total = 0;
+  for (const auto& [strategy, count] : batch.strategy_counts) {
+    EXPECT_TRUE(strategy.rfind("strategy-", 0) == 0) << strategy;
+    total += count;
+  }
+  EXPECT_EQ(total, 30u);
+  // With 30 runs at q1 = 1/3, q2 = 1/2 it is astronomically unlikely to
+  // see fewer than two distinct strategies.
+  EXPECT_GE(batch.strategy_counts.size(), 2u);
+}
+
+TEST(MonteCarlo, RunOnceIsAPureFunctionOfSeedAndIndex) {
+  protocols::PushPullFactory proto;
+  core::UgfFactory ugf;
+  const auto a = MonteCarloRunner::run_once(spec(), 3, proto, ugf);
+  const auto b = MonteCarloRunner::run_once(spec(), 3, proto, ugf);
+  const auto c = MonteCarloRunner::run_once(spec(), 4, proto, ugf);
+  EXPECT_EQ(a.outcome.total_messages, b.outcome.total_messages);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_NE(a.seed, c.seed);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Property-based sweep: the system invariants of DESIGN.md §7, enforced
+// over the full (protocol x adversary x N) grid. Every combination must
+// quiesce, respect the crash budget, conserve messages, gather rumors
+// among correct processes, and keep the metric identities.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+
+namespace {
+
+using namespace ugf;
+
+using Combo = std::tuple<const char*, const char*, std::uint32_t>;
+
+class PropertySweepTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PropertySweepTest, InvariantsHold) {
+  const auto [protocol_name, adversary_name, n] = GetParam();
+  const auto protocol = protocols::make_protocol(protocol_name);
+  const auto adversary = core::make_adversary(adversary_name);
+
+  runner::RunSpec spec;
+  spec.n = n;
+  spec.f = n * 3 / 10;  // the paper's F = 0.3 N working point
+  spec.runs = 3;
+  spec.base_seed = 0xBEEF + n;
+
+  runner::MonteCarloRunner runner(2);
+  const auto batch = runner.run_batch(spec, *protocol, *adversary);
+
+  for (const auto& record : batch.runs) {
+    const auto& out = record.outcome;
+    SCOPED_TRACE(std::string(protocol_name) + " / " + adversary_name +
+                 " / n=" + std::to_string(n) + " seed=" +
+                 std::to_string(record.seed));
+
+    // Quiescence (Def II.2): every run terminates by itself.
+    EXPECT_FALSE(out.truncated);
+
+    // Rumor gathering (Def II.1) among correct processes. Delaying and
+    // crashing adversaries never destroy content, so gathering must
+    // hold. Omission-capable adversaries (the §VII extension) CAN
+    // destroy content for good; protocols without an acknowledgment
+    // mechanism (Push-Pull, Sequential, BroadcastAll send once;
+    // push-average sends a fixed floor) may legitimately fail to
+    // gather, whereas the acknowledgment-driven EARS family must still
+    // succeed.
+    const bool omission_capable =
+        std::string_view(adversary_name) == "omission" ||
+        std::string_view(adversary_name) == "ugf-omission";
+    const bool retrying = std::string_view(protocol_name) == "ears" ||
+                          std::string_view(protocol_name) == "sears";
+    if (!omission_capable || retrying) {
+      EXPECT_TRUE(out.rumor_gathering_ok);
+    }
+
+    // Crash budget: never more than F crashes.
+    EXPECT_LE(out.crashed, spec.f);
+    std::uint32_t crashed_states = 0;
+    for (const auto state : out.final_state)
+      crashed_states += (state == sim::ProcessState::kCrashed);
+    EXPECT_EQ(crashed_states, out.crashed);
+
+    // Message conservation: at quiescence every sent message was either
+    // delivered, dropped at/after a crash, or omitted by the adversary.
+    EXPECT_EQ(out.delivered_messages + out.dropped_messages +
+                  out.omitted_messages,
+              out.total_messages);
+
+    // Per-process counts sum to the total; crashed processes may have
+    // sent before crashing but completion is undefined for them.
+    std::uint64_t sum = 0;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      sum += out.per_process_sent[p];
+      if (out.final_state[p] == sim::ProcessState::kCrashed)
+        EXPECT_EQ(out.completion_step[p], sim::kNeverStep);
+      else
+        EXPECT_NE(out.completion_step[p], sim::kNeverStep);
+    }
+    EXPECT_EQ(sum, out.total_messages);
+
+    // Metric identities (Defs II.3 / II.4).
+    sim::GlobalStep max_completion = 0;
+    for (std::uint32_t p = 0; p < n; ++p)
+      if (out.completion_step[p] != sim::kNeverStep)
+        max_completion = std::max(max_completion, out.completion_step[p]);
+    EXPECT_EQ(out.t_end, max_completion);
+    EXPECT_DOUBLE_EQ(out.time_complexity,
+                     static_cast<double>(out.t_end) /
+                         static_cast<double>(out.delta_max + out.d_max));
+    EXPECT_GE(out.delta_max, 1u);
+    EXPECT_GE(out.d_max, 1u);
+    EXPECT_GE(out.last_send_step, 1u);
+    EXPECT_GT(out.total_messages, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PropertySweepTest,
+    ::testing::Combine(
+        ::testing::Values("push-pull", "ears", "sears", "sequential",
+                          "broadcast-all", "push-average"),
+        ::testing::Values("none", "ugf", "ugf-sampled", "strategy-1",
+                          "strategy-2.k.0", "strategy-2.k.l", "oblivious",
+                          "omission", "ugf-omission", "informed", "jitter"),
+        ::testing::Values(10u, 25u, 60u)),
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      name += "_";
+      name += std::get<1>(param_info.param);
+      name += "_n";
+      name += std::to_string(std::get<2>(param_info.param));
+      for (auto& c : name)
+        if (c == '-' || c == '.') c = '_';
+      return name;
+    });
+
+}  // namespace

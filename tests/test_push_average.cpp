@@ -1,0 +1,185 @@
+// Tests for the push-sum gossip-averaging protocol (the collaborative-
+// learning substrate): mass conservation, convergence to the true mean,
+// origin gathering, and behaviour under attack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/ugf.hpp"
+#include "fake_context.hpp"
+#include "protocols/push_average.hpp"
+#include "sim/engine.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace {
+
+using namespace ugf;
+using protocols::MassPayload;
+using protocols::PushAverageConfig;
+using protocols::PushAverageFactory;
+using protocols::PushAverageProcess;
+using testsupport::FakeContext;
+
+sim::EngineConfig config(std::uint32_t n, std::uint32_t f,
+                         std::uint64_t seed = 13) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Collects the per-process estimates at the end of a run.
+class EstimateProbe final : public sim::ProtocolFactory {
+ public:
+  EstimateProbe(const PushAverageFactory& inner,
+                std::vector<const PushAverageProcess*>* instances)
+      : inner_(inner), instances_(instances) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return inner_.name();
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    auto proto = inner_.create(self, info);
+    (*instances_)[self] = static_cast<const PushAverageProcess*>(proto.get());
+    return proto;
+  }
+
+ private:
+  const PushAverageFactory& inner_;
+  std::vector<const PushAverageProcess*>* instances_;
+};
+
+TEST(PushAverage, InitialState) {
+  const sim::SystemInfo info{10, 3};
+  PushAverageProcess p(4, info, PushAverageConfig{},
+                       PushAverageFactory::default_initializer(4, 1));
+  EXPECT_TRUE(p.has_gossip_of(4));
+  EXPECT_FALSE(p.has_gossip_of(0));
+  EXPECT_DOUBLE_EQ(p.weight(), 1.0);
+  EXPECT_DOUBLE_EQ(p.estimate()[0], 5.0);  // (self + 1) * 1
+  EXPECT_EQ(p.min_sends(), 5u);  // min(F + 2, N - 1)
+}
+
+TEST(PushAverage, StepHalvesMassAndSendsOtherHalf) {
+  const sim::SystemInfo info{4, 0};
+  PushAverageProcess p(0, info, PushAverageConfig{}, {8.0});
+  FakeContext ctx(0, info);
+  p.on_local_step(ctx);
+  ASSERT_EQ(ctx.sends().size(), 1u);
+  const auto* mass = dynamic_cast<const MassPayload*>(ctx.sends()[0].second.get());
+  ASSERT_NE(mass, nullptr);
+  EXPECT_DOUBLE_EQ(mass->s()[0], 4.0);
+  EXPECT_DOUBLE_EQ(mass->w(), 0.5);
+  EXPECT_TRUE(mass->origins().test(0));
+  // The estimate is invariant under the halving.
+  EXPECT_DOUBLE_EQ(p.estimate()[0], 8.0);
+  EXPECT_DOUBLE_EQ(p.weight(), 0.5);
+}
+
+TEST(PushAverage, MergeAddsMassAndOrigins) {
+  const sim::SystemInfo info{4, 0};
+  PushAverageProcess p(0, info, PushAverageConfig{}, {2.0});
+  FakeContext ctx(0, info);
+  util::DynamicBitset origins(4);
+  origins.set(1);
+  origins.set(2);
+  p.on_message(ctx, FakeContext::message(
+                        1, 0, std::make_shared<MassPayload>(
+                                  std::vector<double>{6.0}, 1.0, origins)));
+  EXPECT_DOUBLE_EQ(p.weight(), 2.0);
+  EXPECT_DOUBLE_EQ(p.estimate()[0], 4.0);  // (2 + 6) / (1 + 1)
+  EXPECT_TRUE(p.has_gossip_of(1));
+  EXPECT_TRUE(p.has_gossip_of(2));
+}
+
+TEST(PushAverage, ConvergesToTheTrueMeanWithoutAdversary) {
+  const std::uint32_t n = 40;
+  std::vector<const PushAverageProcess*> instances(n, nullptr);
+  PushAverageFactory factory;
+  EstimateProbe probe(factory, &instances);
+  sim::Engine engine(config(n, 12), probe, nullptr);
+  const auto out = engine.run();
+  ASSERT_TRUE(out.rumor_gathering_ok);
+  ASSERT_FALSE(out.truncated);
+  // True mean of (i + 1) for i in [0, n) is (n + 1) / 2.
+  const double truth = (static_cast<double>(n) + 1.0) / 2.0;
+  for (const auto* p : instances) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_NEAR(p->estimate()[0], truth, truth * 0.05);
+  }
+}
+
+TEST(PushAverage, MassIsConservedAtQuiescence) {
+  const std::uint32_t n = 24;
+  std::vector<const PushAverageProcess*> instances(n, nullptr);
+  PushAverageFactory factory;
+  EstimateProbe probe(factory, &instances);
+  sim::Engine engine(config(n, 0), probe, nullptr);
+  const auto out = engine.run();
+  ASSERT_FALSE(out.truncated);
+  // No crashes, no omissions: sum of s and sum of w are invariant.
+  double total_w = 0.0, total_s = 0.0;
+  for (const auto* p : instances) {
+    total_w += p->weight();
+    total_s += p->estimate()[0] * p->weight();
+  }
+  EXPECT_NEAR(total_w, static_cast<double>(n), 1e-9);
+  const double expected_s = static_cast<double>(n) * (n + 1.0) / 2.0;
+  EXPECT_NEAR(total_s, expected_s, expected_s * 1e-12);
+}
+
+TEST(PushAverage, MultiDimensionalModels) {
+  PushAverageConfig cfg;
+  cfg.dimension = 3;
+  PushAverageFactory factory(cfg);
+  sim::Engine engine(config(16, 4), factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+}
+
+TEST(PushAverage, GathersOriginsUnderIsolationAttack) {
+  // The robustness floor (min_sends > remaining crash budget) must let
+  // the isolated process's contribution break through.
+  PushAverageFactory factory;
+  core::UgfConfig ugf_config;
+  ugf_config.q1 = 0.0;
+  ugf_config.q2 = 1.0;  // force Strategy 2.k.0
+  for (const std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    core::UniversalGossipFighter ugf(seed, ugf_config);
+    sim::Engine engine(config(30, 10, seed), factory, &ugf);
+    const auto out = engine.run();
+    EXPECT_TRUE(out.rumor_gathering_ok) << "seed " << seed;
+    EXPECT_FALSE(out.truncated);
+  }
+}
+
+TEST(PushAverage, UgfBiasesTheLearnedModel) {
+  // Strategy 1 crashes C before anyone hears its contributions: the
+  // surviving consensus drifts away from the all-process mean — the
+  // collaborative-learning damage §VII anticipates.
+  const std::uint32_t n = 40;
+  std::vector<const PushAverageProcess*> instances(n, nullptr);
+  PushAverageFactory factory;
+  EstimateProbe probe(factory, &instances);
+  core::UgfConfig ugf_config;
+  ugf_config.q1 = 1.0;  // force Strategy 1
+  core::UniversalGossipFighter ugf(3, ugf_config);
+  sim::Engine engine(config(n, 12, 3), probe, &ugf);
+  const auto out = engine.run();
+  ASSERT_FALSE(out.truncated);
+  const double truth = (static_cast<double>(n) + 1.0) / 2.0;
+  double max_error = 0.0;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    if (out.final_state[p] == sim::ProcessState::kCrashed) continue;
+    max_error = std::max(max_error,
+                         std::abs(instances[p]->estimate()[0] - truth));
+  }
+  // 6 crashed contributions out of 40 shift the average noticeably.
+  EXPECT_GT(max_error, 0.2);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Unit tests for the Push-Pull protocol state machine (§V-A.2a),
+// exercised directly through a fake context, plus engine-level checks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "fake_context.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using protocols::GossipSetPayload;
+using protocols::PullRequestPayload;
+using protocols::PushPullProcess;
+using testsupport::FakeContext;
+
+sim::SystemInfo info(std::uint32_t n, std::uint32_t f = 0) {
+  return sim::SystemInfo{n, f};
+}
+
+util::DynamicBitset bits(std::uint32_t n,
+                         std::initializer_list<std::uint32_t> set) {
+  util::DynamicBitset b(n);
+  for (const auto i : set) b.set(i);
+  return b;
+}
+
+TEST(PushPull, InitialStateKnowsOnlySelf) {
+  PushPullProcess p(2, info(5));
+  for (sim::ProcessId q = 0; q < 5; ++q)
+    EXPECT_EQ(p.has_gossip_of(q), q == 2);
+  EXPECT_FALSE(p.wants_sleep());
+}
+
+TEST(PushPull, FirstStepSendsOnePullAndOnePush) {
+  PushPullProcess p(0, info(6));
+  FakeContext ctx(0, info(6));
+  p.on_local_step(ctx);
+  ASSERT_EQ(ctx.sends().size(), 2u);
+  // One pull request, one gossip push; both to non-self targets.
+  int pulls = 0, pushes = 0;
+  for (const auto& [to, payload] : ctx.sends()) {
+    EXPECT_NE(to, 0u);
+    if (dynamic_cast<const PullRequestPayload*>(payload.get()) != nullptr)
+      ++pulls;
+    if (const auto* g =
+            dynamic_cast<const GossipSetPayload*>(payload.get())) {
+      EXPECT_TRUE(g->gossips().test(0));  // push carries own gossip
+      ++pushes;
+    }
+  }
+  EXPECT_EQ(pulls, 1);
+  EXPECT_EQ(pushes, 1);
+}
+
+TEST(PushPull, NeverPullsTheSameTargetTwice) {
+  PushPullProcess p(0, info(4));
+  FakeContext ctx(0, info(4));
+  std::set<sim::ProcessId> pulled;
+  for (int step = 0; step < 10; ++step) {
+    ctx.clear();
+    p.on_local_step(ctx);
+    for (const auto& [to, payload] : ctx.sends()) {
+      if (dynamic_cast<const PullRequestPayload*>(payload.get()) != nullptr) {
+        EXPECT_TRUE(pulled.insert(to).second) << "re-pulled " << to;
+      }
+    }
+  }
+  EXPECT_EQ(pulled.size(), 3u);  // everyone else exactly once
+}
+
+TEST(PushPull, SleepsAfterPullingEveryUnknownProcess) {
+  PushPullProcess p(0, info(4));
+  FakeContext ctx(0, info(4));
+  // 3 steps pull the 3 other processes; then the sleep condition holds.
+  for (int step = 0; step < 3; ++step) {
+    EXPECT_FALSE(p.wants_sleep());
+    p.on_local_step(ctx);
+  }
+  EXPECT_TRUE(p.wants_sleep());
+  EXPECT_TRUE(p.completed());
+}
+
+TEST(PushPull, KnowingAGossipRemovesItFromPullCandidates) {
+  PushPullProcess p(0, info(3));
+  FakeContext ctx(0, info(3));
+  // Learn both other gossips before stepping: sleep condition holds
+  // immediately, no pull is ever sent.
+  p.on_message(ctx, FakeContext::message(
+                        1, 0, std::make_shared<GossipSetPayload>(
+                                  bits(3, {1, 2}))));
+  EXPECT_TRUE(p.wants_sleep());
+  p.on_local_step(ctx);
+  for (const auto& [to, payload] : ctx.sends())
+    EXPECT_EQ(dynamic_cast<const PullRequestPayload*>(payload.get()), nullptr);
+}
+
+TEST(PushPull, AnswersPullRequestsWithEverythingKnown) {
+  PushPullProcess p(0, info(3));
+  FakeContext ctx(0, info(3));
+  p.on_message(ctx, FakeContext::message(
+                        2, 0,
+                        std::make_shared<GossipSetPayload>(bits(3, {2}))));
+  p.on_message(ctx,
+               FakeContext::message(1, 0,
+                                    std::make_shared<PullRequestPayload>()));
+  EXPECT_FALSE(p.wants_sleep());  // pending reply keeps it awake
+  p.on_local_step(ctx);
+  bool replied = false;
+  for (const auto& [to, payload] : ctx.sends()) {
+    const auto* g = dynamic_cast<const GossipSetPayload*>(payload.get());
+    if (to == 1 && g != nullptr) {
+      EXPECT_TRUE(g->gossips().test(0));
+      EXPECT_TRUE(g->gossips().test(2));
+      replied = true;
+    }
+  }
+  EXPECT_TRUE(replied);
+}
+
+TEST(PushPull, SatisfiedProcessStopsInitiatingButStillReplies) {
+  PushPullProcess p(0, info(3));
+  FakeContext ctx(0, info(3));
+  p.on_message(ctx, FakeContext::message(
+                        1, 0, std::make_shared<GossipSetPayload>(
+                                  bits(3, {1, 2}))));
+  ASSERT_TRUE(p.wants_sleep());
+  // A pull request wakes it: exactly one reply, no new pull/push.
+  p.on_message(ctx,
+               FakeContext::message(2, 0,
+                                    std::make_shared<PullRequestPayload>()));
+  EXPECT_FALSE(p.wants_sleep());
+  ctx.clear();
+  p.on_local_step(ctx);
+  ASSERT_EQ(ctx.sends().size(), 1u);
+  EXPECT_EQ(ctx.sends()[0].first, 2u);
+  EXPECT_TRUE(p.wants_sleep());
+}
+
+TEST(PushPull, MergesGossipSets) {
+  PushPullProcess p(0, info(5));
+  FakeContext ctx(0, info(5));
+  p.on_message(ctx, FakeContext::message(
+                        1, 0,
+                        std::make_shared<GossipSetPayload>(bits(5, {1, 3}))));
+  EXPECT_TRUE(p.has_gossip_of(1));
+  EXPECT_TRUE(p.has_gossip_of(3));
+  EXPECT_FALSE(p.has_gossip_of(2));
+  EXPECT_FALSE(p.has_gossip_of(4));
+}
+
+TEST(PushPull, EngineRunDisseminatesAndQuiesces) {
+  protocols::PushPullFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 100;
+  cfg.f = 30;
+  cfg.seed = 99;
+  sim::Engine engine(cfg, factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+  // Benign Push-Pull is far cheaper than quadratic (~N log N).
+  EXPECT_LT(out.total_messages, 100ull * 100ull / 2);
+  EXPECT_GT(out.total_messages, 100u);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the growth-law fitting used to verify the paper's shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/regression.hpp"
+
+namespace {
+
+using ugf::analysis::classify_growth;
+using ugf::analysis::fit_linear;
+using ugf::analysis::fit_logarithmic;
+using ugf::analysis::fit_power_law;
+using ugf::analysis::GrowthClass;
+using ugf::analysis::growth_exponent;
+
+std::vector<double> grid() { return {10, 20, 30, 50, 70, 100, 200, 500}; }
+
+std::vector<double> apply(const std::vector<double>& xs,
+                          double (*f)(double)) {
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(f(x));
+  return ys;
+}
+
+TEST(FitLinear, ExactLine) {
+  const auto fit = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 1 + 2x
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, FlatLine) {
+  const auto fit = fit_linear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(FitLinear, Validation) {
+  EXPECT_THROW((void)fit_linear({1}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)fit_linear({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  const auto xs = grid();
+  const auto fit =
+      fit_power_law(xs, apply(xs, +[](double x) { return 3.0 * x * x; }));
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW((void)fit_power_law({1, 2, 0, 4}, {1, 2, 3, 4}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law({1, 2, 3, 4}, {1, -2, 3, 4}),
+               std::invalid_argument);
+}
+
+TEST(FitLogarithmic, RecoversLogModel) {
+  const auto xs = grid();
+  const auto fit = fit_logarithmic(
+      xs, apply(xs, +[](double x) { return 2.0 + 5.0 * std::log(x); }));
+  EXPECT_NEAR(fit.slope, 5.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(ClassifyGrowth, RecognisesTheFourShapes) {
+  const auto xs = grid();
+  EXPECT_EQ(classify_growth(
+                xs, apply(xs, +[](double) { return 7.0; })),
+            GrowthClass::kConstant);
+  EXPECT_EQ(classify_growth(
+                xs, apply(xs, +[](double x) { return 2.0 * std::log(x); })),
+            GrowthClass::kLogarithmic);
+  EXPECT_EQ(classify_growth(
+                xs, apply(xs, +[](double x) { return 0.5 * x; })),
+            GrowthClass::kQuasiLinear);
+  EXPECT_EQ(classify_growth(
+                xs, apply(xs, +[](double x) { return x * std::log(x); })),
+            GrowthClass::kQuasiLinear);  // N log N counts as quasi-linear
+  EXPECT_EQ(classify_growth(
+                xs, apply(xs, +[](double x) { return 0.1 * x * x; })),
+            GrowthClass::kQuadratic);
+  EXPECT_EQ(
+      classify_growth(
+          xs, apply(xs, +[](double x) { return x * x * std::sqrt(x); })),
+      GrowthClass::kQuadratic);  // N^2.5 still reads as ~quadratic
+}
+
+TEST(ClassifyGrowth, CubicIsOther) {
+  const auto xs = grid();
+  EXPECT_EQ(classify_growth(
+                xs, apply(xs, +[](double x) { return x * x * x; })),
+            GrowthClass::kOther);
+}
+
+TEST(ClassifyGrowth, NeedsFourPoints) {
+  EXPECT_THROW((void)classify_growth({1, 2, 3}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(GrowthExponent, MatchesPowerLawSlope) {
+  const auto xs = grid();
+  const auto ys = apply(xs, +[](double x) { return std::pow(x, 1.5); });
+  EXPECT_NEAR(growth_exponent(xs, ys), 1.5, 1e-9);
+}
+
+TEST(ToString, CoversAllClasses) {
+  EXPECT_STREQ(to_string(GrowthClass::kConstant), "constant");
+  EXPECT_STREQ(to_string(GrowthClass::kLogarithmic), "logarithmic");
+  EXPECT_STREQ(to_string(GrowthClass::kQuasiLinear), "~linear");
+  EXPECT_STREQ(to_string(GrowthClass::kQuadratic), "~quadratic");
+  EXPECT_STREQ(to_string(GrowthClass::kOther), "other");
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Unit tests for the deterministic RNG (util/rng.hpp): reproducibility,
+// bounds, distribution sanity and independence of derived streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ugf::util::mix_seed;
+using ugf::util::Rng;
+using ugf::util::splitmix64;
+
+TEST(Splitmix64, AdvancesStateAndIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(s1, 42u);  // state advanced
+  EXPECT_NE(splitmix64(s1), a);
+}
+
+TEST(MixSeed, DistinguishesArguments) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_NE(mix_seed(0, 0), mix_seed(0, 1));
+  EXPECT_EQ(mix_seed(7, 9), mix_seed(7, 9));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  EXPECT_NE(r.next(), 0u);  // splitmix64 seeding avoids the zero state
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                    (1ull << 40), ~0ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(2024);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBound)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.between(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng r(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.bernoulli(1.0 / 3.0);
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 1.0 / 3.0, 0.01);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndStable) {
+  const Rng parent(99);
+  Rng c1 = parent.child(0);
+  Rng c2 = parent.child(1);
+  Rng c1_again = parent.child(0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = c1.next();
+    const auto b = c2.next();
+    EXPECT_EQ(a, c1_again.next());
+    equal += (a == b);
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng r(23);
+  for (std::uint32_t n : {1u, 5u, 50u, 500u}) {
+    for (std::uint32_t k : {0u, 1u, n / 2, n}) {
+      const auto sample = r.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), sample.size());
+      for (const auto v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementClampsOversizedK) {
+  Rng r(29);
+  const auto sample = r.sample_without_replacement(4, 10);
+  EXPECT_EQ(sample.size(), 4u);
+}
+
+TEST(Rng, SampleWithoutReplacementCoversUniformly) {
+  Rng r(31);
+  std::vector<int> hits(10, 0);
+  for (int trial = 0; trial < 20000; ++trial)
+    for (const auto v : r.sample_without_replacement(10, 3)) ++hits[v];
+  for (const int h : hits) {
+    EXPECT_GT(h, 6000 * 0.9);
+    EXPECT_LT(h, 6000 * 1.1);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ull);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Tests for saturating step arithmetic (util/saturating.hpp) — UGF's
+// tau^k delays must clamp instead of wrapping.
+
+#include <gtest/gtest.h>
+
+#include "util/saturating.hpp"
+
+namespace {
+
+using ugf::util::kStepInfinity;
+using ugf::util::sat_add;
+using ugf::util::sat_mul;
+using ugf::util::sat_pow;
+
+TEST(SatAdd, NormalAndSaturated) {
+  EXPECT_EQ(sat_add(2, 3), 5u);
+  EXPECT_EQ(sat_add(0, 0), 0u);
+  EXPECT_EQ(sat_add(kStepInfinity, 1), kStepInfinity);
+  EXPECT_EQ(sat_add(kStepInfinity - 1, 5), kStepInfinity);
+  EXPECT_EQ(sat_add(~0ull, 1), kStepInfinity);  // would wrap
+}
+
+TEST(SatMul, NormalAndSaturated) {
+  EXPECT_EQ(sat_mul(6, 7), 42u);
+  EXPECT_EQ(sat_mul(0, ~0ull), 0u);
+  EXPECT_EQ(sat_mul(~0ull, 0), 0u);
+  EXPECT_EQ(sat_mul(1, kStepInfinity), kStepInfinity);
+  EXPECT_EQ(sat_mul(kStepInfinity, 2), kStepInfinity);
+  EXPECT_EQ(sat_mul(1ull << 40, 1ull << 40), kStepInfinity);
+}
+
+TEST(SatPow, SmallExactValues) {
+  EXPECT_EQ(sat_pow(0, 0), 1u);  // convention: 0^0 == 1
+  EXPECT_EQ(sat_pow(0, 3), 0u);
+  EXPECT_EQ(sat_pow(5, 0), 1u);
+  EXPECT_EQ(sat_pow(5, 1), 5u);
+  EXPECT_EQ(sat_pow(2, 10), 1024u);
+  EXPECT_EQ(sat_pow(10, 6), 1000000u);
+  EXPECT_EQ(sat_pow(150, 2), 22500u);  // tau = F = 150, k + l = 2
+}
+
+TEST(SatPow, SaturatesLargeExponents) {
+  EXPECT_EQ(sat_pow(2, 64), kStepInfinity);
+  EXPECT_EQ(sat_pow(10, 30), kStepInfinity);
+  EXPECT_EQ(sat_pow(kStepInfinity, 2), kStepInfinity);
+  // Saturated values remain addable without wrapping.
+  EXPECT_EQ(sat_add(sat_pow(2, 64), 1000), kStepInfinity);
+}
+
+TEST(SatPow, MonotoneInExponent) {
+  std::uint64_t prev = 0;
+  for (std::uint32_t e = 0; e < 80; ++e) {
+    const auto v = sat_pow(3, e);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(prev, kStepInfinity);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Unit tests for SEARS (§V-A.2c): the c * N^eps * log N fan-out and its
+// interaction with the shared EARS machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fake_context.hpp"
+#include "protocols/ears.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using protocols::SearsConfig;
+using protocols::SearsFactory;
+using testsupport::FakeContext;
+
+TEST(Sears, FanoutFormula) {
+  // ceil(c * n^eps * ln n), clamped to [1, n-1].
+  EXPECT_EQ(SearsFactory::fanout_for(100, 1.0, 0.5),
+            static_cast<std::uint32_t>(
+                std::ceil(std::sqrt(100.0) * std::log(100.0))));
+  EXPECT_EQ(SearsFactory::fanout_for(10, 1.0, 0.5),
+            static_cast<std::uint32_t>(
+                std::ceil(std::sqrt(10.0) * std::log(10.0))));
+  // eps = 0 degenerates to ~log n.
+  EXPECT_EQ(SearsFactory::fanout_for(100, 1.0, 0.0),
+            static_cast<std::uint32_t>(std::ceil(std::log(100.0))));
+}
+
+TEST(Sears, FanoutIsClamped) {
+  // Tiny n: the formula exceeds n-1 and must clamp.
+  EXPECT_EQ(SearsFactory::fanout_for(3, 10.0, 1.0), 2u);
+  EXPECT_EQ(SearsFactory::fanout_for(2, 0.0001, 0.5), 1u);
+}
+
+class FanoutParamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(FanoutParamTest, SendsFanoutDistinctNonSelfTargetsPerStep) {
+  const auto [n, eps] = GetParam();
+  SearsConfig config;
+  config.eps = eps;
+  SearsFactory factory(config);
+  const sim::SystemInfo info{n, n / 4};
+  const auto proto = factory.create(0, info);
+  FakeContext ctx(0, info);
+  const auto fanout = SearsFactory::fanout_for(n, config.c, config.eps);
+  for (int step = 0; step < 3; ++step) {
+    FakeContext fresh(0, info, 55 + static_cast<std::uint64_t>(step));
+    proto->on_local_step(fresh);
+    ASSERT_EQ(fresh.sends().size(), fanout);
+    std::set<sim::ProcessId> targets;
+    for (const auto& [to, payload] : fresh.sends()) {
+      EXPECT_NE(to, 0u);
+      EXPECT_LT(to, n);
+      EXPECT_TRUE(targets.insert(to).second) << "duplicate target " << to;
+      // The whole fan-out shares one payload allocation.
+      EXPECT_EQ(payload.get(), fresh.sends()[0].second.get());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndExponents, FanoutParamTest,
+    ::testing::Values(std::make_tuple(10u, 0.5), std::make_tuple(50u, 0.5),
+                      std::make_tuple(100u, 0.5), std::make_tuple(100u, 0.0),
+                      std::make_tuple(30u, 1.0)));
+
+TEST(Sears, BaselineMessageComplexityIsOmegaNSquared) {
+  // §V-B.3: SEARS reaches the trivial quadratic limit without any
+  // adversary — the fan-out alone costs ~N^1.5 log N per round and the
+  // dissemination needs >= 1 round from each process.
+  SearsFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 60;
+  cfg.f = 18;
+  cfg.seed = 3;
+  sim::Engine engine(cfg, factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+  EXPECT_GT(out.total_messages, 60ull * 59ull / 2);
+}
+
+TEST(Sears, EngineRunQuiescesUnderCrashes) {
+  SearsFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 24;
+  cfg.f = 8;
+  cfg.seed = 10;
+  sim::Engine engine(cfg, factory, nullptr);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+}
+
+}  // namespace

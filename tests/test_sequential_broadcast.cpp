@@ -1,0 +1,99 @@
+// Tests for the Sequential protocol (the paper's Example 1) and the
+// trivial BroadcastAll corner. Sequential is deterministic, so the
+// paper's Theta(N^2) messages / Theta(N) time hold *exactly* and pin
+// down the whole metric pipeline.
+
+#include <gtest/gtest.h>
+
+#include "protocols/broadcast_all.hpp"
+#include "protocols/sequential.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+
+sim::Outcome run(const sim::ProtocolFactory& factory, std::uint32_t n,
+                 std::uint64_t seed = 1) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = seed;
+  sim::Engine engine(cfg, factory, nullptr);
+  return engine.run();
+}
+
+class SequentialSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SequentialSizeTest, ExampleOneComplexities) {
+  const std::uint32_t n = GetParam();
+  protocols::SequentialFactory factory;
+  const auto out = run(factory, n);
+  // M(O) = N (N - 1) exactly: each process sends its gossip to everyone.
+  EXPECT_EQ(out.total_messages, static_cast<std::uint64_t>(n) * (n - 1));
+  for (const auto sent : out.per_process_sent) EXPECT_EQ(sent, n - 1);
+  // T(O) = Theta(N): the last gossip leaves at step N-1, arrives at N,
+  // and the receiver's wake step ends at N+1; delta = d = 1.
+  EXPECT_GE(out.t_end, n - 1);
+  EXPECT_LE(out.t_end, n + 2);
+  EXPECT_NEAR(out.time_complexity, static_cast<double>(n) / 2.0, 2.0);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_FALSE(out.truncated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SequentialSizeTest,
+                         ::testing::Values(2, 3, 5, 10, 32, 100));
+
+TEST(Sequential, DeterministicAcrossSeeds) {
+  // The protocol ignores randomness entirely.
+  protocols::SequentialFactory factory;
+  const auto a = run(factory, 20, 1);
+  const auto b = run(factory, 20, 999);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.t_end, b.t_end);
+}
+
+class BroadcastSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BroadcastSizeTest, OneRoundQuadratic) {
+  const std::uint32_t n = GetParam();
+  protocols::BroadcastAllFactory factory;
+  const auto out = run(factory, n);
+  EXPECT_EQ(out.total_messages, static_cast<std::uint64_t>(n) * (n - 1));
+  // Constant time: everything is sent at step 1, arrives at step 2, and
+  // the wake steps end at 3 regardless of N.
+  EXPECT_LE(out.t_end, 3u);
+  EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastSizeTest,
+                         ::testing::Values(2, 5, 20, 100));
+
+TEST(Sequential, SurvivesCrashes) {
+  // Crashing processes must not stop the survivors from gathering the
+  // correct gossips (Def II.1 quantifies over correct processes only).
+  protocols::SequentialFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 12;
+  cfg.f = 4;
+  cfg.seed = 5;
+
+  class CrashStart final : public sim::Adversary {
+   public:
+    [[nodiscard]] const char* name() const noexcept override {
+      return "crash-start";
+    }
+    void on_run_start(sim::AdversaryControl& ctl) override {
+      ctl.crash(0);
+      ctl.crash(1);
+    }
+  } adversary;
+
+  sim::Engine engine(cfg, factory, &adversary);
+  const auto out = engine.run();
+  EXPECT_TRUE(out.rumor_gathering_ok);
+  EXPECT_EQ(out.crashed, 2u);
+  EXPECT_EQ(out.per_process_sent[0], 0u);
+}
+
+}  // namespace

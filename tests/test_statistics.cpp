@@ -1,0 +1,87 @@
+// Tests for analysis/statistics.hpp: quantiles (the paper reports median
+// and quartiles over 50 runs), summaries and the chi-square helper.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/statistics.hpp"
+
+namespace {
+
+using ugf::analysis::chi_square_critical_001;
+using ugf::analysis::chi_square_statistic;
+using ugf::analysis::quantile_sorted;
+using ugf::analysis::summarize;
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.75), 4.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{10, 20};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 12.5);
+}
+
+TEST(Quantile, SingleElementAndEmpty) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.3), 7.0);
+  EXPECT_THROW((void)quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(Summarize, FullSummary) {
+  const auto s = summarize({5, 1, 4, 2, 3});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388, 1e-6);
+}
+
+TEST(Summarize, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const auto s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(ChiSquare, ZeroForPerfectFit) {
+  const double stat = chi_square_statistic({25, 25, 25, 25},
+                                           {0.25, 0.25, 0.25, 0.25});
+  EXPECT_DOUBLE_EQ(stat, 0.0);
+}
+
+TEST(ChiSquare, KnownStatistic) {
+  // observed (30, 70) vs expected (50, 50): (400/50)*2 = 16.
+  const double stat = chi_square_statistic({30, 70}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(stat, 16.0);
+}
+
+TEST(ChiSquare, Validation) {
+  EXPECT_THROW((void)chi_square_statistic({1, 2}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)chi_square_statistic({0, 0}, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)chi_square_statistic({1, 1}, {1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ChiSquare, CriticalValueTable) {
+  EXPECT_NEAR(chi_square_critical_001(1), 10.828, 1e-3);
+  EXPECT_NEAR(chi_square_critical_001(2), 13.816, 1e-3);
+  EXPECT_NEAR(chi_square_critical_001(30), 59.703, 1e-3);
+  EXPECT_THROW((void)chi_square_critical_001(0), std::out_of_range);
+  EXPECT_THROW((void)chi_square_critical_001(31), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Tests for the sweep builders and report rendering.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "adversary/factory.hpp"
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/report.hpp"
+#include "runner/sweep.hpp"
+
+namespace {
+
+using namespace ugf;
+using runner::Curve;
+using runner::f_for;
+using runner::SweepConfig;
+
+SweepConfig small_config() {
+  SweepConfig cfg;
+  cfg.grid = {8, 12, 16, 24};
+  cfg.f_fraction = 0.25;
+  cfg.runs = 4;
+  cfg.base_seed = 5;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(FFor, RoundsAndClamps) {
+  EXPECT_EQ(f_for(10, 0.3), 3u);
+  EXPECT_EQ(f_for(100, 0.3), 30u);
+  EXPECT_EQ(f_for(10, 0.25), 3u);  // llround(2.5) = 3
+  EXPECT_EQ(f_for(10, 0.0), 0u);
+  EXPECT_EQ(f_for(2, 0.9), 1u);  // clamped below n
+  EXPECT_THROW((void)f_for(10, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)f_for(10, -0.1), std::invalid_argument);
+}
+
+TEST(Sweep, CurveCoversTheGrid) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto curve =
+      runner::sweep_curve(small_config(), *proto, *none, "baseline");
+  EXPECT_EQ(curve.label, "baseline");
+  EXPECT_EQ(curve.adversary, "none");
+  ASSERT_EQ(curve.points.size(), 4u);
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    EXPECT_EQ(curve.points[i].n, small_config().grid[i]);
+    EXPECT_EQ(curve.points[i].f, f_for(curve.points[i].n, 0.25));
+    EXPECT_EQ(curve.points[i].time.count, 4u);
+    EXPECT_EQ(curve.points[i].rumor_failures, 0u);
+    EXPECT_EQ(curve.points[i].truncated, 0u);
+  }
+  EXPECT_EQ(curve.ns(), (std::vector<double>{8, 12, 16, 24}));
+  EXPECT_EQ(curve.time_medians().size(), 4u);
+  EXPECT_EQ(curve.message_medians().size(), 4u);
+}
+
+TEST(Sweep, SeedsAreLabelIndependent) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto ugf = core::make_adversary("ugf");
+  const auto a = runner::sweep_curve(small_config(), *proto, *ugf, "label-a");
+  const auto b = runner::sweep_curve(small_config(), *proto, *ugf, "label-b");
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].messages.median, b.points[i].messages.median);
+    EXPECT_EQ(a.points[i].time.median, b.points[i].time.median);
+  }
+}
+
+TEST(Sweep, FigureRunsMultipleAdversaries) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto ugf = core::make_adversary("ugf");
+  std::size_t progress_calls = 0;
+  const auto curves = runner::sweep_figure(
+      small_config(), *proto,
+      {{"baseline", none.get()}, {"UGF", ugf.get()}},
+      [&progress_calls](const std::string&, std::size_t, std::size_t) {
+        ++progress_calls;
+      });
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_EQ(progress_calls, 8u);  // 2 curves x 4 grid points
+  EXPECT_THROW(
+      (void)runner::sweep_figure(small_config(), *proto, {{"bad", nullptr}}),
+      std::invalid_argument);
+}
+
+TEST(Report, PrintFigureRendersAllCurvesAndRows) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto curve =
+      runner::sweep_curve(small_config(), *proto, *none, "baseline");
+  std::ostringstream os;
+  runner::print_figure(os, "Test figure", {curve}, runner::Metric::kTime);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Test figure"), std::string::npos);
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+  EXPECT_NE(text.find("24"), std::string::npos);
+  EXPECT_NE(text.find("growth in N"), std::string::npos);
+}
+
+TEST(Report, StrategyHistogramAggregates) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto ugf = core::make_adversary("ugf");
+  const auto curve = runner::sweep_curve(small_config(), *proto, *ugf, "UGF");
+  std::ostringstream os;
+  runner::print_strategy_histogram(os, {curve});
+  EXPECT_NE(os.str().find("strategy-"), std::string::npos);
+}
+
+TEST(Report, CsvHasOneRowPerPointAndMetric) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto curve =
+      runner::sweep_curve(small_config(), *proto, *none, "baseline");
+  const std::string path = ::testing::TempDir() + "/ugf_report_test.csv";
+  runner::write_figure_csv(path, "figX", {curve});
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u + 4u * 2u);  // header + 4 points x 2 metrics
+  std::remove(path.c_str());
+}
+
+TEST(Report, DominanceRendersStatistics) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto delay = core::make_adversary("strategy-2.k.l");
+  const auto baseline =
+      runner::sweep_curve(small_config(), *proto, *none, "baseline");
+  const auto attacked =
+      runner::sweep_curve(small_config(), *proto, *delay, "delayed");
+  ASSERT_FALSE(baseline.points.front().message_samples.empty());
+  ASSERT_EQ(baseline.points.front().message_samples.size(),
+            small_config().runs);
+  std::ostringstream os;
+  runner::print_dominance(os, baseline, attacked, runner::Metric::kMessages);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("dominance of 'delayed'"), std::string::npos);
+  EXPECT_NE(text.find("z="), std::string::npos);
+  EXPECT_NE(text.find("effect="), std::string::npos);
+  EXPECT_NE(text.find("N=24"), std::string::npos);
+}
+
+TEST(Report, MetricNames) {
+  EXPECT_STREQ(runner::to_string(runner::Metric::kTime), "time");
+  EXPECT_STREQ(runner::to_string(runner::Metric::kMessages), "messages");
+}
+
+}  // namespace

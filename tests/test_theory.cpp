@@ -1,0 +1,108 @@
+// Tests for the closed-form bounds of §IV (Lemmas 4-5, Theorem 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/theory.hpp"
+
+namespace {
+
+using namespace ugf::core::theory;
+
+TEST(CeilLog, ExactIntegerValues) {
+  EXPECT_EQ(ceil_log(2, 1), 0u);
+  EXPECT_EQ(ceil_log(2, 2), 1u);
+  EXPECT_EQ(ceil_log(2, 3), 2u);
+  EXPECT_EQ(ceil_log(2, 4), 2u);
+  EXPECT_EQ(ceil_log(2, 5), 3u);
+  EXPECT_EQ(ceil_log(10, 1000), 3u);
+  EXPECT_EQ(ceil_log(10, 1001), 4u);
+  EXPECT_EQ(ceil_log(150, 150), 1u);
+  EXPECT_EQ(ceil_log(150, 22500), 2u);
+}
+
+TEST(CeilLog, Validation) {
+  EXPECT_THROW((void)ceil_log(1, 10), std::invalid_argument);
+  EXPECT_THROW((void)ceil_log(0, 10), std::invalid_argument);
+  EXPECT_THROW((void)ceil_log(2, 0), std::invalid_argument);
+}
+
+TEST(Lemma4, MatchesFormula) {
+  // 6 (1 - q1) / (pi^2 * ceil(log_tau t))
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  EXPECT_NEAR(lemma4_probability(1.0 / 3.0, 10, 1000),
+              6.0 * (2.0 / 3.0) / (pi2 * 3.0), 1e-12);
+  // Larger t -> more log levels -> smaller probability.
+  EXPECT_GT(lemma4_probability(0.5, 10, 100),
+            lemma4_probability(0.5, 10, 100000));
+  // Larger q1 -> fewer type-2 strategies -> smaller probability.
+  EXPECT_GT(lemma4_probability(0.1, 10, 100),
+            lemma4_probability(0.9, 10, 100));
+  // A probability lower bound stays in [0, 1].
+  EXPECT_LE(lemma4_probability(0.0, 2, 2), 1.0);
+  EXPECT_GE(lemma4_probability(0.999, 2, 1ull << 40), 0.0);
+}
+
+TEST(Lemma5, MatchesFormula) {
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  EXPECT_NEAR(lemma5_probability(0.5, 10, 1000), 6.0 * 0.5 / (pi2 * 3.0),
+              1e-12);
+}
+
+TEST(Theorem1, TimeBounds) {
+  // Case (i): (q1 / 2) * alpha * F.
+  EXPECT_DOUBLE_EQ(time_bound_case_i(1.0 / 3.0, 2, 150), 50.0);
+  // Case (ii.a): (3/4)(1 - q1) q2 alpha F / pi^2.
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  EXPECT_NEAR(time_bound_case_iia(1.0 / 3.0, 0.5, 2, 150),
+              0.75 * (2.0 / 3.0) * 0.5 * 300.0 / pi2, 1e-9);
+  // Both grow linearly in alpha * F.
+  EXPECT_DOUBLE_EQ(time_bound_case_i(0.5, 4, 100),
+                   2.0 * time_bound_case_i(0.5, 2, 100));
+  EXPECT_DOUBLE_EQ(time_envelope(0.5, 0.5, 3, 100),
+                   std::min(time_bound_case_i(0.5, 3, 100),
+                            time_bound_case_iia(0.5, 0.5, 3, 100)));
+}
+
+TEST(Theorem1, MessageBound) {
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  // (F^2 / 8) * 9 (1-q1)(1-q2) / (pi^4 * ceil(log_tau(aF))^2).
+  const double expected =
+      (150.0 * 150.0 / 8.0) * 9.0 * (2.0 / 3.0) * 0.5 / (pi2 * pi2 * 1.0);
+  EXPECT_NEAR(message_bound_case_iib(1.0 / 3.0, 0.5, 150, 1, 150), expected,
+              1e-9);
+  // The envelope adds the trivial Omega(N) term.
+  EXPECT_NEAR(message_envelope(1.0 / 3.0, 0.5, 150, 1, 500, 150),
+              500.0 + expected, 1e-9);
+}
+
+TEST(Theorem1, TradeoffShape) {
+  // As alpha grows, the forced time bound grows linearly while the
+  // message bound decays only poly-logarithmically — the trade-off the
+  // paper highlights (message savings cost exponential time).
+  double prev_time = 0.0;
+  double prev_msgs = 1e18;
+  for (std::uint32_t alpha = 1; alpha <= 64; alpha *= 2) {
+    const double t = time_envelope(1.0 / 3.0, 0.5, alpha, 150);
+    const double m = message_envelope(1.0 / 3.0, 0.5, 150, alpha, 500, 150);
+    EXPECT_GT(t, prev_time);
+    EXPECT_LE(m, prev_msgs);
+    prev_time = t;
+    prev_msgs = m;
+  }
+}
+
+TEST(Theorem1, RecoversPriorWorkAtAlphaOneTauF) {
+  // With alpha = 1 and tau = F the message envelope is Omega(N + F^2)
+  // (the PODC'08 result): ceil(log_F F) = 1, so the bound is F^2 times
+  // the constant 9 (1-q1)(1-q2) / (8 pi^4) ~ 1/260.
+  const double bound = message_bound_case_iib(1.0 / 3.0, 0.5, 150, 1, 150);
+  EXPECT_NEAR(bound, 150.0 * 150.0 * 9.0 * (2.0 / 3.0) * 0.5 /
+                         (8.0 * std::pow(std::numbers::pi, 4.0)),
+              1e-9);
+  EXPECT_GT(bound, 150.0 * 150.0 / 300.0);
+}
+
+}  // namespace

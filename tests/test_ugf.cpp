@@ -1,0 +1,185 @@
+// Tests for the Universal Gossip Fighter (Algorithm 1): configuration
+// validation, the randomization scheme's law, and the per-strategy
+// effects on the system.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "analysis/statistics.hpp"
+#include "core/ugf.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/engine.hpp"
+#include "util/saturating.hpp"
+
+namespace {
+
+using namespace ugf;
+using adversary::StrategyKind;
+using core::UgfConfig;
+using core::UniversalGossipFighter;
+
+sim::EngineConfig config(std::uint32_t n, std::uint32_t f,
+                         std::uint64_t seed = 21) {
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(UgfConfigValidation, RejectsBadParameters) {
+  UgfConfig bad_q;
+  bad_q.q1 = 1.5;
+  EXPECT_THROW(UniversalGossipFighter(1, bad_q), std::invalid_argument);
+  bad_q.q1 = -0.1;
+  EXPECT_THROW(UniversalGossipFighter(1, bad_q), std::invalid_argument);
+  UgfConfig bad_tau;
+  bad_tau.tau = 1;
+  EXPECT_THROW(UniversalGossipFighter(1, bad_tau), std::invalid_argument);
+  UgfConfig bad_k;
+  bad_k.fixed_k = 0;
+  EXPECT_THROW(UniversalGossipFighter(1, bad_k), std::invalid_argument);
+}
+
+TEST(Ugf, ControlSetHasSizeHalfF) {
+  protocols::PushPullFactory proto;
+  UniversalGossipFighter ugf(5);
+  (void)sim::Engine(config(40, 12), proto, &ugf).run();
+  EXPECT_EQ(ugf.control_set().size(), 6u);
+}
+
+TEST(Ugf, StrategyOneCrashesC) {
+  protocols::PushPullFactory proto;
+  UgfConfig cfg;
+  cfg.q1 = 1.0;  // force Strategy 1
+  UniversalGossipFighter ugf(5, cfg);
+  const auto out = sim::Engine(config(30, 10), proto, &ugf).run();
+  EXPECT_EQ(ugf.chosen_strategy().kind, StrategyKind::kCrashC);
+  EXPECT_EQ(ugf.strategy_descriptor(), "strategy-1");
+  EXPECT_EQ(out.crashed, 5u);
+  EXPECT_EQ(out.delta_max, 1u);
+  EXPECT_EQ(out.d_max, 1u);
+}
+
+TEST(Ugf, StrategyIsolationSlowsCAndSpendsBudget) {
+  protocols::PushPullFactory proto;
+  UgfConfig cfg;
+  cfg.q1 = 0.0;
+  cfg.q2 = 1.0;  // force Strategy 2.k.0
+  UniversalGossipFighter ugf(5, cfg);
+  const auto out = sim::Engine(config(30, 10), proto, &ugf).run();
+  EXPECT_EQ(ugf.chosen_strategy().kind, StrategyKind::kIsolate);
+  EXPECT_EQ(ugf.chosen_strategy().k, 1u);
+  EXPECT_EQ(ugf.strategy_descriptor(), "strategy-2.1.0");
+  EXPECT_NE(ugf.isolated_process(), sim::kNoProcess);
+  EXPECT_EQ(out.delta_max, 10u);  // tau = F
+  EXPECT_EQ(out.d_max, 1u);
+  EXPECT_EQ(out.crashed, 10u);  // full budget spent online
+  EXPECT_NE(out.final_state[ugf.isolated_process()],
+            sim::ProcessState::kCrashed);
+}
+
+TEST(Ugf, StrategyDelaySetsDeliveryTimes) {
+  protocols::PushPullFactory proto;
+  UgfConfig cfg;
+  cfg.q1 = 0.0;
+  cfg.q2 = 0.0;  // force Strategy 2.k.l
+  UniversalGossipFighter ugf(5, cfg);
+  const auto out = sim::Engine(config(30, 10), proto, &ugf).run();
+  EXPECT_EQ(ugf.chosen_strategy().kind, StrategyKind::kDelay);
+  EXPECT_EQ(ugf.strategy_descriptor(), "strategy-2.1.1");
+  EXPECT_EQ(out.crashed, 0u);
+  EXPECT_EQ(out.delta_max, 10u);   // tau^k
+  EXPECT_EQ(out.d_max, 100u);      // tau^(k+l)
+}
+
+TEST(Ugf, StrategyFrequenciesMatchTheScheme) {
+  // With q1 = 1/3, q2 = 1/2 each family has probability 1/3 (§V-A.3).
+  // Chi-square over 3000 seeded draws at alpha = 0.001.
+  protocols::PushPullFactory proto;
+  std::map<StrategyKind, std::size_t> counts;
+  constexpr int kRuns = 3000;
+  for (int i = 0; i < kRuns; ++i) {
+    UniversalGossipFighter ugf(static_cast<std::uint64_t>(i) + 1);
+    // A cheap tiny run suffices: the draw happens at run start.
+    (void)sim::Engine(config(6, 2, 77), proto, &ugf).run();
+    ++counts[ugf.chosen_strategy().kind];
+  }
+  const std::vector<std::size_t> observed{counts[StrategyKind::kCrashC],
+                                          counts[StrategyKind::kIsolate],
+                                          counts[StrategyKind::kDelay]};
+  const double stat = analysis::chi_square_statistic(
+      observed, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_LT(stat, analysis::chi_square_critical_001(2));
+}
+
+TEST(Ugf, SampledExponentsFollowZetaLawAndRespectCap) {
+  protocols::PushPullFactory proto;
+  UgfConfig cfg;
+  cfg.q1 = 0.0;
+  cfg.q2 = 0.0;  // always Strategy 2.k.l so both k and l are drawn
+  cfg.sample_exponents = true;
+  cfg.exponent_cap = 4;
+  std::map<std::uint32_t, std::size_t> k_counts;
+  for (int i = 0; i < 2000; ++i) {
+    UniversalGossipFighter ugf(static_cast<std::uint64_t>(i) + 1, cfg);
+    (void)sim::Engine(config(6, 2, 77), proto, &ugf).run();
+    const auto k = ugf.chosen_strategy().k;
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 4u);
+    ++k_counts[k];
+  }
+  // k = 1 carries 6/pi^2 ~ 0.608 of the mass.
+  const double frac1 =
+      static_cast<double>(k_counts[1]) / 2000.0;
+  EXPECT_NEAR(frac1, 0.608, 0.05);
+}
+
+TEST(Ugf, SaturatingDelaysWithLargeExponents) {
+  protocols::PushPullFactory proto;
+  UgfConfig cfg;
+  cfg.q1 = 0.0;
+  cfg.q2 = 0.0;
+  cfg.fixed_k = 40;  // tau^40 overflows: must saturate, not wrap
+  cfg.fixed_l = 40;
+  UniversalGossipFighter ugf(5, cfg);
+  auto engine_cfg = config(10, 4);
+  engine_cfg.max_steps = 2'000'000;  // far below the saturated delay
+  const auto out = sim::Engine(engine_cfg, proto, &ugf).run();
+  EXPECT_EQ(out.delta_max, util::kStepInfinity);
+  EXPECT_EQ(out.d_max, util::kStepInfinity);
+  // The run truncates at the horizon: effectively-infinite delays mean C
+  // never participates within any finite window.
+  EXPECT_TRUE(out.truncated);
+}
+
+TEST(Ugf, DisseminationStillSucceedsUnderEveryStrategy) {
+  // UGF delays and crashes but never forges: rumor gathering among
+  // correct processes must hold for all three strategies.
+  protocols::PushPullFactory proto;
+  for (double q1 : {1.0, 0.0}) {
+    for (double q2 : {1.0, 0.0}) {
+      UgfConfig cfg;
+      cfg.q1 = q1;
+      cfg.q2 = q2;
+      UniversalGossipFighter ugf(9, cfg);
+      const auto out = sim::Engine(config(24, 8, 3), proto, &ugf).run();
+      EXPECT_TRUE(out.rumor_gathering_ok)
+          << "q1=" << q1 << " q2=" << q2;
+      EXPECT_FALSE(out.truncated);
+    }
+  }
+}
+
+TEST(UgfFactory, CreatesFreshInstances) {
+  core::UgfFactory factory;
+  const auto a = factory.create(1);
+  const auto b = factory.create(2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_STREQ(factory.name(), "ugf");
+  EXPECT_DOUBLE_EQ(factory.config().q1, 1.0 / 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Tests for the 6/(pi^2 k^2) exponent sampler of Algorithm 1 (Remark 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "analysis/statistics.hpp"
+#include "util/rng.hpp"
+#include "util/zeta_sampler.hpp"
+
+namespace {
+
+using ugf::util::Rng;
+using ugf::util::Zeta2Sampler;
+using ugf::util::zeta2_cdf;
+using ugf::util::zeta2_pmf;
+
+TEST(Zeta2Pmf, MatchesBaselWeights) {
+  const double basel = 6.0 / (std::numbers::pi * std::numbers::pi);
+  EXPECT_DOUBLE_EQ(zeta2_pmf(1), basel);
+  EXPECT_DOUBLE_EQ(zeta2_pmf(2), basel / 4.0);
+  EXPECT_DOUBLE_EQ(zeta2_pmf(3), basel / 9.0);
+  EXPECT_DOUBLE_EQ(zeta2_pmf(0), 0.0);
+}
+
+TEST(Zeta2Pmf, SumsToOne) {
+  double sum = 0.0;
+  for (std::uint32_t k = 1; k <= 2000000; ++k) sum += zeta2_pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(Zeta2Cdf, IsMonotoneAndConsistent) {
+  double prev = 0.0;
+  for (std::uint32_t k = 1; k <= 50; ++k) {
+    const double c = zeta2_cdf(k);
+    EXPECT_GT(c, prev);
+    EXPECT_NEAR(c - prev, zeta2_pmf(k), 1e-12);
+    prev = c;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(Zeta2Sampler, CapOneAlwaysReturnsOne) {
+  Zeta2Sampler sampler(1);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(sampler.pmf(1), 1.0);
+  EXPECT_DOUBLE_EQ(sampler.pmf(2), 0.0);
+}
+
+TEST(Zeta2Sampler, RespectsCap) {
+  Zeta2Sampler sampler(4);
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = sampler.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 4u);
+  }
+}
+
+TEST(Zeta2Sampler, TruncatedPmfSumsToOne) {
+  Zeta2Sampler sampler(6);
+  double sum = 0.0;
+  for (std::uint32_t k = 0; k <= 10; ++k) sum += sampler.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zeta2Sampler, EmpiricalFrequenciesMatchTheLaw) {
+  // Chi-square goodness-of-fit of 50k draws against the truncated law,
+  // at alpha = 0.001 so the seeded test is effectively deterministic.
+  constexpr std::uint32_t kCap = 5;
+  Zeta2Sampler sampler(kCap);
+  Rng rng(777);
+  std::vector<std::size_t> observed(kCap, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++observed[sampler.sample(rng) - 1];
+  std::vector<double> expected;
+  for (std::uint32_t k = 1; k <= kCap; ++k) expected.push_back(sampler.pmf(k));
+  const double stat = ugf::analysis::chi_square_statistic(observed, expected);
+  EXPECT_LT(stat, ugf::analysis::chi_square_critical_001(kCap - 1));
+}
+
+TEST(Zeta2Sampler, UncappedDrawsHaveHeavyTail) {
+  Zeta2Sampler sampler(0);
+  Rng rng(31337);
+  int beyond2 = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) beyond2 += (sampler.sample(rng) > 2);
+  // P[k > 2] = 1 - basel * (1 + 1/4) ~ 0.24.
+  const double frac = static_cast<double>(beyond2) / kDraws;
+  EXPECT_NEAR(frac, 1.0 - zeta2_cdf(2), 0.02);
+}
+
+}  // namespace
