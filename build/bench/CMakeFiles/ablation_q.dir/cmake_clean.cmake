@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_q.dir/ablation_q.cpp.o"
+  "CMakeFiles/ablation_q.dir/ablation_q.cpp.o.d"
+  "ablation_q"
+  "ablation_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tau.dir/ablation_tau.cpp.o"
+  "CMakeFiles/ablation_tau.dir/ablation_tau.cpp.o.d"
+  "ablation_tau"
+  "ablation_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

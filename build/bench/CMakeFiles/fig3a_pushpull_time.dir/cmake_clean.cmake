@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_pushpull_time.dir/fig3a_pushpull_time.cpp.o"
+  "CMakeFiles/fig3a_pushpull_time.dir/fig3a_pushpull_time.cpp.o.d"
+  "fig3a_pushpull_time"
+  "fig3a_pushpull_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_pushpull_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_ears_time.dir/fig3b_ears_time.cpp.o"
+  "CMakeFiles/fig3b_ears_time.dir/fig3b_ears_time.cpp.o.d"
+  "fig3b_ears_time"
+  "fig3b_ears_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_ears_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_pushpull_msgs.dir/fig3c_pushpull_msgs.cpp.o"
+  "CMakeFiles/fig3c_pushpull_msgs.dir/fig3c_pushpull_msgs.cpp.o.d"
+  "fig3c_pushpull_msgs"
+  "fig3c_pushpull_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_pushpull_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

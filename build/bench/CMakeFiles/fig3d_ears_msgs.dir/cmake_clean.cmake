@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_ears_msgs.dir/fig3d_ears_msgs.cpp.o"
+  "CMakeFiles/fig3d_ears_msgs.dir/fig3d_ears_msgs.cpp.o.d"
+  "fig3d_ears_msgs"
+  "fig3d_ears_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_ears_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

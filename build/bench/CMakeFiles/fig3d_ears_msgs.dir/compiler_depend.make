@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3d_ears_msgs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3d_ears_msgs.
+# This may be replaced when dependencies are built.

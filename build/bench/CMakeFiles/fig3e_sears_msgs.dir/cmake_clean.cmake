@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3e_sears_msgs.dir/fig3e_sears_msgs.cpp.o"
+  "CMakeFiles/fig3e_sears_msgs.dir/fig3e_sears_msgs.cpp.o.d"
+  "fig3e_sears_msgs"
+  "fig3e_sears_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3e_sears_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

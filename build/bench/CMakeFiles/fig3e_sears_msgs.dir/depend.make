@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3e_sears_msgs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsweep.dir/fsweep.cpp.o"
+  "CMakeFiles/fsweep.dir/fsweep.cpp.o.d"
+  "fsweep"
+  "fsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

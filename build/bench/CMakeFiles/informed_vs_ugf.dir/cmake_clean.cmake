@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/informed_vs_ugf.dir/informed_vs_ugf.cpp.o"
+  "CMakeFiles/informed_vs_ugf.dir/informed_vs_ugf.cpp.o.d"
+  "informed_vs_ugf"
+  "informed_vs_ugf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/informed_vs_ugf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

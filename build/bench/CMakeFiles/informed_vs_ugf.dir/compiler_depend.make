@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for informed_vs_ugf.
+# This may be replaced when dependencies are built.

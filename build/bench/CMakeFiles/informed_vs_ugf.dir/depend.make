@@ -1,0 +1,2 @@
+# Empty dependencies file for informed_vs_ugf.
+# This may be replaced when dependencies are built.

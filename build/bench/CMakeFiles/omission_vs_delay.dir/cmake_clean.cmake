@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omission_vs_delay.dir/omission_vs_delay.cpp.o"
+  "CMakeFiles/omission_vs_delay.dir/omission_vs_delay.cpp.o.d"
+  "omission_vs_delay"
+  "omission_vs_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omission_vs_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

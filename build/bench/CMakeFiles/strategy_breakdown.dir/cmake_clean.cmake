@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_breakdown.dir/strategy_breakdown.cpp.o"
+  "CMakeFiles/strategy_breakdown.dir/strategy_breakdown.cpp.o.d"
+  "strategy_breakdown"
+  "strategy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

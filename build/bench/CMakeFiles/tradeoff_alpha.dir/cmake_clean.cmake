@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_alpha.dir/tradeoff_alpha.cpp.o"
+  "CMakeFiles/tradeoff_alpha.dir/tradeoff_alpha.cpp.o.d"
+  "tradeoff_alpha"
+  "tradeoff_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_bench_common.dir/figure_common.cpp.o"
+  "CMakeFiles/ugf_bench_common.dir/figure_common.cpp.o.d"
+  "libugf_bench_common.a"
+  "libugf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_learning.dir/collaborative_learning.cpp.o"
+  "CMakeFiles/collaborative_learning.dir/collaborative_learning.cpp.o.d"
+  "collaborative_learning"
+  "collaborative_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

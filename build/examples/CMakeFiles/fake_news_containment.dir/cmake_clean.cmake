@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_news_containment.dir/fake_news_containment.cpp.o"
+  "CMakeFiles/fake_news_containment.dir/fake_news_containment.cpp.o.d"
+  "fake_news_containment"
+  "fake_news_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_news_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

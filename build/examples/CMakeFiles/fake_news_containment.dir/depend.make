@@ -1,0 +1,2 @@
+# Empty dependencies file for fake_news_containment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/fixed_strategies.cpp" "src/adversary/CMakeFiles/ugf_adversary.dir/fixed_strategies.cpp.o" "gcc" "src/adversary/CMakeFiles/ugf_adversary.dir/fixed_strategies.cpp.o.d"
+  "/root/repo/src/adversary/informed.cpp" "src/adversary/CMakeFiles/ugf_adversary.dir/informed.cpp.o" "gcc" "src/adversary/CMakeFiles/ugf_adversary.dir/informed.cpp.o.d"
+  "/root/repo/src/adversary/jitter.cpp" "src/adversary/CMakeFiles/ugf_adversary.dir/jitter.cpp.o" "gcc" "src/adversary/CMakeFiles/ugf_adversary.dir/jitter.cpp.o.d"
+  "/root/repo/src/adversary/oblivious.cpp" "src/adversary/CMakeFiles/ugf_adversary.dir/oblivious.cpp.o" "gcc" "src/adversary/CMakeFiles/ugf_adversary.dir/oblivious.cpp.o.d"
+  "/root/repo/src/adversary/omission.cpp" "src/adversary/CMakeFiles/ugf_adversary.dir/omission.cpp.o" "gcc" "src/adversary/CMakeFiles/ugf_adversary.dir/omission.cpp.o.d"
+  "/root/repo/src/adversary/strategy.cpp" "src/adversary/CMakeFiles/ugf_adversary.dir/strategy.cpp.o" "gcc" "src/adversary/CMakeFiles/ugf_adversary.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ugf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

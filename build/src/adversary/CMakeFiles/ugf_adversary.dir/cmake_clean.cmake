@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_adversary.dir/fixed_strategies.cpp.o"
+  "CMakeFiles/ugf_adversary.dir/fixed_strategies.cpp.o.d"
+  "CMakeFiles/ugf_adversary.dir/informed.cpp.o"
+  "CMakeFiles/ugf_adversary.dir/informed.cpp.o.d"
+  "CMakeFiles/ugf_adversary.dir/jitter.cpp.o"
+  "CMakeFiles/ugf_adversary.dir/jitter.cpp.o.d"
+  "CMakeFiles/ugf_adversary.dir/oblivious.cpp.o"
+  "CMakeFiles/ugf_adversary.dir/oblivious.cpp.o.d"
+  "CMakeFiles/ugf_adversary.dir/omission.cpp.o"
+  "CMakeFiles/ugf_adversary.dir/omission.cpp.o.d"
+  "CMakeFiles/ugf_adversary.dir/strategy.cpp.o"
+  "CMakeFiles/ugf_adversary.dir/strategy.cpp.o.d"
+  "libugf_adversary.a"
+  "libugf_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_plot.cpp" "src/analysis/CMakeFiles/ugf_analysis.dir/ascii_plot.cpp.o" "gcc" "src/analysis/CMakeFiles/ugf_analysis.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/analysis/compare.cpp" "src/analysis/CMakeFiles/ugf_analysis.dir/compare.cpp.o" "gcc" "src/analysis/CMakeFiles/ugf_analysis.dir/compare.cpp.o.d"
+  "/root/repo/src/analysis/regression.cpp" "src/analysis/CMakeFiles/ugf_analysis.dir/regression.cpp.o" "gcc" "src/analysis/CMakeFiles/ugf_analysis.dir/regression.cpp.o.d"
+  "/root/repo/src/analysis/statistics.cpp" "src/analysis/CMakeFiles/ugf_analysis.dir/statistics.cpp.o" "gcc" "src/analysis/CMakeFiles/ugf_analysis.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ugf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_analysis.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ugf_analysis.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ugf_analysis.dir/compare.cpp.o"
+  "CMakeFiles/ugf_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/ugf_analysis.dir/regression.cpp.o"
+  "CMakeFiles/ugf_analysis.dir/regression.cpp.o.d"
+  "CMakeFiles/ugf_analysis.dir/statistics.cpp.o"
+  "CMakeFiles/ugf_analysis.dir/statistics.cpp.o.d"
+  "libugf_analysis.a"
+  "libugf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

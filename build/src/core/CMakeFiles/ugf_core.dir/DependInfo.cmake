@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary_registry.cpp" "src/core/CMakeFiles/ugf_core.dir/adversary_registry.cpp.o" "gcc" "src/core/CMakeFiles/ugf_core.dir/adversary_registry.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/ugf_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/ugf_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/ugf.cpp" "src/core/CMakeFiles/ugf_core.dir/ugf.cpp.o" "gcc" "src/core/CMakeFiles/ugf_core.dir/ugf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adversary/CMakeFiles/ugf_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

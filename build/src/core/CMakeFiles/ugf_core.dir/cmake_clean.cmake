@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_core.dir/adversary_registry.cpp.o"
+  "CMakeFiles/ugf_core.dir/adversary_registry.cpp.o.d"
+  "CMakeFiles/ugf_core.dir/theory.cpp.o"
+  "CMakeFiles/ugf_core.dir/theory.cpp.o.d"
+  "CMakeFiles/ugf_core.dir/ugf.cpp.o"
+  "CMakeFiles/ugf_core.dir/ugf.cpp.o.d"
+  "libugf_core.a"
+  "libugf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/broadcast_all.cpp" "src/protocols/CMakeFiles/ugf_protocols.dir/broadcast_all.cpp.o" "gcc" "src/protocols/CMakeFiles/ugf_protocols.dir/broadcast_all.cpp.o.d"
+  "/root/repo/src/protocols/ears.cpp" "src/protocols/CMakeFiles/ugf_protocols.dir/ears.cpp.o" "gcc" "src/protocols/CMakeFiles/ugf_protocols.dir/ears.cpp.o.d"
+  "/root/repo/src/protocols/push_average.cpp" "src/protocols/CMakeFiles/ugf_protocols.dir/push_average.cpp.o" "gcc" "src/protocols/CMakeFiles/ugf_protocols.dir/push_average.cpp.o.d"
+  "/root/repo/src/protocols/push_pull.cpp" "src/protocols/CMakeFiles/ugf_protocols.dir/push_pull.cpp.o" "gcc" "src/protocols/CMakeFiles/ugf_protocols.dir/push_pull.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "src/protocols/CMakeFiles/ugf_protocols.dir/registry.cpp.o" "gcc" "src/protocols/CMakeFiles/ugf_protocols.dir/registry.cpp.o.d"
+  "/root/repo/src/protocols/sequential.cpp" "src/protocols/CMakeFiles/ugf_protocols.dir/sequential.cpp.o" "gcc" "src/protocols/CMakeFiles/ugf_protocols.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ugf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_protocols.dir/broadcast_all.cpp.o"
+  "CMakeFiles/ugf_protocols.dir/broadcast_all.cpp.o.d"
+  "CMakeFiles/ugf_protocols.dir/ears.cpp.o"
+  "CMakeFiles/ugf_protocols.dir/ears.cpp.o.d"
+  "CMakeFiles/ugf_protocols.dir/push_average.cpp.o"
+  "CMakeFiles/ugf_protocols.dir/push_average.cpp.o.d"
+  "CMakeFiles/ugf_protocols.dir/push_pull.cpp.o"
+  "CMakeFiles/ugf_protocols.dir/push_pull.cpp.o.d"
+  "CMakeFiles/ugf_protocols.dir/registry.cpp.o"
+  "CMakeFiles/ugf_protocols.dir/registry.cpp.o.d"
+  "CMakeFiles/ugf_protocols.dir/sequential.cpp.o"
+  "CMakeFiles/ugf_protocols.dir/sequential.cpp.o.d"
+  "libugf_protocols.a"
+  "libugf_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

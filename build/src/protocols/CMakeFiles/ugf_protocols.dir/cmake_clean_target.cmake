@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libugf_protocols.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/monte_carlo.cpp" "src/runner/CMakeFiles/ugf_runner.dir/monte_carlo.cpp.o" "gcc" "src/runner/CMakeFiles/ugf_runner.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/runner/report.cpp" "src/runner/CMakeFiles/ugf_runner.dir/report.cpp.o" "gcc" "src/runner/CMakeFiles/ugf_runner.dir/report.cpp.o.d"
+  "/root/repo/src/runner/sweep.cpp" "src/runner/CMakeFiles/ugf_runner.dir/sweep.cpp.o" "gcc" "src/runner/CMakeFiles/ugf_runner.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ugf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/ugf_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ugf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

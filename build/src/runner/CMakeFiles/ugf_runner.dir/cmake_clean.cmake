@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_runner.dir/monte_carlo.cpp.o"
+  "CMakeFiles/ugf_runner.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/ugf_runner.dir/report.cpp.o"
+  "CMakeFiles/ugf_runner.dir/report.cpp.o.d"
+  "CMakeFiles/ugf_runner.dir/sweep.cpp.o"
+  "CMakeFiles/ugf_runner.dir/sweep.cpp.o.d"
+  "libugf_runner.a"
+  "libugf_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

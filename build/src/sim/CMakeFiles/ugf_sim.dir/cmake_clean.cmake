@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_sim.dir/engine.cpp.o"
+  "CMakeFiles/ugf_sim.dir/engine.cpp.o.d"
+  "libugf_sim.a"
+  "libugf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

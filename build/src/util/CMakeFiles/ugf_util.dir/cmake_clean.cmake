@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugf_util.dir/bitset2d.cpp.o"
+  "CMakeFiles/ugf_util.dir/bitset2d.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/cli.cpp.o"
+  "CMakeFiles/ugf_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/csv.cpp.o"
+  "CMakeFiles/ugf_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/dynamic_bitset.cpp.o"
+  "CMakeFiles/ugf_util.dir/dynamic_bitset.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/json.cpp.o"
+  "CMakeFiles/ugf_util.dir/json.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/rng.cpp.o"
+  "CMakeFiles/ugf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ugf_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/ugf_util.dir/zeta_sampler.cpp.o"
+  "CMakeFiles/ugf_util.dir/zeta_sampler.cpp.o.d"
+  "libugf_util.a"
+  "libugf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

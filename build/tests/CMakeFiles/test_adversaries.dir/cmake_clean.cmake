@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversaries.dir/test_adversaries.cpp.o"
+  "CMakeFiles/test_adversaries.dir/test_adversaries.cpp.o.d"
+  "test_adversaries"
+  "test_adversaries.pdb"
+  "test_adversaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

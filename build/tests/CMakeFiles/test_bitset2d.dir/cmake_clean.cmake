@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitset2d.dir/test_bitset2d.cpp.o"
+  "CMakeFiles/test_bitset2d.dir/test_bitset2d.cpp.o.d"
+  "test_bitset2d"
+  "test_bitset2d.pdb"
+  "test_bitset2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitset2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

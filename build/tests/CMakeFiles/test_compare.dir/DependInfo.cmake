@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/test_compare.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/test_compare.dir/test_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/ugf_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ugf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/ugf_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/ugf_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ugf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ugf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ugf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

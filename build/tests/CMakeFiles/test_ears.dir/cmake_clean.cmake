@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ears.dir/test_ears.cpp.o"
+  "CMakeFiles/test_ears.dir/test_ears.cpp.o.d"
+  "test_ears"
+  "test_ears.pdb"
+  "test_ears[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ears.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

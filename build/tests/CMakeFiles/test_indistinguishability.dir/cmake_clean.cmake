@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indistinguishability.dir/test_indistinguishability.cpp.o"
+  "CMakeFiles/test_indistinguishability.dir/test_indistinguishability.cpp.o.d"
+  "test_indistinguishability"
+  "test_indistinguishability.pdb"
+  "test_indistinguishability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indistinguishability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

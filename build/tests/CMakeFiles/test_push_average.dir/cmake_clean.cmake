@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_push_average.dir/test_push_average.cpp.o"
+  "CMakeFiles/test_push_average.dir/test_push_average.cpp.o.d"
+  "test_push_average"
+  "test_push_average.pdb"
+  "test_push_average[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_push_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

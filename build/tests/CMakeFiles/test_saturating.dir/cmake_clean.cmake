@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_saturating.dir/test_saturating.cpp.o"
+  "CMakeFiles/test_saturating.dir/test_saturating.cpp.o.d"
+  "test_saturating"
+  "test_saturating.pdb"
+  "test_saturating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_saturating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

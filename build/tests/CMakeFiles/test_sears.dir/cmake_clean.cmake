@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sears.dir/test_sears.cpp.o"
+  "CMakeFiles/test_sears.dir/test_sears.cpp.o.d"
+  "test_sears"
+  "test_sears.pdb"
+  "test_sears[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sears.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

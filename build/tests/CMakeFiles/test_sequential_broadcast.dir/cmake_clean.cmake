@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_broadcast.dir/test_sequential_broadcast.cpp.o"
+  "CMakeFiles/test_sequential_broadcast.dir/test_sequential_broadcast.cpp.o.d"
+  "test_sequential_broadcast"
+  "test_sequential_broadcast.pdb"
+  "test_sequential_broadcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

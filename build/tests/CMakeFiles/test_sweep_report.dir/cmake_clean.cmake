@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_report.dir/test_sweep_report.cpp.o"
+  "CMakeFiles/test_sweep_report.dir/test_sweep_report.cpp.o.d"
+  "test_sweep_report"
+  "test_sweep_report.pdb"
+  "test_sweep_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

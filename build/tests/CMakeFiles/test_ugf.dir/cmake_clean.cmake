@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ugf.dir/test_ugf.cpp.o"
+  "CMakeFiles/test_ugf.dir/test_ugf.cpp.o.d"
+  "test_ugf"
+  "test_ugf.pdb"
+  "test_ugf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ugf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

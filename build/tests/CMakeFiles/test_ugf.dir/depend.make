@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ugf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zeta_sampler.dir/test_zeta_sampler.cpp.o"
+  "CMakeFiles/test_zeta_sampler.dir/test_zeta_sampler.cpp.o.d"
+  "test_zeta_sampler"
+  "test_zeta_sampler.pdb"
+  "test_zeta_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zeta_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
