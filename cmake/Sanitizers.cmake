@@ -1,0 +1,45 @@
+# Sanitizers.cmake — wires compiler runtime checkers into every target.
+#
+# UGF_SANITIZE selects the sanitizer set for the whole build:
+#   ""                  (default) no instrumentation
+#   address             AddressSanitizer + LeakSanitizer
+#   undefined           UndefinedBehaviorSanitizer (non-recoverable)
+#   address,undefined   both (the `asan-ubsan` preset)
+#   thread              ThreadSanitizer (the `tsan` preset)
+#
+# Flags are applied via add_compile_options/add_link_options so they
+# reach every target added after include() — libraries, tests, benches
+# and examples alike. ASan/UBSan compose; TSan is mutually exclusive
+# with ASan, which we diagnose here instead of letting the compiler
+# fail mid-build.
+
+set(UGF_SANITIZE "" CACHE STRING
+    "Sanitizer set: empty, address, undefined, thread, or address,undefined")
+set_property(CACHE UGF_SANITIZE PROPERTY STRINGS
+             "" "address" "undefined" "thread" "address,undefined")
+
+if(UGF_SANITIZE)
+  string(REPLACE "," ";" _ugf_san_list "${UGF_SANITIZE}")
+  foreach(_ugf_san IN LISTS _ugf_san_list)
+    if(NOT _ugf_san MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR
+              "UGF_SANITIZE: unknown sanitizer '${_ugf_san}' "
+              "(expected address, undefined or thread)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _ugf_san_list AND "address" IN_LIST _ugf_san_list)
+    message(FATAL_ERROR
+            "UGF_SANITIZE: thread and address sanitizers cannot be combined")
+  endif()
+
+  add_compile_options(-fsanitize=${UGF_SANITIZE} -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${UGF_SANITIZE})
+
+  if("undefined" IN_LIST _ugf_san_list)
+    # Abort on the first UB report instead of recovering, so ctest fails.
+    add_compile_options(-fno-sanitize-recover=all)
+    add_link_options(-fno-sanitize-recover=all)
+  endif()
+
+  message(STATUS "UGF: building with -fsanitize=${UGF_SANITIZE}")
+endif()

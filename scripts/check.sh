@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The full correctness gauntlet: lint, format check, then build + ctest
+# under the asan-ubsan and tsan sanitizer presets. See docs/TOOLING.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+FAILED=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+note "lint_ugf"
+python3 tools/lint_ugf.py .
+
+note "clang-format"
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run --Werror
+else
+  echo "clang-format not installed; skipping format check"
+fi
+
+for preset in asan-ubsan tsan; do
+  note "preset: ${preset}"
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  if ! ctest --preset "${preset}" -j "${JOBS}"; then
+    FAILED=1
+  fi
+done
+
+if [ "${FAILED}" -ne 0 ]; then
+  echo "check.sh: FAILED" >&2
+  exit 1
+fi
+echo "check.sh: all gates passed"

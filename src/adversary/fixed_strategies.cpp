@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
 #include "util/saturating.hpp"
 
 namespace ugf::adversary {
@@ -9,7 +10,19 @@ namespace ugf::adversary {
 std::vector<sim::ProcessId> sample_control_set(
     util::Rng& rng, const sim::AdversaryControl& ctl) {
   const std::uint32_t size = ctl.crash_budget() / 2;
-  return rng.sample_without_replacement(ctl.num_processes(), size);
+  UGF_ASSERT_MSG(size <= ctl.num_processes(),
+                 "control set of %u from only %u processes", size,
+                 ctl.num_processes());
+  auto set = rng.sample_without_replacement(ctl.num_processes(), size);
+  UGF_AUDIT_MSG(
+      [&set] {
+        auto sorted = set;
+        std::sort(sorted.begin(), sorted.end());
+        return std::adjacent_find(sorted.begin(), sorted.end()) ==
+               sorted.end();
+      }(),
+      "control set sampled with duplicates");
+  return set;
 }
 
 std::uint64_t resolve_tau(std::uint64_t tau, const sim::AdversaryControl& ctl) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace ugf::analysis {
 
 double quantile_sorted(const std::vector<double>& sorted, double p) {
@@ -36,6 +38,14 @@ Summary summarize(std::vector<double> values) {
     for (const double v : values) ss += (v - s.mean) * (v - s.mean);
     s.stddev = std::sqrt(ss / (static_cast<double>(values.size()) - 1.0));
   }
+  // Order statistics of a sorted sample are themselves ordered, and the
+  // mean lies within the range (up to accumulated summation rounding);
+  // NaN inputs would silently violate both.
+  UGF_AUDIT(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 &&
+            s.q3 <= s.max);
+  const double slack = 1e-9 * (std::fabs(s.min) + std::fabs(s.max) + 1.0);
+  UGF_AUDIT(s.min - slack <= s.mean && s.mean <= s.max + slack);
+  UGF_AUDIT(s.stddev >= 0.0);
   return s;
 }
 

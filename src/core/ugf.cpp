@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "adversary/fixed_strategies.hpp"
+#include "util/check.hpp"
 #include "util/saturating.hpp"
 
 namespace ugf::core {
@@ -24,16 +25,32 @@ UniversalGossipFighter::UniversalGossipFighter(std::uint64_t seed,
 }
 
 std::uint32_t UniversalGossipFighter::draw_exponent(std::uint32_t fixed) {
-  return config_.sample_exponents ? zeta_.sample(rng_) : fixed;
+  const std::uint32_t k = config_.sample_exponents ? zeta_.sample(rng_) : fixed;
+  // Remark 2: exponents are drawn from P[k] = 6/(pi^2 k^2) truncated at
+  // the cap — a zero or out-of-cap sample would break tau^k saturation.
+  UGF_ASSERT_MSG(k >= 1, "strategy exponent must be >= 1, got %u", k);
+  UGF_ASSERT_MSG(!config_.sample_exponents || k <= config_.exponent_cap,
+                 "sampled exponent %u exceeds cap %u", k,
+                 config_.exponent_cap);
+  return k;
 }
 
 void UniversalGossipFighter::on_run_start(sim::AdversaryControl& ctl) {
   // Algorithm 1, line by line. C is a uniform sample of floor(F/2)
   // processes; all d_rho = delta_rho = 1 initially (the engine default).
   control_set_ = adversary::sample_control_set(rng_, ctl);
+  UGF_ASSERT_MSG(control_set_.size() == ctl.crash_budget() / 2,
+                 "|C| = %zu, expected floor(F/2) = %u", control_set_.size(),
+                 ctl.crash_budget() / 2);
   in_control_.assign(ctl.num_processes(), false);
-  for (const auto p : control_set_) in_control_[p] = true;
+  for (const auto p : control_set_) {
+    UGF_ASSERT_MSG(p < ctl.num_processes(), "control set member %u with n=%u",
+                   p, ctl.num_processes());
+    in_control_[p] = true;
+  }
   const std::uint64_t tau = adversary::resolve_tau(config_.tau, ctl);
+  UGF_ASSERT_MSG(tau >= 2, "tau must exceed 1, got %llu",
+                 static_cast<unsigned long long>(tau));
 
   if (rng_.bernoulli(config_.q1)) {
     // Strategy 1: crash all of C.
@@ -53,8 +70,13 @@ void UniversalGossipFighter::on_run_start(sim::AdversaryControl& ctl) {
     // on_message_emitted) until the budget F is exhausted.
     choice_ = StrategyChoice{StrategyKind::kIsolate, k, 0};
     if (control_set_.empty()) return;
-    rho_hat_ = control_set_[static_cast<std::size_t>(
-        rng_.below(control_set_.size()))];
+    const std::size_t rho_index =
+        static_cast<std::size_t>(rng_.below(control_set_.size()));
+    UGF_ASSERT_MSG(rho_index < control_set_.size(),
+                   "rho-hat index %zu out of |C| = %zu", rho_index,
+                   control_set_.size());
+    rho_hat_ = control_set_[rho_index];
+    UGF_AUDIT(in_control_[rho_hat_]);
     for (const auto p : control_set_)
       if (p != rho_hat_) ctl.crash(p);
     return;
@@ -75,6 +97,15 @@ void UniversalGossipFighter::on_run_start(sim::AdversaryControl& ctl) {
 
 void UniversalGossipFighter::on_message_emitted(sim::AdversaryControl& ctl,
                                                 const sim::SendEvent& event) {
+  // The engine only reports well-formed point-to-point emissions; the
+  // Def II.5 observation surface never exposes foreign state.
+  UGF_ASSERT_MSG(
+      event.from < ctl.num_processes() && event.to < ctl.num_processes(),
+      "emission %u -> %u outside n=%u", event.from, event.to,
+      ctl.num_processes());
+  UGF_ASSERT(event.from != event.to);
+  UGF_ASSERT_MSG(event.sender_total >= 1,
+                 "sender_total counts the reported send itself");
   switch (choice_.kind) {
     case StrategyKind::kIsolate:
       if (event.from != rho_hat_) return;

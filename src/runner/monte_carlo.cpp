@@ -1,5 +1,6 @@
 #include "runner/monte_carlo.hpp"
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace ugf::runner {
@@ -26,6 +27,10 @@ RunRecord MonteCarloRunner::run_once(
   record.seed = run_seed;
   record.strategy =
       instance ? instance->strategy_descriptor() : std::string("none");
+  UGF_ASSERT_MSG(record.outcome.per_process_sent.size() == spec.n,
+                 "outcome reports %zu processes for n=%u",
+                 record.outcome.per_process_sent.size(), spec.n);
+  UGF_ASSERT(record.outcome.crashed <= spec.f);
   return record;
 }
 

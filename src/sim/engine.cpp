@@ -1,9 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/saturating.hpp"
 
 namespace ugf::sim {
@@ -22,8 +22,14 @@ void Engine::Inbox::push(std::uint64_t d, Message msg, std::uint64_t seq) {
     lanes_.push_back(Lane{d, {}});
     lane = &lanes_.back();
   }
-  assert(lane->fifo.empty() ||
-         lane->fifo.back().msg.arrives_at <= msg.arrives_at);
+  UGF_ASSERT_MSG(lane->fifo.empty() ||
+                     lane->fifo.back().msg.arrives_at <= msg.arrives_at,
+                 "lane d=%llu accepted out of arrival order",
+                 static_cast<unsigned long long>(d));
+  UGF_ASSERT_MSG(msg.arrives_at >= msg.sent_at,
+                 "message arrives at %llu before its emission at %llu",
+                 static_cast<unsigned long long>(msg.arrives_at),
+                 static_cast<unsigned long long>(msg.sent_at));
   lane->fifo.push_back(InboxEntry{std::move(msg), seq});
   ++size_;
 }
@@ -111,14 +117,24 @@ class Engine::ControlImpl final : public AdversaryControl {
   [[nodiscard]] std::uint32_t crashes_used() const noexcept override {
     return engine_.crashes_used_;
   }
+  // The observation surface is exactly Def II.5: liveness state, send
+  // counts, the clock, and the adversary-controlled d/delta values.
+  // Every accessor bounds-checks its ProcessId so a buggy adversary
+  // strategy fails loudly instead of reading foreign memory.
   [[nodiscard]] bool is_crashed(ProcessId p) const noexcept override {
+    UGF_ASSERT_MSG(p < engine_.config_.n, "is_crashed(%u) with n=%u", p,
+                   engine_.config_.n);
     return engine_.procs_[p].state == ProcessState::kCrashed;
   }
   [[nodiscard]] bool is_asleep(ProcessId p) const noexcept override {
+    UGF_ASSERT_MSG(p < engine_.config_.n, "is_asleep(%u) with n=%u", p,
+                   engine_.config_.n);
     return engine_.procs_[p].state == ProcessState::kAsleep;
   }
   [[nodiscard]] std::uint64_t messages_sent_by(
       ProcessId p) const noexcept override {
+    UGF_ASSERT_MSG(p < engine_.config_.n, "messages_sent_by(%u) with n=%u", p,
+                   engine_.config_.n);
     return engine_.procs_[p].sent;
   }
   [[nodiscard]] GlobalStep now() const noexcept override {
@@ -126,10 +142,14 @@ class Engine::ControlImpl final : public AdversaryControl {
   }
   [[nodiscard]] std::uint64_t delivery_time(
       ProcessId p) const noexcept override {
+    UGF_ASSERT_MSG(p < engine_.config_.n, "delivery_time(%u) with n=%u", p,
+                   engine_.config_.n);
     return engine_.procs_[p].d;
   }
   [[nodiscard]] std::uint64_t local_step_time(
       ProcessId p) const noexcept override {
+    UGF_ASSERT_MSG(p < engine_.config_.n, "local_step_time(%u) with n=%u", p,
+                   engine_.config_.n);
     return engine_.procs_[p].delta;
   }
 
@@ -140,6 +160,9 @@ class Engine::ControlImpl final : public AdversaryControl {
     if (engine_.crashes_used_ >= engine_.config_.f) return false;
     ++engine_.crashes_used_;
     engine_.crash_process(p);
+    UGF_ASSERT_MSG(engine_.crashes_used_ <= engine_.config_.f,
+                   "crash budget exceeded: %u > F=%u", engine_.crashes_used_,
+                   engine_.config_.f);
     return true;
   }
 
@@ -147,12 +170,14 @@ class Engine::ControlImpl final : public AdversaryControl {
     if (p >= engine_.config_.n)
       throw std::out_of_range("AdversaryControl::set_delivery_time");
     engine_.procs_[p].d = std::max<std::uint64_t>(1, d);
+    UGF_ASSERT(engine_.procs_[p].d >= 1);
   }
 
   void set_local_step_time(ProcessId p, std::uint64_t delta) override {
     if (p >= engine_.config_.n)
       throw std::out_of_range("AdversaryControl::set_local_step_time");
     engine_.procs_[p].delta = std::max<std::uint64_t>(1, delta);
+    UGF_ASSERT(engine_.procs_[p].delta >= 1);
   }
 
   void request_timer(GlobalStep step) override {
@@ -235,6 +260,12 @@ void Engine::handle_step_begin(const Event& ev) {
   // Deliver everything that has arrived by the start of the step.
   Message msg;
   while (rt.inbox.pop_due(s, msg)) {
+    UGF_ASSERT_MSG(msg.to == ev.pid, "message for %u delivered to %u", msg.to,
+                   ev.pid);
+    UGF_ASSERT_MSG(msg.arrives_at <= s,
+                   "message delivered at %llu before its arrival at %llu",
+                   static_cast<unsigned long long>(s),
+                   static_cast<unsigned long long>(msg.arrives_at));
     ++outcome_.delivered_messages;
     rt.protocol->on_message(ctx, msg);
   }
@@ -278,6 +309,9 @@ void Engine::handle_step_end(const Event& ev) {
       ++outcome_.dropped_messages;
       continue;
     }
+    // A suppressed (omitted) message must never reach this acceptance
+    // path — the `continue` above it is what "omission" means.
+    UGF_ASSERT(!suppress_current_);
     const GlobalStep arrival = sat_add(e, rt.d);
     target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, std::move(payload)},
                       next_msg_seq_++);
@@ -321,7 +355,17 @@ Outcome Engine::run() {
       outcome_.truncated = true;
       break;
     }
+    // Step monotonicity: the event queue never travels back in time.
+    UGF_ASSERT_MSG(ev.step >= now_,
+                   "event queue went backwards: step %llu after %llu",
+                   static_cast<unsigned long long>(ev.step),
+                   static_cast<unsigned long long>(now_));
     now_ = ev.step;
+#if UGF_AUDITS_ENABLED
+    // Metrics counters are append-only: no event handler may ever
+    // decrease an accounting total.
+    const Outcome metrics_before = outcome_;
+#endif
     switch (ev.kind) {
       case EventKind::kStepBegin:
         handle_step_begin(ev);
@@ -333,6 +377,15 @@ Outcome Engine::run() {
         if (adversary_ != nullptr) adversary_->on_timer(*control_, ev.step);
         break;
     }
+#if UGF_AUDITS_ENABLED
+    UGF_AUDIT(outcome_.total_messages >= metrics_before.total_messages);
+    UGF_AUDIT(outcome_.delivered_messages >= metrics_before.delivered_messages);
+    UGF_AUDIT(outcome_.dropped_messages >= metrics_before.dropped_messages);
+    UGF_AUDIT(outcome_.omitted_messages >= metrics_before.omitted_messages);
+    UGF_AUDIT(outcome_.last_send_step >= metrics_before.last_send_step);
+    UGF_AUDIT(outcome_.local_steps_executed >=
+              metrics_before.local_steps_executed);
+#endif
   }
 
   finalize(outcome_);
@@ -358,6 +411,33 @@ void Engine::finalize(Outcome& outcome) const {
   outcome.time_complexity =
       static_cast<double>(outcome.t_end) /
       static_cast<double>(outcome.delta_max + outcome.d_max);
+
+#if UGF_AUDITS_ENABLED
+  // Message conservation: every emitted message is delivered, dropped,
+  // omitted, or still pending in some inbox — nothing is double-counted
+  // and nothing leaks.
+  std::uint64_t pending = 0;
+  std::uint64_t per_process_total = 0;
+  for (const auto& rt : procs_) {
+    pending += rt.inbox.size();
+    per_process_total += rt.sent;
+  }
+  UGF_AUDIT_MSG(outcome.delivered_messages + outcome.dropped_messages +
+                        outcome.omitted_messages + pending ==
+                    outcome.total_messages,
+                "message accounting leak: %llu delivered + %llu dropped + "
+                "%llu omitted + %llu pending != %llu total",
+                static_cast<unsigned long long>(outcome.delivered_messages),
+                static_cast<unsigned long long>(outcome.dropped_messages),
+                static_cast<unsigned long long>(outcome.omitted_messages),
+                static_cast<unsigned long long>(pending),
+                static_cast<unsigned long long>(outcome.total_messages));
+  UGF_AUDIT_MSG(per_process_total == outcome.total_messages,
+                "per-process sent counts sum to %llu, not M(O)=%llu",
+                static_cast<unsigned long long>(per_process_total),
+                static_cast<unsigned long long>(outcome.total_messages));
+  UGF_AUDIT(outcome.crashed <= config_.f);
+#endif
 
   // Rumor gathering (Def II.1): every correct process must hold the
   // gossip of every correct process. Meaningless if truncated.

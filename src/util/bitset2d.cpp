@@ -1,7 +1,8 @@
 #include "util/bitset2d.hpp"
 
 #include <bit>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace ugf::util {
 
@@ -16,22 +17,25 @@ std::uint64_t Bitset2D::tail_mask() const noexcept {
 }
 
 void Bitset2D::set(std::size_t r, std::size_t c) noexcept {
-  assert(r < rows_ && c < cols_);
+  UGF_ASSERT_MSG(r < rows_ && c < cols_, "cell (%zu, %zu) out of range (%zu x %zu)",
+                 r, c, rows_, cols_);
   words_[word_index(r, c)] |= std::uint64_t{1} << (c % kWordBits);
 }
 
 void Bitset2D::reset(std::size_t r, std::size_t c) noexcept {
-  assert(r < rows_ && c < cols_);
+  UGF_ASSERT_MSG(r < rows_ && c < cols_, "cell (%zu, %zu) out of range (%zu x %zu)",
+                 r, c, rows_, cols_);
   words_[word_index(r, c)] &= ~(std::uint64_t{1} << (c % kWordBits));
 }
 
 bool Bitset2D::test(std::size_t r, std::size_t c) const noexcept {
-  assert(r < rows_ && c < cols_);
+  UGF_ASSERT_MSG(r < rows_ && c < cols_, "cell (%zu, %zu) out of range (%zu x %zu)",
+                 r, c, rows_, cols_);
   return (words_[word_index(r, c)] >> (c % kWordBits)) & 1u;
 }
 
 void Bitset2D::set_row(std::size_t r) noexcept {
-  assert(r < rows_);
+  UGF_ASSERT_MSG(r < rows_, "row %zu out of range (%zu rows)", r, rows_);
   const std::size_t base = r * words_per_row_;
   for (std::size_t w = 0; w < words_per_row_; ++w)
     words_[base + w] = ~std::uint64_t{0};
@@ -39,7 +43,7 @@ void Bitset2D::set_row(std::size_t r) noexcept {
 }
 
 bool Bitset2D::row_all(std::size_t r) const noexcept {
-  assert(r < rows_);
+  UGF_ASSERT_MSG(r < rows_, "row %zu out of range (%zu rows)", r, rows_);
   const std::size_t base = r * words_per_row_;
   for (std::size_t w = 0; w + 1 < words_per_row_; ++w)
     if (words_[base + w] != ~std::uint64_t{0}) return false;
@@ -47,7 +51,7 @@ bool Bitset2D::row_all(std::size_t r) const noexcept {
 }
 
 std::size_t Bitset2D::row_count(std::size_t r) const noexcept {
-  assert(r < rows_);
+  UGF_ASSERT_MSG(r < rows_, "row %zu out of range (%zu rows)", r, rows_);
   const std::size_t base = r * words_per_row_;
   std::size_t n = 0;
   for (std::size_t w = 0; w < words_per_row_; ++w)
@@ -56,7 +60,9 @@ std::size_t Bitset2D::row_count(std::size_t r) const noexcept {
 }
 
 bool Bitset2D::or_with(const Bitset2D& other) noexcept {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  UGF_ASSERT_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch: %zux%zu vs %zux%zu", rows_, cols_,
+                 other.rows_, other.cols_);
   bool changed = false;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     const std::uint64_t merged = words_[i] | other.words_[i];
@@ -68,7 +74,9 @@ bool Bitset2D::or_with(const Bitset2D& other) noexcept {
 
 bool Bitset2D::row_contains(std::size_t r,
                             const DynamicBitset& bits) const noexcept {
-  assert(r < rows_ && bits.size() == cols_);
+  UGF_ASSERT_MSG(r < rows_ && bits.size() == cols_,
+                 "row %zu / width %zu incompatible with %zux%zu", r,
+                 bits.size(), rows_, cols_);
   const std::size_t base = r * words_per_row_;
   for (std::size_t w = 0; w < words_per_row_ && w < bits.words().size(); ++w)
     if ((bits.words()[w] & ~words_[base + w]) != 0) return false;
@@ -76,7 +84,9 @@ bool Bitset2D::row_contains(std::size_t r,
 }
 
 bool Bitset2D::or_row_with(std::size_t r, const DynamicBitset& bits) noexcept {
-  assert(r < rows_ && bits.size() == cols_);
+  UGF_ASSERT_MSG(r < rows_ && bits.size() == cols_,
+                 "row %zu / width %zu incompatible with %zux%zu", r,
+                 bits.size(), rows_, cols_);
   const std::size_t base = r * words_per_row_;
   bool changed = false;
   for (std::size_t w = 0; w < words_per_row_ && w < bits.words().size(); ++w) {
@@ -88,7 +98,7 @@ bool Bitset2D::or_row_with(std::size_t r, const DynamicBitset& bits) noexcept {
 }
 
 bool Bitset2D::row_any(std::size_t r) const noexcept {
-  assert(r < rows_);
+  UGF_ASSERT_MSG(r < rows_, "row %zu out of range (%zu rows)", r, rows_);
   const std::size_t base = r * words_per_row_;
   for (std::size_t w = 0; w < words_per_row_; ++w)
     if (words_[base + w] != 0) return true;

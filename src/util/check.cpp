@@ -1,0 +1,40 @@
+#include "util/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ugf::util::detail {
+
+namespace {
+
+void report_header(const char* kind, const char* expr, const char* file,
+                   int line, const char* func) noexcept {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d in %s\n", kind, expr, file,
+               line, func);
+}
+
+}  // namespace
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const char* func) noexcept {
+  report_header(kind, expr, file, line, func);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void check_failed_msg(const char* kind, const char* expr, const char* file,
+                      int line, const char* func, const char* fmt,
+                      ...) noexcept {
+  report_header(kind, expr, file, line, func);
+  std::fprintf(stderr, "  ");
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ugf::util::detail

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file check.hpp
+/// The invariant-audit layer: UGF_ASSERT / UGF_ASSERT_MSG for cheap
+/// always-reasonable invariants and UGF_AUDIT / UGF_AUDIT_MSG for
+/// expensive whole-structure scans, both controlled by UGF_AUDIT_LEVEL:
+///
+///   level 0 — every check compiles to nothing (release default);
+///   level 1 — UGF_ASSERT* active (cheap invariants; debug default);
+///   level 2 — UGF_ASSERT* and UGF_AUDIT* active (audit builds; the
+///             sanitizer presets build at this level).
+///
+/// A failed check prints the expression, file:line, enclosing function
+/// and an optional printf-formatted message to stderr, then aborts —
+/// unlike the standard `assert`, the report is emitted even when the
+/// process is running under a test harness that swallows stdout, and
+/// the macros cannot be silently disabled by a stray NDEBUG alone.
+///
+/// Disabled checks do NOT evaluate their arguments (they fold into an
+/// unevaluated `sizeof`), so conditions may be arbitrarily expensive.
+/// This is the only header in `src/` allowed to reach for abort-style
+/// checking; `tools/lint_ugf.py` rejects naked `assert(` elsewhere.
+
+#ifndef UGF_AUDIT_LEVEL
+#ifdef NDEBUG
+#define UGF_AUDIT_LEVEL 0
+#else
+#define UGF_AUDIT_LEVEL 1
+#endif
+#endif
+
+/// 1 iff UGF_ASSERT / UGF_ASSERT_MSG evaluate and enforce.
+#define UGF_CHECKS_ENABLED (UGF_AUDIT_LEVEL >= 1)
+/// 1 iff UGF_AUDIT / UGF_AUDIT_MSG evaluate and enforce.
+#define UGF_AUDITS_ENABLED (UGF_AUDIT_LEVEL >= 2)
+
+namespace ugf::util::detail {
+
+/// Reports a failed check and aborts. `kind` is the macro name.
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const char* func) noexcept;
+
+/// As check_failed, with a printf-formatted trailing message.
+[[noreturn]] __attribute__((format(printf, 6, 7))) void check_failed_msg(
+    const char* kind, const char* expr, const char* file, int line,
+    const char* func, const char* fmt, ...) noexcept;
+
+}  // namespace ugf::util::detail
+
+// `(void)sizeof(...)` keeps the operands syntactically alive (no
+// unused-variable warnings at call sites) without evaluating them.
+#define UGF_DETAIL_DISCARD(expr) (static_cast<void>(sizeof((expr) ? 1 : 0)))
+
+#if UGF_CHECKS_ENABLED
+#define UGF_ASSERT(expr)                                            \
+  ((expr) ? static_cast<void>(0)                                    \
+          : ::ugf::util::detail::check_failed("UGF_ASSERT", #expr,  \
+                                              __FILE__, __LINE__,   \
+                                              __func__))
+#define UGF_ASSERT_MSG(expr, ...)                                   \
+  ((expr) ? static_cast<void>(0)                                    \
+          : ::ugf::util::detail::check_failed_msg(                  \
+                "UGF_ASSERT", #expr, __FILE__, __LINE__, __func__,  \
+                __VA_ARGS__))
+#else
+#define UGF_ASSERT(expr) UGF_DETAIL_DISCARD(expr)
+#define UGF_ASSERT_MSG(expr, ...) UGF_DETAIL_DISCARD(expr)
+#endif
+
+#if UGF_AUDITS_ENABLED
+#define UGF_AUDIT(expr)                                             \
+  ((expr) ? static_cast<void>(0)                                    \
+          : ::ugf::util::detail::check_failed("UGF_AUDIT", #expr,   \
+                                              __FILE__, __LINE__,   \
+                                              __func__))
+#define UGF_AUDIT_MSG(expr, ...)                                    \
+  ((expr) ? static_cast<void>(0)                                    \
+          : ::ugf::util::detail::check_failed_msg(                  \
+                "UGF_AUDIT", #expr, __FILE__, __LINE__, __func__,   \
+                __VA_ARGS__))
+#else
+#define UGF_AUDIT(expr) UGF_DETAIL_DISCARD(expr)
+#define UGF_AUDIT_MSG(expr, ...) UGF_DETAIL_DISCARD(expr)
+#endif

@@ -1,7 +1,8 @@
 #include "util/dynamic_bitset.hpp"
 
 #include <bit>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace ugf::util {
 
@@ -18,12 +19,12 @@ std::uint64_t DynamicBitset::tail_mask() const noexcept {
 }
 
 void DynamicBitset::set(std::size_t i) noexcept {
-  assert(i < size_);
+  UGF_ASSERT_MSG(i < size_, "bit %zu out of range (size %zu)", i, size_);
   words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
 }
 
 void DynamicBitset::reset(std::size_t i) noexcept {
-  assert(i < size_);
+  UGF_ASSERT_MSG(i < size_, "bit %zu out of range (size %zu)", i, size_);
   words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
 }
 
@@ -35,7 +36,7 @@ void DynamicBitset::assign(std::size_t i, bool value) noexcept {
 }
 
 bool DynamicBitset::test(std::size_t i) const noexcept {
-  assert(i < size_);
+  UGF_ASSERT_MSG(i < size_, "bit %zu out of range (size %zu)", i, size_);
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
 }
 
@@ -68,7 +69,8 @@ bool DynamicBitset::none() const noexcept {
 }
 
 bool DynamicBitset::or_with(const DynamicBitset& other) noexcept {
-  assert(size_ == other.size_);
+  UGF_ASSERT_MSG(size_ == other.size_, "size mismatch: %zu vs %zu", size_,
+                 other.size_);
   bool changed = false;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     const std::uint64_t merged = words_[i] | other.words_[i];
@@ -79,12 +81,14 @@ bool DynamicBitset::or_with(const DynamicBitset& other) noexcept {
 }
 
 void DynamicBitset::and_with(const DynamicBitset& other) noexcept {
-  assert(size_ == other.size_);
+  UGF_ASSERT_MSG(size_ == other.size_, "size mismatch: %zu vs %zu", size_,
+                 other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
 }
 
 bool DynamicBitset::contains(const DynamicBitset& other) const noexcept {
-  assert(size_ == other.size_);
+  UGF_ASSERT_MSG(size_ == other.size_, "size mismatch: %zu vs %zu", size_,
+                 other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i)
     if ((other.words_[i] & ~words_[i]) != 0) return false;
   return true;
@@ -92,7 +96,8 @@ bool DynamicBitset::contains(const DynamicBitset& other) const noexcept {
 
 bool DynamicBitset::union_all(const DynamicBitset& a,
                               const DynamicBitset& b) noexcept {
-  assert(a.size_ == b.size_);
+  UGF_ASSERT_MSG(a.size_ == b.size_, "size mismatch: %zu vs %zu", a.size_,
+                 b.size_);
   if (a.words_.empty()) return true;
   for (std::size_t i = 0; i + 1 < a.words_.size(); ++i)
     if ((a.words_[i] | b.words_[i]) != ~std::uint64_t{0}) return false;

@@ -39,9 +39,25 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& f) {
   std::vector<std::future<void>> futures;
   futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([&f, i]() { f(i); }));
-  for (auto& fut : futures) fut.get();
+  std::exception_ptr first_error;
+  try {
+    for (std::size_t i = 0; i < n; ++i)
+      futures.push_back(submit([&f, i]() { f(i); }));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Every submitted task captures `f` by reference, so ALL of them must
+  // have finished before any exception may propagate out of this frame
+  // — rethrowing on the first failed future would let still-queued
+  // workers run against a dead closure.
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace ugf::util

@@ -45,8 +45,10 @@ class ThreadPool {
     return fut;
   }
 
-  /// Runs f(i) for i in [0, n), blocking until all complete. Exceptions
-  /// from tasks are rethrown (first one wins).
+  /// Runs f(i) for i in [0, n), blocking until every submitted task has
+  /// completed — even when some throw. The first exception (submission
+  /// failure, else lowest task index) is rethrown only after all tasks
+  /// are joined, so no worker can outlive the closure it references.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
 
  private:

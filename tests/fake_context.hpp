@@ -1,5 +1,6 @@
 #pragma once
 
+/// \file fake_context.hpp
 /// Test double for sim::ProcessContext: records sends and serves a
 /// deterministic RNG, so protocol state machines can be unit-tested
 /// step by step without an engine.

@@ -1,0 +1,87 @@
+// Tests for the invariant-audit layer (src/util/check.hpp): enabled
+// checks abort with the expression and file:line on stderr; disabled
+// checks compile away without evaluating their arguments.
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#if UGF_CHECKS_ENABLED
+
+using CheckDeathTest = testing::Test;
+
+TEST(CheckDeathTest, AssertAbortsWithExpressionAndLocation) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(UGF_ASSERT(2 + 2 == 5),
+               "UGF_ASSERT failed: 2 \\+ 2 == 5.*test_checks\\.cpp:[0-9]+");
+}
+
+TEST(CheckDeathTest, AssertMsgFormatsTheMessage) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const int have = 3;
+  const int want = 7;
+  EXPECT_DEATH(UGF_ASSERT_MSG(have == want, "have %d, want %d", have, want),
+               "UGF_ASSERT failed: have == want.*have 3, want 7");
+}
+
+TEST(CheckDeathTest, ReportNamesTheEnclosingFunction) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(UGF_ASSERT(false), "in TestBody");
+}
+
+TEST(Check, PassingAssertsAreSilent) {
+  UGF_ASSERT(1 + 1 == 2);
+  UGF_ASSERT_MSG(true, "never printed %d", 42);
+  SUCCEED();
+}
+
+#else  // !UGF_CHECKS_ENABLED
+
+TEST(Check, DisabledAssertsDoNotEvaluateArguments) {
+  int evaluations = 0;
+  auto costly = [&evaluations]() {
+    ++evaluations;
+    return false;  // would abort if the check were live
+  };
+  UGF_ASSERT(costly());
+  UGF_ASSERT_MSG(costly(), "evaluated %d times", evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // UGF_CHECKS_ENABLED
+
+#if UGF_AUDITS_ENABLED
+
+TEST(CheckDeathTest, AuditAbortsAtLevelTwo) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(UGF_AUDIT(false), "UGF_AUDIT failed: false");
+  EXPECT_DEATH(UGF_AUDIT_MSG(false, "n=%u", 9u),
+               "UGF_AUDIT failed: false.*n=9");
+}
+
+#else  // !UGF_AUDITS_ENABLED
+
+TEST(Check, DisabledAuditsDoNotEvaluateArguments) {
+  int evaluations = 0;
+  auto costly = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  UGF_AUDIT(costly());
+  UGF_AUDIT_MSG(costly(), "evaluated %d times", evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // UGF_AUDITS_ENABLED
+
+TEST(Check, LevelMacrosAreConsistent) {
+  // Audits imply asserts: there is no level where UGF_AUDIT is live but
+  // UGF_ASSERT is compiled out.
+  static_assert(!(UGF_AUDITS_ENABLED && !UGF_CHECKS_ENABLED));
+  EXPECT_EQ(UGF_CHECKS_ENABLED, UGF_AUDIT_LEVEL >= 1);
+  EXPECT_EQ(UGF_AUDITS_ENABLED, UGF_AUDIT_LEVEL >= 2);
+}
+
+}  // namespace

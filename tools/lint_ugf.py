@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for the UGF simulator.
+
+These are the rules a C++ compiler cannot enforce but that the
+reproduction's correctness story depends on:
+
+  rng          Every random draw must flow through the seeded
+               ``ugf::util::Rng`` (src/util/rng.*): ``rand()``,
+               ``srand()`` and ``std::random_device`` make a run
+               irreproducible, which silently breaks the Monte-Carlo
+               determinism contract and every regression baseline.
+  assert       Invariants go through UGF_ASSERT/UGF_AUDIT from
+               ``src/util/check.hpp`` — a naked ``assert(`` vanishes
+               under NDEBUG without a trace and reports nothing useful
+               when it fires.
+  iostream     Library code under ``src/`` must not include
+               ``<iostream>``: its static ios_base initializer taxes
+               every binary, and ad-hoc console output from the library
+               corrupts the CSV/JSON report streams the tools emit.
+               (``<fstream>``/``<sstream>``/``<ostream>`` are fine.)
+  header       Every header starts with ``#pragma once`` followed by a
+               Doxygen ``\\file`` comment, so includes are idempotent
+               and each header states its purpose.
+  ordered      Report/analysis code must not iterate an unordered
+               container into its output: iteration order is
+               implementation-defined, so reports would differ between
+               runs/compilers. Use std::map/std::vector, or sort first.
+
+A finding can be suppressed on its line (or the line above) with:
+    // ugf-lint: allow(<rule>)
+
+Usage: lint_ugf.py [REPO_ROOT]
+Exits 0 when clean, 1 with findings (one ``file:line: rule: message``
+per line), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CXX_EXTENSIONS = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+ALLOW_RE = re.compile(r"ugf-lint:\s*allow\(([a-z-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+RNG_RE = re.compile(r"\b(?:std::)?s?rand\s*\(|\bstd::random_device\b")
+ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+
+# Rule applicability, by repo-relative posix path.
+RNG_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
+ASSERT_EXEMPT = ("src/util/check.hpp",)
+ORDERED_SCOPE = ("src/runner/", "src/analysis/")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_strings(code: str) -> str:
+    """Blanks out string/char literal contents (keeps column positions)."""
+    out = []
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and code[i] != quote:
+                out.append(" " if code[i] != "\\" else " ")
+                i += 2 if code[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def allowed(rule: str, lines: list[str], idx: int) -> bool:
+    for look in (idx, idx - 1):
+        if 0 <= look < len(lines):
+            m = ALLOW_RE.search(lines[look])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def lint_file(root: Path, path: Path) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [Finding(rel, 1, "encoding", "file is not valid UTF-8")]
+    lines = text.splitlines()
+    findings: list[Finding] = []
+
+    in_block_comment = False
+    for i, raw in enumerate(lines):
+        lineno = i + 1
+        # Track /* */ blocks so commented-out code is not linted.
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        # Remove complete /* ... */ spans, then detect an opening one.
+        line = re.sub(r"/\*.*?\*/", " ", line)
+        if "/*" in line:
+            line = line.split("/*", 1)[0]
+            in_block_comment = True
+        line = LINE_COMMENT_RE.sub("", line)
+        code = strip_strings(line)
+
+        if RNG_RE.search(code) and rel not in RNG_EXEMPT:
+            if not allowed("rng", lines, i):
+                findings.append(
+                    Finding(rel, lineno, "rng",
+                            "non-deterministic randomness; draw from "
+                            "ugf::util::Rng (src/util/rng.hpp) instead"))
+        if (rel.startswith("src/") and rel not in ASSERT_EXEMPT
+                and ASSERT_RE.search(code)):
+            if not allowed("assert", lines, i):
+                findings.append(
+                    Finding(rel, lineno, "assert",
+                            "naked assert(); use UGF_ASSERT/UGF_AUDIT from "
+                            "util/check.hpp so the check survives NDEBUG "
+                            "policy and reports file:line"))
+        if rel.startswith("src/") and IOSTREAM_RE.search(code):
+            if not allowed("iostream", lines, i):
+                findings.append(
+                    Finding(rel, lineno, "iostream",
+                            "<iostream> in library code; use <cstdio> or "
+                            "<fstream>/<sstream>"))
+        if any(rel.startswith(scope) for scope in ORDERED_SCOPE):
+            if UNORDERED_RE.search(code) and not allowed("ordered", lines, i):
+                findings.append(
+                    Finding(rel, lineno, "ordered",
+                            "unordered container in report-producing code; "
+                            "iteration order is not deterministic — use "
+                            "std::map / sorted std::vector"))
+
+    if path.suffix in {".hpp", ".hh", ".h"}:
+        findings.extend(lint_header_prelude(rel, lines))
+    return findings
+
+
+def lint_header_prelude(rel: str, lines: list[str]) -> list[Finding]:
+    nonempty = [(i + 1, l.strip()) for i, l in enumerate(lines) if l.strip()]
+    if not nonempty:
+        return [Finding(rel, 1, "header", "empty header")]
+    first_line, first = nonempty[0]
+    if first != "#pragma once":
+        return [Finding(rel, first_line, "header",
+                        "headers must start with #pragma once")]
+    for lineno, stripped in nonempty[1:4]:
+        if "\\file" in stripped:
+            return []
+    return [Finding(rel, first_line, "header",
+                    "missing Doxygen '\\file' comment after #pragma once")]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(argv[1]).resolve() if len(argv) == 2 else Path.cwd()
+    if not (root / "src").is_dir():
+        print(f"lint_ugf: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    checked = 0
+    for top in SOURCE_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_EXTENSIONS and path.is_file():
+                findings.extend(lint_file(root, path))
+                checked += 1
+
+    for f in findings:
+        print(f)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_ugf: {checked} files checked, {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the library sources using the build tree's
+compile_commands.json, in parallel, failing on any diagnostic.
+
+Registered as the `clang_tidy` ctest test when clang-tidy is on PATH
+(see the top-level CMakeLists.txt); the container's minimal toolchain
+ships without it, in which case the test is simply not registered and
+`scripts/check.sh` prints a skip notice instead.
+
+Usage:
+  run_clang_tidy.py --clang-tidy PATH --build-dir DIR --source-dir DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-dir", required=True)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    build_dir = Path(args.build_dir)
+    source_dir = Path(args.source_dir).resolve()
+    compdb = build_dir / "compile_commands.json"
+    if not compdb.is_file():
+        print(f"run_clang_tidy: {compdb} not found; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON (the presets do)",
+              file=sys.stderr)
+        return 2
+
+    entries = json.loads(compdb.read_text())
+    files = sorted({
+        str(Path(e["file"]).resolve())
+        for e in entries
+        if str(Path(e["file"]).resolve()).startswith(str(source_dir / "src"))
+    })
+    if not files:
+        print("run_clang_tidy: no src/ translation units in the database",
+              file=sys.stderr)
+        return 2
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(build_dir), "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, source_dir)
+            if code != 0 or "warning:" in output or "error:" in output:
+                failures += 1
+                print(f"--- {rel}")
+                print(output.strip())
+    print(f"run_clang_tidy: {len(files)} files, {failures} with findings",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
