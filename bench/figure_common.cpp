@@ -4,9 +4,14 @@
 #include <iostream>
 
 #include "core/adversary_registry.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "obs/profile.hpp"
 #include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
 #include "runner/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace ugf::bench {
@@ -32,6 +37,12 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       config.grid = {10, 20, 30, 50, 70, 100};
       config.runs = 10;
     }
+
+    const std::string timeseries_path = args.get_string("timeseries", "");
+    config.collect_timeseries = !timeseries_path.empty();
+    obs::PhaseProfiler profiler;
+    const bool profile = args.get_bool("profile", false);
+    if (profile) config.profiler = &profiler;
 
     const auto protocol = protocols::make_protocol(spec.protocol);
     const auto none = core::make_adversary("none");
@@ -65,15 +76,64 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     runner::print_strategy_histogram(std::cout, curves);
     // Statistical backing for the "UGF dominates the baseline" claim.
     runner::print_dominance(std::cout, curves[0], curves[1], spec.metric);
+    if (config.collect_timeseries)
+      runner::print_infection_curves(std::cout, curves);
 
-    const std::string csv_path =
-        args.get_string("csv", spec.figure_id + ".csv");
-    runner::write_figure_csv(csv_path, spec.figure_id, curves);
-    const std::string json_path =
-        args.get_string("json", spec.figure_id + ".json");
-    runner::write_figure_json(json_path, spec.figure_id, curves);
-    std::cout << "csv: " << csv_path << "  json: " << json_path << "  ("
-              << watch.seconds() << "s total)\n\n";
+    {
+      obs::ScopedPhase phase(config.profiler, obs::Phase::kExport);
+      const std::string csv_path =
+          args.get_string("csv", spec.figure_id + ".csv");
+      runner::write_figure_csv(csv_path, spec.figure_id, curves);
+      const std::string json_path =
+          args.get_string("json", spec.figure_id + ".json");
+      runner::write_figure_json(json_path, spec.figure_id, curves);
+      std::cout << "csv: " << csv_path << "  json: " << json_path;
+      if (config.collect_timeseries) {
+        runner::write_figure_timeseries_csv(timeseries_path, spec.figure_id,
+                                            curves);
+        std::cout << "  timeseries: " << timeseries_path;
+      }
+      std::cout << "  (" << watch.seconds() << "s total)\n\n";
+    }
+
+    // Single-run trace exports: run 0 at the smallest grid N under UGF,
+    // seeded exactly as the sweep seeds that grid point, so the trace
+    // reproduces a run the figure actually contains.
+    const std::string trace_path = args.get_string("trace", "");
+    const std::string chrome_path = args.get_string("chrome-trace", "");
+    if (!trace_path.empty() || !chrome_path.empty()) {
+      obs::ScopedPhase phase(config.profiler, obs::Phase::kExport);
+      runner::RunSpec one;
+      one.n = config.grid.front();
+      one.f = runner::f_for(one.n, config.f_fraction);
+      one.runs = 1;
+      one.base_seed = util::mix_seed(config.base_seed, one.n);
+      one.max_steps = config.max_steps;
+      one.max_events = config.max_events;
+      if (profile) one.profiler = &profiler;
+      obs::EventRecorder recorder;
+      const auto record = runner::MonteCarloRunner::run_once(
+          one, 0, *protocol, *ugf, &recorder);
+      obs::TraceMeta meta;
+      meta.protocol = spec.protocol;
+      meta.adversary = record.strategy;
+      meta.n = one.n;
+      meta.f = one.f;
+      meta.seed = record.seed;
+      if (!trace_path.empty()) {
+        obs::write_ndjson_trace_file(trace_path, recorder.raw(), meta);
+        std::cout << "trace: " << trace_path << " (" << recorder.size()
+                  << " events, n=" << one.n << ", " << record.strategy
+                  << ")\n";
+      }
+      if (!chrome_path.empty()) {
+        obs::write_chrome_trace_file(chrome_path, recorder.raw(), meta);
+        std::cout << "chrome-trace: " << chrome_path
+                  << " (open in chrome://tracing or ui.perfetto.dev)\n";
+      }
+    }
+
+    if (profile) obs::print_phase_table(std::cout, profiler);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -16,6 +16,16 @@
 ///   --csv=path         CSV output path     (default: <figure_id>.csv)
 ///   --json=path        JSON output path    (default: <figure_id>.json)
 ///   --quick            small grid + few runs (CI-friendly)
+///
+/// Observability flags (see docs/OBSERVABILITY.md):
+///   --timeseries=path  collect per-run event streams, ascii-plot the
+///                      median infection curve of the largest N, and
+///                      write aggregated curves to `path` as CSV
+///   --trace=path       NDJSON event trace (ugf-trace-v1) of one run:
+///                      run 0 at the smallest grid N under UGF
+///   --chrome-trace=p   same run as chrome://tracing / Perfetto JSON
+///   --profile          per-phase wall-time table (engine / protocol /
+///                      adversary / stats / export) over the whole panel
 
 #include <string>
 

@@ -7,6 +7,7 @@
 
 #include "adversary/fixed_strategies.hpp"
 #include "core/ugf.hpp"
+#include "obs/event.hpp"
 #include "protocols/ears.hpp"
 #include "protocols/push_pull.hpp"
 #include "sim/engine.hpp"
@@ -69,6 +70,7 @@ void BM_PushPullRunBenign(benchmark::State& state) {
   protocols::PushPullFactory factory;
   std::uint64_t seed = 1;
   std::uint64_t messages = 0;
+  std::uint64_t steps = 0;
   for (auto _ : state) {
     sim::EngineConfig cfg;
     cfg.n = n;
@@ -77,11 +79,64 @@ void BM_PushPullRunBenign(benchmark::State& state) {
     sim::Engine engine(cfg, factory, nullptr);
     const auto out = engine.run();
     messages += out.total_messages;
+    steps += out.local_steps_executed;
   }
   state.counters["msgs/run"] =
       static_cast<double>(messages) / static_cast<double>(state.iterations());
+  // items/s in the report = local steps/s; its inverse is ns/step, the
+  // number micro_obs guards against observability overhead.
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_PushPullRunBenign)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PushPullRunWithCountingSink(benchmark::State& state) {
+  // Same workload as BM_PushPullRunBenign with the cheapest possible
+  // sink attached: the gap between the two is the per-event virtual
+  // dispatch cost of observability (compare items/s).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullFactory factory;
+  obs::CountingSink sink;
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed++;
+    cfg.sink = &sink;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    steps += out.local_steps_executed;
+  }
+  state.counters["events/run"] = static_cast<double>(sink.total()) /
+                                 static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_PushPullRunWithCountingSink)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PushPullRunWithRecorder(benchmark::State& state) {
+  // Full trace recording (vector append per event) — what --trace pays.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullFactory factory;
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    obs::EventRecorder recorder;
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed++;
+    cfg.sink = &recorder;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    steps += out.local_steps_executed;
+    benchmark::DoNotOptimize(recorder.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_PushPullRunWithRecorder)->Arg(50)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PushPullRunUnderUgf(benchmark::State& state) {

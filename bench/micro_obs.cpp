@@ -1,0 +1,218 @@
+// Observability overhead micro-bench and baseline emitter.
+//
+// Measures the engine's step-loop cost (ns per executed local step,
+// push-pull, benign, fixed N) in four configurations:
+//
+//   detached   no sink, no profiler — the default everyone pays
+//   counting   obs::CountingSink attached (virtual call per event)
+//   recording  obs::EventRecorder attached (call + vector append)
+//   profiled   obs::PhaseProfiler attached, no sink
+//
+// The configurations run interleaved with identical seeds (paired
+// comparison), repeated --reps times; medians are reported, printed as
+// a table and optionally written as JSON (--json=BENCH_baseline.json).
+// `--reference=NS` embeds an externally measured pre-observability
+// baseline (ns/step) so the JSON records the "disabled observability
+// is free" claim against the commit that had no gates at all.
+//
+// `--check` turns the binary into a perf smoke test: it exits non-zero
+// when the attached-counting-sink overhead over detached exceeds
+// --max-overhead percent. The detached configuration's own overhead
+// (the untaken branches) is strictly smaller than that, so the check
+// bounds both. Registered in ctest with a generous margin — CI boxes
+// are noisy; the committed BENCH_baseline.json holds the honest local
+// numbers.
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/profile.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace ugf;
+
+struct Sample {
+  double ns_per_step = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;  ///< observed events (attached variants)
+};
+
+/// One timed pass: `runs` benign push-pull runs at size n, seeds
+/// base_seed..base_seed+runs-1, with the given sink/profiler attached.
+Sample measure(std::uint32_t n, std::uint32_t runs, std::uint64_t base_seed,
+               obs::EventSink* sink, obs::PhaseProfiler* profiler,
+               bool fresh_recorder) {
+  protocols::PushPullFactory factory;
+  Sample sample;
+  util::Stopwatch watch;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    obs::EventRecorder recorder;
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = base_seed + i;
+    cfg.sink = fresh_recorder ? &recorder : sink;
+    cfg.profiler = profiler;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    sample.steps += out.local_steps_executed;
+    sample.messages += out.total_messages;
+    if (fresh_recorder) sample.events += recorder.size();
+  }
+  sample.ns_per_step = watch.seconds() * 1e9 /
+                       static_cast<double>(std::max<std::uint64_t>(1, sample.steps));
+  return sample;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t m = xs.size() / 2;
+  return xs.size() % 2 == 1 ? xs[m] : 0.5 * (xs[m - 1] + xs[m]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
+    const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 30));
+    const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
+    const std::uint64_t seed = args.get_uint("seed", 0x0B5EED5ull);
+    const std::string json_path = args.get_string("json", "");
+    const bool check = args.get_bool("check", false);
+    const double max_overhead = args.get_double("max-overhead", 5.0);
+    const double reference = args.get_double("reference", 0.0);
+
+    obs::CountingSink counting;
+    obs::PhaseProfiler profiler;
+
+    // Warmup (untimed): plain runs only, so the pristine block below
+    // sees a process the pre-observability baseline could have seen.
+    (void)measure(n, std::max(1u, runs / 4), seed, nullptr, nullptr, false);
+
+    // Pristine block: detached cost measured before any attached
+    // variant has run. The recording passes grow the allocator by tens
+    // of MB; interleaved detached passes after them are systematically
+    // slower, which would smear the "disabled observability is free"
+    // number the --reference comparison is about.
+    std::vector<double> pristine;
+    std::uint64_t steps = 0, messages = 0, events = 0;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const Sample d = measure(n, runs, seed, nullptr, nullptr, false);
+      pristine.push_back(d.ns_per_step);
+      steps = d.steps;
+      messages = d.messages;
+    }
+
+    // Paired block: attached variants interleaved with fresh detached
+    // passes under identical seeds; overheads are relative within this
+    // (hotter) process state.
+    std::vector<double> detached, with_counting, with_recording, with_profiler;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const Sample d = measure(n, runs, seed, nullptr, nullptr, false);
+      const Sample c = measure(n, runs, seed, &counting, nullptr, false);
+      const Sample r = measure(n, runs, seed, nullptr, nullptr, true);
+      const Sample p = measure(n, runs, seed, nullptr, &profiler, false);
+      detached.push_back(d.ns_per_step);
+      with_counting.push_back(c.ns_per_step);
+      with_recording.push_back(r.ns_per_step);
+      with_profiler.push_back(p.ns_per_step);
+      events = r.events;
+    }
+
+    const double pristine_med = median(pristine);
+    const double d_med = median(detached);
+    const double c_med = median(with_counting);
+    const double r_med = median(with_recording);
+    const double p_med = median(with_profiler);
+    const double counting_overhead = (c_med - d_med) / d_med * 100.0;
+    const double recording_overhead = (r_med - d_med) / d_med * 100.0;
+    const double profiler_overhead = (p_med - d_med) / d_med * 100.0;
+    const double reference_overhead =
+        reference > 0.0 ? (pristine_med - reference) / reference * 100.0 : 0.0;
+
+    std::cout << "micro_obs: push-pull benign, n=" << n << ", f=" << n * 3 / 10
+              << ", " << runs << " runs x " << reps << " reps ("
+              << steps << " steps, " << messages << " msgs, " << events
+              << " events per pass)\n";
+    const auto row = [](const char* label, double ns, double overhead) {
+      std::cout << "  " << std::left << std::setw(22) << label << std::right
+                << std::fixed << std::setprecision(1) << std::setw(9) << ns
+                << " ns/step   " << std::showpos << std::setprecision(2)
+                << overhead << "%" << std::noshowpos << "\n";
+    };
+    row("detached (pristine)", pristine_med, 0.0);
+    row("detached (paired)", d_med, 0.0);
+    row("counting sink", c_med, counting_overhead);
+    row("event recorder", r_med, recording_overhead);
+    row("phase profiler", p_med, profiler_overhead);
+    if (reference > 0.0)
+      row("pristine vs reference", reference, reference_overhead);
+
+    if (!json_path.empty()) {
+      util::JsonWriter json;
+      json.begin_object()
+          .member("schema", "ugf-bench-baseline-v1")
+          .member("benchmark", "micro_obs")
+          .member("protocol", "push-pull")
+          .member("n", n)
+          .member("runs", runs)
+          .member("reps", reps)
+          .member("seed", seed)
+          .member("steps_per_pass", steps)
+          .member("messages_per_pass", messages)
+          .member("events_per_pass", events)
+          .member("detached_pristine_ns_per_step", pristine_med)
+          .member("detached_paired_ns_per_step", d_med)
+          .member("counting_sink_ns_per_step", c_med)
+          .member("event_recorder_ns_per_step", r_med)
+          .member("phase_profiler_ns_per_step", p_med)
+          .member("counting_overhead_pct", counting_overhead)
+          .member("recording_overhead_pct", recording_overhead)
+          .member("profiler_overhead_pct", profiler_overhead)
+          .member("reference_ns_per_step", reference)
+          .member("detached_vs_reference_pct", reference_overhead)
+          .end_object();
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "error: cannot open " << json_path << "\n";
+        return 1;
+      }
+      out << json.str() << "\n";
+      std::cout << "baseline json: " << json_path << "\n";
+    }
+
+    if (check) {
+      if (!std::isfinite(counting_overhead) ||
+          counting_overhead > max_overhead) {
+        std::cerr << "FAIL: counting-sink overhead "
+                  << std::setprecision(2) << std::fixed << counting_overhead
+                  << "% exceeds " << max_overhead
+                  << "% (detached overhead is bounded by it)\n";
+        return 1;
+      }
+      std::cout << "OK: counting-sink overhead " << std::setprecision(2)
+                << std::fixed << counting_overhead << "% <= " << max_overhead
+                << "%\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

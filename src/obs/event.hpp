@@ -1,0 +1,218 @@
+#pragma once
+
+/// \file event.hpp
+/// The typed event stream of one simulated run — the contract between
+/// the engine (producer) and every observability consumer (recorders,
+/// time-series derivation, exporters). One `TraceEvent` is one observed
+/// fact; the engine emits them in non-decreasing `step` order behind a
+/// `sink != nullptr` gate, so a run without an attached sink pays one
+/// predicted-not-taken branch per would-be event and nothing else.
+///
+/// Per-type field meaning (fields not listed are zero / kNoProcess):
+///
+///   type            step           a (primary)   b (secondary)  v0                     v1
+///   --------------  -------------  ------------  -------------  ---------------------  -----------------
+///   kEmission       emission step  sender        receiver       sender M_rho (incl.)   d_rho at emission
+///   kDelivery       delivery step  receiver      sender         sent_at                arrives_at
+///   kDrop           drop step      receiver      sender*        messages dropped       0
+///   kOmission       emission step  sender        receiver       0                      0
+///   kCrash          crash step     crashed       —              pending inbox wiped    crashes used (incl.)
+///   kInfection      step           newly reached —              reached count (incl.)  0
+///   kStepBegin      step s         process       —              pending inbox size     0
+///   kStepEnd        step s+delta   process       —              messages emitted       delta_rho
+///   kSleep          step           process       —              0                      0
+///   kDelayChange    step           process       —              new d_rho              old d_rho
+///   kStepTimeChange step           process       —              new delta_rho          old delta_rho
+///
+///   (*) a kDrop with b == kNoProcess is an inbox wipe at a crash; v0
+///       carries the number of in-flight messages lost. Emission-time
+///       drops (receiver already crashed) have v0 == 1 and a real b.
+///
+/// Within one step the producer order is: kStepBegin, deliveries, then
+/// (at the end step) one kEmission per queued message followed by the
+/// adversary's reaction to it (kDelayChange / kStepTimeChange / kCrash
+/// with its inbox-wipe kDrop / kOmission / per-message kDrop), then
+/// kStepEnd and possibly kSleep. A kEmission's v1 records d_rho *before*
+/// the adversary hook ran; if the hook retargets d_rho, the kDelivery's
+/// arrives_at reflects the new value and a kDelayChange documents the
+/// switch. kDelayChange / kStepTimeChange fire only when the value
+/// actually changes, so counting them counts real adversary decisions.
+///
+/// "Infection" is rumor spreading measured on the paper's own terms:
+/// a process is counted once it holds the gossip that originated at
+/// process 0 (`Protocol::has_gossip_of(0)`), and stays counted even if
+/// it crashes later, so `infected(t)` is monotone by construction.
+///
+/// Schema stability: the NDJSON rendering of this table is versioned as
+/// `ugf-trace-v1` (see obs/export.hpp). Adding event types or fields is
+/// a compatible extension; changing the meaning of an existing field
+/// bumps the version. docs/OBSERVABILITY.md is the reference.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ugf::obs {
+
+enum class EventType : std::uint8_t {
+  kEmission,
+  kDelivery,
+  kDrop,
+  kOmission,
+  kCrash,
+  kInfection,
+  kStepBegin,
+  kStepEnd,
+  kSleep,
+  kDelayChange,
+  kStepTimeChange,
+};
+
+/// Number of distinct EventType values (for histogram arrays).
+inline constexpr std::size_t kNumEventTypes = 11;
+
+/// Stable lowercase identifier used by the exporters ("emission", ...).
+[[nodiscard]] constexpr const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kEmission: return "emission";
+    case EventType::kDelivery: return "delivery";
+    case EventType::kDrop: return "drop";
+    case EventType::kOmission: return "omission";
+    case EventType::kCrash: return "crash";
+    case EventType::kInfection: return "infection";
+    case EventType::kStepBegin: return "step-begin";
+    case EventType::kStepEnd: return "step-end";
+    case EventType::kSleep: return "sleep";
+    case EventType::kDelayChange: return "delay-change";
+    case EventType::kStepTimeChange: return "step-time-change";
+  }
+  return "unknown";
+}
+
+/// One observed fact of a run. Plain data, 40 bytes, trivially copyable
+/// — cheap enough to record by value at tens of millions per run.
+struct TraceEvent {
+  sim::GlobalStep step = 0;          ///< global step of the observation
+  std::uint64_t v0 = 0;              ///< type-specific (see table above)
+  std::uint64_t v1 = 0;              ///< type-specific (see table above)
+  sim::ProcessId a = sim::kNoProcess;  ///< primary process
+  sim::ProcessId b = sim::kNoProcess;  ///< secondary process
+  EventType type = EventType::kEmission;
+
+  auto operator<=>(const TraceEvent&) const = default;
+};
+
+/// Consumer interface the engine feeds. Implementations are bound to
+/// one run at a time (the engine is single-threaded per run), so they
+/// need no internal locking — "lock-free per run" by construction.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// One event; called in non-decreasing `step` order.
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Append-only in-memory recorder; the default sink. With a non-zero
+/// `capacity` it degrades to a ring that keeps the `capacity` most
+/// recent events and counts the overwritten prefix, bounding memory on
+/// adversarially long runs (time-series derived from a clipped ring are
+/// best-effort; `dropped_events()` tells you whether clipping happened).
+class EventRecorder final : public EventSink {
+ public:
+  explicit EventRecorder(std::size_t capacity = 0) : capacity_(capacity) {
+    if (capacity_ != 0) buffer_.reserve(capacity_);
+  }
+
+  void on_event(const TraceEvent& event) override {
+    if (capacity_ == 0) {
+      buffer_.push_back(event);
+    } else if (buffer_.size() < capacity_) {
+      buffer_.push_back(event);
+    } else {
+      buffer_[head_] = event;
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  /// Recorded events in emission order. When the ring wrapped, the
+  /// oldest retained event comes first; `dropped_events()` precede it.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    if (head_ == 0) return buffer_;
+    std::vector<TraceEvent> ordered;
+    ordered.reserve(buffer_.size());
+    ordered.insert(ordered.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_), buffer_.end());
+    ordered.insert(ordered.end(), buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    return ordered;
+  }
+
+  /// Zero-copy access valid only when the ring never wrapped
+  /// (`dropped_events() == 0`), which covers the unbounded default.
+  [[nodiscard]] const std::vector<TraceEvent>& raw() const noexcept {
+    return buffer_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return buffer_.empty(); }
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_;
+  }
+
+  void clear() noexcept {
+    buffer_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded vector
+  std::size_t head_ = 0;      ///< ring start when wrapped
+  std::uint64_t dropped_ = 0;
+};
+
+/// Counts events per type without storing them — the cheapest possible
+/// attached sink (used by the overhead benchmarks and quick audits).
+class CountingSink final : public EventSink {
+ public:
+  void on_event(const TraceEvent& event) override {
+    ++counts_[static_cast<std::size_t>(event.type)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(EventType type) const noexcept {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  void clear() noexcept {
+    for (std::uint64_t& c : counts_) c = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::uint64_t counts_[kNumEventTypes] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Forwards every event to two sinks (e.g. record and count at once).
+class TeeSink final : public EventSink {
+ public:
+  TeeSink(EventSink* first, EventSink* second) noexcept
+      : first_(first), second_(second) {}
+
+  void on_event(const TraceEvent& event) override {
+    if (first_ != nullptr) first_->on_event(event);
+    if (second_ != nullptr) second_->on_event(event);
+  }
+
+ private:
+  EventSink* first_;
+  EventSink* second_;
+};
+
+}  // namespace ugf::obs

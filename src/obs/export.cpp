@@ -1,0 +1,257 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace ugf::obs {
+
+namespace {
+
+/// JSON value for a ProcessId: the kNoProcess sentinel renders as null.
+void process_or_null(util::JsonWriter& json, sim::ProcessId p) {
+  if (p == sim::kNoProcess)
+    json.null();
+  else
+    json.value(p);
+}
+
+std::string flow_id(sim::ProcessId from, sim::ProcessId to,
+                    sim::GlobalStep sent_at) {
+  return std::to_string(from) + ":" + std::to_string(to) + ":" +
+         std::to_string(sent_at);
+}
+
+}  // namespace
+
+void write_ndjson_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta) {
+  {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("schema", kTraceSchema)
+        .member("protocol", std::string_view(meta.protocol))
+        .member("adversary", std::string_view(meta.adversary))
+        .member("n", meta.n)
+        .member("f", meta.f)
+        .member("seed", meta.seed)
+        .member("events", static_cast<std::uint64_t>(events.size()))
+        .end_object();
+    out << json.str() << "\n";
+  }
+  for (const TraceEvent& ev : events) {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("step", ev.step)
+        .member("type", to_string(ev.type));
+    json.key("p");
+    process_or_null(json, ev.a);
+    json.key("q");
+    process_or_null(json, ev.b);
+    json.member("v0", ev.v0).member("v1", ev.v1).end_object();
+    out << json.str() << "\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+
+  // Track naming: one "process" (the run), one thread row per process.
+  json.begin_object()
+      .member("name", "process_name")
+      .member("ph", "M")
+      .member("pid", 0)
+      .key("args")
+      .begin_object()
+      .member("name", std::string_view("ugf run: " + meta.protocol + " vs " +
+                                       meta.adversary))
+      .end_object()
+      .end_object();
+  for (std::uint32_t p = 0; p < meta.n; ++p) {
+    json.begin_object()
+        .member("name", "thread_name")
+        .member("ph", "M")
+        .member("pid", 0)
+        .member("tid", p)
+        .key("args")
+        .begin_object()
+        .member("name", std::string_view("process " + std::to_string(p)))
+        .end_object()
+        .end_object();
+  }
+
+  const auto instant = [&](const char* name, const TraceEvent& ev) {
+    json.begin_object()
+        .member("name", name)
+        .member("cat", "event")
+        .member("ph", "i")
+        .member("s", "t")
+        .member("ts", ev.step)
+        .member("pid", 0)
+        .member("tid", ev.a)
+        .end_object();
+  };
+  const auto counter = [&](const char* name, sim::GlobalStep ts,
+                           std::uint64_t value) {
+    json.begin_object()
+        .member("name", name)
+        .member("ph", "C")
+        .member("ts", ts)
+        .member("pid", 0)
+        .key("args")
+        .begin_object()
+        .member(name, value)
+        .end_object()
+        .end_object();
+  };
+
+  // Open local steps per process (begin step), for X duration slices.
+  std::vector<sim::GlobalStep> open_begin(meta.n, sim::kNeverStep);
+  std::uint64_t in_flight = 0;
+
+  for (const TraceEvent& ev : events) {
+    switch (ev.type) {
+      case EventType::kStepBegin:
+        if (ev.a < meta.n) open_begin[ev.a] = ev.step;
+        break;
+      case EventType::kStepEnd: {
+        if (ev.a >= meta.n || open_begin[ev.a] == sim::kNeverStep) break;
+        const sim::GlobalStep begin = open_begin[ev.a];
+        open_begin[ev.a] = sim::kNeverStep;
+        json.begin_object()
+            .member("name", "local step")
+            .member("cat", "step")
+            .member("ph", "X")
+            .member("ts", begin)
+            .member("dur", ev.step - begin)
+            .member("pid", 0)
+            .member("tid", ev.a)
+            .key("args")
+            .begin_object()
+            .member("emitted", ev.v0)
+            .member("delta", ev.v1)
+            .end_object()
+            .end_object();
+        break;
+      }
+      case EventType::kEmission:
+        ++in_flight;
+        counter("in_flight", ev.step, in_flight);
+        json.begin_object()
+            .member("name", "msg")
+            .member("cat", "msg")
+            .member("ph", "s")
+            .member("id", std::string_view(flow_id(ev.a, ev.b, ev.step)))
+            .member("ts", ev.step)
+            .member("pid", 0)
+            .member("tid", ev.a)
+            .end_object();
+        break;
+      case EventType::kDelivery:
+        in_flight = in_flight > 0 ? in_flight - 1 : 0;
+        counter("in_flight", ev.step, in_flight);
+        json.begin_object()
+            .member("name", "msg")
+            .member("cat", "msg")
+            .member("ph", "f")
+            .member("bp", "e")
+            .member("id", std::string_view(flow_id(ev.b, ev.a, ev.v0)))
+            .member("ts", ev.step)
+            .member("pid", 0)
+            .member("tid", ev.a)
+            .end_object();
+        break;
+      case EventType::kDrop:
+        in_flight = in_flight >= ev.v0 ? in_flight - ev.v0 : 0;
+        counter("in_flight", ev.step, in_flight);
+        instant("drop", ev);
+        break;
+      case EventType::kOmission:
+        in_flight = in_flight > 0 ? in_flight - 1 : 0;
+        counter("in_flight", ev.step, in_flight);
+        instant("omission", ev);
+        break;
+      case EventType::kCrash:
+        instant("crash", ev);
+        break;
+      case EventType::kInfection:
+        instant("infection", ev);
+        counter("infected", ev.step, ev.v0);
+        break;
+      case EventType::kSleep:
+        instant("sleep", ev);
+        break;
+      case EventType::kDelayChange:
+        instant("delay-change", ev);
+        break;
+      case EventType::kStepTimeChange:
+        instant("step-time-change", ev);
+        break;
+    }
+  }
+
+  json.end_array();
+  json.member("displayTimeUnit", "ms");
+  json.key("otherData")
+      .begin_object()
+      .member("schema", kTraceSchema)
+      .member("protocol", std::string_view(meta.protocol))
+      .member("adversary", std::string_view(meta.adversary))
+      .member("n", meta.n)
+      .member("f", meta.f)
+      .member("seed", meta.seed)
+      .end_object();
+  json.end_object();
+  out << json.str() << "\n";
+}
+
+void write_timeseries_csv(const std::string& path, const TimeSeries& series) {
+  util::CsvWriter csv(path,
+                      {"step", "infected", "in_flight", "cumulative_messages",
+                       "crashes", "delay_changes", "omitted", "dropped"});
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    csv.row_values(series.steps[i], static_cast<std::uint64_t>(series.infected[i]),
+                   series.in_flight[i], series.cumulative_messages[i],
+                   static_cast<std::uint64_t>(series.crashes[i]),
+                   series.delay_changes[i], series.omitted[i],
+                   series.dropped[i]);
+  }
+}
+
+namespace {
+
+template <typename WriteFn>
+void write_file(const std::string& path, const WriteFn& write) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  write(out);
+  out.flush();
+  if (!out) throw std::runtime_error("obs: write failed for " + path);
+}
+
+}  // namespace
+
+void write_ndjson_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const TraceMeta& meta) {
+  write_file(path,
+             [&](std::ostream& out) { write_ndjson_trace(out, events, meta); });
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const TraceMeta& meta) {
+  write_file(path,
+             [&](std::ostream& out) { write_chrome_trace(out, events, meta); });
+}
+
+}  // namespace ugf::obs

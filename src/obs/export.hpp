@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file export.hpp
+/// Trace and time-series serialization:
+///
+///   * NDJSON (`ugf-trace-v1`): one JSON object per line; line 1 is a
+///     meta record (schema, protocol, adversary, n, f, seed, events),
+///     every later line is one TraceEvent. Append-friendly, greppable,
+///     and validated by `tools/lint_ugf.py --validate-trace`.
+///   * Chrome trace_event JSON: one run rendered for chrome://tracing /
+///     Perfetto — local steps as duration slices per process track,
+///     messages as flow arrows from emission to delivery, crashes and
+///     infections as instants, infected/in-flight as counter tracks.
+///     Global steps are mapped 1:1 to trace microseconds.
+///   * CSV: the per-run TimeSeries in long step-function form.
+///
+/// All writers are deterministic: same events in, same bytes out (the
+/// golden-file tests depend on it). Schema changes bump the version
+/// string; see docs/OBSERVABILITY.md for the stability policy.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/timeseries.hpp"
+
+namespace ugf::obs {
+
+/// NDJSON/Chrome trace schema version (bumped on breaking changes).
+inline constexpr const char* kTraceSchema = "ugf-trace-v1";
+
+/// Run provenance stamped into every export.
+struct TraceMeta {
+  std::string protocol;
+  std::string adversary;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Writes the meta line plus one line per event.
+void write_ndjson_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta);
+
+/// Writes a complete Chrome trace_event JSON document for one run.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta);
+
+/// Writes one run's TimeSeries as CSV
+/// (step,infected,in_flight,cumulative_messages,crashes,delay_changes,
+///  omitted,dropped).
+void write_timeseries_csv(const std::string& path, const TimeSeries& series);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void write_ndjson_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const TraceMeta& meta);
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const TraceMeta& meta);
+
+}  // namespace ugf::obs

@@ -1,0 +1,52 @@
+#include "obs/profile.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ugf::obs {
+
+void print_phase_table(std::ostream& out, const PhaseProfiler& profiler) {
+  const auto saved_flags = out.flags();
+  const auto saved_precision = out.precision();
+  const PhaseTotals totals = profiler.totals();
+  const double engine_ns =
+      static_cast<double>(totals.ns_of(Phase::kEngineRun));
+
+  out << "phase profile (" << totals.threads << " thread"
+      << (totals.threads == 1 ? "" : "s") << "):\n";
+  out << "  " << std::left << std::setw(24) << "phase" << std::right
+      << std::setw(12) << "calls" << std::setw(12) << "total ms"
+      << std::setw(12) << "ns/call" << std::setw(10) << "% engine" << "\n";
+
+  const auto row = [&](const char* label, std::uint64_t ns,
+                       std::uint64_t calls) {
+    const double ms = static_cast<double>(ns) / 1e6;
+    const double per_call =
+        calls != 0 ? static_cast<double>(ns) / static_cast<double>(calls)
+                   : 0.0;
+    const double share =
+        engine_ns > 0.0 ? 100.0 * static_cast<double>(ns) / engine_ns : 0.0;
+    out << "  " << std::left << std::setw(24) << label << std::right
+        << std::setw(12) << calls << std::setw(12) << std::fixed
+        << std::setprecision(2) << ms << std::setw(12) << std::setprecision(0)
+        << per_call << std::setw(9) << std::setprecision(1) << share << "%"
+        << "\n";
+  };
+
+  constexpr Phase kOrder[] = {Phase::kEngineRun,      Phase::kProtocol,
+                              Phase::kAdversary,      Phase::kStatsReduction,
+                              Phase::kTimeseries,     Phase::kExport};
+  for (const Phase phase : kOrder)
+    row(to_string(phase), totals.ns_of(phase), totals.calls_of(phase));
+
+  // The engine-only residue: run-loop time not spent in callbacks.
+  const std::uint64_t callbacks =
+      totals.ns_of(Phase::kProtocol) + totals.ns_of(Phase::kAdversary);
+  const std::uint64_t engine_total = totals.ns_of(Phase::kEngineRun);
+  row("engine (self)", engine_total > callbacks ? engine_total - callbacks : 0,
+      totals.calls_of(Phase::kEngineRun));
+  out.flags(saved_flags);
+  out.precision(saved_precision);
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file profile.hpp
+/// Phase profiling: scoped wall-clock counters that answer "where does
+/// a sweep's time go" — engine step loop, protocol callbacks, adversary
+/// callbacks, stats reduction, time-series derivation, export. A
+/// `PhaseProfiler` accumulates nanoseconds and call counts per phase in
+/// per-thread slots (cache-line padded, relaxed atomics), so the
+/// Monte-Carlo thread pool's workers never contend; totals are summed
+/// at report time. A `ScopedPhase` with a nullptr profiler costs one
+/// branch — the same "attach to pay" contract as the event sink.
+///
+/// Phases overlap by design: kEngineRun covers a whole Engine::run(),
+/// which *includes* the protocol/adversary callback time measured
+/// separately; the report derives the engine-only residue. Timing adds
+/// two steady_clock reads per scope, so profiled runs are themselves a
+/// few percent slower — profiles tell you *where* time goes, the
+/// micro-benches tell you *how much* it is.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace ugf::obs {
+
+enum class Phase : std::uint8_t {
+  kEngineRun,       ///< whole Engine::run() (includes callbacks)
+  kProtocol,        ///< Protocol::on_message / on_local_step
+  kAdversary,       ///< Adversary hooks (run-start, emission, timer)
+  kStatsReduction,  ///< batch summaries / aggregation in the runner
+  kTimeseries,      ///< per-run time-series derivation
+  kExport,          ///< trace / CSV serialization
+};
+
+inline constexpr std::size_t kNumPhases = 6;
+
+[[nodiscard]] constexpr const char* to_string(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kEngineRun: return "engine run loop";
+    case Phase::kProtocol: return "protocol callbacks";
+    case Phase::kAdversary: return "adversary callbacks";
+    case Phase::kStatsReduction: return "stats reduction";
+    case Phase::kTimeseries: return "time-series derivation";
+    case Phase::kExport: return "trace/CSV export";
+  }
+  return "unknown";
+}
+
+/// Aggregated totals of one profiler (sum over all thread slots).
+struct PhaseTotals {
+  std::array<std::uint64_t, kNumPhases> ns{};
+  std::array<std::uint64_t, kNumPhases> calls{};
+  std::size_t threads = 0;  ///< distinct thread slots that reported
+
+  [[nodiscard]] std::uint64_t ns_of(Phase phase) const noexcept {
+    return ns[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] std::uint64_t calls_of(Phase phase) const noexcept {
+    return calls[static_cast<std::size_t>(phase)];
+  }
+};
+
+/// Thread-safe phase accumulator. Any number of threads may `add`
+/// concurrently; each writes its own padded slot (slot index is a
+/// process-wide thread id, so a thread keeps its slot across
+/// profilers). Threads beyond kMaxThreads share the last slot — still
+/// correct, marginally contended.
+class PhaseProfiler {
+ public:
+  using clock = std::chrono::steady_clock;
+  static constexpr std::size_t kMaxThreads = 128;
+
+  void add(Phase phase, std::uint64_t ns, std::uint64_t calls = 1) noexcept {
+    Slot& slot = slots_[thread_slot()];
+    const auto p = static_cast<std::size_t>(phase);
+    slot.ns[p].fetch_add(ns, std::memory_order_relaxed);
+    slot.calls[p].fetch_add(calls, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] PhaseTotals totals() const noexcept {
+    PhaseTotals out;
+    for (const Slot& slot : slots_) {
+      bool used = false;
+      for (std::size_t p = 0; p < kNumPhases; ++p) {
+        const std::uint64_t calls =
+            slot.calls[p].load(std::memory_order_relaxed);
+        out.ns[p] += slot.ns[p].load(std::memory_order_relaxed);
+        out.calls[p] += calls;
+        used = used || calls != 0;
+      }
+      if (used) ++out.threads;
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (Slot& slot : slots_) {
+      for (std::size_t p = 0; p < kNumPhases; ++p) {
+        slot.ns[p].store(0, std::memory_order_relaxed);
+        slot.calls[p].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kNumPhases> ns{};
+    std::array<std::atomic<std::uint64_t>, kNumPhases> calls{};
+  };
+
+  static std::size_t thread_slot() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot = [] {
+      const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
+      return id < kMaxThreads ? id : kMaxThreads - 1;
+    }();
+    return slot;
+  }
+
+  std::array<Slot, kMaxThreads> slots_{};
+};
+
+/// RAII scope: measures its own lifetime into `profiler` (no-op when
+/// profiler is nullptr, which is the disabled-observability fast path).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, Phase phase) noexcept
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ = PhaseProfiler::clock::now();
+  }
+
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          PhaseProfiler::clock::now() - start_)
+                          .count();
+      profiler_->add(phase_, static_cast<std::uint64_t>(ns));
+    }
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+  PhaseProfiler::clock::time_point start_{};
+};
+
+/// Prints the per-phase table (calls, total ms, ns/call, share of the
+/// engine-run total, plus the engine-only residue row).
+void print_phase_table(std::ostream& out, const PhaseProfiler& profiler);
+
+}  // namespace ugf::obs

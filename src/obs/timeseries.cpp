@@ -1,0 +1,155 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+
+#include "analysis/statistics.hpp"
+#include "util/check.hpp"
+
+namespace ugf::obs {
+
+TimeSeries build_timeseries(const std::vector<TraceEvent>& events) {
+  TimeSeries out;
+  if (events.empty()) return out;
+
+  std::uint32_t infected = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t cumulative = 0;
+  std::uint32_t crashes = 0;
+  std::uint64_t delay_changes = 0;
+  std::uint64_t omitted = 0;
+  std::uint64_t dropped = 0;
+
+  const auto flush = [&](sim::GlobalStep step) {
+    out.steps.push_back(step);
+    out.infected.push_back(infected);
+    out.in_flight.push_back(in_flight);
+    out.cumulative_messages.push_back(cumulative);
+    out.crashes.push_back(crashes);
+    out.delay_changes.push_back(delay_changes);
+    out.omitted.push_back(omitted);
+    out.dropped.push_back(dropped);
+  };
+
+  sim::GlobalStep current = events.front().step;
+  for (const TraceEvent& ev : events) {
+    UGF_ASSERT_MSG(ev.step >= current,
+                   "event stream went backwards: step %llu after %llu",
+                   static_cast<unsigned long long>(ev.step),
+                   static_cast<unsigned long long>(current));
+    if (ev.step != current) {
+      flush(current);
+      current = ev.step;
+    }
+    switch (ev.type) {
+      case EventType::kEmission:
+        ++cumulative;
+        ++in_flight;
+        break;
+      case EventType::kDelivery:
+        UGF_ASSERT(in_flight > 0);
+        --in_flight;
+        break;
+      case EventType::kDrop:
+        UGF_ASSERT(in_flight >= ev.v0);
+        in_flight -= ev.v0;
+        dropped += ev.v0;
+        break;
+      case EventType::kOmission:
+        // Suppressed at emission: counted as sent, never in flight.
+        UGF_ASSERT(in_flight > 0);
+        --in_flight;
+        ++omitted;
+        break;
+      case EventType::kCrash:
+        ++crashes;
+        break;
+      case EventType::kInfection:
+        ++infected;
+        break;
+      case EventType::kDelayChange:
+      case EventType::kStepTimeChange:
+        ++delay_changes;
+        break;
+      case EventType::kStepBegin:
+      case EventType::kStepEnd:
+      case EventType::kSleep:
+        break;  // scheduling events carry no series state
+    }
+  }
+  flush(current);
+  return out;
+}
+
+AggregateTimeSeries aggregate_timeseries(const std::vector<TimeSeries>& runs,
+                                         std::size_t samples) {
+  AggregateTimeSeries out;
+  std::vector<const TimeSeries*> usable;
+  usable.reserve(runs.size());
+  sim::GlobalStep t_max = 0;
+  for (const TimeSeries& run : runs) {
+    if (run.empty()) continue;
+    usable.push_back(&run);
+    t_max = std::max(t_max, run.steps.back());
+  }
+  if (usable.empty()) return out;
+
+  samples = std::max<std::size_t>(2, samples);
+  out.runs = usable.size();
+  out.t.reserve(samples);
+
+  std::vector<double> scratch(usable.size());
+  const auto column_quantiles =
+      [&](sim::GlobalStep t, const auto& column_of,
+          double* q1, double* median, double* q3) {
+        for (std::size_t r = 0; r < usable.size(); ++r) {
+          const TimeSeries& series = *usable[r];
+          scratch[r] = timeseries_value_at(series, column_of(series), t);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        if (q1 != nullptr) *q1 = analysis::quantile_sorted(scratch, 0.25);
+        if (median != nullptr)
+          *median = analysis::quantile_sorted(scratch, 0.5);
+        if (q3 != nullptr) *q3 = analysis::quantile_sorted(scratch, 0.75);
+      };
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Evenly spaced grid including both endpoints, deduplicated for
+    // short runs where several samples round to the same step.
+    const auto t = static_cast<sim::GlobalStep>(
+        (static_cast<double>(t_max) * static_cast<double>(i)) /
+        static_cast<double>(samples - 1));
+    if (!out.t.empty() && static_cast<double>(t) <= out.t.back()) continue;
+    out.t.push_back(static_cast<double>(t));
+
+    double q1 = 0.0, median = 0.0, q3 = 0.0;
+    column_quantiles(t, [](const TimeSeries& s) -> const auto& {
+      return s.infected;
+    }, &q1, &median, &q3);
+    out.infected_q1.push_back(q1);
+    out.infected_median.push_back(median);
+    out.infected_q3.push_back(q3);
+
+    column_quantiles(t, [](const TimeSeries& s) -> const auto& {
+      return s.in_flight;
+    }, nullptr, &median, nullptr);
+    out.in_flight_median.push_back(median);
+
+    column_quantiles(t, [](const TimeSeries& s) -> const auto& {
+      return s.cumulative_messages;
+    }, nullptr, &median, nullptr);
+    out.cumulative_messages_median.push_back(median);
+
+    column_quantiles(t, [](const TimeSeries& s) -> const auto& {
+      return s.crashes;
+    }, nullptr, &median, nullptr);
+    out.crashes_median.push_back(median);
+
+    column_quantiles(t, [](const TimeSeries& s) -> const auto& {
+      return s.delay_changes;
+    }, nullptr, &median, nullptr);
+    out.delay_changes_median.push_back(median);
+  }
+  return out;
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file timeseries.hpp
+/// Derived per-run time-series: the paper's Fig. 3 reports endpoint
+/// complexities, but diagnosing *why* a protocol/adversary pair behaves
+/// as it does needs per-step progress — the infection curve
+/// `infected(t)`, messages in flight, cumulative traffic and the
+/// adversary's budget spend. All series are step functions sampled at
+/// every global step where something changed, derived offline from a
+/// recorded event stream (obs/event.hpp), never during the run.
+///
+/// `aggregate_timeseries` resamples many runs onto a shared step grid
+/// and reports per-sample quartiles, which is what the runner exposes
+/// per batch ("median infection curve over 50 trials").
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "sim/types.hpp"
+
+namespace ugf::obs {
+
+/// Step-function samples of one run; parallel arrays, one row per
+/// global step at which at least one series changed. Values are the
+/// state *after* all events of that step.
+struct TimeSeries {
+  std::vector<sim::GlobalStep> steps;
+  std::vector<std::uint32_t> infected;       ///< processes ever holding gossip 0
+  std::vector<std::uint64_t> in_flight;      ///< accepted, not yet delivered/lost
+  std::vector<std::uint64_t> cumulative_messages;  ///< emissions so far
+  std::vector<std::uint32_t> crashes;        ///< adversary crash-budget spend
+  std::vector<std::uint64_t> delay_changes;  ///< d/delta rewrites so far
+  std::vector<std::uint64_t> omitted;        ///< suppressed emissions so far
+  std::vector<std::uint64_t> dropped;        ///< messages lost to crashes so far
+
+  [[nodiscard]] bool empty() const noexcept { return steps.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return steps.size(); }
+};
+
+/// Derives the series of one run from its recorded events (which must
+/// be in non-decreasing step order, as the engine emits them).
+[[nodiscard]] TimeSeries build_timeseries(const std::vector<TraceEvent>& events);
+
+/// Evaluates a step-function column at step `t`: the last value whose
+/// step is <= t, or 0 before the first sample. `column` must be one of
+/// the series arrays of `series` (same length as series.steps).
+template <typename T>
+[[nodiscard]] double timeseries_value_at(const TimeSeries& series,
+                                         const std::vector<T>& column,
+                                         sim::GlobalStep t) noexcept;
+
+/// Median/quartile curves over many runs, resampled onto a shared grid
+/// of `samples` evenly spaced steps in [0, max final step].
+struct AggregateTimeSeries {
+  std::vector<double> t;  ///< shared sample grid (global steps)
+  std::vector<double> infected_q1;
+  std::vector<double> infected_median;
+  std::vector<double> infected_q3;
+  std::vector<double> in_flight_median;
+  std::vector<double> cumulative_messages_median;
+  std::vector<double> crashes_median;
+  std::vector<double> delay_changes_median;
+  std::size_t runs = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return t.empty(); }
+};
+
+/// Aggregates per-run series; empty input yields an empty aggregate.
+/// `samples` >= 2 (clamped). Runs shorter than the grid hold their
+/// final value (a finished run stays at its last state).
+[[nodiscard]] AggregateTimeSeries aggregate_timeseries(
+    const std::vector<TimeSeries>& runs, std::size_t samples);
+
+template <typename T>
+double timeseries_value_at(const TimeSeries& series,
+                           const std::vector<T>& column,
+                           sim::GlobalStep t) noexcept {
+  // Binary search for the last step <= t.
+  std::size_t lo = 0, hi = series.steps.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (series.steps[mid] <= t)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo == 0 ? 0.0 : static_cast<double>(column[lo - 1]);
+}
+
+}  // namespace ugf::obs

@@ -8,7 +8,7 @@ namespace ugf::runner {
 RunRecord MonteCarloRunner::run_once(
     const RunSpec& spec, std::uint32_t run_index,
     const sim::ProtocolFactory& protocol,
-    const adversary::AdversaryFactory& adversary) {
+    const adversary::AdversaryFactory& adversary, obs::EventSink* sink) {
   const std::uint64_t run_seed = util::mix_seed(spec.base_seed, run_index);
   const std::uint64_t adversary_seed = util::mix_seed(run_seed, 0xAD7E25A27ull);
 
@@ -18,6 +18,17 @@ RunRecord MonteCarloRunner::run_once(
   config.seed = run_seed;
   config.max_steps = spec.max_steps;
   config.max_events = spec.max_events;
+  config.profiler = spec.profiler;
+
+  // The caller's sink and the internal time-series recorder are
+  // independent consumers; tee when both are wanted.
+  obs::EventRecorder recorder;
+  obs::TeeSink tee(&recorder, sink);
+  if (spec.collect_timeseries)
+    config.sink = sink != nullptr ? static_cast<obs::EventSink*>(&tee)
+                                  : static_cast<obs::EventSink*>(&recorder);
+  else
+    config.sink = sink;
 
   const auto instance = adversary.create(adversary_seed);
   sim::Engine engine(config, protocol, instance.get());
@@ -25,6 +36,10 @@ RunRecord MonteCarloRunner::run_once(
   RunRecord record;
   record.outcome = engine.run();
   record.seed = run_seed;
+  if (spec.collect_timeseries) {
+    obs::ScopedPhase phase(spec.profiler, obs::Phase::kTimeseries);
+    record.series = obs::build_timeseries(recorder.raw());
+  }
   record.strategy =
       instance ? instance->strategy_descriptor() : std::string("none");
   UGF_ASSERT_MSG(record.outcome.per_process_sent.size() == spec.n,
@@ -45,6 +60,7 @@ BatchResult MonteCarloRunner::run_batch(
         run_once(spec, static_cast<std::uint32_t>(i), protocol, adversary);
   });
 
+  obs::ScopedPhase phase(spec.profiler, obs::Phase::kStatsReduction);
   std::vector<double> messages;
   std::vector<double> times;
   messages.reserve(spec.runs);
@@ -58,6 +74,15 @@ BatchResult MonteCarloRunner::run_batch(
   }
   result.messages = analysis::summarize(std::move(messages));
   result.time = analysis::summarize(std::move(times));
+
+  if (spec.collect_timeseries) {
+    obs::ScopedPhase agg_phase(spec.profiler, obs::Phase::kTimeseries);
+    std::vector<obs::TimeSeries> series;
+    series.reserve(result.runs.size());
+    for (auto& record : result.runs) series.push_back(record.series);
+    result.timeseries =
+        obs::aggregate_timeseries(series, spec.timeseries_samples);
+  }
   return result;
 }
 

@@ -15,6 +15,9 @@
 
 #include "adversary/factory.hpp"
 #include "analysis/statistics.hpp"
+#include "obs/event.hpp"
+#include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "sim/outcome.hpp"
 #include "sim/protocol.hpp"
@@ -29,6 +32,18 @@ struct RunSpec {
   std::uint64_t base_seed = 0x5EEDBA5Eull;
   sim::GlobalStep max_steps = 1'000'000'000'000ull;
   std::uint64_t max_events = 50'000'000ull;
+  /// When true, every run records its event stream and derives a
+  /// per-run obs::TimeSeries (RunRecord::series); run_batch then
+  /// aggregates them into BatchResult::timeseries. Costs memory
+  /// proportional to total events per run — leave off for sweeps that
+  /// only need endpoint complexities.
+  bool collect_timeseries = false;
+  /// Sample-grid size for the aggregated curves (>= 2, see
+  /// obs::aggregate_timeseries).
+  std::uint32_t timeseries_samples = 65;
+  /// Optional phase profiler shared by all runs of the batch (it is
+  /// thread-safe); must outlive the batch. nullptr disables profiling.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// One run's outcome plus provenance.
@@ -38,6 +53,8 @@ struct RunRecord {
   /// The adversary's per-run strategy descriptor ("none",
   /// "strategy-2.1.1", ...).
   std::string strategy;
+  /// Derived per-run series; empty unless RunSpec::collect_timeseries.
+  obs::TimeSeries series;
 };
 
 /// Aggregate of a batch.
@@ -49,6 +66,9 @@ struct BatchResult {
   std::map<std::string, std::size_t> strategy_counts;
   std::size_t rumor_failures = 0;
   std::size_t truncated = 0;
+  /// Median/quartile curves across runs; empty unless
+  /// RunSpec::collect_timeseries.
+  obs::AggregateTimeSeries timeseries;
 };
 
 /// Executes batches on an internal thread pool.
@@ -62,11 +82,14 @@ class MonteCarloRunner {
       const RunSpec& spec, const sim::ProtocolFactory& protocol,
       const adversary::AdversaryFactory& adversary);
 
-  /// Executes a single run (convenience for examples/tests).
+  /// Executes a single run (convenience for examples/tests). When
+  /// `sink` is non-null it receives the run's full event stream in
+  /// addition to (and independent of) RunSpec::collect_timeseries.
   [[nodiscard]] static RunRecord run_once(
       const RunSpec& spec, std::uint32_t run_index,
       const sim::ProtocolFactory& protocol,
-      const adversary::AdversaryFactory& adversary);
+      const adversary::AdversaryFactory& adversary,
+      obs::EventSink* sink = nullptr);
 
  private:
   util::ThreadPool pool_;

@@ -9,6 +9,7 @@
 
 #include <fstream>
 
+#include "analysis/ascii_plot.hpp"
 #include "analysis/compare.hpp"
 #include "analysis/regression.hpp"
 #include "util/csv.hpp"
@@ -232,6 +233,64 @@ void write_figure_csv(const std::string& path, const std::string& figure_id,
                        static_cast<std::uint64_t>(s.count),
                        static_cast<std::uint64_t>(point.rumor_failures),
                        static_cast<std::uint64_t>(point.truncated));
+      }
+    }
+  }
+}
+
+void print_infection_curves(std::ostream& out,
+                            const std::vector<Curve>& curves) {
+  out << "=== infection curves: infected(t), median over runs at the "
+         "largest N ===\n";
+  static constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@'};
+  std::vector<analysis::PlotSeries> series;
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const Curve& curve = curves[c];
+    if (curve.points.empty()) continue;
+    const CurvePoint& point = curve.points.back();
+    if (point.timeseries.empty()) {
+      out << "  (" << curve.label
+          << ": no time-series data; enable collect_timeseries)\n";
+      continue;
+    }
+    analysis::PlotSeries s;
+    s.label = curve.label + " (n=" + std::to_string(point.n) + ")";
+    s.marker = kMarkers[c % sizeof(kMarkers)];
+    s.xs = point.timeseries.t;
+    s.ys = point.timeseries.infected_median;
+    series.push_back(std::move(s));
+  }
+  if (series.empty()) {
+    out << "(no data)\n";
+    return;
+  }
+  analysis::PlotOptions options;
+  options.log_x = false;  // infection curves live on linear time
+  options.log_y = false;
+  options.x_label = "global step t";
+  options.y_label = "infected";
+  out << analysis::render_plot(series, options) << "\n";
+}
+
+void write_figure_timeseries_csv(const std::string& path,
+                                 const std::string& figure_id,
+                                 const std::vector<Curve>& curves) {
+  util::CsvWriter csv(path,
+                      {"figure", "curve", "adversary", "n", "f", "t",
+                       "infected_q1", "infected_median", "infected_q3",
+                       "in_flight_median", "cumulative_messages_median",
+                       "crashes_median", "delay_changes_median", "runs"});
+  for (const auto& curve : curves) {
+    for (const auto& point : curve.points) {
+      const auto& ts = point.timeseries;
+      for (std::size_t i = 0; i < ts.t.size(); ++i) {
+        csv.row_values(figure_id, curve.label, curve.adversary,
+                       std::uint64_t{point.n}, std::uint64_t{point.f}, ts.t[i],
+                       ts.infected_q1[i], ts.infected_median[i],
+                       ts.infected_q3[i], ts.in_flight_median[i],
+                       ts.cumulative_messages_median[i], ts.crashes_median[i],
+                       ts.delay_changes_median[i],
+                       static_cast<std::uint64_t>(ts.runs));
       }
     }
   }

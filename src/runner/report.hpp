@@ -55,4 +55,19 @@ void print_dominance(std::ostream& out, const Curve& baseline,
 void write_figure_json(const std::string& path, const std::string& figure_id,
                        const std::vector<Curve>& curves);
 
+/// ASCII-plots the median infection curve infected(t) of each curve's
+/// largest grid point (requires SweepConfig::collect_timeseries).
+/// Curves without time-series data are skipped with a note.
+void print_infection_curves(std::ostream& out,
+                            const std::vector<Curve>& curves);
+
+/// Writes the aggregated per-grid-point time-series of every curve in
+/// long format: figure,curve,adversary,n,f,t,infected_q1,
+/// infected_median,infected_q3,in_flight_median,
+/// cumulative_messages_median,crashes_median,delay_changes_median,runs.
+/// Grid points without time-series data are skipped.
+void write_figure_timeseries_csv(const std::string& path,
+                                 const std::string& figure_id,
+                                 const std::vector<Curve>& curves);
+
 }  // namespace ugf::runner

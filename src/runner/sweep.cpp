@@ -57,6 +57,9 @@ Curve sweep_curve(const SweepConfig& config,
     spec.base_seed = util::mix_seed(config.base_seed, n);
     spec.max_steps = config.max_steps;
     spec.max_events = config.max_events;
+    spec.collect_timeseries = config.collect_timeseries;
+    spec.timeseries_samples = config.timeseries_samples;
+    spec.profiler = config.profiler;
 
     const BatchResult batch = runner.run_batch(spec, protocol, adversary);
     CurvePoint point;
@@ -74,6 +77,7 @@ Curve sweep_curve(const SweepConfig& config,
     point.strategy_counts = batch.strategy_counts;
     point.rumor_failures = batch.rumor_failures;
     point.truncated = batch.truncated;
+    point.timeseries = batch.timeseries;
     curve.points.push_back(std::move(point));
 
     if (progress) progress(curve.label, gi + 1, config.grid.size());

@@ -30,6 +30,14 @@ struct SweepConfig {
   std::size_t threads = 0;
   sim::GlobalStep max_steps = 1'000'000'000'000ull;
   std::uint64_t max_events = 50'000'000ull;
+  /// Collect aggregated infection/traffic curves per grid point
+  /// (CurvePoint::timeseries). Off by default: it records every event
+  /// of every run. See RunSpec::collect_timeseries.
+  bool collect_timeseries = false;
+  std::uint32_t timeseries_samples = 65;
+  /// Optional shared phase profiler (thread-safe; must outlive the
+  /// sweep). nullptr disables profiling.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// F for one grid point under a SweepConfig.
@@ -46,6 +54,9 @@ struct CurvePoint {
   std::map<std::string, std::size_t> strategy_counts;
   std::size_t rumor_failures = 0;
   std::size_t truncated = 0;
+  /// Aggregated curves over the runs of this grid point; empty unless
+  /// SweepConfig::collect_timeseries.
+  obs::AggregateTimeSeries timeseries;
 };
 
 struct Curve {
@@ -69,7 +80,12 @@ using ProgressFn =
                                 std::string label,
                                 const ProgressFn& progress = {});
 
-/// A labelled adversary for multi-curve sweeps.
+/// A labelled adversary for multi-curve sweeps. The factory is borrowed
+/// (never owned) and must outlive every sweep_figure call using this
+/// entry; nullptr means "no adversary" (benign runs). Factories are
+/// deliberately *not* stored by reference anywhere in the runner — a
+/// reference member silently binds to temporaries (see the
+/// DeliveryRecordingFactory lifetime note in sim/instrumentation.hpp).
 struct LabelledAdversary {
   std::string label;
   const adversary::AdversaryFactory* factory = nullptr;

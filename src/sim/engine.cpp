@@ -169,15 +169,23 @@ class Engine::ControlImpl final : public AdversaryControl {
   void set_delivery_time(ProcessId p, std::uint64_t d) override {
     if (p >= engine_.config_.n)
       throw std::out_of_range("AdversaryControl::set_delivery_time");
+    const std::uint64_t old = engine_.procs_[p].d;
     engine_.procs_[p].d = std::max<std::uint64_t>(1, d);
     UGF_ASSERT(engine_.procs_[p].d >= 1);
+    if (engine_.procs_[p].d != old)
+      engine_.emit(obs::EventType::kDelayChange, engine_.now_, p, kNoProcess,
+                   engine_.procs_[p].d, old);
   }
 
   void set_local_step_time(ProcessId p, std::uint64_t delta) override {
     if (p >= engine_.config_.n)
       throw std::out_of_range("AdversaryControl::set_local_step_time");
+    const std::uint64_t old = engine_.procs_[p].delta;
     engine_.procs_[p].delta = std::max<std::uint64_t>(1, delta);
     UGF_ASSERT(engine_.procs_[p].delta >= 1);
+    if (engine_.procs_[p].delta != old)
+      engine_.emit(obs::EventType::kStepTimeChange, engine_.now_, p,
+                   kNoProcess, engine_.procs_[p].delta, old);
   }
 
   void request_timer(GlobalStep step) override {
@@ -228,9 +236,20 @@ void Engine::crash_process(ProcessId pid) {
   ++rt.begin_token;
   ++rt.end_token;
   rt.next_begin = kNeverStep;
-  outcome_.dropped_messages += rt.inbox.size();
+  const std::uint64_t wiped = rt.inbox.size();
+  outcome_.dropped_messages += wiped;
   rt.inbox.clear();
   rt.outgoing.clear();
+  emit(obs::EventType::kCrash, now_, pid, kNoProcess, wiped, crashes_used_);
+  if (wiped > 0) emit(obs::EventType::kDrop, now_, pid, kNoProcess, wiped);
+}
+
+void Engine::note_infection(ProcessId pid, GlobalStep step) {
+  if (config_.sink == nullptr || reached_[pid] != 0) return;
+  if (!procs_[pid].protocol->has_gossip_of(0)) return;
+  reached_[pid] = 1;
+  ++reached_count_;
+  emit(obs::EventType::kInfection, step, pid, kNoProcess, reached_count_);
 }
 
 void Engine::schedule_begin_direct(ProcessId pid, GlobalStep at) {
@@ -257,6 +276,8 @@ void Engine::handle_step_begin(const Event& ev) {
   const GlobalStep s = ev.step;
   ContextImpl ctx(*this, ev.pid, SystemInfo{config_.n, config_.f});
 
+  emit(obs::EventType::kStepBegin, s, ev.pid, kNoProcess, rt.inbox.size());
+
   // Deliver everything that has arrived by the start of the step.
   Message msg;
   while (rt.inbox.pop_due(s, msg)) {
@@ -267,10 +288,19 @@ void Engine::handle_step_begin(const Event& ev) {
                    static_cast<unsigned long long>(s),
                    static_cast<unsigned long long>(msg.arrives_at));
     ++outcome_.delivered_messages;
-    rt.protocol->on_message(ctx, msg);
+    emit(obs::EventType::kDelivery, s, ev.pid, msg.from, msg.sent_at,
+         msg.arrives_at);
+    {
+      obs::ScopedPhase phase(config_.profiler, obs::Phase::kProtocol);
+      rt.protocol->on_message(ctx, msg);
+    }
   }
 
-  rt.protocol->on_local_step(ctx);
+  {
+    obs::ScopedPhase phase(config_.profiler, obs::Phase::kProtocol);
+    rt.protocol->on_local_step(ctx);
+  }
+  if (config_.sink != nullptr) note_infection(ev.pid, s);
 
   const GlobalStep end = sat_add(s, rt.delta);
   ++rt.end_token;
@@ -283,30 +313,42 @@ void Engine::handle_step_end(const Event& ev) {
   if (ev.token != rt.end_token || rt.state == ProcessState::kCrashed) return;
 
   const GlobalStep e = ev.step;
+  const std::uint64_t sent_before = rt.sent;
 
   // Emit the messages queued during the step, one by one; the adversary
   // observes each emission and may crash the receiver first (Strategy
-  // 2.k.0) or, in principle, the sender (which aborts the remainder of
-  // the fan-out: a crashed process sends nothing further).
-  for (auto& [to, payload] : rt.outgoing) {
-    if (rt.state == ProcessState::kCrashed) break;
+  // 2.k.0) or even the sender. Crashing the sender clears rt.outgoing
+  // under the loop, so iteration is by index and each destination /
+  // payload is moved into locals *before* the hook runs: the container
+  // may be wiped, but never the element being emitted. A sender crash
+  // ends the fan-out after the current message (size() drops to 0); the
+  // message already on the wire is still accepted if its receiver lives.
+  for (std::size_t i = 0; i < rt.outgoing.size(); ++i) {
+    const ProcessId to = rt.outgoing[i].first;
+    PayloadPtr payload = std::move(rt.outgoing[i].second);
     ++rt.sent;
     ++outcome_.total_messages;
     outcome_.last_send_step = std::max(outcome_.last_send_step, e);
+    emit(obs::EventType::kEmission, e, ev.pid, to, rt.sent, rt.d);
     if (adversary_ != nullptr) {
       in_emission_hook_ = true;
       suppress_current_ = false;
-      adversary_->on_message_emitted(*control_,
-                                     SendEvent{ev.pid, to, e, rt.sent});
+      {
+        obs::ScopedPhase phase(config_.profiler, obs::Phase::kAdversary);
+        adversary_->on_message_emitted(*control_,
+                                       SendEvent{ev.pid, to, e, rt.sent});
+      }
       in_emission_hook_ = false;
       if (suppress_current_) {
         ++outcome_.omitted_messages;
+        emit(obs::EventType::kOmission, e, ev.pid, to);
         continue;
       }
     }
     auto& target = procs_[to];
     if (target.state == ProcessState::kCrashed) {
       ++outcome_.dropped_messages;
+      emit(obs::EventType::kDrop, e, to, ev.pid, 1);
       continue;
     }
     // A suppressed (omitted) message must never reach this acceptance
@@ -322,9 +364,12 @@ void Engine::handle_step_end(const Event& ev) {
 
   rt.last_step_end = e;
   ++outcome_.local_steps_executed;
+  emit(obs::EventType::kStepEnd, e, ev.pid, kNoProcess, rt.sent - sent_before,
+       rt.delta);
 
   if (rt.protocol->wants_sleep()) {
     rt.state = ProcessState::kAsleep;
+    emit(obs::EventType::kSleep, e, ev.pid);
     if (!rt.inbox.empty()) {
       // A message arrived during the step (or is in flight): the process
       // notices it and wakes no earlier than the end of this step.
@@ -338,8 +383,20 @@ void Engine::handle_step_end(const Event& ev) {
 Outcome Engine::run() {
   if (ran_) throw std::logic_error("Engine::run called twice");
   ran_ = true;
+  obs::ScopedPhase run_phase(config_.profiler, obs::Phase::kEngineRun);
 
-  if (adversary_ != nullptr) adversary_->on_run_start(*control_);
+  // Seed the infection ledger before the adversary can act: a process
+  // holding the gossip of process 0 at time 0 (process 0 itself) counts
+  // even if it is crashed at run start.
+  if (config_.sink != nullptr) {
+    reached_.assign(config_.n, 0);
+    for (ProcessId p = 0; p < config_.n; ++p) note_infection(p, 0);
+  }
+
+  if (adversary_ != nullptr) {
+    obs::ScopedPhase phase(config_.profiler, obs::Phase::kAdversary);
+    adversary_->on_run_start(*control_);
+  }
 
   // Every non-crashed process starts its first local step at step 0.
   for (ProcessId p = 0; p < config_.n; ++p) {
@@ -374,7 +431,10 @@ Outcome Engine::run() {
         handle_step_end(ev);
         break;
       case EventKind::kTimer:
-        if (adversary_ != nullptr) adversary_->on_timer(*control_, ev.step);
+        if (adversary_ != nullptr) {
+          obs::ScopedPhase phase(config_.profiler, obs::Phase::kAdversary);
+          adversary_->on_timer(*control_, ev.step);
+        }
         break;
     }
 #if UGF_AUDITS_ENABLED

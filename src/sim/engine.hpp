@@ -31,6 +31,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/event.hpp"
+#include "obs/profile.hpp"
 #include "sim/adversary_iface.hpp"
 #include "sim/message.hpp"
 #include "sim/outcome.hpp"
@@ -51,6 +53,13 @@ struct EngineConfig {
   GlobalStep max_steps = 1'000'000'000'000ull;
   /// Safety cap on processed engine events (guards livelocked protocols).
   std::uint64_t max_events = 50'000'000ull;
+  /// Optional event consumer (obs/event.hpp); nullptr (the default)
+  /// disables all event observation at the cost of one predicted branch
+  /// per would-be event. Must outlive run().
+  obs::EventSink* sink = nullptr;
+  /// Optional phase profiler (obs/profile.hpp); nullptr disables phase
+  /// timing. Must outlive run(); may be shared across engines/threads.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Runs one dissemination to quiescence and reports its Outcome.
@@ -145,6 +154,17 @@ class Engine {
   void crash_process(ProcessId pid);
   void finalize(Outcome& outcome) const;
 
+  /// Feeds one observation to the attached sink; no-op when detached.
+  void emit(obs::EventType type, GlobalStep step, ProcessId a,
+            ProcessId b = kNoProcess, std::uint64_t v0 = 0,
+            std::uint64_t v1 = 0) {
+    if (config_.sink != nullptr) [[unlikely]]
+      config_.sink->on_event(obs::TraceEvent{step, v0, v1, a, b, type});
+  }
+  /// Emits kInfection the first time `pid` holds the gossip of process
+  /// 0 (rumor-spreading progress; only evaluated with a sink attached).
+  void note_infection(ProcessId pid, GlobalStep step);
+
   EngineConfig config_;
   const ProtocolFactory& factory_;
   Adversary* adversary_;
@@ -158,6 +178,11 @@ class Engine {
   bool ran_ = false;
   bool in_emission_hook_ = false;
   bool suppress_current_ = false;
+
+  /// Infection flags (reached_[p] == 1 once p held gossip 0); only
+  /// maintained when a sink is attached.
+  std::vector<char> reached_;
+  std::uint32_t reached_count_ = 0;
 
   Outcome outcome_;
   std::unique_ptr<ControlImpl> control_;

@@ -1,32 +1,35 @@
 #pragma once
 
 /// \file instrumentation.hpp
-/// Measurement wrappers around the Protocol and Adversary interfaces.
-/// They observe without interfering, which makes them suitable both for
-/// the test suite (the executable indistinguishability lemmas) and for
-/// analysis tooling (infection curves, traffic traces). Note that the
-/// delivery recorder reads Message::sent_at / arrives_at — global-clock
-/// facts a real protocol never sees; instrumentation lives outside the
-/// partial-synchrony rules by design.
+/// Measurement wrappers around the Protocol and Adversary interfaces,
+/// expressed in the unified obs::TraceEvent vocabulary (obs/event.hpp)
+/// so the engine's own sink, these wrappers, and every exporter share
+/// one record type. They observe without interfering, which makes them
+/// suitable both for the test suite (the executable indistinguishability
+/// lemmas) and for analysis tooling (infection curves, traffic traces).
+/// Note that the delivery recorder reads Message::sent_at / arrives_at —
+/// global-clock facts a real protocol never sees; instrumentation lives
+/// outside the partial-synchrony rules by design.
+///
+/// Prefer EngineConfig::sink for new code: it sees the full event stream
+/// (crashes, infections, step boundaries). These wrappers exist for
+/// call sites that can only interpose on the protocol/adversary side,
+/// and for tests that want exactly the emission or delivery sub-stream.
 
 #include <memory>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "sim/adversary_iface.hpp"
 #include "sim/protocol.hpp"
+#include "util/check.hpp"
 
 namespace ugf::sim {
 
-/// One observed emission.
-struct SendRecord {
-  GlobalStep step = 0;
-  ProcessId from = kNoProcess;
-  ProcessId to = kNoProcess;
-  auto operator<=>(const SendRecord&) const = default;
-};
-
 /// Wraps an adversary (possibly nullptr) and records every emission the
-/// engine reports, in engine order.
+/// engine reports, in engine order, as obs::EventType::kEmission events
+/// (step = emission step, a = sender, b = receiver, v0 = sender's send
+/// count including this one; v1 stays 0 — the hook cannot see d_rho).
 class TracingAdversary final : public Adversary {
  public:
   explicit TracingAdversary(Adversary* inner = nullptr) noexcept
@@ -43,42 +46,41 @@ class TracingAdversary final : public Adversary {
   }
   void on_message_emitted(AdversaryControl& ctl,
                           const SendEvent& event) override {
-    records_.push_back(SendRecord{event.step, event.from, event.to});
+    recorder_.on_event(obs::TraceEvent{event.step, event.sender_total, 0,
+                                       event.from, event.to,
+                                       obs::EventType::kEmission});
     if (inner_ != nullptr) inner_->on_message_emitted(ctl, event);
   }
   void on_timer(AdversaryControl& ctl, GlobalStep step) override {
     if (inner_ != nullptr) inner_->on_timer(ctl, step);
   }
 
-  [[nodiscard]] const std::vector<SendRecord>& records() const noexcept {
-    return records_;
+  /// Observed emissions in engine order (never ring-clipped).
+  [[nodiscard]] const std::vector<obs::TraceEvent>& records() const noexcept {
+    return recorder_.raw();
   }
 
  private:
   Adversary* inner_;
-  std::vector<SendRecord> records_;
+  obs::EventRecorder recorder_;
 };
 
-/// One observed delivery.
-struct DeliveryRecord {
-  ProcessId to = kNoProcess;
-  ProcessId from = kNoProcess;
-  GlobalStep sent_at = 0;
-  GlobalStep arrives_at = 0;
-  auto operator<=>(const DeliveryRecord&) const = default;
-};
-
-/// Wraps a protocol instance; forwards everything, logging deliveries.
+/// Wraps a protocol instance; forwards everything, logging one
+/// obs::EventType::kDelivery event per delivered message (step =
+/// arrival step, a = receiver, b = sender, v0 = sent_at, v1 =
+/// arrives_at — the actual delivery step may be later if the receiver
+/// was mid-step or asleep; the engine-side sink records that one).
 class DeliveryRecordingProtocol final : public Protocol {
  public:
   DeliveryRecordingProtocol(std::unique_ptr<Protocol> inner, ProcessId self,
-                            std::vector<DeliveryRecord>* log)
+                            obs::EventSink* log)
       : inner_(std::move(inner)), self_(self), log_(log) {}
 
   void on_message(ProcessContext& ctx, const Message& msg) override {
     if (log_ != nullptr)
-      log_->push_back(
-          DeliveryRecord{self_, msg.from, msg.sent_at, msg.arrives_at});
+      log_->on_event(obs::TraceEvent{msg.arrives_at, msg.sent_at,
+                                     msg.arrives_at, self_, msg.from,
+                                     obs::EventType::kDelivery});
     inner_->on_message(ctx, msg);
   }
   void on_local_step(ProcessContext& ctx) override {
@@ -100,29 +102,38 @@ class DeliveryRecordingProtocol final : public Protocol {
  private:
   std::unique_ptr<Protocol> inner_;
   ProcessId self_;
-  std::vector<DeliveryRecord>* log_;
+  obs::EventSink* log_;
 };
 
 /// Factory wrapper matching DeliveryRecordingProtocol. The shared log is
 /// safe because one engine run is single-threaded.
+///
+/// Lifetime contract: `inner` and `log` are borrowed, not owned. Both
+/// must outlive this factory *and* every Engine constructed from it
+/// (protocol instances keep using `log` for the whole run). The inner
+/// factory is held by pointer precisely so this borrow is explicit —
+/// a temporary passed here is a bug, and create() asserts the pointer
+/// is still the one bound at construction.
 class DeliveryRecordingFactory final : public ProtocolFactory {
  public:
   DeliveryRecordingFactory(const ProtocolFactory& inner,
-                           std::vector<DeliveryRecord>* log) noexcept
-      : inner_(inner), log_(log) {}
+                           obs::EventSink* log) noexcept
+      : inner_(&inner), log_(log) {}
 
   [[nodiscard]] const char* name() const noexcept override {
-    return inner_.name();
+    UGF_ASSERT(inner_ != nullptr);
+    return inner_->name();
   }
   [[nodiscard]] std::unique_ptr<Protocol> create(
       ProcessId self, const SystemInfo& info) const override {
+    UGF_ASSERT(inner_ != nullptr);
     return std::make_unique<DeliveryRecordingProtocol>(
-        inner_.create(self, info), self, log_);
+        inner_->create(self, info), self, log_);
   }
 
  private:
-  const ProtocolFactory& inner_;
-  std::vector<DeliveryRecord>* log_;
+  const ProtocolFactory* inner_;
+  obs::EventSink* log_;
 };
 
 }  // namespace ugf::sim

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "protocols/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/instrumentation.hpp"
@@ -189,6 +190,53 @@ TEST(EngineEdges, ZeroCrashBudgetNeutralizesCrashStrategies) {
   const auto out = engine.run();
   EXPECT_EQ(out.crashed, 0u);
   EXPECT_TRUE(out.rumor_gathering_ok);
+}
+
+TEST(EngineEdges, SenderCrashInsideEmissionHookIsSafe) {
+  // Regression: crashing the *sender* from on_message_emitted clears
+  // its outgoing queue while the engine is fanning it out. The fan-out
+  // loop must tolerate that (it indexes and moves each entry out before
+  // the hook runs) — earlier iterator-based versions were UB here.
+  class CrashTheSender final : public sim::Adversary {
+   public:
+    [[nodiscard]] const char* name() const noexcept override {
+      return "crash-sender";
+    }
+    void on_message_emitted(sim::AdversaryControl& ctl,
+                            const sim::SendEvent& event) override {
+      if (!done_ && event.from != 0) done_ = ctl.crash(event.from);
+    }
+
+   private:
+    bool done_ = false;
+  } adversary;
+
+  const auto proto = protocols::make_protocol("push-pull");
+  obs::EventRecorder recorder;
+  sim::EngineConfig cfg;
+  cfg.n = 8;
+  cfg.f = 2;
+  cfg.seed = 6;
+  cfg.sink = &recorder;
+  sim::Engine engine(cfg, *proto, &adversary);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 1u);
+  EXPECT_FALSE(out.truncated);
+  // The current message (the one that triggered the crash) is still
+  // accepted if its receiver is alive; later queued messages from the
+  // wiped queue never materialize. Conservation must still hold.
+  std::uint64_t emissions = 0, deliveries = 0, omissions = 0, drops = 0;
+  for (const auto& ev : recorder.raw()) {
+    switch (ev.type) {
+      case obs::EventType::kEmission: ++emissions; break;
+      case obs::EventType::kDelivery: ++deliveries; break;
+      case obs::EventType::kOmission: ++omissions; break;
+      case obs::EventType::kDrop: drops += ev.v0; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(emissions, out.total_messages);
+  EXPECT_EQ(emissions, deliveries + omissions + drops);
 }
 
 TEST(EngineEdges, DeltaOneIsContiguousSteps) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "adversary/fixed_strategies.hpp"
+#include "obs/event.hpp"
 #include "protocols/ears.hpp"
 #include "protocols/push_pull.hpp"
 #include "protocols/registry.hpp"
@@ -29,7 +30,6 @@ using namespace ugf;
 using sim::GlobalStep;
 using sim::ProcessId;
 
-using sim::DeliveryRecord;
 using sim::DeliveryRecordingFactory;
 using sim::TracingAdversary;
 
@@ -54,7 +54,7 @@ TEST_P(Lemma1TimingTest, NoMessageFromCDeliveredBeforeTauK) {
   for (std::uint32_t i = 0; i < k; ++i) tau_k *= tau;
 
   const auto proto = protocols::make_protocol(protocol_name);
-  std::vector<DeliveryRecord> deliveries;
+  obs::EventRecorder deliveries;
   DeliveryRecordingFactory recording(*proto, &deliveries);
   adversary::DelayAdversary delay(17, tau, k, 1);
   sim::Engine engine(config(n, f, 4242), recording, &delay);
@@ -65,13 +65,14 @@ TEST_P(Lemma1TimingTest, NoMessageFromCDeliveredBeforeTauK) {
                               delay.control_set().end());
   ASSERT_EQ(control.size(), f / 2);
   std::size_t from_c = 0;
-  for (const auto& d : deliveries) {
-    if (!control.contains(d.from)) continue;
+  for (const auto& d : deliveries.raw()) {
+    if (!control.contains(d.b)) continue;  // b = sender
     ++from_c;
     // Sends of C happen at the end of a local step of length tau^k, so
-    // never before tau^k; deliveries strictly after.
-    EXPECT_GE(d.sent_at, tau_k);
-    EXPECT_GT(d.arrives_at, tau_k);
+    // never before tau^k; deliveries strictly after. (v0 = sent_at,
+    // v1 = arrives_at.)
+    EXPECT_GE(d.v0, tau_k);
+    EXPECT_GT(d.v1, tau_k);
   }
   EXPECT_GT(from_c, 0u) << "C's gossips must still disseminate eventually";
 }
@@ -83,7 +84,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple("ears", 1u),
                       std::make_tuple("sears", 1u)));
 
-using Record = sim::SendRecord;
+using Record = obs::TraceEvent;
 
 std::vector<Record> non_c_sends_until(
     const std::vector<Record>& records,
@@ -91,7 +92,8 @@ std::vector<Record> non_c_sends_until(
   const std::set<ProcessId> control(control_set.begin(), control_set.end());
   std::vector<Record> out;
   for (const auto& r : records) {
-    if (r.step <= horizon && !control.contains(r.from)) out.push_back(r);
+    // r.a = sender of the recorded emission.
+    if (r.step <= horizon && !control.contains(r.a)) out.push_back(r);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "adversary/fixed_strategies.hpp"
+#include "obs/event.hpp"
 #include "protocols/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/instrumentation.hpp"
@@ -28,11 +32,12 @@ TEST(TracingAdversary, RecordsEveryEmissionInOrder) {
   EXPECT_EQ(trace.records().size(), out.total_messages);
   sim::GlobalStep prev = 0;
   for (const auto& record : trace.records()) {
+    EXPECT_EQ(record.type, obs::EventType::kEmission);
     EXPECT_GE(record.step, prev);  // emissions observed in time order
     prev = record.step;
-    EXPECT_LT(record.from, 16u);
-    EXPECT_LT(record.to, 16u);
-    EXPECT_NE(record.from, record.to);
+    EXPECT_LT(record.a, 16u);  // sender
+    EXPECT_LT(record.b, 16u);  // receiver
+    EXPECT_NE(record.a, record.b);
   }
 }
 
@@ -49,14 +54,15 @@ TEST(TracingAdversary, DelegatesToInnerAdversary) {
 
 TEST(DeliveryRecording, RecordsEveryDeliveryConsistently) {
   const auto proto = protocols::make_protocol("ears");
-  std::vector<sim::DeliveryRecord> deliveries;
+  obs::EventRecorder deliveries;
   sim::DeliveryRecordingFactory recording(*proto, &deliveries);
   sim::Engine engine(config(16, 4), recording, nullptr);
   const auto out = engine.run();
   EXPECT_EQ(deliveries.size(), out.delivered_messages);
-  for (const auto& d : deliveries) {
-    EXPECT_GT(d.arrives_at, d.sent_at);
-    EXPECT_NE(d.to, d.from);
+  for (const auto& d : deliveries.raw()) {
+    EXPECT_EQ(d.type, obs::EventType::kDelivery);
+    EXPECT_GT(d.v1, d.v0);  // arrives_at > sent_at
+    EXPECT_NE(d.a, d.b);    // receiver != sender
   }
   EXPECT_STREQ(recording.name(), proto->name());
 }
@@ -67,7 +73,7 @@ TEST(DeliveryRecording, TransparencyOfOutcome) {
   sim::Engine plain_engine(config(18, 5, 77), *proto, nullptr);
   const auto plain = plain_engine.run();
 
-  std::vector<sim::DeliveryRecord> deliveries;
+  obs::EventRecorder deliveries;
   sim::DeliveryRecordingFactory recording(*proto, &deliveries);
   sim::Engine wrapped_engine(config(18, 5, 77), recording, nullptr);
   const auto wrapped = wrapped_engine.run();
@@ -75,6 +81,29 @@ TEST(DeliveryRecording, TransparencyOfOutcome) {
   EXPECT_EQ(plain.total_messages, wrapped.total_messages);
   EXPECT_EQ(plain.t_end, wrapped.t_end);
   EXPECT_EQ(plain.per_process_sent, wrapped.per_process_sent);
+}
+
+TEST(DeliveryRecording, AgreesWithEngineSinkDeliveryStream) {
+  // The protocol-side wrapper and the engine's own sink must describe
+  // the same deliveries (sender, receiver, sent_at) — one vocabulary,
+  // two observation points.
+  const auto proto = protocols::make_protocol("push-pull");
+  obs::EventRecorder wrapper_log;
+  sim::DeliveryRecordingFactory recording(*proto, &wrapper_log);
+  obs::EventRecorder engine_log;
+  auto cfg = config(16, 4, 9);
+  cfg.sink = &engine_log;
+  sim::Engine engine(cfg, recording, nullptr);
+  (void)engine.run();
+
+  std::vector<std::tuple<sim::ProcessId, sim::ProcessId, sim::GlobalStep>> a;
+  for (const auto& ev : wrapper_log.raw())
+    a.emplace_back(ev.a, ev.b, ev.v0);
+  std::vector<std::tuple<sim::ProcessId, sim::ProcessId, sim::GlobalStep>> b;
+  for (const auto& ev : engine_log.raw())
+    if (ev.type == obs::EventType::kDelivery)
+      b.emplace_back(ev.a, ev.b, ev.v0);
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

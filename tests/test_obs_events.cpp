@@ -1,0 +1,191 @@
+// Event-stream contract tests: the engine's emitted TraceEvents must
+// agree with the Outcome counters (conservation), arrive in
+// non-decreasing step order, and the stock sinks (recorder ring,
+// counting, tee) must behave as documented.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ugf.hpp"
+#include "obs/event.hpp"
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using obs::EventType;
+using obs::TraceEvent;
+
+/// Runs `protocol_name` at size n under `adversary` (may be null) with
+/// a recorder attached; returns the events and the outcome.
+struct RecordedRun {
+  std::vector<TraceEvent> events;
+  sim::Outcome outcome;
+};
+
+RecordedRun record_run(const char* protocol_name, std::uint32_t n,
+                       std::uint64_t seed, sim::Adversary* adversary) {
+  const auto proto = protocols::make_protocol(protocol_name);
+  obs::EventRecorder recorder;
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = n * 3 / 10;
+  cfg.seed = seed;
+  cfg.sink = &recorder;
+  sim::Engine engine(cfg, *proto, adversary);
+  RecordedRun run;
+  run.outcome = engine.run();
+  run.events = recorder.raw();
+  return run;
+}
+
+std::uint64_t count_of(const std::vector<TraceEvent>& events, EventType type) {
+  std::uint64_t total = 0;
+  for (const TraceEvent& ev : events)
+    if (ev.type == type) ++total;
+  return total;
+}
+
+std::uint64_t sum_v0(const std::vector<TraceEvent>& events, EventType type) {
+  std::uint64_t total = 0;
+  for (const TraceEvent& ev : events)
+    if (ev.type == type) total += ev.v0;
+  return total;
+}
+
+TEST(ObsEvents, CountsMatchOutcomeAcrossSeedsAndAdversaries) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xDEADull}) {
+    for (const bool with_ugf : {false, true}) {
+      core::UniversalGossipFighter ugf(seed ^ 0xADull);
+      RecordedRun run =
+          record_run("push-pull", 24, seed, with_ugf ? &ugf : nullptr);
+      const auto& ev = run.events;
+      const auto& out = run.outcome;
+      EXPECT_EQ(count_of(ev, EventType::kEmission), out.total_messages);
+      EXPECT_EQ(count_of(ev, EventType::kDelivery), out.delivered_messages);
+      EXPECT_EQ(count_of(ev, EventType::kOmission), out.omitted_messages);
+      EXPECT_EQ(count_of(ev, EventType::kCrash), out.crashed);
+      EXPECT_EQ(sum_v0(ev, EventType::kDrop), out.dropped_messages);
+    }
+  }
+}
+
+TEST(ObsEvents, ConservationEmissionsEqualDeliveriesPlusLosses) {
+  // Every emission is eventually delivered, dropped (receiver crashed
+  // at emission, or wiped from an inbox at a crash) or omitted. On a
+  // non-truncated run nothing stays in flight at termination.
+  for (const std::uint64_t seed : {7ull, 99ull, 12345ull}) {
+    core::UniversalGossipFighter ugf(seed);
+    RecordedRun run = record_run("push-pull", 30, seed, &ugf);
+    ASSERT_FALSE(run.outcome.truncated);
+    const std::uint64_t emissions = count_of(run.events, EventType::kEmission);
+    const std::uint64_t deliveries =
+        count_of(run.events, EventType::kDelivery);
+    const std::uint64_t omissions = count_of(run.events, EventType::kOmission);
+    const std::uint64_t drops = sum_v0(run.events, EventType::kDrop);
+    EXPECT_EQ(emissions, deliveries + omissions + drops);
+  }
+}
+
+TEST(ObsEvents, StepsAreNonDecreasing) {
+  core::UniversalGossipFighter ugf(5);
+  RecordedRun run = record_run("ears", 16, 5, &ugf);
+  ASSERT_FALSE(run.events.empty());
+  for (std::size_t i = 1; i < run.events.size(); ++i)
+    ASSERT_GE(run.events[i].step, run.events[i - 1].step) << "at index " << i;
+}
+
+TEST(ObsEvents, DetachedRunMatchesAttachedRunOutcome) {
+  // The sink is observation only: attaching one must not change the
+  // simulated outcome.
+  const auto proto = protocols::make_protocol("push-pull");
+  sim::EngineConfig cfg;
+  cfg.n = 20;
+  cfg.f = 6;
+  cfg.seed = 77;
+  sim::Engine detached(cfg, *proto, nullptr);
+  const auto base = detached.run();
+
+  obs::EventRecorder recorder;
+  cfg.sink = &recorder;
+  sim::Engine attached(cfg, *proto, nullptr);
+  const auto observed = attached.run();
+
+  EXPECT_EQ(base.total_messages, observed.total_messages);
+  EXPECT_EQ(base.t_end, observed.t_end);
+  EXPECT_EQ(base.delivered_messages, observed.delivered_messages);
+  EXPECT_EQ(base.local_steps_executed, observed.local_steps_executed);
+}
+
+TEST(ObsEvents, InfectionEventsCountEveryProcessOnceOnBenignRuns) {
+  RecordedRun run = record_run("push-pull", 25, 3, nullptr);
+  std::vector<int> seen(25, 0);
+  std::uint64_t last_count = 0;
+  for (const TraceEvent& ev : run.events) {
+    if (ev.type != EventType::kInfection) continue;
+    ASSERT_LT(ev.a, 25u);
+    EXPECT_EQ(seen[ev.a], 0) << "process " << ev.a << " counted twice";
+    seen[ev.a] = 1;
+    EXPECT_EQ(ev.v0, last_count + 1);  // v0 is the inclusive running count
+    last_count = ev.v0;
+  }
+  EXPECT_EQ(last_count, 25u);  // benign push-pull reaches everyone
+}
+
+TEST(ObsEvents, RecorderRingKeepsMostRecentAndCountsDropped) {
+  obs::EventRecorder ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    ring.on_event(TraceEvent{i, i, 0, 0, 0, EventType::kSleep});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped_events(), 6u);
+  const auto ordered = ring.events();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ordered[i].step, 6u + i);  // oldest retained first
+
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.dropped_events(), 0u);
+}
+
+TEST(ObsEvents, UnboundedRecorderNeverDrops) {
+  obs::EventRecorder recorder;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    recorder.on_event(TraceEvent{i, 0, 0, 0, 0, EventType::kStepBegin});
+  EXPECT_EQ(recorder.size(), 1000u);
+  EXPECT_EQ(recorder.dropped_events(), 0u);
+  EXPECT_EQ(recorder.events(), recorder.raw());
+}
+
+TEST(ObsEvents, CountingSinkTalliesPerType) {
+  obs::CountingSink sink;
+  sink.on_event(TraceEvent{0, 0, 0, 0, 1, EventType::kEmission});
+  sink.on_event(TraceEvent{1, 0, 0, 1, 0, EventType::kDelivery});
+  sink.on_event(TraceEvent{1, 0, 0, 1, 0, EventType::kDelivery});
+  EXPECT_EQ(sink.count(EventType::kEmission), 1u);
+  EXPECT_EQ(sink.count(EventType::kDelivery), 2u);
+  EXPECT_EQ(sink.count(EventType::kCrash), 0u);
+  EXPECT_EQ(sink.total(), 3u);
+  sink.clear();
+  EXPECT_EQ(sink.total(), 0u);
+  EXPECT_EQ(sink.count(EventType::kDelivery), 0u);
+}
+
+TEST(ObsEvents, TeeSinkForwardsToBothAndToleratesNull) {
+  obs::CountingSink left;
+  obs::EventRecorder right;
+  obs::TeeSink tee(&left, &right);
+  tee.on_event(TraceEvent{3, 9, 0, 2, 5, EventType::kEmission});
+  EXPECT_EQ(left.total(), 1u);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(right.raw()[0].v0, 9u);
+
+  obs::TeeSink half(nullptr, &left);
+  half.on_event(TraceEvent{4, 0, 0, 0, 0, EventType::kSleep});
+  EXPECT_EQ(left.total(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Exporter tests: byte-for-byte determinism of the NDJSON and Chrome
+// trace writers (golden files under tests/golden/, path injected via
+// the UGF_GOLDEN_DIR compile definition), schema invariants, and the
+// time-series CSV shape.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ugf.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "obs/timeseries.hpp"
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+
+/// The fixed run every golden file is derived from: push-pull, n = 8,
+/// f = 2, seed 1234, UGF adversary seeded 99. Changing the engine's
+/// event stream or the writers changes the bytes — regenerate the
+/// goldens (see tests/golden/README.md) and bump the trace schema
+/// version if the *meaning* of a field moved.
+struct GoldenRun {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceMeta meta;
+};
+
+GoldenRun golden_run() {
+  const auto proto = protocols::make_protocol("push-pull");
+  core::UniversalGossipFighter ugf(99);
+  obs::EventRecorder recorder;
+  sim::EngineConfig cfg;
+  cfg.n = 8;
+  cfg.f = 2;
+  cfg.seed = 1234;
+  cfg.sink = &recorder;
+  sim::Engine engine(cfg, *proto, &ugf);
+  (void)engine.run();
+
+  GoldenRun run;
+  run.events = recorder.raw();
+  run.meta.protocol = "push-pull";
+  run.meta.adversary = ugf.strategy_descriptor();
+  run.meta.n = cfg.n;
+  run.meta.f = cfg.f;
+  run.meta.seed = cfg.seed;
+  return run;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// On mismatch the freshly rendered bytes land next to the test binary
+/// so `diff`/`cp` against the golden is one command away.
+void expect_matches_golden(const std::string& rendered,
+                           const std::string& golden_name) {
+  const std::string golden_path =
+      std::string(UGF_GOLDEN_DIR) + "/" + golden_name;
+  const std::string expected = read_file(golden_path);
+  if (expected == rendered) return;
+  const std::string actual_path = golden_name + ".actual";
+  std::ofstream out(actual_path, std::ios::binary);
+  out << rendered;
+  FAIL() << "output differs from golden " << golden_path
+         << " (actual bytes written to " << actual_path << ")";
+}
+
+TEST(ObsExport, NdjsonMatchesGoldenFile) {
+  const GoldenRun run = golden_run();
+  std::ostringstream out;
+  obs::write_ndjson_trace(out, run.events, run.meta);
+  expect_matches_golden(out.str(), "pushpull_n8_ugf.ndjson");
+}
+
+TEST(ObsExport, ChromeTraceMatchesGoldenFile) {
+  const GoldenRun run = golden_run();
+  std::ostringstream out;
+  obs::write_chrome_trace(out, run.events, run.meta);
+  expect_matches_golden(out.str(), "pushpull_n8_ugf.chrome.json");
+}
+
+TEST(ObsExport, WritersAreDeterministic) {
+  const GoldenRun first = golden_run();
+  const GoldenRun second = golden_run();
+  ASSERT_EQ(first.events.size(), second.events.size());
+
+  std::ostringstream a, b;
+  obs::write_ndjson_trace(a, first.events, first.meta);
+  obs::write_ndjson_trace(b, second.events, second.meta);
+  EXPECT_EQ(a.str(), b.str());
+
+  std::ostringstream c, d;
+  obs::write_chrome_trace(c, first.events, first.meta);
+  obs::write_chrome_trace(d, second.events, second.meta);
+  EXPECT_EQ(c.str(), d.str());
+}
+
+TEST(ObsExport, NdjsonShapeAndMetaLine) {
+  const GoldenRun run = golden_run();
+  std::ostringstream out;
+  obs::write_ndjson_trace(out, run.events, run.meta);
+  std::istringstream lines(out.str());
+
+  std::string meta_line;
+  ASSERT_TRUE(std::getline(lines, meta_line));
+  EXPECT_NE(meta_line.find("\"schema\":\"ugf-trace-v1\""), std::string::npos);
+  EXPECT_NE(meta_line.find("\"protocol\":\"push-pull\""), std::string::npos);
+  EXPECT_NE(meta_line.find("\"n\":8"), std::string::npos);
+  EXPECT_NE(meta_line.find("\"seed\":1234"), std::string::npos);
+
+  std::size_t event_lines = 0;
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+    ++event_lines;
+  }
+  EXPECT_EQ(event_lines, run.events.size());
+}
+
+TEST(ObsExport, ChromeTraceContainsTracksFlowsAndCounters) {
+  const GoldenRun run = golden_run();
+  std::ostringstream out;
+  obs::write_chrome_trace(out, run.events, run.meta);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);  // track names
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);  // step slices
+  EXPECT_NE(doc.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(doc.find("\"ph\":\"f\""), std::string::npos);  // flow end
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);  // counters
+  EXPECT_NE(doc.find("\"name\":\"infected\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"ugf-trace-v1\""), std::string::npos);
+}
+
+TEST(ObsExport, TimeseriesCsvHasHeaderAndOneRowPerSample) {
+  const GoldenRun run = golden_run();
+  const obs::TimeSeries series = obs::build_timeseries(run.events);
+  ASSERT_FALSE(series.empty());
+
+  const std::string path = "obs_export_timeseries_test.csv";
+  obs::write_timeseries_csv(path, series);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "step,infected,in_flight,cumulative_messages,crashes,"
+            "delay_changes,omitted,dropped");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, series.size());
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(ObsExport, FileWrapperThrowsOnUnwritablePath) {
+  const GoldenRun run = golden_run();
+  EXPECT_THROW(obs::write_ndjson_trace_file("/nonexistent-dir/x.ndjson",
+                                            run.events, run.meta),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Phase-profiler tests: scoped accumulation, nullptr fast path,
+// concurrent adds from many threads, reset, and the report rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace {
+
+using namespace ugf;
+using obs::Phase;
+
+TEST(ObsProfile, ScopedPhaseAccumulatesTimeAndCalls) {
+  obs::PhaseProfiler profiler;
+  for (int i = 0; i < 3; ++i) {
+    obs::ScopedPhase scope(&profiler, Phase::kProtocol);
+    // Do a little work so the scope has nonzero duration even on
+    // coarse clocks.
+    volatile int sink = 0;
+    for (int j = 0; j < 1000; ++j) sink = sink + j;
+  }
+  const auto totals = profiler.totals();
+  EXPECT_EQ(totals.calls_of(Phase::kProtocol), 3u);
+  EXPECT_EQ(totals.calls_of(Phase::kAdversary), 0u);
+  EXPECT_GE(totals.threads, 1u);
+}
+
+TEST(ObsProfile, NullProfilerIsANoOp) {
+  // The disabled-observability contract: a ScopedPhase on nullptr must
+  // be safe (and is the branch the engine takes on every plain run).
+  obs::ScopedPhase scope(nullptr, Phase::kEngineRun);
+  SUCCEED();
+}
+
+TEST(ObsProfile, ExplicitAddAndReset) {
+  obs::PhaseProfiler profiler;
+  profiler.add(Phase::kExport, 1500, 2);
+  profiler.add(Phase::kExport, 500);
+  auto totals = profiler.totals();
+  EXPECT_EQ(totals.ns_of(Phase::kExport), 2000u);
+  EXPECT_EQ(totals.calls_of(Phase::kExport), 3u);
+
+  profiler.reset();
+  totals = profiler.totals();
+  EXPECT_EQ(totals.ns_of(Phase::kExport), 0u);
+  EXPECT_EQ(totals.calls_of(Phase::kExport), 0u);
+  EXPECT_EQ(totals.threads, 0u);
+}
+
+TEST(ObsProfile, ConcurrentAddsFromManyThreadsSumExactly) {
+  obs::PhaseProfiler profiler;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&profiler] {
+      for (int i = 0; i < kAddsPerThread; ++i)
+        profiler.add(Phase::kStatsReduction, 7);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const auto totals = profiler.totals();
+  EXPECT_EQ(totals.calls_of(Phase::kStatsReduction),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(totals.ns_of(Phase::kStatsReduction),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread * 7u);
+}
+
+TEST(ObsProfile, PhaseTableListsEveryUsedPhase) {
+  obs::PhaseProfiler profiler;
+  profiler.add(Phase::kEngineRun, 10'000'000);
+  profiler.add(Phase::kProtocol, 4'000'000);
+  profiler.add(Phase::kAdversary, 1'000'000);
+  profiler.add(Phase::kTimeseries, 500'000);
+
+  std::ostringstream out;
+  obs::print_phase_table(out, profiler);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("engine run loop"), std::string::npos);
+  EXPECT_NE(table.find("protocol callbacks"), std::string::npos);
+  EXPECT_NE(table.find("adversary callbacks"), std::string::npos);
+  EXPECT_NE(table.find("time-series derivation"), std::string::npos);
+}
+
+TEST(ObsProfile, EmptyProfilerStillRenders) {
+  obs::PhaseProfiler profiler;
+  std::ostringstream out;
+  obs::print_phase_table(out, profiler);
+  EXPECT_FALSE(out.str().empty());
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Time-series derivation tests: infection curves are monotone and end
+// at n on benign runs, derived counters agree with the outcome, and
+// aggregation resamples many runs onto a shared quartile grid.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ugf.hpp"
+#include "obs/event.hpp"
+#include "obs/timeseries.hpp"
+#include "protocols/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using obs::EventType;
+using obs::TimeSeries;
+using obs::TraceEvent;
+
+TimeSeries run_and_build(const char* protocol_name, std::uint32_t n,
+                         std::uint64_t seed, sim::Adversary* adversary,
+                         sim::Outcome* outcome = nullptr) {
+  const auto proto = protocols::make_protocol(protocol_name);
+  obs::EventRecorder recorder;
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = n * 3 / 10;
+  cfg.seed = seed;
+  cfg.sink = &recorder;
+  sim::Engine engine(cfg, *proto, adversary);
+  const auto out = engine.run();
+  if (outcome != nullptr) *outcome = out;
+  return obs::build_timeseries(recorder.raw());
+}
+
+TEST(ObsTimeseries, InfectionIsMonotoneAndEndsAtNOnBenignRuns) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 17ull, 1000003ull}) {
+    const std::uint32_t n = 30;
+    const TimeSeries series = run_and_build("push-pull", n, seed, nullptr);
+    ASSERT_FALSE(series.empty());
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      ASSERT_LT(series.steps[i - 1], series.steps[i]);  // strictly increasing
+      ASSERT_GE(series.infected[i], series.infected[i - 1]) << "seed " << seed;
+      ASSERT_GE(series.cumulative_messages[i],
+                series.cumulative_messages[i - 1]);
+    }
+    EXPECT_EQ(series.infected.back(), n) << "seed " << seed;
+    EXPECT_EQ(series.in_flight.back(), 0u);  // quiesced run
+  }
+}
+
+TEST(ObsTimeseries, InfectionStaysMonotoneUnderUgf) {
+  for (const std::uint64_t seed : {5ull, 6ull, 7ull}) {
+    core::UniversalGossipFighter ugf(seed);
+    const TimeSeries series = run_and_build("push-pull", 24, seed, &ugf);
+    ASSERT_FALSE(series.empty());
+    for (std::size_t i = 1; i < series.size(); ++i)
+      ASSERT_GE(series.infected[i], series.infected[i - 1]) << "seed " << seed;
+    // An adversary can crash processes but never un-spreads the rumor:
+    // the curve still starts at the source's self-infection.
+    EXPECT_GE(series.infected.front(), 1u);
+  }
+}
+
+TEST(ObsTimeseries, FinalCountersMatchOutcome) {
+  sim::Outcome out;
+  core::UniversalGossipFighter ugf(11);
+  const TimeSeries series = run_and_build("push-pull", 20, 11, &ugf, &out);
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.cumulative_messages.back(), out.total_messages);
+  EXPECT_EQ(series.crashes.back(), out.crashed);
+  EXPECT_EQ(series.omitted.back(), out.omitted_messages);
+  EXPECT_EQ(series.dropped.back(), out.dropped_messages);
+}
+
+TEST(ObsTimeseries, BuildFromSyntheticEvents) {
+  // Two emissions at step 1, one delivered at step 3, one dropped at 4.
+  std::vector<TraceEvent> events;
+  events.push_back({0, 1, 0, 0, sim::kNoProcess, EventType::kInfection});
+  events.push_back({1, 1, 2, 0, 1, EventType::kEmission});
+  events.push_back({1, 2, 2, 0, 2, EventType::kEmission});
+  events.push_back({3, 1, 3, 1, 0, EventType::kDelivery});
+  events.push_back({3, 2, 0, 1, sim::kNoProcess, EventType::kInfection});
+  events.push_back({4, 1, 0, 2, 0, EventType::kDrop});
+
+  const TimeSeries series = obs::build_timeseries(events);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.steps, (std::vector<sim::GlobalStep>{0, 1, 3, 4}));
+  EXPECT_EQ(series.infected, (std::vector<std::uint32_t>{1, 1, 2, 2}));
+  EXPECT_EQ(series.in_flight, (std::vector<std::uint64_t>{0, 2, 1, 0}));
+  EXPECT_EQ(series.cumulative_messages,
+            (std::vector<std::uint64_t>{0, 2, 2, 2}));
+  EXPECT_EQ(series.dropped, (std::vector<std::uint64_t>{0, 0, 0, 1}));
+}
+
+TEST(ObsTimeseries, EmptyEventsYieldEmptySeries) {
+  EXPECT_TRUE(obs::build_timeseries({}).empty());
+}
+
+TEST(ObsTimeseries, ValueAtIsAStepFunction) {
+  TimeSeries series;
+  series.steps = {2, 5, 9};
+  series.infected = {1, 4, 7};
+  EXPECT_EQ(obs::timeseries_value_at(series, series.infected, 0), 0.0);
+  EXPECT_EQ(obs::timeseries_value_at(series, series.infected, 2), 1.0);
+  EXPECT_EQ(obs::timeseries_value_at(series, series.infected, 4), 1.0);
+  EXPECT_EQ(obs::timeseries_value_at(series, series.infected, 5), 4.0);
+  EXPECT_EQ(obs::timeseries_value_at(series, series.infected, 100), 7.0);
+}
+
+TEST(ObsTimeseries, AggregateQuartilesOverManyRuns) {
+  std::vector<TimeSeries> runs;
+  for (std::uint64_t seed = 0; seed < 9; ++seed)
+    runs.push_back(run_and_build("push-pull", 20, seed, nullptr));
+
+  const auto agg = obs::aggregate_timeseries(runs, 33);
+  // Short runs dedup grid samples that round to the same step, so the
+  // grid is at most `samples` long but always spans [0, t_max].
+  ASSERT_GE(agg.t.size(), 2u);
+  ASSERT_LE(agg.t.size(), 33u);
+  EXPECT_EQ(agg.runs, 9u);
+  for (std::size_t i = 0; i < agg.t.size(); ++i) {
+    if (i > 0) {
+      ASSERT_LT(agg.t[i - 1], agg.t[i]);
+      ASSERT_GE(agg.infected_median[i], agg.infected_median[i - 1]);
+    }
+    ASSERT_LE(agg.infected_q1[i], agg.infected_median[i]);
+    ASSERT_LE(agg.infected_median[i], agg.infected_q3[i]);
+  }
+  // Every benign run ends fully infected, so the grid's last sample
+  // (max final step over the runs) sees 20 everywhere.
+  EXPECT_DOUBLE_EQ(agg.infected_q1.back(), 20.0);
+  EXPECT_DOUBLE_EQ(agg.infected_median.back(), 20.0);
+  EXPECT_DOUBLE_EQ(agg.infected_q3.back(), 20.0);
+}
+
+TEST(ObsTimeseries, AggregateOfNothingIsEmpty) {
+  EXPECT_TRUE(obs::aggregate_timeseries({}, 65).empty());
+}
+
+}  // namespace

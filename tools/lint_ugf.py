@@ -21,15 +21,22 @@ reproduction's correctness story depends on:
   header       Every header starts with ``#pragma once`` followed by a
                Doxygen ``\\file`` comment, so includes are idempotent
                and each header states its purpose.
-  ordered      Report/analysis code must not iterate an unordered
-               container into its output: iteration order is
-               implementation-defined, so reports would differ between
-               runs/compilers. Use std::map/std::vector, or sort first.
+  ordered      Report/analysis/observability code must not iterate an
+               unordered container into its output: iteration order is
+               implementation-defined, so reports and trace files would
+               differ between runs/compilers. Use std::map/std::vector,
+               or sort first. ``src/obs/`` is in scope because its
+               exporters promise byte-determinism (golden-file tests).
 
 A finding can be suppressed on its line (or the line above) with:
     // ugf-lint: allow(<rule>)
 
 Usage: lint_ugf.py [REPO_ROOT]
+       lint_ugf.py --validate-trace FILE.ndjson
+The second form validates an NDJSON trace written by the src/obs
+exporters against the ``ugf-trace-v1`` schema (meta line, per-event
+keys, known types, non-decreasing steps, event count).
+
 Exits 0 when clean, 1 with findings (one ``file:line: rule: message``
 per line), 2 on usage errors.
 """
@@ -54,7 +61,7 @@ UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
 # Rule applicability, by repo-relative posix path.
 RNG_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
 ASSERT_EXEMPT = ("src/util/check.hpp",)
-ORDERED_SCOPE = ("src/runner/", "src/analysis/")
+ORDERED_SCOPE = ("src/runner/", "src/analysis/", "src/obs/")
 
 
 class Finding:
@@ -175,7 +182,104 @@ def lint_header_prelude(rel: str, lines: list[str]) -> list[Finding]:
                     "missing Doxygen '\\file' comment after #pragma once")]
 
 
+# --- NDJSON trace validation (ugf-trace-v1) -------------------------------
+
+TRACE_SCHEMA = "ugf-trace-v1"
+TRACE_META_KEYS = {"schema", "protocol", "adversary", "n", "f", "seed",
+                   "events"}
+TRACE_EVENT_KEYS = {"step", "type", "p", "q", "v0", "v1"}
+TRACE_EVENT_TYPES = {
+    "emission", "delivery", "drop", "omission", "crash", "infection",
+    "step-begin", "step-end", "sleep", "delay-change", "step-time-change",
+}
+
+
+def validate_trace(path: Path) -> int:
+    """Validates one NDJSON trace file; prints findings, returns count."""
+    import json
+
+    findings: list[str] = []
+
+    def bad(lineno: int, message: str) -> None:
+        findings.append(f"{path}:{lineno}: trace: {message}")
+
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        print(f"{path}:1: trace: unreadable ({err})")
+        return 1
+    if not lines:
+        print(f"{path}:1: trace: empty file (expected a meta line)")
+        return 1
+
+    declared_events = None
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        bad(1, f"meta line is not valid JSON ({err})")
+        meta = None
+    if isinstance(meta, dict):
+        if set(meta) != TRACE_META_KEYS:
+            bad(1, "meta keys are "
+                f"{sorted(meta)}, expected {sorted(TRACE_META_KEYS)}")
+        if meta.get("schema") != TRACE_SCHEMA:
+            bad(1, f"schema is {meta.get('schema')!r}, "
+                f"expected {TRACE_SCHEMA!r}")
+        if isinstance(meta.get("events"), int):
+            declared_events = meta["events"]
+    elif meta is not None:
+        bad(1, "meta line is not a JSON object")
+
+    prev_step = -1
+    event_count = 0
+    for i, line in enumerate(lines[1:], start=2):
+        if not line:
+            bad(i, "blank line inside the trace")
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            bad(i, f"not valid JSON ({err})")
+            continue
+        if not isinstance(event, dict):
+            bad(i, "event line is not a JSON object")
+            continue
+        event_count += 1
+        if set(event) != TRACE_EVENT_KEYS:
+            bad(i, f"event keys are {sorted(event)}, "
+                f"expected {sorted(TRACE_EVENT_KEYS)}")
+            continue
+        if event["type"] not in TRACE_EVENT_TYPES:
+            bad(i, f"unknown event type {event['type']!r}")
+        step = event["step"]
+        if not isinstance(step, int) or step < 0:
+            bad(i, f"step {step!r} is not a non-negative integer")
+        elif step < prev_step:
+            bad(i, f"step went backwards ({step} after {prev_step}); the "
+                "engine emits in non-decreasing step order")
+        else:
+            prev_step = step
+        for key in ("p", "q"):
+            value = event[key]
+            if value is not None and (not isinstance(value, int)
+                                      or value < 0):
+                bad(i, f"{key} is {value!r}, expected a process id or null")
+
+    if declared_events is not None and declared_events != event_count:
+        bad(1, f"meta declares {declared_events} events "
+            f"but the file has {event_count}")
+
+    for finding in findings:
+        print(finding)
+    status = "valid" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_ugf: {event_count} trace events checked, {status}",
+          file=sys.stderr)
+    return len(findings)
+
+
 def main(argv: list[str]) -> int:
+    if len(argv) == 3 and argv[1] == "--validate-trace":
+        return 1 if validate_trace(Path(argv[2])) else 0
     if len(argv) > 2:
         print(__doc__, file=sys.stderr)
         return 2
