@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 24));
   const auto q1s = args.get_double_list("q1s", {0.1, 1.0 / 3.0, 0.6, 0.9});
   const auto q2s = args.get_double_list("q2s", {0.1, 0.5, 0.9});
-  const auto csv_path = args.get_string("csv", "ablation_q.csv");
+  const auto csv_path = args.out_path("csv", "ablation_q.csv");
 
   runner::RunSpec spec;
   spec.n = n;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
   const double fraction = args.get_double("fraction", 0.3);
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 24));
-  const auto csv_path = args.get_string("csv", "ablation_tau.csv");
+  const auto csv_path = args.out_path("csv", "ablation_tau.csv");
 
   runner::RunSpec spec;
   spec.n = n;

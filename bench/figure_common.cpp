@@ -38,7 +38,8 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       config.runs = 10;
     }
 
-    const std::string timeseries_path = args.get_string("timeseries", "");
+    const std::string timeseries_path =
+        args.has("timeseries") ? args.out_path("timeseries", "") : "";
     config.collect_timeseries = !timeseries_path.empty();
     obs::PhaseProfiler profiler;
     const bool profile = args.get_bool("profile", false);
@@ -82,10 +83,10 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     {
       obs::ScopedPhase phase(config.profiler, obs::Phase::kExport);
       const std::string csv_path =
-          args.get_string("csv", spec.figure_id + ".csv");
+          args.out_path("csv", spec.figure_id + ".csv");
       runner::write_figure_csv(csv_path, spec.figure_id, curves);
       const std::string json_path =
-          args.get_string("json", spec.figure_id + ".json");
+          args.out_path("json", spec.figure_id + ".json");
       runner::write_figure_json(json_path, spec.figure_id, curves);
       std::cout << "csv: " << csv_path << "  json: " << json_path;
       if (config.collect_timeseries) {
@@ -99,8 +100,10 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     // Single-run trace exports: run 0 at the smallest grid N under UGF,
     // seeded exactly as the sweep seeds that grid point, so the trace
     // reproduces a run the figure actually contains.
-    const std::string trace_path = args.get_string("trace", "");
-    const std::string chrome_path = args.get_string("chrome-trace", "");
+    const std::string trace_path =
+        args.has("trace") ? args.out_path("trace", "") : "";
+    const std::string chrome_path =
+        args.has("chrome-trace") ? args.out_path("chrome-trace", "") : "";
     if (!trace_path.empty() || !chrome_path.empty()) {
       obs::ScopedPhase phase(config.profiler, obs::Phase::kExport);
       runner::RunSpec one;

@@ -15,6 +15,10 @@
 ///   --seed=S           base seed
 ///   --csv=path         CSV output path     (default: <figure_id>.csv)
 ///   --json=path        JSON output path    (default: <figure_id>.json)
+///   --out-dir=dir      directory for output artifacts (default:
+///                      results/, created on demand); bare filenames —
+///                      defaults included — land there, while paths
+///                      with a directory component are used verbatim
 ///   --quick            small grid + few runs (CI-friendly)
 ///
 /// Observability flags (see docs/OBSERVABILITY.md):

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       args.get_double_list("fracs", {0.1, 0.2, 0.3, 0.4, 0.5});
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 20));
   const auto seed = args.get_uint("seed", 0xF5EEull);
-  const auto csv_path = args.get_string("csv", "fsweep.csv");
+  const auto csv_path = args.out_path("csv", "fsweep.csv");
 
   std::cout << "F-sweep: UGF strength as a function of the crash budget\n"
             << "runs=" << runs << " per point; values are medians\n\n";

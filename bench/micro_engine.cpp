@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "adversary/fixed_strategies.hpp"
 #include "core/ugf.hpp"
 #include "obs/event.hpp"
@@ -15,6 +19,37 @@
 #include "util/dynamic_bitset.hpp"
 #include "util/rng.hpp"
 #include "util/zeta_sampler.hpp"
+
+// Heap-allocation counter for the allocation-count variants below: the
+// bench binary replaces global operator new/delete with counting
+// versions, so a run's allocation count is an exact, deterministic
+// number rather than a profiler estimate.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a mismatched
+// pair; it cannot see that the matching operator new mallocs.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size))
+    return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -89,6 +124,80 @@ void BM_PushPullRunBenign(benchmark::State& state) {
 }
 BENCHMARK(BM_PushPullRunBenign)->Arg(50)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
+
+void BM_PushPullRunWarmEngine(benchmark::State& state) {
+  // Steady-state variant of BM_PushPullRunBenign: one engine reused via
+  // reset() across all iterations (the Monte-Carlo worker's loop), so
+  // slab/lane/heap capacity is warm. Compare items/s against the cold
+  // variant — the gap is the per-run construction + allocation tax.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullFactory factory;
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = n * 3 / 10;
+  cfg.seed = seed++;
+  sim::Engine engine(cfg, factory, nullptr);
+  (void)engine.run();  // warm the capacity before timing
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    engine.reset(cfg, nullptr);
+    const auto out = engine.run();
+    steps += out.local_steps_executed;
+  }
+  state.counters["allocs/run"] =
+      static_cast<double>(g_alloc_count.load() - allocs_before) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_PushPullRunWarmEngine)->Arg(16)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PushPullRunColdEngine(benchmark::State& state) {
+  // Cold path at the same sizes as the warm variant (construction per
+  // run), with the allocation counter attached.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullFactory factory;
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = seed++;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    steps += out.local_steps_executed;
+  }
+  state.counters["allocs/run"] =
+      static_cast<double>(g_alloc_count.load() - allocs_before) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_PushPullRunColdEngine)->Arg(16)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArenaMakeReset(benchmark::State& state) {
+  // Raw arena throughput: payloads per second through make<T>() with a
+  // periodic reset, the allocation pattern of one warm run.
+  constexpr std::size_t kBatch = 1024;
+  sim::PayloadArena arena;
+  util::DynamicBitset gossips(64);
+  gossips.set(1);
+  std::uint64_t produced = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i)
+      benchmark::DoNotOptimize(
+          arena.make<protocols::GossipSetPayload>(gossips));
+    arena.reset();
+    produced += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(produced));
+}
+BENCHMARK(BM_ArenaMakeReset);
 
 void BM_PushPullRunWithCountingSink(benchmark::State& state) {
   // Same workload as BM_PushPullRunBenign with the cheapest possible

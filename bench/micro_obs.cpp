@@ -84,6 +84,44 @@ double median(std::vector<double> xs) {
   return xs.size() % 2 == 1 ? xs[m] : 0.5 * (xs[m - 1] + xs[m]);
 }
 
+/// Cold-vs-warm engine pass: `runs` benign push-pull runs, either
+/// constructing a fresh engine per run (cold — what the runner did
+/// before engine reuse) or reset()ing one warm engine (steady state of
+/// a Monte-Carlo worker's batch share). Small n on purpose: that's the
+/// construction-heavy regime (the Fig. 3 sweeps start at N = 10) where
+/// the per-run setup tax is visible next to the step loop; at large n
+/// the step loop dominates and the two paths converge.
+Sample measure_engine(bool warm, std::uint32_t n, std::uint32_t runs,
+                      std::uint64_t base_seed) {
+  protocols::PushPullFactory factory;
+  Sample sample;
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = n * 3 / 10;
+  cfg.seed = base_seed;
+  sim::Engine reused(cfg, factory, nullptr);
+  if (warm) (void)reused.run();  // pre-grow capacity (untimed)
+  util::Stopwatch watch;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    cfg.seed = base_seed + i;
+    if (warm) {
+      reused.reset(cfg, nullptr);
+      const auto out = reused.run();
+      sample.steps += out.local_steps_executed;
+      sample.messages += out.total_messages;
+    } else {
+      sim::Engine engine(cfg, factory, nullptr);
+      const auto out = engine.run();
+      sample.steps += out.local_steps_executed;
+      sample.messages += out.total_messages;
+    }
+  }
+  sample.ns_per_step =
+      watch.seconds() * 1e9 /
+      static_cast<double>(std::max<std::uint64_t>(1, sample.steps));
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +135,10 @@ int main(int argc, char** argv) {
     const bool check = args.get_bool("check", false);
     const double max_overhead = args.get_double("max-overhead", 5.0);
     const double reference = args.get_double("reference", 0.0);
+    const auto engine_n =
+        static_cast<std::uint32_t>(args.get_uint("engine-n", 12));
+    const auto engine_runs =
+        static_cast<std::uint32_t>(args.get_uint("engine-runs", 400));
 
     obs::CountingSink counting;
     obs::PhaseProfiler profiler;
@@ -135,6 +177,16 @@ int main(int argc, char** argv) {
       events = r.events;
     }
 
+    // Cold-vs-warm engine block (paired, identical seeds): the
+    // steady-state win of Engine::reset over per-run construction.
+    std::vector<double> engine_cold, engine_warm;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      engine_cold.push_back(
+          measure_engine(false, engine_n, engine_runs, seed).ns_per_step);
+      engine_warm.push_back(
+          measure_engine(true, engine_n, engine_runs, seed).ns_per_step);
+    }
+
     const double pristine_med = median(pristine);
     const double d_med = median(detached);
     const double c_med = median(with_counting);
@@ -145,6 +197,10 @@ int main(int argc, char** argv) {
     const double profiler_overhead = (p_med - d_med) / d_med * 100.0;
     const double reference_overhead =
         reference > 0.0 ? (pristine_med - reference) / reference * 100.0 : 0.0;
+    const double cold_med = median(engine_cold);
+    const double warm_med = median(engine_warm);
+    /// Step-loop throughput gain of the warm engine over the cold path.
+    const double warm_speedup = (cold_med / warm_med - 1.0) * 100.0;
 
     std::cout << "micro_obs: push-pull benign, n=" << n << ", f=" << n * 3 / 10
               << ", " << runs << " runs x " << reps << " reps ("
@@ -163,6 +219,13 @@ int main(int argc, char** argv) {
     row("phase profiler", p_med, profiler_overhead);
     if (reference > 0.0)
       row("pristine vs reference", reference, reference_overhead);
+    std::cout << "engine reuse: push-pull benign, n=" << engine_n << ", "
+              << engine_runs << " runs x " << reps << " reps\n";
+    row("cold engine per run", cold_med, 0.0);
+    row("warm engine (reset)", warm_med, 0.0);
+    std::cout << "  warm speedup          " << std::fixed
+              << std::setprecision(2) << std::showpos << warm_speedup
+              << "%" << std::noshowpos << " step-loop throughput\n";
 
     if (!json_path.empty()) {
       util::JsonWriter json;
@@ -187,6 +250,11 @@ int main(int argc, char** argv) {
           .member("profiler_overhead_pct", profiler_overhead)
           .member("reference_ns_per_step", reference)
           .member("detached_vs_reference_pct", reference_overhead)
+          .member("engine_n", engine_n)
+          .member("engine_runs_per_pass", engine_runs)
+          .member("engine_cold_ns_per_step", cold_med)
+          .member("engine_warm_ns_per_step", warm_med)
+          .member("warm_speedup_pct", warm_speedup)
           .end_object();
       std::ofstream out(json_path);
       if (!out) {

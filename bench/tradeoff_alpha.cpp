@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const double fraction = args.get_double("fraction", 0.3);
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 30));
   const auto alphas = args.get_uint_list("alphas", {1, 2, 4, 8, 16});
-  const auto csv_path = args.get_string("csv", "tradeoff_alpha.csv");
+  const auto csv_path = args.out_path("csv", "tradeoff_alpha.csv");
 
   const auto f = static_cast<std::uint32_t>(fraction * n);
   const std::uint64_t tau = f;  // the paper's instantiation

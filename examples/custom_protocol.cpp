@@ -49,7 +49,7 @@ class BinaryDissemination final : public sim::Protocol {
     if (const auto* gossips =
             sim::payload_as<protocols::GossipSetPayload>(msg)) {
       if (known_.or_with(gossips->gossips())) {
-        snapshot_.reset();
+        snapshot_ = {};
         stale_rounds_ = 0;
       }
     }
@@ -58,7 +58,7 @@ class BinaryDissemination final : public sim::Protocol {
   void on_local_step(sim::ProcessContext& ctx) override {
     if (wants_sleep()) return;
     if (!snapshot_)
-      snapshot_ = std::make_shared<protocols::GossipSetPayload>(known_);
+      snapshot_ = ctx.make_payload<protocols::GossipSetPayload>(known_);
     const auto targets = ctx.rng().sample_without_replacement(
         n_ - 1, std::min(fanout_, n_ - 1));
     for (const auto raw : targets) {
@@ -91,7 +91,9 @@ class BinaryDissemination final : public sim::Protocol {
   std::uint32_t full_rounds_ = 0;
   std::uint32_t stale_rounds_ = 0;
   util::DynamicBitset known_;
-  std::shared_ptr<const protocols::GossipSetPayload> snapshot_;
+  /// Arena ref of the last pushed snapshot; refs die with the run, and
+  /// so does this instance, so the cache is safe.
+  sim::PayloadRef snapshot_;
 };
 
 class BinaryDisseminationFactory final : public sim::ProtocolFactory {

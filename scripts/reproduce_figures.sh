@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table artifact into --out-dir
+# (default results/). Pass --quick for the reduced CI-sized grids; any
+# extra flags are forwarded to every binary (e.g. --runs=10,
+# --out-dir=/tmp/figs). Expects a built tree in build/ (or $BUILD_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH="${BUILD_DIR}/bench"
+if [ ! -d "${BENCH}" ]; then
+  echo "reproduce_figures.sh: ${BENCH} not found; build first" >&2
+  exit 1
+fi
+
+FIGURES=(
+  fig3a_pushpull_time fig3b_ears_time fig3c_pushpull_msgs
+  fig3d_ears_msgs fig3e_sears_msgs
+  fsweep tradeoff_alpha strategy_breakdown
+  ablation_q ablation_tau omission_vs_delay informed_vs_ugf
+)
+
+for figure in "${FIGURES[@]}"; do
+  printf '\n== %s ==\n' "${figure}"
+  "${BENCH}/${figure}" "$@"
+done

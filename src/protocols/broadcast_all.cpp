@@ -18,7 +18,7 @@ void BroadcastAllProcess::on_local_step(sim::ProcessContext& ctx) {
   if (done_) return;
   util::DynamicBitset own(n_);
   own.set(self_);
-  const auto payload = std::make_shared<GossipSetPayload>(std::move(own));
+  const auto payload = ctx.make_payload<GossipSetPayload>(std::move(own));
   for (sim::ProcessId q = 0; q < n_; ++q)
     if (q != self_) ctx.send(q, payload);
   done_ = true;

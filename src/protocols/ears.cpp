@@ -43,10 +43,10 @@ EarsProcess::EarsProcess(sim::ProcessId self, const sim::SystemInfo& info,
   knows_.set(self_, self_);
 }
 
-sim::PayloadPtr EarsProcess::snapshot() {
+sim::PayloadRef EarsProcess::snapshot(sim::ProcessContext& ctx) {
   if (!snapshot_)
     snapshot_ =
-        std::make_shared<KnowledgePayload>(self_, version_, gossips_, knows_);
+        ctx.make_payload<KnowledgePayload>(self_, version_, gossips_, knows_);
   return snapshot_;
 }
 
@@ -74,7 +74,7 @@ void EarsProcess::on_message(sim::ProcessContext& /*ctx*/,
   // knowledge condition of our peers can eventually hold.
   changed |= knows_.or_row_with(self_, gossips_);
   if (changed) {
-    snapshot_.reset();
+    snapshot_ = {};
     ++version_;
   }
   if (gossip_news) {
@@ -96,7 +96,7 @@ void EarsProcess::on_local_step(sim::ProcessContext& ctx) {
     // Woken while quiescent: serve the courtesy replies and go back to
     // sleep without touching the silence machinery.
     for (const auto requester : pending_replies_)
-      ctx.send(requester, snapshot());
+      ctx.send(requester, snapshot(ctx));
     pending_replies_.clear();
     return;
   }
@@ -113,11 +113,11 @@ void EarsProcess::on_local_step(sim::ProcessContext& ctx) {
   if (fanout_ == 1) {
     auto target = static_cast<sim::ProcessId>(ctx.rng().below(n_ - 1));
     if (target >= self_) ++target;  // uniform over everyone but self
-    ctx.send(target, snapshot());
+    ctx.send(target, snapshot(ctx));
   } else {
     // Sample from {0..n-2} and shift past self to exclude it.
     const auto raw = ctx.rng().sample_without_replacement(n_ - 1, fanout_);
-    const auto payload = snapshot();
+    const auto payload = snapshot(ctx);
     for (const auto r : raw) {
       const auto target = static_cast<sim::ProcessId>(r >= self_ ? r + 1 : r);
       ctx.send(target, payload);

@@ -99,7 +99,7 @@ class EarsProcess : public sim::Protocol {
   [[nodiscard]] bool own_gossip_acknowledged() const noexcept;
 
  private:
-  [[nodiscard]] sim::PayloadPtr snapshot();
+  [[nodiscard]] sim::PayloadRef snapshot(sim::ProcessContext& ctx);
 
   sim::ProcessId self_;
   std::uint32_t n_;
@@ -119,7 +119,9 @@ class EarsProcess : public sim::Protocol {
   std::vector<std::uint64_t> seen_versions_;
   /// Senders owed a courtesy reply at the next (wake) step.
   std::vector<sim::ProcessId> pending_replies_;
-  std::shared_ptr<const KnowledgePayload> snapshot_;  ///< invalidated on change
+  /// Arena ref of the last (G, I) snapshot; null after a state change.
+  /// The instance dies with the run, so the cached ref cannot dangle.
+  sim::PayloadRef snapshot_;
 };
 
 class EarsFactory final : public sim::ProtocolFactory {

@@ -2,12 +2,11 @@
 
 /// \file payloads.hpp
 /// Message payload types shared by the bundled all-to-all gossip
-/// protocols. Payloads are immutable; a sender that fans the same state
-/// out to many receivers (SEARS) shares one allocation. Message
-/// complexity ignores payload size (Def II.3), so carrying a whole
-/// knowledge snapshot still counts as a single message.
-
-#include <memory>
+/// protocols. Payloads are immutable, constructed into the run's
+/// PayloadArena via `ctx.make_payload<T>(...)`; a sender that fans the
+/// same state out to many receivers (SEARS) shares one arena slot.
+/// Message complexity ignores payload size (Def II.3), so carrying a
+/// whole knowledge snapshot still counts as a single message.
 
 #include "sim/message.hpp"
 #include "util/bitset2d.hpp"

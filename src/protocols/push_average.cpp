@@ -70,8 +70,8 @@ void PushAverageProcess::on_local_step(sim::ProcessContext& ctx) {
         half[j] = s_[j];
       }
       w_ *= 0.5;
-      ctx.send(reply_to_, std::make_shared<MassPayload>(std::move(half), w_,
-                                                        origins_));
+      ctx.send(reply_to_,
+               ctx.make_payload<MassPayload>(std::move(half), w_, origins_));
     }
     reply_to_ = sim::kNoProcess;
     return;
@@ -107,8 +107,8 @@ void PushAverageProcess::on_local_step(sim::ProcessContext& ctx) {
     target = static_cast<sim::ProcessId>(ctx.rng().below(n_ - 1));
     if (target >= self_) ++target;
   }
-  ctx.send(target, std::make_shared<MassPayload>(std::move(half), w_,
-                                                 origins_));
+  ctx.send(target,
+           ctx.make_payload<MassPayload>(std::move(half), w_, origins_));
   ++sent_;
 
   if (sent_ >= min_sends_ && silent_steps_ >= silence_threshold_)

@@ -15,8 +15,8 @@ PushPullProcess::PushPullProcess(sim::ProcessId self,
   served_.set(self_);
 }
 
-sim::PayloadPtr PushPullProcess::known_snapshot() {
-  if (!snapshot_) snapshot_ = std::make_shared<GossipSetPayload>(known_);
+sim::PayloadRef PushPullProcess::known_snapshot(sim::ProcessContext& ctx) {
+  if (!snapshot_) snapshot_ = ctx.make_payload<GossipSetPayload>(known_);
   return snapshot_;
 }
 
@@ -27,14 +27,14 @@ void PushPullProcess::on_message(sim::ProcessContext& /*ctx*/,
     return;
   }
   if (const auto* gossips = payload_as<GossipSetPayload>(msg)) {
-    if (known_.or_with(gossips->gossips())) snapshot_.reset();
+    if (known_.or_with(gossips->gossips())) snapshot_ = {};
   }
 }
 
 void PushPullProcess::on_local_step(sim::ProcessContext& ctx) {
   // 1. Answer pull requests with everything we know.
   for (const sim::ProcessId requester : pending_replies_) {
-    ctx.send(requester, known_snapshot());
+    ctx.send(requester, known_snapshot(ctx));
     served_.set(requester);  // the reply carries our own gossip
   }
   pending_replies_.clear();
@@ -55,7 +55,7 @@ void PushPullProcess::on_local_step(sim::ProcessContext& ctx) {
   if (!pull_candidates.empty()) {
     const auto pick = pull_candidates[static_cast<std::size_t>(
         ctx.rng().below(pull_candidates.size()))];
-    ctx.send(pick, std::make_shared<PullRequestPayload>());
+    ctx.send(pick, ctx.make_payload<PullRequestPayload>());
     pulled_.set(pick);
   }
 
@@ -68,7 +68,7 @@ void PushPullProcess::on_local_step(sim::ProcessContext& ctx) {
   if (!push_candidates.empty()) {
     const auto pick = push_candidates[static_cast<std::size_t>(
         ctx.rng().below(push_candidates.size()))];
-    ctx.send(pick, known_snapshot());
+    ctx.send(pick, known_snapshot(ctx));
     served_.set(pick);
   }
 }

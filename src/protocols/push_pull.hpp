@@ -50,7 +50,7 @@ class PushPullProcess final : public sim::Protocol {
 
  private:
   [[nodiscard]] bool satisfied() const noexcept;
-  [[nodiscard]] sim::PayloadPtr known_snapshot();
+  [[nodiscard]] sim::PayloadRef known_snapshot(sim::ProcessContext& ctx);
 
   sim::ProcessId self_;
   std::uint32_t n_;
@@ -58,7 +58,10 @@ class PushPullProcess final : public sim::Protocol {
   util::DynamicBitset pulled_;  ///< processes already pull-requested
   util::DynamicBitset served_;  ///< processes that received our gossip
   std::vector<sim::ProcessId> pending_replies_;
-  std::shared_ptr<const GossipSetPayload> snapshot_;  ///< cache, invalidated on change
+  /// Arena ref of the last snapshot sent; null after a state change.
+  /// Safe to cache: the protocol instance never outlives the run's
+  /// arena (fresh instances per Engine::reset()).
+  sim::PayloadRef snapshot_;
 };
 
 class PushPullFactory final : public sim::ProtocolFactory {

@@ -6,9 +6,6 @@ SequentialProcess::SequentialProcess(sim::ProcessId self,
                                      const sim::SystemInfo& info)
     : self_(self), n_(info.n), known_(info.n) {
   known_.set(self_);
-  util::DynamicBitset own(n_);
-  own.set(self_);
-  own_gossip_ = std::make_shared<GossipSetPayload>(std::move(own));
 }
 
 void SequentialProcess::on_message(sim::ProcessContext& /*ctx*/,
@@ -19,6 +16,11 @@ void SequentialProcess::on_message(sim::ProcessContext& /*ctx*/,
 
 void SequentialProcess::on_local_step(sim::ProcessContext& ctx) {
   if (next_offset_ >= n_) return;  // all N-1 sends done; woken for merges only
+  if (!own_gossip_) {
+    util::DynamicBitset own(n_);
+    own.set(self_);
+    own_gossip_ = ctx.make_payload<GossipSetPayload>(std::move(own));
+  }
   const auto target = static_cast<sim::ProcessId>((self_ + next_offset_) % n_);
   ctx.send(target, own_gossip_);
   ++next_offset_;

@@ -32,7 +32,9 @@ class SequentialProcess final : public sim::Protocol {
   std::uint32_t n_;
   std::uint32_t next_offset_ = 1;  ///< send to (self + next_offset) mod n
   util::DynamicBitset known_;
-  std::shared_ptr<const GossipSetPayload> own_gossip_;
+  /// Own-gossip payload, made lazily on the first step (the constructor
+  /// has no arena access) and reused for all N-1 sends.
+  sim::PayloadRef own_gossip_;
 };
 
 class SequentialFactory final : public sim::ProtocolFactory {

@@ -1,14 +1,26 @@
 #include "runner/monte_carlo.hpp"
 
+#include <atomic>
+
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace ugf::runner {
 
-RunRecord MonteCarloRunner::run_once(
-    const RunSpec& spec, std::uint32_t run_index,
-    const sim::ProtocolFactory& protocol,
-    const adversary::AdversaryFactory& adversary, obs::EventSink* sink) {
+namespace {
+
+/// Executes run `run_index` of the batch. `engine` is the caller's
+/// reusable engine slot: constructed on first use, reset() afterwards —
+/// a Monte-Carlo worker passes the same slot for every run it claims,
+/// so the engine's grown capacity (process table, inbox lanes, event
+/// heap, arena slabs) is recycled across its whole share of the batch.
+/// Seeds derive from (base_seed, run_index) only, so the result is
+/// bit-for-bit independent of which engine/worker executes the run.
+RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
+                      const RunSpec& spec, std::uint32_t run_index,
+                      const sim::ProtocolFactory& protocol,
+                      const adversary::AdversaryFactory& adversary,
+                      obs::EventSink* sink) {
   const std::uint64_t run_seed = util::mix_seed(spec.base_seed, run_index);
   const std::uint64_t adversary_seed = util::mix_seed(run_seed, 0xAD7E25A27ull);
 
@@ -31,10 +43,13 @@ RunRecord MonteCarloRunner::run_once(
     config.sink = sink;
 
   const auto instance = adversary.create(adversary_seed);
-  sim::Engine engine(config, protocol, instance.get());
+  if (engine == nullptr)
+    engine = std::make_unique<sim::Engine>(config, protocol, instance.get());
+  else
+    engine->reset(config, instance.get());
 
   RunRecord record;
-  record.outcome = engine.run();
+  record.outcome = engine->run();
   record.seed = run_seed;
   if (spec.collect_timeseries) {
     obs::ScopedPhase phase(spec.profiler, obs::Phase::kTimeseries);
@@ -49,15 +64,38 @@ RunRecord MonteCarloRunner::run_once(
   return record;
 }
 
+}  // namespace
+
+RunRecord MonteCarloRunner::run_once(
+    const RunSpec& spec, std::uint32_t run_index,
+    const sim::ProtocolFactory& protocol,
+    const adversary::AdversaryFactory& adversary, obs::EventSink* sink) {
+  std::unique_ptr<sim::Engine> engine;
+  return execute_run(engine, spec, run_index, protocol, adversary, sink);
+}
+
 BatchResult MonteCarloRunner::run_batch(
     const RunSpec& spec, const sim::ProtocolFactory& protocol,
     const adversary::AdversaryFactory& adversary) {
   BatchResult result;
   result.runs.resize(spec.runs);
 
-  pool_.parallel_for(spec.runs, [&](std::size_t i) {
-    result.runs[i] =
-        run_once(spec, static_cast<std::uint32_t>(i), protocol, adversary);
+  // One long-lived task ("share") per worker instead of one task per
+  // run: each share keeps a single warm engine and claims run indices
+  // off a shared counter, preserving the pool's dynamic load balancing.
+  // Run i is a pure function of spec and i, so the claiming order (and
+  // thread count) cannot change any result.
+  const std::size_t shares =
+      std::min<std::size_t>(std::max<std::size_t>(1, pool_.size()), spec.runs);
+  std::atomic<std::uint32_t> next_run{0};
+  pool_.parallel_for(shares, [&](std::size_t) {
+    std::unique_ptr<sim::Engine> engine;
+    for (;;) {
+      const auto i = next_run.fetch_add(1, std::memory_order_relaxed);
+      if (i >= spec.runs) break;
+      result.runs[i] =
+          execute_run(engine, spec, i, protocol, adversary, nullptr);
+    }
   });
 
   obs::ScopedPhase phase(spec.profiler, obs::Phase::kStatsReduction);

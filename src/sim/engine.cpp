@@ -64,7 +64,10 @@ bool Engine::Inbox::pop_due(GlobalStep step, Message& out) {
 }
 
 void Engine::Inbox::clear() noexcept {
-  lanes_.clear();
+  // Lanes are kept (with their deque chunk maps) so a reused engine —
+  // or a crashed-then-ignored process slot — does not reallocate them;
+  // every scan already skips empty lanes.
+  for (auto& lane : lanes_) lane.fifo.clear();
   size_ = 0;
 }
 
@@ -82,15 +85,18 @@ class Engine::ContextImpl final : public ProcessContext {
   [[nodiscard]] util::Rng& rng() noexcept override {
     return engine_.procs_[self_].rng;
   }
+  [[nodiscard]] PayloadArena& arena() noexcept override {
+    return engine_.arena_;
+  }
 
-  void send(ProcessId to, PayloadPtr payload) override {
+  void send(ProcessId to, PayloadRef payload) override {
     if (to >= engine_.config_.n)
       throw std::out_of_range("ProcessContext::send: bad destination");
     if (to == self_)
       throw std::invalid_argument("ProcessContext::send: self-send");
     if (!payload)
       throw std::invalid_argument("ProcessContext::send: null payload");
-    engine_.procs_[self_].outgoing.emplace_back(to, std::move(payload));
+    engine_.procs_[self_].outgoing.emplace_back(to, payload);
   }
 
   [[nodiscard]] std::size_t queued_sends() const noexcept override {
@@ -212,22 +218,72 @@ Engine::Engine(const EngineConfig& config, const ProtocolFactory& factory,
   if (config_.f >= config_.n)
     throw std::invalid_argument("Engine: need f < n");
   control_ = std::make_unique<ControlImpl>(*this);
+  init_run_state();
+}
 
+Engine::~Engine() = default;
+
+void Engine::reset(const EngineConfig& config, Adversary* adversary) {
+  if (config.n < 2) throw std::invalid_argument("Engine: need n >= 2");
+  if (config.f >= config.n) throw std::invalid_argument("Engine: need f < n");
+  config_ = config;
+  adversary_ = adversary;
+  init_run_state();
+}
+
+void Engine::init_run_state() {
   const SystemInfo info{config_.n, config_.f};
   const util::Rng master(config_.seed);
   procs_.resize(config_.n);
   for (ProcessId p = 0; p < config_.n; ++p) {
     auto& rt = procs_[p];
+    // Fresh protocol state every run; the container, inbox lanes and
+    // outgoing buffers keep their grown capacity.
     rt.protocol = factory_.create(p, info);
     if (!rt.protocol) throw std::runtime_error("ProtocolFactory returned null");
     rt.rng = master.child(p);
+    rt.state = ProcessState::kAwake;
+    rt.delta = 1;
+    rt.d = 1;
+    rt.sent = 0;
+    rt.last_step_end = 0;
+    rt.next_begin = kNeverStep;
+    rt.begin_token = 0;
+    rt.end_token = 0;
+    rt.inbox.clear();
+    rt.outgoing.clear();
   }
+  // Payloads of the previous run die here, after the protocol instances
+  // that cached refs to them were replaced above; the slabs stay.
+  arena_.reset();
+  events_.clear();
+  next_seq_ = 0;
+  next_msg_seq_ = 0;
+  now_ = 0;
+  crashes_used_ = 0;
+  ran_ = false;
+  in_emission_hook_ = false;
+  suppress_current_ = false;
+  reached_.clear();
+  reached_count_ = 0;
+
+  outcome_.total_messages = 0;
+  outcome_.t_end = 0;
+  outcome_.delta_max = 1;
+  outcome_.d_max = 1;
+  outcome_.time_complexity = 0.0;
+  outcome_.rumor_gathering_ok = false;
+  outcome_.truncated = false;
+  outcome_.crashed = 0;
+  outcome_.delivered_messages = 0;
+  outcome_.dropped_messages = 0;
+  outcome_.omitted_messages = 0;
+  outcome_.last_send_step = 0;
+  outcome_.local_steps_executed = 0;
   outcome_.per_process_sent.assign(config_.n, 0);
   outcome_.final_state.assign(config_.n, ProcessState::kAwake);
   outcome_.completion_step.assign(config_.n, kNeverStep);
 }
-
-Engine::~Engine() = default;
 
 void Engine::crash_process(ProcessId pid) {
   auto& rt = procs_[pid];
@@ -319,13 +375,13 @@ void Engine::handle_step_end(const Event& ev) {
   // observes each emission and may crash the receiver first (Strategy
   // 2.k.0) or even the sender. Crashing the sender clears rt.outgoing
   // under the loop, so iteration is by index and each destination /
-  // payload is moved into locals *before* the hook runs: the container
+  // payload is copied into locals *before* the hook runs: the container
   // may be wiped, but never the element being emitted. A sender crash
   // ends the fan-out after the current message (size() drops to 0); the
   // message already on the wire is still accepted if its receiver lives.
   for (std::size_t i = 0; i < rt.outgoing.size(); ++i) {
     const ProcessId to = rt.outgoing[i].first;
-    PayloadPtr payload = std::move(rt.outgoing[i].second);
+    const PayloadRef payload = rt.outgoing[i].second;
     ++rt.sent;
     ++outcome_.total_messages;
     outcome_.last_send_step = std::max(outcome_.last_send_step, e);
@@ -355,7 +411,7 @@ void Engine::handle_step_end(const Event& ev) {
     // path — the `continue` above it is what "omission" means.
     UGF_ASSERT(!suppress_current_);
     const GlobalStep arrival = sat_add(e, rt.d);
-    target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, std::move(payload)},
+    target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, payload},
                       next_msg_seq_++);
     if (target.state == ProcessState::kAsleep) schedule_wake(to, arrival);
   }
@@ -381,7 +437,8 @@ void Engine::handle_step_end(const Event& ev) {
 }
 
 Outcome Engine::run() {
-  if (ran_) throw std::logic_error("Engine::run called twice");
+  if (ran_)
+    throw std::logic_error("Engine::run called twice; reset() first");
   ran_ = true;
   obs::ScopedPhase run_phase(config_.profiler, obs::Phase::kEngineRun);
 

@@ -24,11 +24,18 @@
 /// adversary). Ties in the event queue are broken by insertion order;
 /// protocol randomness comes from per-process child streams of the run
 /// seed.
+///
+/// Reuse: `reset()` rewinds an engine for another run while retaining
+/// every capacity the previous run grew — the process table, inbox
+/// lanes, event-queue storage and payload-arena slabs — so a
+/// Monte-Carlo worker runs its whole batch share against warm memory.
+/// A reset engine is indistinguishable from a freshly constructed one
+/// (same config ⇒ bit-for-bit identical Outcome).
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "obs/event.hpp"
@@ -36,6 +43,7 @@
 #include "sim/adversary_iface.hpp"
 #include "sim/message.hpp"
 #include "sim/outcome.hpp"
+#include "sim/payload_arena.hpp"
 #include "sim/protocol.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
@@ -74,8 +82,63 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Executes the dissemination; callable once per Engine instance.
+  /// Executes the dissemination; callable once per reset cycle.
   [[nodiscard]] Outcome run();
+
+  /// Rewinds the engine for another run() under a new config (same
+  /// factory; `n` may even change). Fresh protocol instances are
+  /// created and every payload of the previous run is destroyed — any
+  /// PayloadRef from the previous run is dangling after this — but all
+  /// grown capacity (process table, inbox lanes, event-queue storage,
+  /// arena slabs) is retained. Equivalent to constructing a new Engine:
+  /// the run is a pure function of (config, factory, adversary) either
+  /// way.
+  void reset(const EngineConfig& config, Adversary* adversary);
+
+  /// The run's payload arena (stats inspection in tests/benches).
+  [[nodiscard]] const PayloadArena& arena() const noexcept { return arena_; }
+
+  struct InboxEntry {
+    Message msg;
+    std::uint64_t seq = 0;
+  };
+
+  /// Pending deliveries of one process. Messages are accepted in
+  /// non-decreasing emission time, so within one delivery-time class d
+  /// the arrival times (= emission + d) are non-decreasing too: the
+  /// inbox is a handful of append-only FIFO lanes (one per distinct d
+  /// seen), merged at delivery time. This is O(1) per accept with
+  /// sequential memory — a binary heap degrades badly when Strategy
+  /// 2.k.l parks ~10^6 far-future messages in flight. Adversaries that
+  /// use many distinct d values degrade gracefully (one lane each).
+  /// Public for direct unit testing; processes never see it.
+  class Inbox {
+   public:
+    void push(std::uint64_t d, Message msg, std::uint64_t seq);
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    /// Distinct delivery-time lanes ever seen (diagnostics/tests).
+    [[nodiscard]] std::size_t lane_count() const noexcept {
+      return lanes_.size();
+    }
+    /// Earliest pending arrival step; kNeverStep when empty.
+    [[nodiscard]] GlobalStep earliest_arrival() const noexcept;
+    /// True iff a message with arrival <= step is pending; if so, moves
+    /// the earliest (by arrival, then acceptance order) into `out`.
+    bool pop_due(GlobalStep step, Message& out);
+    /// Discards every pending message. Lanes (and their deque chunks)
+    /// are kept for reuse — empty lanes are skipped by every scan, so
+    /// retention is invisible to callers.
+    void clear() noexcept;
+
+   private:
+    struct Lane {
+      std::uint64_t d = 0;
+      std::deque<InboxEntry> fifo;
+    };
+    std::vector<Lane> lanes_;
+    std::size_t size_ = 0;
+  };
 
  private:
   enum class EventKind : std::uint8_t { kStepBegin, kStepEnd, kTimer };
@@ -95,38 +158,25 @@ class Engine {
     }
   };
 
-  struct InboxEntry {
-    Message msg;
-    std::uint64_t seq = 0;
-  };
-
-  /// Pending deliveries of one process. Messages are accepted in
-  /// non-decreasing emission time, so within one delivery-time class d
-  /// the arrival times (= emission + d) are non-decreasing too: the
-  /// inbox is a handful of append-only FIFO lanes (one per distinct d
-  /// seen), merged at delivery time. This is O(1) per accept with
-  /// sequential memory — a binary heap degrades badly when Strategy
-  /// 2.k.l parks ~10^6 far-future messages in flight. Adversaries that
-  /// use many distinct d values degrade gracefully (one lane each).
-  class Inbox {
+  /// Min-heap of pending events over a reusable vector —
+  /// std::priority_queue cannot clear() without freeing its storage,
+  /// which reset() must retain.
+  class EventQueue {
    public:
-    void push(std::uint64_t d, Message msg, std::uint64_t seq);
-    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-    [[nodiscard]] std::size_t size() const noexcept { return size_; }
-    /// Earliest pending arrival step; kNeverStep when empty.
-    [[nodiscard]] GlobalStep earliest_arrival() const noexcept;
-    /// True iff a message with arrival <= step is pending; if so, moves
-    /// the earliest (by arrival, then acceptance order) into `out`.
-    bool pop_due(GlobalStep step, Message& out);
-    void clear() noexcept;
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+    void push(const Event& ev) {
+      heap_.push_back(ev);
+      std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+    }
+    void pop() {
+      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      heap_.pop_back();
+    }
+    void clear() noexcept { heap_.clear(); }
 
    private:
-    struct Lane {
-      std::uint64_t d = 0;
-      std::deque<InboxEntry> fifo;
-    };
-    std::vector<Lane> lanes_;
-    std::size_t size_ = 0;
+    std::vector<Event> heap_;
   };
 
   struct ProcessRuntime {
@@ -141,11 +191,15 @@ class Engine {
     std::uint64_t begin_token = 0;
     std::uint64_t end_token = 0;
     Inbox inbox;
-    std::vector<std::pair<ProcessId, PayloadPtr>> outgoing;
+    std::vector<std::pair<ProcessId, PayloadRef>> outgoing;
   };
 
   class ContextImpl;
   class ControlImpl;
+
+  /// Shared by the constructor and reset(): (re)creates the per-process
+  /// runtimes and zeroes all per-run mutable state, reusing capacity.
+  void init_run_state();
 
   void schedule_wake(ProcessId pid, GlobalStep at);
   void schedule_begin_direct(ProcessId pid, GlobalStep at);
@@ -170,7 +224,8 @@ class Engine {
   Adversary* adversary_;
 
   std::vector<ProcessRuntime> procs_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  PayloadArena arena_;
+  EventQueue events_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_msg_seq_ = 0;
   GlobalStep now_ = 0;

@@ -4,18 +4,24 @@
 /// Messages exchanged by processes. A message is one point-to-point
 /// send: message complexity (Def II.3) counts messages, never bytes, so
 /// a payload may carry arbitrarily many gossips at once. Payloads are
-/// immutable and shared: a fan-out of k sends of the same content (the
-/// SEARS hot path) allocates the payload once.
+/// immutable, arena-owned (sim/payload_arena.hpp) and shared by
+/// reference: a fan-out of k sends of the same content (the SEARS hot
+/// path) allocates the payload once and copies only the 16-byte ref.
 
-#include <memory>
+#include <cstdint>
+#include <type_traits>
 
+#include "sim/payload_arena.hpp"
 #include "sim/types.hpp"
 
 namespace ugf::sim {
 
 /// Base class for protocol-defined message contents. Payloads must be
 /// immutable after construction (they are shared between the network
-/// and many receivers).
+/// and many receivers) and live in a PayloadArena: construction goes
+/// through `ProcessContext::make_payload<T>()` / `PayloadArena::make`,
+/// and every instance dies at the arena's reset() — a PayloadRef must
+/// never outlive the run that created it.
 ///
 /// Each concrete payload type declares a distinct `kind` tag (a
 /// `static constexpr std::uint32_t kKind`, conventionally a four-char
@@ -37,23 +43,27 @@ class Payload {
   std::uint32_t kind_;
 };
 
-using PayloadPtr = std::shared_ptr<const Payload>;
-
-/// An in-flight or delivered message.
+/// An in-flight or delivered message. Trivially copyable: the payload
+/// travels as an arena ref, so accepting, parking (Strategy 2.k.l keeps
+/// ~10^6 in flight) and delivering a message never touches a refcount.
 struct Message {
   ProcessId from = kNoProcess;
   ProcessId to = kNoProcess;
   GlobalStep sent_at = 0;     ///< global step of emission (end of local step)
   GlobalStep arrives_at = 0;  ///< sent_at + d_from(at send time)
-  PayloadPtr payload;
+  PayloadRef payload;
 };
 
+static_assert(std::is_trivially_copyable_v<Message>);
+
 /// Downcast helper for receivers; returns nullptr on kind mismatch.
+/// Dispatches on the ref's cached kind tag — a mismatch never touches
+/// the payload object itself.
 template <typename T>
 const T* payload_as(const Message& msg) noexcept {
-  const Payload* p = msg.payload.get();
-  return (p != nullptr && p->kind() == T::kKind) ? static_cast<const T*>(p)
-                                                 : nullptr;
+  return msg.payload.kind() == T::kKind
+             ? static_cast<const T*>(msg.payload.get())
+             : nullptr;
 }
 
 }  // namespace ugf::sim

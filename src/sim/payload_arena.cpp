@@ -1,0 +1,47 @@
+#include "sim/payload_arena.hpp"
+
+#include <algorithm>
+
+#include "sim/message.hpp"
+
+namespace ugf::sim {
+
+void PayloadArena::reset() noexcept {
+  // Reverse construction order, like stack unwinding; payloads are
+  // independent but the symmetry is free.
+  for (auto it = live_.rbegin(); it != live_.rend(); ++it) (*it)->~Payload();
+  live_.clear();
+  active_ = 0;
+  offset_ = 0;
+  bytes_in_use_ = 0;
+}
+
+void* PayloadArena::allocate(std::size_t size, std::size_t align) {
+  UGF_ASSERT_MSG((align & (align - 1)) == 0, "alignment %zu not a power of 2",
+                 align);
+  // Slab bases come from operator new[], aligned for any fundamental
+  // type; over-aligned payloads would need aligned slabs.
+  UGF_ASSERT(align <= alignof(std::max_align_t));
+  for (;;) {
+    if (active_ < slabs_.size()) {
+      Slab& slab = slabs_[active_];
+      const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + size <= slab.size) {
+        offset_ = aligned + size;
+        bytes_in_use_ += size;
+        return slab.mem.get() + aligned;
+      }
+      // Slab exhausted: try the next retained slab (warm reuse after
+      // reset()), falling through to allocate a fresh one if none fits.
+      ++active_;
+      offset_ = 0;
+      continue;
+    }
+    const std::size_t slab_size = std::max(kSlabBytes, size + align);
+    slabs_.push_back(Slab{std::make_unique<std::byte[]>(slab_size), slab_size});
+    capacity_bytes_ += slab_size;
+    // Loop re-enters with active_ == the new slab's index.
+  }
+}
+
+}  // namespace ugf::sim

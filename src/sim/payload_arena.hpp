@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file payload_arena.hpp
+/// The per-run payload memory model: a slab (bump) allocator owning
+/// every message payload of one engine run, and the trivially-copyable
+/// `PayloadRef` handle processes pass around instead of a smart pointer.
+///
+/// Why not shared_ptr: delivery is the simulator's hottest path (UGF
+/// Strategy 2.k.l parks ~10^6 far-future messages in flight), and an
+/// atomic refcount per message hop is pure overhead when payloads are
+/// immutable and all die together at the end of the run anyway. The
+/// arena makes that lifetime explicit: `make<T>()` bump-allocates from
+/// 64 KiB slabs, `reset()` runs the destructors and rewinds the slabs
+/// *without freeing them*, so a reused engine (Engine::reset) pays zero
+/// payload allocation cost in steady state.
+///
+/// Lifetime contract (see DESIGN.md, "Memory model"): a PayloadRef is
+/// valid from its `make<T>()` until the owning arena's `reset()` or
+/// destruction. Refs must never outlive the run that created them;
+/// protocols get fresh instances per run, so caching a ref inside a
+/// protocol member (the snapshot_ caches) is safe by construction.
+///
+/// Not thread-safe: one arena belongs to one engine, and one engine run
+/// is single-threaded. Parallel Monte-Carlo runs use one engine (hence
+/// one arena) per worker.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ugf::sim {
+
+class Payload;
+
+/// Refcount-free handle to an arena-owned payload: the slab address
+/// plus a cached copy of the payload's kind tag, so `payload_as<T>`
+/// dispatch never touches the payload cache line on a kind mismatch.
+/// Trivially copyable — copying a Message copies 16 bytes, no atomics.
+class PayloadRef {
+ public:
+  constexpr PayloadRef() noexcept = default;
+
+  [[nodiscard]] const Payload* get() const noexcept { return ptr_; }
+  [[nodiscard]] std::uint32_t kind() const noexcept { return kind_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ptr_ != nullptr;
+  }
+  /// Two refs are equal iff they name the same arena slot (payload
+  /// identity, not content — fan-outs of one snapshot compare equal).
+  friend bool operator==(PayloadRef a, PayloadRef b) noexcept {
+    return a.ptr_ == b.ptr_;
+  }
+  friend bool operator!=(PayloadRef a, PayloadRef b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  friend class PayloadArena;
+  PayloadRef(const Payload* ptr, std::uint32_t kind) noexcept
+      : ptr_(ptr), kind_(kind) {}
+
+  const Payload* ptr_ = nullptr;
+  std::uint32_t kind_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<PayloadRef>);
+
+/// Slab allocator for the payloads of one run. Objects are constructed
+/// in place with `make<T>()`, destroyed together by `reset()`; slab
+/// memory is retained across resets so warm engines re-run without
+/// touching the system allocator.
+class PayloadArena {
+ public:
+  /// Slab granularity. Payloads are tens-to-hundreds of bytes, so one
+  /// slab holds hundreds of them; a benign small-N run never leaves its
+  /// first slab.
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  PayloadArena() = default;
+  ~PayloadArena() { reset(); }
+
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// Constructs a payload in the arena and returns its handle. T must
+  /// derive from Payload and carry the usual `static constexpr
+  /// std::uint32_t kKind` tag.
+  template <typename T, typename... Args>
+  PayloadRef make(Args&&... args) {
+    static_assert(std::is_base_of_v<Payload, T>,
+                  "arena payloads must derive from sim::Payload");
+    void* slot = allocate(sizeof(T), alignof(T));
+    const T* obj = ::new (slot) T(std::forward<Args>(args)...);
+    live_.push_back(obj);
+    ++total_payloads_;
+    return PayloadRef(obj, T::kKind);
+  }
+
+  /// Destroys every payload and rewinds the slabs, keeping their
+  /// memory. Every PayloadRef handed out so far becomes dangling.
+  void reset() noexcept;
+
+  // --- stats (regression tests + bench counters) -------------------------
+  /// Payloads currently alive (since the last reset).
+  [[nodiscard]] std::size_t live_payloads() const noexcept {
+    return live_.size();
+  }
+  /// Payloads ever constructed, across resets. The fan-out regression
+  /// test pins this: k sends of one snapshot move the counter by 1.
+  [[nodiscard]] std::uint64_t total_payloads() const noexcept {
+    return total_payloads_;
+  }
+  /// Bytes bump-allocated since the last reset (object storage only).
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept {
+    return bytes_in_use_;
+  }
+  /// Slabs owned (retained across resets).
+  [[nodiscard]] std::size_t slab_count() const noexcept {
+    return slabs_.size();
+  }
+  /// Total slab capacity in bytes (retained across resets).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+  };
+
+  /// Bump-allocates `size` bytes at `align` from the active slab,
+  /// advancing to a retained or fresh slab on overflow.
+  void* allocate(std::size_t size, std::size_t align);
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;  ///< slab currently bump-allocating
+  std::size_t offset_ = 0;  ///< bump position inside slabs_[active_]
+  std::size_t bytes_in_use_ = 0;
+  std::size_t capacity_bytes_ = 0;
+  std::uint64_t total_payloads_ = 0;
+  /// Construction order; reset() destroys in reverse.
+  std::vector<const Payload*> live_;
+};
+
+}  // namespace ugf::sim

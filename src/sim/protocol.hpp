@@ -17,8 +17,10 @@
 /// whatever arrives in messages.
 
 #include <memory>
+#include <utility>
 
 #include "sim/message.hpp"
+#include "sim/payload_arena.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
@@ -40,13 +42,27 @@ class ProcessContext {
   /// This process's private random stream (deterministic per run seed).
   [[nodiscard]] virtual util::Rng& rng() noexcept = 0;
 
+  /// The run's payload arena. Payloads made here live until the end of
+  /// the run (PayloadArena::reset); prefer `make_payload`.
+  [[nodiscard]] virtual PayloadArena& arena() noexcept = 0;
+
   /// Queues a message to `to`; it is emitted at the end of the current
   /// local step. Each call is one message for complexity accounting.
   /// Self-sends are rejected (all-to-all protocols never need them).
-  virtual void send(ProcessId to, PayloadPtr payload) = 0;
+  /// The ref may be reused across sends — a k-way fan-out of one
+  /// snapshot is k sends of the same (single-allocation) payload.
+  virtual void send(ProcessId to, PayloadRef payload) = 0;
 
   /// Number of messages queued so far in this step (diagnostics).
   [[nodiscard]] virtual std::size_t queued_sends() const noexcept = 0;
+
+  /// Constructs a payload in the run's arena; the returned ref is valid
+  /// for the rest of the run (and may be cached by the protocol, which
+  /// itself dies with the run).
+  template <typename T, typename... Args>
+  PayloadRef make_payload(Args&&... args) {
+    return arena().make<T>(std::forward<Args>(args)...);
+  }
 };
 
 /// State machine of one process executing an all-to-all gossip protocol.

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
 namespace ugf::util {
@@ -86,6 +87,16 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
     return true;
   if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
   throw std::invalid_argument("CliArgs: bad boolean for --" + name + ": " + *v);
+}
+
+std::string CliArgs::out_path(const std::string& flag,
+                              const std::string& default_name) const {
+  const std::filesystem::path name = get_string(flag, default_name);
+  // Paths that already say where to go are honoured verbatim.
+  if (name.is_absolute() || name.has_parent_path()) return name.string();
+  const std::filesystem::path dir = get_string("out-dir", "results");
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
 }
 
 std::vector<std::uint64_t> CliArgs::get_uint_list(

@@ -38,6 +38,15 @@ class CliArgs {
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& name, const std::vector<double>& fallback) const;
 
+  /// Resolves an output artifact path. The flag's value (or
+  /// `default_name`) is joined under the `--out-dir` directory
+  /// (default "results"), which is created on demand; absolute paths
+  /// and paths with an explicit directory component (`./x.csv`,
+  /// `sub/x.csv`) are used as-is. `--out-dir=.` writes to the
+  /// working directory, matching the pre-flag behaviour.
+  [[nodiscard]] std::string out_path(const std::string& flag,
+                                     const std::string& default_name) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    MoveOnlyTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });

@@ -6,17 +6,125 @@
 /// seed-derived RNG and its own engine, so tasks share no mutable state
 /// (CP.2/CP.3: no data races, minimal sharing); the pool only
 /// synchronises on the queue itself.
+///
+/// The queue stores move-only type-erased callables (MoveOnlyTask):
+/// std::function requires copyability, which used to force submit() to
+/// wrap every packaged_task in a shared_ptr — one extra allocation and
+/// refcount per task. The small-buffer wrapper erases the callable in
+/// place instead.
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ugf::util {
+
+/// Type-erased move-only nullary callable with small-buffer storage.
+/// Fills the gap between std::function (copyable-only callables) and
+/// C++23 std::move_only_function: a std::packaged_task or a lambda
+/// owning a std::unique_ptr goes straight into the inline buffer with
+/// no heap allocation; larger callables fall back to one.
+class MoveOnlyTask {
+ public:
+  /// Inline storage; fits std::packaged_task and capture-rich lambdas.
+  static constexpr std::size_t kInlineBytes = 6 * sizeof(void*);
+
+  MoveOnlyTask() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveOnlyTask>>>
+  MoveOnlyTask(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  MoveOnlyTask(MoveOnlyTask&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) vtable_->relocate(other.storage_, storage_);
+    other.vtable_ = nullptr;
+  }
+
+  MoveOnlyTask& operator=(MoveOnlyTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+    return *this;
+  }
+
+  MoveOnlyTask(const MoveOnlyTask&) = delete;
+  MoveOnlyTask& operator=(const MoveOnlyTask&) = delete;
+
+  ~MoveOnlyTask() { destroy(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  void operator()() {
+    vtable_->invoke(storage_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs src's callable into dst, then destroys src's.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t);
+  }
+
+  template <typename F>
+  static const VTable* vtable_for() {
+    static constexpr VTable vt{
+        [](void* p) { (*static_cast<F*>(p))(); },
+        [](void* src, void* dst) noexcept {
+          ::new (dst) F(std::move(*static_cast<F*>(src)));
+          static_cast<F*>(src)->~F();
+        },
+        [](void* p) noexcept { static_cast<F*>(p)->~F(); }};
+    return &vt;
+  }
+
+  template <typename Raw>
+  void emplace(Raw&& raw) {
+    using F = std::decay_t<Raw>;
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) F(std::forward<Raw>(raw));
+      vtable_ = vtable_for<F>();
+    } else {
+      // Box oversized callables; the box itself is a small move-only
+      // lambda, so it recurses into the inline branch.
+      emplace([boxed = std::make_unique<F>(std::forward<Raw>(raw))]() {
+        (*boxed)();
+      });
+    }
+  }
+
+  void destroy() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
 
 class ThreadPool {
  public:
@@ -30,16 +138,17 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the returned future observes its result/exception.
+  /// F may be move-only and may return a move-only type.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
-    std::future<R> fut = task->get_future();
+    std::packaged_task<R()> task(std::forward<F>(f));
+    std::future<R> fut = task.get_future();
     {
       const std::scoped_lock lock(mutex_);
       if (stopping_)
         throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace([task]() { (*task)(); });
+      queue_.emplace(std::move(task));
     }
     cv_.notify_one();
     return fut;
@@ -55,7 +164,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<MoveOnlyTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -1,14 +1,17 @@
 #pragma once
 
 /// \file fake_context.hpp
-/// Test double for sim::ProcessContext: records sends and serves a
-/// deterministic RNG, so protocol state machines can be unit-tested
-/// step by step without an engine.
+/// Test double for sim::ProcessContext: records sends, serves a
+/// deterministic RNG and owns a private PayloadArena, so protocol state
+/// machines can be unit-tested step by step without an engine. Payloads
+/// for simulated incoming messages are made with `make_payload<T>()`
+/// (or `arena().make<T>()`) and live until the context is destroyed.
 
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "sim/payload_arena.hpp"
 #include "sim/protocol.hpp"
 #include "util/rng.hpp"
 
@@ -25,9 +28,10 @@ class FakeContext final : public sim::ProcessContext {
     return info_;
   }
   [[nodiscard]] util::Rng& rng() noexcept override { return rng_; }
+  [[nodiscard]] sim::PayloadArena& arena() noexcept override { return arena_; }
 
-  void send(sim::ProcessId to, sim::PayloadPtr payload) override {
-    sends_.emplace_back(to, std::move(payload));
+  void send(sim::ProcessId to, sim::PayloadRef payload) override {
+    sends_.emplace_back(to, payload);
   }
 
   [[nodiscard]] std::size_t queued_sends() const noexcept override {
@@ -35,7 +39,7 @@ class FakeContext final : public sim::ProcessContext {
   }
 
   /// All sends recorded since the last clear().
-  [[nodiscard]] const std::vector<std::pair<sim::ProcessId, sim::PayloadPtr>>&
+  [[nodiscard]] const std::vector<std::pair<sim::ProcessId, sim::PayloadRef>>&
   sends() const noexcept {
     return sends_;
   }
@@ -44,17 +48,18 @@ class FakeContext final : public sim::ProcessContext {
 
   /// Builds a Message as if `payload` travelled from `from` to `to`.
   static sim::Message message(sim::ProcessId from, sim::ProcessId to,
-                              sim::PayloadPtr payload,
+                              sim::PayloadRef payload,
                               sim::GlobalStep sent_at = 0,
                               sim::GlobalStep arrives_at = 1) {
-    return sim::Message{from, to, sent_at, arrives_at, std::move(payload)};
+    return sim::Message{from, to, sent_at, arrives_at, payload};
   }
 
  private:
   sim::ProcessId self_;
   sim::SystemInfo info_;
   util::Rng rng_;
-  std::vector<std::pair<sim::ProcessId, sim::PayloadPtr>> sends_;
+  sim::PayloadArena arena_;
+  std::vector<std::pair<sim::ProcessId, sim::PayloadRef>> sends_;
 };
 
 }  // namespace ugf::testsupport

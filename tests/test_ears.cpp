@@ -23,9 +23,10 @@ sim::SystemInfo info(std::uint32_t n, std::uint32_t f) {
   return sim::SystemInfo{n, f};
 }
 
-/// Builds a payload as process `sender` would after knowing `gossips`
-/// (with matching self-acknowledgment row).
-sim::PayloadPtr payload_from(std::uint32_t n, sim::ProcessId sender,
+/// Builds a payload (in `ctx`'s arena) as process `sender` would after
+/// knowing `gossips` (with matching self-acknowledgment row).
+sim::PayloadRef payload_from(FakeContext& ctx, std::uint32_t n,
+                             sim::ProcessId sender,
                              std::initializer_list<std::uint32_t> gossips,
                              std::uint64_t version = 1) {
   util::DynamicBitset g(n);
@@ -33,7 +34,7 @@ sim::PayloadPtr payload_from(std::uint32_t n, sim::ProcessId sender,
   for (const auto i : gossips) g.set(i);
   util::Bitset2D knows(n, n);
   g.for_each_set([&](std::uint32_t i) { knows.set(sender, i); });
-  return std::make_shared<KnowledgePayload>(sender, version, g, knows);
+  return ctx.make_payload<KnowledgePayload>(sender, version, g, knows);
 }
 
 TEST(Ears, SilenceThresholdMatchesPaperFormula) {
@@ -71,7 +72,7 @@ TEST(Ears, SendsExactlyOneMessagePerStepUntilCompletion) {
 TEST(Ears, MergesGossipsAndSelfAcknowledges) {
   EarsProcess p(0, info(6, 2), EarsConfig{}, 1);
   FakeContext ctx(0, info(6, 2));
-  p.on_message(ctx, FakeContext::message(1, 0, payload_from(6, 1, {2, 3})));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 6, 1, {2, 3})));
   EXPECT_TRUE(p.has_gossip_of(1));
   EXPECT_TRUE(p.has_gossip_of(2));
   EXPECT_TRUE(p.has_gossip_of(3));
@@ -86,15 +87,15 @@ TEST(Ears, MergesGossipsAndSelfAcknowledges) {
 TEST(Ears, VersionDedupSkipsRepeatedSnapshots) {
   EarsProcess p(0, info(6, 2), EarsConfig{}, 1);
   FakeContext ctx(0, info(6, 2));
-  const auto payload = payload_from(6, 1, {2}, /*version=*/5);
+  const auto payload = payload_from(ctx, 6, 1, {2}, /*version=*/5);
   p.on_message(ctx, FakeContext::message(1, 0, payload));
   const auto knows_before = p.knows();
   // Same version again, even with different content, is skipped.
-  p.on_message(ctx, FakeContext::message(1, 0, payload_from(6, 1, {4}, 5)));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 6, 1, {4}, 5)));
   EXPECT_EQ(p.knows(), knows_before);
   EXPECT_FALSE(p.has_gossip_of(4));
   // A strictly newer version is merged.
-  p.on_message(ctx, FakeContext::message(1, 0, payload_from(6, 1, {4}, 6)));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 6, 1, {4}, 6)));
   EXPECT_TRUE(p.has_gossip_of(4));
 }
 
@@ -104,7 +105,7 @@ TEST(Ears, KnowledgeConditionIgnoresNeverHeardProcesses) {
   EarsProcess p(0, info(3, 1), EarsConfig{}, 1);
   FakeContext ctx(0, info(3, 1));
   EXPECT_TRUE(p.knowledge_condition());  // only own row, fully covered
-  p.on_message(ctx, FakeContext::message(1, 0, payload_from(3, 1, {0})));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 3, 1, {0})));
   // Row 1 contains {0, 1} = G; row 0 self-acknowledged; row 2 empty.
   EXPECT_TRUE(p.knowledge_condition());
 }
@@ -119,7 +120,7 @@ TEST(Ears, KnowledgeConditionBlocksOnPartialRows) {
   util::Bitset2D knows(3, 3);
   knows.set(1, 1);
   p.on_message(ctx, FakeContext::message(
-                        1, 0, std::make_shared<KnowledgePayload>(1, 1, g,
+                        1, 0, ctx.make_payload<KnowledgePayload>(1u, 1u, g,
                                                                  knows)));
   EXPECT_FALSE(p.knowledge_condition());
 }
@@ -135,13 +136,13 @@ TEST(Ears, OwnGossipGate) {
   knows.set(1, 1);
   p.on_message(ctx, FakeContext::message(
                         1, 0,
-                        std::make_shared<KnowledgePayload>(1, 1, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(1u, 1u, g, knows)));
   EXPECT_FALSE(p.own_gossip_acknowledged());
   // Now process 1 acknowledges gossip 0 as well.
   knows.set(1, 0);
   p.on_message(ctx, FakeContext::message(
                         1, 0,
-                        std::make_shared<KnowledgePayload>(1, 2, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(1u, 2u, g, knows)));
   EXPECT_TRUE(p.own_gossip_acknowledged());
 }
 
@@ -156,7 +157,7 @@ TEST(Ears, CompletesAfterSilentThresholdWhenConditionsHold) {
   knows.set_row(1);
   p.on_message(ctx, FakeContext::message(
                         1, 0,
-                        std::make_shared<KnowledgePayload>(1, 1, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(1u, 1u, g, knows)));
   const auto threshold = p.silence_threshold();
   // First step after news resets the counter; then `threshold` silent
   // steps complete the process.
@@ -182,7 +183,7 @@ TEST(Ears, NewGossipRevivesACompletedProcess) {
     p.on_local_step(ctx);
   ASSERT_TRUE(p.completed());
   // A payload carrying a brand-new gossip must wake it up.
-  p.on_message(ctx, FakeContext::message(1, 0, payload_from(3, 1, {})));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 3, 1, {})));
   EXPECT_FALSE(p.completed());
   ctx.clear();
   p.on_local_step(ctx);
@@ -193,7 +194,7 @@ TEST(Ears, AcknowledgmentOnlyUpdatesDoNotReviveCompleted) {
   EarsProcess p(0, info(3, 0), EarsConfig{}, 1);
   FakeContext ctx(0, info(3, 0));
   // Learn gossip 1 first, then complete.
-  p.on_message(ctx, FakeContext::message(1, 0, payload_from(3, 1, {})));
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 3, 1, {})));
   for (std::uint32_t i = 0; i < 10 * p.silence_threshold() && !p.completed();
        ++i)
     p.on_local_step(ctx);
@@ -210,7 +211,7 @@ TEST(Ears, AcknowledgmentOnlyUpdatesDoNotReviveCompleted) {
   g.reset(2);  // keep G = {0, 1}: strictly acknowledgment-only
   p.on_message(ctx, FakeContext::message(
                         2, 0,
-                        std::make_shared<KnowledgePayload>(2, 1, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(2u, 1u, g, knows)));
   EXPECT_TRUE(p.completed());
 }
 
@@ -240,7 +241,8 @@ sim::SystemInfo info2(std::uint32_t n, std::uint32_t f) {
   return sim::SystemInfo{n, f};
 }
 
-sim::PayloadPtr payload2(std::uint32_t n, sim::ProcessId sender,
+sim::PayloadRef payload2(FakeContext& ctx, std::uint32_t n,
+                         sim::ProcessId sender,
                          std::initializer_list<std::uint32_t> gossips,
                          std::uint64_t version) {
   util::DynamicBitset g(n);
@@ -248,7 +250,7 @@ sim::PayloadPtr payload2(std::uint32_t n, sim::ProcessId sender,
   for (const auto i : gossips) g.set(i);
   util::Bitset2D knows(n, n);
   g.for_each_set([&](std::uint32_t i) { knows.set(sender, i); });
-  return std::make_shared<KnowledgePayload>(sender, version, g, knows);
+  return ctx.make_payload<KnowledgePayload>(sender, version, g, knows);
 }
 
 TEST(EarsCourtesy, CompletedProcessAnswersFirstSeenVersionsOnce) {
@@ -268,7 +270,7 @@ TEST(EarsCourtesy, CompletedProcessAnswersFirstSeenVersionsOnce) {
   knows.set(2, 0);
   p.on_message(ctx, FakeContext::message(
                         2, 0,
-                        std::make_shared<KnowledgePayload>(2, 1, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(2u, 1u, g, knows)));
   EXPECT_TRUE(p.completed());
   ctx.clear();
   p.on_local_step(ctx);
@@ -278,7 +280,7 @@ TEST(EarsCourtesy, CompletedProcessAnswersFirstSeenVersionsOnce) {
   // The same version again is deduplicated: no second reply.
   p.on_message(ctx, FakeContext::message(
                         2, 0,
-                        std::make_shared<KnowledgePayload>(2, 1, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(2u, 1u, g, knows)));
   ctx.clear();
   p.on_local_step(ctx);
   EXPECT_TRUE(ctx.sends().empty());
@@ -287,7 +289,7 @@ TEST(EarsCourtesy, CompletedProcessAnswersFirstSeenVersionsOnce) {
   knows.set(2, 2);
   p.on_message(ctx, FakeContext::message(
                         2, 0,
-                        std::make_shared<KnowledgePayload>(2, 2, g, knows)));
+                        ctx.make_payload<KnowledgePayload>(2u, 2u, g, knows)));
   ctx.clear();
   p.on_local_step(ctx);
   EXPECT_EQ(ctx.sends().size(), 1u);
@@ -296,7 +298,7 @@ TEST(EarsCourtesy, CompletedProcessAnswersFirstSeenVersionsOnce) {
 TEST(EarsCourtesy, ActiveProcessDoesNotReplyDirectly) {
   EarsProcess p(0, info2(4, 0), EarsConfig{}, 1);
   FakeContext ctx(0, info2(4, 0));
-  p.on_message(ctx, FakeContext::message(1, 0, payload2(4, 1, {}, 1)));
+  p.on_message(ctx, FakeContext::message(1, 0, payload2(ctx, 4, 1, {}, 1)));
   ASSERT_FALSE(p.completed());
   ctx.clear();
   p.on_local_step(ctx);

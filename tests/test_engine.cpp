@@ -50,7 +50,7 @@ class ScriptProtocol final : public sim::Protocol {
   void on_local_step(sim::ProcessContext& ctx) override {
     if (step_ < plan_.size()) {
       for (const auto target : plan_[step_])
-        ctx.send(target, std::make_shared<MarkerPayload>());
+        ctx.send(target, ctx.make_payload<MarkerPayload>());
     }
     ++step_;
   }
@@ -330,7 +330,7 @@ class PingPongProtocol final : public sim::Protocol {
   explicit PingPongProtocol(ProcessId self) : self_(self) {}
   void on_message(sim::ProcessContext&, const sim::Message&) override {}
   void on_local_step(sim::ProcessContext& ctx) override {
-    ctx.send(self_ == 0 ? 1 : 0, std::make_shared<MarkerPayload>());
+    ctx.send(self_ == 0 ? 1 : 0, ctx.make_payload<MarkerPayload>());
   }
   [[nodiscard]] bool wants_sleep() const noexcept override { return false; }
   [[nodiscard]] bool completed() const noexcept override { return false; }
@@ -379,11 +379,12 @@ class MisbehavingProtocol final : public sim::Protocol {
   explicit MisbehavingProtocol(ProcessId self) : self_(self) {}
   void on_message(sim::ProcessContext&, const sim::Message&) override {}
   void on_local_step(sim::ProcessContext& ctx) override {
-    EXPECT_THROW(ctx.send(self_, std::make_shared<MarkerPayload>()),
+    EXPECT_THROW(ctx.send(self_, ctx.make_payload<MarkerPayload>()),
                  std::invalid_argument);
-    EXPECT_THROW(ctx.send(1000, std::make_shared<MarkerPayload>()),
+    EXPECT_THROW(ctx.send(1000, ctx.make_payload<MarkerPayload>()),
                  std::out_of_range);
-    EXPECT_THROW(ctx.send((self_ + 1) % 2, nullptr), std::invalid_argument);
+    EXPECT_THROW(ctx.send((self_ + 1) % 2, sim::PayloadRef{}),
+                 std::invalid_argument);
     EXPECT_EQ(ctx.queued_sends(), 0u);
     done_ = true;
   }

@@ -41,7 +41,7 @@ class LaneProtocol final : public sim::Protocol {
   void on_local_step(sim::ProcessContext& ctx) override {
     if (self_ != 0 && !sent_) {
       for (int b = 0; b < bursts_; ++b)
-        ctx.send(0, std::make_shared<NotePayload>(
+        ctx.send(0, ctx.make_payload<NotePayload>(
                         static_cast<int>(self_) * 100 + b));
       sent_ = true;
     }
@@ -237,6 +237,157 @@ TEST(EngineEdges, SenderCrashInsideEmissionHookIsSafe) {
   }
   EXPECT_EQ(emissions, out.total_messages);
   EXPECT_EQ(emissions, deliveries + omissions + drops);
+}
+
+// ---- Inbox unit tests (Engine::Inbox is public for exactly this) -------
+
+sim::Message inbox_msg(ProcessId from, GlobalStep sent_at,
+                       GlobalStep arrives_at) {
+  return sim::Message{from, 0, sent_at, arrives_at, sim::PayloadRef{}};
+}
+
+TEST(InboxUnit, EqualArrivalAcrossLanesFollowsAcceptanceSeq) {
+  sim::Engine::Inbox inbox;
+  // Three lanes, one arrival step 10 each, accepted in seq order that
+  // does NOT match lane creation order: the merge must follow seq.
+  inbox.push(2, inbox_msg(1, 8, 10), /*seq=*/5);
+  inbox.push(7, inbox_msg(2, 3, 10), /*seq=*/6);
+  inbox.push(4, inbox_msg(3, 6, 10), /*seq=*/7);
+  EXPECT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox.lane_count(), 3u);
+  EXPECT_EQ(inbox.earliest_arrival(), 10u);
+
+  sim::Message out;
+  ASSERT_TRUE(inbox.pop_due(10, out));
+  EXPECT_EQ(out.from, 1u);
+  ASSERT_TRUE(inbox.pop_due(10, out));
+  EXPECT_EQ(out.from, 2u);
+  ASSERT_TRUE(inbox.pop_due(10, out));
+  EXPECT_EQ(out.from, 3u);
+  EXPECT_FALSE(inbox.pop_due(10, out));
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST(InboxUnit, PopDueRespectsTheStepBound) {
+  sim::Engine::Inbox inbox;
+  inbox.push(3, inbox_msg(1, 1, 4), 0);
+  inbox.push(9, inbox_msg(2, 1, 10), 1);
+  sim::Message out;
+  EXPECT_FALSE(inbox.pop_due(3, out));  // nothing due yet
+  ASSERT_TRUE(inbox.pop_due(4, out));
+  EXPECT_EQ(out.from, 1u);
+  EXPECT_FALSE(inbox.pop_due(9, out));  // the d=9 lane is still future
+  EXPECT_EQ(inbox.earliest_arrival(), 10u);
+  ASSERT_TRUE(inbox.pop_due(10, out));
+  EXPECT_EQ(out.from, 2u);
+}
+
+TEST(InboxUnit, ClearOnNonEmptyLanesRetainsLaneStorage) {
+  sim::Engine::Inbox inbox;
+  for (std::uint64_t d = 1; d <= 3; ++d)
+    for (std::uint64_t i = 0; i < 4; ++i)
+      inbox.push(d, inbox_msg(static_cast<ProcessId>(d), i, i + d),
+                 d * 10 + i);
+  ASSERT_EQ(inbox.size(), 12u);
+  ASSERT_EQ(inbox.lane_count(), 3u);
+
+  inbox.clear();
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(inbox.size(), 0u);
+  EXPECT_EQ(inbox.lane_count(), 3u);  // lanes retained for reuse
+  EXPECT_EQ(inbox.earliest_arrival(), sim::kNeverStep);
+  sim::Message out;
+  EXPECT_FALSE(inbox.pop_due(sim::kNeverStep - 1, out));
+
+  // The retained (empty) lanes are invisible: a fresh push works and no
+  // stale entry resurfaces.
+  inbox.push(2, inbox_msg(9, 5, 7), 99);
+  EXPECT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox.lane_count(), 3u);  // d=2 lane was reused
+  ASSERT_TRUE(inbox.pop_due(7, out));
+  EXPECT_EQ(out.from, 9u);
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST(InboxUnit, ManyDistinctDeliveryTimesOneLaneEach) {
+  sim::Engine::Inbox inbox;
+  constexpr std::uint64_t kLanes = 64;
+  // Accept in emission order with d descending: arrivals interleave
+  // across every lane.
+  for (std::uint64_t i = 0; i < kLanes; ++i)
+    inbox.push(kLanes - i, inbox_msg(static_cast<ProcessId>(i), i,
+                                     i + (kLanes - i)),
+               i);
+  EXPECT_EQ(inbox.lane_count(), kLanes);
+  EXPECT_EQ(inbox.size(), kLanes);
+
+  // All arrivals equal (i + kLanes - i): drain follows seq.
+  sim::Message out;
+  for (std::uint64_t i = 0; i < kLanes; ++i) {
+    ASSERT_TRUE(inbox.pop_due(kLanes, out)) << i;
+    EXPECT_EQ(out.from, i);
+  }
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(inbox.lane_count(), kLanes);
+}
+
+TEST(EngineEdges, CrashWithMultiLaneInboxDropsEveryPendingMessage) {
+  // Receiver 0 accumulates pending messages in three distinct delivery
+  // lanes, then crashes before any arrival: the crash clears the inbox
+  // (all lanes) and every pending message counts as dropped.
+  class DelayThenCrash final : public sim::Adversary {
+   public:
+    [[nodiscard]] const char* name() const noexcept override {
+      return "delay-then-crash";
+    }
+    void on_run_start(sim::AdversaryControl& ctl) override {
+      ctl.set_delivery_time(1, 10);
+      ctl.set_delivery_time(2, 20);
+      ctl.set_delivery_time(3, 30);
+      ctl.request_timer(5);  // after emission (step 2), before arrival 11
+    }
+    void on_timer(sim::AdversaryControl& ctl, GlobalStep) override {
+      EXPECT_TRUE(ctl.crash(0));
+    }
+  } adversary;
+
+  std::vector<int> order;
+  LaneFactory factory(&order, /*bursts=*/2);
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.seed = 1;
+  sim::Engine engine(cfg, factory, &adversary);
+  const auto out = engine.run();
+  EXPECT_EQ(out.crashed, 1u);
+  EXPECT_EQ(out.total_messages, 6u);
+  EXPECT_EQ(out.delivered_messages, 0u);
+  EXPECT_EQ(out.dropped_messages, 6u);
+  EXPECT_TRUE(order.empty());
+}
+
+TEST(EngineEdges, ManyDistinctPerSenderDelaysDeliverInArrivalOrder) {
+  // Every sender gets its own delivery time: one inbox lane per sender
+  // at process 0, merged into a single arrival-ordered stream.
+  std::vector<int> order;
+  constexpr std::uint32_t kN = 12;
+  LaneFactory factory(&order, /*bursts=*/1);
+  std::vector<std::uint64_t> delays(kN);
+  delays[0] = 1;
+  for (std::uint32_t p = 1; p < kN; ++p)
+    delays[p] = 40 - 3 * p;  // distinct, decreasing with sender id
+  PerSenderDelay adversary(delays);
+  sim::EngineConfig cfg;
+  cfg.n = kN;
+  cfg.f = 0;
+  cfg.seed = 1;
+  sim::Engine engine(cfg, factory, &adversary);
+  const auto out = engine.run();
+  EXPECT_EQ(out.delivered_messages, kN - 1);
+  ASSERT_EQ(order.size(), kN - 1);
+  // All emitted at step 1: arrival order is exactly reverse sender id.
+  for (std::uint32_t i = 0; i < kN - 1; ++i)
+    EXPECT_EQ(order[i], static_cast<int>((kN - 1 - i) * 100)) << i;
 }
 
 TEST(EngineEdges, DeltaOneIsContiguousSteps) {

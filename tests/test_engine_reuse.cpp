@@ -1,0 +1,238 @@
+// Engine reuse (reset()) and golden end-to-end outcomes.
+//
+// The golden table pins the exact Outcome of PushPull/EARS/SEARS vs the
+// UGF adversary at small N for three seeds (covering Strategy 1,
+// Strategy 2.k.0 and Strategy 2.k.l). The values were captured from the
+// shared_ptr-payload engine before the arena refactor: the arena
+// message layer, Engine::reset and the warm-engine Monte-Carlo runner
+// must reproduce them bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/adversary_registry.hpp"
+#include "core/ugf.hpp"
+#include "protocols/push_pull.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+
+struct GoldenRow {
+  std::uint64_t seed;
+  const char* protocol;
+  const char* strategy;
+  std::uint64_t total_messages;
+  std::uint64_t delivered;
+  std::uint64_t dropped;
+  std::uint64_t omitted;
+  sim::GlobalStep t_end;
+  std::uint64_t local_steps;
+  std::uint32_t crashed;
+  std::vector<std::uint64_t> per_process_sent;
+};
+
+// n = 16, f = 4, run_index = 0, adversary "ugf".
+const std::vector<GoldenRow>& golden_rows() {
+  static const std::vector<GoldenRow> rows = {
+      {2, "push-pull", "strategy-1", 284, 239, 45, 0, 13, 148, 2,
+       {19, 20, 21, 21, 0, 22, 18, 23, 23, 21, 18, 22, 0, 22, 17, 17}},
+      {2, "ears", "strategy-1", 328, 290, 38, 0, 29, 337, 2,
+       {23, 27, 24, 22, 0, 23, 24, 23, 22, 23, 24, 21, 0, 24, 24, 24}},
+      {2, "sears", "strategy-1", 1660, 1479, 181, 0, 15, 187, 2,
+       {119, 121, 119, 119, 0, 119, 120, 118, 117, 119, 116, 119, 0, 117,
+        119, 118}},
+      {6, "push-pull", "strategy-2.1.0", 293, 231, 62, 0, 18, 146, 4,
+       {21, 20, 22, 26, 20, 20, 17, 25, 20, 0, 7, 25, 8, 22, 22, 18}},
+      {6, "ears", "strategy-2.1.0", 543, 408, 135, 0, 84, 552, 4,
+       {48, 43, 49, 44, 50, 46, 44, 11, 39, 0, 7, 48, 3, 46, 44, 21}},
+      {6, "sears", "strategy-2.1.0", 3109, 2356, 753, 0, 74, 423, 4,
+       {216, 216, 264, 216, 241, 264, 288, 264, 36, 0, 36, 264, 36, 288,
+        264, 216}},
+      {0xB0D1E5, "push-pull", "strategy-2.1.1", 353, 353, 0, 0, 54, 190, 0,
+       {21, 20, 25, 21, 26, 21, 19, 19, 25, 24, 25, 24, 21, 21, 17, 24}},
+      {0xB0D1E5, "ears", "strategy-2.1.1", 682, 682, 0, 0, 115, 699, 0,
+       {18, 42, 44, 46, 43, 23, 47, 46, 40, 46, 48, 45, 48, 47, 50, 49}},
+      {0xB0D1E5, "sears", "strategy-2.1.1", 4360, 4360, 0, 0, 84, 562, 0,
+       {152, 306, 285, 308, 308, 151, 283, 285, 284, 283, 282, 284, 278,
+        282, 305, 284}},
+  };
+  return rows;
+}
+
+class GoldenOutcomeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenOutcomeTest, MatchesPreArenaCapture) {
+  const GoldenRow& row = golden_rows()[GetParam()];
+  const auto protocol = protocols::make_protocol(row.protocol);
+  const auto adversary = core::make_adversary("ugf");
+
+  runner::RunSpec spec;
+  spec.n = 16;
+  spec.f = 4;
+  spec.runs = 1;
+  spec.base_seed = row.seed;
+  const auto record =
+      runner::MonteCarloRunner::run_once(spec, 0, *protocol, *adversary);
+
+  EXPECT_EQ(record.strategy, row.strategy);
+  EXPECT_EQ(record.outcome.total_messages, row.total_messages);
+  EXPECT_EQ(record.outcome.delivered_messages, row.delivered);
+  EXPECT_EQ(record.outcome.dropped_messages, row.dropped);
+  EXPECT_EQ(record.outcome.omitted_messages, row.omitted);
+  EXPECT_EQ(record.outcome.t_end, row.t_end);
+  EXPECT_EQ(record.outcome.local_steps_executed, row.local_steps);
+  EXPECT_EQ(record.outcome.crashed, row.crashed);
+  EXPECT_EQ(record.outcome.per_process_sent, row.per_process_sent);
+  EXPECT_TRUE(record.outcome.rumor_gathering_ok);
+  EXPECT_FALSE(record.outcome.truncated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GoldenOutcomeTest, ::testing::Range<std::size_t>(0, 9),
+    [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+      const GoldenRow& row = golden_rows()[param_info.param];
+      std::string name = row.protocol;
+      name += "_seed_";
+      name += std::to_string(row.seed);
+      for (auto& c : name)
+        if (c == '-' || c == '.') c = '_';
+      return name;
+    });
+
+// ---- Engine::reset ------------------------------------------------------
+
+void expect_same_outcome(const sim::Outcome& a, const sim::Outcome& b) {
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.t_end, b.t_end);
+  EXPECT_EQ(a.delta_max, b.delta_max);
+  EXPECT_EQ(a.d_max, b.d_max);
+  EXPECT_EQ(a.time_complexity, b.time_complexity);
+  EXPECT_EQ(a.rumor_gathering_ok, b.rumor_gathering_ok);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.omitted_messages, b.omitted_messages);
+  EXPECT_EQ(a.last_send_step, b.last_send_step);
+  EXPECT_EQ(a.local_steps_executed, b.local_steps_executed);
+  EXPECT_EQ(a.per_process_sent, b.per_process_sent);
+  EXPECT_EQ(a.final_state, b.final_state);
+  EXPECT_EQ(a.completion_step, b.completion_step);
+}
+
+TEST(EngineReuse, ResetReproducesFreshConstruction) {
+  protocols::PushPullFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 24;
+  cfg.f = 6;
+  cfg.seed = 11;
+
+  core::UniversalGossipFighter ugf_a(5);
+  sim::Engine engine(cfg, factory, &ugf_a);
+  const auto fresh = engine.run();
+
+  // Same engine, warm reset, fresh adversary instance: identical run.
+  core::UniversalGossipFighter ugf_b(5);
+  engine.reset(cfg, &ugf_b);
+  const auto warm = engine.run();
+  expect_same_outcome(fresh, warm);
+
+  // And a brand-new engine agrees with both.
+  core::UniversalGossipFighter ugf_c(5);
+  sim::Engine other(cfg, factory, &ugf_c);
+  expect_same_outcome(fresh, other.run());
+}
+
+TEST(EngineReuse, ResetAcceptsADifferentConfig) {
+  protocols::PushPullFactory factory;
+  sim::EngineConfig small;
+  small.n = 8;
+  small.f = 2;
+  small.seed = 3;
+  sim::Engine engine(small, factory, nullptr);
+  (void)engine.run();
+
+  // Grow, shrink, grow again — every reset must match an equivalent
+  // fresh engine exactly, including the n-sized outcome vectors.
+  for (const std::uint32_t n : {32u, 8u, 48u}) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n / 4;
+    cfg.seed = 17 + n;
+    engine.reset(cfg, nullptr);
+    const auto warm = engine.run();
+    sim::Engine fresh(cfg, factory, nullptr);
+    expect_same_outcome(fresh.run(), warm);
+    EXPECT_EQ(warm.per_process_sent.size(), n);
+  }
+}
+
+TEST(EngineReuse, ResetRewindsArenaButKeepsCapacity) {
+  protocols::PushPullFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 40;
+  cfg.f = 10;
+  cfg.seed = 21;
+  sim::Engine engine(cfg, factory, nullptr);
+  (void)engine.run();
+  const auto payloads_per_run = engine.arena().total_payloads();
+  const auto capacity = engine.arena().capacity_bytes();
+  ASSERT_GT(payloads_per_run, 0u);
+  ASSERT_GT(capacity, 0u);
+
+  engine.reset(cfg, nullptr);
+  EXPECT_EQ(engine.arena().live_payloads(), 0u);
+  EXPECT_EQ(engine.arena().bytes_in_use(), 0u);
+  EXPECT_EQ(engine.arena().capacity_bytes(), capacity);
+
+  (void)engine.run();
+  // Identical run => identical allocation count; still no slab growth.
+  EXPECT_EQ(engine.arena().total_payloads(), 2 * payloads_per_run);
+  EXPECT_EQ(engine.arena().capacity_bytes(), capacity);
+}
+
+TEST(EngineReuse, RunWithoutResetThrows) {
+  protocols::PushPullFactory factory;
+  sim::EngineConfig cfg;
+  cfg.n = 4;
+  cfg.f = 0;
+  cfg.seed = 1;
+  sim::Engine engine(cfg, factory, nullptr);
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+  engine.reset(cfg, nullptr);
+  (void)engine.run();  // reset re-arms it
+}
+
+// ---- Batch determinism across thread counts -----------------------------
+
+TEST(EngineReuse, BatchIsBitForBitIdenticalAcrossThreadCounts) {
+  const auto protocol = protocols::make_protocol("ears");
+  const auto adversary = core::make_adversary("ugf");
+  runner::RunSpec spec;
+  spec.n = 16;
+  spec.f = 4;
+  spec.runs = 12;
+  spec.base_seed = 0xFEED;
+
+  runner::MonteCarloRunner serial(1);
+  runner::MonteCarloRunner wide(4);
+  const auto a = serial.run_batch(spec, *protocol, *adversary);
+  const auto b = wide.run_batch(spec, *protocol, *adversary);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].seed, b.runs[i].seed) << i;
+    EXPECT_EQ(a.runs[i].strategy, b.runs[i].strategy) << i;
+    expect_same_outcome(a.runs[i].outcome, b.runs[i].outcome);
+  }
+  EXPECT_EQ(a.strategy_counts, b.strategy_counts);
+}
+
+}  // namespace

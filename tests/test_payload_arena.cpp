@@ -1,0 +1,219 @@
+// Unit tests for the per-run payload memory model (sim/payload_arena):
+// PayloadRef semantics, slab growth/retention across reset(), stats
+// counters, and the single-allocation fan-out regression the protocol
+// snapshot caches rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fake_context.hpp"
+#include "protocols/ears.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/message.hpp"
+#include "sim/payload_arena.hpp"
+
+namespace {
+
+using namespace ugf;
+using sim::PayloadArena;
+using sim::PayloadRef;
+using testsupport::FakeContext;
+
+class TagPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x54414721;  // 'TAG!'
+  explicit TagPayload(int tag, std::vector<int>* graveyard = nullptr) noexcept
+      : Payload(kKind), tag_(tag), graveyard_(graveyard) {}
+  ~TagPayload() override {
+    if (graveyard_ != nullptr) graveyard_->push_back(tag_);
+  }
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ private:
+  int tag_;
+  std::vector<int>* graveyard_;
+};
+
+class OtherPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x4F544852;  // 'OTHR'
+  OtherPayload() noexcept : Payload(kKind) {}
+};
+
+TEST(PayloadRef, DefaultIsNull) {
+  const PayloadRef ref;
+  EXPECT_FALSE(ref);
+  EXPECT_EQ(ref.get(), nullptr);
+  EXPECT_EQ(ref.kind(), 0u);
+  EXPECT_EQ(ref, PayloadRef{});
+}
+
+TEST(PayloadRef, EqualityIsPayloadIdentity) {
+  PayloadArena arena;
+  const auto a = arena.make<TagPayload>(1);
+  const auto b = arena.make<TagPayload>(1);  // same content, new slot
+  const auto a2 = a;                         // copy of the handle
+  EXPECT_TRUE(a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, PayloadRef{});
+}
+
+TEST(PayloadRef, KindTagDrivesPayloadAsDispatch) {
+  PayloadArena arena;
+  const auto tag = arena.make<TagPayload>(7);
+  const auto other = arena.make<OtherPayload>();
+  EXPECT_EQ(tag.kind(), TagPayload::kKind);
+  EXPECT_EQ(other.kind(), OtherPayload::kKind);
+
+  const sim::Message msg{0, 1, 0, 1, tag};
+  const auto* as_tag = sim::payload_as<TagPayload>(msg);
+  ASSERT_NE(as_tag, nullptr);
+  EXPECT_EQ(as_tag->tag(), 7);
+  EXPECT_EQ(sim::payload_as<OtherPayload>(msg), nullptr);
+}
+
+TEST(PayloadArena, StatsTrackAllocations) {
+  PayloadArena arena;
+  EXPECT_EQ(arena.live_payloads(), 0u);
+  EXPECT_EQ(arena.total_payloads(), 0u);
+  EXPECT_EQ(arena.slab_count(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+
+  (void)arena.make<TagPayload>(0);
+  (void)arena.make<TagPayload>(1);
+  EXPECT_EQ(arena.live_payloads(), 2u);
+  EXPECT_EQ(arena.total_payloads(), 2u);
+  EXPECT_GE(arena.bytes_in_use(), 2 * sizeof(TagPayload));
+  EXPECT_EQ(arena.slab_count(), 1u);
+  EXPECT_GE(arena.capacity_bytes(), PayloadArena::kSlabBytes);
+}
+
+TEST(PayloadArena, ResetDestroysInReverseConstructionOrder) {
+  std::vector<int> graveyard;
+  PayloadArena arena;
+  for (int i = 0; i < 4; ++i) (void)arena.make<TagPayload>(i, &graveyard);
+  arena.reset();
+  EXPECT_EQ(graveyard, (std::vector<int>{3, 2, 1, 0}));
+  EXPECT_EQ(arena.live_payloads(), 0u);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.total_payloads(), 4u);  // cumulative across resets
+}
+
+TEST(PayloadArena, DestructorRunsPayloadDestructors) {
+  std::vector<int> graveyard;
+  {
+    PayloadArena arena;
+    (void)arena.make<TagPayload>(42, &graveyard);
+  }
+  EXPECT_EQ(graveyard, std::vector<int>{42});
+}
+
+TEST(PayloadArena, SlabsAreRetainedAndReusedAcrossResets) {
+  PayloadArena arena;
+  // Force growth past the first slab.
+  const std::size_t per_slab = PayloadArena::kSlabBytes / sizeof(TagPayload);
+  for (std::size_t i = 0; i < per_slab + 8; ++i)
+    (void)arena.make<TagPayload>(static_cast<int>(i));
+  const auto slabs = arena.slab_count();
+  const auto capacity = arena.capacity_bytes();
+  EXPECT_GE(slabs, 2u);
+
+  arena.reset();
+  EXPECT_EQ(arena.slab_count(), slabs);        // memory kept...
+  EXPECT_EQ(arena.capacity_bytes(), capacity);  // ...byte for byte
+
+  // The same allocation pattern fits the retained slabs exactly: no
+  // growth on the warm pass.
+  for (std::size_t i = 0; i < per_slab + 8; ++i)
+    (void)arena.make<TagPayload>(static_cast<int>(i));
+  EXPECT_EQ(arena.slab_count(), slabs);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+class HugePayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x48554745;  // 'HUGE'
+  HugePayload() noexcept : Payload(kKind) {}
+  std::byte blob[PayloadArena::kSlabBytes + 100] = {};
+};
+
+TEST(PayloadArena, OversizedPayloadGetsItsOwnSlab) {
+  PayloadArena arena;
+  const auto ref = arena.make<HugePayload>();
+  EXPECT_TRUE(ref);
+  EXPECT_GE(arena.capacity_bytes(), sizeof(HugePayload));
+  // A regular allocation still works afterwards.
+  const auto small = arena.make<TagPayload>(1);
+  EXPECT_TRUE(small);
+  EXPECT_EQ(arena.live_payloads(), 2u);
+}
+
+TEST(PayloadArena, AllocationsAreSuitablyAligned) {
+  PayloadArena arena;
+  for (int i = 0; i < 64; ++i) {
+    const auto ref = arena.make<TagPayload>(i);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ref.get()) %
+                  alignof(TagPayload),
+              0u);
+  }
+}
+
+// ---- Satellite: k-way fan-outs allocate exactly one payload ------------
+
+TEST(FanoutAllocation, SearsFanoutSharesOneSnapshotAllocation) {
+  protocols::SearsConfig config;
+  protocols::SearsFactory factory(config);
+  const sim::SystemInfo info{50, 12};
+  const auto proto = factory.create(0, info);
+  FakeContext ctx(0, info);
+
+  const auto before = ctx.arena().total_payloads();
+  proto->on_local_step(ctx);
+  ASSERT_GT(ctx.sends().size(), 1u);  // real fan-out at this size
+  EXPECT_EQ(ctx.arena().total_payloads(), before + 1);
+  for (const auto& [to, payload] : ctx.sends())
+    EXPECT_EQ(payload, ctx.sends()[0].second);
+}
+
+TEST(FanoutAllocation, PushPullRepliesShareOneSnapshotAllocation) {
+  const sim::SystemInfo info{4, 0};
+  protocols::PushPullProcess p(0, info);
+  FakeContext ctx(0, info);
+  // Learn every other gossip so no pull/push of its own remains; then
+  // three pull requests arrive in one step window.
+  util::DynamicBitset all(4);
+  all.set_all();
+  p.on_message(ctx, FakeContext::message(
+                        1, 0, ctx.make_payload<protocols::GossipSetPayload>(
+                                  all)));
+  for (sim::ProcessId requester = 1; requester < 4; ++requester)
+    p.on_message(ctx,
+                 FakeContext::message(
+                     requester, 0,
+                     ctx.make_payload<protocols::PullRequestPayload>()));
+  ctx.clear();
+  const auto before = ctx.arena().total_payloads();
+  p.on_local_step(ctx);
+  ASSERT_EQ(ctx.sends().size(), 3u);  // one reply per requester
+  EXPECT_EQ(ctx.arena().total_payloads(), before + 1);
+  for (const auto& [to, payload] : ctx.sends())
+    EXPECT_EQ(payload, ctx.sends()[0].second);
+}
+
+TEST(FanoutAllocation, SnapshotCacheSurvivesQuietSteps) {
+  // EARS: with no state change between steps the cached snapshot is
+  // reused — consecutive sends cost zero additional arena allocations.
+  protocols::EarsProcess p(0, sim::SystemInfo{8, 2}, protocols::EarsConfig{},
+                           1);
+  FakeContext ctx(0, sim::SystemInfo{8, 2});
+  p.on_local_step(ctx);
+  const auto after_first = ctx.arena().total_payloads();
+  p.on_local_step(ctx);
+  p.on_local_step(ctx);
+  EXPECT_EQ(ctx.arena().total_payloads(), after_first);
+}
+
+}  // namespace

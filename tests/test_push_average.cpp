@@ -87,7 +87,7 @@ TEST(PushAverage, MergeAddsMassAndOrigins) {
   origins.set(1);
   origins.set(2);
   p.on_message(ctx, FakeContext::message(
-                        1, 0, std::make_shared<MassPayload>(
+                        1, 0, ctx.make_payload<MassPayload>(
                                   std::vector<double>{6.0}, 1.0, origins)));
   EXPECT_DOUBLE_EQ(p.weight(), 2.0);
   EXPECT_DOUBLE_EQ(p.estimate()[0], 4.0);  // (2 + 6) / (1 + 1)

@@ -91,7 +91,7 @@ TEST(PushPull, KnowingAGossipRemovesItFromPullCandidates) {
   // Learn both other gossips before stepping: sleep condition holds
   // immediately, no pull is ever sent.
   p.on_message(ctx, FakeContext::message(
-                        1, 0, std::make_shared<GossipSetPayload>(
+                        1, 0, ctx.make_payload<GossipSetPayload>(
                                   bits(3, {1, 2}))));
   EXPECT_TRUE(p.wants_sleep());
   p.on_local_step(ctx);
@@ -104,10 +104,10 @@ TEST(PushPull, AnswersPullRequestsWithEverythingKnown) {
   FakeContext ctx(0, info(3));
   p.on_message(ctx, FakeContext::message(
                         2, 0,
-                        std::make_shared<GossipSetPayload>(bits(3, {2}))));
+                        ctx.make_payload<GossipSetPayload>(bits(3, {2}))));
   p.on_message(ctx,
-               FakeContext::message(1, 0,
-                                    std::make_shared<PullRequestPayload>()));
+               FakeContext::message(
+                   1, 0, ctx.make_payload<PullRequestPayload>()));
   EXPECT_FALSE(p.wants_sleep());  // pending reply keeps it awake
   p.on_local_step(ctx);
   bool replied = false;
@@ -126,13 +126,13 @@ TEST(PushPull, SatisfiedProcessStopsInitiatingButStillReplies) {
   PushPullProcess p(0, info(3));
   FakeContext ctx(0, info(3));
   p.on_message(ctx, FakeContext::message(
-                        1, 0, std::make_shared<GossipSetPayload>(
+                        1, 0, ctx.make_payload<GossipSetPayload>(
                                   bits(3, {1, 2}))));
   ASSERT_TRUE(p.wants_sleep());
   // A pull request wakes it: exactly one reply, no new pull/push.
   p.on_message(ctx,
-               FakeContext::message(2, 0,
-                                    std::make_shared<PullRequestPayload>()));
+               FakeContext::message(
+                   2, 0, ctx.make_payload<PullRequestPayload>()));
   EXPECT_FALSE(p.wants_sleep());
   ctx.clear();
   p.on_local_step(ctx);
@@ -146,7 +146,7 @@ TEST(PushPull, MergesGossipSets) {
   FakeContext ctx(0, info(5));
   p.on_message(ctx, FakeContext::message(
                         1, 0,
-                        std::make_shared<GossipSetPayload>(bits(5, {1, 3}))));
+                        ctx.make_payload<GossipSetPayload>(bits(5, {1, 3}))));
   EXPECT_TRUE(p.has_gossip_of(1));
   EXPECT_TRUE(p.has_gossip_of(3));
   EXPECT_FALSE(p.has_gossip_of(2));

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "fake_context.hpp"
 #include "protocols/ears.hpp"
@@ -46,10 +48,14 @@ TEST_P(FanoutParamTest, SendsFanoutDistinctNonSelfTargetsPerStep) {
   SearsFactory factory(config);
   const sim::SystemInfo info{n, n / 4};
   const auto proto = factory.create(0, info);
-  FakeContext ctx(0, info);
   const auto fanout = SearsFactory::fanout_for(n, config.c, config.eps);
+  // Contexts own the payload arenas; keep every step's context alive so
+  // the protocol's cached snapshot ref never outlives its arena.
+  std::vector<std::unique_ptr<FakeContext>> contexts;
   for (int step = 0; step < 3; ++step) {
-    FakeContext fresh(0, info, 55 + static_cast<std::uint64_t>(step));
+    contexts.push_back(std::make_unique<FakeContext>(
+        0, info, 55 + static_cast<std::uint64_t>(step)));
+    FakeContext& fresh = *contexts.back();
     proto->on_local_step(fresh);
     ASSERT_EQ(fresh.sends().size(), fanout);
     std::set<sim::ProcessId> targets;

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Delta report between two ``ugf-bench-baseline-v1`` JSON files.
+
+CI runs the micro benches on every push and compares the fresh numbers
+against the committed ``BENCH_baseline.json``; the resulting delta file
+is uploaded as a build artifact so perf drift is visible per commit
+without gating the build on noisy shared runners.
+
+Usage: bench_delta.py COMMITTED_BASELINE FRESH_RUN [--out DELTA.json]
+
+For every numeric field present in both files the report holds the
+committed value, the fresh value and the relative delta in percent
+(positive = fresh is larger). Non-numeric fields are compared for
+equality. Exits 0 when both files parse and share the schema, 2 on
+usage/schema errors — the delta itself never fails the job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "ugf-bench-baseline-v1"
+
+
+def load(path: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_delta: cannot read {path}: {err}")
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        sys.exit(f"bench_delta: {path} is not a {SCHEMA} file")
+    return data
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    out_path = None
+    for a in argv[1:]:
+        if a.startswith("--out="):
+            out_path = a.split("=", 1)[1]
+        elif a == "--out":
+            sys.exit("bench_delta: use --out=FILE")
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    committed = load(args[0])
+    fresh = load(args[1])
+
+    report: dict = {"schema": "ugf-bench-delta-v1",
+                    "committed": args[0], "fresh": args[1],
+                    "fields": {}, "mismatched": []}
+    for key in sorted(set(committed) | set(fresh)):
+        a, b = committed.get(key), fresh.get(key)
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                and not isinstance(a, bool) and not isinstance(b, bool):
+            delta = (b - a) / a * 100.0 if a else float("inf") if b else 0.0
+            report["fields"][key] = {
+                "committed": a, "fresh": b, "delta_pct": round(delta, 2)}
+            print(f"  {key:36s} {a:>14.2f} -> {b:>14.2f}  "
+                  f"({delta:+.2f}%)")
+        elif a != b:
+            report["mismatched"].append(key)
+            print(f"  {key:36s} {a!r} != {b!r}")
+
+    if out_path:
+        Path(out_path).write_text(json.dumps(report, indent=1) + "\n",
+                                  encoding="utf-8")
+        print(f"bench_delta: wrote {out_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,6 +27,14 @@ reproduction's correctness story depends on:
                differ between runs/compilers. Use std::map/std::vector,
                or sort first. ``src/obs/`` is in scope because its
                exporters promise byte-determinism (golden-file tests).
+  sharedptr    ``src/sim/`` and ``src/protocols/`` must not use
+               ``std::shared_ptr``/``std::make_shared``: message
+               payloads live in the per-run ``sim::PayloadArena``
+               (``PayloadRef`` handles, ``ctx.make_payload<T>()``), and
+               an atomic refcount on the delivery hot path is exactly
+               the cost the arena removed. Factory plumbing that
+               genuinely needs shared ownership goes on the explicit
+               allowlist (``SHAREDPTR_ALLOWLIST``).
 
 A finding can be suppressed on its line (or the line above) with:
     // ugf-lint: allow(<rule>)
@@ -57,11 +65,16 @@ RNG_RE = re.compile(r"\b(?:std::)?s?rand\s*\(|\bstd::random_device\b")
 ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
 UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+SHAREDPTR_RE = re.compile(r"\bstd::(?:shared_ptr|make_shared)\b")
 
 # Rule applicability, by repo-relative posix path.
 RNG_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
 ASSERT_EXEMPT = ("src/util/check.hpp",)
 ORDERED_SCOPE = ("src/runner/", "src/analysis/", "src/obs/")
+SHAREDPTR_SCOPE = ("src/sim/", "src/protocols/")
+# Files allowed to use shared ownership despite being in scope (factory
+# plumbing that outlives a single run would qualify; currently nothing).
+SHAREDPTR_ALLOWLIST: tuple[str, ...] = ()
 
 
 class Finding:
@@ -161,6 +174,15 @@ def lint_file(root: Path, path: Path) -> list[Finding]:
                             "unordered container in report-producing code; "
                             "iteration order is not deterministic — use "
                             "std::map / sorted std::vector"))
+        if (any(rel.startswith(scope) for scope in SHAREDPTR_SCOPE)
+                and rel not in SHAREDPTR_ALLOWLIST
+                and SHAREDPTR_RE.search(code)):
+            if not allowed("sharedptr", lines, i):
+                findings.append(
+                    Finding(rel, lineno, "sharedptr",
+                            "shared_ptr in the sim/protocol layer; payloads "
+                            "are arena-owned (ctx.make_payload<T>() -> "
+                            "sim::PayloadRef, see sim/payload_arena.hpp)"))
 
     if path.suffix in {".hpp", ".hh", ".h"}:
         findings.extend(lint_header_prelude(rel, lines))
