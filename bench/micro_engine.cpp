@@ -9,12 +9,17 @@
 #include <cstdlib>
 #include <new>
 
+#include <algorithm>
+#include <vector>
+
 #include "adversary/fixed_strategies.hpp"
 #include "core/ugf.hpp"
 #include "obs/event.hpp"
 #include "protocols/ears.hpp"
 #include "protocols/push_pull.hpp"
+#include "reference_heap.hpp"
 #include "sim/engine.hpp"
+#include "sim/timing_wheel.hpp"
 #include "util/bitset2d.hpp"
 #include "util/dynamic_bitset.hpp"
 #include "util/rng.hpp"
@@ -100,6 +105,47 @@ void BM_Bitset2DOr(benchmark::State& state) {
 }
 BENCHMARK(BM_Bitset2DOr)->Arg(100)->Arg(500);
 
+// ---- Scheduler: timing wheel vs the pre-wheel binary heap ------------
+//
+// Steady-state pop-one/push-one at a fixed in-flight population, the
+// scheduler's workload shape inside Engine::run. The Arg is the delay
+// horizon in steps: 16 is benign traffic, 10^6 ≈ F^2 with F = 1000
+// (Strategy 2.k.l's tau^(k+l) delays), 1.6 * 10^7 is F = 4000. The
+// wheel's ns/op must be flat across the horizon column; the heap's
+// (bench/reference_heap.hpp) grows with log(population) comparisons on
+// cold memory.
+
+template <typename Scheduler>
+void scheduler_steady_state(benchmark::State& state, Scheduler& sched) {
+  const auto horizon = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::size_t kInFlight = 100'000;
+  util::Rng rng(7);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < kInFlight; ++i)
+    sched.push(sim::ScheduledEvent{1 + rng.below(horizon), seq++, 0, 0, 0});
+  for (auto _ : state) {
+    const sim::ScheduledEvent ev = sched.pop();
+    sched.push(
+        sim::ScheduledEvent{ev.step + 1 + rng.below(horizon), seq++, 0, 0, 0});
+    benchmark::DoNotOptimize(seq);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SchedulerWheelSteadyState(benchmark::State& state) {
+  sim::TimingWheel wheel;
+  scheduler_steady_state(state, wheel);
+}
+BENCHMARK(BM_SchedulerWheelSteadyState)
+    ->Arg(16)->Arg(1'000'000)->Arg(16'000'000);
+
+void BM_SchedulerHeapSteadyState(benchmark::State& state) {
+  bench::ReferenceEventHeap heap;
+  scheduler_steady_state(state, heap);
+}
+BENCHMARK(BM_SchedulerHeapSteadyState)
+    ->Arg(16)->Arg(1'000'000)->Arg(16'000'000);
+
 void BM_PushPullRunBenign(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   protocols::PushPullFactory factory;
@@ -122,8 +168,11 @@ void BM_PushPullRunBenign(benchmark::State& state) {
   // number micro_obs guards against observability overhead.
   state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
-BENCHMARK(BM_PushPullRunBenign)->Arg(50)->Arg(100)->Arg(200)
-    ->Unit(benchmark::kMillisecond);
+// The n >= 1000 args are the large-N detached scaling block: per-step
+// cost must stay near the n = 100 figure as the event population and
+// the per-process bitsets grow.
+BENCHMARK(BM_PushPullRunBenign)->Arg(50)->Arg(100)->Arg(200)->Arg(1000)
+    ->Arg(2000)->Unit(benchmark::kMillisecond);
 
 void BM_PushPullRunWarmEngine(benchmark::State& state) {
   // Steady-state variant of BM_PushPullRunBenign: one engine reused via
@@ -153,7 +202,7 @@ void BM_PushPullRunWarmEngine(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(steps));
 }
 BENCHMARK(BM_PushPullRunWarmEngine)->Arg(16)->Arg(50)->Arg(100)->Arg(200)
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(1000)->Unit(benchmark::kMillisecond);
 
 void BM_PushPullRunColdEngine(benchmark::State& state) {
   // Cold path at the same sizes as the warm variant (construction per

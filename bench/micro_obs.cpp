@@ -35,9 +35,12 @@
 #include "obs/event.hpp"
 #include "obs/profile.hpp"
 #include "protocols/push_pull.hpp"
+#include "reference_heap.hpp"
 #include "sim/engine.hpp"
+#include "sim/timing_wheel.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -122,6 +125,31 @@ Sample measure_engine(bool warm, std::uint32_t n, std::uint32_t runs,
   return sample;
 }
 
+/// Steady-state scheduler cost (ns per pop+push cycle) with `inflight`
+/// events pending and uniform delays up to `horizon` steps ahead of the
+/// popped event — the schedule shape Strategy 2.k.l produces, where a
+/// delivery can be pushed out by up to tau^(k+l) <= F^2 steps. Both
+/// scheduler types see the identical event sequence (same Rng seed), so
+/// the ratio isolates the data structure.
+template <typename Scheduler>
+double measure_scheduler(std::uint64_t horizon, std::uint64_t inflight,
+                         std::uint64_t ops) {
+  Scheduler sched;
+  util::Rng rng(0xD15EA5Eull);
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < inflight; ++i)
+    sched.push(sim::ScheduledEvent{1 + rng.below(horizon), seq++, 0, 0, 0});
+  util::Stopwatch watch;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const sim::ScheduledEvent ev = sched.pop();
+    sched.push(
+        sim::ScheduledEvent{ev.step + 1 + rng.below(horizon), seq++, 0, 0, 0});
+  }
+  const double ns = watch.seconds() * 1e9 / static_cast<double>(ops);
+  while (!sched.empty()) (void)sched.pop();
+  return ns;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,6 +167,15 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_uint("engine-n", 12));
     const auto engine_runs =
         static_cast<std::uint32_t>(args.get_uint("engine-runs", 400));
+    const auto large_n =
+        static_cast<std::uint32_t>(args.get_uint("large-n", 1000));
+    const auto large_runs =
+        static_cast<std::uint32_t>(args.get_uint("large-runs", 5));
+    const std::uint64_t sched_horizon =
+        args.get_uint("sched-horizon", 1'000'000);
+    const std::uint64_t sched_inflight =
+        args.get_uint("sched-inflight", 100'000);
+    const std::uint64_t sched_ops = args.get_uint("sched-ops", 2'000'000);
 
     obs::CountingSink counting;
     obs::PhaseProfiler profiler;
@@ -187,6 +224,29 @@ int main(int argc, char** argv) {
           measure_engine(true, engine_n, engine_runs, seed).ns_per_step);
     }
 
+    // Large-N detached block: the regime the timing wheel targets —
+    // once thousands of events are in flight, scheduler pops and inbox
+    // scans dominate the step loop, not protocol logic.
+    std::vector<double> large_detached;
+    std::uint64_t large_steps = 0;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const Sample d =
+          measure(large_n, large_runs, seed, nullptr, nullptr, false);
+      large_detached.push_back(d.ns_per_step);
+      large_steps = d.steps;
+    }
+
+    // Scheduler block: pop+push steady state at a Strategy-2.k.l
+    // horizon, timing wheel vs the pre-wheel binary heap
+    // (bench/reference_heap.hpp), identical event sequences.
+    std::vector<double> sched_wheel, sched_heap;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      sched_wheel.push_back(measure_scheduler<sim::TimingWheel>(
+          sched_horizon, sched_inflight, sched_ops));
+      sched_heap.push_back(measure_scheduler<bench::ReferenceEventHeap>(
+          sched_horizon, sched_inflight, sched_ops));
+    }
+
     const double pristine_med = median(pristine);
     const double d_med = median(detached);
     const double c_med = median(with_counting);
@@ -201,6 +261,12 @@ int main(int argc, char** argv) {
     const double warm_med = median(engine_warm);
     /// Step-loop throughput gain of the warm engine over the cold path.
     const double warm_speedup = (cold_med / warm_med - 1.0) * 100.0;
+    const double large_med = median(large_detached);
+    const double wheel_med = median(sched_wheel);
+    const double heap_med = median(sched_heap);
+    /// Wheel cost relative to the heap; negative means the wheel wins.
+    const double wheel_vs_heap =
+        (wheel_med - heap_med) / heap_med * 100.0;
 
     std::cout << "micro_obs: push-pull benign, n=" << n << ", f=" << n * 3 / 10
               << ", " << runs << " runs x " << reps << " reps ("
@@ -226,6 +292,21 @@ int main(int argc, char** argv) {
     std::cout << "  warm speedup          " << std::fixed
               << std::setprecision(2) << std::showpos << warm_speedup
               << "%" << std::noshowpos << " step-loop throughput\n";
+    std::cout << "large-N detached: push-pull benign, n=" << large_n << ", f="
+              << large_n * 3 / 10 << ", " << large_runs << " runs x " << reps
+              << " reps (" << large_steps << " steps per pass)\n";
+    row("detached large-N", large_med, 0.0);
+    std::cout << "scheduler steady state: " << sched_inflight
+              << " in-flight, horizon " << sched_horizon << " steps, "
+              << sched_ops << " pop+push ops x " << reps << " reps\n";
+    const auto sched_row = [](const char* label, double ns, double pct) {
+      std::cout << "  " << std::left << std::setw(22) << label << std::right
+                << std::fixed << std::setprecision(1) << std::setw(9) << ns
+                << " ns/op     " << std::showpos << std::setprecision(2)
+                << pct << "%" << std::noshowpos << "\n";
+    };
+    sched_row("timing wheel", wheel_med, wheel_vs_heap);
+    sched_row("binary heap (ref)", heap_med, 0.0);
 
     if (!json_path.empty()) {
       util::JsonWriter json;
@@ -255,6 +336,15 @@ int main(int argc, char** argv) {
           .member("engine_cold_ns_per_step", cold_med)
           .member("engine_warm_ns_per_step", warm_med)
           .member("warm_speedup_pct", warm_speedup)
+          .member("large_n", large_n)
+          .member("large_n_runs_per_pass", large_runs)
+          .member("large_n_detached_ns_per_step", large_med)
+          .member("sched_horizon_steps", sched_horizon)
+          .member("sched_inflight_events", sched_inflight)
+          .member("sched_ops", sched_ops)
+          .member("sched_wheel_ns_per_op", wheel_med)
+          .member("sched_heap_ns_per_op", heap_med)
+          .member("sched_wheel_vs_heap_pct", wheel_vs_heap)
           .end_object();
       std::ofstream out(json_path);
       if (!out) {

@@ -1,0 +1,155 @@
+// Schedule-shape stress test for the timing wheel (registered as the
+// perf_wheel ctest; skipped under sanitizers).
+//
+// Strategy 2.k.l delays deliveries by tau^(k+l) <= F^2 global steps, so
+// the scheduler's population runs deep (~10^6 events in flight at the
+// Fig. 5 scales) and its horizon stretches with F. A binary heap pays
+// log(population) comparisons per op no matter what; the wheel must pay
+// amortized O(1) per op *independent of the horizon* — including the
+// F = 40000 case whose F^2 = 1.6e9-step delays overflow the wheel's
+// 2^30-step level-2 window into the spill list.
+//
+// Two gates:
+//   1. horizon independence: steady-state ns/op across horizons
+//      {1e6, 2.5e7, 1.6e9} may spread by at most --max-ratio (loose on
+//      purpose — CI boxes are noisy; the honest numbers are printed).
+//   2. order equivalence: a randomized push/pop replay must pop the
+//      exact same (step, seq) sequence from the wheel and from the
+//      pre-wheel binary heap (bench/reference_heap.hpp).
+
+#include <cstdint>
+#include <exception>
+#include <iomanip>
+#include <iostream>
+
+#include "reference_heap.hpp"
+#include "sim/timing_wheel.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace ugf;
+
+struct StressResult {
+  double ns_per_op = 0.0;
+  sim::TimingWheel::Stats stats;
+};
+
+/// Steady state: `inflight` events pending, then `ops` pop+push cycles
+/// with uniform delays up to `horizon` steps past the popped event.
+StressResult stress(std::uint64_t horizon, std::uint64_t inflight,
+                    std::uint64_t ops, std::uint64_t seed) {
+  sim::TimingWheel wheel;
+  util::Rng rng(seed);
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < inflight; ++i)
+    wheel.push(sim::ScheduledEvent{1 + rng.below(horizon), seq++, 0, 0, 0});
+  util::Stopwatch watch;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const sim::ScheduledEvent ev = wheel.pop();
+    wheel.push(
+        sim::ScheduledEvent{ev.step + 1 + rng.below(horizon), seq++, 0, 0, 0});
+  }
+  StressResult res;
+  res.ns_per_op = watch.seconds() * 1e9 / static_cast<double>(ops);
+  res.stats = wheel.stats();
+  return res;
+}
+
+/// Randomized interleaved push/pop replay against the reference heap;
+/// delays span every level of the wheel plus the spill range. Pops must
+/// agree exactly, including the final drain.
+bool replay_matches(std::uint64_t ops, std::uint64_t seed) {
+  sim::TimingWheel wheel;
+  bench::ReferenceEventHeap heap;
+  util::Rng rng(seed);
+  std::uint64_t seq = 0;
+  sim::GlobalStep cursor = 0;
+  const auto pops_agree = [&wheel, &heap, &cursor] {
+    const sim::ScheduledEvent a = wheel.pop();
+    const sim::ScheduledEvent b = heap.pop();
+    cursor = a.step;
+    return a.step == b.step && a.seq == b.seq && a.token == b.token;
+  };
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    if (wheel.empty() || rng.below(100) < 55) {
+      std::uint64_t delay = 0;
+      switch (rng.below(5)) {
+        case 0: delay = rng.below(4); break;
+        case 1: delay = rng.below(1ull << 10); break;
+        case 2: delay = rng.below(1ull << 20); break;
+        case 3: delay = rng.below(1ull << 30); break;
+        default: delay = (1ull << 30) + rng.below(1ull << 32); break;
+      }
+      const sim::ScheduledEvent ev{cursor + delay, seq, seq * 7 + 3,
+                                   static_cast<sim::ProcessId>(seq % 101),
+                                   static_cast<std::uint8_t>(seq % 3)};
+      ++seq;
+      wheel.push(ev);
+      heap.push(ev);
+    } else if (!pops_agree()) {
+      return false;
+    }
+  }
+  while (!wheel.empty())
+    if (heap.empty() || !pops_agree()) return false;
+  return heap.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    const std::uint64_t inflight = args.get_uint("inflight", 1'000'000);
+    const std::uint64_t ops = args.get_uint("ops", 1'000'000);
+    const std::uint64_t replay_ops = args.get_uint("replay-ops", 150'000);
+    const std::uint64_t seed = args.get_uint("seed", 0x5EEDF00Dull);
+    const double max_ratio = args.get_double("max-ratio", 4.0);
+
+    struct Horizon {
+      const char* label;
+      std::uint64_t steps;
+    };
+    const Horizon horizons[] = {
+        {"F=1000  (F^2=1e6)", 1'000'000ull},
+        {"F=5000  (F^2=2.5e7)", 25'000'000ull},
+        {"F=40000 (F^2=1.6e9, spill)", 1'600'000'000ull},
+    };
+
+    std::cout << "perf_wheel: " << inflight << " in-flight, " << ops
+              << " pop+push ops per horizon\n";
+    double best = 0.0, worst = 0.0;
+    for (const auto& h : horizons) {
+      const StressResult r = stress(h.steps, inflight, ops, seed);
+      std::cout << "  " << std::left << std::setw(28) << h.label << std::right
+                << std::fixed << std::setprecision(1) << std::setw(8)
+                << r.ns_per_op << " ns/op   buckets<=" << r.stats.max_buckets
+                << " spill<=" << r.stats.max_spill
+                << " cascades=" << r.stats.cascades
+                << " refiles=" << r.stats.spill_refiles << "\n";
+      if (best == 0.0 || r.ns_per_op < best) best = r.ns_per_op;
+      if (r.ns_per_op > worst) worst = r.ns_per_op;
+    }
+    const double ratio = worst / best;
+    std::cout << "  horizon spread " << std::setprecision(2) << ratio
+              << "x (limit " << max_ratio << "x)\n";
+    if (!(ratio <= max_ratio)) {
+      std::cerr << "FAIL: per-op cost is not horizon-independent\n";
+      return 1;
+    }
+
+    if (!replay_matches(replay_ops, seed)) {
+      std::cerr << "FAIL: wheel pop order diverged from the reference heap\n";
+      return 1;
+    }
+    std::cout << "OK: pop order identical to the reference binary heap over "
+              << replay_ops << " randomized ops\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file reference_heap.hpp
+/// The engine's pre-wheel scheduler — a binary min-heap on (step, seq)
+/// — kept verbatim as the comparison baseline for the timing-wheel
+/// benches. Lives in bench/ because the lint pass bans heap primitives
+/// inside src/sim; here they are the point.
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/timing_wheel.hpp"
+
+namespace ugf::bench {
+
+class ReferenceEventHeap {
+ public:
+  void push(const sim::ScheduledEvent& ev) {
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+  }
+  sim::ScheduledEvent pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    const sim::ScheduledEvent ev = heap_.back();
+    heap_.pop_back();
+    return ev;
+  }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct After {
+    bool operator()(const sim::ScheduledEvent& a,
+                    const sim::ScheduledEvent& b) const noexcept {
+      if (a.step != b.step) return a.step > b.step;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<sim::ScheduledEvent> heap_;
+};
+
+}  // namespace ugf::bench

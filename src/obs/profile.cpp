@@ -45,6 +45,24 @@ void print_phase_table(std::ostream& out, const PhaseProfiler& profiler) {
   const std::uint64_t engine_total = totals.ns_of(Phase::kEngineRun);
   row("engine (self)", engine_total > callbacks ? engine_total - callbacks : 0,
       totals.calls_of(Phase::kEngineRun));
+
+  // Scheduler health: the engine's timing-wheel gauges. Maxima are
+  // high-water marks over all reporting runs, counters are totals.
+  const SchedulerStats sched = profiler.scheduler_totals();
+  if (sched.runs != 0) {
+    out << "scheduler (timing wheel, " << sched.runs << " run"
+        << (sched.runs == 1 ? "" : "s") << "):\n"
+        << "  max occupied buckets    " << std::setw(12) << sched.max_buckets
+        << "\n"
+        << "  max spill-list size     " << std::setw(12) << sched.max_spill
+        << "\n"
+        << "  max schedule horizon    " << std::setw(12) << sched.max_horizon
+        << " steps\n"
+        << "  cascades                " << std::setw(12) << sched.cascades
+        << "\n"
+        << "  spill refiles           " << std::setw(12) << sched.spill_refiles
+        << "\n";
+  }
   out.flags(saved_flags);
   out.precision(saved_precision);
 }

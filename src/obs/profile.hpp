@@ -49,6 +49,19 @@ inline constexpr std::size_t kNumPhases = 6;
   return "unknown";
 }
 
+/// Scheduler-health gauges the engine reports once per run from its
+/// timing wheel (sim/timing_wheel.hpp). Plain numbers so obs stays
+/// independent of sim. Aggregation across runs/threads: maxima combine
+/// via max, counters sum.
+struct SchedulerStats {
+  std::uint64_t runs = 0;           ///< engine runs that reported
+  std::uint64_t max_buckets = 0;    ///< occupied-bucket high-water mark
+  std::uint64_t max_spill = 0;      ///< spill-list high-water mark
+  std::uint64_t max_horizon = 0;    ///< max steps ahead ever scheduled
+  std::uint64_t cascades = 0;       ///< wheel bucket cascades
+  std::uint64_t spill_refiles = 0;  ///< events refiled out of the spill
+};
+
 /// Aggregated totals of one profiler (sum over all thread slots).
 struct PhaseTotals {
   std::array<std::uint64_t, kNumPhases> ns{};
@@ -96,6 +109,29 @@ class PhaseProfiler {
     return out;
   }
 
+  /// Folds one run's scheduler gauges into the profiler (thread-safe;
+  /// called by Engine::run at the end of each profiled run).
+  void note_scheduler(const SchedulerStats& stats) noexcept {
+    sched_runs_.fetch_add(1, std::memory_order_relaxed);
+    fetch_max(sched_max_buckets_, stats.max_buckets);
+    fetch_max(sched_max_spill_, stats.max_spill);
+    fetch_max(sched_max_horizon_, stats.max_horizon);
+    sched_cascades_.fetch_add(stats.cascades, std::memory_order_relaxed);
+    sched_spill_refiles_.fetch_add(stats.spill_refiles,
+                                   std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] SchedulerStats scheduler_totals() const noexcept {
+    SchedulerStats out;
+    out.runs = sched_runs_.load(std::memory_order_relaxed);
+    out.max_buckets = sched_max_buckets_.load(std::memory_order_relaxed);
+    out.max_spill = sched_max_spill_.load(std::memory_order_relaxed);
+    out.max_horizon = sched_max_horizon_.load(std::memory_order_relaxed);
+    out.cascades = sched_cascades_.load(std::memory_order_relaxed);
+    out.spill_refiles = sched_spill_refiles_.load(std::memory_order_relaxed);
+    return out;
+  }
+
   void reset() noexcept {
     for (Slot& slot : slots_) {
       for (std::size_t p = 0; p < kNumPhases; ++p) {
@@ -103,9 +139,23 @@ class PhaseProfiler {
         slot.calls[p].store(0, std::memory_order_relaxed);
       }
     }
+    sched_runs_.store(0, std::memory_order_relaxed);
+    sched_max_buckets_.store(0, std::memory_order_relaxed);
+    sched_max_spill_.store(0, std::memory_order_relaxed);
+    sched_max_horizon_.store(0, std::memory_order_relaxed);
+    sched_cascades_.store(0, std::memory_order_relaxed);
+    sched_spill_refiles_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  static void fetch_max(std::atomic<std::uint64_t>& slot,
+                        std::uint64_t value) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
   struct alignas(64) Slot {
     std::array<std::atomic<std::uint64_t>, kNumPhases> ns{};
     std::array<std::atomic<std::uint64_t>, kNumPhases> calls{};
@@ -121,6 +171,12 @@ class PhaseProfiler {
   }
 
   std::array<Slot, kMaxThreads> slots_{};
+  std::atomic<std::uint64_t> sched_runs_{0};
+  std::atomic<std::uint64_t> sched_max_buckets_{0};
+  std::atomic<std::uint64_t> sched_max_spill_{0};
+  std::atomic<std::uint64_t> sched_max_horizon_{0};
+  std::atomic<std::uint64_t> sched_cascades_{0};
+  std::atomic<std::uint64_t> sched_spill_refiles_{0};
 };
 
 /// RAII scope: measures its own lifetime into `profiler` (no-op when

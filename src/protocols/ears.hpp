@@ -86,6 +86,10 @@ class EarsProcess : public sim::Protocol {
   [[nodiscard]] bool completed() const noexcept override;
   [[nodiscard]] bool has_gossip_of(
       sim::ProcessId origin) const noexcept override;
+  [[nodiscard]] const util::DynamicBitset* gossip_bits()
+      const noexcept override {
+    return &gossips_;
+  }
 
   /// White-box accessors for tests.
   [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {

@@ -47,27 +47,26 @@ void PushPullProcess::on_local_step(sim::ProcessContext& ctx) {
   if (satisfied()) return;
 
   // 2. Pull: one request to a uniformly random process whose gossip we
-  //    miss and have not asked yet.
-  std::vector<sim::ProcessId> pull_candidates;
-  pull_candidates.reserve(n_);
-  for (sim::ProcessId q = 0; q < n_; ++q)
-    if (!known_.test(q) && !pulled_.test(q)) pull_candidates.push_back(q);
-  if (!pull_candidates.empty()) {
-    const auto pick = pull_candidates[static_cast<std::size_t>(
-        ctx.rng().below(pull_candidates.size()))];
+  //    miss and have not asked yet — the clear bits of known_ | pulled_,
+  //    sampled in place. Drawing below(count) and selecting the k-th
+  //    clear bit (ascending) picks exactly the element the old
+  //    candidate-vector build would have, with the same single RNG draw.
+  const std::size_t pull_count =
+      util::DynamicBitset::union_clear_count(known_, pulled_);
+  if (pull_count != 0) {
+    const auto k = static_cast<std::size_t>(ctx.rng().below(pull_count));
+    const auto pick = static_cast<sim::ProcessId>(
+        util::DynamicBitset::nth_clear_of_union(known_, pulled_, k));
     ctx.send(pick, ctx.make_payload<PullRequestPayload>());
     pulled_.set(pick);
   }
 
   // 3. Push: everything we know to a uniformly random process that has
-  //    not received our gossip from us yet.
-  std::vector<sim::ProcessId> push_candidates;
-  push_candidates.reserve(n_);
-  for (sim::ProcessId q = 0; q < n_; ++q)
-    if (!served_.test(q)) push_candidates.push_back(q);
-  if (!push_candidates.empty()) {
-    const auto pick = push_candidates[static_cast<std::size_t>(
-        ctx.rng().below(push_candidates.size()))];
+  //    not received our gossip from us yet (a clear bit of served_).
+  const std::size_t push_count = served_.clear_count();
+  if (push_count != 0) {
+    const auto k = static_cast<std::size_t>(ctx.rng().below(push_count));
+    const auto pick = static_cast<sim::ProcessId>(served_.nth_clear(k));
     ctx.send(pick, known_snapshot(ctx));
     served_.set(pick);
   }

@@ -39,6 +39,10 @@ class PushPullProcess final : public sim::Protocol {
   [[nodiscard]] bool completed() const noexcept override;
   [[nodiscard]] bool has_gossip_of(
       sim::ProcessId origin) const noexcept override;
+  [[nodiscard]] const util::DynamicBitset* gossip_bits()
+      const noexcept override {
+    return &known_;
+  }
 
   /// Exposed for white-box tests.
   [[nodiscard]] const util::DynamicBitset& known() const noexcept {

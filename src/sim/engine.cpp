@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
 #include "util/saturating.hpp"
 
 namespace ugf::sim {
@@ -11,16 +12,25 @@ namespace ugf::sim {
 using util::sat_add;
 
 void Engine::Inbox::push(std::uint64_t d, Message msg, std::uint64_t seq) {
+  // Senders keep their delivery time d for long stretches, so the lane
+  // hit by the previous push almost always matches; fall back to the
+  // linear scan only when it does not.
   Lane* lane = nullptr;
-  for (auto& candidate : lanes_) {
-    if (candidate.d == d) {
-      lane = &candidate;
-      break;
+  if (last_lane_ < lanes_.size() && lanes_[last_lane_].d == d) {
+    lane = &lanes_[last_lane_];
+  } else {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].d == d) {
+        lane = &lanes_[i];
+        last_lane_ = i;
+        break;
+      }
     }
-  }
-  if (lane == nullptr) {
-    lanes_.push_back(Lane{d, {}});
-    lane = &lanes_.back();
+    if (lane == nullptr) {
+      lanes_.push_back(Lane{d, {}});
+      lane = &lanes_.back();
+      last_lane_ = lanes_.size() - 1;
+    }
   }
   UGF_ASSERT_MSG(lane->fifo.empty() ||
                      lane->fifo.back().msg.arrives_at <= msg.arrives_at,
@@ -30,20 +40,21 @@ void Engine::Inbox::push(std::uint64_t d, Message msg, std::uint64_t seq) {
                  "message arrives at %llu before its emission at %llu",
                  static_cast<unsigned long long>(msg.arrives_at),
                  static_cast<unsigned long long>(msg.sent_at));
+  earliest_ = std::min(earliest_, msg.arrives_at);
   lane->fifo.push_back(InboxEntry{std::move(msg), seq});
   ++size_;
 }
 
-GlobalStep Engine::Inbox::earliest_arrival() const noexcept {
-  GlobalStep earliest = kNeverStep;
+void Engine::Inbox::recompute_earliest() noexcept {
+  earliest_ = kNeverStep;
   for (const auto& lane : lanes_) {
     if (!lane.fifo.empty())
-      earliest = std::min(earliest, lane.fifo.front().msg.arrives_at);
+      earliest_ = std::min(earliest_, lane.fifo.front().msg.arrives_at);
   }
-  return earliest;
 }
 
 bool Engine::Inbox::pop_due(GlobalStep step, Message& out) {
+  if (earliest_ > step) return false;  // O(1) miss: nothing is due yet
   Lane* best = nullptr;
   for (auto& lane : lanes_) {
     if (lane.fifo.empty()) continue;
@@ -56,10 +67,14 @@ bool Engine::Inbox::pop_due(GlobalStep step, Message& out) {
       best = &lane;
     }
   }
-  if (best == nullptr) return false;
+  UGF_ASSERT_MSG(best != nullptr,
+                 "earliest cache says a message is due at %llu but no lane "
+                 "front is",
+                 static_cast<unsigned long long>(step));
   out = std::move(best->fifo.front().msg);
   best->fifo.pop_front();
   --size_;
+  recompute_earliest();
   return true;
 }
 
@@ -69,6 +84,8 @@ void Engine::Inbox::clear() noexcept {
   // every scan already skips empty lanes.
   for (auto& lane : lanes_) lane.fifo.clear();
   size_ = 0;
+  earliest_ = kNeverStep;
+  last_lane_ = 0;
 }
 
 /// Per-step protocol services; bound to the process whose StepBegin is
@@ -196,8 +213,8 @@ class Engine::ControlImpl final : public AdversaryControl {
 
   void request_timer(GlobalStep step) override {
     const GlobalStep at = std::max(step, engine_.now_);
-    engine_.events_.push(Event{at, engine_.next_seq_++, EventKind::kTimer,
-                               kNoProcess, /*token=*/0});
+    engine_.events_.push(
+        engine_.make_event(at, EventKind::kTimer, kNoProcess, /*token=*/0));
   }
 
   void suppress_message() override {
@@ -302,7 +319,12 @@ void Engine::crash_process(ProcessId pid) {
 
 void Engine::note_infection(ProcessId pid, GlobalStep step) {
   if (config_.sink == nullptr || reached_[pid] != 0) return;
-  if (!procs_[pid].protocol->has_gossip_of(0)) return;
+  const Protocol& protocol = *procs_[pid].protocol;
+  if (const util::DynamicBitset* bits = protocol.gossip_bits()) {
+    if (!bits->test(0)) return;
+  } else if (!protocol.has_gossip_of(0)) {
+    return;
+  }
   reached_[pid] = 1;
   ++reached_count_;
   emit(obs::EventType::kInfection, step, pid, kNoProcess, reached_count_);
@@ -312,8 +334,7 @@ void Engine::schedule_begin_direct(ProcessId pid, GlobalStep at) {
   auto& rt = procs_[pid];
   ++rt.begin_token;
   rt.next_begin = at;
-  events_.push(Event{at, next_seq_++, EventKind::kStepBegin, pid,
-                     rt.begin_token});
+  events_.push(make_event(at, EventKind::kStepBegin, pid, rt.begin_token));
 }
 
 void Engine::schedule_wake(ProcessId pid, GlobalStep at) {
@@ -323,7 +344,7 @@ void Engine::schedule_wake(ProcessId pid, GlobalStep at) {
   schedule_begin_direct(pid, at);
 }
 
-void Engine::handle_step_begin(const Event& ev) {
+void Engine::handle_step_begin(const ScheduledEvent& ev) {
   auto& rt = procs_[ev.pid];
   if (ev.token != rt.begin_token || rt.state == ProcessState::kCrashed) return;
   rt.next_begin = kNeverStep;
@@ -360,11 +381,10 @@ void Engine::handle_step_begin(const Event& ev) {
 
   const GlobalStep end = sat_add(s, rt.delta);
   ++rt.end_token;
-  events_.push(Event{end, next_seq_++, EventKind::kStepEnd, ev.pid,
-                     rt.end_token});
+  events_.push(make_event(end, EventKind::kStepEnd, ev.pid, rt.end_token));
 }
 
-void Engine::handle_step_end(const Event& ev) {
+void Engine::handle_step_end(const ScheduledEvent& ev) {
   auto& rt = procs_[ev.pid];
   if (ev.token != rt.end_token || rt.state == ProcessState::kCrashed) return;
 
@@ -463,8 +483,7 @@ Outcome Engine::run() {
 
   std::uint64_t processed = 0;
   while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
+    const ScheduledEvent ev = events_.pop();
     if (ev.step > config_.max_steps || ++processed > config_.max_events) {
       outcome_.truncated = true;
       break;
@@ -477,10 +496,20 @@ Outcome Engine::run() {
     now_ = ev.step;
 #if UGF_AUDITS_ENABLED
     // Metrics counters are append-only: no event handler may ever
-    // decrease an accounting total.
-    const Outcome metrics_before = outcome_;
+    // decrease an accounting total. Snapshot only the six scalar
+    // counters — copying the whole Outcome would deep-copy its three
+    // per-process vectors on every event.
+    struct MetricsSnapshot {
+      std::uint64_t total_messages, delivered_messages, dropped_messages,
+          omitted_messages, local_steps_executed;
+      GlobalStep last_send_step;
+    };
+    const MetricsSnapshot metrics_before{
+        outcome_.total_messages,   outcome_.delivered_messages,
+        outcome_.dropped_messages, outcome_.omitted_messages,
+        outcome_.local_steps_executed, outcome_.last_send_step};
 #endif
-    switch (ev.kind) {
+    switch (static_cast<EventKind>(ev.kind)) {
       case EventKind::kStepBegin:
         handle_step_begin(ev);
         break;
@@ -503,6 +532,17 @@ Outcome Engine::run() {
     UGF_AUDIT(outcome_.local_steps_executed >=
               metrics_before.local_steps_executed);
 #endif
+  }
+
+  if (config_.profiler != nullptr) {
+    const TimingWheel::Stats wheel = events_.stats();
+    obs::SchedulerStats sched;
+    sched.max_buckets = wheel.max_buckets;
+    sched.max_spill = wheel.max_spill;
+    sched.max_horizon = wheel.max_horizon;
+    sched.cascades = wheel.cascades;
+    sched.spill_refiles = wheel.spill_refiles;
+    config_.profiler->note_scheduler(sched);
   }
 
   finalize(outcome_);
@@ -558,13 +598,27 @@ void Engine::finalize(Outcome& outcome) const {
 
   // Rumor gathering (Def II.1): every correct process must hold the
   // gossip of every correct process. Meaningless if truncated.
+  // Protocols exposing gossip_bits() are checked word-parallel against
+  // the correct-process mask; the rest fall back to n virtual calls.
   outcome.rumor_gathering_ok = !outcome.truncated;
   if (outcome.rumor_gathering_ok) {
+    util::DynamicBitset correct_mask(config_.n);
+    for (ProcessId q = 0; q < config_.n; ++q) {
+      if (procs_[q].state != ProcessState::kCrashed) correct_mask.set(q);
+    }
     for (ProcessId p = 0; p < config_.n && outcome.rumor_gathering_ok; ++p) {
       if (procs_[p].state == ProcessState::kCrashed) continue;
+      const Protocol& protocol = *procs_[p].protocol;
+      if (const util::DynamicBitset* bits = protocol.gossip_bits()) {
+        UGF_ASSERT_MSG(bits->size() == config_.n,
+                       "gossip_bits() sized %zu for n=%u", bits->size(),
+                       config_.n);
+        outcome.rumor_gathering_ok = bits->contains(correct_mask);
+        continue;
+      }
       for (ProcessId q = 0; q < config_.n; ++q) {
         if (procs_[q].state == ProcessState::kCrashed) continue;
-        if (!procs_[p].protocol->has_gossip_of(q)) {
+        if (!protocol.has_gossip_of(q)) {
           outcome.rumor_gathering_ok = false;
           break;
         }

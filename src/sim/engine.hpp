@@ -4,11 +4,13 @@
 /// The discrete global-step execution engine (§II-A).
 ///
 /// The engine is event-driven: instead of ticking every global step it
-/// keeps a priority queue of the two step boundaries of each process
-/// (begin / end of a local step) plus adversary timers. This is
-/// semantically identical to the paper's tick model but skips idle time,
-/// which matters because UGF inflates delivery times up to
-/// tau^(k+l) = F^2 global steps.
+/// schedules the two step boundaries of each process (begin / end of a
+/// local step) plus adversary timers on a hierarchical timing wheel
+/// (sim/timing_wheel.hpp). This is semantically identical to the
+/// paper's tick model but skips idle time, which matters because UGF
+/// inflates delivery times up to tau^(k+l) = F^2 global steps — and the
+/// wheel keeps scheduling O(1) per event no matter how far ahead those
+/// deliveries are parked.
 ///
 /// Timeline of one local step of process rho, spanning [s, s+delta_rho):
 ///   * at s   (StepBegin): messages with arrival <= s are delivered,
@@ -45,6 +47,7 @@
 #include "sim/outcome.hpp"
 #include "sim/payload_arena.hpp"
 #include "sim/protocol.hpp"
+#include "sim/timing_wheel.hpp"
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
@@ -121,8 +124,12 @@ class Engine {
     [[nodiscard]] std::size_t lane_count() const noexcept {
       return lanes_.size();
     }
-    /// Earliest pending arrival step; kNeverStep when empty.
-    [[nodiscard]] GlobalStep earliest_arrival() const noexcept;
+    /// Earliest pending arrival step; kNeverStep when empty. O(1): the
+    /// value is maintained incrementally on push and recomputed from
+    /// the lane fronts only after a successful pop.
+    [[nodiscard]] GlobalStep earliest_arrival() const noexcept {
+      return earliest_;
+    }
     /// True iff a message with arrival <= step is pending; if so, moves
     /// the earliest (by arrival, then acceptance order) into `out`.
     bool pop_due(GlobalStep step, Message& out);
@@ -136,48 +143,27 @@ class Engine {
       std::uint64_t d = 0;
       std::deque<InboxEntry> fifo;
     };
+    void recompute_earliest() noexcept;
     std::vector<Lane> lanes_;
     std::size_t size_ = 0;
+    /// Min over the lane fronts' arrival steps; kNeverStep when empty.
+    GlobalStep earliest_ = kNeverStep;
+    /// Lane hit by the previous push — senders keep their d for long
+    /// stretches, so the next push almost always lands there again.
+    std::size_t last_lane_ = 0;
   };
 
  private:
   enum class EventKind : std::uint8_t { kStepBegin, kStepEnd, kTimer };
 
-  struct Event {
-    GlobalStep step = 0;
-    std::uint64_t seq = 0;  ///< insertion order; tie-break for determinism
-    EventKind kind = EventKind::kStepBegin;
-    ProcessId pid = kNoProcess;
-    std::uint64_t token = 0;  ///< validity token against the runtime
-  };
-
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.step != b.step) return a.step > b.step;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Min-heap of pending events over a reusable vector —
-  /// std::priority_queue cannot clear() without freeing its storage,
-  /// which reset() must retain.
-  class EventQueue {
-   public:
-    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-    [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
-    void push(const Event& ev) {
-      heap_.push_back(ev);
-      std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
-    }
-    void pop() {
-      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-      heap_.pop_back();
-    }
-    void clear() noexcept { heap_.clear(); }
-
-   private:
-    std::vector<Event> heap_;
-  };
+  /// Builds a wheel event; `token` is the validity token checked
+  /// against the runtime when the event fires.
+  [[nodiscard]] ScheduledEvent make_event(GlobalStep step, EventKind kind,
+                                          ProcessId pid,
+                                          std::uint64_t token) noexcept {
+    return ScheduledEvent{step, next_seq_++, token, pid,
+                          static_cast<std::uint8_t>(kind)};
+  }
 
   struct ProcessRuntime {
     std::unique_ptr<Protocol> protocol;
@@ -203,8 +189,8 @@ class Engine {
 
   void schedule_wake(ProcessId pid, GlobalStep at);
   void schedule_begin_direct(ProcessId pid, GlobalStep at);
-  void handle_step_begin(const Event& ev);
-  void handle_step_end(const Event& ev);
+  void handle_step_begin(const ScheduledEvent& ev);
+  void handle_step_end(const ScheduledEvent& ev);
   void crash_process(ProcessId pid);
   void finalize(Outcome& outcome) const;
 
@@ -225,7 +211,7 @@ class Engine {
 
   std::vector<ProcessRuntime> procs_;
   PayloadArena arena_;
-  EventQueue events_;
+  TimingWheel events_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_msg_seq_ = 0;
   GlobalStep now_ = 0;

@@ -24,6 +24,10 @@
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
+namespace ugf::util {
+class DynamicBitset;
+}
+
 namespace ugf::sim {
 
 /// Per-step services the engine offers to the protocol code of one
@@ -90,6 +94,18 @@ class Protocol {
   /// originated at `origin`? Used by the engine to validate rumor
   /// gathering (Def II.1); not visible to adversaries or other processes.
   [[nodiscard]] virtual bool has_gossip_of(ProcessId origin) const noexcept = 0;
+
+  /// Optional fast path over `has_gossip_of`: a bitset view with bit p
+  /// set iff this process holds the gossip of p, or nullptr (the
+  /// default) when the protocol keeps no such bitset. When non-null it
+  /// must agree with `has_gossip_of` for every origin — the engine then
+  /// verifies rumor gathering with word-parallel containment checks
+  /// instead of n virtual calls per process. The view must stay valid
+  /// until the next protocol callback.
+  [[nodiscard]] virtual const util::DynamicBitset* gossip_bits()
+      const noexcept {
+    return nullptr;
+  }
 };
 
 /// Creates the per-process protocol instances of one run.

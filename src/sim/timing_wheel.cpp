@@ -1,0 +1,183 @@
+#include "sim/timing_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace ugf::sim {
+
+TimingWheel::TimingWheel() {
+  for (auto& level : levels_) level.resize(kBuckets);
+}
+
+void TimingWheel::mark_occupied(std::size_t level,
+                                std::size_t index) noexcept {
+  auto& word = occupancy_[level][index / 64];
+  const std::uint64_t bit = std::uint64_t{1} << (index % 64);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++occupied_buckets_;
+    stats_.max_buckets = std::max(stats_.max_buckets, occupied_buckets_);
+  }
+}
+
+void TimingWheel::mark_drained(std::size_t level,
+                               std::size_t index) noexcept {
+  auto& word = occupancy_[level][index / 64];
+  const std::uint64_t bit = std::uint64_t{1} << (index % 64);
+  if ((word & bit) != 0) {
+    word &= ~bit;
+    --occupied_buckets_;
+  }
+}
+
+std::size_t TimingWheel::find_occupied(std::size_t level,
+                                       std::size_t from) const noexcept {
+  if (from >= kBuckets) return kBuckets;
+  std::size_t w = from / 64;
+  std::uint64_t word = occupancy_[level][w] & (~std::uint64_t{0} << (from % 64));
+  for (;;) {
+    if (word != 0)
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    if (++w == kBitmapWords) return kBuckets;
+    word = occupancy_[level][w];
+  }
+}
+
+void TimingWheel::place(std::size_t level, const ScheduledEvent& ev) {
+  const std::size_t index =
+      static_cast<std::size_t>((ev.step - base_[level]) >>
+                               (kLevelBits * level));
+  UGF_ASSERT_MSG(index < kBuckets,
+                 "step %llu outside level-%zu window at base %llu",
+                 static_cast<unsigned long long>(ev.step), level,
+                 static_cast<unsigned long long>(base_[level]));
+  Bucket& bucket = levels_[level][index];
+  UGF_ASSERT(bucket.events.empty() || bucket.events.back().seq < ev.seq);
+  bucket.events.push_back(ev);
+  mark_occupied(level, index);
+}
+
+void TimingWheel::push(const ScheduledEvent& ev) {
+  const GlobalStep cursor = base_[0] + head_;
+  UGF_ASSERT_MSG(ev.step >= cursor,
+                 "push at step %llu behind the cursor %llu",
+                 static_cast<unsigned long long>(ev.step),
+                 static_cast<unsigned long long>(cursor));
+  stats_.max_horizon = std::max(stats_.max_horizon, ev.step - cursor);
+  if (ev.step - base_[0] < window_width(0)) {
+    place(0, ev);
+  } else if (ev.step - base_[1] < window_width(1)) {
+    place(1, ev);
+  } else if (ev.step - base_[2] < window_width(2)) {
+    place(2, ev);
+  } else {
+    UGF_ASSERT(spill_.empty() || spill_.back().seq < ev.seq);
+    spill_.push_back(ev);
+    spill_min_ = std::min(spill_min_, ev.step);
+    stats_.max_spill = std::max(stats_.max_spill, spill_.size());
+  }
+  ++size_;
+}
+
+void TimingWheel::cascade(std::size_t from, std::size_t index) {
+  Bucket& src = levels_[from][index];
+  for (const ScheduledEvent& ev : src.events) place(from - 1, ev);
+  src.events.clear();
+  src.head = 0;
+  mark_drained(from, index);
+  ++stats_.cascades;
+}
+
+void TimingWheel::refile_spill() {
+  // Rebase level 2 onto the earliest far-future step (aligned down to
+  // the level-2 window width so bucket spans stay aligned with the
+  // level-1 window) and move every event that now fits. The remainder
+  // stays, in order, with a freshly tracked minimum. Only reached while
+  // all three levels are empty, so refiled events land in empty buckets
+  // in insertion (= seq) order.
+  UGF_ASSERT(!spill_.empty());
+  UGF_ASSERT_MSG(spill_min_ - base_[2] >= window_width(2),
+                 "spill holds a step (%llu) the wheel should have covered",
+                 static_cast<unsigned long long>(spill_min_));
+  base_[2] = spill_min_ & ~(window_width(2) - 1);
+  GlobalStep remaining_min = kNeverStep;
+  std::size_t kept = 0;
+  for (const ScheduledEvent& ev : spill_) {
+    if (ev.step - base_[2] < window_width(2)) {
+      place(2, ev);
+      ++stats_.spill_refiles;
+    } else {
+      spill_[kept++] = ev;
+      remaining_min = std::min(remaining_min, ev.step);
+    }
+  }
+  spill_.resize(kept);
+  spill_min_ = remaining_min;
+}
+
+TimingWheel::Bucket& TimingWheel::front_bucket() {
+  UGF_ASSERT(size_ != 0);
+  for (;;) {
+    const std::size_t index = find_occupied(0, head_);
+    if (index != kBuckets) {
+      head_ = index;
+      return levels_[0][index];
+    }
+    // Level 0 exhausted: jump its window to the next occupied level-1
+    // bucket and cascade it down; replenish level 1 from level 2 and
+    // level 2 from the spill list the same way. Jumps only ever target
+    // occupied buckets, so a far-future gap costs one hop per level,
+    // not one per empty bucket.
+    std::size_t l1 = find_occupied(1, 0);
+    if (l1 == kBuckets) {
+      std::size_t l2 = find_occupied(2, 0);
+      if (l2 == kBuckets) {
+        refile_spill();
+        l2 = find_occupied(2, 0);
+        UGF_ASSERT(l2 != kBuckets);
+      }
+      base_[1] = base_[2] + static_cast<GlobalStep>(l2) * bucket_width(2);
+      cascade(2, l2);
+      l1 = find_occupied(1, 0);
+      UGF_ASSERT(l1 != kBuckets);
+    }
+    base_[0] = base_[1] + static_cast<GlobalStep>(l1) * bucket_width(1);
+    head_ = 0;
+    cascade(1, l1);
+  }
+}
+
+ScheduledEvent TimingWheel::pop() {
+  Bucket& bucket = front_bucket();
+  UGF_ASSERT(bucket.head < bucket.events.size());
+  const ScheduledEvent ev = bucket.events[bucket.head++];
+  --size_;
+  if (bucket.head == bucket.events.size()) {
+    bucket.events.clear();
+    bucket.head = 0;
+    mark_drained(0, head_);
+  }
+  return ev;
+}
+
+void TimingWheel::clear() noexcept {
+  for (auto& level : levels_) {
+    for (auto& bucket : level) {
+      bucket.events.clear();
+      bucket.head = 0;
+    }
+  }
+  for (auto& bitmap : occupancy_)
+    bitmap.fill(0);
+  spill_.clear();
+  spill_min_ = kNeverStep;
+  base_.fill(0);
+  head_ = 0;
+  size_ = 0;
+  occupied_buckets_ = 0;
+  stats_ = Stats{};
+}
+
+}  // namespace ugf::sim

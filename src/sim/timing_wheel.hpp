@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file timing_wheel.hpp
+/// The engine's event scheduler: a hierarchical timing wheel.
+///
+/// The simulation schedules three kinds of events (step begins, step
+/// ends, adversary timers) whose firing steps are overwhelmingly
+/// *near-future* — a benign local step advances time by delta_rho = 1 —
+/// but UGF's Strategy 2.k.l parks messages tau^(k+l) = F^2 global steps
+/// ahead, which at production scale is millions of steps with ~10^6
+/// events in flight. A binary heap pays O(log m) pointer-chasing
+/// comparisons per push *and* pop on exactly that workload; the wheel
+/// pays O(1) per event regardless of how far ahead it is parked.
+///
+/// Layout: `kLevels` arrays of `kBuckets` buckets each. Level k buckets
+/// span 2^(10k) steps, so the wheel directly covers a 2^30-step horizon
+/// past `base(2)`; anything farther lands in a far-future *spill list*
+/// that is refiled (in order) whenever the level-2 window advances.
+/// Buckets are plain vectors drained front-to-back; all storage —
+/// bucket vectors and the spill list — is retained across `clear()`,
+/// matching the engine's reset()-keeps-capacity contract.
+///
+/// Determinism. The engine requires pops in exact (step, seq) order,
+/// `seq` being the global insertion counter. The wheel preserves it
+/// structurally, with no comparisons at all:
+///
+///  * pushes happen in increasing `seq`, so every bucket (and the spill
+///    list) is appended in seq order and stays seq-sorted;
+///  * a level-k bucket's span equals the whole level-(k-1) window, and
+///    its cascade runs exactly when that window advances to cover it —
+///    while the lower level is completely empty. Distribution preserves
+///    source order, so each target bucket starts seq-sorted, and every
+///    later direct push carries a larger seq than anything cascaded;
+///  * a level-0 bucket holds exactly one step, so draining it
+///    front-to-back is (step, seq) order.
+///
+/// The same argument covers the spill list: it is only refiled while
+/// level 2 is empty, in insertion order. `tests/test_timing_wheel.cpp`
+/// replays random schedules through this wheel and a reference binary
+/// heap and asserts identical pop sequences.
+///
+/// Time never flows backwards: `push` requires `ev.step` at or after
+/// the step of the last popped event (the engine's event-monotonicity
+/// invariant), which is what lets drained buckets be reused for later
+/// laps without lap counting.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ugf::sim {
+
+/// One scheduled engine event. `step`/`seq` are the scheduling key; the
+/// remaining fields are the engine's payload (event kind, subject
+/// process, validity token) and are opaque to the wheel.
+struct ScheduledEvent {
+  GlobalStep step = 0;
+  std::uint64_t seq = 0;  ///< insertion order; tie-break for determinism
+  std::uint64_t token = 0;
+  ProcessId pid = kNoProcess;
+  std::uint8_t kind = 0;
+};
+
+/// Hierarchical timing wheel over ScheduledEvents; see file comment.
+class TimingWheel {
+ public:
+  /// Buckets per level and the level-0 window width in steps.
+  static constexpr std::size_t kBuckets = 1024;
+  /// Number of wheel levels; beyond them events spill.
+  static constexpr std::size_t kLevels = 3;
+
+  /// Scheduler-health gauges of the current run (zeroed by clear()).
+  /// Maxima are high-water marks, counters are cumulative.
+  struct Stats {
+    std::size_t pending = 0;         ///< events currently scheduled
+    std::size_t spill_pending = 0;   ///< of which in the spill list
+    std::size_t max_spill = 0;       ///< spill-list high-water mark
+    std::size_t max_buckets = 0;     ///< occupied-bucket high-water mark
+    std::uint64_t max_horizon = 0;   ///< max (step - cursor) ever pushed
+    std::uint64_t cascades = 0;      ///< bucket cascades performed
+    std::uint64_t spill_refiles = 0; ///< events refiled out of the spill
+  };
+
+  TimingWheel();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Schedules `ev`. `ev.step` must be >= the step of the last popped
+  /// event and `ev.seq` must exceed every previously pushed seq.
+  void push(const ScheduledEvent& ev);
+
+  /// Removes and returns the earliest pending event in (step, seq)
+  /// order. The wheel must not be empty.
+  ScheduledEvent pop();
+
+  /// Discards every pending event and rewinds the cursor to step 0.
+  /// Bucket vectors and the spill list keep their grown capacity; the
+  /// stats gauges restart from zero.
+  void clear() noexcept;
+
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats out = stats_;
+    out.pending = size_;
+    out.spill_pending = spill_.size();
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kLevelBits = 10;  // log2(kBuckets)
+  static constexpr std::size_t kBitmapWords = kBuckets / 64;
+  /// Width of one level-k bucket in steps: 2^(10k).
+  [[nodiscard]] static constexpr GlobalStep bucket_width(
+      std::size_t level) noexcept {
+    return GlobalStep{1} << (kLevelBits * level);
+  }
+  /// Width of the whole level-k window: 2^(10(k+1)).
+  [[nodiscard]] static constexpr GlobalStep window_width(
+      std::size_t level) noexcept {
+    return GlobalStep{1} << (kLevelBits * (level + 1));
+  }
+
+  struct Bucket {
+    std::vector<ScheduledEvent> events;
+    std::size_t head = 0;  ///< drained prefix (level-0 pop cursor)
+  };
+
+  /// Appends into `levels_[level]` by step; step must fall inside the
+  /// level's current window.
+  void place(std::size_t level, const ScheduledEvent& ev);
+  /// Moves every event of level-`from` bucket `index` one level down.
+  void cascade(std::size_t from, std::size_t index);
+  /// Rebases level 2 onto the earliest spill step and refiles every
+  /// spill event that now fits the wheel. Requires levels empty.
+  void refile_spill();
+  /// Positions head_ on the first occupied level-0 bucket, advancing
+  /// windows / cascading / refiling as needed. Requires size_ > 0.
+  Bucket& front_bucket();
+
+  void mark_occupied(std::size_t level, std::size_t index) noexcept;
+  void mark_drained(std::size_t level, std::size_t index) noexcept;
+  /// First occupied bucket index >= from at `level`, or kBuckets.
+  [[nodiscard]] std::size_t find_occupied(std::size_t level,
+                                          std::size_t from) const noexcept;
+
+  std::array<std::vector<Bucket>, kLevels> levels_;
+  /// Occupancy bitmap per level (bit = bucket holds pending events).
+  std::array<std::array<std::uint64_t, kBitmapWords>, kLevels> occupancy_{};
+  /// Events beyond the level-2 window; seq-sorted by construction.
+  std::vector<ScheduledEvent> spill_;
+  GlobalStep spill_min_ = kNeverStep;  ///< earliest step in spill_
+
+  /// Aligned start of each level's current window. base_[k] is a
+  /// multiple of bucket_width(k+1) == window_width(k) alignment of the
+  /// level above; base_[0] <= cursor position < base_[0] + kBuckets.
+  std::array<GlobalStep, kLevels> base_{};
+  std::size_t head_ = 0;  ///< level-0 cursor (bucket index)
+  std::size_t size_ = 0;
+  std::size_t occupied_buckets_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace ugf::sim

@@ -126,6 +126,53 @@ std::size_t DynamicBitset::find_first_set() const noexcept {
   return size_;
 }
 
+namespace {
+
+/// Index of the k-th (0-based) set bit of `word`; k < popcount(word).
+std::size_t select_bit(std::uint64_t word, std::size_t k) noexcept {
+  for (; k > 0; --k) word &= word - 1;  // drop the k lowest set bits
+  return static_cast<std::size_t>(std::countr_zero(word));
+}
+
+}  // namespace
+
+std::size_t DynamicBitset::nth_clear(std::size_t k) const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t inv =
+        ~words_[w] & (w + 1 == words_.size() ? tail_mask() : ~std::uint64_t{0});
+    const auto pc = static_cast<std::size_t>(std::popcount(inv));
+    if (k < pc) return w * kWordBits + select_bit(inv, k);
+    k -= pc;
+  }
+  return size_;
+}
+
+std::size_t DynamicBitset::union_clear_count(const DynamicBitset& a,
+                                             const DynamicBitset& b) noexcept {
+  UGF_ASSERT_MSG(a.size_ == b.size_, "size mismatch: %zu vs %zu", a.size_,
+                 b.size_);
+  std::size_t set = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w)
+    set += static_cast<std::size_t>(std::popcount(a.words_[w] | b.words_[w]));
+  return a.size_ - set;
+}
+
+std::size_t DynamicBitset::nth_clear_of_union(const DynamicBitset& a,
+                                              const DynamicBitset& b,
+                                              std::size_t k) noexcept {
+  UGF_ASSERT_MSG(a.size_ == b.size_, "size mismatch: %zu vs %zu", a.size_,
+                 b.size_);
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    const std::uint64_t inv =
+        ~(a.words_[w] | b.words_[w]) &
+        (w + 1 == a.words_.size() ? a.tail_mask() : ~std::uint64_t{0});
+    const auto pc = static_cast<std::size_t>(std::popcount(inv));
+    if (k < pc) return w * kWordBits + select_bit(inv, k);
+    k -= pc;
+  }
+  return a.size_;
+}
+
 std::vector<std::uint32_t> DynamicBitset::to_indices() const {
   std::vector<std::uint32_t> out;
   out.reserve(count());

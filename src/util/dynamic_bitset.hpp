@@ -56,6 +56,24 @@ class DynamicBitset {
   /// Index of the first set bit, or size() if none set.
   [[nodiscard]] std::size_t find_first_set() const noexcept;
 
+  /// Number of clear bits (size() - count()).
+  [[nodiscard]] std::size_t clear_count() const noexcept {
+    return size_ - count();
+  }
+  /// Index of the k-th (0-based, ascending) clear bit; size() if fewer
+  /// than k + 1 bits are clear. Equivalent to clear_indices()[k]
+  /// without materializing the vector.
+  [[nodiscard]] std::size_t nth_clear(std::size_t k) const noexcept;
+
+  /// Number of clear bits of (a | b); allocation-free.
+  [[nodiscard]] static std::size_t union_clear_count(
+      const DynamicBitset& a, const DynamicBitset& b) noexcept;
+  /// Index of the k-th (0-based, ascending) clear bit of (a | b);
+  /// a.size() if fewer than k + 1 bits are clear. Sizes must match.
+  [[nodiscard]] static std::size_t nth_clear_of_union(
+      const DynamicBitset& a, const DynamicBitset& b,
+      std::size_t k) noexcept;
+
   /// Indices of all set bits, ascending.
   [[nodiscard]] std::vector<std::uint32_t> to_indices() const;
   /// Indices of all clear bits, ascending.

@@ -69,6 +69,21 @@ TEST(Ears, SendsExactlyOneMessagePerStepUntilCompletion) {
   EXPECT_TRUE(p.completed());
 }
 
+TEST(Ears, GossipBitsAgreesWithHasGossipOf) {
+  EarsProcess p(0, info(6, 2), EarsConfig{}, 1);
+  FakeContext ctx(0, info(6, 2));
+  const auto check_agreement = [&p] {
+    const util::DynamicBitset* view = p.gossip_bits();
+    ASSERT_NE(view, nullptr);
+    ASSERT_EQ(view->size(), 6u);
+    for (sim::ProcessId q = 0; q < 6; ++q)
+      EXPECT_EQ(view->test(q), p.has_gossip_of(q)) << "origin " << q;
+  };
+  check_agreement();
+  p.on_message(ctx, FakeContext::message(1, 0, payload_from(ctx, 6, 1, {2})));
+  check_agreement();
+}
+
 TEST(Ears, MergesGossipsAndSelfAcknowledges) {
   EarsProcess p(0, info(6, 2), EarsConfig{}, 1);
   FakeContext ctx(0, info(6, 2));

@@ -331,6 +331,57 @@ TEST(InboxUnit, ManyDistinctDeliveryTimesOneLaneEach) {
   EXPECT_EQ(inbox.lane_count(), kLanes);
 }
 
+TEST(InboxUnit, LaneChurnAcrossDeliveryTimeFlipsStaysCorrect) {
+  // Regression for the last-hit lane cache in Inbox::push: the sender's
+  // d flips on every accept (worst case for the cache — a miss plus a
+  // fallback scan each time), then hammers one lane (all hits), then
+  // revisits earlier lanes. Routing, ordering and the earliest-arrival
+  // cache must be oblivious to the churn.
+  sim::Engine::Inbox inbox;
+  std::uint64_t seq = 0;
+  // Phase 1: alternate d in {3, 5, 9} per accept — every push misses
+  // the cached lane.
+  const std::uint64_t churn_d[] = {3, 5, 9, 3, 5, 9, 3, 5, 9};
+  GlobalStep sent = 0;
+  for (const std::uint64_t d : churn_d) {
+    inbox.push(d, inbox_msg(static_cast<ProcessId>(d), sent, sent + d), seq++);
+    ++sent;
+  }
+  EXPECT_EQ(inbox.lane_count(), 3u);
+  EXPECT_EQ(inbox.size(), 9u);
+  EXPECT_EQ(inbox.earliest_arrival(), 3u);  // first d=3 accept
+
+  // Phase 2: the same d repeatedly — all cache hits land in one lane.
+  for (int i = 0; i < 50; ++i) {
+    inbox.push(5, inbox_msg(42, sent, sent + 5), seq++);
+    ++sent;
+  }
+  EXPECT_EQ(inbox.lane_count(), 3u);  // no spurious new lane
+  EXPECT_EQ(inbox.size(), 59u);
+  EXPECT_EQ(inbox.earliest_arrival(), 3u);  // unchanged by later accepts
+
+  // Phase 3: revisit the first lane after the cache moved away.
+  inbox.push(3, inbox_msg(7, sent, sent + 3), seq++);
+  EXPECT_EQ(inbox.lane_count(), 3u);
+  EXPECT_EQ(inbox.size(), 60u);
+
+  // Drain everything; arrival order (ties by seq) must hold and the
+  // earliest-arrival cache must track every pop.
+  sim::Message out;
+  GlobalStep last_arrival = 0;
+  std::uint64_t drained = 0;
+  while (!inbox.empty()) {
+    const GlobalStep expect_next = inbox.earliest_arrival();
+    ASSERT_TRUE(inbox.pop_due(sim::kNeverStep - 1, out));
+    EXPECT_EQ(out.arrives_at, expect_next);
+    EXPECT_GE(out.arrives_at, last_arrival);
+    last_arrival = out.arrives_at;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 60u);
+  EXPECT_EQ(inbox.earliest_arrival(), sim::kNeverStep);
+}
+
 TEST(EngineEdges, CrashWithMultiLaneInboxDropsEveryPendingMessage) {
   // Receiver 0 accumulates pending messages in three distinct delivery
   // lanes, then crashes before any arrival: the crash clears the inbox

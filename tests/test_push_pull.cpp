@@ -153,6 +153,25 @@ TEST(PushPull, MergesGossipSets) {
   EXPECT_FALSE(p.has_gossip_of(4));
 }
 
+TEST(PushPull, GossipBitsAgreesWithHasGossipOf) {
+  // The engine's word-parallel verification path relies on this
+  // agreement for every origin, before and after merges.
+  PushPullProcess p(0, info(5));
+  FakeContext ctx(0, info(5));
+  const auto check_agreement = [&p] {
+    const util::DynamicBitset* view = p.gossip_bits();
+    ASSERT_NE(view, nullptr);
+    ASSERT_EQ(view->size(), 5u);
+    for (sim::ProcessId q = 0; q < 5; ++q)
+      EXPECT_EQ(view->test(q), p.has_gossip_of(q)) << "origin " << q;
+  };
+  check_agreement();
+  p.on_message(ctx, FakeContext::message(
+                        1, 0,
+                        ctx.make_payload<GossipSetPayload>(bits(5, {1, 3}))));
+  check_agreement();
+}
+
 TEST(PushPull, EngineRunDisseminatesAndQuiesces) {
   protocols::PushPullFactory factory;
   sim::EngineConfig cfg;

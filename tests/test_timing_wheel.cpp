@@ -1,0 +1,276 @@
+// Unit and property tests for the engine's hierarchical timing wheel.
+//
+// The referee for ordering is a reference binary heap using the exact
+// (step, seq) comparator the engine shipped before the wheel: every
+// test that cares about order replays the same pushes through both and
+// demands identical pop sequences. (Heap primitives are banned in
+// src/sim by the lint pass, not in tests.)
+
+#include "sim/timing_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ugf::sim::GlobalStep;
+using ugf::sim::ScheduledEvent;
+using ugf::sim::TimingWheel;
+
+constexpr GlobalStep kL0Width = TimingWheel::kBuckets;          // 2^10
+constexpr GlobalStep kL1Width = kL0Width * kL0Width;            // 2^20
+constexpr GlobalStep kL2Width = kL1Width * kL0Width;            // 2^30
+
+/// The pre-wheel engine scheduler, verbatim: min-heap on (step, seq).
+class ReferenceHeap {
+ public:
+  void push(const ScheduledEvent& ev) {
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+  }
+  ScheduledEvent pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    const ScheduledEvent ev = heap_.back();
+    heap_.pop_back();
+    return ev;
+  }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct After {
+    bool operator()(const ScheduledEvent& a,
+                    const ScheduledEvent& b) const noexcept {
+      if (a.step != b.step) return a.step > b.step;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<ScheduledEvent> heap_;
+};
+
+ScheduledEvent make(GlobalStep step, std::uint64_t seq) {
+  // Payload fields derived from seq so round-tripping is checkable.
+  return ScheduledEvent{step, seq, /*token=*/seq * 3 + 1,
+                        static_cast<ugf::sim::ProcessId>(seq % 97),
+                        static_cast<std::uint8_t>(seq % 3)};
+}
+
+void expect_same(const ScheduledEvent& got, const ScheduledEvent& want) {
+  EXPECT_EQ(got.step, want.step);
+  EXPECT_EQ(got.seq, want.seq);
+  EXPECT_EQ(got.token, want.token);
+  EXPECT_EQ(got.pid, want.pid);
+  EXPECT_EQ(got.kind, want.kind);
+}
+
+/// Drains both schedulers completely, asserting identical sequences.
+void drain_and_compare(TimingWheel& wheel, ReferenceHeap& heap) {
+  ASSERT_EQ(wheel.size(), heap.size());
+  while (!heap.empty()) {
+    ASSERT_FALSE(wheel.empty());
+    const ScheduledEvent want = heap.pop();
+    const ScheduledEvent got = wheel.pop();
+    ASSERT_EQ(got.step, want.step);
+    ASSERT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimingWheel, PopsSameStepEventsInPushOrder) {
+  TimingWheel wheel;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq)
+    wheel.push(make(/*step=*/7, seq));
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    const ScheduledEvent got = wheel.pop();
+    expect_same(got, make(7, seq));
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimingWheel, OrdersAcrossLevelZeroBucketBoundary) {
+  // Steps straddling the first level-0 window edge (1023 | 1024) pushed
+  // interleaved: ties must break by seq, steps by value, regardless of
+  // which side of the bucket boundary they land on.
+  TimingWheel wheel;
+  ReferenceHeap heap;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (const GlobalStep step :
+         {kL0Width, kL0Width - 1, kL0Width + 1, kL0Width - 1, kL0Width}) {
+      const ScheduledEvent ev = make(step, seq++);
+      wheel.push(ev);
+      heap.push(ev);
+    }
+  }
+  drain_and_compare(wheel, heap);
+}
+
+TEST(TimingWheel, OrdersAcrossUpperLevelBoundaries) {
+  // Events just below / at / above the level-1 and level-2 window edges,
+  // plus near-future ones, pushed in a scrambled but seq-increasing
+  // order.
+  TimingWheel wheel;
+  ReferenceHeap heap;
+  const GlobalStep steps[] = {
+      5,         kL1Width - 1, kL1Width,     kL1Width + 5, 5,
+      kL2Width,  kL2Width - 1, kL2Width + 9, kL0Width + 2, kL1Width,
+      kL2Width,  3,            kL0Width - 1, kL2Width - 1, kL1Width + 5,
+  };
+  std::uint64_t seq = 0;
+  for (const GlobalStep step : steps) {
+    const ScheduledEvent ev = make(step, seq++);
+    wheel.push(ev);
+    heap.push(ev);
+  }
+  drain_and_compare(wheel, heap);
+}
+
+TEST(TimingWheel, SameStepTiesSurviveCascades) {
+  // Events parked at one far step via level 1, then — after pops have
+  // advanced the window so the far bucket cascaded down — more events
+  // pushed directly to the *same* step. Direct pushes carry later seqs
+  // than everything cascaded, so pop order must interleave them last.
+  TimingWheel wheel;
+  std::uint64_t seq = 0;
+  const GlobalStep far = 5000;
+  for (int i = 0; i < 3; ++i) wheel.push(make(far, seq++));
+  wheel.push(make(1, seq++));
+  const ScheduledEvent near = wheel.pop();  // advances nothing past 1
+  EXPECT_EQ(near.step, 1u);
+  const ScheduledEvent first_far = wheel.pop();  // cascade happened here
+  expect_same(first_far, make(far, 0));
+  for (int i = 0; i < 3; ++i) wheel.push(make(far, seq++));
+  for (const std::uint64_t want_seq : {1u, 2u, 4u, 5u, 6u}) {
+    const ScheduledEvent got = wheel.pop();
+    expect_same(got, make(far, want_seq));
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimingWheel, HandlesStrategyScaleFarFutureDelays) {
+  // UGF Strategy 2.k.l parks messages tau^(k+l) = F^2 steps ahead. With
+  // F in the thousands that is millions of steps (level 2); F ~ 40k
+  // pushes past the 2^30 wheel horizon into the spill list. Interleave
+  // near-future traffic so every level participates.
+  constexpr GlobalStep kF2Small = 2000ull * 2000ull;      // 4e6: level 2
+  constexpr GlobalStep kF2Large = 40000ull * 40000ull;    // 1.6e9: spill
+  static_assert(kF2Large > kL2Width);
+  TimingWheel wheel;
+  ReferenceHeap heap;
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    for (const GlobalStep step :
+         {GlobalStep{2} + i, kF2Small + i % 7, kF2Large + i % 5}) {
+      const ScheduledEvent ev = make(step, seq++);
+      wheel.push(ev);
+      heap.push(ev);
+    }
+  }
+  const TimingWheel::Stats before = wheel.stats();
+  EXPECT_EQ(before.pending, wheel.size());
+  EXPECT_GT(before.spill_pending, 0u);
+  EXPECT_EQ(before.max_horizon, kF2Large + 4);
+  drain_and_compare(wheel, heap);
+  const TimingWheel::Stats after = wheel.stats();
+  EXPECT_EQ(after.pending, 0u);
+  EXPECT_EQ(after.spill_pending, 0u);
+  EXPECT_GT(after.cascades, 0u);       // far events cascaded down
+  EXPECT_GT(after.spill_refiles, 0u);  // and were refiled off the spill
+  EXPECT_EQ(after.max_spill, 200u);
+}
+
+TEST(TimingWheel, ClearRewindsAndRetainsReusableStorage) {
+  // Two identical fill/drain cycles around a mid-flight clear(): the
+  // second cycle must behave exactly like the first (cursor rewound to
+  // step 0, stats gauges restarted), with the grown bucket/spill
+  // storage reused rather than reallocated.
+  const auto fill = [](TimingWheel& wheel) {
+    std::uint64_t seq = 0;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      wheel.push(make(i % 50, seq++));
+      wheel.push(make(kL1Width + i, seq++));
+      wheel.push(make(kL2Width * 2 + i, seq++));  // spill
+    }
+  };
+  const auto drain_record = [](TimingWheel& wheel) {
+    std::vector<ScheduledEvent> out;
+    while (!wheel.empty()) out.push_back(wheel.pop());
+    return out;
+  };
+
+  TimingWheel wheel;
+  fill(wheel);
+  for (int i = 0; i < 100; ++i) (void)wheel.pop();  // clear mid-drain
+  wheel.clear();
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  const TimingWheel::Stats cleared = wheel.stats();
+  EXPECT_EQ(cleared.pending, 0u);
+  EXPECT_EQ(cleared.spill_pending, 0u);
+  EXPECT_EQ(cleared.max_spill, 0u);
+  EXPECT_EQ(cleared.max_buckets, 0u);
+  EXPECT_EQ(cleared.max_horizon, 0u);
+  EXPECT_EQ(cleared.cascades, 0u);
+  EXPECT_EQ(cleared.spill_refiles, 0u);
+
+  // Cursor is back at step 0: near-past steps are schedulable again and
+  // the run behaves exactly like a fresh wheel's.
+  fill(wheel);
+  const std::vector<ScheduledEvent> first = drain_record(wheel);
+
+  wheel.clear();  // rewind once more (this time from an empty wheel)
+  fill(wheel);
+  const std::vector<ScheduledEvent> second = drain_record(wheel);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].step, second[i].step);
+    ASSERT_EQ(first[i].seq, second[i].seq);
+  }
+}
+
+TEST(TimingWheel, PropertyRandomSchedulesMatchReferenceHeap) {
+  // Replays random push/pop schedules through the wheel and the
+  // reference heap. Delays are drawn from a mixed distribution covering
+  // every level and the spill list; pushes always target a step at or
+  // after the last popped step (the engine's monotonicity contract).
+  for (const std::uint64_t seed : {1ull, 42ull, 0xB0D1E5ull, 91ull}) {
+    ugf::util::Rng rng(seed);
+    TimingWheel wheel;
+    ReferenceHeap heap;
+    std::uint64_t seq = 0;
+    GlobalStep cursor = 0;
+    for (int op = 0; op < 20000; ++op) {
+      if (wheel.empty() || rng.below(100) < 55) {
+        GlobalStep delay = 0;
+        switch (rng.below(5)) {
+          case 0: delay = rng.below(4); break;                   // same bucket
+          case 1: delay = rng.below(kL0Width); break;            // level 0
+          case 2: delay = rng.below(kL1Width); break;            // level 1
+          case 3: delay = rng.below(kL2Width); break;            // level 2
+          default: delay = kL2Width + rng.below(kL2Width * 4); break;  // spill
+        }
+        const ScheduledEvent ev = make(cursor + delay, seq++);
+        wheel.push(ev);
+        heap.push(ev);
+      } else {
+        const ScheduledEvent want = heap.pop();
+        const ScheduledEvent got = wheel.pop();
+        ASSERT_EQ(got.step, want.step) << "seed " << seed << " op " << op;
+        ASSERT_EQ(got.seq, want.seq) << "seed " << seed << " op " << op;
+        ASSERT_EQ(got.token, want.token);
+        cursor = got.step;
+      }
+      ASSERT_EQ(wheel.size(), heap.size());
+    }
+    drain_and_compare(wheel, heap);
+  }
+}
+
+}  // namespace

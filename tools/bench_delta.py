@@ -6,13 +6,19 @@ against the committed ``BENCH_baseline.json``; the resulting delta file
 is uploaded as a build artifact so perf drift is visible per commit
 without gating the build on noisy shared runners.
 
-Usage: bench_delta.py COMMITTED_BASELINE FRESH_RUN [--out DELTA.json]
+Usage: bench_delta.py COMMITTED_BASELINE FRESH_RUN [--out=DELTA.json]
+                      [--gate] [--gate-pct=10]
 
 For every numeric field present in both files the report holds the
 committed value, the fresh value and the relative delta in percent
 (positive = fresh is larger). Non-numeric fields are compared for
 equality. Exits 0 when both files parse and share the schema, 2 on
-usage/schema errors — the delta itself never fails the job.
+usage/schema errors — by default the delta itself never fails the job.
+
+``--gate`` turns the report into a regression gate: exit 1 when any of
+the hot-path cost fields (detached ns/step at both sizes, scheduler
+wheel ns/op) is more than ``--gate-pct`` percent above the committed
+baseline. Only increases gate; getting faster never fails.
 """
 
 from __future__ import annotations
@@ -22,6 +28,15 @@ import sys
 from pathlib import Path
 
 SCHEMA = "ugf-bench-baseline-v1"
+
+# Fields the --gate mode refuses to let regress: the costs everybody
+# pays with observability detached, plus the scheduler kernel itself.
+GATE_FIELDS = (
+    "detached_pristine_ns_per_step",
+    "detached_paired_ns_per_step",
+    "large_n_detached_ns_per_step",
+    "sched_wheel_ns_per_op",
+)
 
 
 def load(path: str) -> dict:
@@ -37,11 +52,17 @@ def load(path: str) -> dict:
 def main(argv: list[str]) -> int:
     args = [a for a in argv[1:] if not a.startswith("--")]
     out_path = None
+    gate = False
+    gate_pct = 10.0
     for a in argv[1:]:
         if a.startswith("--out="):
             out_path = a.split("=", 1)[1]
         elif a == "--out":
             sys.exit("bench_delta: use --out=FILE")
+        elif a == "--gate":
+            gate = True
+        elif a.startswith("--gate-pct="):
+            gate_pct = float(a.split("=", 1)[1])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -69,6 +90,25 @@ def main(argv: list[str]) -> int:
         Path(out_path).write_text(json.dumps(report, indent=1) + "\n",
                                   encoding="utf-8")
         print(f"bench_delta: wrote {out_path}", file=sys.stderr)
+
+    if gate:
+        failed = []
+        for key in GATE_FIELDS:
+            entry = report["fields"].get(key)
+            if entry is None:
+                # A gate field missing from either file is itself a
+                # regression — someone dropped it from the emitter.
+                failed.append(f"{key}: missing from baseline or fresh run")
+            elif entry["delta_pct"] > gate_pct:
+                failed.append(f"{key}: {entry['committed']:.1f} -> "
+                              f"{entry['fresh']:.1f} "
+                              f"({entry['delta_pct']:+.2f}% > {gate_pct}%)")
+        if failed:
+            for line in failed:
+                print(f"bench_delta: GATE FAIL {line}", file=sys.stderr)
+            return 1
+        print(f"bench_delta: gate OK (all {len(GATE_FIELDS)} hot-path "
+              f"fields within {gate_pct}%)", file=sys.stderr)
     return 0
 
 

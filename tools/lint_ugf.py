@@ -35,6 +35,15 @@ reproduction's correctness story depends on:
                the cost the arena removed. Factory plumbing that
                genuinely needs shared ownership goes on the explicit
                allowlist (``SHAREDPTR_ALLOWLIST``).
+  scheduler    ``src/sim/`` must not use ``std::priority_queue`` or the
+               ``std::push_heap``/``pop_heap``/``make_heap`` primitives:
+               event ordering goes through ``sim::TimingWheel``
+               (src/sim/timing_wheel.hpp), which is O(1) amortized and
+               deterministic by construction. A comparison-based heap
+               sneaking back in silently reverts the scheduler to
+               O(log n) per event. The pre-wheel heap survives in
+               ``bench/reference_heap.hpp`` as the benchmark baseline —
+               bench/ is out of scope on purpose.
 
 A finding can be suppressed on its line (or the line above) with:
     // ugf-lint: allow(<rule>)
@@ -66,6 +75,8 @@ ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
 IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
 UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
 SHAREDPTR_RE = re.compile(r"\bstd::(?:shared_ptr|make_shared)\b")
+SCHEDULER_RE = re.compile(
+    r"\bstd::(?:priority_queue|push_heap|pop_heap|make_heap)\b")
 
 # Rule applicability, by repo-relative posix path.
 RNG_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
@@ -75,6 +86,7 @@ SHAREDPTR_SCOPE = ("src/sim/", "src/protocols/")
 # Files allowed to use shared ownership despite being in scope (factory
 # plumbing that outlives a single run would qualify; currently nothing).
 SHAREDPTR_ALLOWLIST: tuple[str, ...] = ()
+SCHEDULER_SCOPE = ("src/sim/",)
 
 
 class Finding:
@@ -183,6 +195,15 @@ def lint_file(root: Path, path: Path) -> list[Finding]:
                             "shared_ptr in the sim/protocol layer; payloads "
                             "are arena-owned (ctx.make_payload<T>() -> "
                             "sim::PayloadRef, see sim/payload_arena.hpp)"))
+        if (any(rel.startswith(scope) for scope in SCHEDULER_SCOPE)
+                and SCHEDULER_RE.search(code)):
+            if not allowed("scheduler", lines, i):
+                findings.append(
+                    Finding(rel, lineno, "scheduler",
+                            "comparison-based heap in the simulator; event "
+                            "ordering goes through sim::TimingWheel "
+                            "(sim/timing_wheel.hpp), O(1) amortized and "
+                            "deterministic by construction"))
 
     if path.suffix in {".hpp", ".hh", ".h"}:
         findings.extend(lint_header_prelude(rel, lines))
