@@ -11,6 +11,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/campaign.hpp"
 #include "core/ugf.hpp"
 #include "adversary/factory.hpp"
 #include "protocols/registry.hpp"
@@ -33,6 +34,25 @@ int main(int argc, char** argv) {
   spec.f = static_cast<std::uint32_t>(fraction * n);
   spec.runs = runs;
   spec.base_seed = 0xAB1A;
+
+  bench::CampaignScope campaign(args, "ablation_q");
+  campaign.set_protocol("push-pull,ears");
+  campaign.add_adversary(bench::describe_adversary("baseline", "none"));
+  for (const double q1 : q1s) {
+    for (const double q2 : q2s) {
+      core::AdversaryParams params;
+      params.ugf.q1 = q1;
+      params.ugf.q2 = q2;
+      campaign.add_adversary(bench::describe_adversary(
+          "q1=" + bench::format_param(q1) + " q2=" + bench::format_param(q2),
+          "ugf", params));
+    }
+  }
+  campaign.add_param("n", bench::format_param(std::uint64_t{n}));
+  campaign.add_param("fraction", bench::format_param(fraction));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(spec.base_seed));
+  campaign.attach(spec, 2 * (1 + q1s.size() * q2s.size()));
 
   util::CsvWriter csv(csv_path, {"protocol", "q1", "q2", "messages_median",
                                  "messages_q3", "time_median", "time_q3"});
@@ -72,6 +92,8 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  campaign.note_artifact("csv", csv_path);
+  campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << "Expected: every (q1, q2) cell dominates the baseline in "
                "messages and/or time; extreme q values merely tilt which "

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "adversary/factory.hpp"
+#include "bench/campaign.hpp"
 #include "core/ugf.hpp"
 #include "protocols/registry.hpp"
 #include "runner/monte_carlo.hpp"
@@ -61,6 +62,21 @@ int main(int argc, char** argv) {
     variants.push_back(v);
   }
 
+  bench::CampaignScope campaign(args, "ablation_tau");
+  campaign.set_protocol("push-pull,ears");
+  campaign.add_adversary(bench::describe_adversary("baseline", "none"));
+  for (const auto& variant : variants) {
+    core::AdversaryParams params;
+    params.ugf = variant.config;
+    campaign.add_adversary(
+        bench::describe_adversary(variant.label, "ugf", params));
+  }
+  campaign.add_param("n", bench::format_param(std::uint64_t{n}));
+  campaign.add_param("fraction", bench::format_param(fraction));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(spec.base_seed));
+  campaign.attach(spec, 2 * (1 + variants.size()));
+
   util::CsvWriter csv(csv_path, {"protocol", "variant", "messages_median",
                                  "messages_q3", "time_median", "time_q3",
                                  "truncated"});
@@ -99,6 +115,8 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  campaign.note_artifact("csv", csv_path);
+  campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << "Expected: small tau weakens the delay strategies (delays "
                "are absorbed by the tau+tau^2 normalization sooner), while "

@@ -1,0 +1,205 @@
+#include "bench/campaign.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace ugf::bench {
+
+namespace {
+
+/// `--manifest=off` (and friends) disables an output that is otherwise
+/// on by default; mirrors CliArgs::get_bool's false spellings.
+bool is_off(const std::string& value) {
+  return value == "0" || value == "false" || value == "no" || value == "off";
+}
+
+std::uint64_t parse_u64(const std::string& value) {
+  return std::stoull(value);
+}
+
+double parse_double(const std::string& value) { return std::stod(value); }
+
+bool parse_flag(const std::string& value) {
+  if (value == "1") return true;
+  if (value == "0") return false;
+  throw std::runtime_error("manifest adversary: bad boolean '" + value + "'");
+}
+
+}  // namespace
+
+std::string format_param(double value) {
+  char buf[32];
+  // Shortest decimal form that parses back to the same bits, so the
+  // manifest round trip is exact without always paying 17 digits.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string format_param(std::uint64_t value) { return std::to_string(value); }
+
+obs::ManifestSweep to_manifest_sweep(const runner::SweepConfig& config) {
+  obs::ManifestSweep sweep;
+  sweep.grid = config.grid;
+  sweep.f_fraction = config.f_fraction;
+  sweep.runs = config.runs;
+  sweep.base_seed = config.base_seed;
+  sweep.threads = config.threads;
+  sweep.max_steps = config.max_steps;
+  sweep.max_events = config.max_events;
+  sweep.collect_timeseries = config.collect_timeseries;
+  sweep.timeseries_samples = config.timeseries_samples;
+  return sweep;
+}
+
+runner::SweepConfig sweep_from_manifest(const obs::ManifestSweep& sweep) {
+  runner::SweepConfig config;
+  config.grid = sweep.grid;
+  config.f_fraction = sweep.f_fraction;
+  config.runs = sweep.runs;
+  config.base_seed = sweep.base_seed;
+  config.threads = static_cast<std::size_t>(sweep.threads);
+  config.max_steps = sweep.max_steps;
+  config.max_events = sweep.max_events;
+  config.collect_timeseries = sweep.collect_timeseries;
+  config.timeseries_samples = sweep.timeseries_samples;
+  return config;
+}
+
+obs::ManifestAdversary describe_adversary(std::string label,
+                                          std::string factory,
+                                          const core::AdversaryParams& params) {
+  obs::ManifestAdversary out;
+  out.label = std::move(label);
+  out.factory = std::move(factory);
+  // Every knob is recorded, defaults included, so a replay never
+  // depends on the defaults staying what they were at write time.
+  out.params = {
+      {"k", format_param(std::uint64_t{params.k})},
+      {"l", format_param(std::uint64_t{params.l})},
+      {"tau", format_param(params.tau)},
+      {"ugf.exponent_cap", format_param(std::uint64_t{params.ugf.exponent_cap})},
+      {"ugf.fixed_k", format_param(std::uint64_t{params.ugf.fixed_k})},
+      {"ugf.fixed_l", format_param(std::uint64_t{params.ugf.fixed_l})},
+      {"ugf.omission_mode", params.ugf.omission_mode ? "1" : "0"},
+      {"ugf.q1", format_param(params.ugf.q1)},
+      {"ugf.q2", format_param(params.ugf.q2)},
+      {"ugf.sample_exponents", params.ugf.sample_exponents ? "1" : "0"},
+      {"ugf.tau", format_param(params.ugf.tau)},
+  };
+  return out;
+}
+
+core::AdversaryParams adversary_params_from(
+    const obs::ManifestAdversary& adversary) {
+  core::AdversaryParams params;
+  for (const auto& [key, value] : adversary.params) {
+    if (key == "k") {
+      params.k = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "l") {
+      params.l = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "tau") {
+      params.tau = parse_u64(value);
+    } else if (key == "ugf.exponent_cap") {
+      params.ugf.exponent_cap = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "ugf.fixed_k") {
+      params.ugf.fixed_k = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "ugf.fixed_l") {
+      params.ugf.fixed_l = static_cast<std::uint32_t>(parse_u64(value));
+    } else if (key == "ugf.omission_mode") {
+      params.ugf.omission_mode = parse_flag(value);
+    } else if (key == "ugf.q1") {
+      params.ugf.q1 = parse_double(value);
+    } else if (key == "ugf.q2") {
+      params.ugf.q2 = parse_double(value);
+    } else if (key == "ugf.sample_exponents") {
+      params.ugf.sample_exponents = parse_flag(value);
+    } else if (key == "ugf.tau") {
+      params.ugf.tau = parse_u64(value);
+    } else {
+      throw std::runtime_error("manifest adversary: unknown param key '" +
+                               key + "'");
+    }
+  }
+  return params;
+}
+
+CampaignScope::CampaignScope(const util::CliArgs& args, std::string figure_id)
+    : figure_id_(std::move(figure_id)),
+      progress_(obs::SweepProgress::auto_options(
+          args.has("progress") ? (args.get_bool("progress", true) ? 1 : -1)
+                               : 0)) {
+  manifest_.figure = figure_id_;
+  manifest_.build = obs::current_build_info();
+  manifest_.host = obs::current_host_info();
+  if (!is_off(args.get_string("manifest", "")))
+    manifest_path_ = args.out_path("manifest", figure_id_ + ".manifest.json");
+  if (args.has("metrics") && !is_off(args.get_string("metrics", "")))
+    metrics_path_ = args.out_path("metrics", figure_id_ + ".metrics.json");
+  if (args.has("prom") && !is_off(args.get_string("prom", "")))
+    prom_path_ = args.out_path("prom", figure_id_ + ".prom");
+  registry_enabled_ = !manifest_path_.empty() || !metrics_path_.empty() ||
+                      !prom_path_.empty();
+}
+
+void CampaignScope::attach(runner::SweepConfig& config, std::size_t curves) {
+  config.metrics = metrics();
+  config.progress = progress();
+  if (progress() != nullptr)
+    progress_.add_planned_runs(static_cast<std::uint64_t>(curves) *
+                               config.grid.size() * config.runs);
+}
+
+void CampaignScope::attach(runner::RunSpec& spec, std::size_t batches) {
+  spec.metrics = metrics();
+  spec.progress = progress();
+  if (progress() != nullptr)
+    progress_.add_planned_runs(static_cast<std::uint64_t>(batches) *
+                               spec.runs);
+}
+
+runner::ProgressFn CampaignScope::progress_fn() {
+  return [this](const std::string& label, std::size_t done,
+                std::size_t total) {
+    if (progress_.enabled())
+      progress_.note_batch(label, done, total);
+    else
+      std::fprintf(stderr, "  [%s] %zu/%zu grid points (%.1fs)\n",
+                   label.c_str(), done, total, watch_.seconds());
+  };
+}
+
+void CampaignScope::finish(std::ostream& out) {
+  if (finished_) return;
+  finished_ = true;
+  progress_.finish();
+  manifest_.wall_time_seconds = watch_.seconds();
+  if (registry_enabled_) manifest_.metrics = registry_.snapshot();
+  bool wrote = false;
+  if (!metrics_path_.empty()) {
+    obs::write_metrics_json_file(metrics_path_, manifest_.metrics);
+    note_artifact("metrics", metrics_path_);
+    out << "metrics: " << metrics_path_ << "  ";
+    wrote = true;
+  }
+  if (!prom_path_.empty()) {
+    obs::write_prometheus_text_file(prom_path_, manifest_.metrics);
+    note_artifact("prom", prom_path_);
+    out << "prom: " << prom_path_ << "  ";
+    wrote = true;
+  }
+  if (!manifest_path_.empty()) {
+    // Registered before writing so the manifest lists itself too.
+    note_artifact("manifest", manifest_path_);
+    obs::write_manifest_file(manifest_path_, manifest_);
+    out << "manifest: " << manifest_path_;
+    wrote = true;
+  }
+  if (wrote) out << "\n";
+}
+
+}  // namespace ugf::bench

@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Campaign observability glue for the bench binaries: one object that
+/// owns the metrics registry, the live progress renderer, and the run
+/// manifest for a whole figure run, driven by CLI flags every binary
+/// shares. The scope is created right after argument parsing, attached
+/// to the SweepConfig/RunSpec of each sweep, fed the artifacts the
+/// binary writes, and finished once at the end — which stamps the wall
+/// time and writes the provenance record (docs/OBSERVABILITY.md).
+///
+/// Shared flags:
+///   --manifest[=PATH|off]  provenance manifest (ugf-manifest-v1; ON by
+///                          default, written as <id>.manifest.json under
+///                          --out-dir; `--manifest=off` disables it)
+///   --metrics[=PATH]       merged metrics snapshot as ugf-metrics-v1
+///                          JSON (default <id>.metrics.json)
+///   --prom[=PATH]          same snapshot, Prometheus text exposition
+///                          (default <id>.prom)
+///   --progress[=0|1]       live status line on stderr; default: on iff
+///                          stderr is a TTY and $CI is unset
+///
+/// This header also hosts the manifest <-> runner conversions (sweep
+/// configs, adversary parameters) that obs cannot provide itself — obs
+/// knows nothing about runner or core types — so the manifest
+/// round-trip test can rebuild a sweep from a parsed manifest alone.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adversary_registry.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "runner/monte_carlo.hpp"
+#include "runner/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ugf::bench {
+
+/// Exact-round-trip manifest string for a double (shortest %.17g form
+/// that parses back bit-for-bit) / an unsigned integer.
+[[nodiscard]] std::string format_param(double value);
+[[nodiscard]] std::string format_param(std::uint64_t value);
+
+/// Mirrors a SweepConfig into its manifest form. Observability
+/// pointers (profiler, metrics, progress) are presentation, not
+/// parameters, and are dropped.
+[[nodiscard]] obs::ManifestSweep to_manifest_sweep(
+    const runner::SweepConfig& config);
+
+/// Inverse of to_manifest_sweep; the pointers stay null and `threads`
+/// is restored as recorded (0 = hardware concurrency). Results are
+/// thread-count invariant, so replaying with a different pool still
+/// reproduces the CSV bit-for-bit.
+[[nodiscard]] runner::SweepConfig sweep_from_manifest(
+    const obs::ManifestSweep& sweep);
+
+/// Describes a registry adversary for the manifest: records tau/k/l and
+/// the UGF probability knobs as exact strings, sorted by key.
+[[nodiscard]] obs::ManifestAdversary describe_adversary(
+    std::string label, std::string factory,
+    const core::AdversaryParams& params = {});
+
+/// Inverse of describe_adversary: reconstructs the numeric parameters
+/// so `core::make_adversary(adversary.factory, ...)` rebuilds the
+/// factory the manifest describes. Unknown keys throw
+/// std::runtime_error — a manifest from a newer writer should fail
+/// loudly, not replay subtly wrong.
+[[nodiscard]] core::AdversaryParams adversary_params_from(
+    const obs::ManifestAdversary& adversary);
+
+/// The per-binary campaign scope. Non-copyable; everything it hands
+/// out (registry, renderer) lives exactly as long as the scope, which
+/// must therefore outlive every sweep attached to it.
+class CampaignScope {
+ public:
+  CampaignScope(const util::CliArgs& args, std::string figure_id);
+
+  CampaignScope(const CampaignScope&) = delete;
+  CampaignScope& operator=(const CampaignScope&) = delete;
+
+  /// Registry to attach to sweeps; nullptr when every campaign output
+  /// (manifest, metrics, prom) is disabled, so the engines skip metric
+  /// publication entirely.
+  [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
+    return registry_enabled_ ? &registry_ : nullptr;
+  }
+
+  /// Live renderer; nullptr when the status line is off.
+  [[nodiscard]] obs::SweepProgress* progress() noexcept {
+    return progress_.enabled() ? &progress_ : nullptr;
+  }
+
+  void set_protocol(std::string name) {
+    manifest_.protocol = std::move(name);
+  }
+  void add_adversary(obs::ManifestAdversary adversary) {
+    manifest_.adversaries.push_back(std::move(adversary));
+  }
+  void set_sweep(const runner::SweepConfig& config) {
+    manifest_.has_sweep = true;
+    manifest_.sweep = to_manifest_sweep(config);
+  }
+  void add_param(std::string key, std::string value) {
+    manifest_.params.emplace_back(std::move(key), std::move(value));
+  }
+  void note_artifact(std::string kind, std::string path) {
+    manifest_.artifacts.emplace_back(std::move(kind), std::move(path));
+  }
+
+  /// Attaches registry + renderer to a sweep and plans
+  /// `curves * grid * runs` runs so the ETA is meaningful.
+  void attach(runner::SweepConfig& config, std::size_t curves);
+
+  /// Same for a flat batch spec; `batches` is how many run_batch calls
+  /// the binary will issue with this spec.
+  void attach(runner::RunSpec& spec, std::size_t batches = 1);
+
+  /// Batch-level progress callback for sweep_figure/sweep_curve: feeds
+  /// the live renderer when it is active, otherwise prints the classic
+  /// per-grid-point stderr line. See the ProgressFn threading contract
+  /// in runner/sweep.hpp — this runs on the sweep thread only.
+  [[nodiscard]] runner::ProgressFn progress_fn();
+
+  /// Stops the clock, finalizes the renderer, writes every configured
+  /// output (manifest with the merged metrics snapshot, metrics JSON,
+  /// Prometheus text) and prints their paths to `out`. Idempotent.
+  void finish(std::ostream& out);
+
+ private:
+  std::string figure_id_;
+  bool registry_enabled_ = false;
+  std::string manifest_path_;  ///< empty = disabled
+  std::string metrics_path_;   ///< empty = disabled
+  std::string prom_path_;      ///< empty = disabled
+  obs::MetricsRegistry registry_;
+  obs::SweepProgress progress_;
+  obs::RunManifest manifest_;
+  util::Stopwatch watch_;
+  bool finished_ = false;
+};
+
+}  // namespace ugf::bench

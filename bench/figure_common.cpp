@@ -3,6 +3,7 @@
 #include <exception>
 #include <iostream>
 
+#include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
 #include "obs/event.hpp"
 #include "obs/export.hpp"
@@ -59,6 +60,18 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
         {spec.max_label, max_ugf.get()},
     };
 
+    // Campaign observability: metrics registry, live progress line, and
+    // the provenance manifest all hang off this scope (campaign.hpp).
+    CampaignScope campaign(args, spec.figure_id);
+    campaign.set_protocol(spec.protocol);
+    campaign.add_adversary(describe_adversary("no adversary", "none"));
+    campaign.add_adversary(describe_adversary("UGF", "ugf"));
+    campaign.add_adversary(
+        describe_adversary(spec.max_label, spec.max_adversary, max_params));
+    campaign.set_sweep(config);
+    campaign.add_param("metric", runner::to_string(spec.metric));
+    campaign.attach(config, adversaries.size());
+
     std::cout << spec.figure_id << ": " << spec.title << "\n"
               << "protocol=" << spec.protocol << " runs=" << config.runs
               << " F=" << config.f_fraction << "N"
@@ -66,15 +79,12 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
               << std::flush;
 
     util::Stopwatch watch;
-    const auto curves = runner::sweep_figure(
-        config, *protocol, adversaries,
-        [&](const std::string& label, std::size_t done, std::size_t total) {
-          std::cerr << "  [" << label << "] " << done << "/" << total
-                    << " grid points (" << watch.seconds() << "s)\n";
-        });
+    const auto curves = runner::sweep_figure(config, *protocol, adversaries,
+                                             campaign.progress_fn());
 
     runner::print_figure(std::cout, spec.title, curves, spec.metric);
-    runner::print_strategy_histogram(std::cout, curves);
+    runner::print_strategy_histogram(
+        std::cout, curves, args.get_bool("per-curve-histogram", false));
     // Statistical backing for the "UGF dominates the baseline" claim.
     runner::print_dominance(std::cout, curves[0], curves[1], spec.metric);
     if (config.collect_timeseries)
@@ -85,13 +95,16 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       const std::string csv_path =
           args.out_path("csv", spec.figure_id + ".csv");
       runner::write_figure_csv(csv_path, spec.figure_id, curves);
+      campaign.note_artifact("csv", csv_path);
       const std::string json_path =
           args.out_path("json", spec.figure_id + ".json");
       runner::write_figure_json(json_path, spec.figure_id, curves);
+      campaign.note_artifact("json", json_path);
       std::cout << "csv: " << csv_path << "  json: " << json_path;
       if (config.collect_timeseries) {
         runner::write_figure_timeseries_csv(timeseries_path, spec.figure_id,
                                             curves);
+        campaign.note_artifact("timeseries", timeseries_path);
         std::cout << "  timeseries: " << timeseries_path;
       }
       std::cout << "  (" << watch.seconds() << "s total)\n\n";
@@ -125,17 +138,20 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       meta.seed = record.seed;
       if (!trace_path.empty()) {
         obs::write_ndjson_trace_file(trace_path, recorder.raw(), meta);
+        campaign.note_artifact("trace", trace_path);
         std::cout << "trace: " << trace_path << " (" << recorder.size()
                   << " events, n=" << one.n << ", " << record.strategy
                   << ")\n";
       }
       if (!chrome_path.empty()) {
         obs::write_chrome_trace_file(chrome_path, recorder.raw(), meta);
+        campaign.note_artifact("chrome-trace", chrome_path);
         std::cout << "chrome-trace: " << chrome_path
                   << " (open in chrome://tracing or ui.perfetto.dev)\n";
       }
     }
 
+    campaign.finish(std::cout);
     if (profile) obs::print_phase_table(std::cout, profiler);
     return 0;
   } catch (const std::exception& e) {

@@ -30,6 +30,13 @@
 ///   --chrome-trace=p   same run as chrome://tracing / Perfetto JSON
 ///   --profile          per-phase wall-time table (engine / protocol /
 ///                      adversary / stats / export) over the whole panel
+///   --per-curve-histogram  print the strategy histogram per curve in
+///                      addition to the aggregate block
+///
+/// Campaign flags (bench/campaign.hpp): --manifest[=PATH|off] (run
+/// provenance, ON by default), --metrics[=PATH] (ugf-metrics-v1 JSON),
+/// --prom[=PATH] (Prometheus text), --progress[=0|1] (live status
+/// line; default on iff stderr is a TTY and $CI is unset).
 
 #include <string>
 

@@ -8,7 +8,9 @@
 //        --seed=...           --csv=fsweep.csv
 
 #include <iostream>
+#include <sstream>
 
+#include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
 #include "protocols/registry.hpp"
 #include "runner/report.hpp"
@@ -16,6 +18,20 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
+
+namespace {
+
+template <typename T>
+std::string join_list(const std::vector<T>& values) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out << ",";
+    out << values[i];
+  }
+  return out.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ugf;
@@ -28,6 +44,15 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 20));
   const auto seed = args.get_uint("seed", 0xF5EEull);
   const auto csv_path = args.out_path("csv", "fsweep.csv");
+
+  bench::CampaignScope campaign(args, "fsweep");
+  campaign.set_protocol("push-pull,ears");
+  campaign.add_adversary(bench::describe_adversary("baseline", "none"));
+  campaign.add_adversary(bench::describe_adversary("ugf", "ugf"));
+  campaign.add_param("n-grid", join_list(grid));
+  campaign.add_param("fracs", join_list(fracs));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(seed));
 
   std::cout << "F-sweep: UGF strength as a function of the crash budget\n"
             << "runs=" << runs << " per point; values are medians\n\n";
@@ -49,6 +74,7 @@ int main(int argc, char** argv) {
       config.f_fraction = frac;
       config.runs = runs;
       config.base_seed = seed;
+      campaign.attach(config, 2);
       const auto none = core::make_adversary("none");
       const auto ugf = core::make_adversary("ugf");
       const auto baseline =
@@ -76,6 +102,8 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  campaign.note_artifact("csv", csv_path);
+  campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "  (" << watch.seconds() << "s)\n"
             << "\nExpected reading: attacked medians grow with the crash "
                "fraction at every N, while the baseline is flat in F — the "

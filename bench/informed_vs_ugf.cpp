@@ -12,6 +12,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
 #include "protocols/registry.hpp"
 #include "runner/monte_carlo.hpp"
@@ -38,12 +39,28 @@ int main(int argc, char** argv) {
             << "adversary" << std::setw(22) << "messages" << std::setw(20)
             << "time" << "picked strategy\n";
 
+  const auto protocol_names = protocols::protocol_names();
+  bench::CampaignScope campaign(args, "informed_vs_ugf");
+  {
+    std::string joined;
+    for (const auto& name : protocol_names)
+      joined += (joined.empty() ? "" : ",") + name;
+    campaign.set_protocol(joined);
+  }
+  for (const char* name : {"none", "ugf", "informed"})
+    campaign.add_adversary(bench::describe_adversary(name, name));
+  campaign.add_param("n", bench::format_param(std::uint64_t{n}));
+  campaign.add_param("fraction", bench::format_param(fraction));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(spec.base_seed));
+  campaign.attach(spec, 3 * protocol_names.size());
+
   util::CsvWriter csv(csv_path, {"protocol", "adversary", "messages_median",
                                  "messages_q3", "time_median", "time_q3",
                                  "strategies"});
   runner::MonteCarloRunner runner;
 
-  for (const auto& protocol_name : protocols::protocol_names()) {
+  for (const auto& protocol_name : protocol_names) {
     const auto protocol = protocols::make_protocol(protocol_name);
     for (const char* adversary_name : {"none", "ugf", "informed"}) {
       const auto adversary = core::make_adversary(adversary_name);
@@ -68,6 +85,8 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  campaign.note_artifact("csv", csv_path);
+  campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << "Expected: the informed fighter's medians match the per-"
                "protocol 'max UGF' curves (it always plays the right "

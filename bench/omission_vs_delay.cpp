@@ -13,6 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
 #include "protocols/registry.hpp"
 #include "runner/monte_carlo.hpp"
@@ -40,12 +41,28 @@ int main(int argc, char** argv) {
             << "time" << std::setw(12) << "omitted" << std::setw(14)
             << "fail rate" << "\n";
 
+  const auto protocol_names = protocols::protocol_names();
+  bench::CampaignScope campaign(args, "omission_vs_delay");
+  {
+    std::string joined;
+    for (const auto& name : protocol_names)
+      joined += (joined.empty() ? "" : ",") + name;
+    campaign.set_protocol(joined);
+  }
+  for (const char* name : {"none", "strategy-2.k.l", "omission"})
+    campaign.add_adversary(bench::describe_adversary(name, name));
+  campaign.add_param("n", bench::format_param(std::uint64_t{n}));
+  campaign.add_param("fraction", bench::format_param(fraction));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(spec.base_seed));
+  campaign.attach(spec, 3 * protocol_names.size());
+
   util::CsvWriter csv(csv_path,
                       {"protocol", "adversary", "messages_median",
                        "time_median", "omitted_mean", "failure_rate"});
   runner::MonteCarloRunner runner;
 
-  for (const auto& protocol_name : protocols::protocol_names()) {
+  for (const auto& protocol_name : protocol_names) {
     const auto protocol = protocols::make_protocol(protocol_name);
     for (const char* adversary_name : {"none", "strategy-2.k.l", "omission"}) {
       const auto adversary = core::make_adversary(adversary_name);
@@ -68,7 +85,10 @@ int main(int argc, char** argv) {
                      fail_rate);
     }
   }
-  std::cout << "\ncsv: " << csv_path << "\n"
+  campaign.note_artifact("csv", csv_path);
+  std::cout << "\n";
+  campaign.finish(std::cout);
+  std::cout << "csv: " << csv_path << "\n"
             << "Expected: the omission twin matches the delay strategy's "
                "overhead on retrying protocols (EARS/SEARS) and, unlike "
                "delays, *permanently* defeats dissemination for protocols "

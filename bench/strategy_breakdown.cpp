@@ -12,6 +12,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
 #include "protocols/registry.hpp"
 #include "runner/monte_carlo.hpp"
@@ -36,13 +37,29 @@ int main(int argc, char** argv) {
       "none", "strategy-1", "strategy-2.k.0", "strategy-2.k.l", "oblivious",
       "ugf"};
 
+  bench::CampaignScope campaign(args, "strategy_breakdown");
+  const auto protocol_names = protocols::protocol_names();
+  {
+    std::string joined;
+    for (const auto& name : protocol_names)
+      joined += (joined.empty() ? "" : ",") + name;
+    campaign.set_protocol(joined);
+  }
+  for (const auto& name : adversaries)
+    campaign.add_adversary(bench::describe_adversary(name, name));
+  campaign.add_param("n", bench::format_param(std::uint64_t{n}));
+  campaign.add_param("fraction", bench::format_param(fraction));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(spec.base_seed));
+  campaign.attach(spec, adversaries.size() * protocol_names.size());
+
   std::cout << "Strategy breakdown at N=" << n << ", F=" << spec.f << ", "
             << runs << " runs per cell (medians)\n\n";
   util::CsvWriter csv(csv_path, {"protocol", "adversary", "messages_median",
                                  "messages_q3", "time_median", "time_q3"});
 
   runner::MonteCarloRunner runner;
-  for (const auto& protocol_name : protocols::protocol_names()) {
+  for (const auto& protocol_name : protocol_names) {
     const auto protocol = protocols::make_protocol(protocol_name);
     std::map<std::string, runner::BatchResult> results;
     for (const auto& adversary_name : adversaries) {
@@ -79,6 +96,8 @@ int main(int argc, char** argv) {
     std::cout << "-> max-UGF strategy for time: " << max_time
               << "; for messages: " << max_msgs << "\n\n";
   }
+  campaign.note_artifact("csv", csv_path);
+  campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << "Paper's designations (§V-B / Fig. 3): Push-Pull time -> "
                "strategy-1, EARS time -> strategy-2.1.0, messages -> "

@@ -12,6 +12,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
 #include "core/theory.hpp"
 #include "protocols/registry.hpp"
@@ -46,13 +47,34 @@ int main(int argc, char** argv) {
   const auto ugf_factory = core::make_adversary("ugf");
   bool all_ok = true;
 
-  for (const auto& protocol_name : protocols::protocol_names()) {
+  const auto protocol_names = protocols::protocol_names();
+  bench::CampaignScope campaign(args, "tradeoff_alpha");
+  {
+    std::string joined;
+    for (const auto& name : protocol_names)
+      joined += (joined.empty() ? "" : ",") + name;
+    campaign.set_protocol(joined);
+  }
+  campaign.add_adversary(bench::describe_adversary("ugf", "ugf"));
+  campaign.add_param("n", bench::format_param(std::uint64_t{n}));
+  campaign.add_param("fraction", bench::format_param(fraction));
+  campaign.add_param("runs", bench::format_param(std::uint64_t{runs}));
+  campaign.add_param("seed", bench::format_param(std::uint64_t{0xA1FA}));
+  {
+    std::string joined;
+    for (const auto alpha : alphas)
+      joined += (joined.empty() ? "" : ",") + std::to_string(alpha);
+    campaign.add_param("alphas", joined);
+  }
+
+  for (const auto& protocol_name : protocol_names) {
     const auto protocol = protocols::make_protocol(protocol_name);
     runner::RunSpec spec;
     spec.n = n;
     spec.f = f;
     spec.runs = runs;
     spec.base_seed = 0xA1FA;
+    campaign.attach(spec);
     const auto batch = runner.run_batch(spec, *protocol, *ugf_factory);
     const double mean_time = batch.time.mean;
     const double mean_messages = batch.messages.mean;
@@ -80,6 +102,8 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  campaign.note_artifact("csv", csv_path);
+  campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << (all_ok ? "All protocols satisfy the Theorem-1 disjunction "
                          "at every alpha.\n"

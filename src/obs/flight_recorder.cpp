@@ -1,0 +1,99 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace ugf::obs {
+
+namespace {
+
+std::mutex& dump_dir_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& dump_dir_storage() {
+  static std::string dir = ".";
+  return dir;
+}
+
+std::string resolved_dump_dir() {
+  // The environment wins so a wedged CI job can be re-pointed without
+  // rebuilding; otherwise whatever the binary configured.
+  if (const char* env = std::getenv("UGF_FLIGHT_DIR");
+      env != nullptr && env[0] != '\0')
+    return env;
+  const std::lock_guard<std::mutex> lock(dump_dir_mutex());
+  return dump_dir_storage();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? kDefaultCapacity : capacity),
+      owner_thread_(std::this_thread::get_id()) {
+  hook_id_ = util::add_check_failure_hook(&FlightRecorder::on_check_failure,
+                                          this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  util::remove_check_failure_hook(hook_id_);
+}
+
+void FlightRecorder::bind(Context context,
+                          const MetricsRegistry* metrics) noexcept {
+  ring_.clear();
+  context_ = std::move(context);
+  metrics_ = metrics;
+  owner_thread_ = std::this_thread::get_id();
+}
+
+std::string FlightRecorder::dump(const std::string& dir) const {
+  TraceMeta meta;
+  meta.protocol = context_.protocol;
+  meta.adversary = context_.adversary;
+  meta.n = context_.n;
+  meta.f = context_.f;
+  meta.seed = context_.seed;
+
+  const std::string stem =
+      dir + "/ugf-flight-n" + std::to_string(context_.n) + "-seed" +
+      std::to_string(context_.seed);
+  write_ndjson_trace_file(stem + ".ndjson", ring_.events(), meta);
+  if (metrics_ != nullptr)
+    write_metrics_json_file(stem + ".metrics.json", metrics_->snapshot());
+  return stem;
+}
+
+void FlightRecorder::set_dump_dir(std::string dir) {
+  const std::lock_guard<std::mutex> lock(dump_dir_mutex());
+  dump_dir_storage() = std::move(dir);
+}
+
+void FlightRecorder::on_check_failure(void* self) noexcept {
+  const auto* recorder = static_cast<const FlightRecorder*>(self);
+  if (recorder->owner_thread_ != std::this_thread::get_id()) return;
+  try {
+    const std::string stem = recorder->dump(resolved_dump_dir());
+    std::fprintf(stderr,
+                 "flight recorder: %zu events (%llu dropped) -> %s.ndjson\n",
+                 recorder->ring_.size(),
+                 static_cast<unsigned long long>(
+                     recorder->ring_.dropped_events()),
+                 stem.c_str());
+    if (recorder->metrics_ != nullptr)
+      std::fprintf(stderr, "flight recorder: metrics -> %s.metrics.json\n",
+                   stem.c_str());
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "flight recorder: dump failed: %s\n", err.what());
+  }
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file flight_recorder.hpp
+/// Post-mortem context for invariant failures. A FlightRecorder is an
+/// EventSink wrapping a bounded EventRecorder ring (the last N
+/// TraceEvents of the run it is bound to). On construction it
+/// registers a util check-failure hook; when a UGF_ASSERT / UGF_AUDIT
+/// fires on the thread that owns the recorder, the hook dumps
+///
+///   <dir>/<stem>.ndjson        — the ring as valid `ugf-trace-v1`
+///                                NDJSON (validates with
+///                                tools/lint_ugf.py --validate-trace)
+///   <dir>/<stem>.metrics.json  — the bound registry's merged
+///                                `ugf-metrics-v1` snapshot, if any
+///
+/// to stderr-announced paths before the process aborts, turning a bare
+/// "UGF_AUDIT failed" into a replayable trace tail. Only recorders
+/// owned by the *failing* thread dump: other workers' rings are being
+/// mutated concurrently and reading them would race.
+///
+/// The runner attaches one per Monte-Carlo run when checks are
+/// compiled in (UGF_CHECKS_ENABLED); at audit level 0 no check can
+/// fire, so the recorder would be dead weight and is compiled out of
+/// that path. Tests may also construct one directly and call `dump()`.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/event.hpp"
+
+namespace ugf::obs {
+
+class MetricsRegistry;
+
+class FlightRecorder final : public EventSink {
+ public:
+  /// ~160 KiB of TraceEvents: enough to cover several global steps of
+  /// a large-n run while keeping per-run construction cheap.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Provenance stamped into the dump's trace meta line.
+  struct Context {
+    std::string protocol;
+    std::string adversary;
+    std::uint32_t n = 0;
+    std::uint32_t f = 0;
+    std::uint64_t seed = 0;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder() override;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Rebinds the recorder to a new run: clears the ring and replaces
+  /// the meta context. `metrics` may be nullptr. Call between runs
+  /// when reusing one recorder per worker.
+  void bind(Context context, const MetricsRegistry* metrics) noexcept;
+
+  void on_event(const TraceEvent& event) override { ring_.on_event(event); }
+
+  [[nodiscard]] const EventRecorder& ring() const noexcept { return ring_; }
+
+  /// Writes the dump files into `dir` and returns the path stem
+  /// ("<dir>/ugf-flight-seed<seed>"). Used by the failure hook and
+  /// directly by tests. Throws on I/O failure.
+  std::string dump(const std::string& dir) const;
+
+  /// Directory the failure hook dumps into. Default "."; overridden
+  /// process-wide (e.g. by figure binaries to their --out-dir) or via
+  /// the UGF_FLIGHT_DIR environment variable, which wins.
+  static void set_dump_dir(std::string dir);
+
+ private:
+  static void on_check_failure(void* self) noexcept;
+
+  EventRecorder ring_;
+  Context context_;
+  const MetricsRegistry* metrics_ = nullptr;
+  std::thread::id owner_thread_;  ///< only this thread's failures dump
+  std::size_t hook_id_ = 0;
+};
+
+}  // namespace ugf::obs

@@ -1,0 +1,236 @@
+#include "obs/manifest.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+#if defined(_WIN32)
+#include <winsock.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "util/check.hpp"
+
+// The git/build identity is injected per-translation-unit by
+// src/obs/CMakeLists.txt; stay buildable without it.
+#ifndef UGF_BUILD_GIT_DESCRIBE
+#define UGF_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef UGF_BUILD_TYPE
+#define UGF_BUILD_TYPE "unknown"
+#endif
+#ifndef UGF_BUILD_SANITIZERS
+#define UGF_BUILD_SANITIZERS ""
+#endif
+
+namespace ugf::obs {
+
+BuildInfo current_build_info() {
+  BuildInfo info;
+  info.git_describe = UGF_BUILD_GIT_DESCRIBE;
+  info.build_type = UGF_BUILD_TYPE;
+  info.sanitizers = UGF_BUILD_SANITIZERS;
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  info.audit_level = UGF_AUDIT_LEVEL;
+  return info;
+}
+
+HostInfo current_host_info() {
+  HostInfo info;
+  char name[256] = {};
+  if (gethostname(name, sizeof name - 1) == 0 && name[0] != '\0')
+    info.hostname = name;
+  else
+    info.hostname = "unknown";
+  info.hardware_threads = std::thread::hardware_concurrency();
+  return info;
+}
+
+namespace {
+
+using StringPairs = std::vector<std::pair<std::string, std::string>>;
+
+StringPairs sorted(StringPairs pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+void write_string_map(util::JsonWriter& json, const char* name,
+                      const StringPairs& pairs) {
+  json.key(name).begin_object();
+  for (const auto& [key, value] : sorted(pairs))
+    json.member(key, std::string_view(value));
+  json.end_object();
+}
+
+StringPairs read_string_map(const util::JsonValue& value) {
+  StringPairs out;
+  for (const auto& [key, member] : value.members())
+    out.emplace_back(key, member.as_string());
+  return out;
+}
+
+MetricsSnapshot read_metrics_object(const util::JsonValue& value) {
+  MetricsSnapshot out;
+  if (value.at("schema").as_string() != kMetricsSchema)
+    throw std::runtime_error("manifest: unexpected metrics schema");
+  for (const auto& [name, v] : value.at("counters").members())
+    out.counters.push_back({name, v.as_uint64()});
+  for (const auto& [name, v] : value.at("gauges").members())
+    out.gauges.push_back({name, v.as_uint64()});
+  for (const auto& [name, v] : value.at("histograms").members()) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = v.at("count").as_uint64();
+    h.sum = v.at("sum").as_uint64();
+    h.min = v.at("min").as_uint64();
+    h.max = v.at("max").as_uint64();
+    for (const util::JsonValue& pair : v.at("buckets").items()) {
+      if (pair.items().size() != 2)
+        throw std::runtime_error("manifest: bad histogram bucket pair");
+      h.buckets.emplace_back(pair.items()[0].as_uint64(),
+                             pair.items()[1].as_uint64());
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_manifest(std::ostream& out, const RunManifest& manifest) {
+  util::JsonWriter json;
+  json.begin_object()
+      .member("schema", kManifestSchema)
+      .member("figure", std::string_view(manifest.figure))
+      .member("protocol", std::string_view(manifest.protocol));
+
+  json.key("adversaries").begin_array();
+  for (const ManifestAdversary& adv : manifest.adversaries) {
+    json.begin_object()
+        .member("label", std::string_view(adv.label))
+        .member("factory", std::string_view(adv.factory));
+    write_string_map(json, "params", adv.params);
+    json.end_object();
+  }
+  json.end_array();
+
+  if (manifest.has_sweep) {
+    json.key("sweep").begin_object();
+    json.key("grid").begin_array();
+    for (const std::uint32_t n : manifest.sweep.grid) json.value(n);
+    json.end_array();
+    json.member("f_fraction", manifest.sweep.f_fraction)
+        .member("runs", manifest.sweep.runs)
+        .member("base_seed", manifest.sweep.base_seed)
+        .member("threads", manifest.sweep.threads)
+        .member("max_steps", manifest.sweep.max_steps)
+        .member("max_events", manifest.sweep.max_events)
+        .member("collect_timeseries", manifest.sweep.collect_timeseries)
+        .member("timeseries_samples", manifest.sweep.timeseries_samples)
+        .end_object();
+  } else {
+    json.key("sweep").null();
+  }
+
+  write_string_map(json, "params", manifest.params);
+  write_string_map(json, "artifacts", manifest.artifacts);
+
+  json.key("build")
+      .begin_object()
+      .member("git_describe", std::string_view(manifest.build.git_describe))
+      .member("build_type", std::string_view(manifest.build.build_type))
+      .member("sanitizers", std::string_view(manifest.build.sanitizers))
+      .member("compiler", std::string_view(manifest.build.compiler))
+      .member("audit_level", manifest.build.audit_level)
+      .end_object();
+
+  json.key("host")
+      .begin_object()
+      .member("hostname", std::string_view(manifest.host.hostname))
+      .member("hardware_threads", manifest.host.hardware_threads)
+      .end_object();
+
+  json.member("wall_time_seconds", manifest.wall_time_seconds);
+
+  json.key("metrics");
+  append_metrics_json(json, manifest.metrics);
+
+  json.end_object();
+  out << json.str() << "\n";
+}
+
+void write_manifest_file(const std::string& path,
+                         const RunManifest& manifest) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("manifest: cannot open " + path);
+  write_manifest(out, manifest);
+  out.flush();
+  if (!out) throw std::runtime_error("manifest: write failed for " + path);
+}
+
+RunManifest read_manifest_file(const std::string& path) {
+  const util::JsonValue doc = util::parse_json_file(path);
+  if (doc.at("schema").as_string() != kManifestSchema)
+    throw std::runtime_error(path + ": not a " + std::string(kManifestSchema) +
+                             " file");
+
+  RunManifest m;
+  m.figure = doc.at("figure").as_string();
+  m.protocol = doc.at("protocol").as_string();
+
+  for (const util::JsonValue& adv : doc.at("adversaries").items()) {
+    ManifestAdversary out;
+    out.label = adv.at("label").as_string();
+    out.factory = adv.at("factory").as_string();
+    out.params = read_string_map(adv.at("params"));
+    m.adversaries.push_back(std::move(out));
+  }
+
+  const util::JsonValue& sweep = doc.at("sweep");
+  if (!sweep.is_null()) {
+    m.has_sweep = true;
+    for (const util::JsonValue& n : sweep.at("grid").items())
+      m.sweep.grid.push_back(static_cast<std::uint32_t>(n.as_uint64()));
+    m.sweep.f_fraction = sweep.at("f_fraction").as_double();
+    m.sweep.runs = static_cast<std::uint32_t>(sweep.at("runs").as_uint64());
+    m.sweep.base_seed = sweep.at("base_seed").as_uint64();
+    m.sweep.threads = sweep.at("threads").as_uint64();
+    m.sweep.max_steps = sweep.at("max_steps").as_uint64();
+    m.sweep.max_events = sweep.at("max_events").as_uint64();
+    m.sweep.collect_timeseries = sweep.at("collect_timeseries").as_bool();
+    m.sweep.timeseries_samples =
+        static_cast<std::uint32_t>(sweep.at("timeseries_samples").as_uint64());
+  }
+
+  m.params = read_string_map(doc.at("params"));
+  m.artifacts = read_string_map(doc.at("artifacts"));
+
+  const util::JsonValue& build = doc.at("build");
+  m.build.git_describe = build.at("git_describe").as_string();
+  m.build.build_type = build.at("build_type").as_string();
+  m.build.sanitizers = build.at("sanitizers").as_string();
+  m.build.compiler = build.at("compiler").as_string();
+  m.build.audit_level = static_cast<int>(build.at("audit_level").as_int64());
+
+  const util::JsonValue& host = doc.at("host");
+  m.host.hostname = host.at("hostname").as_string();
+  m.host.hardware_threads =
+      static_cast<std::uint32_t>(host.at("hardware_threads").as_uint64());
+
+  m.wall_time_seconds = doc.at("wall_time_seconds").as_double();
+  m.metrics = read_metrics_object(doc.at("metrics"));
+  return m;
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file manifest.hpp
+/// Run provenance: a `ugf-manifest-v1` JSON record written next to
+/// every figure/bench artifact, holding everything needed to reproduce
+/// the artifact bit-for-bit — the full sweep configuration (grid,
+/// seeds, caps, thread count), every adversary with its numeric
+/// parameters, the build (git describe, build type, sanitizer set,
+/// audit level, compiler), the host, wall time, and the final merged
+/// metrics snapshot. `read_manifest_file` is the inverse of
+/// `write_manifest_file`; the checked-in round-trip test re-runs a
+/// sweep from a parsed manifest and byte-compares the CSV.
+///
+/// Layering: obs knows nothing about runner or core types, so the
+/// sweep and adversaries are mirrored as plain structs here; the bench
+/// layer converts (bench/campaign.hpp). Extra binary-specific knobs
+/// travel in the string-keyed `params` list.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ugf::obs {
+
+/// Manifest schema version (bumped on breaking changes).
+inline constexpr const char* kManifestSchema = "ugf-manifest-v1";
+
+/// Toolchain + configuration of the binary that produced the run.
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --always --dirty --tags`
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string sanitizers;    ///< UGF_SANITIZE ("" = none)
+  std::string compiler;      ///< compiler id + version
+  int audit_level = 0;       ///< UGF_AUDIT_LEVEL the binary compiled with
+};
+
+/// Build info of *this* binary (filled from compile definitions).
+[[nodiscard]] BuildInfo current_build_info();
+
+struct HostInfo {
+  std::string hostname;
+  std::uint32_t hardware_threads = 0;
+};
+
+[[nodiscard]] HostInfo current_host_info();
+
+/// One adversary of the campaign. `factory` is the registry name
+/// ("ugf", "strategy-2.k.l", ...; empty = benign, no adversary);
+/// `params` holds its numeric knobs as exact-round-trip strings,
+/// sorted by key on write.
+struct ManifestAdversary {
+  std::string label;
+  std::string factory;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Plain mirror of runner::SweepConfig (see layering note above).
+struct ManifestSweep {
+  std::vector<std::uint32_t> grid;
+  double f_fraction = 0.3;
+  std::uint32_t runs = 50;
+  std::uint64_t base_seed = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t max_events = 0;
+  bool collect_timeseries = false;
+  std::uint32_t timeseries_samples = 65;
+};
+
+struct RunManifest {
+  std::string figure;    ///< figure/binary id, e.g. "fig3a"
+  std::string protocol;  ///< protocol factory name
+  std::vector<ManifestAdversary> adversaries;
+  bool has_sweep = false;
+  ManifestSweep sweep;
+  /// Binary-specific knobs (sorted by key on write).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Artifacts this run produced, as (kind, path): "csv", "json",
+  /// "trace", "metrics", ... (sorted by kind on write).
+  std::vector<std::pair<std::string, std::string>> artifacts;
+  BuildInfo build;
+  HostInfo host;
+  double wall_time_seconds = 0.0;
+  MetricsSnapshot metrics;
+};
+
+void write_manifest(std::ostream& out, const RunManifest& manifest);
+void write_manifest_file(const std::string& path, const RunManifest& manifest);
+
+/// Parses a manifest written by write_manifest_file; throws
+/// std::runtime_error on I/O, parse, or schema mismatch.
+[[nodiscard]] RunManifest read_manifest_file(const std::string& path);
+
+}  // namespace ugf::obs

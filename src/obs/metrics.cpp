@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace ugf::obs {
+
+void Histogram::record(std::uint64_t value) const noexcept {
+  if (slots_ == nullptr) return;
+  detail::HistogramSlot& slot = slots_[detail::metric_thread_slot()];
+  detail::HistogramShard* shard = slot.shard.load(std::memory_order_acquire);
+  if (shard == nullptr) {
+    auto* fresh = new detail::HistogramShard();
+    detail::HistogramShard* expected = nullptr;
+    // Only this thread ever writes its own slot, but threads past the
+    // slot cap share the last one — CAS keeps that case leak-free.
+    if (slot.shard.compare_exchange_strong(expected, fresh,
+                                           std::memory_order_acq_rel)) {
+      shard = fresh;
+    } else {
+      delete fresh;
+      shard = expected;
+    }
+  }
+  shard->count.fetch_add(1, std::memory_order_relaxed);
+  shard->sum.fetch_add(value, std::memory_order_relaxed);
+  detail::fetch_min_relaxed(shard->min, value);
+  detail::fetch_max_relaxed(shard->max, value);
+  shard->buckets[histogram_bucket(value)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the target sample (1-based, ceil) in cumulative counts.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.999999999999);
+  std::uint64_t seen = 0;
+  for (const auto& [lower, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return std::clamp(lower, min, max);
+  }
+  return max;
+}
+
+namespace {
+
+const CounterValue* find_named(const std::vector<CounterValue>& v,
+                               std::string_view name) noexcept {
+  for (const auto& e : v)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterValue* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+  return find_named(counters, name);
+}
+
+const GaugeValue* MetricsSnapshot::find_gauge(
+    std::string_view name) const noexcept {
+  for (const auto& e : gauges)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& e : histograms)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+// --- registry internals ----------------------------------------------------
+
+struct MetricsRegistry::Metric {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  explicit Metric(Kind k) : kind(k) {
+    if (kind == Kind::kHistogram) {
+      slots = std::make_unique<detail::HistogramSlot[]>(kMaxThreads);
+    } else {
+      cells = std::make_unique<detail::MetricCell[]>(kMaxThreads);
+    }
+  }
+
+  ~Metric() {
+    if (slots == nullptr) return;
+    for (std::size_t i = 0; i < kMaxThreads; ++i)
+      delete slots[i].shard.load(std::memory_order_acquire);
+  }
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  Kind kind;
+  std::unique_ptr<detail::MetricCell[]> cells;      // counter / gauge
+  std::unique_ptr<detail::HistogramSlot[]> slots;   // histogram
+};
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // Sorted by name so snapshots and exports are deterministic. Metric
+  // objects are heap-stable: handles keep raw pointers into them.
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> metrics;
+
+  Metric& resolve(std::string_view name, Metric::Kind kind) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = metrics.find(name);
+    if (it != metrics.end()) {
+      if (it->second->kind != kind)
+        throw std::logic_error("MetricsRegistry: \"" + std::string(name) +
+                               "\" re-registered with a different kind");
+      return *it->second;
+    }
+    auto [pos, inserted] =
+        metrics.emplace(std::string(name), std::make_unique<Metric>(kind));
+    UGF_ASSERT(inserted);
+    return *pos->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(impl_->resolve(name, Metric::Kind::kCounter).cells.get());
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(impl_->resolve(name, Metric::Kind::kGauge).cells.get());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  return Histogram(impl_->resolve(name, Metric::Kind::kHistogram).slots.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot out;
+  for (const auto& [name, metric] : impl_->metrics) {
+    switch (metric->kind) {
+      case Metric::Kind::kCounter: {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < kMaxThreads; ++i)
+          total += metric->cells[i].value.load(std::memory_order_relaxed);
+        out.counters.push_back({name, total});
+        break;
+      }
+      case Metric::Kind::kGauge: {
+        std::uint64_t peak = 0;
+        for (std::size_t i = 0; i < kMaxThreads; ++i)
+          peak = std::max(
+              peak, metric->cells[i].value.load(std::memory_order_relaxed));
+        out.gauges.push_back({name, peak});
+        break;
+      }
+      case Metric::Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = name;
+        h.min = std::numeric_limits<std::uint64_t>::max();
+        std::array<std::uint64_t, kNumHistogramBuckets> buckets{};
+        for (std::size_t i = 0; i < kMaxThreads; ++i) {
+          const detail::HistogramShard* shard =
+              metric->slots[i].shard.load(std::memory_order_acquire);
+          if (shard == nullptr) continue;
+          h.count += shard->count.load(std::memory_order_relaxed);
+          h.sum += shard->sum.load(std::memory_order_relaxed);
+          h.min =
+              std::min(h.min, shard->min.load(std::memory_order_relaxed));
+          h.max =
+              std::max(h.max, shard->max.load(std::memory_order_relaxed));
+          for (std::size_t b = 0; b < kNumHistogramBuckets; ++b)
+            buckets[b] += shard->buckets[b].load(std::memory_order_relaxed);
+        }
+        if (h.count == 0) h.min = 0;
+        for (std::size_t b = 0; b < kNumHistogramBuckets; ++b)
+          if (buckets[b] != 0)
+            h.buckets.emplace_back(histogram_bucket_lower(b), buckets[b]);
+        out.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, metric] : impl_->metrics) {
+    if (metric->cells != nullptr) {
+      for (std::size_t i = 0; i < kMaxThreads; ++i)
+        metric->cells[i].value.store(0, std::memory_order_relaxed);
+    }
+    if (metric->slots != nullptr) {
+      for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        detail::HistogramShard* shard =
+            metric->slots[i].shard.load(std::memory_order_acquire);
+        if (shard == nullptr) continue;
+        shard->count.store(0, std::memory_order_relaxed);
+        shard->sum.store(0, std::memory_order_relaxed);
+        shard->min.store(std::numeric_limits<std::uint64_t>::max(),
+                         std::memory_order_relaxed);
+        shard->max.store(0, std::memory_order_relaxed);
+        for (auto& bucket : shard->buckets)
+          bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+// --- exporters -------------------------------------------------------------
+
+void append_metrics_json(util::JsonWriter& json,
+                         const MetricsSnapshot& snapshot) {
+  json.begin_object().member("schema", kMetricsSchema);
+  json.key("counters").begin_object();
+  for (const auto& c : snapshot.counters)
+    json.member(c.name, c.value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& g : snapshot.gauges)
+    json.member(g.name, g.value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& h : snapshot.histograms) {
+    json.key(h.name)
+        .begin_object()
+        .member("count", h.count)
+        .member("sum", h.sum)
+        .member("min", h.min)
+        .member("max", h.max);
+    json.key("buckets").begin_array();
+    for (const auto& [lower, count] : h.buckets)
+      json.begin_array().value(lower).value(count).end_array();
+    json.end_array().end_object();
+  }
+  json.end_object().end_object();
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  util::JsonWriter json;
+  append_metrics_json(json, snapshot);
+  out << json.str() << "\n";
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 4);
+  out += "ugf_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+template <typename WriteFn>
+void write_file(const std::string& path, const WriteFn& write) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  write(out);
+  out.flush();
+  if (!out) throw std::runtime_error("obs: write failed for " + path);
+}
+
+}  // namespace
+
+void write_prometheus_text(std::ostream& out,
+                           const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << "_total counter\n"
+        << name << "_total " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [lower, count] : h.buckets) {
+      cumulative += count;
+      // Our buckets cover integer ranges [lower, next_lower); the
+      // inclusive Prometheus upper bound is the largest member.
+      const std::size_t index = histogram_bucket(lower);
+      const std::uint64_t upper =
+          index + 1 < kNumHistogramBuckets
+              ? histogram_bucket_lower(index + 1) - 1
+              : std::numeric_limits<std::uint64_t>::max();
+      out << name << "_bucket{le=\"" << upper << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+        << name << "_sum " << h.sum << "\n"
+        << name << "_count " << h.count << "\n";
+  }
+}
+
+void write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snapshot) {
+  write_file(path,
+             [&](std::ostream& out) { write_metrics_json(out, snapshot); });
+}
+
+void write_prometheus_text_file(const std::string& path,
+                                const MetricsSnapshot& snapshot) {
+  write_file(path,
+             [&](std::ostream& out) { write_prometheus_text(out, snapshot); });
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,275 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Campaign-wide metrics: named counters, max-gauges and log-linear
+/// histograms that the engine and runner publish into while a sweep
+/// executes. Storage follows the PhaseProfiler recipe — each metric
+/// owns cache-line-padded per-thread cells written with relaxed
+/// atomics, so Monte-Carlo workers never contend; `snapshot()` merges
+/// the shards on the caller's thread. The whole layer is attach-to-pay:
+/// a default-constructed handle (or a nullptr registry anywhere in the
+/// config plumbing) makes every `add`/`record` a single branch.
+///
+/// Semantics per kind:
+///   * Counter   — monotonically increasing sum across threads.
+///   * Gauge     — high-water mark; shards merge via max. (Campaign
+///     reporting wants "worst over the run", not a last-writer race.)
+///   * Histogram — log-linear buckets: values < 16 get exact unit
+///     buckets, then 4 sub-buckets per power of two up to 2^64, so
+///     relative error is bounded by 12.5% at any scale. Tracks exact
+///     count/sum/min/max alongside the buckets.
+///
+/// Handles are resolved once by name (`registry.counter("runner.runs")`)
+/// under a mutex and are then lock-free to use; resolving the same name
+/// twice returns a handle to the same metric. Names are reported in
+/// sorted order, so every exporter is deterministic.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ugf::util {
+class JsonWriter;
+}
+
+namespace ugf::obs {
+
+/// metrics.json schema version (bumped on breaking changes).
+inline constexpr const char* kMetricsSchema = "ugf-metrics-v1";
+
+inline constexpr std::size_t kHistogramLinearBuckets = 16;
+inline constexpr std::size_t kNumHistogramBuckets = 256;
+
+/// Bucket index for a recorded value: exact below 16, then 4
+/// sub-buckets per octave ([2^e, 2^{e+1}) splits into quarters).
+[[nodiscard]] constexpr std::size_t histogram_bucket(
+    std::uint64_t value) noexcept {
+  if (value < kHistogramLinearBuckets) return static_cast<std::size_t>(value);
+  const int exp = 63 - std::countl_zero(value);  // >= 4
+  const auto sub = static_cast<std::size_t>((value >> (exp - 2)) & 3);
+  return kHistogramLinearBuckets + static_cast<std::size_t>(exp - 4) * 4 + sub;
+}
+
+/// Smallest value that lands in bucket `index` (inverse of the above).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_lower(
+    std::size_t index) noexcept {
+  if (index < kHistogramLinearBuckets) return index;
+  const std::size_t exp = 4 + (index - kHistogramLinearBuckets) / 4;
+  const std::size_t sub = (index - kHistogramLinearBuckets) % 4;
+  return (std::uint64_t{4} + sub) << (exp - 2);
+}
+
+namespace detail {
+
+inline constexpr std::size_t kMaxMetricThreads = 128;
+
+/// One padded per-thread cell of a counter or gauge.
+struct alignas(64) MetricCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// One thread's histogram shard; allocated lazily on first record so an
+/// unused histogram costs one pointer array, not 128 x ~2 KiB.
+struct HistogramShard {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, kNumHistogramBuckets> buckets{};
+};
+
+struct alignas(64) HistogramSlot {
+  std::atomic<HistogramShard*> shard{nullptr};
+};
+
+/// Process-wide small integer id for the calling thread (same recipe as
+/// PhaseProfiler: threads beyond the cap share the last slot — still
+/// correct, marginally contended).
+[[nodiscard]] inline std::size_t metric_thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = [] {
+    const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id < kMaxMetricThreads ? id : kMaxMetricThreads - 1;
+  }();
+  return slot;
+}
+
+inline void fetch_max_relaxed(std::atomic<std::uint64_t>& slot,
+                              std::uint64_t value) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void fetch_min_relaxed(std::atomic<std::uint64_t>& slot,
+                              std::uint64_t value) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur > value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+class MetricsRegistry;
+
+/// Lock-free counter handle; default-constructed handles are inert.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) const noexcept {
+    if (cells_ == nullptr) return;
+    cells_[detail::metric_thread_slot()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return cells_ != nullptr;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::MetricCell* cells) noexcept : cells_(cells) {}
+  detail::MetricCell* cells_ = nullptr;
+};
+
+/// High-water-mark gauge handle; merges across threads via max.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void note_max(std::uint64_t value) const noexcept {
+    if (cells_ == nullptr) return;
+    detail::fetch_max_relaxed(cells_[detail::metric_thread_slot()].value,
+                              value);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return cells_ != nullptr;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::MetricCell* cells) noexcept : cells_(cells) {}
+  detail::MetricCell* cells_ = nullptr;
+};
+
+/// Log-linear histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::uint64_t value) const noexcept;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return slots_ != nullptr;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramSlot* slots) noexcept : slots_(slots) {}
+  detail::HistogramSlot* slots_ = nullptr;
+};
+
+/// Merged view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  /// Non-empty buckets only, as (smallest value in bucket, count).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Lower bound of the bucket holding the q-quantile (q in [0,1]),
+  /// clamped to [min, max]; 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time merge of a whole registry, names sorted per kind.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] const CounterValue* find_counter(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const GaugeValue* find_gauge(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      std::string_view name) const noexcept;
+};
+
+/// The registry. Thread-safe throughout: handle resolution takes a
+/// mutex (cold path, once per batch), handle use is lock-free, and
+/// `snapshot()` may run concurrently with writers (relaxed reads — the
+/// result is a consistent-enough merge for reporting, exact once
+/// writers have quiesced, e.g. after ThreadPool::parallel_for joins).
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kMaxThreads = detail::kMaxMetricThreads;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Resolve-or-register by name. Re-resolving an existing name with a
+  /// different kind throws std::logic_error.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric; names and outstanding handles stay valid.
+  void reset() noexcept;
+
+ private:
+  struct Metric;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Appends the snapshot as a `ugf-metrics-v1` JSON object to an open
+/// writer (used standalone and embedded in run manifests).
+void append_metrics_json(util::JsonWriter& json,
+                         const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot as a single `ugf-metrics-v1` JSON object.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+void write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot in the Prometheus text exposition format
+/// (names sanitized to [a-zA-Z0-9_:], counters suffixed `_total`,
+/// histograms as cumulative `_bucket{le=...}` series).
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snapshot);
+void write_prometheus_text_file(const std::string& path,
+                                const MetricsSnapshot& snapshot);
+
+}  // namespace ugf::obs

@@ -1,0 +1,134 @@
+#include "obs/progress.hpp"
+
+#include <cstdlib>
+
+#if defined(_WIN32)
+#include <io.h>
+#define UGF_ISATTY _isatty
+#define UGF_FILENO _fileno
+#else
+#include <unistd.h>
+#define UGF_ISATTY isatty
+#define UGF_FILENO fileno
+#endif
+
+namespace ugf::obs {
+
+SweepProgress::Options SweepProgress::auto_options(int force) {
+  Options opts;
+  opts.tty = UGF_ISATTY(UGF_FILENO(stderr)) != 0;
+  const char* ci = std::getenv("CI");
+  const bool in_ci = ci != nullptr && ci[0] != '\0';
+  opts.enabled = force > 0 || (force == 0 && opts.tty && !in_ci);
+  return opts;
+}
+
+SweepProgress::SweepProgress(Options options)
+    : enabled_(options.enabled),
+      tty_(options.tty),
+      min_interval_s_(options.tty ? options.min_interval_s
+                                  : options.min_interval_s * 8.0),
+      out_(options.out != nullptr ? options.out : stderr),
+      start_(clock::now()) {}
+
+SweepProgress::~SweepProgress() { finish(); }
+
+void SweepProgress::note_batch(const std::string& label, std::size_t done,
+                               std::size_t total) {
+  if (!enabled_) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    label_ = label;
+    batch_done_ = done;
+    batch_total_ = total;
+  }
+  maybe_render(true);
+}
+
+std::string SweepProgress::current_line() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return build_line_locked();
+}
+
+std::string SweepProgress::build_line_locked() const {
+  char buf[256];
+  std::string line;
+  if (!label_.empty() && batch_total_ != 0) {
+    std::snprintf(buf, sizeof buf, "[%s %zu/%zu] ", label_.c_str(),
+                  batch_done_, batch_total_);
+    line += buf;
+  }
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start_).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  if (total != 0) {
+    std::snprintf(buf, sizeof buf, "runs %llu/%llu (%.1f%%)",
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total),
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(total));
+  } else {
+    std::snprintf(buf, sizeof buf, "runs %llu",
+                  static_cast<unsigned long long>(done));
+  }
+  line += buf;
+  std::snprintf(buf, sizeof buf, " | %.1f runs/s", rate);
+  line += buf;
+  if (total > done && rate > 0.0) {
+    std::snprintf(buf, sizeof buf, " | eta %.1fs",
+                  static_cast<double>(total - done) / rate);
+    line += buf;
+  }
+  std::snprintf(buf, sizeof buf, " | workers %llu",
+                static_cast<unsigned long long>(
+                    active_workers_.load(std::memory_order_relaxed)));
+  line += buf;
+  return line;
+}
+
+void SweepProgress::maybe_render(bool force) {
+  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          clock::now() - start_)
+                          .count();
+  if (!force) {
+    const std::int64_t last = last_render_ns_.load(std::memory_order_relaxed);
+    if (last >= 0 &&
+        static_cast<double>(now_ns - last) < min_interval_s_ * 1e9)
+      return;
+  }
+  // Workers that lose the race skip the render — the winner's line is
+  // at most one run stale, and nobody blocks.
+  if (!mutex_.try_lock()) return;
+  last_render_ns_.store(now_ns, std::memory_order_relaxed);
+  render_locked();
+  mutex_.unlock();
+}
+
+void SweepProgress::render_locked() {
+  if (finished_) return;
+  std::string line = build_line_locked();
+  if (tty_) {
+    // Rewrite in place; pad to clear the previous, longer line.
+    if (line.size() < last_line_len_)
+      line.append(last_line_len_ - line.size(), ' ');
+    last_line_len_ = line.size();
+    std::fprintf(out_, "\r%s", line.c_str());
+  } else {
+    std::fprintf(out_, "%s\n", line.c_str());
+  }
+  std::fflush(out_);
+}
+
+void SweepProgress::finish() {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  render_locked();
+  if (tty_) std::fprintf(out_, "\n");
+  std::fflush(out_);
+  finished_ = true;
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file progress.hpp
+/// Live campaign progress on stderr. One SweepProgress instance is
+/// shared by a whole figure run: the sweep thread reports batch
+/// transitions (via SweepConfig::ProgressFn), Monte-Carlo workers tick
+/// `note_run_complete()` once per finished run, and a throttled
+/// renderer turns that into a single status line — runs done / total,
+/// runs/sec, ETA, and how many workers are currently inside a batch.
+///
+/// Threading: `note_run_complete` / `note_worker_begin` /
+/// `note_worker_end` are wait-free relaxed atomics plus an opportunistic
+/// try-lock render, safe from any thread. `note_batch` and `finish`
+/// take the render lock. Rendering is wall-clock-throttled (default 4
+/// Hz on a TTY, 0.5 Hz otherwise), so per-run overhead is one atomic
+/// increment and one clock read.
+///
+/// Output is presentation, not data: lines go to stderr, rewrite in
+/// place only when stderr is a TTY, and are off by default in CI (the
+/// `CI` environment variable) — figure CSV/JSON artifacts stay
+/// byte-identical with progress on or off.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace ugf::obs {
+
+class SweepProgress {
+ public:
+  struct Options {
+    bool enabled = false;
+    bool tty = false;               ///< rewrite one line with '\r'
+    double min_interval_s = 0.25;   ///< render throttle (x8 off-TTY)
+    std::FILE* out = nullptr;       ///< nullptr = stderr
+  };
+
+  /// TTY-aware defaults: enabled iff stderr is a TTY and $CI is unset;
+  /// `force` overrides (+1 on, -1 off, 0 auto).
+  [[nodiscard]] static Options auto_options(int force = 0);
+
+  explicit SweepProgress(Options options);
+  ~SweepProgress();
+
+  SweepProgress(const SweepProgress&) = delete;
+  SweepProgress& operator=(const SweepProgress&) = delete;
+
+  /// Grows the denominator; call once per planned sweep/batch before
+  /// the runs start so ETA is meaningful.
+  void add_planned_runs(std::uint64_t runs) noexcept {
+    total_.fetch_add(runs, std::memory_order_relaxed);
+  }
+
+  /// Sweep-thread batch transition (adapts SweepConfig::ProgressFn).
+  void note_batch(const std::string& label, std::size_t done,
+                  std::size_t total);
+
+  /// One Monte-Carlo run finished (any worker thread).
+  void note_run_complete() noexcept {
+    done_.fetch_add(1, std::memory_order_relaxed);
+    if (enabled_) maybe_render(false);
+  }
+
+  /// Worker entered / left a batch (utilization display).
+  void note_worker_begin() noexcept {
+    active_workers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_worker_end() noexcept {
+    active_workers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Final render plus a trailing newline on TTYs; idempotent.
+  void finish();
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::uint64_t runs_done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t runs_planned() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// The status line as it would be rendered now (test seam).
+  [[nodiscard]] std::string current_line() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  void maybe_render(bool force);
+  void render_locked();
+  [[nodiscard]] std::string build_line_locked() const;
+
+  bool enabled_;
+  bool tty_;
+  double min_interval_s_;
+  std::FILE* out_;
+  clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> active_workers_{0};
+  std::atomic<std::int64_t> last_render_ns_{-1};
+  mutable std::mutex mutex_;  ///< label + output interleaving
+  std::string label_;
+  std::size_t batch_done_ = 0;
+  std::size_t batch_total_ = 0;
+  std::size_t last_line_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ugf::obs

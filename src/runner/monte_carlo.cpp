@@ -2,12 +2,35 @@
 
 #include <atomic>
 
+#include "obs/flight_recorder.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace ugf::runner {
 
 namespace {
+
+/// Runner-side metric handles, resolved once per batch (per-run
+/// resolution would take the registry mutex on every run).
+struct RunnerMetrics {
+  obs::Counter runs;
+  obs::Counter rumor_failures;
+  obs::Histogram wall_time_us;
+  obs::Histogram steps;
+  obs::Histogram worker_runs_claimed;
+};
+
+RunnerMetrics resolve_runner_metrics(obs::MetricsRegistry* registry) {
+  RunnerMetrics m;
+  if (registry == nullptr) return m;
+  m.runs = registry->counter("runner.runs");
+  m.rumor_failures = registry->counter("runner.rumor_failures");
+  m.wall_time_us = registry->histogram("runner.run_wall_time_us");
+  m.steps = registry->histogram("runner.run_steps");
+  m.worker_runs_claimed = registry->histogram("runner.worker_runs_claimed");
+  return m;
+}
 
 /// Executes run `run_index` of the batch. `engine` is the caller's
 /// reusable engine slot: constructed on first use, reset() afterwards —
@@ -20,7 +43,8 @@ RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
                       const RunSpec& spec, std::uint32_t run_index,
                       const sim::ProtocolFactory& protocol,
                       const adversary::AdversaryFactory& adversary,
-                      obs::EventSink* sink) {
+                      obs::EventSink* sink,
+                      const RunnerMetrics& metrics) {
   const std::uint64_t run_seed = util::mix_seed(spec.base_seed, run_index);
   const std::uint64_t adversary_seed = util::mix_seed(run_seed, 0xAD7E25A27ull);
 
@@ -31,6 +55,7 @@ RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
   config.max_steps = spec.max_steps;
   config.max_events = spec.max_events;
   config.profiler = spec.profiler;
+  config.metrics = spec.metrics;
 
   // The caller's sink and the internal time-series recorder are
   // independent consumers; tee when both are wanted.
@@ -43,13 +68,40 @@ RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
     config.sink = sink;
 
   const auto instance = adversary.create(adversary_seed);
+
+#if UGF_CHECKS_ENABLED
+  // Post-mortem ring: if a UGF_ASSERT/UGF_AUDIT fires inside this run,
+  // the failure hook dumps the recent event tail plus the metrics
+  // snapshot before aborting (obs/flight_recorder.hpp). Sinks observe
+  // without affecting outcomes, so attaching it changes no result; at
+  // audit level 0 no check can fire and this block compiles out.
+  obs::FlightRecorder flight;
+  flight.bind({protocol.name(),
+               instance != nullptr ? instance->name() : "none", spec.n,
+               spec.f, run_seed},
+              spec.metrics);
+  obs::TeeSink flight_tee(&flight, config.sink);
+  config.sink = &flight_tee;
+#endif
+
   if (engine == nullptr)
     engine = std::make_unique<sim::Engine>(config, protocol, instance.get());
   else
     engine->reset(config, instance.get());
 
   RunRecord record;
-  record.outcome = engine->run();
+  if (spec.metrics != nullptr) {
+    const util::Stopwatch wall;
+    record.outcome = engine->run();
+    metrics.wall_time_us.record(
+        static_cast<std::uint64_t>(wall.seconds() * 1e6));
+    metrics.steps.record(record.outcome.t_end);
+    metrics.runs.add(1);
+    if (!record.outcome.rumor_gathering_ok) metrics.rumor_failures.add(1);
+  } else {
+    record.outcome = engine->run();
+  }
+  if (spec.progress != nullptr) spec.progress->note_run_complete();
   record.seed = run_seed;
   if (spec.collect_timeseries) {
     obs::ScopedPhase phase(spec.profiler, obs::Phase::kTimeseries);
@@ -71,7 +123,8 @@ RunRecord MonteCarloRunner::run_once(
     const sim::ProtocolFactory& protocol,
     const adversary::AdversaryFactory& adversary, obs::EventSink* sink) {
   std::unique_ptr<sim::Engine> engine;
-  return execute_run(engine, spec, run_index, protocol, adversary, sink);
+  return execute_run(engine, spec, run_index, protocol, adversary, sink,
+                     resolve_runner_metrics(spec.metrics));
 }
 
 BatchResult MonteCarloRunner::run_batch(
@@ -88,14 +141,22 @@ BatchResult MonteCarloRunner::run_batch(
   const std::size_t shares =
       std::min<std::size_t>(std::max<std::size_t>(1, pool_.size()), spec.runs);
   std::atomic<std::uint32_t> next_run{0};
+  const RunnerMetrics metrics = resolve_runner_metrics(spec.metrics);
   pool_.parallel_for(shares, [&](std::size_t) {
     std::unique_ptr<sim::Engine> engine;
+    if (spec.progress != nullptr) spec.progress->note_worker_begin();
+    std::uint64_t claimed = 0;
     for (;;) {
       const auto i = next_run.fetch_add(1, std::memory_order_relaxed);
       if (i >= spec.runs) break;
+      ++claimed;
       result.runs[i] =
-          execute_run(engine, spec, i, protocol, adversary, nullptr);
+          execute_run(engine, spec, i, protocol, adversary, nullptr, metrics);
     }
+    // Per-share claim counts expose load imbalance: with perfect
+    // balancing the histogram is a spike at runs/shares.
+    if (claimed != 0) metrics.worker_runs_claimed.record(claimed);
+    if (spec.progress != nullptr) spec.progress->note_worker_end();
   });
 
   obs::ScopedPhase phase(spec.profiler, obs::Phase::kStatsReduction);

@@ -19,7 +19,9 @@
 #include "adversary/factory.hpp"
 #include "analysis/statistics.hpp"
 #include "obs/event.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "sim/outcome.hpp"
@@ -47,6 +49,16 @@ struct RunSpec {
   /// Optional phase profiler shared by all runs of the batch (it is
   /// thread-safe); must outlive the batch. nullptr disables profiling.
   obs::PhaseProfiler* profiler = nullptr;
+  /// Optional campaign metrics registry shared by all runs (it is
+  /// thread-safe); must outlive the batch. The runner publishes
+  /// per-run wall time and steps-to-completion histograms plus
+  /// run/worker counters, and forwards the registry to every engine.
+  /// nullptr disables metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional live progress (thread-safe; must outlive the batch).
+  /// Workers tick note_run_complete() once per finished run and mark
+  /// themselves active for the utilization display.
+  obs::SweepProgress* progress = nullptr;
 };
 
 /// One run's outcome plus provenance.

@@ -149,7 +149,8 @@ void print_dominance(std::ostream& out, const Curve& baseline,
 }
 
 void print_strategy_histogram(std::ostream& out,
-                              const std::vector<Curve>& curves) {
+                              const std::vector<Curve>& curves,
+                              bool per_curve) {
   std::map<std::string, std::size_t> totals;
   for (const auto& curve : curves)
     for (const auto& point : curve.points)
@@ -159,6 +160,18 @@ void print_strategy_histogram(std::ostream& out,
   for (const auto& [strategy, count] : totals)
     out << "  " << strategy << ": " << count << "\n";
   out << "\n";
+
+  if (!per_curve) return;
+  for (const auto& curve : curves) {
+    std::map<std::string, std::size_t> curve_totals;
+    for (const auto& point : curve.points)
+      for (const auto& [strategy, count] : point.strategy_counts)
+        curve_totals[strategy] += count;
+    out << "strategy histogram [" << curve.label << "]:\n";
+    for (const auto& [strategy, count] : curve_totals)
+      out << "  " << strategy << ": " << count << "\n";
+    out << "\n";
+  }
 }
 
 namespace {

@@ -26,8 +26,12 @@ void print_figure(std::ostream& out, const std::string& title,
 
 /// Prints the UGF strategy histogram accumulated over a sweep (how often
 /// each strategy was drawn; interesting for the randomization scheme).
+/// The default aggregates over all curves and grid points; `per_curve`
+/// additionally prints one block per curve so differing adversaries are
+/// not silently merged into one distribution.
 void print_strategy_histogram(std::ostream& out,
-                              const std::vector<Curve>& curves);
+                              const std::vector<Curve>& curves,
+                              bool per_curve = false);
 
 /// Writes all curves and both metrics in long format:
 /// figure,curve,adversary,n,f,metric,median,q1,q3,mean,min,max,runs,

@@ -60,6 +60,8 @@ Curve sweep_curve(const SweepConfig& config,
     spec.collect_timeseries = config.collect_timeseries;
     spec.timeseries_samples = config.timeseries_samples;
     spec.profiler = config.profiler;
+    spec.metrics = config.metrics;
+    spec.progress = config.progress;
 
     const BatchResult batch = runner.run_batch(spec, protocol, adversary);
     CurvePoint point;

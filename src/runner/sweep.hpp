@@ -38,6 +38,13 @@ struct SweepConfig {
   /// Optional shared phase profiler (thread-safe; must outlive the
   /// sweep). nullptr disables profiling.
   obs::PhaseProfiler* profiler = nullptr;
+  /// Optional shared campaign metrics registry (thread-safe; must
+  /// outlive the sweep). Forwarded to every batch and engine.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional live progress renderer (thread-safe; must outlive the
+  /// sweep). Workers tick it once per finished run; pair it with a
+  /// ProgressFn that calls note_batch for the per-batch line.
+  obs::SweepProgress* progress = nullptr;
 };
 
 /// F for one grid point under a SweepConfig.
@@ -69,7 +76,15 @@ struct Curve {
   [[nodiscard]] std::vector<double> message_medians() const;
 };
 
-/// Progress callback: (curve label, grid index, grid size).
+/// Progress callback: (curve label, grid points done, grid size).
+///
+/// Threading contract: invoked on the thread that called
+/// sweep_curve/sweep_figure (never from a pool worker), after each grid
+/// point's whole batch has completed and its CurvePoint is final. The
+/// callback must be cheap — the Monte-Carlo pool is idle while it runs
+/// — and exceptions propagate out of the sweep. For sub-batch (per-run)
+/// granularity attach a SweepConfig::progress renderer instead, whose
+/// note_run_complete is ticked by the workers themselves.
 using ProgressFn =
     std::function<void(const std::string&, std::size_t, std::size_t)>;
 

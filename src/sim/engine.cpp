@@ -245,6 +245,7 @@ void Engine::reset(const EngineConfig& config, Adversary* adversary) {
   if (config.f >= config.n) throw std::invalid_argument("Engine: need f < n");
   config_ = config;
   adversary_ = adversary;
+  was_reset_ = true;
   init_run_state();
 }
 
@@ -546,7 +547,65 @@ Outcome Engine::run() {
   }
 
   finalize(outcome_);
+  if (config_.metrics != nullptr) publish_metrics();
   return outcome_;
+}
+
+void Engine::publish_metrics() {
+  // Handle resolution touches the registry's name map (a mutex); a
+  // warm engine re-run under the same registry skips it entirely.
+  if (metrics_.registry != config_.metrics) {
+    obs::MetricsRegistry& r = *config_.metrics;
+    metrics_.registry = config_.metrics;
+    metrics_.runs = r.counter("engine.runs");
+    metrics_.resets = r.counter("engine.resets");
+    metrics_.truncated_runs = r.counter("engine.truncated_runs");
+    metrics_.local_steps = r.counter("engine.local_steps");
+    metrics_.emissions = r.counter("engine.events.emission");
+    metrics_.deliveries = r.counter("engine.events.delivery");
+    metrics_.drops = r.counter("engine.events.drop");
+    metrics_.omissions = r.counter("engine.events.omission");
+    metrics_.crashes = r.counter("engine.events.crash");
+    metrics_.arena_payloads = r.counter("engine.arena.payloads");
+    metrics_.wheel_cascades = r.counter("engine.wheel.cascades");
+    metrics_.wheel_spill_refiles = r.counter("engine.wheel.spill_refiles");
+    metrics_.arena_bytes = r.gauge("engine.arena.bytes_in_use");
+    metrics_.arena_capacity_bytes = r.gauge("engine.arena.capacity_bytes");
+    metrics_.arena_slabs = r.gauge("engine.arena.slabs");
+    metrics_.wheel_max_buckets = r.gauge("engine.wheel.max_buckets");
+    metrics_.wheel_max_spill = r.gauge("engine.wheel.max_spill");
+    metrics_.wheel_max_horizon = r.gauge("engine.wheel.max_horizon");
+  }
+
+  metrics_.runs.add(1);
+  if (was_reset_) {
+    metrics_.resets.add(1);
+    was_reset_ = false;
+  }
+  if (outcome_.truncated) metrics_.truncated_runs.add(1);
+  metrics_.local_steps.add(outcome_.local_steps_executed);
+  // Event counts come from the outcome, not the sink, so they are
+  // exact with observability fully detached. kInfection/kStepBegin/...
+  // have no sink-free ledger and are deliberately not counted here.
+  metrics_.emissions.add(outcome_.total_messages);
+  metrics_.deliveries.add(outcome_.delivered_messages);
+  metrics_.drops.add(outcome_.dropped_messages);
+  metrics_.omissions.add(outcome_.omitted_messages);
+  metrics_.crashes.add(outcome_.crashed);
+  // Payloads are only destroyed at reset, so the end-of-run live count
+  // is exactly the number this run allocated, and bytes_in_use is the
+  // run's high-water mark.
+  metrics_.arena_payloads.add(arena_.live_payloads());
+  metrics_.arena_bytes.note_max(arena_.bytes_in_use());
+  metrics_.arena_capacity_bytes.note_max(arena_.capacity_bytes());
+  metrics_.arena_slabs.note_max(arena_.slab_count());
+
+  const TimingWheel::Stats wheel = events_.stats();
+  metrics_.wheel_cascades.add(wheel.cascades);
+  metrics_.wheel_spill_refiles.add(wheel.spill_refiles);
+  metrics_.wheel_max_buckets.note_max(wheel.max_buckets);
+  metrics_.wheel_max_spill.note_max(wheel.max_spill);
+  metrics_.wheel_max_horizon.note_max(wheel.max_horizon);
 }
 
 void Engine::finalize(Outcome& outcome) const {

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "obs/event.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "sim/adversary_iface.hpp"
 #include "sim/message.hpp"
@@ -71,6 +72,13 @@ struct EngineConfig {
   /// Optional phase profiler (obs/profile.hpp); nullptr disables phase
   /// timing. Must outlive run(); may be shared across engines/threads.
   obs::PhaseProfiler* profiler = nullptr;
+  /// Optional campaign metrics registry (obs/metrics.hpp); nullptr
+  /// disables publishing. The engine publishes once at the end of
+  /// run() from the outcome / arena / wheel counters — nothing is
+  /// added to the event hot path. Must outlive run(); may be shared
+  /// across engines/threads. See docs/OBSERVABILITY.md for the metric
+  /// names.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs one dissemination to quiescence and reports its Outcome.
@@ -187,6 +195,34 @@ class Engine {
   /// runtimes and zeroes all per-run mutable state, reusing capacity.
   void init_run_state();
 
+  /// Resolved metric handles, re-resolved only when the configured
+  /// registry changes (reset() normally carries the same one, so a
+  /// warm engine publishes without touching the registry's name map).
+  struct MetricHandles {
+    obs::MetricsRegistry* registry = nullptr;
+    obs::Counter runs;
+    obs::Counter resets;
+    obs::Counter truncated_runs;
+    obs::Counter local_steps;
+    obs::Counter emissions;
+    obs::Counter deliveries;
+    obs::Counter drops;
+    obs::Counter omissions;
+    obs::Counter crashes;
+    obs::Counter arena_payloads;
+    obs::Counter wheel_cascades;
+    obs::Counter wheel_spill_refiles;
+    obs::Gauge arena_bytes;
+    obs::Gauge arena_capacity_bytes;
+    obs::Gauge arena_slabs;
+    obs::Gauge wheel_max_buckets;
+    obs::Gauge wheel_max_spill;
+    obs::Gauge wheel_max_horizon;
+  };
+
+  /// Publishes this run's counters into config_.metrics (end of run()).
+  void publish_metrics();
+
   void schedule_wake(ProcessId pid, GlobalStep at);
   void schedule_begin_direct(ProcessId pid, GlobalStep at);
   void handle_step_begin(const ScheduledEvent& ev);
@@ -217,6 +253,7 @@ class Engine {
   GlobalStep now_ = 0;
   std::uint32_t crashes_used_ = 0;
   bool ran_ = false;
+  bool was_reset_ = false;  ///< this run cycle began with a reset()
   bool in_emission_hook_ = false;
   bool suppress_current_ = false;
 
@@ -226,6 +263,7 @@ class Engine {
   std::uint32_t reached_count_ = 0;
 
   Outcome outcome_;
+  MetricHandles metrics_;
   std::unique_ptr<ControlImpl> control_;
 };
 

@@ -3,6 +3,71 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace ugf::util {
+
+namespace {
+
+struct HookEntry {
+  std::size_t id;
+  CheckFailureHook hook;
+  void* ctx;
+};
+
+// Function-local statics so hook registration works during static
+// initialization of other translation units.
+std::mutex& hook_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<HookEntry>& hook_entries() {
+  static std::vector<HookEntry> entries;
+  return entries;
+}
+
+// A hook that itself fails a check must not re-enter the hook list.
+thread_local bool in_failure_hooks = false;
+
+void run_failure_hooks() noexcept {
+  if (in_failure_hooks) return;
+  in_failure_hooks = true;
+  // Copy under the lock, run unlocked: a hook may unregister itself
+  // (FlightRecorder's destructor never runs once we abort, but dump
+  // paths shared with tests do).
+  std::vector<HookEntry> entries;
+  {
+    const std::lock_guard<std::mutex> lock(hook_mutex());
+    entries = hook_entries();
+  }
+  for (const HookEntry& entry : entries) entry.hook(entry.ctx);
+  in_failure_hooks = false;
+}
+
+}  // namespace
+
+std::size_t add_check_failure_hook(CheckFailureHook hook, void* ctx) {
+  const std::lock_guard<std::mutex> lock(hook_mutex());
+  static std::size_t next_id = 1;
+  const std::size_t id = next_id++;
+  hook_entries().push_back({id, hook, ctx});
+  return id;
+}
+
+void remove_check_failure_hook(std::size_t id) {
+  const std::lock_guard<std::mutex> lock(hook_mutex());
+  auto& entries = hook_entries();
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->id == id) {
+      entries.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace ugf::util
 
 namespace ugf::util::detail {
 
@@ -20,6 +85,8 @@ void check_failed(const char* kind, const char* expr, const char* file,
                   int line, const char* func) noexcept {
   report_header(kind, expr, file, line, func);
   std::fflush(stderr);
+  run_failure_hooks();
+  std::fflush(stderr);
   std::abort();
 }
 
@@ -33,6 +100,8 @@ void check_failed_msg(const char* kind, const char* expr, const char* file,
   std::vfprintf(stderr, fmt, args);
   va_end(args);
   std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  run_failure_hooks();
   std::fflush(stderr);
   std::abort();
 }

@@ -34,6 +34,27 @@
 /// 1 iff UGF_AUDIT / UGF_AUDIT_MSG evaluate and enforce.
 #define UGF_AUDITS_ENABLED (UGF_AUDIT_LEVEL >= 2)
 
+#include <cstddef>
+
+namespace ugf::util {
+
+/// Callback run (once, on the failing thread) after a failed check has
+/// printed its report and before the process aborts. Hooks must be
+/// async-abort-friendly: no locks shared with arbitrary code, no
+/// throwing. `ctx` is the pointer passed at registration. A check
+/// failure *inside* a hook does not recurse — nested failures abort
+/// immediately. Used by obs::FlightRecorder to dump its event ring.
+using CheckFailureHook = void (*)(void* ctx) noexcept;
+
+/// Registers a hook; returns an id for remove_check_failure_hook.
+/// Thread-safe; hooks run in registration order.
+std::size_t add_check_failure_hook(CheckFailureHook hook, void* ctx);
+
+/// Unregisters a hook by id (no-op for unknown ids). Thread-safe.
+void remove_check_failure_hook(std::size_t id);
+
+}  // namespace ugf::util
+
 namespace ugf::util::detail {
 
 /// Reports a failed check and aborts. `kind` is the macro name.

@@ -91,7 +91,9 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
 
 std::string CliArgs::out_path(const std::string& flag,
                               const std::string& default_name) const {
-  const std::filesystem::path name = get_string(flag, default_name);
+  std::string value = get_string(flag, default_name);
+  if (value.empty()) value = default_name;  // bare `--flag` keeps the default
+  const std::filesystem::path name = value;
   // Paths that already say where to go are honoured verbatim.
   if (name.is_absolute() || name.has_parent_path()) return name.string();
   const std::filesystem::path dir = get_string("out-dir", "results");

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file json_parse.hpp
+/// A minimal recursive-descent JSON parser — the read side of json.hpp.
+/// It exists so campaign artifacts (run manifests, metrics snapshots)
+/// can be loaded back for reproduction and validation without external
+/// dependencies. Scope matches what JsonWriter emits plus standard
+/// JSON: objects, arrays, strings (with escapes), numbers, booleans,
+/// null. Integer-looking numbers keep exact 64-bit values — a
+/// round-tripped base seed must not pass through a double.
+///
+/// Objects preserve document order; `find`/`at` do a linear scan, which
+/// is fine for the small documents this repo produces. Parse errors
+/// throw std::runtime_error with the byte offset of the problem.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ugf::util {
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+
+  /// Value accessors throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// Exact when the token was integral and in range; throws otherwise.
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Object lookup; throws std::runtime_error naming the missing key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  // Set when the number token was a decimal integer representable in
+  // the corresponding 64-bit type (both flags for small positives).
+  bool has_u64_ = false;
+  bool has_i64_ = false;
+  std::uint64_t u64_ = 0;
+  std::int64_t i64_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace throws.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Reads and parses a whole file; throws std::runtime_error on I/O or
+/// parse failure (the message includes the path).
+[[nodiscard]] JsonValue parse_json_file(const std::string& path);
+
+}  // namespace ugf::util

@@ -1,0 +1,160 @@
+// Tests for the post-mortem flight recorder (src/obs/flight_recorder.hpp):
+// the bounded ring keeps the most recent events, `dump()` writes a valid
+// ugf-trace-v1 NDJSON tail plus the bound metrics snapshot, and — when
+// checks are compiled in — a failing UGF_ASSERT on the owning thread
+// dumps before the process aborts (the acceptance criterion: a forced
+// invariant failure produces a parseable flight dump).
+
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/json_parse.hpp"
+
+namespace {
+
+using namespace ugf;
+
+obs::TraceEvent delivery_event(sim::GlobalStep step) {
+  obs::TraceEvent event;
+  event.type = obs::EventType::kDelivery;
+  event.step = step;
+  event.a = 1;
+  event.b = 0;
+  event.v0 = step > 0 ? step - 1 : 0;  // sent_at
+  event.v1 = step;                     // arrives_at
+  return event;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST(FlightRecorder, RingKeepsTheMostRecentEvents) {
+  obs::FlightRecorder recorder(4);
+  recorder.bind({}, nullptr);
+  for (sim::GlobalStep step = 0; step < 10; ++step)
+    recorder.on_event(delivery_event(step));
+  EXPECT_EQ(recorder.ring().size(), 4u);
+  EXPECT_EQ(recorder.ring().dropped_events(), 6u);
+  const auto events = recorder.ring().events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().step, 6u);  // oldest retained
+  EXPECT_EQ(events.back().step, 9u);   // newest
+}
+
+TEST(FlightRecorder, BindClearsTheRingAndRetargetsTheContext) {
+  obs::FlightRecorder recorder(8);
+  recorder.bind({}, nullptr);
+  recorder.on_event(delivery_event(1));
+  ASSERT_EQ(recorder.ring().size(), 1u);
+  recorder.bind({"push-pull", "ugf", 16, 4, 42}, nullptr);
+  EXPECT_TRUE(recorder.ring().empty());
+  EXPECT_EQ(recorder.ring().dropped_events(), 0u);
+}
+
+TEST(FlightRecorder, DumpWritesParseableTraceAndMetrics) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.runs").add(1);
+
+  obs::FlightRecorder recorder(16);
+  recorder.bind({"push-pull", "ugf", 16, 4, 42}, &registry);
+  for (sim::GlobalStep step = 0; step < 3; ++step)
+    recorder.on_event(delivery_event(step));
+
+  const std::string stem = recorder.dump(::testing::TempDir());
+  EXPECT_NE(stem.find("ugf-flight-n16-seed42"), std::string::npos);
+
+  // The trace: one meta line followed by one JSON object per event,
+  // all individually parseable (NDJSON).
+  const auto lines = read_lines(stem + ".ndjson");
+  ASSERT_EQ(lines.size(), 1u + 3u);
+  const auto meta = util::parse_json(lines[0]);
+  EXPECT_EQ(meta.at("schema").as_string(), obs::kTraceSchema);
+  EXPECT_EQ(meta.at("protocol").as_string(), "push-pull");
+  EXPECT_EQ(meta.at("adversary").as_string(), "ugf");
+  EXPECT_EQ(meta.at("n").as_uint64(), 16u);
+  EXPECT_EQ(meta.at("f").as_uint64(), 4u);
+  EXPECT_EQ(meta.at("seed").as_uint64(), 42u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto event = util::parse_json(lines[i]);
+    EXPECT_EQ(event.at("type").as_string(), "delivery");
+    EXPECT_EQ(event.at("step").as_uint64(), i - 1);
+  }
+
+  // The metrics snapshot rides along.
+  const auto metrics = util::parse_json_file(stem + ".metrics.json");
+  EXPECT_EQ(metrics.at("schema").as_string(), obs::kMetricsSchema);
+  EXPECT_EQ(metrics.at("counters").at("engine.runs").as_uint64(), 1u);
+
+  std::remove((stem + ".ndjson").c_str());
+  std::remove((stem + ".metrics.json").c_str());
+}
+
+TEST(FlightRecorder, DumpWithoutMetricsWritesOnlyTheTrace) {
+  obs::FlightRecorder recorder(16);
+  recorder.bind({"ears", "none", 8, 2, 7}, nullptr);
+  recorder.on_event(delivery_event(0));
+  const std::string stem = recorder.dump(::testing::TempDir());
+  EXPECT_FALSE(read_lines(stem + ".ndjson").empty());
+  std::ifstream metrics(stem + ".metrics.json");
+  EXPECT_FALSE(metrics.good());
+  std::remove((stem + ".ndjson").c_str());
+}
+
+#if UGF_CHECKS_ENABLED
+
+// The end-to-end promise: a failing invariant on the recorder's owning
+// thread leaves a parseable dump behind. The death-test child inherits
+// UGF_FLIGHT_DIR, builds its own recorder, and aborts inside
+// UGF_ASSERT; the parent then finds and validates the dump.
+TEST(FlightRecorderDeathTest, CheckFailureDumpsBeforeAborting) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("UGF_FLIGHT_DIR", dir.c_str(), 1), 0);
+  const std::string stem = dir + "/ugf-flight-n32-seed77";
+  std::remove((stem + ".ndjson").c_str());
+  std::remove((stem + ".metrics.json").c_str());
+
+  EXPECT_DEATH(
+      {
+        obs::MetricsRegistry registry;
+        registry.counter("engine.runs").add(1);
+        obs::FlightRecorder recorder(32);
+        recorder.bind({"push-pull", "ugf", 32, 9, 77}, &registry);
+        recorder.on_event(delivery_event(5));
+        UGF_ASSERT(1 + 1 == 3);
+      },
+      "flight recorder: .* -> .*ugf-flight-n32-seed77\\.ndjson");
+
+  const auto lines = read_lines(stem + ".ndjson");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(util::parse_json(lines[0]).at("schema").as_string(),
+            obs::kTraceSchema);
+  EXPECT_EQ(util::parse_json(lines[1]).at("step").as_uint64(), 5u);
+  const auto metrics = util::parse_json_file(stem + ".metrics.json");
+  EXPECT_EQ(metrics.at("counters").at("engine.runs").as_uint64(), 1u);
+
+  std::remove((stem + ".ndjson").c_str());
+  std::remove((stem + ".metrics.json").c_str());
+  unsetenv("UGF_FLIGHT_DIR");
+}
+
+#endif  // UGF_CHECKS_ENABLED
+
+}  // namespace

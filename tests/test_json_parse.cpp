@@ -1,0 +1,143 @@
+// Tests for the minimal JSON reader (src/util/json_parse.hpp): scalar
+// parsing, nesting, escape handling, exact 64-bit integers (a
+// round-tripped base seed must never pass through a double), document
+// order, and error reporting with byte offsets.
+
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace {
+
+using ugf::util::JsonValue;
+using ugf::util::parse_json;
+using ugf::util::parse_json_file;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_json("-0.25e2").as_double(), -25.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("42").as_uint64(), 42u);
+  EXPECT_EQ(parse_json("  42  ").as_uint64(), 42u);  // surrounding ws
+}
+
+TEST(JsonParse, ExactUnsigned64) {
+  // u64 max is not representable in a double; the parser must keep the
+  // exact token value.
+  const auto v = parse_json("18446744073709551615");
+  EXPECT_EQ(v.as_uint64(), std::numeric_limits<std::uint64_t>::max());
+  // A manifest base seed: also exact.
+  EXPECT_EQ(parse_json("253147742").as_uint64(), 253147742u);
+  // Huge values do not fit in i64.
+  EXPECT_THROW((void)v.as_int64(), std::runtime_error);
+}
+
+TEST(JsonParse, ExactSigned64) {
+  const auto v = parse_json("-9223372036854775808");
+  EXPECT_EQ(v.as_int64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW((void)v.as_uint64(), std::runtime_error);
+  // Small positives satisfy both accessors.
+  const auto small = parse_json("7");
+  EXPECT_EQ(small.as_uint64(), 7u);
+  EXPECT_EQ(small.as_int64(), 7);
+}
+
+TEST(JsonParse, NonIntegralTokensRejectIntegerAccessors) {
+  EXPECT_THROW((void)parse_json("3.5").as_uint64(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1e3").as_uint64(), std::runtime_error);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_double(), 42.0);  // widening is fine
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse_json(R"("\b\f\n\r\t")").as_string(), "\b\f\n\r\t");
+  // \uXXXX: ASCII, two-byte, three-byte, and a surrogate pair.
+  EXPECT_EQ(parse_json(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xe2\x82\xac");  // €
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 via a surrogate pair
+  EXPECT_THROW((void)parse_json(R"("\ud83d")"), std::runtime_error);
+}
+
+TEST(JsonParse, ArraysAndNesting) {
+  const auto v = parse_json(R"([1, [2, 3], {"k": [4]}, "s", null])");
+  ASSERT_EQ(v.items().size(), 5u);
+  EXPECT_EQ(v.items()[0].as_uint64(), 1u);
+  EXPECT_EQ(v.items()[1].items()[1].as_uint64(), 3u);
+  EXPECT_EQ(v.items()[2].at("k").items()[0].as_uint64(), 4u);
+  EXPECT_EQ(v.items()[3].as_string(), "s");
+  EXPECT_TRUE(v.items()[4].is_null());
+  EXPECT_TRUE(parse_json("[]").items().empty());
+  EXPECT_TRUE(parse_json("{}").members().empty());
+}
+
+TEST(JsonParse, ObjectsPreserveDocumentOrder) {
+  const auto v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParse, FindAndAt) {
+  const auto v = parse_json(R"({"present": 1})");
+  ASSERT_NE(v.find("present"), nullptr);
+  EXPECT_EQ(v.find("present")->as_uint64(), 1u);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_EQ(v.at("present").as_uint64(), 1u);
+  EXPECT_THROW((void)v.at("absent"), std::runtime_error);
+  // find on a non-object is a harmless nullptr; at throws.
+  EXPECT_EQ(parse_json("3").find("x"), nullptr);
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  const auto expect_error_mentions = [](const char* text,
+                                        const char* fragment) {
+    try {
+      (void)parse_json(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  };
+  expect_error_mentions("", "offset 0");
+  expect_error_mentions("[1, 2", "offset");
+  expect_error_mentions("{\"k\" 1}", "offset");
+  expect_error_mentions("tru", "offset");
+  expect_error_mentions("\"unterminated", "offset");
+  expect_error_mentions("1 2", "offset");  // trailing non-whitespace
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const auto v = parse_json("[1]");
+  EXPECT_THROW((void)v.as_bool(), std::runtime_error);
+  EXPECT_THROW((void)v.as_double(), std::runtime_error);
+  EXPECT_THROW((void)v.as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.members(), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{}").items(), std::runtime_error);
+}
+
+TEST(JsonParse, FileReader) {
+  const std::string path = ::testing::TempDir() + "/ugf_json_parse_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"seed": 18446744073709551615})";
+  }
+  const auto v = parse_json_file(path);
+  EXPECT_EQ(v.at("seed").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)parse_json_file(path), std::runtime_error);
+}
+
+}  // namespace

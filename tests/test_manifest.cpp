@@ -1,0 +1,263 @@
+// Run-manifest provenance tests: field-level write/read round-trip of
+// the `ugf-manifest-v1` record, the bench-layer conversions between
+// runner/core types and their manifest mirrors, and the acceptance
+// round-trip — a figure CSV regenerated from nothing but its parsed
+// manifest must match the original byte for byte.
+
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "bench/campaign.hpp"
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/report.hpp"
+#include "runner/sweep.hpp"
+
+namespace {
+
+using namespace ugf;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+obs::RunManifest sample_manifest() {
+  obs::RunManifest m;
+  m.figure = "figX";
+  m.protocol = "push-pull";
+  obs::ManifestAdversary adv;
+  adv.label = "UGF, q1=1/3";
+  adv.factory = "ugf";
+  adv.params = {{"k", "2"}, {"ugf.q1", "0.33333333333333331"}};
+  m.adversaries.push_back(adv);
+  m.has_sweep = true;
+  m.sweep.grid = {8, 12, 16};
+  m.sweep.f_fraction = 0.25;
+  m.sweep.runs = 4;
+  m.sweep.base_seed = 18446744073709551615ull;  // u64 max: must stay exact
+  m.sweep.threads = 3;
+  m.sweep.max_steps = 1'000'000'000'000ull;
+  m.sweep.max_events = 50'000'000ull;
+  m.sweep.collect_timeseries = true;
+  m.sweep.timeseries_samples = 33;
+  m.params = {{"metric", "time"}, {"n", "150"}};
+  m.artifacts = {{"csv", "results/figX.csv"},
+                 {"manifest", "results/figX.manifest.json"}};
+  m.build = obs::current_build_info();
+  m.host = obs::current_host_info();
+  m.wall_time_seconds = 1.5;
+  obs::MetricsRegistry registry;
+  registry.counter("engine.runs").add(48);
+  registry.gauge("engine.wheel.max_buckets").note_max(64);
+  registry.histogram("runner.run_steps").record(1234);
+  m.metrics = registry.snapshot();
+  return m;
+}
+
+TEST(Manifest, FieldLevelRoundTrip) {
+  const auto original = sample_manifest();
+  const auto path = temp_path("ugf_manifest_roundtrip.json");
+  obs::write_manifest_file(path, original);
+  const auto parsed = obs::read_manifest_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(parsed.figure, original.figure);
+  EXPECT_EQ(parsed.protocol, original.protocol);
+  ASSERT_EQ(parsed.adversaries.size(), 1u);
+  EXPECT_EQ(parsed.adversaries[0].label, original.adversaries[0].label);
+  EXPECT_EQ(parsed.adversaries[0].factory, original.adversaries[0].factory);
+  EXPECT_EQ(parsed.adversaries[0].params, original.adversaries[0].params);
+  ASSERT_TRUE(parsed.has_sweep);
+  EXPECT_EQ(parsed.sweep.grid, original.sweep.grid);
+  EXPECT_DOUBLE_EQ(parsed.sweep.f_fraction, original.sweep.f_fraction);
+  EXPECT_EQ(parsed.sweep.runs, original.sweep.runs);
+  EXPECT_EQ(parsed.sweep.base_seed, original.sweep.base_seed);
+  EXPECT_EQ(parsed.sweep.threads, original.sweep.threads);
+  EXPECT_EQ(parsed.sweep.max_steps, original.sweep.max_steps);
+  EXPECT_EQ(parsed.sweep.max_events, original.sweep.max_events);
+  EXPECT_EQ(parsed.sweep.collect_timeseries,
+            original.sweep.collect_timeseries);
+  EXPECT_EQ(parsed.sweep.timeseries_samples,
+            original.sweep.timeseries_samples);
+  EXPECT_EQ(parsed.params, original.params);
+  EXPECT_EQ(parsed.artifacts, original.artifacts);
+  EXPECT_EQ(parsed.build.git_describe, original.build.git_describe);
+  EXPECT_EQ(parsed.build.build_type, original.build.build_type);
+  EXPECT_EQ(parsed.build.audit_level, original.build.audit_level);
+  EXPECT_EQ(parsed.host.hostname, original.host.hostname);
+  EXPECT_DOUBLE_EQ(parsed.wall_time_seconds, original.wall_time_seconds);
+  // Metrics snapshot travels along (scalar values; histogram moments).
+  ASSERT_NE(parsed.metrics.find_counter("engine.runs"), nullptr);
+  EXPECT_EQ(parsed.metrics.find_counter("engine.runs")->value, 48u);
+  ASSERT_NE(parsed.metrics.find_gauge("engine.wheel.max_buckets"), nullptr);
+  EXPECT_EQ(parsed.metrics.find_gauge("engine.wheel.max_buckets")->value,
+            64u);
+  ASSERT_NE(parsed.metrics.find_histogram("runner.run_steps"), nullptr);
+  EXPECT_EQ(parsed.metrics.find_histogram("runner.run_steps")->count, 1u);
+}
+
+TEST(Manifest, SchemaMismatchThrows) {
+  const auto path = temp_path("ugf_manifest_bad_schema.json");
+  {
+    std::ofstream out(path);
+    out << R"({"schema": "ugf-manifest-v999", "figure": "x"})";
+  }
+  EXPECT_THROW((void)obs::read_manifest_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignConversions, FormatParamRoundTripsDoubles) {
+  for (const double v : {1.0 / 3.0, 0.1, 0.25, 2.5e-17, 1e300, -0.0, 3.0}) {
+    const std::string s = bench::format_param(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(bench::format_param(std::uint64_t{0}), "0");
+  EXPECT_EQ(bench::format_param(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+}
+
+TEST(CampaignConversions, SweepRoundTrip) {
+  runner::SweepConfig config;
+  config.grid = {8, 24};
+  config.f_fraction = 0.4;
+  config.runs = 7;
+  config.base_seed = 0xDEADBEEFCAFEull;
+  config.threads = 5;
+  config.max_steps = 123456789ull;
+  config.max_events = 42ull;
+  config.collect_timeseries = true;
+  config.timeseries_samples = 17;
+  const auto rebuilt =
+      bench::sweep_from_manifest(bench::to_manifest_sweep(config));
+  EXPECT_EQ(rebuilt.grid, config.grid);
+  EXPECT_DOUBLE_EQ(rebuilt.f_fraction, config.f_fraction);
+  EXPECT_EQ(rebuilt.runs, config.runs);
+  EXPECT_EQ(rebuilt.base_seed, config.base_seed);
+  EXPECT_EQ(rebuilt.threads, config.threads);
+  EXPECT_EQ(rebuilt.max_steps, config.max_steps);
+  EXPECT_EQ(rebuilt.max_events, config.max_events);
+  EXPECT_EQ(rebuilt.collect_timeseries, config.collect_timeseries);
+  EXPECT_EQ(rebuilt.timeseries_samples, config.timeseries_samples);
+  // Observability pointers are presentation, never serialized.
+  EXPECT_EQ(rebuilt.profiler, nullptr);
+  EXPECT_EQ(rebuilt.metrics, nullptr);
+  EXPECT_EQ(rebuilt.progress, nullptr);
+}
+
+TEST(CampaignConversions, AdversaryParamsRoundTrip) {
+  core::AdversaryParams params;
+  params.tau = 99;
+  params.k = 3;
+  params.l = 2;
+  params.ugf.q1 = 0.2;
+  params.ugf.q2 = 0.7;
+  params.ugf.tau = 11;
+  params.ugf.sample_exponents = true;
+  params.ugf.fixed_k = 4;
+  params.ugf.fixed_l = 5;
+  params.ugf.exponent_cap = 6;
+  params.ugf.omission_mode = true;
+  const auto described = bench::describe_adversary("label", "ugf", params);
+  EXPECT_EQ(described.label, "label");
+  EXPECT_EQ(described.factory, "ugf");
+  const auto rebuilt = bench::adversary_params_from(described);
+  EXPECT_EQ(rebuilt.tau, params.tau);
+  EXPECT_EQ(rebuilt.k, params.k);
+  EXPECT_EQ(rebuilt.l, params.l);
+  EXPECT_DOUBLE_EQ(rebuilt.ugf.q1, params.ugf.q1);
+  EXPECT_DOUBLE_EQ(rebuilt.ugf.q2, params.ugf.q2);
+  EXPECT_EQ(rebuilt.ugf.tau, params.ugf.tau);
+  EXPECT_EQ(rebuilt.ugf.sample_exponents, params.ugf.sample_exponents);
+  EXPECT_EQ(rebuilt.ugf.fixed_k, params.ugf.fixed_k);
+  EXPECT_EQ(rebuilt.ugf.fixed_l, params.ugf.fixed_l);
+  EXPECT_EQ(rebuilt.ugf.exponent_cap, params.ugf.exponent_cap);
+  EXPECT_EQ(rebuilt.ugf.omission_mode, params.ugf.omission_mode);
+}
+
+TEST(CampaignConversions, UnknownAdversaryParamKeyThrows) {
+  obs::ManifestAdversary adversary;
+  adversary.factory = "ugf";
+  adversary.params = {{"future.knob", "1"}};
+  EXPECT_THROW((void)bench::adversary_params_from(adversary),
+               std::runtime_error);
+}
+
+// The acceptance criterion: run a small figure sweep, write its CSV and
+// manifest, then forget everything and rebuild the sweep purely from
+// the parsed manifest — the regenerated CSV must be identical byte for
+// byte (even with a different thread count; results are thread-count
+// invariant).
+TEST(Manifest, CsvReproducibleFromManifestAlone) {
+  runner::SweepConfig config;
+  config.grid = {8, 12, 16};
+  config.f_fraction = 0.25;
+  config.runs = 4;
+  config.base_seed = 0xF16BA5Eull;
+  config.threads = 2;
+
+  const auto protocol = protocols::make_protocol("push-pull");
+  core::AdversaryParams ugf_params;
+  ugf_params.ugf.q1 = 0.25;  // non-default: must survive the manifest
+  const auto benign = core::make_adversary("none");
+  const auto fighter = core::make_adversary("ugf", ugf_params);
+
+  const auto original = runner::sweep_figure(
+      config, *protocol,
+      {{"no adversary", benign.get()}, {"UGF", fighter.get()}});
+  const auto csv_a = temp_path("ugf_manifest_run_a.csv");
+  runner::write_figure_csv(csv_a, "figT", original);
+
+  // Record the campaign exactly as the bench binaries do.
+  obs::RunManifest manifest;
+  manifest.figure = "figT";
+  manifest.protocol = "push-pull";
+  manifest.adversaries.push_back(
+      bench::describe_adversary("no adversary", "none"));
+  manifest.adversaries.push_back(
+      bench::describe_adversary("UGF", "ugf", ugf_params));
+  manifest.has_sweep = true;
+  manifest.sweep = bench::to_manifest_sweep(config);
+  manifest.build = obs::current_build_info();
+  manifest.host = obs::current_host_info();
+  const auto manifest_path = temp_path("ugf_manifest_run.manifest.json");
+  obs::write_manifest_file(manifest_path, manifest);
+
+  // Replay from the parsed manifest alone.
+  const auto parsed = obs::read_manifest_file(manifest_path);
+  ASSERT_TRUE(parsed.has_sweep);
+  auto replay_config = bench::sweep_from_manifest(parsed.sweep);
+  replay_config.threads = 4;  // thread-count invariance is part of the claim
+  const auto replay_protocol = protocols::make_protocol(parsed.protocol);
+  std::vector<std::unique_ptr<adversary::AdversaryFactory>> factories;
+  std::vector<runner::LabelledAdversary> labelled;
+  for (const auto& adversary : parsed.adversaries) {
+    factories.push_back(core::make_adversary(
+        adversary.factory, bench::adversary_params_from(adversary)));
+    labelled.push_back({adversary.label, factories.back().get()});
+  }
+  const auto replayed =
+      runner::sweep_figure(replay_config, *replay_protocol, labelled);
+  const auto csv_b = temp_path("ugf_manifest_run_b.csv");
+  runner::write_figure_csv(csv_b, parsed.figure, replayed);
+
+  EXPECT_EQ(slurp(csv_a), slurp(csv_b));
+  std::remove(csv_a.c_str());
+  std::remove(csv_b.c_str());
+  std::remove(manifest_path.c_str());
+}
+
+}  // namespace

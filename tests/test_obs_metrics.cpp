@@ -1,0 +1,253 @@
+// Tests for the campaign metrics registry (src/obs/metrics.hpp):
+// bucket math, handle semantics, snapshot merging, exporters, and a
+// threaded merge-under-contention property test (the per-thread shards
+// must lose no increments no matter how the pool interleaves).
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/json_parse.hpp"
+
+namespace {
+
+using namespace ugf;
+
+TEST(HistogramBuckets, ExactBelowSixteen) {
+  for (std::uint64_t v = 0; v < obs::kHistogramLinearBuckets; ++v) {
+    EXPECT_EQ(obs::histogram_bucket(v), v);
+    EXPECT_EQ(obs::histogram_bucket_lower(v), v);
+  }
+}
+
+TEST(HistogramBuckets, LowerIsAFixedPointAndCoversTheValue) {
+  const std::uint64_t probes[] = {16,        17,         31,   32,
+                                  100,       1000,       4096, 123456789,
+                                  1u << 30,  std::uint64_t{1} << 40,
+                                  std::uint64_t{1} << 63,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = obs::histogram_bucket(v);
+    ASSERT_LT(idx, obs::kNumHistogramBuckets) << v;
+    const std::uint64_t lower = obs::histogram_bucket_lower(idx);
+    EXPECT_LE(lower, v);
+    // The bucket lower bound is itself in the bucket.
+    EXPECT_EQ(obs::histogram_bucket(lower), idx) << v;
+    // Log-linear resolution: the bucket width is lower/(4+sub), so any
+    // member sits within 25% of the lower bound (divide, don't
+    // multiply — lower*5 overflows at the top buckets).
+    EXPECT_LE(v - lower, lower / 4) << v;
+  }
+}
+
+TEST(HistogramBuckets, IndicesAreMonotone) {
+  std::size_t last = obs::histogram_bucket(0);
+  for (std::uint64_t v = 1; v < 100000; v = v < 64 ? v + 1 : v * 5 / 4) {
+    const std::size_t idx = obs::histogram_bucket(v);
+    EXPECT_GE(idx, last) << v;
+    last = idx;
+  }
+}
+
+TEST(MetricsRegistry, DefaultHandlesAreInert) {
+  const obs::Counter counter;
+  const obs::Gauge gauge;
+  const obs::Histogram histogram;
+  counter.add(7);        // must not crash
+  gauge.note_max(9);     // must not crash
+  histogram.record(11);  // must not crash
+  EXPECT_FALSE(static_cast<bool>(counter));
+  EXPECT_FALSE(static_cast<bool>(gauge));
+  EXPECT_FALSE(static_cast<bool>(histogram));
+}
+
+TEST(MetricsRegistry, CountersSumGaugesMax) {
+  obs::MetricsRegistry registry;
+  const auto runs = registry.counter("t.runs");
+  const auto high = registry.gauge("t.high");
+  runs.add();
+  runs.add(41);
+  high.note_max(5);
+  high.note_max(17);
+  high.note_max(3);  // lower: ignored
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "t.runs");
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 17u);
+  EXPECT_NE(snap.find_counter("t.runs"), nullptr);
+  EXPECT_EQ(snap.find_counter("t.absent"), nullptr);
+}
+
+TEST(MetricsRegistry, ReResolvingReturnsTheSameMetric) {
+  obs::MetricsRegistry registry;
+  registry.counter("dup").add(1);
+  registry.counter("dup").add(2);
+  EXPECT_EQ(registry.snapshot().find_counter("dup")->value, 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry registry;
+  (void)registry.counter("name");
+  EXPECT_THROW((void)registry.gauge("name"), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("name"), std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotNamesAreSorted) {
+  obs::MetricsRegistry registry;
+  (void)registry.counter("zebra");
+  (void)registry.counter("alpha");
+  (void)registry.counter("mid");
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zebra");
+}
+
+TEST(MetricsRegistry, HistogramTracksExactMoments) {
+  obs::MetricsRegistry registry;
+  const auto h = registry.histogram("t.h");
+  const std::uint64_t values[] = {3, 3, 17, 900, 0};
+  std::uint64_t sum = 0;
+  for (const auto v : values) {
+    h.record(v);
+    sum += v;
+  }
+  const auto snap = registry.snapshot();
+  const auto* hs = snap.find_histogram("t.h");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 5u);
+  EXPECT_EQ(hs->sum, sum);
+  EXPECT_EQ(hs->min, 0u);
+  EXPECT_EQ(hs->max, 900u);
+  EXPECT_DOUBLE_EQ(hs->mean(), static_cast<double>(sum) / 5.0);
+  // Bucket counts add up and lowers are sorted non-empty buckets only.
+  std::uint64_t bucketed = 0;
+  std::uint64_t last_lower = 0;
+  for (const auto& [lower, count] : hs->buckets) {
+    EXPECT_GE(lower, last_lower);
+    EXPECT_GT(count, 0u);
+    last_lower = lower;
+    bucketed += count;
+  }
+  EXPECT_EQ(bucketed, 5u);
+  // Quantiles clamp into [min, max] and bracket the median.
+  EXPECT_EQ(hs->quantile(0.0), 0u);
+  EXPECT_LE(hs->quantile(0.5), 17u);
+  EXPECT_EQ(hs->quantile(1.0), 900u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  obs::MetricsRegistry registry;
+  const auto c = registry.counter("c");
+  const auto h = registry.histogram("h");
+  c.add(5);
+  h.record(123);
+  registry.reset();
+  auto snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("c")->value, 0u);
+  EXPECT_EQ(snap.find_histogram("h")->count, 0u);
+  c.add(2);  // outstanding handle still valid
+  h.record(9);
+  snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("c")->value, 2u);
+  EXPECT_EQ(snap.find_histogram("h")->count, 1u);
+}
+
+// The merge-under-contention property: hammer one counter, one gauge
+// and one histogram from many threads; the merged snapshot must be
+// exact once the threads have joined — per-thread shards may not lose
+// or double-count anything.
+TEST(MetricsRegistry, ThreadedMergeIsExact) {
+  obs::MetricsRegistry registry;
+  const auto counter = registry.counter("p.counter");
+  const auto gauge = registry.gauge("p.gauge");
+  const auto histogram = registry.histogram("p.histogram");
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        counter.add(1);
+        gauge.note_max(t * kIters + i);
+        histogram.record(i & 1023);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("p.counter")->value, kThreads * kIters);
+  EXPECT_EQ(snap.find_gauge("p.gauge")->value, kThreads * kIters - 1);
+  const auto* hs = snap.find_histogram("p.histogram");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kThreads * kIters);
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t i = 0; i < kIters; ++i) expected_sum += i & 1023;
+  EXPECT_EQ(hs->sum, kThreads * expected_sum);
+  EXPECT_EQ(hs->min, 0u);
+  EXPECT_EQ(hs->max, 1023u);
+  std::uint64_t bucketed = 0;
+  for (const auto& [lower, count] : hs->buckets) bucketed += count;
+  EXPECT_EQ(bucketed, kThreads * kIters);
+}
+
+TEST(MetricsExport, JsonRoundTripsThroughTheParser) {
+  obs::MetricsRegistry registry;
+  registry.counter("runs").add(7);
+  registry.gauge("peak").note_max(1234);
+  registry.histogram("lat").record(99);
+  registry.histogram("lat").record(100000);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os, registry.snapshot());
+  const auto doc = util::parse_json(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kMetricsSchema);
+  EXPECT_EQ(doc.at("counters").at("runs").as_uint64(), 7u);
+  EXPECT_EQ(doc.at("gauges").at("peak").as_uint64(), 1234u);
+  const auto& lat = doc.at("histograms").at("lat");
+  EXPECT_EQ(lat.at("count").as_uint64(), 2u);
+  EXPECT_EQ(lat.at("sum").as_uint64(), 100099u);
+  EXPECT_EQ(lat.at("min").as_uint64(), 99u);
+  EXPECT_EQ(lat.at("max").as_uint64(), 100000u);
+  EXPECT_EQ(lat.at("buckets").items().size(), 2u);
+}
+
+TEST(MetricsExport, PrometheusTextShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine.runs").add(3);
+  registry.gauge("arena.bytes").note_max(64);
+  registry.histogram("steps").record(5);
+  std::ostringstream os;
+  obs::write_prometheus_text(os, registry.snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("ugf_engine_runs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("ugf_arena_bytes 64"), std::string::npos);
+  EXPECT_NE(text.find("ugf_steps_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ugf_steps_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("ugf_steps_count 1"), std::string::npos);
+}
+
+TEST(MetricsExport, FileWritersProduceParseableOutput) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(1);
+  const std::string path = ::testing::TempDir() + "/ugf_metrics_test.json";
+  obs::write_metrics_json_file(path, registry.snapshot());
+  const auto doc = util::parse_json_file(path);
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kMetricsSchema);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the live sweep progress renderer (src/obs/progress.hpp):
+// counter plumbing, the rendered status line, output routing to a
+// caller-supplied stream, disabled-mode inertness, and finish()
+// idempotence. Rendering is presentation only, so the tests read the
+// test seams (current_line, runs_done) and the captured FILE* instead
+// of asserting exact timing-dependent strings.
+
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using ugf::obs::SweepProgress;
+
+// Captures renderer output in a seekable temp stream.
+class CaptureFile {
+ public:
+  CaptureFile() : file_(std::tmpfile()) {}
+  ~CaptureFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  [[nodiscard]] std::FILE* get() const noexcept { return file_; }
+
+  [[nodiscard]] std::string contents() const {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string text;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, file_)) > 0)
+      text.append(buf, got);
+    return text;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+SweepProgress::Options capture_options(std::FILE* out, bool tty = false) {
+  SweepProgress::Options opts;
+  opts.enabled = true;
+  opts.tty = tty;
+  opts.min_interval_s = 0.0;  // render every tick; tests want output
+  opts.out = out;
+  return opts;
+}
+
+TEST(SweepProgress, CountsRunsAndPlannedTotal) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  EXPECT_EQ(progress.runs_done(), 0u);
+  EXPECT_EQ(progress.runs_planned(), 0u);
+  progress.add_planned_runs(30);
+  progress.add_planned_runs(10);
+  EXPECT_EQ(progress.runs_planned(), 40u);
+  for (int i = 0; i < 7; ++i) progress.note_run_complete();
+  EXPECT_EQ(progress.runs_done(), 7u);
+}
+
+TEST(SweepProgress, CurrentLineShowsBatchAndTotals) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  progress.add_planned_runs(40);
+  progress.note_batch("UGF", 2, 4);
+  for (int i = 0; i < 10; ++i) progress.note_run_complete();
+  const std::string line = progress.current_line();
+  EXPECT_NE(line.find("[UGF 2/4]"), std::string::npos) << line;
+  EXPECT_NE(line.find("runs 10/40 (25.0%)"), std::string::npos) << line;
+  EXPECT_NE(line.find("runs/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("workers 0"), std::string::npos) << line;
+}
+
+TEST(SweepProgress, WorkerGaugeTracksBeginEnd) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  progress.note_worker_begin();
+  progress.note_worker_begin();
+  EXPECT_NE(progress.current_line().find("workers 2"), std::string::npos);
+  progress.note_worker_end();
+  EXPECT_NE(progress.current_line().find("workers 1"), std::string::npos);
+}
+
+TEST(SweepProgress, WithoutPlannedTotalLineOmitsPercentage) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  progress.note_run_complete();
+  const std::string line = progress.current_line();
+  EXPECT_NE(line.find("runs 1"), std::string::npos) << line;
+  EXPECT_EQ(line.find('%'), std::string::npos) << line;
+}
+
+TEST(SweepProgress, RendersToTheConfiguredStream) {
+  CaptureFile capture;
+  {
+    SweepProgress progress(capture_options(capture.get()));
+    progress.add_planned_runs(4);
+    progress.note_batch("push-pull", 1, 2);
+    progress.note_run_complete();
+    progress.finish();
+  }
+  const std::string text = capture.contents();
+  EXPECT_NE(text.find("[push-pull 1/2]"), std::string::npos) << text;
+  // Off-TTY output is line-oriented, never carriage returns.
+  EXPECT_EQ(text.find('\r'), std::string::npos) << text;
+}
+
+TEST(SweepProgress, TtyModeRewritesInPlace) {
+  CaptureFile capture;
+  {
+    SweepProgress progress(capture_options(capture.get(), /*tty=*/true));
+    progress.add_planned_runs(2);
+    progress.note_batch("a-long-batch-label", 1, 1);
+    progress.note_batch("b", 1, 1);  // shorter: must pad the old line out
+    progress.finish();
+  }
+  const std::string text = capture.contents();
+  EXPECT_NE(text.find('\r'), std::string::npos) << text;
+  EXPECT_EQ(text.back(), '\n');  // finish() terminates the line
+}
+
+TEST(SweepProgress, DisabledInstanceWritesNothing) {
+  CaptureFile capture;
+  {
+    SweepProgress::Options opts;
+    opts.enabled = false;
+    opts.out = capture.get();
+    SweepProgress progress(opts);
+    EXPECT_FALSE(progress.enabled());
+    progress.add_planned_runs(10);
+    progress.note_batch("label", 1, 2);
+    progress.note_run_complete();
+    progress.finish();
+  }
+  EXPECT_TRUE(capture.contents().empty());
+}
+
+TEST(SweepProgress, FinishIsIdempotent) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  progress.note_run_complete();
+  progress.finish();
+  const std::string after_first = capture.contents();
+  progress.finish();
+  progress.note_batch("late", 1, 1);  // after finish: no further output
+  progress.finish();
+  EXPECT_EQ(capture.contents(), after_first);
+  // Destructor also calls finish(); the scope exit must not add output
+  // either — checked implicitly by CaptureFile outliving the renderer.
+}
+
+TEST(SweepProgress, TicksFromManyThreadsAreAllCounted) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  constexpr int kThreads = 4;
+  constexpr int kTicks = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTicks; ++i) progress.note_run_complete();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(progress.runs_done(),
+            static_cast<std::uint64_t>(kThreads) * kTicks);
+}
+
+TEST(SweepProgress, AutoOptionsRespectForceOverride) {
+  // force=+1 / -1 win over TTY detection; force=0 in this headless test
+  // environment must not crash and yields a consistent pair.
+  EXPECT_TRUE(SweepProgress::auto_options(+1).enabled);
+  EXPECT_FALSE(SweepProgress::auto_options(-1).enabled);
+  (void)SweepProgress::auto_options(0);
+}
+
+}  // namespace

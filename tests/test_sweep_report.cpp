@@ -11,6 +11,7 @@
 #include "protocols/registry.hpp"
 #include "runner/report.hpp"
 #include "runner/sweep.hpp"
+#include "util/json_parse.hpp"
 
 namespace {
 
@@ -149,6 +150,183 @@ TEST(Report, DominanceRendersStatistics) {
 TEST(Report, MetricNames) {
   EXPECT_STREQ(runner::to_string(runner::Metric::kTime), "time");
   EXPECT_STREQ(runner::to_string(runner::Metric::kMessages), "messages");
+}
+
+// Synthetic curve with a fixed strategy mix (no sweep needed) so the
+// rendered text is fully deterministic.
+Curve synthetic_curve(const std::string& label) {
+  Curve curve;
+  curve.label = label;
+  curve.adversary = "ugf";
+  for (const std::uint32_t n : {8u, 16u}) {
+    runner::CurvePoint point;
+    point.n = n;
+    point.f = n / 4;
+    point.strategy_counts = {{"strategy-1", 2}, {"strategy-2.1.1", 3}};
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+// Regression: the aggregate block's exact shape is part of the text
+// contract (scripts grep it); adding the per-curve option must not have
+// changed the default output.
+TEST(Report, StrategyHistogramAggregateFormatIsStable) {
+  std::ostringstream os;
+  runner::print_strategy_histogram(os, {synthetic_curve("UGF")});
+  EXPECT_EQ(os.str(),
+            "strategy histogram (all curves, all grid points):\n"
+            "  strategy-1: 4\n"
+            "  strategy-2.1.1: 6\n"
+            "\n");
+}
+
+TEST(Report, StrategyHistogramPerCurveAppendsOneBlockPerCurve) {
+  const auto a = synthetic_curve("curve-a");
+  auto b = synthetic_curve("curve-b");
+  b.points.front().strategy_counts = {{"strategy-1", 10}};
+  b.points.back().strategy_counts.clear();
+
+  std::ostringstream aggregate_only;
+  runner::print_strategy_histogram(aggregate_only, {a, b});
+
+  std::ostringstream os;
+  runner::print_strategy_histogram(os, {a, b}, /*per_curve=*/true);
+  const std::string text = os.str();
+  // The aggregate block leads, unchanged.
+  EXPECT_EQ(text.substr(0, aggregate_only.str().size()),
+            aggregate_only.str());
+  EXPECT_NE(text.find("strategy histogram [curve-a]:\n"
+                      "  strategy-1: 4\n"
+                      "  strategy-2.1.1: 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("strategy histogram [curve-b]:\n"
+                      "  strategy-1: 10\n"),
+            std::string::npos);
+  // Default (no per_curve) prints no per-curve blocks.
+  EXPECT_EQ(aggregate_only.str().find('['), std::string::npos);
+}
+
+TEST(Report, GrowthSummaryClassifiesAndHandlesDegenerateCurves) {
+  Curve quadratic;
+  quadratic.label = "quadratic";
+  for (const std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    runner::CurvePoint point;
+    point.n = n;
+    point.time.median = static_cast<double>(n) * n;
+    quadratic.points.push_back(point);
+  }
+  Curve short_curve = quadratic;
+  short_curve.label = "short";
+  short_curve.points.resize(2);
+  Curve zero_curve = quadratic;
+  zero_curve.label = "zeros";
+  for (auto& point : zero_curve.points) point.time.median = 0.0;
+
+  std::ostringstream os;
+  runner::print_growth_summary(os, {quadratic, short_curve, zero_curve},
+                               runner::Metric::kTime);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("quadratic: exponent 2.00"), std::string::npos) << text;
+  EXPECT_NE(text.find("short: (too few points)"), std::string::npos);
+  EXPECT_NE(text.find("zeros: (non-positive values)"), std::string::npos);
+}
+
+TEST(Report, FigureJsonSerializesEveryCurveAndPoint) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto ugf = core::make_adversary("ugf");
+  const auto curves = runner::sweep_figure(
+      small_config(), *proto, {{"baseline", none.get()}, {"UGF", ugf.get()}});
+  const std::string path = ::testing::TempDir() + "/ugf_report_test.json";
+  runner::write_figure_json(path, "figJ", curves);
+  const auto doc = util::parse_json_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(doc.at("figure").as_string(), "figJ");
+  const auto& out_curves = doc.at("curves").items();
+  ASSERT_EQ(out_curves.size(), 2u);
+  EXPECT_EQ(out_curves[0].at("label").as_string(), "baseline");
+  EXPECT_EQ(out_curves[0].at("adversary").as_string(), "none");
+  EXPECT_EQ(out_curves[1].at("label").as_string(), "UGF");
+  for (const auto& curve : out_curves) {
+    const auto& points = curve.at("points").items();
+    ASSERT_EQ(points.size(), small_config().grid.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(points[i].at("n").as_uint64(), small_config().grid[i]);
+      EXPECT_EQ(points[i].at("time").at("count").as_uint64(),
+                small_config().runs);
+      EXPECT_GT(points[i].at("messages").at("median").as_double(), 0.0);
+      (void)points[i].at("strategies");
+      (void)points[i].at("rumor_failures");
+      (void)points[i].at("truncated");
+    }
+  }
+  // The UGF curve's strategy draws travel into the JSON.
+  EXPECT_FALSE(
+      out_curves[1].at("points").items()[0].at("strategies").members().empty());
+}
+
+SweepConfig timeseries_config() {
+  SweepConfig cfg;
+  cfg.grid = {8, 12};
+  cfg.f_fraction = 0.25;
+  cfg.runs = 3;
+  cfg.base_seed = 11;
+  cfg.threads = 2;
+  cfg.collect_timeseries = true;
+  cfg.timeseries_samples = 9;
+  return cfg;
+}
+
+TEST(Report, InfectionCurvesPlotTimeseriesAndSkipCurvesWithout) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto with_ts =
+      runner::sweep_curve(timeseries_config(), *proto, *none, "with-ts");
+  const auto without_ts =
+      runner::sweep_curve(small_config(), *proto, *none, "without-ts");
+
+  std::ostringstream os;
+  runner::print_infection_curves(os, {with_ts, without_ts});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("with-ts (n=12)"), std::string::npos) << text;
+  EXPECT_NE(text.find("without-ts: no time-series data"), std::string::npos);
+  EXPECT_NE(text.find("global step t"), std::string::npos);
+
+  std::ostringstream empty_os;
+  runner::print_infection_curves(empty_os, {without_ts});
+  EXPECT_NE(empty_os.str().find("(no data)"), std::string::npos);
+}
+
+TEST(Report, TimeseriesCsvHasOneRowPerSample) {
+  const auto proto = protocols::make_protocol("push-pull");
+  const auto none = core::make_adversary("none");
+  const auto curve =
+      runner::sweep_curve(timeseries_config(), *proto, *none, "baseline");
+  std::size_t expected_rows = 0;
+  for (const auto& point : curve.points) {
+    EXPECT_FALSE(point.timeseries.empty());
+    expected_rows += point.timeseries.t.size();
+  }
+  const std::string path = ::testing::TempDir() + "/ugf_report_ts_test.csv";
+  runner::write_figure_timeseries_csv(path, "figT", {curve});
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 1u + expected_rows);  // header + samples
+
+  // Curves without time-series data contribute only the header.
+  const auto no_ts =
+      runner::sweep_curve(small_config(), *proto, *none, "baseline");
+  runner::write_figure_timeseries_csv(path, "figT", {no_ts});
+  std::ifstream in2(path);
+  lines = 0;
+  while (std::getline(in2, line)) ++lines;
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 1u);
 }
 
 }  // namespace

@@ -49,10 +49,13 @@ A finding can be suppressed on its line (or the line above) with:
     // ugf-lint: allow(<rule>)
 
 Usage: lint_ugf.py [REPO_ROOT]
-       lint_ugf.py --validate-trace FILE.ndjson
-The second form validates an NDJSON trace written by the src/obs
-exporters against the ``ugf-trace-v1`` schema (meta line, per-event
-keys, known types, non-decreasing steps, event count).
+       lint_ugf.py --validate-trace FILE
+The second form validates a campaign artifact written by the src/obs
+exporters, dispatching on content: a single JSON document is checked
+against its declared schema (``ugf-manifest-v1`` run manifests,
+``ugf-metrics-v1`` metrics snapshots), anything else is treated as an
+``ugf-trace-v1`` NDJSON trace (meta line, per-event keys, known types,
+non-decreasing steps, event count).
 
 Exits 0 when clean, 1 with findings (one ``file:line: rule: message``
 per line), 2 on usage errors.
@@ -225,7 +228,11 @@ def lint_header_prelude(rel: str, lines: list[str]) -> list[Finding]:
                     "missing Doxygen '\\file' comment after #pragma once")]
 
 
-# --- NDJSON trace validation (ugf-trace-v1) -------------------------------
+# --- Campaign artifact validation -----------------------------------------
+#
+# One entry point (validate_artifact) dispatches on content: whole-file
+# JSON documents are validated against their declared schema (manifest /
+# metrics), everything else is treated as an NDJSON trace.
 
 TRACE_SCHEMA = "ugf-trace-v1"
 TRACE_META_KEYS = {"schema", "protocol", "adversary", "n", "f", "seed",
@@ -320,9 +327,183 @@ def validate_trace(path: Path) -> int:
     return len(findings)
 
 
+METRICS_SCHEMA = "ugf-metrics-v1"
+MANIFEST_SCHEMA = "ugf-manifest-v1"
+MANIFEST_KEYS = {"schema", "figure", "protocol", "adversaries", "sweep",
+                 "params", "artifacts", "build", "host", "wall_time_seconds",
+                 "metrics"}
+MANIFEST_SWEEP_KEYS = {"grid", "f_fraction", "runs", "base_seed", "threads",
+                       "max_steps", "max_events", "collect_timeseries",
+                       "timeseries_samples"}
+MANIFEST_BUILD_KEYS = {"git_describe", "build_type", "sanitizers", "compiler",
+                       "audit_level"}
+MANIFEST_HOST_KEYS = {"hostname", "hardware_threads"}
+
+
+def _string_map_findings(obj: object, where: str) -> list[str]:
+    if not isinstance(obj, dict):
+        return [f"{where} is not a JSON object"]
+    bad = [k for k, v in obj.items() if not isinstance(v, str)]
+    return [f"{where}[{k!r}] is not a string" for k in bad]
+
+
+def validate_metrics_object(obj: object, where: str) -> list[str]:
+    """Findings for one ugf-metrics-v1 object (standalone or embedded)."""
+    findings: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"{where} is not a JSON object"]
+    if set(obj) != {"schema", "counters", "gauges", "histograms"}:
+        findings.append(
+            f"{where} keys are {sorted(obj)}, expected "
+            "['counters', 'gauges', 'histograms', 'schema']")
+        return findings
+    if obj["schema"] != METRICS_SCHEMA:
+        findings.append(f"{where}.schema is {obj['schema']!r}, "
+                        f"expected {METRICS_SCHEMA!r}")
+    for section in ("counters", "gauges"):
+        values = obj[section]
+        if not isinstance(values, dict):
+            findings.append(f"{where}.{section} is not a JSON object")
+            continue
+        for name, value in values.items():
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                findings.append(f"{where}.{section}[{name!r}] is {value!r}, "
+                                "expected a non-negative integer")
+    histograms = obj["histograms"]
+    if not isinstance(histograms, dict):
+        return findings + [f"{where}.histograms is not a JSON object"]
+    for name, hist in histograms.items():
+        spot = f"{where}.histograms[{name!r}]"
+        if not isinstance(hist, dict):
+            findings.append(f"{spot} is not a JSON object")
+            continue
+        if set(hist) != {"count", "sum", "min", "max", "buckets"}:
+            findings.append(f"{spot} keys are {sorted(hist)}, expected "
+                            "['buckets', 'count', 'max', 'min', 'sum']")
+            continue
+        buckets = hist["buckets"]
+        if not isinstance(buckets, list):
+            findings.append(f"{spot}.buckets is not an array")
+            continue
+        bucketed = 0
+        prev_lower = -1
+        for pair in buckets:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not all(isinstance(x, int) and not isinstance(x, bool)
+                               for x in pair)):
+                findings.append(f"{spot}.buckets holds {pair!r}, expected "
+                                "[lower, count] integer pairs")
+                break
+            if pair[0] <= prev_lower:
+                findings.append(f"{spot}.buckets lower bounds not strictly "
+                                f"increasing at {pair[0]}")
+                break
+            prev_lower = pair[0]
+            bucketed += pair[1]
+        else:
+            if bucketed != hist["count"]:
+                findings.append(f"{spot} bucket counts sum to {bucketed}, "
+                                f"count declares {hist['count']}")
+    return findings
+
+
+def validate_manifest_object(obj: dict) -> list[str]:
+    """Findings for one ugf-manifest-v1 document."""
+    findings: list[str] = []
+    if set(obj) != MANIFEST_KEYS:
+        findings.append(f"manifest keys are {sorted(obj)}, "
+                        f"expected {sorted(MANIFEST_KEYS)}")
+        return findings
+    adversaries = obj["adversaries"]
+    if not isinstance(adversaries, list):
+        findings.append("manifest.adversaries is not an array")
+    else:
+        for i, adv in enumerate(adversaries):
+            spot = f"manifest.adversaries[{i}]"
+            if not isinstance(adv, dict) \
+                    or set(adv) != {"label", "factory", "params"}:
+                findings.append(f"{spot} must have exactly "
+                                "label/factory/params")
+                continue
+            findings.extend(
+                _string_map_findings(adv["params"], f"{spot}.params"))
+    sweep = obj["sweep"]
+    if sweep is not None:
+        if not isinstance(sweep, dict) or set(sweep) != MANIFEST_SWEEP_KEYS:
+            findings.append("manifest.sweep keys are "
+                            f"{sorted(sweep) if isinstance(sweep, dict) else sweep!r}, "
+                            f"expected {sorted(MANIFEST_SWEEP_KEYS)} or null")
+        elif not (isinstance(sweep["grid"], list)
+                  and all(isinstance(n, int) and n > 0
+                          for n in sweep["grid"])):
+            findings.append("manifest.sweep.grid must be an array of "
+                            "positive integers")
+    for section in ("params", "artifacts"):
+        findings.extend(
+            _string_map_findings(obj[section], f"manifest.{section}"))
+    build = obj["build"]
+    if not isinstance(build, dict) or set(build) != MANIFEST_BUILD_KEYS:
+        findings.append(f"manifest.build keys must be "
+                        f"{sorted(MANIFEST_BUILD_KEYS)}")
+    host = obj["host"]
+    if not isinstance(host, dict) or set(host) != MANIFEST_HOST_KEYS:
+        findings.append(f"manifest.host keys must be "
+                        f"{sorted(MANIFEST_HOST_KEYS)}")
+    if not isinstance(obj["wall_time_seconds"], (int, float)) \
+            or isinstance(obj["wall_time_seconds"], bool) \
+            or obj["wall_time_seconds"] < 0:
+        findings.append("manifest.wall_time_seconds must be a non-negative "
+                        "number")
+    findings.extend(validate_metrics_object(obj["metrics"],
+                                            "manifest.metrics"))
+    return findings
+
+
+def validate_artifact(path: Path) -> int:
+    """Validates one campaign artifact; prints findings, returns count."""
+    import json
+
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        print(f"{path}:1: artifact: unreadable ({err})")
+        return 1
+
+    # A whole-file JSON document is a manifest or metrics snapshot;
+    # anything else (including every multi-line NDJSON trace) falls
+    # through to the trace validator.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return validate_trace(path)
+    if not isinstance(doc, dict):
+        print(f"{path}:1: artifact: top-level JSON is not an object")
+        return 1
+
+    schema = doc.get("schema")
+    if schema == MANIFEST_SCHEMA:
+        findings = validate_manifest_object(doc)
+        kind = "manifest"
+    elif schema == METRICS_SCHEMA:
+        findings = validate_metrics_object(doc, "metrics")
+        kind = "metrics"
+    else:
+        print(f"{path}:1: artifact: unknown schema {schema!r} (expected "
+              f"{MANIFEST_SCHEMA!r}, {METRICS_SCHEMA!r}, or an NDJSON "
+              f"{TRACE_SCHEMA!r} trace)")
+        return 1
+
+    for finding in findings:
+        print(f"{path}:1: {kind}: {finding}")
+    status = "valid" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_ugf: {kind} checked, {status}", file=sys.stderr)
+    return len(findings)
+
+
 def main(argv: list[str]) -> int:
     if len(argv) == 3 and argv[1] == "--validate-trace":
-        return 1 if validate_trace(Path(argv[2])) else 0
+        return 1 if validate_artifact(Path(argv[2])) else 0
     if len(argv) > 2:
         print(__doc__, file=sys.stderr)
         return 2
