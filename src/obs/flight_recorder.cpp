@@ -15,11 +15,13 @@ namespace ugf::obs {
 namespace {
 
 std::mutex& dump_dir_mutex() {
+  // ugf-analyzer: allow(shared-state): process-wide dump-dir lock, set once at config time
   static std::mutex m;
   return m;
 }
 
 std::string& dump_dir_storage() {
+  // ugf-analyzer: allow(shared-state): dump dir is process-global config; uses dump_dir_mutex()
   static std::string dir = ".";
   return dir;
 }

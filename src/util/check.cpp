@@ -19,16 +19,19 @@ struct HookEntry {
 // Function-local statics so hook registration works during static
 // initialization of other translation units.
 std::mutex& hook_mutex() {
+  // ugf-analyzer: allow(shared-state): process-wide failure-hook lock, outlives runs
   static std::mutex m;
   return m;
 }
 
 std::vector<HookEntry>& hook_entries() {
+  // ugf-analyzer: allow(shared-state): hook registry is process-global; guarded by hook_mutex()
   static std::vector<HookEntry> entries;
   return entries;
 }
 
 // A hook that itself fails a check must not re-enter the hook list.
+// ugf-analyzer: allow(shared-state): per-thread abort-path reentrancy latch, never shared
 thread_local bool in_failure_hooks = false;
 
 void run_failure_hooks() noexcept {
@@ -50,6 +53,7 @@ void run_failure_hooks() noexcept {
 
 std::size_t add_check_failure_hook(CheckFailureHook hook, void* ctx) {
   const std::lock_guard<std::mutex> lock(hook_mutex());
+  // ugf-analyzer: allow(shared-state): id counter under hook_mutex(); process-global by design
   static std::size_t next_id = 1;
   const std::size_t id = next_id++;
   hook_entries().push_back({id, hook, ctx});

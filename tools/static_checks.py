@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""One front end for every static gate: lint, format, tidy, analyzer.
+
+Runs, in order:
+
+  lint_ugf      tools/lint_ugf.py — regex-level repo rules
+  clang_format  clang-format --dry-run --Werror over tracked C++ files
+                (analyzer fixtures excluded: intentional violations)
+  clang_tidy    tools/run_clang_tidy.py over the compilation database
+  ugf_analyzer  tools/ugf_analyzer — AST-grounded determinism rules
+
+Every finding is re-emitted on stdout in the shared contract
+``file:line: rule: message`` (clang-format and clang-tidy diagnostics
+are normalized into it), so `scripts/check.sh --static` and CI grep one
+stream with one shape.
+
+A check whose tool is missing is SKIPPED, not failed — unless named in
+``--require`` or the UGF_STATIC_REQUIRE environment variable (comma
+separated), which is how CI pins "the analyzer must actually run".
+
+Exit codes: 0 all ran clean (skips allowed), 1 findings, 2 a check
+errored or a required check was skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# clang-format / clang-tidy diagnostic shape -> shared contract.
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+)(?::\d+)?:\s*"
+    r"(?:warning|error):\s*(?P<msg>.*)$")
+
+FIXTURE_PREFIX = "tools/ugf_analyzer/fixtures/"
+
+
+@dataclass
+class CheckResult:
+    name: str
+    status: str              # clean | findings | skipped | error
+    findings: int = 0
+    detail: str = ""
+
+
+def _rel(path_str: str) -> str:
+    try:
+        return Path(path_str).resolve().relative_to(ROOT).as_posix()
+    except ValueError:
+        return path_str
+
+
+def _normalize_diags(text: str, rule: str) -> list[str]:
+    out = []
+    for line in text.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m:
+            out.append(f"{_rel(m.group('path'))}:{m.group('line')}: "
+                       f"{rule}: {m.group('msg')}")
+    return out
+
+
+def check_lint_ugf(args: argparse.Namespace) -> CheckResult:
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools/lint_ugf.py"), str(ROOT)],
+        capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode == 0:
+        return CheckResult("lint_ugf", "clean")
+    if proc.returncode == 1:
+        return CheckResult("lint_ugf", "findings",
+                           len(proc.stdout.splitlines()))
+    return CheckResult("lint_ugf", "error", detail=proc.stderr.strip())
+
+
+def check_clang_format(args: argparse.Namespace) -> CheckResult:
+    tool = shutil.which("clang-format")
+    if tool is None:
+        return CheckResult("clang_format", "skipped",
+                           detail="clang-format not installed")
+    ls = subprocess.run(
+        ["git", "ls-files", "*.cpp", "*.hpp"],
+        cwd=ROOT, capture_output=True, text=True)
+    if ls.returncode != 0:
+        return CheckResult("clang_format", "error",
+                           detail="git ls-files failed")
+    files = [f for f in ls.stdout.splitlines()
+             if f and not f.startswith(FIXTURE_PREFIX)]
+    if not files:
+        return CheckResult("clang_format", "skipped",
+                           detail="no tracked C++ files")
+    proc = subprocess.run(
+        [tool, "--dry-run", "--Werror"] + files,
+        cwd=ROOT, capture_output=True, text=True)
+    findings = _normalize_diags(proc.stderr + proc.stdout, "clang-format")
+    for line in findings:
+        print(line)
+    if proc.returncode == 0 and not findings:
+        return CheckResult("clang_format", "clean")
+    return CheckResult("clang_format", "findings", len(findings))
+
+
+def check_clang_tidy(args: argparse.Namespace) -> CheckResult:
+    tool = shutil.which("clang-tidy")
+    if tool is None:
+        return CheckResult("clang_tidy", "skipped",
+                           detail="clang-tidy not installed")
+    compdb = args.build_dir / "compile_commands.json"
+    if not compdb.is_file():
+        return CheckResult("clang_tidy", "skipped",
+                           detail=f"{compdb} not found (configure first)")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools/run_clang_tidy.py"),
+         "--clang-tidy", tool, "--build-dir", str(args.build_dir),
+         "--source-dir", str(ROOT)],
+        capture_output=True, text=True)
+    findings = _normalize_diags(proc.stdout, "clang-tidy")
+    for line in findings:
+        print(line)
+    if proc.returncode == 0:
+        return CheckResult("clang_tidy", "clean")
+    if proc.returncode == 1:
+        # Diagnostics that defeated normalization still count.
+        return CheckResult("clang_tidy", "findings",
+                           max(len(findings), 1))
+    return CheckResult("clang_tidy", "error", detail=proc.stderr.strip())
+
+
+def check_ugf_analyzer(args: argparse.Namespace,
+                       required: bool) -> CheckResult:
+    compdb = args.build_dir / "compile_commands.json"
+    cmd = [sys.executable, str(ROOT / "tools/ugf_analyzer"),
+           "--compdb", str(compdb), "--root", str(ROOT),
+           "--shared-state-out", str(args.build_dir / "shared_state.json")]
+    if required:
+        cmd.append("--require-libclang")
+    if not compdb.is_file() and not required:
+        return CheckResult("ugf_analyzer", "skipped",
+                           detail=f"{compdb} not found (configure first)")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode == 0:
+        return CheckResult("ugf_analyzer", "clean")
+    if proc.returncode == 1:
+        return CheckResult("ugf_analyzer", "findings",
+                           len(proc.stdout.splitlines()))
+    if proc.returncode == 4:
+        return CheckResult("ugf_analyzer", "skipped",
+                           detail="libclang unavailable")
+    return CheckResult("ugf_analyzer", "error", detail=proc.stderr.strip())
+
+
+CHECK_NAMES = ("lint_ugf", "clang_format", "clang_tidy", "ugf_analyzer")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="static_checks", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", type=Path,
+                        default=ROOT / "build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--only", default="",
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--require", default="",
+                        help="checks that must not be skipped "
+                             "(also read from $UGF_STATIC_REQUIRE)")
+    parser.add_argument("--list", action="store_true",
+                        help="list check names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in CHECK_NAMES:
+            print(name)
+        return 0
+
+    required = {r.strip()
+                for r in (args.require + ","
+                          + os.environ.get("UGF_STATIC_REQUIRE", "")
+                          ).split(",") if r.strip()}
+    only = {o.strip() for o in args.only.split(",") if o.strip()}
+    for name in required | only:
+        if name not in CHECK_NAMES:
+            print(f"static_checks: unknown check {name!r} "
+                  f"(have: {', '.join(CHECK_NAMES)})", file=sys.stderr)
+            return 2
+
+    selected = [n for n in CHECK_NAMES if not only or n in only]
+    results: list[CheckResult] = []
+    for name in selected:
+        print(f"static_checks: running {name}", file=sys.stderr)
+        if name == "lint_ugf":
+            results.append(check_lint_ugf(args))
+        elif name == "clang_format":
+            results.append(check_clang_format(args))
+        elif name == "clang_tidy":
+            results.append(check_clang_tidy(args))
+        else:
+            results.append(check_ugf_analyzer(args, "ugf_analyzer"
+                                              in required))
+
+    exit_code = 0
+    for result in results:
+        line = f"static_checks: {result.name}: {result.status}"
+        if result.findings:
+            line += f" ({result.findings} finding(s))"
+        if result.detail:
+            line += f" — {result.detail}"
+        print(line, file=sys.stderr)
+        if result.status == "error":
+            exit_code = 2
+        elif result.status == "skipped" and result.name in required:
+            print(f"static_checks: {result.name} is required here but was "
+                  "skipped", file=sys.stderr)
+            exit_code = 2
+        elif result.status == "findings" and exit_code == 0:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,19 @@
+"""ugf_analyzer: AST-grounded determinism & concurrency rules for UGF.
+
+A libclang (clang.cindex) semantic analysis pass over the build tree's
+compile_commands.json. It enforces the determinism-contract rules the
+regex linter (tools/lint_ugf.py) cannot see — types, scopes, storage
+duration, data flow into containers — with the same output contract
+(``file:line: rule: message``) and the same per-line suppression idiom
+(``// ugf-analyzer: allow(<rule>)``).
+
+Only ``frontend`` imports clang.cindex; every rule works against the
+duck-typed cursor surface documented in ``astutil``, so the rule logic
+is unit-testable (tools/ugf_analyzer/tests) on machines without
+libclang, and the full pass is gated — skipped locally, required in CI.
+"""
+
+__version__ = "1.0.0"
+
+OUTPUT_SCHEMA = "file:line: rule: message"
+SHARED_STATE_SCHEMA = "ugf-shared-state-v1"

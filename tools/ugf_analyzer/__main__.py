@@ -1,0 +1,19 @@
+"""Entry point so both invocation styles work:
+
+    python3 tools/ugf_analyzer ...            (directory execution)
+    PYTHONPATH=tools python3 -m ugf_analyzer  (module execution)
+"""
+
+import sys
+from pathlib import Path
+
+# Directory execution puts tools/ugf_analyzer itself on sys.path; the
+# package imports need its parent (tools/) there instead.
+_TOOLS = str(Path(__file__).resolve().parent.parent)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+from ugf_analyzer.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

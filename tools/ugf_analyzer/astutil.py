@@ -1,0 +1,228 @@
+"""Duck-typed cursor/type helpers shared by every rule.
+
+Rules never import clang.cindex. They rely only on this attribute
+surface (which the unit-test fakes also implement):
+
+  cursor.kind.name           e.g. "VAR_DECL", "CALL_EXPR"
+  cursor.spelling            declared name
+  cursor.location.file.name  absolute path (file may be None for the TU)
+  cursor.location.line
+  cursor.extent.start.offset / cursor.extent.end.offset
+  cursor.semantic_parent     enclosing decl cursor (or None)
+  cursor.referenced          referenced decl for refs/calls (or None)
+  cursor.storage_class.name  "STATIC" / "NONE" / "EXTERN" / ...
+  cursor.is_definition()
+  cursor.get_children() / cursor.get_tokens()
+  cursor.type / token.spelling, token.extent
+
+  type.spelling
+  type.kind.name             e.g. "POINTER", "CONSTANTARRAY"
+  type.get_canonical() / type.is_const_qualified() / type.element_type
+
+Every helper is defensive: libclang raises ValueError for enum ids
+newer than the bindings and AttributeError on half-formed cursors from
+broken TUs; a helper that cannot answer returns its neutral value
+rather than crashing the whole pass.
+"""
+
+from __future__ import annotations
+
+SCOPE_PARENT_KINDS = {"NAMESPACE", "TRANSLATION_UNIT"}
+CLASS_PARENT_KINDS = {
+    "CLASS_DECL", "STRUCT_DECL", "UNION_DECL", "CLASS_TEMPLATE",
+    "CLASS_TEMPLATE_PARTIAL_SPECIALIZATION",
+}
+ARRAY_TYPE_KINDS = {"CONSTANTARRAY", "INCOMPLETEARRAY", "VARIABLEARRAY",
+                    "DEPENDENTSIZEDARRAY"}
+
+
+def kind_name(cursor) -> str:
+    try:
+        return cursor.kind.name
+    except (AttributeError, ValueError):
+        return ""
+
+
+def type_kind_name(ctype) -> str:
+    try:
+        return ctype.kind.name
+    except (AttributeError, ValueError):
+        return ""
+
+
+def location_of(cursor):
+    """(absolute file name, line) or (None, 0)."""
+    try:
+        loc = cursor.location
+        if loc is None or loc.file is None:
+            return None, 0
+        return loc.file.name, loc.line
+    except (AttributeError, ValueError):
+        return None, 0
+
+
+def qualified_name(cursor) -> str:
+    """Fully qualified name: walks semantic parents up to the TU.
+
+    Anonymous scopes contribute "(anonymous)"; a broken parent chain
+    truncates rather than raising.
+    """
+    parts: list[str] = []
+    node = cursor
+    for _ in range(64):  # defensive depth bound
+        if node is None:
+            break
+        kind = kind_name(node)
+        if kind == "TRANSLATION_UNIT":
+            break
+        if kind == "LINKAGE_SPEC":  # extern "C" blocks are transparent
+            try:
+                node = node.semantic_parent
+            except (AttributeError, ValueError):
+                break
+            continue
+        spelling = getattr(node, "spelling", "") or "(anonymous)"
+        parts.append(spelling)
+        try:
+            node = node.semantic_parent
+        except (AttributeError, ValueError):
+            break
+    return "::".join(reversed(parts))
+
+
+def canonical_type(ctype):
+    try:
+        return ctype.get_canonical()
+    except (AttributeError, ValueError):
+        return ctype
+
+
+def canonical_spelling(cursor) -> str:
+    try:
+        return canonical_type(cursor.type).spelling or ""
+    except (AttributeError, ValueError):
+        return ""
+
+
+def is_const_type(ctype) -> bool:
+    """const-ness of the type, looking through array layers."""
+    t = canonical_type(ctype)
+    for _ in range(8):
+        try:
+            if t.is_const_qualified():
+                return True
+        except (AttributeError, ValueError):
+            return False
+        if type_kind_name(t) not in ARRAY_TYPE_KINDS:
+            return False
+        try:
+            t = t.element_type
+        except (AttributeError, ValueError):
+            return False
+    return False
+
+
+def is_atomic_type(ctype) -> bool:
+    """std::atomic<...> / std::atomic_flag / C _Atomic, through arrays."""
+    t = canonical_type(ctype)
+    for _ in range(8):
+        if type_kind_name(t) == "ATOMIC":
+            return True
+        spelling = (getattr(t, "spelling", "") or "").removeprefix("const ")
+        if spelling.startswith(("std::atomic<", "std::atomic_flag",
+                                "_Atomic(")):
+            return True
+        if type_kind_name(t) not in ARRAY_TYPE_KINDS:
+            return False
+        try:
+            t = t.element_type
+        except (AttributeError, ValueError):
+            return False
+    return False
+
+
+def storage_class_name(cursor) -> str:
+    try:
+        return cursor.storage_class.name
+    except (AttributeError, ValueError):
+        return "NONE"
+
+
+def parent_kind(cursor) -> str:
+    try:
+        return kind_name(cursor.semantic_parent)
+    except (AttributeError, ValueError):
+        return ""
+
+
+def has_leading_token(cursor, spelling: str, limit: int = 12) -> bool:
+    """True when `spelling` appears in the first tokens of the extent.
+
+    Used for specifiers libclang does not expose through cindex
+    (``thread_local``). Bounded so a huge initializer is never scanned.
+    """
+    try:
+        for i, tok in enumerate(cursor.get_tokens()):
+            if i >= limit:
+                return False
+            if tok.spelling == spelling:
+                return True
+            if tok.spelling in ("=", "{", "("):  # initializer begins
+                return False
+    except (AttributeError, ValueError):
+        return False
+    return False
+
+
+def binary_operator_spelling(cursor) -> str:
+    """Operator token of a BINARY_OPERATOR cursor, or "".
+
+    cindex 14 has no opcode accessor, so this reads the token that sits
+    between the two operand extents. Returns "" for macro-mangled
+    extents rather than guessing.
+    """
+    try:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return ""
+        lhs_end = children[0].extent.end.offset
+        rhs_start = children[1].extent.start.offset
+        if not (0 <= lhs_end <= rhs_start):
+            return ""
+        for tok in cursor.get_tokens():
+            off = tok.extent.start.offset
+            if lhs_end <= off < rhs_start:
+                return tok.spelling
+    except (AttributeError, ValueError):
+        return ""
+    return ""
+
+
+def split_template_args(spelling: str) -> list[str]:
+    """Top-level template arguments of `Outer<...>` from a type spelling.
+
+    Purely textual (works identically on fake types in the unit tests
+    and on any libclang version): respects nested <>, (), [] and skips
+    the outer name. Returns [] when the spelling has no argument list.
+    """
+    start = spelling.find("<")
+    if start < 0 or not spelling.endswith(">"):
+        return []
+    body = spelling[start + 1:-1]
+    args: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return args

@@ -1,0 +1,118 @@
+"""Machine-readable census of mutable shared state: shared_state.json.
+
+ROADMAP item 2 (deterministic intra-run parallelism) needs to know
+exactly which state a worker partition may touch. The shared-state
+rule walk produces that census as a side effect:
+
+* ``statics`` — every namespace-scope / static-storage / thread-local
+  variable under src/, with constness, atomicity, storage kind, and the
+  final verdict (exempt-const, exempt-atomic, allowed + justification,
+  or flagged).
+* ``engine_fields`` — the data members of ``ugf::sim::Engine``, i.e.
+  the per-run mutable state a worker partitioning has to split or
+  merge deterministically.
+
+Ordering is fully deterministic (sorted by file, line, name) so the
+report is byte-stable across runs and suitable for golden comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+SCHEMA = "ugf-shared-state-v1"
+
+
+@dataclass
+class StaticEntry:
+    file: str
+    line: int
+    name: str
+    type: str
+    storage: str          # namespace-scope | class-static | local-static
+    thread_local: bool
+    is_const: bool
+    is_atomic: bool
+    verdict: str = "flagged"      # exempt-const | exempt-atomic | allowed | flagged
+    justification: str = ""
+
+
+@dataclass
+class EngineField:
+    name: str
+    line: int
+    type: str
+    is_const: bool
+
+
+@dataclass
+class Census:
+    statics: dict[tuple[str, int, str], StaticEntry] = field(
+        default_factory=dict)
+    engine_fields: dict[str, EngineField] = field(default_factory=dict)
+
+    def add_static(self, entry: StaticEntry) -> None:
+        # Headers are seen once per including TU; first sighting wins.
+        self.statics.setdefault((entry.file, entry.line, entry.name), entry)
+
+    def add_engine_field(self, f: EngineField) -> None:
+        self.engine_fields.setdefault(f.name, f)
+
+    def apply_suppressions(self, suppressed) -> None:
+        """Marks census entries covered by inline allows as allowed.
+
+        `suppressed` is the Reporter's finalize() list of
+        (Finding, justification) pairs for the shared-state rule.
+        """
+        by_site = {(f.file, f.line): justification
+                   for f, justification in suppressed
+                   if f.rule == "shared-state"}
+        for entry in self.statics.values():
+            if entry.verdict == "flagged":
+                justification = by_site.get((entry.file, entry.line))
+                if justification is not None:
+                    entry.verdict = "allowed"
+                    entry.justification = justification
+
+    def to_json(self) -> str:
+        statics = [
+            {
+                "file": e.file,
+                "line": e.line,
+                "name": e.name,
+                "type": e.type,
+                "storage": e.storage,
+                "thread_local": e.thread_local,
+                "const": e.is_const,
+                "atomic": e.is_atomic,
+                "verdict": e.verdict,
+                "justification": e.justification,
+            }
+            for e in sorted(self.statics.values(),
+                            key=lambda e: (e.file, e.line, e.name))
+        ]
+        engine_fields = [
+            {
+                "name": f.name,
+                "line": f.line,
+                "type": f.type,
+                "const": f.is_const,
+            }
+            for f in sorted(self.engine_fields.values(),
+                            key=lambda f: (f.line, f.name))
+        ]
+        doc = {
+            "schema": SCHEMA,
+            "statics": statics,
+            "engine_fields": engine_fields,
+            "summary": {
+                "statics_total": len(statics),
+                "statics_flagged": sum(
+                    1 for e in statics if e["verdict"] == "flagged"),
+                "statics_allowed": sum(
+                    1 for e in statics if e["verdict"] == "allowed"),
+                "engine_fields": len(engine_fields),
+            },
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"

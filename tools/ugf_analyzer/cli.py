@@ -1,0 +1,185 @@
+"""Command-line driver.
+
+    python3 tools/ugf_analyzer --compdb build/compile_commands.json --root .
+
+Exit codes (static_checks.py and CI rely on these):
+  0  clean
+  1  findings
+  2  environment/config error (bad compdb, fatal parse error,
+     unjustified allowlist entry, --require-libclang unmet)
+  4  skipped: libclang unavailable and not required
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import location_of
+from ugf_analyzer.census import Census
+from ugf_analyzer.findings import Reporter
+from ugf_analyzer.frontend import (
+    FrontendUnavailable,
+    load_cindex,
+    load_compile_commands,
+    parse_tu,
+)
+from ugf_analyzer.rules import AnalysisContext, make_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_SKIPPED = 4
+
+
+def walk_tu(tu, ctx: AnalysisContext, rules) -> None:
+    """Depth-first over in-tree cursors; out-of-root files are pruned.
+
+    Cursors from included files appear at their own nesting level, not
+    under a foreign subtree, so pruning by the cursor's file is safe
+    and keeps system headers out of every rule.
+    """
+    stack = [tu.cursor]
+    while stack:
+        node = stack.pop()
+        try:
+            children = list(node.get_children())
+        except (AttributeError, ValueError):
+            continue
+        for child in children:
+            abs_file, _ = location_of(child)
+            if abs_file is not None:
+                rel = ctx.rel_path(abs_file)
+                if rel is None or not rel.startswith("src/"):
+                    continue
+            for rule in rules:
+                rule.visit(child, ctx)
+            stack.append(child)
+
+
+def run_analysis(cindex, units, root: Path, strict_parse: bool,
+                 warn_stale: bool = True
+                 ) -> tuple[int, Reporter, Census, dict]:
+    """Parses + walks every unit. Returns (exit, reporter, census, stats)."""
+    reporter = Reporter(root)
+    census = Census()
+    ctx = AnalysisContext(root, reporter, census)
+    rules = make_rules()
+    stats = {"units": 0, "parse_errors": 0}
+
+    for file_path, args in units:
+        tu, errors, fatals = parse_tu(cindex, file_path, args)
+        stats["units"] += 1
+        stats["parse_errors"] += len(errors) + len(fatals)
+        for diag in fatals + errors:
+            print(f"ugf_analyzer: parse: {diag}", file=sys.stderr)
+        if fatals:
+            print(f"ugf_analyzer: fatal parse error in {file_path}; "
+                  "results would be unreliable", file=sys.stderr)
+            return EXIT_ERROR, reporter, census, stats
+        if errors and strict_parse:
+            print(f"ugf_analyzer: --strict-parse: errors in {file_path}",
+                  file=sys.stderr)
+            return EXIT_ERROR, reporter, census, stats
+        walk_tu(tu, ctx, rules)
+
+    if warn_stale:
+        for stale in ctx.unused_allowlist_entries():
+            print(f"ugf_analyzer: warning: unused allowlist entry {stale} "
+                  "(delete it or the exemption rots)", file=sys.stderr)
+    return EXIT_CLEAN, reporter, census, stats
+
+
+def emit(reporter: Reporter, census: Census, stats: dict,
+         shared_state_out: Path | None) -> int:
+    active, suppressed = reporter.finalize()
+    census.apply_suppressions(suppressed)
+    for finding in active:
+        print(finding.render())
+    if shared_state_out is not None:
+        shared_state_out.parent.mkdir(parents=True, exist_ok=True)
+        shared_state_out.write_text(census.to_json(), encoding="utf-8")
+    status = "clean" if not active else f"{len(active)} finding(s)"
+    print(
+        f"ugf_analyzer: {stats['units']} translation units, "
+        f"{len(census.statics)} static-storage vars censused, "
+        f"{len(suppressed)} suppressed, {status}",
+        file=sys.stderr)
+    return EXIT_FINDINGS if active else EXIT_CLEAN
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ugf_analyzer", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--compdb", type=Path,
+                        help="path to compile_commands.json")
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repo root findings are reported relative to")
+    parser.add_argument("--shared-state-out", type=Path, default=None,
+                        help="write the ugf-shared-state-v1 census here")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="exit 2 (not skip-4) when libclang is missing")
+    parser.add_argument("--strict-parse", action="store_true",
+                        help="treat non-fatal parse errors as failures")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture self-test instead of a compdb")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="with --selftest: rewrite expected_findings.txt")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in make_rules():
+            print(f"{rule.name}: {rule.description}")
+        return EXIT_CLEAN
+
+    config_errors = config.allowlist_errors()
+    if config_errors:
+        for err in config_errors:
+            print(f"ugf_analyzer: config: {err}", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        cindex = load_cindex()
+    except FrontendUnavailable as err:
+        stream = sys.stderr
+        print(f"ugf_analyzer: {err}", file=stream)
+        if args.require_libclang:
+            print("ugf_analyzer: libclang is required here (CI); failing",
+                  file=stream)
+            return EXIT_ERROR
+        print("ugf_analyzer: skipping semantic analysis (exit 4)",
+              file=stream)
+        return EXIT_SKIPPED
+
+    if args.selftest:
+        from ugf_analyzer.selftest import run_selftest
+        return run_selftest(cindex, update_golden=args.update_golden)
+
+    if args.compdb is None:
+        parser.error("--compdb is required (or use --selftest/--list-rules)")
+    if not args.compdb.is_file():
+        print(f"ugf_analyzer: {args.compdb} not found; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON (the presets and the "
+              "top-level CMakeLists do)", file=sys.stderr)
+        return EXIT_ERROR
+
+    root = args.root.resolve()
+    units = load_compile_commands(args.compdb, root)
+    if not units:
+        print("ugf_analyzer: no src/ translation units in the database",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    code, reporter, census, stats = run_analysis(
+        cindex, units, root, args.strict_parse)
+    if code != EXIT_CLEAN:
+        return code
+    return emit(reporter, census, stats, args.shared_state_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

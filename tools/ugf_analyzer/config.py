@@ -1,0 +1,134 @@
+"""Rule scopes, banned-name sets, and the explicit allowlist.
+
+Two exemption mechanisms exist, deliberately distinct:
+
+* Scope definitions (WALLCLOCK_SCOPE, THREAD_DISCIPLINE_ALLOWED_FILES,
+  ARENA_OWNING_SCOPES) are part of what each rule *means* — e.g.
+  concurrency primitives are definitionally legal inside the thread
+  pool and the src/obs padded-cell files.
+* FILE_ALLOWLIST grants a named file an exception to a rule that does
+  apply to it. Every entry must carry a one-line justification; the
+  analyzer refuses (exit 2) to run with an unjustified entry, and
+  unused entries are reported so the list cannot rot.
+
+Single-line exceptions belong in the source as
+``// ugf-analyzer: allow(<rule>): why`` instead of here.
+"""
+
+from __future__ import annotations
+
+# --- wallclock -------------------------------------------------------------
+# The simulation core: GlobalStep is the only clock, explicit config
+# structs the only environment. src/runner and src/obs intentionally
+# stay out of scope — they measure wall time *about* runs (progress
+# rates, wall-time histograms), never inside the simulated world.
+WALLCLOCK_SCOPE = ("src/sim/", "src/protocols/", "src/core/")
+
+WALLCLOCK_BANNED = frozenset({
+    # C time
+    "time", "std::time", "clock", "std::clock", "gettimeofday",
+    "clock_gettime", "timespec_get", "localtime", "gmtime", "mktime",
+    "difftime", "ctime", "asctime",
+    # C++ chrono clocks (now() is the read; the type alone is fine)
+    "std::chrono::system_clock::now",
+    "std::chrono::steady_clock::now",
+    "std::chrono::high_resolution_clock::now",
+    "std::chrono::utc_clock::now",
+    "std::chrono::file_clock::now",
+    # environment
+    "getenv", "std::getenv", "secure_getenv", "setenv", "putenv",
+    "unsetenv",
+    # sleeping / yielding — a simulated process sleeps via the protocol
+    # interface (wants_sleep), never the OS
+    "sleep", "usleep", "nanosleep",
+    "std::this_thread::sleep_for", "std::this_thread::sleep_until",
+    "std::this_thread::yield",
+})
+
+# --- shared-state ----------------------------------------------------------
+SHARED_STATE_SCOPE = ("src/",)
+
+# --- pointer-order ---------------------------------------------------------
+POINTER_ORDER_SCOPE = ("src/",)
+# Ordered/hashed templates whose key must not be a raw pointer.
+POINTER_KEYED_TEMPLATES = (
+    "std::map<", "std::multimap<", "std::set<", "std::multiset<",
+    "std::hash<", "std::less<", "std::greater<", "std::less_equal<",
+    "std::greater_equal<",
+)
+RELATIONAL_OPS = frozenset({"<", ">", "<=", ">=", "<=>"})
+
+# --- thread-discipline -----------------------------------------------------
+THREAD_DISCIPLINE_SCOPE = ("src/",)
+
+# Files where constructing concurrency primitives is the point: the
+# pool itself, and the padded-cell observability files whose per-thread
+# slots + relaxed atomics are the documented design (docs/OBSERVABILITY.md).
+THREAD_DISCIPLINE_ALLOWED_FILES = frozenset({
+    "src/util/thread_pool.hpp",
+    "src/util/thread_pool.cpp",
+    "src/obs/metrics.hpp",
+    "src/obs/metrics.cpp",
+    "src/obs/profile.hpp",
+    "src/obs/profile.cpp",
+    "src/obs/progress.hpp",
+    "src/obs/progress.cpp",
+    "src/obs/flight_recorder.hpp",
+    "src/obs/flight_recorder.cpp",
+})
+
+# Matched against canonical type spellings, so containers of primitives
+# (std::vector<std::thread>) and aliases are caught. std::thread::id is
+# a plain value type and deliberately not banned.
+THREAD_DISCIPLINE_TYPE_RE = (
+    r"\bstd::(?:"
+    r"thread\b(?!::)|jthread\b|"
+    r"mutex\b|timed_mutex\b|recursive_mutex\b|recursive_timed_mutex\b|"
+    r"shared_mutex\b|shared_timed_mutex\b|"
+    r"condition_variable\b|condition_variable_any\b|"
+    r"atomic\b|atomic<|atomic_flag\b|atomic_ref<|"
+    r"lock_guard<|unique_lock<|scoped_lock<|shared_lock<|"
+    r"future<|shared_future<|promise<|packaged_task<|"
+    r"latch\b|barrier\b|barrier<|counting_semaphore|binary_semaphore\b|"
+    r"stop_source\b|stop_token\b|stop_callback"
+    r")")
+
+THREAD_DISCIPLINE_BANNED_CALLS = frozenset({
+    "std::async",
+})
+
+# --- arena-escape ----------------------------------------------------------
+ARENA_ESCAPE_SCOPE = ("src/",)
+# Types whose instances die at Engine::reset(): a handle stored outside
+# the per-run ownership scopes outlives its arena.
+ARENA_TYPE_RE = r"\bugf::sim::(?:PayloadRef|Message|PayloadArena)\b"
+# Classes defined here live inside one run (processes, protocol state,
+# in-flight queues); anywhere else outlives reset().
+ARENA_OWNING_SCOPES = ("src/sim/", "src/protocols/")
+
+# --- explicit allowlist ----------------------------------------------------
+# rule -> { repo-relative file -> one-line justification }.
+FILE_ALLOWLIST: dict[str, dict[str, str]] = {
+    "thread-discipline": {
+        "src/util/check.cpp":
+            "failure hooks fire from any worker; the registry guards "
+            "itself with a private mutex because it cannot depend on "
+            "ThreadPool (check.hpp is below it in the layering)",
+        "src/runner/monte_carlo.cpp":
+            "the atomic run-claim counter is the one sanctioned "
+            "cross-worker handshake feeding ThreadPool::parallel_for "
+            "(seeds derive from the claimed index, keeping runs "
+            "thread-count invariant)",
+    },
+}
+
+
+def allowlist_errors() -> list[str]:
+    """Config self-check: every entry needs a real justification."""
+    errors: list[str] = []
+    for rule, entries in FILE_ALLOWLIST.items():
+        for rel, justification in entries.items():
+            if not justification or not justification.strip():
+                errors.append(
+                    f"allowlist entry {rule}:{rel} has no justification")
+    return errors

@@ -1,0 +1,93 @@
+"""Findings, suppressions, and the shared output contract.
+
+Output is identical to tools/lint_ugf.py: one ``file:line: rule:
+message`` per finding on stdout, a one-line summary on stderr, exit 1
+when anything survives suppression. A finding is suppressed by
+
+    // ugf-analyzer: allow(<rule>[, <rule>...])[: justification]
+
+on the finding's line or the line above. The trailing justification is
+not just a comment: the shared-state census records it, and the
+fixture self-test asserts suppressed lines stay out of the golden set.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+ALLOW_RE = re.compile(
+    r"ugf-analyzer:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)(?::\s*(.*?))?\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, keyed repo-relative so output is stable."""
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule}: {self.message}"
+
+
+class SuppressionIndex:
+    """Lazily loads source lines and answers allow() queries."""
+
+    def __init__(self, root: Path):
+        self._root = root
+        self._cache: dict[str, list[str]] = {}
+
+    def _lines(self, rel: str) -> list[str]:
+        if rel not in self._cache:
+            try:
+                text = (self._root / rel).read_text(encoding="utf-8",
+                                                    errors="replace")
+                self._cache[rel] = text.splitlines()
+            except OSError:
+                self._cache[rel] = []
+        return self._cache[rel]
+
+    def match(self, rel: str, line: int, rule: str) -> str | None:
+        """Justification text ("" if none given) when allowed, else None."""
+        lines = self._lines(rel)
+        for lineno in (line, line - 1):
+            idx = lineno - 1
+            if 0 <= idx < len(lines):
+                m = ALLOW_RE.search(lines[idx])
+                if m and rule in {r.strip() for r in m.group(1).split(",")}:
+                    return (m.group(2) or "").strip()
+        return None
+
+
+class Reporter:
+    """Collects findings with cross-TU dedup, applies suppressions last.
+
+    Headers are parsed once per including TU, so the same violation is
+    reported many times; the (file, line, rule, message) key collapses
+    them. Suppression happens at finalize() so the census can still see
+    which entries were inline-allowed (and with what justification).
+    """
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.suppressions = SuppressionIndex(root)
+        self._all: set[Finding] = set()
+
+    def report(self, rel: str, line: int, rule: str, message: str) -> None:
+        self._all.add(Finding(rel, line, rule, message))
+
+    def finalize(self) -> tuple[list[Finding], list[tuple[Finding, str]]]:
+        """(active findings sorted, suppressed findings + justification)."""
+        active: list[Finding] = []
+        suppressed: list[tuple[Finding, str]] = []
+        for finding in sorted(self._all):
+            justification = self.suppressions.match(
+                finding.file, finding.line, finding.rule)
+            if justification is None:
+                active.append(finding)
+            else:
+                suppressed.append((finding, justification))
+        return active, suppressed

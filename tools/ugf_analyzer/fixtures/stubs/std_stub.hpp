@@ -1,0 +1,101 @@
+#pragma once
+// Minimal std:: shapes with the exact qualified names the analyzer
+// rules match on. Self-contained so the fixture self-test parses
+// identically under any libclang version, independent of the host's
+// real standard library headers. Never included by production code.
+
+namespace std {
+
+using size_t = decltype(sizeof(0));
+
+namespace chrono {
+struct time_point {
+  long long ticks;
+};
+struct system_clock {
+  static time_point now();
+};
+struct steady_clock {
+  static time_point now();
+};
+struct high_resolution_clock {
+  static time_point now();
+};
+struct seconds {
+  long long value;
+};
+}  // namespace chrono
+
+namespace this_thread {
+void sleep_for(chrono::seconds);
+void sleep_until(chrono::time_point);
+void yield();
+}  // namespace this_thread
+
+char* getenv(const char* name);
+long time(long* out);
+
+struct thread {
+  struct id {
+    int v;
+  };
+  static unsigned hardware_concurrency();
+};
+struct jthread {
+  int v;
+};
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class recursive_mutex {};
+class shared_mutex {};
+class condition_variable {};
+template <class T>
+struct atomic {
+  T value;
+  T load() const;
+  void store(T);
+};
+struct atomic_flag {
+  bool value;
+};
+template <class M>
+struct lock_guard {
+  explicit lock_guard(M&);
+};
+template <class M>
+struct unique_lock {
+  explicit unique_lock(M&);
+};
+template <class F>
+int async(F f);
+
+template <class T>
+struct allocator {
+  int v;
+};
+template <class T, class A = allocator<T>>
+struct vector {
+  T* data;
+  size_t count;
+};
+template <class K, class V>
+struct map {
+  int v;
+};
+template <class K>
+struct set {
+  int v;
+};
+template <class K>
+struct hash {
+  int v;
+};
+template <class K>
+struct less {
+  int v;
+};
+
+}  // namespace std

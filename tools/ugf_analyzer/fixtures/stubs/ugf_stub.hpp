@@ -1,0 +1,24 @@
+#pragma once
+// Minimal arena-layer shapes (qualified names only) for the
+// arena-escape fixtures. Mirrors src/sim/payload_arena.hpp and
+// src/sim/message.hpp shapes without pulling in the real headers.
+
+namespace ugf::sim {
+
+struct PayloadRef {
+  const void* ptr;
+  unsigned kind;
+};
+
+struct Message {
+  unsigned from;
+  unsigned to;
+  PayloadRef payload;
+};
+
+class PayloadArena {
+ public:
+  void reset();
+};
+
+}  // namespace ugf::sim

@@ -1,0 +1,34 @@
+// Fixture: ordering and hashing built on raw pointer values.
+// Expected findings: lines 8, 12, 16, 20. The rest are negatives.
+#include "std_stub.hpp"
+
+namespace fx {
+
+bool ptr_before(const int* a, const int* b) {
+  return a < b;
+}
+
+struct AddrIndex {
+  std::map<const void*, int> by_addr;
+};
+
+int track_addresses() {
+  std::set<int*> live;
+  return live.v;
+}
+
+int hash_name(std::hash<char*> hasher);
+
+bool id_before(unsigned x, unsigned y) {
+  return x < y;
+}
+
+bool is_null(const int* p) {
+  return p == nullptr;
+}
+
+struct IdIndex {
+  std::map<unsigned, int> by_id;
+};
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: legal look-alikes — none of these may produce findings.
+#include "std_stub.hpp"
+#include "ugf_stub.hpp"
+
+namespace fx {
+
+unsigned worker_budget() {
+  return std::thread::hardware_concurrency();
+}
+
+std::thread::id current_owner(std::thread::id tid) {
+  std::thread::id copy = tid;
+  return copy;
+}
+
+const unsigned kFanout = 8;
+
+bool step_before(unsigned long a, unsigned long b) {
+  return a < b;
+}
+
+ugf::sim::Message roundtrip(ugf::sim::Message m) {
+  ugf::sim::Message copy = m;
+  return copy;
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// Fixture: padded-cell observability file — atomics are allowed here,
+// and the namespace-scope atomic lands in the census as exempt-atomic.
+#include "std_stub.hpp"
+
+namespace fx {
+
+std::atomic<unsigned long> g_dropped_events;
+
+struct PaddedCell {
+  std::atomic<unsigned long> value;
+};
+
+}  // namespace fx

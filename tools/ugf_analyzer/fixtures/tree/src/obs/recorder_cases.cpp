@@ -1,0 +1,13 @@
+// Fixture: arena handles held by a type that outlives Engine::reset().
+// Expected findings: lines 8 and 9.
+#include "ugf_stub.hpp"
+
+namespace fx {
+
+struct ReplayLog {
+  ugf::sim::Message last_message;
+  ugf::sim::PayloadRef held;
+  unsigned long step;
+};
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// Fixture: concurrency primitives outside the sanctioned files.
+// Expected findings: lines 8, 9, 13, 17. Line 21 is suppressed.
+#include "std_stub.hpp"
+
+namespace fx {
+
+struct AdHocPool {
+  std::vector<std::thread> workers;
+  std::mutex guard;
+};
+
+int count_hits() {
+  std::atomic<int> hits;
+  return hits.load();
+}
+
+int fire_and_forget() { return std::async(count_hits); }
+
+int tracked() {
+  // ugf-analyzer: allow(thread-discipline): fixture sanctioned counter
+  std::atomic<int> sanctioned;
+  return sanctioned.load();
+}
+
+}  // namespace fx

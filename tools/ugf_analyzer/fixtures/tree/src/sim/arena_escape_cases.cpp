@@ -1,0 +1,21 @@
+// Fixture: arena-owned handles with static storage duration. Each
+// site draws both arena-escape and shared-state (static storage is
+// the escape vector *and* mutable shared state).
+// Expected findings: lines 9 and 12, under both rules.
+#include "ugf_stub.hpp"
+
+namespace fx {
+
+ugf::sim::PayloadRef g_escaped_ref;
+
+void cache_across_runs() {
+  static ugf::sim::Message parked;
+  (void)parked;
+}
+
+ugf::sim::Message make_local() {
+  ugf::sim::Message m;  // plain local: dies with the call, no finding
+  return m;
+}
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: ugf::sim::Engine fields feed the shared_state.json census.
+// No findings: the PayloadRef member lives in an owning scope.
+#include "ugf_stub.hpp"
+
+namespace ugf::sim {
+
+class Engine {
+ public:
+  void reset();
+
+ private:
+  static constexpr unsigned kMaxProcs = 64;
+  unsigned long steps_ = 0;
+  PayloadRef current_{};
+  const unsigned n_;
+};
+
+}  // namespace ugf::sim

@@ -1,0 +1,29 @@
+// Fixture: wall-clock / environment reads inside the simulation core.
+// Expected findings: lines 10, 14, 19, 22. Line 26 is suppressed.
+#include "std_stub.hpp"
+
+extern "C" long time(long* out);
+
+namespace fx {
+
+long direct_c_call() {
+  return time(nullptr);
+}
+
+long qualified_chrono_now() {
+  auto t = std::chrono::steady_clock::now();
+  return t.ticks;
+}
+
+const char* environment_read() {
+  return std::getenv("UGF_MODE");
+}
+
+void os_yield() { std::this_thread::yield(); }
+
+void sanctioned_read() {
+  // ugf-analyzer: allow(wallclock): fixture-sanctioned exception
+  (void)std::getenv("UGF_ALLOWED");
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: static-storage variables across every storage kind.
+// Expected findings: lines 6, 10, 13, 18. Line 22 is suppressed.
+
+namespace fx {
+
+int g_mutable_counter = 0;
+
+const int kTable[4] = {1, 2, 3, 4};  // exempt-const in the census
+
+thread_local int t_scratch = 0;
+
+long bump() {
+  static long calls = 0;
+  return ++calls;
+}
+
+struct Gauge {
+  static inline int live_instances;
+};
+
+// ugf-analyzer: allow(shared-state): fixture cache guarded elsewhere
+static long g_cache_epoch = 0;
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned pool file — primitives here are the point.
+// No findings expected anywhere in this file.
+#include "std_stub.hpp"
+
+namespace fx {
+
+class FixturePool {
+ public:
+  void shutdown();
+
+ private:
+  std::vector<std::thread> workers_;
+  std::mutex wake_lock_;
+  std::condition_variable wake_;
+  std::atomic<bool> stopping_;
+};
+
+void FixturePool::shutdown() {}
+
+}  // namespace fx

@@ -1,0 +1,202 @@
+"""The only module that touches clang.cindex.
+
+Responsibilities: locate a loadable libclang (bindings alone are not
+enough), parse translation units out of compile_commands.json with
+cleaned-up arguments, and classify parse diagnostics. Everything above
+this module works on duck-typed cursors, so the absence of libclang
+degrades to a *skip* (exit 4 upstream), never a crash — mirroring how
+run_clang_tidy.py degrades when clang-tidy is not installed.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import shlex
+from pathlib import Path
+
+
+class FrontendUnavailable(RuntimeError):
+    """libclang (or its python bindings) cannot be loaded here."""
+
+
+def _candidate_libraries() -> list[str]:
+    """Ordered libclang .so candidates across distro layouts."""
+    candidates: list[str] = []
+    env = os.environ.get("LIBCLANG_PATH") or os.environ.get(
+        "LIBCLANG_LIBRARY_FILE")
+    if env:
+        candidates.append(env)
+    try:
+        from ctypes.util import find_library
+        for name in ["clang"] + [f"clang-{v}" for v in range(21, 9, -1)]:
+            hit = find_library(name)
+            if hit:
+                candidates.append(hit)
+    except Exception:  # noqa: BLE001 - ctypes.util quirks vary by platform
+        pass
+    for pattern in (
+            "/usr/lib/llvm-*/lib/libclang-*.so*",
+            "/usr/lib/llvm-*/lib/libclang.so*",
+            "/usr/lib/*/libclang-*.so*",
+            "/usr/lib/*/libclang.so*",
+            "/usr/local/lib/libclang*.so*",
+    ):
+        # Newest version first within each pattern.
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    seen: set[str] = set()
+    ordered = []
+    for c in candidates:
+        if c not in seen and "libclang-cpp" not in c:
+            seen.add(c)
+            ordered.append(c)
+    return ordered
+
+
+def load_cindex():
+    """Imports clang.cindex and proves an Index can be created.
+
+    Returns the cindex module. Raises FrontendUnavailable with a
+    human-readable reason otherwise.
+    """
+    try:
+        from clang import cindex
+    except ImportError as err:
+        raise FrontendUnavailable(
+            f"python clang bindings not importable ({err}); install "
+            "python3-clang (apt) or the libclang wheel (pip)") from err
+
+    attempts: list[str] = []
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception as err:  # noqa: BLE001 - cindex raises LibclangError
+        attempts.append(f"default: {err}")
+
+    for library in _candidate_libraries():
+        if not Path(library).exists() and "/" in library:
+            continue
+        try:
+            cindex.Config.loaded = False
+            cindex.conf.lib  # may already be cached from a failed load
+        except Exception:  # noqa: BLE001
+            pass
+        try:
+            cindex.Config.set_library_file(library)
+            cindex.Index.create()
+            return cindex
+        except Exception as err:  # noqa: BLE001
+            attempts.append(f"{library}: {err}")
+            # Config caches aggressively; reset for the next candidate.
+            cindex.Config.loaded = False
+            cindex.Config.library_file = None
+
+    raise FrontendUnavailable(
+        "no loadable libclang found; tried "
+        + "; ".join(attempts[:6])
+        + (" ..." if len(attempts) > 6 else "")
+        + ". Set LIBCLANG_PATH=/path/to/libclang.so to override.")
+
+
+# --- compile_commands.json -------------------------------------------------
+
+# Arguments that take a value and must be dropped together with it.
+_DROP_WITH_VALUE = {"-o", "-MF", "-MT", "-MQ", "--output"}
+# Arguments dropped alone (build bookkeeping irrelevant to parsing).
+_DROP_ALONE = {"-c", "-MD", "-MMD", "-MP", "--"}
+
+
+def load_compile_commands(compdb: Path, source_root: Path,
+                          subdir: str = "src") -> list[tuple[Path, list[str]]]:
+    """[(absolute source file, clang args)] for TUs under root/subdir.
+
+    Args are cleaned for libclang: compiler argv[0], -c/-o/-M* and the
+    source path itself are dropped, and -Wno-everything is appended —
+    the analyzer's rules are the diagnostics of interest, not warnings
+    from a foreign compiler's flag dialect.
+    """
+    entries = json.loads(compdb.read_text(encoding="utf-8"))
+    root = source_root.resolve()
+    scope = root / subdir
+    out: dict[Path, list[str]] = {}
+    for entry in entries:
+        directory = Path(entry.get("directory", "."))
+        file_path = (directory / entry["file"]).resolve() \
+            if not Path(entry["file"]).is_absolute() \
+            else Path(entry["file"]).resolve()
+        if not str(file_path).startswith(str(scope) + os.sep):
+            continue
+        if "arguments" in entry:
+            raw = list(entry["arguments"])
+        else:
+            raw = shlex.split(entry.get("command", ""))
+        args: list[str] = []
+        skip_next = False
+        for i, arg in enumerate(raw):
+            if i == 0:  # the compiler itself
+                continue
+            if skip_next:
+                skip_next = False
+                continue
+            if arg in _DROP_WITH_VALUE:
+                skip_next = True
+                continue
+            if arg in _DROP_ALONE:
+                continue
+            try:
+                if Path(arg).is_absolute() and \
+                        Path(arg).resolve() == file_path:
+                    continue
+                if (directory / arg).resolve() == file_path:
+                    continue
+            except OSError:
+                pass
+            args.append(arg)
+        args.append("-Wno-everything")
+        out.setdefault(file_path, args)
+    return sorted(out.items())
+
+
+def parse_tu(cindex, file_path: Path, args: list[str]):
+    """(translation unit, error diagnostics, fatal diagnostics)."""
+    index = cindex.Index.create()
+    tu = index.parse(str(file_path), args=args)
+    errors: list[str] = []
+    fatals: list[str] = []
+    for diag in tu.diagnostics:
+        if diag.severity >= 4:
+            fatals.append(_render_diag(diag))
+        elif diag.severity == 3:
+            errors.append(_render_diag(diag))
+    return tu, errors, fatals
+
+
+def _render_diag(diag) -> str:
+    loc = diag.location
+    where = f"{loc.file.name}:{loc.line}" if loc and loc.file else "<nofile>"
+    return f"{where}: {diag.spelling}"
+
+
+def probe() -> tuple[bool, str]:
+    """(usable?, detail). Proves load + a real parse round-trip."""
+    import tempfile
+    try:
+        cindex = load_cindex()
+    except FrontendUnavailable as err:
+        return False, str(err)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            probe_cpp = Path(tmp) / "probe.cpp"
+            probe_cpp.write_text(
+                "namespace p { struct S { int f; }; static int v = 0; }\n"
+                "int main() { return p::v; }\n")
+            tu, errors, fatals = parse_tu(cindex, probe_cpp,
+                                          ["-x", "c++", "-std=c++17"])
+            kinds = {child.kind.name for child in tu.cursor.get_children()}
+            if fatals or errors or "NAMESPACE" not in kinds:
+                return False, (f"probe parse produced errors={errors} "
+                               f"fatals={fatals} kinds={sorted(kinds)}")
+    except Exception as err:  # noqa: BLE001 - any failure means unusable
+        return False, f"probe parse failed: {err}"
+    return True, "libclang usable"

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Exit 0 when libclang is usable here, 1 otherwise.
+
+CMake runs this at configure time to decide whether to register the
+``ugf_analyzer`` / ``ugf_analyzer_selftest`` ctest tests — the same
+found/not-found gating pattern as clang-tidy. ``--verbose`` prints the
+reason, which CI uses to fail loudly when the required toolchain is
+missing rather than silently skipping the analyzer.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = str(Path(__file__).resolve().parent.parent)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+from ugf_analyzer.frontend import probe  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    usable, detail = probe()
+    if "--verbose" in argv or not usable:
+        print(f"ugf_analyzer probe: {detail}", file=sys.stderr)
+    return 0 if usable else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

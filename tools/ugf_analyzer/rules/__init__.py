@@ -1,0 +1,25 @@
+"""Rule registry. Import order fixes --list-rules and doc ordering."""
+
+from __future__ import annotations
+
+from ugf_analyzer.rules.arena_escape import ArenaEscapeRule
+from ugf_analyzer.rules.base import AnalysisContext, Rule
+from ugf_analyzer.rules.pointer_order import PointerOrderRule
+from ugf_analyzer.rules.shared_state import SharedStateRule
+from ugf_analyzer.rules.thread_discipline import ThreadDisciplineRule
+from ugf_analyzer.rules.wallclock import WallclockRule
+
+ALL_RULES = (
+    WallclockRule,
+    SharedStateRule,
+    PointerOrderRule,
+    ThreadDisciplineRule,
+    ArenaEscapeRule,
+)
+
+
+def make_rules() -> list[Rule]:
+    return [cls() for cls in ALL_RULES]
+
+
+__all__ = ["ALL_RULES", "AnalysisContext", "Rule", "make_rules"]

@@ -1,0 +1,82 @@
+"""arena-escape: PayloadRef / sim::Message must not outlive their run.
+
+Payloads live in the per-run PayloadArena and die at Engine::reset();
+a PayloadRef (or a Message, which embeds one) stored with static
+storage duration, or as a member of a type defined outside the per-run
+ownership scopes (src/sim, src/protocols), dangles after the first
+reset — silently, because the slab memory is recycled, which is
+exactly the bug class ASan cannot see through arena reuse.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import (
+    CLASS_PARENT_KINDS,
+    SCOPE_PARENT_KINDS,
+    canonical_spelling,
+    has_leading_token,
+    kind_name,
+    parent_kind,
+    qualified_name,
+    storage_class_name,
+)
+from ugf_analyzer.rules.base import AnalysisContext, Rule
+
+_ARENA_RE = re.compile(config.ARENA_TYPE_RE)
+
+
+class ArenaEscapeRule(Rule):
+    name = "arena-escape"
+    description = ("no PayloadRef/sim::Message stored in static storage "
+                   "or in types that outlive Engine::reset()")
+
+    def visit(self, cursor, ctx: AnalysisContext) -> None:
+        kind = kind_name(cursor)
+        if kind == "VAR_DECL":
+            self._check_static_var(cursor, ctx)
+        elif kind == "FIELD_DECL":
+            self._check_field(cursor, ctx)
+
+    def _check_static_var(self, cursor, ctx: AnalysisContext) -> None:
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self.in_scope(rel, config.ARENA_ESCAPE_SCOPE):
+            return
+        if not self._has_static_storage(cursor):
+            return
+        match = _ARENA_RE.search(canonical_spelling(cursor))
+        if match is None:
+            return
+        ctx.report(
+            cursor, self.name,
+            f"static-storage '{qualified_name(cursor)}' holds "
+            f"{match.group(0)}; arena-owned handles die at "
+            "Engine::reset() and must never outlive their run "
+            "(sim/payload_arena.hpp)")
+
+    def _check_field(self, cursor, ctx: AnalysisContext) -> None:
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self.in_scope(rel, config.ARENA_ESCAPE_SCOPE):
+            return
+        if rel.startswith(config.ARENA_OWNING_SCOPES):
+            return  # per-run types: processes, protocol state, queues
+        match = _ARENA_RE.search(canonical_spelling(cursor))
+        if match is None:
+            return
+        ctx.report(
+            cursor, self.name,
+            f"member '{cursor.spelling}' of a type outside src/sim and "
+            f"src/protocols holds "
+            f"{match.group(0)}; such objects outlive Engine::reset(), "
+            "so the handle dangles into recycled slab memory — copy the "
+            "payload contents out instead")
+
+    @staticmethod
+    def _has_static_storage(cursor) -> bool:
+        parent = parent_kind(cursor)
+        if parent in SCOPE_PARENT_KINDS or parent in CLASS_PARENT_KINDS:
+            return True
+        return (storage_class_name(cursor) == "STATIC"
+                or has_leading_token(cursor, "thread_local"))

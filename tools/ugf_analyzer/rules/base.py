@@ -1,0 +1,84 @@
+"""Rule framework: the context rules see and the base class they extend.
+
+A rule is a stateless-ish visitor: the walker calls ``visit(cursor,
+ctx)`` for every in-tree cursor (cursors from system headers and files
+outside the analysis root are pruned before rules run). Rules report
+through the context, which owns path relativization, the allowlist,
+and the census hook — so rule code stays pure matching logic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import location_of
+from ugf_analyzer.census import Census
+from ugf_analyzer.findings import Reporter
+
+
+class AnalysisContext:
+    def __init__(self, root: Path, reporter: Reporter,
+                 census: Census | None = None):
+        self.root = root.resolve()
+        self.reporter = reporter
+        self.census = census if census is not None else Census()
+        self.used_allowlist: set[tuple[str, str]] = set()
+        self._rel_cache: dict[str, str | None] = {}
+
+    def rel_path(self, abs_path: str) -> str | None:
+        """Repo-relative posix path, or None when outside the root."""
+        cached = self._rel_cache.get(abs_path)
+        if cached is not None or abs_path in self._rel_cache:
+            return cached
+        try:
+            rel = Path(abs_path).resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            rel = None
+        self._rel_cache[abs_path] = rel
+        return rel
+
+    def cursor_rel(self, cursor) -> tuple[str | None, int]:
+        """(relative file, line) of a cursor, (None, 0) if out of tree."""
+        abs_path, line = location_of(cursor)
+        if abs_path is None:
+            return None, 0
+        return self.rel_path(abs_path), line
+
+    def allowlisted(self, rule: str, rel: str) -> bool:
+        entries = config.FILE_ALLOWLIST.get(rule, {})
+        if rel in entries:
+            self.used_allowlist.add((rule, rel))
+            return True
+        return False
+
+    def report(self, cursor, rule: str, message: str) -> None:
+        rel, line = self.cursor_rel(cursor)
+        if rel is None or line <= 0:
+            return
+        if self.allowlisted(rule, rel):
+            return
+        self.reporter.report(rel, line, rule, message)
+
+    def unused_allowlist_entries(self) -> list[str]:
+        """Entries that granted nothing — stale config worth deleting."""
+        stale = []
+        for rule, entries in config.FILE_ALLOWLIST.items():
+            for rel in entries:
+                if (rule, rel) not in self.used_allowlist:
+                    stale.append(f"{rule}:{rel}")
+        return sorted(stale)
+
+
+class Rule:
+    """Base class: subclasses set name/description and override visit."""
+
+    name = "base"
+    description = ""
+
+    def visit(self, cursor, ctx: AnalysisContext) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def in_scope(rel: str | None, prefixes) -> bool:
+        return rel is not None and rel.startswith(tuple(prefixes))

@@ -1,0 +1,94 @@
+"""pointer-order: no ordering or hashing on raw pointer values.
+
+Pointer values differ run to run (ASLR, allocation order), so any
+ordering built on them — a relational comparison feeding a branch, a
+std::map/std::set keyed on a pointer, a std::hash/std::less over a
+pointer type — produces iteration orders and tie-breaks that cannot be
+reproduced. Determinism-sensitive code must key on stable identities
+(ProcessId, arena indices, (step, seq)).
+
+AST-grounded on purpose: a regex cannot tell ``a < b`` on pointers from
+the same comparison on integers, nor see through a typedef to a
+pointer-keyed map.
+"""
+
+from __future__ import annotations
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import (
+    binary_operator_spelling,
+    canonical_spelling,
+    canonical_type,
+    kind_name,
+    split_template_args,
+    type_kind_name,
+)
+from ugf_analyzer.rules.base import AnalysisContext, Rule
+
+_DECL_KINDS = {"VAR_DECL", "FIELD_DECL", "PARM_DECL", "TYPEDEF_DECL",
+               "TYPE_ALIAS_DECL"}
+
+
+class PointerOrderRule(Rule):
+    name = "pointer-order"
+    description = ("no ordering comparisons, map/set keys, or hashing "
+                   "on raw pointer values")
+
+    def visit(self, cursor, ctx: AnalysisContext) -> None:
+        kind = kind_name(cursor)
+        if kind == "BINARY_OPERATOR":
+            self._check_comparison(cursor, ctx)
+        elif kind in _DECL_KINDS:
+            self._check_declared_type(cursor, ctx)
+
+    def _check_comparison(self, cursor, ctx: AnalysisContext) -> None:
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self.in_scope(rel, config.POINTER_ORDER_SCOPE):
+            return
+        op = binary_operator_spelling(cursor)
+        if op not in config.RELATIONAL_OPS:
+            return
+        try:
+            children = list(cursor.get_children())
+        except (AttributeError, ValueError):
+            return
+        if len(children) != 2:
+            return
+        if not all(self._is_object_pointer(c) for c in children):
+            return
+        ctx.report(
+            cursor, self.name,
+            f"relational '{op}' on raw pointer values; pointer order "
+            "varies run-to-run — compare stable ids or indices instead")
+
+    def _check_declared_type(self, cursor, ctx: AnalysisContext) -> None:
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self.in_scope(rel, config.POINTER_ORDER_SCOPE):
+            return
+        spelling = canonical_spelling(cursor).removeprefix("const ")
+        template = next(
+            (t for t in config.POINTER_KEYED_TEMPLATES
+             if spelling.startswith(t)), None)
+        if template is None:
+            return
+        args = split_template_args(spelling)
+        if not args or not args[0].rstrip().endswith("*"):
+            return
+        ctx.report(
+            cursor, self.name,
+            f"{template[:-1]} keyed on a raw pointer ({args[0]}); "
+            "pointer order varies run-to-run and poisons iteration "
+            "order — key on a stable id instead")
+
+    @staticmethod
+    def _is_object_pointer(expr) -> bool:
+        """Pointer-typed operand that is not a nullptr literal."""
+        if kind_name(expr) == "CXX_NULL_PTR_LITERAL_EXPR":
+            return False
+        # Look through one layer of implicit cast / paren wrapping: the
+        # operand's type is already the decayed type in libclang, so the
+        # expression type is authoritative.
+        try:
+            return type_kind_name(canonical_type(expr.type)) == "POINTER"
+        except (AttributeError, ValueError):
+            return False

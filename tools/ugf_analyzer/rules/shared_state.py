@@ -1,0 +1,119 @@
+"""shared-state: no mutable static-storage state anywhere under src/.
+
+Anything with static (or thread-local) storage duration outlives
+``Engine::reset()`` and is shared between Monte-Carlo workers, so a
+non-const, non-atomic instance is a determinism hazard the moment
+ROADMAP item 2 partitions one run across threads. The regex linter is
+blind here: it cannot tell a static data member from a local, or a
+``static constexpr`` table from a mutable cache.
+
+Every static-storage variable — exempt, allowed, or flagged — is also
+recorded into the shared_state.json census, alongside the data members
+of ugf::sim::Engine (the per-run state a worker partition must split).
+"""
+
+from __future__ import annotations
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import (
+    CLASS_PARENT_KINDS,
+    SCOPE_PARENT_KINDS,
+    canonical_spelling,
+    has_leading_token,
+    is_atomic_type,
+    is_const_type,
+    kind_name,
+    parent_kind,
+    qualified_name,
+    storage_class_name,
+)
+from ugf_analyzer.census import EngineField, StaticEntry
+from ugf_analyzer.rules.base import AnalysisContext, Rule
+
+ENGINE_QNAME = "ugf::sim::Engine"
+
+
+class SharedStateRule(Rule):
+    name = "shared-state"
+    description = ("no non-const, non-atomic static-storage or "
+                   "thread-local variables under src/")
+
+    def visit(self, cursor, ctx: AnalysisContext) -> None:
+        kind = kind_name(cursor)
+        if kind == "FIELD_DECL":
+            self._maybe_census_engine_field(cursor, ctx)
+            return
+        if kind != "VAR_DECL":
+            return
+        rel, line = ctx.cursor_rel(cursor)
+        if not self.in_scope(rel, config.SHARED_STATE_SCOPE):
+            return
+        try:
+            if not cursor.is_definition():
+                return  # extern declarations are censused at their definition
+        except (AttributeError, ValueError):
+            return
+
+        storage = self._storage_kind(cursor)
+        if storage is None:
+            return
+        thread_local = has_leading_token(cursor, "thread_local")
+
+        ctype = cursor.type
+        is_const = is_const_type(ctype)
+        is_atomic = is_atomic_type(ctype)
+        if is_const:
+            verdict = "exempt-const"
+        elif is_atomic:
+            verdict = "exempt-atomic"
+        elif ctx.allowlisted(self.name, rel):
+            verdict = "allowed"
+        else:
+            verdict = "flagged"
+
+        entry = StaticEntry(
+            file=rel, line=line, name=qualified_name(cursor),
+            type=canonical_spelling(cursor), storage=storage,
+            thread_local=thread_local, is_const=is_const,
+            is_atomic=is_atomic, verdict=verdict,
+            justification=config.FILE_ALLOWLIST.get(self.name, {}).get(
+                rel, "") if verdict == "allowed" else "")
+        ctx.census.add_static(entry)
+
+        if verdict == "flagged":
+            what = "thread-local" if thread_local else storage
+            ctx.reporter.report(
+                rel, line, self.name,
+                f"mutable {what} variable '{entry.name}' outlives "
+                "Engine::reset() and is shared across workers; make it "
+                "const/atomic, move it into per-run state, or allowlist "
+                "it with a justification")
+
+    @staticmethod
+    def _storage_kind(cursor) -> str | None:
+        parent = parent_kind(cursor)
+        if parent in SCOPE_PARENT_KINDS:
+            return "namespace-scope"
+        if parent in CLASS_PARENT_KINDS:
+            return "class-static"
+        storage = storage_class_name(cursor)
+        if storage == "STATIC" or has_leading_token(cursor, "thread_local"):
+            return "local-static"
+        return None
+
+    @staticmethod
+    def _maybe_census_engine_field(cursor, ctx: AnalysisContext) -> None:
+        try:
+            parent = cursor.semantic_parent
+        except (AttributeError, ValueError):
+            return
+        if parent is None or qualified_name(parent) != ENGINE_QNAME:
+            return
+        _, line = ctx.cursor_rel(cursor)
+        try:
+            type_spelling = cursor.type.spelling or ""
+        except (AttributeError, ValueError):
+            type_spelling = ""
+        ctx.census.add_engine_field(EngineField(
+            name=cursor.spelling, line=line, type=type_spelling,
+            is_const=is_const_type(cursor.type)))

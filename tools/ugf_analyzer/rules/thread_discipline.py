@@ -1,0 +1,79 @@
+"""thread-discipline: concurrency flows through util::ThreadPool.
+
+Constructing std::thread / std::async / mutexes / atomics outside the
+pool (and outside the documented padded-cell observability files)
+creates ad-hoc concurrency the determinism story cannot see: engine
+state would be shared off the (step, seq)-ordered path, and the
+thread-count-invariance tests would no longer cover reality.
+
+Matching is on canonical *types of declarations* (so a
+``std::vector<std::thread>`` member or an aliased mutex is caught) plus
+calls to std::async. Static member calls on std::thread
+(hardware_concurrency) and the value type std::thread::id stay legal.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import (
+    canonical_spelling,
+    kind_name,
+    qualified_name,
+)
+from ugf_analyzer.rules.base import AnalysisContext, Rule
+
+_BANNED_TYPE_RE = re.compile(config.THREAD_DISCIPLINE_TYPE_RE)
+# Ownership sites only: a parameter taking atomic& does not construct.
+_DECL_KINDS = {"VAR_DECL", "FIELD_DECL"}
+
+
+class ThreadDisciplineRule(Rule):
+    name = "thread-discipline"
+    description = ("no std::thread/std::async/mutexes/atomics "
+                   "constructed outside src/util/thread_pool and the "
+                   "src/obs padded-cell files")
+
+    def visit(self, cursor, ctx: AnalysisContext) -> None:
+        kind = kind_name(cursor)
+        if kind in _DECL_KINDS:
+            self._check_decl(cursor, ctx)
+        elif kind == "CALL_EXPR":
+            self._check_call(cursor, ctx)
+
+    def _applies(self, rel: str | None) -> bool:
+        return (self.in_scope(rel, config.THREAD_DISCIPLINE_SCOPE)
+                and rel not in config.THREAD_DISCIPLINE_ALLOWED_FILES)
+
+    def _check_decl(self, cursor, ctx: AnalysisContext) -> None:
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self._applies(rel):
+            return
+        match = _BANNED_TYPE_RE.search(canonical_spelling(cursor))
+        if match is None:
+            return
+        primitive = match.group(0).rstrip("<")
+        ctx.report(
+            cursor, self.name,
+            f"{primitive} constructed outside src/util/thread_pool and "
+            "the src/obs padded-cell files; worker concurrency flows "
+            "through util::ThreadPool so determinism tests cover it")
+
+    def _check_call(self, cursor, ctx: AnalysisContext) -> None:
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self._applies(rel):
+            return
+        try:
+            referenced = cursor.referenced
+        except (AttributeError, ValueError):
+            return
+        if referenced is None:
+            return
+        qname = qualified_name(referenced)
+        if qname in config.THREAD_DISCIPLINE_BANNED_CALLS:
+            ctx.report(
+                cursor, self.name,
+                f"'{qname}' spawns work outside util::ThreadPool; "
+                "submit through the pool so worker count and claim "
+                "order stay deterministic")

@@ -1,0 +1,44 @@
+"""wallclock: the simulation core reads no clock but GlobalStep.
+
+Flags calls (and address-takes) of wall-clock, sleep, and environment
+functions from files under src/sim, src/protocols, src/core. The regex
+linter cannot do this: it would either miss ``using std::chrono::
+steady_clock; ... steady_clock::now()`` or false-positive on the word
+"sleep" in the protocol interface (wants_sleep). Matching the
+*referenced declaration's* qualified name sees through using-decls,
+aliases, and namespace tricks.
+"""
+
+from __future__ import annotations
+
+from ugf_analyzer import config
+from ugf_analyzer.astutil import kind_name, qualified_name
+from ugf_analyzer.rules.base import AnalysisContext, Rule
+
+
+class WallclockRule(Rule):
+    name = "wallclock"
+    description = ("no wall-clock, sleep, or environment reads in "
+                   "src/sim, src/protocols, src/core")
+
+    _REF_KINDS = {"CALL_EXPR", "DECL_REF_EXPR", "MEMBER_REF_EXPR"}
+
+    def visit(self, cursor, ctx: AnalysisContext) -> None:
+        if kind_name(cursor) not in self._REF_KINDS:
+            return
+        rel, _ = ctx.cursor_rel(cursor)
+        if not self.in_scope(rel, config.WALLCLOCK_SCOPE):
+            return
+        try:
+            referenced = cursor.referenced
+        except (AttributeError, ValueError):
+            return
+        if referenced is None:
+            return
+        qname = qualified_name(referenced)
+        if qname in config.WALLCLOCK_BANNED:
+            ctx.report(
+                cursor, self.name,
+                f"'{qname}' reached from the simulation core; GlobalStep "
+                "is the only clock and explicit config the only "
+                "environment — wall-clock reads make runs irreproducible")

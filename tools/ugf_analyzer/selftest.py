@@ -1,0 +1,135 @@
+"""Fixture self-test: parse the fixture tree, byte-compare the golden.
+
+The tree under ``fixtures/tree/src`` mirrors the repo's src/ layout so
+every scope rule fires exactly as it would in production; the stub
+headers pin down the qualified names the rules match on, so the parse
+is identical under any libclang version. Beyond the findings golden,
+structural census assertions pin shared_state.json semantics: const /
+atomic exemptions, inline-allow justifications, thread_local and
+class-static detection, and the Engine field census.
+
+Run via ``python3 tools/ugf_analyzer --selftest`` (add
+``--update-golden`` after a deliberate rule/message change).
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from pathlib import Path
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+TREE = FIXTURES / "tree"
+STUBS = FIXTURES / "stubs"
+GOLDEN = FIXTURES / "expected_findings.txt"
+
+PARSE_ARGS = ["-x", "c++", "-std=c++17", "-I", str(STUBS),
+              "-Wno-everything"]
+
+# (file, line, rule) triples that must be caught by inline allows.
+EXPECTED_SUPPRESSED = {
+    ("src/runner/thread_cases.cpp", 21, "thread-discipline"),
+    ("src/sim/wallclock_cases.cpp", 26, "wallclock"),
+    ("src/util/shared_state_cases.cpp", 22, "shared-state"),
+}
+
+
+def _fail(msg: str) -> int:
+    print(f"ugf_analyzer: selftest: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def _census_errors(census) -> list[str]:
+    statics = {e.name: e for e in census.statics.values()}
+    errors: list[str] = []
+
+    def expect(name: str, **attrs) -> None:
+        entry = statics.get(name)
+        if entry is None:
+            errors.append(f"census is missing static '{name}' "
+                          f"(have: {sorted(statics)})")
+            return
+        for attr, want in attrs.items():
+            got = getattr(entry, attr)
+            if got != want:
+                errors.append(
+                    f"census '{name}': {attr} is {got!r}, want {want!r}")
+
+    expect("fx::kTable", verdict="exempt-const", is_const=True)
+    expect("fx::g_dropped_events", verdict="exempt-atomic", is_atomic=True)
+    expect("fx::g_cache_epoch", verdict="allowed",
+           justification="fixture cache guarded elsewhere",
+           storage="namespace-scope")
+    expect("fx::t_scratch", verdict="flagged", thread_local=True)
+    expect("fx::Gauge::live_instances", verdict="flagged",
+           storage="class-static")
+    expect("fx::bump::calls", verdict="flagged", storage="local-static")
+    expect("ugf::sim::Engine::kMaxProcs", verdict="exempt-const",
+           storage="class-static")
+
+    fields = census.engine_fields
+    for name in ("steps_", "current_", "n_"):
+        if name not in fields:
+            errors.append(f"engine field census is missing '{name}' "
+                          f"(have: {sorted(fields)})")
+    if "n_" in fields and not fields["n_"].is_const:
+        errors.append("engine field 'n_' should be censused as const")
+    return errors
+
+
+def run_selftest(cindex, update_golden: bool = False) -> int:
+    # Local import: cli imports this module lazily, never the reverse
+    # at module scope, or the two would form a cycle.
+    from ugf_analyzer.cli import EXIT_CLEAN, run_analysis
+
+    sources = sorted(TREE.rglob("*.cpp"))
+    if not sources:
+        return _fail(f"no fixture sources under {TREE}")
+    units = [(path, list(PARSE_ARGS)) for path in sources]
+
+    code, reporter, census, stats = run_analysis(
+        cindex, units, TREE, strict_parse=True, warn_stale=False)
+    if code != EXIT_CLEAN:
+        return _fail("fixture parse failed (see diagnostics above); the "
+                     "stub headers must parse clean on every libclang")
+
+    active, suppressed = reporter.finalize()
+    census.apply_suppressions(suppressed)
+    actual = "".join(f.render() + "\n" for f in active)
+
+    if update_golden:
+        GOLDEN.write_text(actual, encoding="utf-8")
+        print(f"ugf_analyzer: selftest: wrote {len(active)} findings to "
+              f"{GOLDEN}", file=sys.stderr)
+    else:
+        expected = GOLDEN.read_text(encoding="utf-8") if GOLDEN.is_file() \
+            else ""
+        if actual != expected:
+            scratch = GOLDEN.with_suffix(".actual")
+            scratch.write_text(actual, encoding="utf-8")
+            diff = difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                actual.splitlines(keepends=True),
+                fromfile=str(GOLDEN), tofile=str(scratch))
+            sys.stderr.writelines(diff)
+            return _fail(f"findings diverge from the golden; wrote "
+                         f"{scratch} (use --update-golden after a "
+                         "deliberate change)")
+
+    got_suppressed = {(f.file, f.line, f.rule) for f, _ in suppressed}
+    if got_suppressed != EXPECTED_SUPPRESSED:
+        return _fail(
+            "inline suppressions mismatch: "
+            f"unexpected={sorted(got_suppressed - EXPECTED_SUPPRESSED)} "
+            f"missing={sorted(EXPECTED_SUPPRESSED - got_suppressed)}")
+
+    errors = _census_errors(census)
+    if errors:
+        for err in errors:
+            print(f"ugf_analyzer: selftest: census: {err}", file=sys.stderr)
+        return _fail(f"{len(errors)} census assertion(s) failed")
+
+    print(f"ugf_analyzer: selftest: OK — {stats['units']} fixture TUs, "
+          f"{len(active)} golden findings, {len(suppressed)} suppressed, "
+          f"{len(census.statics)} censused statics", file=sys.stderr)
+    return 0

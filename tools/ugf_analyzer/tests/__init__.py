@@ -1,0 +1,8 @@
+"""Pure-python unit tests for ugf_analyzer.
+
+Everything here runs WITHOUT libclang: the rules are duck-typed, so
+fake cursors (fakes.py) exercise the exact attribute surface documented
+in astutil. The libclang-dependent half (parsing real C++) is covered
+by the fixture self-test, which CMake registers only where a usable
+libclang is found and CI always runs.
+"""

@@ -1,0 +1,111 @@
+"""Duck-typed stand-ins for the clang.cindex surface the rules use.
+
+These implement exactly the attribute contract documented at the top
+of astutil.py — nothing more. If a rule starts depending on an
+attribute the fakes lack, its unit test fails with AttributeError,
+which is the signal to extend both this file and the contract.
+"""
+
+from __future__ import annotations
+
+
+class FakeKind:
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"FakeKind({self.name!r})"
+
+
+class FakeFile:
+    def __init__(self, name: str):
+        self.name = name
+
+
+class FakeLocation:
+    def __init__(self, file: str | None, line: int):
+        self.file = FakeFile(file) if file is not None else None
+        self.line = line
+
+
+class FakePos:
+    def __init__(self, offset: int):
+        self.offset = offset
+
+
+class FakeExtent:
+    def __init__(self, start: int, end: int):
+        self.start = FakePos(start)
+        self.end = FakePos(end)
+
+
+class FakeToken:
+    def __init__(self, spelling: str, start: int = 0):
+        self.spelling = spelling
+        self.extent = FakeExtent(start, start + len(spelling))
+
+
+class FakeType:
+    def __init__(self, spelling: str = "", kind: str = "RECORD",
+                 const: bool = False, element: "FakeType | None" = None,
+                 canonical: "FakeType | None" = None):
+        self.spelling = spelling
+        self.kind = FakeKind(kind)
+        self._const = const
+        self._element = element
+        self._canonical = canonical
+
+    def get_canonical(self) -> "FakeType":
+        return self._canonical or self
+
+    def is_const_qualified(self) -> bool:
+        return self._const
+
+    @property
+    def element_type(self) -> "FakeType":
+        if self._element is None:
+            raise AttributeError("type has no element_type")
+        return self._element
+
+
+class FakeCursor:
+    def __init__(self, kind: str, spelling: str = "",
+                 file: str | None = None, line: int = 0,
+                 parent: "FakeCursor | None" = None,
+                 referenced: "FakeCursor | None" = None,
+                 ctype: FakeType | None = None,
+                 tokens: list[FakeToken] | None = None,
+                 children: list["FakeCursor"] | None = None,
+                 storage: str | None = None, definition: bool = True,
+                 extent: tuple[int, int] = (0, 0)):
+        self.kind = FakeKind(kind)
+        self.spelling = spelling
+        self.location = FakeLocation(file, line)
+        self.semantic_parent = parent
+        self.referenced = referenced
+        self.type = ctype if ctype is not None else FakeType()
+        self._tokens = list(tokens or [])
+        self._children = list(children or [])
+        if storage is not None:
+            self.storage_class = FakeKind(storage)
+        self._definition = definition
+        self.extent = FakeExtent(*extent)
+
+    def is_definition(self) -> bool:
+        return self._definition
+
+    def get_children(self):
+        return list(self._children)
+
+    def get_tokens(self):
+        return list(self._tokens)
+
+
+TU = FakeCursor("TRANSLATION_UNIT")
+
+
+def namespace(name: str, parent: FakeCursor = TU) -> FakeCursor:
+    return FakeCursor("NAMESPACE", name, parent=parent)
+
+
+STD = namespace("std")

@@ -1,0 +1,116 @@
+import unittest
+
+from ugf_analyzer.astutil import (
+    binary_operator_spelling,
+    has_leading_token,
+    is_atomic_type,
+    is_const_type,
+    qualified_name,
+    split_template_args,
+)
+from ugf_analyzer.tests.fakes import (
+    STD,
+    TU,
+    FakeCursor,
+    FakeToken,
+    FakeType,
+    namespace,
+)
+
+
+class QualifiedNameTest(unittest.TestCase):
+    def test_walks_semantic_parents(self):
+        fn = FakeCursor("FUNCTION_DECL", "bump", parent=namespace("fx"))
+        var = FakeCursor("VAR_DECL", "calls", parent=fn)
+        self.assertEqual(qualified_name(var), "fx::bump::calls")
+
+    def test_anonymous_scope(self):
+        anon = FakeCursor("NAMESPACE", "", parent=TU)
+        var = FakeCursor("VAR_DECL", "v", parent=anon)
+        self.assertEqual(qualified_name(var), "(anonymous)::v")
+
+    def test_linkage_spec_is_transparent(self):
+        # extern "C" { long time(long*); } must yield "time", not
+        # "(anonymous)::time" — the banned-name sets depend on it.
+        linkage = FakeCursor("LINKAGE_SPEC", "", parent=TU)
+        fn = FakeCursor("FUNCTION_DECL", "time", parent=linkage)
+        self.assertEqual(qualified_name(fn), "time")
+
+    def test_broken_parent_chain_truncates(self):
+        orphan = FakeCursor("VAR_DECL", "v", parent=None)
+        self.assertEqual(qualified_name(orphan), "v")
+
+
+class TypePredicatesTest(unittest.TestCase):
+    def test_const_through_array(self):
+        elem = FakeType("const int", kind="INT", const=True)
+        arr = FakeType("const int[4]", kind="CONSTANTARRAY", element=elem)
+        self.assertTrue(is_const_type(arr))
+        self.assertFalse(is_const_type(FakeType("int", kind="INT")))
+
+    def test_atomic_by_kind_and_spelling(self):
+        self.assertTrue(is_atomic_type(FakeType("_Atomic(int)",
+                                                kind="ATOMIC")))
+        self.assertTrue(is_atomic_type(FakeType("std::atomic<unsigned>")))
+        self.assertTrue(is_atomic_type(FakeType("std::atomic_flag")))
+        self.assertFalse(is_atomic_type(FakeType("std::vector<int>")))
+
+    def test_atomic_sees_through_canonical(self):
+        canon = FakeType("std::atomic<int>")
+        alias = FakeType("Counter", canonical=canon)
+        self.assertTrue(is_atomic_type(alias))
+
+
+class LeadingTokenTest(unittest.TestCase):
+    def test_finds_specifier(self):
+        cur = FakeCursor("VAR_DECL", "v", tokens=[
+            FakeToken("thread_local"), FakeToken("int"), FakeToken("v")])
+        self.assertTrue(has_leading_token(cur, "thread_local"))
+
+    def test_stops_at_initializer(self):
+        # `int v = thread_local_lookup();` — the identifier after '='
+        # must not count as the specifier.
+        cur = FakeCursor("VAR_DECL", "v", tokens=[
+            FakeToken("int"), FakeToken("v"), FakeToken("="),
+            FakeToken("thread_local")])
+        self.assertFalse(has_leading_token(cur, "thread_local"))
+
+
+class BinaryOperatorSpellingTest(unittest.TestCase):
+    def _cmp(self, op: str) -> FakeCursor:
+        lhs = FakeCursor("UNEXPOSED_EXPR", "a", extent=(0, 1))
+        rhs = FakeCursor("UNEXPOSED_EXPR", "b",
+                         extent=(2 + len(op), 3 + len(op)))
+        return FakeCursor(
+            "BINARY_OPERATOR", children=[lhs, rhs],
+            tokens=[FakeToken("a", 0), FakeToken(op, 1),
+                    FakeToken("b", 2 + len(op))])
+
+    def test_reads_token_between_operands(self):
+        self.assertEqual(binary_operator_spelling(self._cmp("<")), "<")
+        self.assertEqual(binary_operator_spelling(self._cmp("<=>")), "<=>")
+
+    def test_degenerate_children(self):
+        only = FakeCursor("BINARY_OPERATOR",
+                          children=[FakeCursor("UNEXPOSED_EXPR")])
+        self.assertEqual(binary_operator_spelling(only), "")
+
+
+class SplitTemplateArgsTest(unittest.TestCase):
+    def test_top_level_split(self):
+        self.assertEqual(
+            split_template_args("std::map<const void *, int>"),
+            ["const void *", "int"])
+
+    def test_nested_brackets_stay_joined(self):
+        self.assertEqual(
+            split_template_args(
+                "std::map<std::pair<int, int>, std::vector<bool>>"),
+            ["std::pair<int, int>", "std::vector<bool>"])
+
+    def test_no_template(self):
+        self.assertEqual(split_template_args("int"), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,146 @@
+import json
+import tempfile
+import unittest
+from pathlib import Path
+
+from ugf_analyzer import config
+from ugf_analyzer.census import Census, StaticEntry
+from ugf_analyzer.findings import ALLOW_RE, Finding, Reporter
+from ugf_analyzer.frontend import load_compile_commands
+
+
+class AllowPatternTest(unittest.TestCase):
+    def test_single_rule_with_justification(self):
+        m = ALLOW_RE.search(
+            "int x;  // ugf-analyzer: allow(shared-state): cache epoch")
+        self.assertIsNotNone(m)
+        self.assertEqual(m.group(1), "shared-state")
+        self.assertEqual(m.group(2), "cache epoch")
+
+    def test_multiple_rules_no_justification(self):
+        m = ALLOW_RE.search("// ugf-analyzer: allow(wallclock, shared-state)")
+        self.assertIsNotNone(m)
+        self.assertEqual(
+            {r.strip() for r in m.group(1).split(",")},
+            {"wallclock", "shared-state"})
+        self.assertIsNone(m.group(2))
+
+    def test_prose_does_not_match(self):
+        self.assertIsNone(ALLOW_RE.search(
+            "// the analyzer would allow(thing) if asked"))
+
+
+class ReporterTest(unittest.TestCase):
+    def test_cross_tu_dedup_and_sort(self):
+        reporter = Reporter(Path("/nonexistent"))
+        for _ in range(3):  # same header seen from three TUs
+            reporter.report("src/b.hpp", 4, "wallclock", "msg")
+        reporter.report("src/a.cpp", 9, "wallclock", "msg")
+        active, suppressed = reporter.finalize()
+        self.assertEqual(suppressed, [])
+        self.assertEqual(
+            active,
+            [Finding("src/a.cpp", 9, "wallclock", "msg"),
+             Finding("src/b.hpp", 4, "wallclock", "msg")])
+
+    def test_suppression_from_source_line(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            src = root / "src"
+            src.mkdir()
+            (src / "x.cpp").write_text(
+                "int a;\n"
+                "// ugf-analyzer: allow(shared-state): startup only\n"
+                "int b;\n"
+                "int c;  // ugf-analyzer: allow(wallclock)\n",
+                encoding="utf-8")
+            reporter = Reporter(root)
+            reporter.report("src/x.cpp", 1, "shared-state", "m1")
+            reporter.report("src/x.cpp", 3, "shared-state", "m2")
+            reporter.report("src/x.cpp", 4, "wallclock", "m3")
+            reporter.report("src/x.cpp", 4, "shared-state", "m4")  # wrong rule
+            active, suppressed = reporter.finalize()
+            self.assertEqual([f.line for f in active], [1, 4])
+            self.assertEqual(
+                {(f.line, f.rule): j for f, j in suppressed},
+                {(3, "shared-state"): "startup only", (4, "wallclock"): ""})
+
+
+class CensusTest(unittest.TestCase):
+    @staticmethod
+    def _entry(**kw) -> StaticEntry:
+        base = dict(file="src/a.cpp", line=1, name="fx::v", type="int",
+                    storage="namespace-scope", thread_local=False,
+                    is_const=False, is_atomic=False)
+        base.update(kw)
+        return StaticEntry(**base)
+
+    def test_json_is_sorted_and_stable(self):
+        census = Census()
+        census.add_static(self._entry(file="src/z.cpp", name="fx::z"))
+        census.add_static(self._entry(file="src/a.cpp", name="fx::a"))
+        doc = json.loads(census.to_json())
+        self.assertEqual(doc["schema"], "ugf-shared-state-v1")
+        self.assertEqual([e["file"] for e in doc["statics"]],
+                         ["src/a.cpp", "src/z.cpp"])
+        self.assertEqual(census.to_json(), census.to_json())
+
+    def test_first_sighting_wins(self):
+        census = Census()
+        census.add_static(self._entry(verdict="flagged"))
+        census.add_static(self._entry(verdict="exempt-const"))
+        self.assertEqual(
+            next(iter(census.statics.values())).verdict, "flagged")
+
+    def test_apply_suppressions_promotes_to_allowed(self):
+        census = Census()
+        census.add_static(self._entry(line=7, verdict="flagged"))
+        suppressed = [
+            (Finding("src/a.cpp", 7, "shared-state", "m"), "boot cache")]
+        census.apply_suppressions(suppressed)
+        entry = next(iter(census.statics.values()))
+        self.assertEqual(entry.verdict, "allowed")
+        self.assertEqual(entry.justification, "boot cache")
+        summary = json.loads(census.to_json())["summary"]
+        self.assertEqual(summary["statics_allowed"], 1)
+        self.assertEqual(summary["statics_flagged"], 0)
+
+
+class CompileCommandsTest(unittest.TestCase):
+    def test_arguments_cleaned_and_scope_filtered(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            compdb = root / "compile_commands.json"
+            compdb.write_text(json.dumps([
+                {"directory": str(root),
+                 "command": "c++ -std=c++20 -Isrc -c src/sim/a.cpp "
+                            "-o a.o -MD -MF a.d",
+                 "file": "src/sim/a.cpp"},
+                {"directory": str(root),
+                 "command": "c++ -std=c++20 -c tests/t.cpp -o t.o",
+                 "file": "tests/t.cpp"},
+            ]), encoding="utf-8")
+            units = load_compile_commands(compdb, root)
+            self.assertEqual(len(units), 1)
+            file_path, args = units[0]
+            self.assertEqual(file_path, (root / "src/sim/a.cpp").resolve())
+            self.assertEqual(args,
+                             ["-std=c++20", "-Isrc", "-Wno-everything"])
+
+
+class ConfigTest(unittest.TestCase):
+    def test_allowlist_entries_all_justified(self):
+        self.assertEqual(config.allowlist_errors(), [])
+
+    def test_rule_names_are_consistent(self):
+        from ugf_analyzer.rules import make_rules
+        names = [rule.name for rule in make_rules()]
+        self.assertEqual(sorted(names), [
+            "arena-escape", "pointer-order", "shared-state",
+            "thread-discipline", "wallclock"])
+        for rule_name in config.FILE_ALLOWLIST:
+            self.assertIn(rule_name, names)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,296 @@
+import unittest
+from pathlib import Path
+
+from ugf_analyzer.census import Census
+from ugf_analyzer.findings import Reporter
+from ugf_analyzer.rules.arena_escape import ArenaEscapeRule
+from ugf_analyzer.rules.base import AnalysisContext
+from ugf_analyzer.rules.pointer_order import PointerOrderRule
+from ugf_analyzer.rules.shared_state import SharedStateRule
+from ugf_analyzer.rules.thread_discipline import ThreadDisciplineRule
+from ugf_analyzer.rules.wallclock import WallclockRule
+from ugf_analyzer.tests.fakes import (
+    STD,
+    FakeCursor,
+    FakeToken,
+    FakeType,
+    namespace,
+)
+
+ROOT = Path("/repo")
+FX = namespace("fx")
+
+
+def make_ctx() -> AnalysisContext:
+    return AnalysisContext(ROOT, Reporter(ROOT), Census())
+
+
+def active(ctx):
+    findings, _ = ctx.reporter.finalize()
+    return findings
+
+
+class WallclockRuleTest(unittest.TestCase):
+    def _call(self, file, decl_name="getenv", decl_parent=STD):
+        decl = FakeCursor("FUNCTION_DECL", decl_name, parent=decl_parent)
+        return FakeCursor("CALL_EXPR", decl_name, file=file, line=42,
+                          referenced=decl)
+
+    def test_banned_call_in_scope(self):
+        ctx = make_ctx()
+        WallclockRule().visit(self._call("/repo/src/sim/engine.cpp"), ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].rule, "wallclock")
+        self.assertIn("'std::getenv'", findings[0].message)
+
+    def test_runner_is_out_of_scope(self):
+        # src/runner measures wall time *about* runs; that is legal.
+        ctx = make_ctx()
+        WallclockRule().visit(
+            self._call("/repo/src/runner/sweep.cpp"), ctx)
+        self.assertEqual(active(ctx), [])
+
+    def test_unbanned_name_in_scope(self):
+        ctx = make_ctx()
+        WallclockRule().visit(
+            self._call("/repo/src/sim/engine.cpp", decl_name="log2"), ctx)
+        self.assertEqual(active(ctx), [])
+
+
+class SharedStateRuleTest(unittest.TestCase):
+    @staticmethod
+    def _var(name, ctype, parent=FX, storage=None, tokens=None,
+             file="/repo/src/util/misc.cpp", line=5):
+        return FakeCursor("VAR_DECL", name, file=file, line=line,
+                          parent=parent, ctype=ctype, storage=storage,
+                          tokens=tokens)
+
+    def test_mutable_namespace_var_flagged(self):
+        ctx = make_ctx()
+        SharedStateRule().visit(
+            self._var("g_count", FakeType("int", kind="INT")), ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("'fx::g_count'", findings[0].message)
+        self.assertIn("namespace-scope", findings[0].message)
+        entry = next(iter(ctx.census.statics.values()))
+        self.assertEqual(entry.verdict, "flagged")
+
+    def test_const_and_atomic_are_exempt_but_censused(self):
+        ctx = make_ctx()
+        rule = SharedStateRule()
+        rule.visit(self._var("kTable", FakeType("const int", kind="INT",
+                                                const=True), line=1), ctx)
+        rule.visit(self._var("g_hits", FakeType("std::atomic<int>"),
+                             line=2), ctx)
+        self.assertEqual(active(ctx), [])
+        verdicts = {e.name: e.verdict for e in ctx.census.statics.values()}
+        self.assertEqual(verdicts, {"fx::kTable": "exempt-const",
+                                    "fx::g_hits": "exempt-atomic"})
+
+    def test_local_static_and_plain_local(self):
+        ctx = make_ctx()
+        fn = FakeCursor("FUNCTION_DECL", "bump", parent=FX)
+        rule = SharedStateRule()
+        rule.visit(self._var("calls", FakeType("long", kind="LONG"),
+                             parent=fn, storage="STATIC"), ctx)
+        rule.visit(self._var("i", FakeType("long", kind="LONG"),
+                             parent=fn, storage="NONE", line=6), ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("local-static", findings[0].message)
+        self.assertIn("'fx::bump::calls'", findings[0].message)
+        self.assertEqual(len(ctx.census.statics), 1)
+
+    def test_thread_local_wording(self):
+        ctx = make_ctx()
+        fn = FakeCursor("FUNCTION_DECL", "f", parent=FX)
+        cur = self._var("t_buf", FakeType("int", kind="INT"), parent=fn,
+                        storage="NONE",
+                        tokens=[FakeToken("thread_local"),
+                                FakeToken("int"), FakeToken("t_buf")])
+        SharedStateRule().visit(cur, ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("thread-local", findings[0].message)
+
+    def test_engine_field_census(self):
+        ctx = make_ctx()
+        engine = FakeCursor(
+            "CLASS_DECL", "Engine",
+            parent=namespace("sim", parent=namespace("ugf")))
+        field = FakeCursor("FIELD_DECL", "steps_",
+                           file="/repo/src/sim/engine.hpp", line=30,
+                           parent=engine,
+                           ctype=FakeType("unsigned long", kind="ULONG"))
+        SharedStateRule().visit(field, ctx)
+        self.assertEqual(active(ctx), [])
+        self.assertIn("steps_", ctx.census.engine_fields)
+        self.assertEqual(ctx.census.engine_fields["steps_"].line, 30)
+
+    def test_other_class_fields_not_censused(self):
+        ctx = make_ctx()
+        other = FakeCursor("CLASS_DECL", "Sweep",
+                           parent=namespace("runner",
+                                            parent=namespace("ugf")))
+        field = FakeCursor("FIELD_DECL", "n_",
+                           file="/repo/src/runner/sweep.hpp", line=8,
+                           parent=other, ctype=FakeType("int", kind="INT"))
+        SharedStateRule().visit(field, ctx)
+        self.assertEqual(ctx.census.engine_fields, {})
+
+
+class PointerOrderRuleTest(unittest.TestCase):
+    @staticmethod
+    def _cmp(op, kinds=("POINTER", "POINTER"),
+             file="/repo/src/sim/queue.cpp"):
+        lhs = FakeCursor("UNEXPOSED_EXPR", "a", extent=(0, 1),
+                         ctype=FakeType(kind=kinds[0]))
+        rhs = FakeCursor("UNEXPOSED_EXPR", "b",
+                         extent=(2 + len(op), 3 + len(op)),
+                         ctype=FakeType(kind=kinds[1]))
+        return FakeCursor(
+            "BINARY_OPERATOR", file=file, line=11, children=[lhs, rhs],
+            tokens=[FakeToken("a", 0), FakeToken(op, 1),
+                    FakeToken("b", 2 + len(op))])
+
+    def test_pointer_comparison_flagged(self):
+        ctx = make_ctx()
+        PointerOrderRule().visit(self._cmp("<"), ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("relational '<'", findings[0].message)
+
+    def test_integer_comparison_clean(self):
+        ctx = make_ctx()
+        PointerOrderRule().visit(self._cmp("<", kinds=("INT", "INT")), ctx)
+        self.assertEqual(active(ctx), [])
+
+    def test_equality_on_pointers_clean(self):
+        ctx = make_ctx()
+        PointerOrderRule().visit(self._cmp("=="), ctx)
+        self.assertEqual(active(ctx), [])
+
+    def test_pointer_keyed_map_flagged(self):
+        ctx = make_ctx()
+        field = FakeCursor(
+            "FIELD_DECL", "by_addr", file="/repo/src/obs/index.hpp",
+            line=3, ctype=FakeType("std::map<const void *, int>"))
+        PointerOrderRule().visit(field, ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("std::map keyed on a raw pointer (const void *)",
+                      findings[0].message)
+
+    def test_id_keyed_map_clean(self):
+        ctx = make_ctx()
+        field = FakeCursor(
+            "FIELD_DECL", "by_id", file="/repo/src/obs/index.hpp",
+            line=4, ctype=FakeType("std::map<unsigned int, int>"))
+        PointerOrderRule().visit(field, ctx)
+        self.assertEqual(active(ctx), [])
+
+
+class ThreadDisciplineRuleTest(unittest.TestCase):
+    @staticmethod
+    def _field(spelling, file):
+        return FakeCursor("FIELD_DECL", "m", file=file, line=9,
+                          ctype=FakeType(spelling))
+
+    def test_mutex_outside_pool_flagged(self):
+        ctx = make_ctx()
+        ThreadDisciplineRule().visit(
+            self._field("std::mutex", "/repo/src/runner/sweep.hpp"), ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("std::mutex constructed outside", findings[0].message)
+
+    def test_container_of_threads_flagged(self):
+        ctx = make_ctx()
+        ThreadDisciplineRule().visit(
+            self._field("std::vector<std::thread, "
+                        "std::allocator<std::thread>>",
+                        "/repo/src/runner/sweep.hpp"), ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("std::thread constructed outside",
+                      findings[0].message)
+
+    def test_thread_id_is_legal(self):
+        ctx = make_ctx()
+        ThreadDisciplineRule().visit(
+            self._field("std::thread::id", "/repo/src/runner/sweep.hpp"),
+            ctx)
+        self.assertEqual(active(ctx), [])
+
+    def test_pool_file_is_sanctioned(self):
+        ctx = make_ctx()
+        ThreadDisciplineRule().visit(
+            self._field("std::mutex", "/repo/src/util/thread_pool.hpp"),
+            ctx)
+        self.assertEqual(active(ctx), [])
+
+    def test_allowlisted_file_records_usage(self):
+        ctx = make_ctx()
+        ThreadDisciplineRule().visit(
+            self._field("std::mutex", "/repo/src/util/check.cpp"), ctx)
+        self.assertEqual(active(ctx), [])
+        self.assertIn(("thread-discipline", "src/util/check.cpp"),
+                      ctx.used_allowlist)
+        self.assertNotIn("thread-discipline:src/util/check.cpp",
+                         ctx.unused_allowlist_entries())
+
+    def test_async_call_flagged(self):
+        ctx = make_ctx()
+        decl = FakeCursor("FUNCTION_DECL", "async", parent=STD)
+        call = FakeCursor("CALL_EXPR", "async",
+                          file="/repo/src/analysis/report.cpp", line=77,
+                          referenced=decl)
+        ThreadDisciplineRule().visit(call, ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("'std::async'", findings[0].message)
+
+
+class ArenaEscapeRuleTest(unittest.TestCase):
+    def test_namespace_scope_handle_flagged(self):
+        ctx = make_ctx()
+        var = FakeCursor("VAR_DECL", "g_last", parent=FX,
+                         file="/repo/src/util/cache.cpp", line=6,
+                         ctype=FakeType("ugf::sim::PayloadRef"))
+        ArenaEscapeRule().visit(var, ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("static-storage 'fx::g_last'", findings[0].message)
+
+    def test_plain_local_handle_clean(self):
+        ctx = make_ctx()
+        fn = FakeCursor("FUNCTION_DECL", "f", parent=FX)
+        var = FakeCursor("VAR_DECL", "m", parent=fn, storage="NONE",
+                         file="/repo/src/util/cache.cpp", line=7,
+                         ctype=FakeType("ugf::sim::Message"))
+        ArenaEscapeRule().visit(var, ctx)
+        self.assertEqual(active(ctx), [])
+
+    def test_field_outside_owning_scope_flagged(self):
+        ctx = make_ctx()
+        field = FakeCursor("FIELD_DECL", "held",
+                           file="/repo/src/obs/replay.hpp", line=12,
+                           ctype=FakeType("ugf::sim::Message"))
+        ArenaEscapeRule().visit(field, ctx)
+        findings = active(ctx)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("member 'held'", findings[0].message)
+
+    def test_field_in_owning_scope_clean(self):
+        ctx = make_ctx()
+        field = FakeCursor("FIELD_DECL", "payload",
+                           file="/repo/src/sim/message.hpp", line=20,
+                           ctype=FakeType("ugf::sim::PayloadRef"))
+        ArenaEscapeRule().visit(field, ctx)
+        self.assertEqual(active(ctx), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
