@@ -92,6 +92,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  if (campaign.lineage_enabled()) {
+    const auto protocol = protocols::make_protocol("push-pull");
+    const core::UgfFactory factory(core::UgfConfig{});
+    campaign.export_lineage(spec, *protocol, factory, "push-pull", std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"

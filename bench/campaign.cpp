@@ -5,6 +5,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/export.hpp"
+#include "obs/lineage.hpp"
+
 namespace ugf::bench {
 
 namespace {
@@ -142,6 +145,12 @@ CampaignScope::CampaignScope(const util::CliArgs& args, std::string figure_id)
     metrics_path_ = args.out_path("metrics", figure_id_ + ".metrics.json");
   if (args.has("prom") && !is_off(args.get_string("prom", "")))
     prom_path_ = args.out_path("prom", figure_id_ + ".prom");
+  if (args.has("lineage") && !is_off(args.get_string("lineage", "")))
+    lineage_path_ = args.out_path("lineage", figure_id_ + ".lineage.ndjson");
+  if (args.has("lineage-chrome") &&
+      !is_off(args.get_string("lineage-chrome", "")))
+    lineage_chrome_path_ =
+        args.out_path("lineage-chrome", figure_id_ + ".lineage.chrome.json");
   registry_enabled_ = !manifest_path_.empty() || !metrics_path_.empty() ||
                       !prom_path_.empty();
 }
@@ -160,6 +169,47 @@ void CampaignScope::attach(runner::RunSpec& spec, std::size_t batches) {
   if (progress() != nullptr)
     progress_.add_planned_runs(static_cast<std::uint64_t>(batches) *
                                spec.runs);
+}
+
+void CampaignScope::export_lineage(const runner::RunSpec& spec,
+                                   const sim::ProtocolFactory& protocol,
+                                   const adversary::AdversaryFactory& adversary,
+                                   const std::string& protocol_name,
+                                   std::ostream& out) {
+  if (!lineage_enabled()) return;
+  // Re-run run 0 of the spec in isolation: the lineage replay is
+  // presentation, so it must not perturb campaign metrics, progress
+  // accounting or the per-run time-series of the sweep proper.
+  runner::RunSpec one = spec;
+  one.runs = 1;
+  one.metrics = nullptr;
+  one.progress = nullptr;
+  one.collect_timeseries = false;
+  obs::LineageTracker tracker;
+  const auto record =
+      runner::MonteCarloRunner::run_once(one, 0, protocol, adversary,
+                                         &tracker);
+  tracker.finalize();
+  obs::TraceMeta meta;
+  meta.protocol = protocol_name;
+  meta.adversary = record.strategy;
+  meta.n = spec.n;
+  meta.f = spec.f;
+  meta.seed = record.seed;
+  if (!lineage_path_.empty()) {
+    obs::write_lineage_ndjson_file(lineage_path_, tracker, meta);
+    note_artifact("lineage", lineage_path_);
+    out << "lineage: " << lineage_path_ << " (" << tracker.nodes().size()
+        << " infected, critical path " << tracker.critical_path().size()
+        << " hops, n=" << spec.n << ", " << record.strategy << ")\n";
+  }
+  if (!lineage_chrome_path_.empty()) {
+    obs::write_lineage_chrome_file(lineage_chrome_path_, tracker, meta);
+    note_artifact("lineage-chrome", lineage_chrome_path_);
+    out << "lineage-chrome: " << lineage_chrome_path_
+        << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (registry_enabled_) tracker.publish_metrics(registry_);
 }
 
 runner::ProgressFn CampaignScope::progress_fn() {

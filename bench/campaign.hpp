@@ -19,6 +19,12 @@
 ///                          (default <id>.prom)
 ///   --progress[=0|1]       live status line on stderr; default: on iff
 ///                          stderr is a TTY and $CI is unset
+///   --lineage[=PATH|off]   causal lineage of one representative run as
+///                          ugf-lineage-v1 NDJSON (default
+///                          <id>.lineage.ndjson; see obs/lineage.hpp)
+///   --lineage-chrome[=PATH] same run's infection DAG as Chrome
+///                          trace_event flow arrows (default
+///                          <id>.lineage.chrome.json)
 ///
 /// This header also hosts the manifest <-> runner conversions (sweep
 /// configs, adversary parameters) that obs cannot provide itself — obs
@@ -121,6 +127,23 @@ class CampaignScope {
   /// the binary will issue with this spec.
   void attach(runner::RunSpec& spec, std::size_t batches = 1);
 
+  /// True when --lineage and/or --lineage-chrome asked for the causal
+  /// export, i.e. export_lineage() will actually run something.
+  [[nodiscard]] bool lineage_enabled() const noexcept {
+    return !lineage_path_.empty() || !lineage_chrome_path_.empty();
+  }
+
+  /// Runs run 0 of `spec` once more with an obs::LineageTracker
+  /// attached, writes the configured ugf-lineage-v1 / Chrome-flow
+  /// artifacts, publishes the lineage metric series into the campaign
+  /// registry and prints the paths to `out`. No-op unless
+  /// lineage_enabled(). The spec should reproduce a run the figure
+  /// actually contains (same seeding discipline as its sweep).
+  void export_lineage(const runner::RunSpec& spec,
+                      const sim::ProtocolFactory& protocol,
+                      const adversary::AdversaryFactory& adversary,
+                      const std::string& protocol_name, std::ostream& out);
+
   /// Batch-level progress callback for sweep_figure/sweep_curve: feeds
   /// the live renderer when it is active, otherwise prints the classic
   /// per-grid-point stderr line. See the ProgressFn threading contract
@@ -138,6 +161,8 @@ class CampaignScope {
   std::string manifest_path_;  ///< empty = disabled
   std::string metrics_path_;   ///< empty = disabled
   std::string prom_path_;      ///< empty = disabled
+  std::string lineage_path_;   ///< empty = disabled
+  std::string lineage_chrome_path_;  ///< empty = disabled
   obs::MetricsRegistry registry_;
   obs::SweepProgress progress_;
   obs::RunManifest manifest_;

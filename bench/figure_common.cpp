@@ -117,7 +117,8 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
         args.has("trace") ? args.out_path("trace", "") : "";
     const std::string chrome_path =
         args.has("chrome-trace") ? args.out_path("chrome-trace", "") : "";
-    if (!trace_path.empty() || !chrome_path.empty()) {
+    if (!trace_path.empty() || !chrome_path.empty() ||
+        campaign.lineage_enabled()) {
       obs::ScopedPhase phase(config.profiler, obs::Phase::kExport);
       runner::RunSpec one;
       one.n = config.grid.front();
@@ -127,28 +128,35 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       one.max_steps = config.max_steps;
       one.max_events = config.max_events;
       if (profile) one.profiler = &profiler;
-      obs::EventRecorder recorder;
-      const auto record = runner::MonteCarloRunner::run_once(
-          one, 0, *protocol, *ugf, &recorder);
-      obs::TraceMeta meta;
-      meta.protocol = spec.protocol;
-      meta.adversary = record.strategy;
-      meta.n = one.n;
-      meta.f = one.f;
-      meta.seed = record.seed;
-      if (!trace_path.empty()) {
-        obs::write_ndjson_trace_file(trace_path, recorder.raw(), meta);
-        campaign.note_artifact("trace", trace_path);
-        std::cout << "trace: " << trace_path << " (" << recorder.size()
-                  << " events, n=" << one.n << ", " << record.strategy
-                  << ")\n";
+      if (!trace_path.empty() || !chrome_path.empty()) {
+        obs::EventRecorder recorder;
+        const auto record = runner::MonteCarloRunner::run_once(
+            one, 0, *protocol, *ugf, &recorder);
+        obs::TraceMeta meta;
+        meta.protocol = spec.protocol;
+        meta.adversary = record.strategy;
+        meta.n = one.n;
+        meta.f = one.f;
+        meta.seed = record.seed;
+        if (!trace_path.empty()) {
+          obs::write_ndjson_trace_file(trace_path, recorder.raw(), meta);
+          campaign.note_artifact("trace", trace_path);
+          std::cout << "trace: " << trace_path << " (" << recorder.size()
+                    << " events, n=" << one.n << ", " << record.strategy
+                    << ")\n";
+        }
+        if (!chrome_path.empty()) {
+          obs::ChromeTraceOptions chrome_options;
+          chrome_options.delivery_flow_steps =
+              args.get_bool("chrome-flow", false);
+          obs::write_chrome_trace_file(chrome_path, recorder.raw(), meta,
+                                       chrome_options);
+          campaign.note_artifact("chrome-trace", chrome_path);
+          std::cout << "chrome-trace: " << chrome_path
+                    << " (open in chrome://tracing or ui.perfetto.dev)\n";
+        }
       }
-      if (!chrome_path.empty()) {
-        obs::write_chrome_trace_file(chrome_path, recorder.raw(), meta);
-        campaign.note_artifact("chrome-trace", chrome_path);
-        std::cout << "chrome-trace: " << chrome_path
-                  << " (open in chrome://tracing or ui.perfetto.dev)\n";
-      }
+      campaign.export_lineage(one, *protocol, *ugf, spec.protocol, std::cout);
     }
 
     campaign.finish(std::cout);

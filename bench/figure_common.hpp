@@ -28,6 +28,10 @@
 ///   --trace=path       NDJSON event trace (ugf-trace-v1) of one run:
 ///                      run 0 at the smallest grid N under UGF
 ///   --chrome-trace=p   same run as chrome://tracing / Perfetto JSON
+///   --chrome-flow      route each Chrome-trace message arrow through
+///                      its physical arrival step (flow "t" events);
+///                      off by default so existing traces stay
+///                      byte-identical
 ///   --profile          per-phase wall-time table (engine / protocol /
 ///                      adversary / stats / export) over the whole panel
 ///   --per-curve-histogram  print the strategy histogram per curve in
@@ -36,7 +40,10 @@
 /// Campaign flags (bench/campaign.hpp): --manifest[=PATH|off] (run
 /// provenance, ON by default), --metrics[=PATH] (ugf-metrics-v1 JSON),
 /// --prom[=PATH] (Prometheus text), --progress[=0|1] (live status
-/// line; default on iff stderr is a TTY and $CI is unset).
+/// line; default on iff stderr is a TTY and $CI is unset),
+/// --lineage[=PATH|off] (causal lineage of the same representative run
+/// as ugf-lineage-v1 NDJSON), --lineage-chrome[=PATH] (its infection
+/// DAG as Chrome flow arrows).
 
 #include <string>
 

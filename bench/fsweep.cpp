@@ -17,6 +17,7 @@
 #include "runner/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -101,6 +102,15 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
     std::cout << "\n";
+  }
+  if (campaign.lineage_enabled()) {
+    const auto protocol = protocols::make_protocol("push-pull");
+    const auto ugf = core::make_adversary("ugf");
+    runner::RunSpec one;
+    one.n = grid.front();
+    one.f = runner::f_for(one.n, fracs.front());
+    one.base_seed = util::mix_seed(seed, one.n);
+    campaign.export_lineage(one, *protocol, *ugf, "push-pull", std::cout);
   }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);

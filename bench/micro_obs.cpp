@@ -1,13 +1,14 @@
 // Observability overhead micro-bench and baseline emitter.
 //
 // Measures the engine's step-loop cost (ns per executed local step,
-// push-pull, benign, fixed N) in five configurations:
+// push-pull, benign, fixed N) in six configurations:
 //
 //   detached   no sink, no profiler — the default everyone pays
 //   counting   obs::CountingSink attached (virtual call per event)
 //   recording  obs::EventRecorder attached (call + vector append)
 //   profiled   obs::PhaseProfiler attached, no sink
 //   metrics    obs::MetricsRegistry attached (one publication per run)
+//   lineage    obs::LineageTracker attached (online DAG + finalize)
 //
 // The configurations run interleaved with identical seeds (paired
 // comparison), repeated --reps times; medians are reported, printed as
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "obs/event.hpp"
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "protocols/push_pull.hpp"
@@ -56,29 +58,39 @@ struct Sample {
   std::uint64_t events = 0;  ///< observed events (attached variants)
 };
 
+/// Per-run sink ownership for `measure`: detached/shared sink, a fresh
+/// EventRecorder per run, or a fresh LineageTracker per run (the shape
+/// `--lineage` uses: build the DAG online, then finalize()).
+enum class Attach { kShared, kFreshRecorder, kFreshLineage };
+
 /// One timed pass: `runs` benign push-pull runs at size n, seeds
 /// base_seed..base_seed+runs-1, with the given sink/profiler attached.
 Sample measure(std::uint32_t n, std::uint32_t runs, std::uint64_t base_seed,
                obs::EventSink* sink, obs::PhaseProfiler* profiler,
-               bool fresh_recorder,
+               Attach attach = Attach::kShared,
                obs::MetricsRegistry* metrics = nullptr) {
   protocols::PushPullFactory factory;
   Sample sample;
   util::Stopwatch watch;
   for (std::uint32_t i = 0; i < runs; ++i) {
     obs::EventRecorder recorder;
+    obs::LineageTracker tracker;
     sim::EngineConfig cfg;
     cfg.n = n;
     cfg.f = n * 3 / 10;
     cfg.seed = base_seed + i;
-    cfg.sink = fresh_recorder ? &recorder : sink;
+    cfg.sink = attach == Attach::kFreshRecorder  ? &recorder
+               : attach == Attach::kFreshLineage ? static_cast<obs::EventSink*>(
+                                                       &tracker)
+                                                 : sink;
     cfg.profiler = profiler;
     cfg.metrics = metrics;
     sim::Engine engine(cfg, factory, nullptr);
     const auto out = engine.run();
+    if (attach == Attach::kFreshLineage) tracker.finalize();
     sample.steps += out.local_steps_executed;
     sample.messages += out.total_messages;
-    if (fresh_recorder) sample.events += recorder.size();
+    if (attach == Attach::kFreshRecorder) sample.events += recorder.size();
   }
   sample.ns_per_step = watch.seconds() * 1e9 /
                        static_cast<double>(std::max<std::uint64_t>(1, sample.steps));
@@ -187,7 +199,7 @@ int main(int argc, char** argv) {
 
     // Warmup (untimed): plain runs only, so the pristine block below
     // sees a process the pre-observability baseline could have seen.
-    (void)measure(n, std::max(1u, runs / 4), seed, nullptr, nullptr, false);
+    (void)measure(n, std::max(1u, runs / 4), seed, nullptr, nullptr);
 
     // Pristine block: detached cost measured before any attached
     // variant has run. The recording passes grow the allocator by tens
@@ -197,7 +209,7 @@ int main(int argc, char** argv) {
     std::vector<double> pristine;
     std::uint64_t steps = 0, messages = 0, events = 0;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const Sample d = measure(n, runs, seed, nullptr, nullptr, false);
+      const Sample d = measure(n, runs, seed, nullptr, nullptr);
       pristine.push_back(d.ns_per_step);
       steps = d.steps;
       messages = d.messages;
@@ -207,22 +219,29 @@ int main(int argc, char** argv) {
     // passes under identical seeds; overheads are relative within this
     // (hotter) process state.
     std::vector<double> detached, with_counting, with_recording, with_profiler,
-        with_metrics;
+        with_metrics, with_lineage;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const Sample d = measure(n, runs, seed, nullptr, nullptr, false);
-      const Sample c = measure(n, runs, seed, &counting, nullptr, false);
-      const Sample r = measure(n, runs, seed, nullptr, nullptr, true);
-      const Sample p = measure(n, runs, seed, nullptr, &profiler, false);
+      const Sample d = measure(n, runs, seed, nullptr, nullptr);
+      const Sample c = measure(n, runs, seed, &counting, nullptr);
+      const Sample r =
+          measure(n, runs, seed, nullptr, nullptr, Attach::kFreshRecorder);
+      const Sample p = measure(n, runs, seed, nullptr, &profiler);
       // Metrics registry attached: the engine publishes counters and
       // gauges once per finished run, never per event, so this must
       // sit within noise of detached (the "enabled <2%" claim).
-      const Sample g = measure(n, runs, seed, nullptr, nullptr, false,
-                               &registry);
+      const Sample g = measure(n, runs, seed, nullptr, nullptr,
+                               Attach::kShared, &registry);
+      // Lineage tracker attached: per-event DAG fold plus a per-run
+      // finalize() (critical path + attribution) — the cost `--lineage`
+      // pays on its single presentation run.
+      const Sample l =
+          measure(n, runs, seed, nullptr, nullptr, Attach::kFreshLineage);
       detached.push_back(d.ns_per_step);
       with_counting.push_back(c.ns_per_step);
       with_recording.push_back(r.ns_per_step);
       with_profiler.push_back(p.ns_per_step);
       with_metrics.push_back(g.ns_per_step);
+      with_lineage.push_back(l.ns_per_step);
       events = r.events;
     }
 
@@ -242,8 +261,7 @@ int main(int argc, char** argv) {
     std::vector<double> large_detached;
     std::uint64_t large_steps = 0;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const Sample d =
-          measure(large_n, large_runs, seed, nullptr, nullptr, false);
+      const Sample d = measure(large_n, large_runs, seed, nullptr, nullptr);
       large_detached.push_back(d.ns_per_step);
       large_steps = d.steps;
     }
@@ -265,10 +283,12 @@ int main(int argc, char** argv) {
     const double r_med = median(with_recording);
     const double p_med = median(with_profiler);
     const double g_med = median(with_metrics);
+    const double l_med = median(with_lineage);
     const double counting_overhead = (c_med - d_med) / d_med * 100.0;
     const double recording_overhead = (r_med - d_med) / d_med * 100.0;
     const double profiler_overhead = (p_med - d_med) / d_med * 100.0;
     const double metrics_overhead = (g_med - d_med) / d_med * 100.0;
+    const double lineage_overhead = (l_med - d_med) / d_med * 100.0;
     const double reference_overhead =
         reference > 0.0 ? (pristine_med - reference) / reference * 100.0 : 0.0;
     const double cold_med = median(engine_cold);
@@ -298,6 +318,7 @@ int main(int argc, char** argv) {
     row("event recorder", r_med, recording_overhead);
     row("phase profiler", p_med, profiler_overhead);
     row("metrics registry", g_med, metrics_overhead);
+    row("lineage tracker", l_med, lineage_overhead);
     if (reference > 0.0)
       row("pristine vs reference", reference, reference_overhead);
     std::cout << "engine reuse: push-pull benign, n=" << engine_n << ", "
@@ -342,10 +363,12 @@ int main(int argc, char** argv) {
           .member("event_recorder_ns_per_step", r_med)
           .member("phase_profiler_ns_per_step", p_med)
           .member("metrics_registry_ns_per_step", g_med)
+          .member("lineage_tracker_ns_per_step", l_med)
           .member("counting_overhead_pct", counting_overhead)
           .member("recording_overhead_pct", recording_overhead)
           .member("profiler_overhead_pct", profiler_overhead)
           .member("metrics_overhead_pct", metrics_overhead)
+          .member("lineage_overhead_pct", lineage_overhead)
           .member("reference_ns_per_step", reference)
           .member("detached_vs_reference_pct", reference_overhead)
           .member("engine_n", engine_n)

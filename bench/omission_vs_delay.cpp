@@ -87,6 +87,12 @@ int main(int argc, char** argv) {
   }
   campaign.note_artifact("csv", csv_path);
   std::cout << "\n";
+  if (campaign.lineage_enabled()) {
+    const auto protocol = protocols::make_protocol(protocol_names.front());
+    const auto omission = core::make_adversary("omission");
+    campaign.export_lineage(spec, *protocol, *omission,
+                            protocol_names.front(), std::cout);
+  }
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << "Expected: the omission twin matches the delay strategy's "

@@ -96,6 +96,12 @@ int main(int argc, char** argv) {
     std::cout << "-> max-UGF strategy for time: " << max_time
               << "; for messages: " << max_msgs << "\n\n";
   }
+  if (campaign.lineage_enabled()) {
+    const auto protocol = protocols::make_protocol(protocol_names.front());
+    const auto ugf = core::make_adversary("ugf");
+    campaign.export_lineage(spec, *protocol, *ugf, protocol_names.front(),
+                            std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"

@@ -102,6 +102,15 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  if (campaign.lineage_enabled()) {
+    const auto protocol = protocols::make_protocol(protocol_names.front());
+    runner::RunSpec one;
+    one.n = n;
+    one.f = f;
+    one.base_seed = 0xA1FA;
+    campaign.export_lineage(one, *protocol, *ugf_factory,
+                            protocol_names.front(), std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"

@@ -28,6 +28,26 @@
 ///       carries the number of in-flight messages lost. Emission-time
 ///       drops (receiver already crashed) have v0 == 1 and a real b.
 ///
+/// Causality (`cause`, 0 = no cause): every emission attempt gets a
+/// 1-based id, assigned in emission order by the engine (the same
+/// counter that breaks inbox arrival ties, so ids are free). An event's
+/// `cause` names the emission that triggered it:
+///
+///   kEmission        its own emission id
+///   kDelivery        the delivering emission's id
+///   kOmission        the suppressed emission's id
+///   kDrop (b != no)  the dropped emission's id
+///   kInfection       the emission whose delivery first handed process
+///                    `a` gossip 0 this step (0: infected at run start
+///                    or via local protocol state)
+///   kCrash, kDrop(wipe), kDelayChange, kStepTimeChange
+///                    the emission the adversary was reacting to when
+///                    it took the decision (0: decision taken from
+///                    on_run_start / on_timer, outside any emission)
+///
+/// `obs::LineageTracker` (obs/lineage.hpp) folds these ids into the
+/// propagation DAG and the run's critical infection path.
+///
 /// Within one step the producer order is: kStepBegin, deliveries, then
 /// (at the end step) one kEmission per queued message followed by the
 /// adversary's reaction to it (kDelayChange / kStepTimeChange / kCrash
@@ -92,8 +112,10 @@ inline constexpr std::size_t kNumEventTypes = 11;
   return "unknown";
 }
 
-/// One observed fact of a run. Plain data, 40 bytes, trivially copyable
+/// One observed fact of a run. Plain data, 48 bytes, trivially copyable
 /// — cheap enough to record by value at tens of millions per run.
+/// `cause` sits last so pre-causality aggregate initializers keep
+/// meaning what they meant (cause defaults to 0 = none).
 struct TraceEvent {
   sim::GlobalStep step = 0;          ///< global step of the observation
   std::uint64_t v0 = 0;              ///< type-specific (see table above)
@@ -101,6 +123,7 @@ struct TraceEvent {
   sim::ProcessId a = sim::kNoProcess;  ///< primary process
   sim::ProcessId b = sim::kNoProcess;  ///< secondary process
   EventType type = EventType::kEmission;
+  std::uint64_t cause = 0;  ///< triggering emission id (see header table)
 
   auto operator<=>(const TraceEvent&) const = default;
 };

@@ -61,6 +61,13 @@ void write_ndjson_trace(std::ostream& out,
 void write_chrome_trace(std::ostream& out,
                         const std::vector<TraceEvent>& events,
                         const TraceMeta& meta) {
+  write_chrome_trace(out, events, meta, ChromeTraceOptions{});
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta,
+                        const ChromeTraceOptions& options) {
   util::JsonWriter json;
   json.begin_object();
   json.key("traceEvents").begin_array();
@@ -159,6 +166,20 @@ void write_chrome_trace(std::ostream& out,
       case EventType::kDelivery:
         in_flight = in_flight > 0 ? in_flight - 1 : 0;
         counter("in_flight", ev.step, in_flight);
+        if (options.delivery_flow_steps) {
+          // Route the arrow through the physical arrival (v1); the
+          // finish below stays at the delivery step, which can be
+          // later when the receiver slept past the arrival.
+          json.begin_object()
+              .member("name", "msg")
+              .member("cat", "msg")
+              .member("ph", "t")
+              .member("id", std::string_view(flow_id(ev.b, ev.a, ev.v0)))
+              .member("ts", ev.v1)
+              .member("pid", 0)
+              .member("tid", ev.a)
+              .end_object();
+        }
         json.begin_object()
             .member("name", "msg")
             .member("cat", "msg")
@@ -249,9 +270,11 @@ void write_ndjson_trace_file(const std::string& path,
 
 void write_chrome_trace_file(const std::string& path,
                              const std::vector<TraceEvent>& events,
-                             const TraceMeta& meta) {
-  write_file(path,
-             [&](std::ostream& out) { write_chrome_trace(out, events, meta); });
+                             const TraceMeta& meta,
+                             const ChromeTraceOptions& options) {
+  write_file(path, [&](std::ostream& out) {
+    write_chrome_trace(out, events, meta, options);
+  });
 }
 
 }  // namespace ugf::obs

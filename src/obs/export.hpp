@@ -45,10 +45,24 @@ void write_ndjson_trace(std::ostream& out,
                         const std::vector<TraceEvent>& events,
                         const TraceMeta& meta);
 
+/// Rendering knobs for the Chrome trace writer. Defaults reproduce the
+/// historical output byte-for-byte (golden-file tested); every option
+/// is additive.
+struct ChromeTraceOptions {
+  /// Adds a flow "t" (step) event at each delivery's arrival time on
+  /// the receiver track, so chrome://tracing routes the message arrow
+  /// through the moment the message physically arrived — visible when
+  /// a process sleeps past the arrival and delivers late.
+  bool delivery_flow_steps = false;
+};
+
 /// Writes a complete Chrome trace_event JSON document for one run.
 void write_chrome_trace(std::ostream& out,
                         const std::vector<TraceEvent>& events,
                         const TraceMeta& meta);
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta, const ChromeTraceOptions& options);
 
 /// Writes one run's TimeSeries as CSV
 /// (step,infected,in_flight,cumulative_messages,crashes,delay_changes,
@@ -61,6 +75,7 @@ void write_ndjson_trace_file(const std::string& path,
                              const TraceMeta& meta);
 void write_chrome_trace_file(const std::string& path,
                              const std::vector<TraceEvent>& events,
-                             const TraceMeta& meta);
+                             const TraceMeta& meta,
+                             const ChromeTraceOptions& options = {});
 
 }  // namespace ugf::obs

@@ -1,0 +1,457 @@
+#include "obs/lineage.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/export.hpp"
+#include "util/json.hpp"
+
+namespace ugf::obs {
+
+void LineageTracker::ensure_process(sim::ProcessId p) {
+  if (p == sim::kNoProcess) return;
+  if (p >= node_of_process_.size()) {
+    node_of_process_.resize(p + 1, npos);
+    pending_by_receiver_.resize(p + 1);
+  }
+}
+
+void LineageTracker::on_event(const TraceEvent& event) {
+  if (finalized_) return;
+  switch (event.type) {
+    case EventType::kEmission: {
+      if (event.cause == 0) break;  // pre-causality producer; nothing to key
+      if (event.cause > emissions_.size()) emissions_.resize(event.cause);
+      EmissionRec& rec = emissions_[event.cause - 1];
+      rec.from = event.a;
+      rec.to = event.b;
+      rec.emitted_at = event.step;
+      rec.fate = Fate::kPending;
+      ensure_process(event.b);
+      if (event.b != sim::kNoProcess)
+        pending_by_receiver_[event.b].push_back(event.cause);
+      break;
+    }
+    case EventType::kDelivery:
+      if (event.cause != 0 && event.cause <= emissions_.size()) {
+        emissions_[event.cause - 1].fate = Fate::kDelivered;
+        emissions_[event.cause - 1].resolved_at = event.step;
+      }
+      break;
+    case EventType::kOmission:
+      if (event.cause != 0 && event.cause <= emissions_.size()) {
+        emissions_[event.cause - 1].fate = Fate::kOmitted;
+        emissions_[event.cause - 1].resolved_at = event.step;
+      }
+      break;
+    case EventType::kDrop:
+      if (event.b != sim::kNoProcess) {
+        // Emission-time drop: the receiver was already crashed.
+        if (event.cause != 0 && event.cause <= emissions_.size()) {
+          emissions_[event.cause - 1].fate = Fate::kDropped;
+          emissions_[event.cause - 1].resolved_at = event.step;
+        }
+      } else {
+        // Crash wipe: every in-flight message to `a` dies at once.
+        ensure_process(event.a);
+        for (std::uint64_t id : pending_by_receiver_[event.a]) {
+          EmissionRec& rec = emissions_[id - 1];
+          if (rec.fate == Fate::kPending) {
+            rec.fate = Fate::kWiped;
+            rec.resolved_at = event.step;
+          }
+        }
+        pending_by_receiver_[event.a].clear();
+      }
+      break;
+    case EventType::kCrash:
+      actions_.push_back(AdversaryAction{ActionKind::kCrash, event.a,
+                                         event.step, event.cause, false});
+      break;
+    case EventType::kInfection: {
+      ensure_process(event.a);
+      InfectionNode node;
+      node.process = event.a;
+      node.step = event.step;
+      node.cause = event.cause;
+      if (event.cause != 0 && event.cause <= emissions_.size()) {
+        node.parent = emissions_[event.cause - 1].from;
+        const std::size_t parent_node = node_index(node.parent);
+        node.depth =
+            parent_node == npos ? 1 : nodes_[parent_node].depth + 1;
+      }
+      node_of_process_[event.a] = nodes_.size();
+      nodes_.push_back(node);
+      break;
+    }
+    case EventType::kDelayChange:
+      actions_.push_back(AdversaryAction{ActionKind::kDelayChange, event.a,
+                                         event.step, event.cause, false});
+      break;
+    case EventType::kStepTimeChange:
+      actions_.push_back(AdversaryAction{ActionKind::kStepTimeChange, event.a,
+                                         event.step, event.cause, false});
+      break;
+    case EventType::kStepBegin:
+    case EventType::kStepEnd:
+    case EventType::kSleep:
+      break;
+  }
+}
+
+void LineageTracker::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  depth_max_ = 0;
+  for (const InfectionNode& node : nodes_)
+    depth_max_ = std::max(depth_max_, node.depth);
+  std::vector<std::uint32_t> width(depth_max_ + 1, 0);
+  width_max_ = 0;
+  for (const InfectionNode& node : nodes_)
+    width_max_ = std::max(width_max_, ++width[node.depth]);
+
+  // Critical path: walk parent edges back from the last infection (the
+  // stream is in infection order, so nodes_.back() is the tip).
+  critical_path_.clear();
+  if (!nodes_.empty()) {
+    std::size_t at = nodes_.size() - 1;
+    for (;;) {
+      InfectionNode& node = nodes_[at];
+      node.on_critical_path = true;
+      if (node.cause == 0) break;
+      critical_path_.push_back(node.cause);
+      const std::size_t parent = node_index(node.parent);
+      if (parent == npos) break;  // defensive: orphaned edge
+      at = parent;
+    }
+    std::reverse(critical_path_.begin(), critical_path_.end());
+  }
+
+  // Attribution: an edge-like suppression is on the critical path iff
+  // its target is a critical-path node and the emission predates that
+  // node's infection (the adversary delayed the chain that mattered);
+  // a node-like decision is on iff its victim is a critical-path node.
+  attribution_ = Attribution{};
+  for (const EmissionRec& rec : emissions_) {
+    if (rec.fate != Fate::kOmitted && rec.fate != Fate::kDropped &&
+        rec.fate != Fate::kWiped)
+      continue;
+    const bool on = suppression_on_critical_path(rec);
+    switch (rec.fate) {
+      case Fate::kOmitted:
+        ++(on ? attribution_.omissions_on : attribution_.omissions_off);
+        break;
+      case Fate::kDropped:
+        ++(on ? attribution_.drops_on : attribution_.drops_off);
+        break;
+      default:
+        ++(on ? attribution_.wipes_on : attribution_.wipes_off);
+        break;
+    }
+  }
+  for (AdversaryAction& action : actions_) {
+    const std::size_t victim = node_index(action.process);
+    action.on_critical_path = victim != npos && nodes_[victim].on_critical_path;
+    switch (action.kind) {
+      case ActionKind::kCrash:
+        ++(action.on_critical_path ? attribution_.crashes_on
+                                   : attribution_.crashes_off);
+        break;
+      case ActionKind::kDelayChange:
+        ++(action.on_critical_path ? attribution_.delay_changes_on
+                                   : attribution_.delay_changes_off);
+        break;
+      case ActionKind::kStepTimeChange:
+        ++(action.on_critical_path ? attribution_.step_time_changes_on
+                                   : attribution_.step_time_changes_off);
+        break;
+    }
+  }
+}
+
+void LineageTracker::clear() noexcept {
+  emissions_.clear();
+  nodes_.clear();
+  actions_.clear();
+  for (auto& pending : pending_by_receiver_) pending.clear();
+  std::fill(node_of_process_.begin(), node_of_process_.end(), npos);
+  critical_path_.clear();
+  attribution_ = Attribution{};
+  depth_max_ = 0;
+  width_max_ = 0;
+  finalized_ = false;
+}
+
+void LineageTracker::publish_metrics(MetricsRegistry& registry) const {
+  const Histogram depth = registry.histogram("lineage.infection_depth");
+  for (const InfectionNode& node : nodes_) depth.record(node.depth);
+  registry.histogram("lineage.critical_path_len")
+      .record(critical_path_.size());
+  registry.gauge("lineage.depth_max").note_max(depth_max_);
+  registry.gauge("lineage.width_max").note_max(width_max_);
+}
+
+namespace {
+
+void process_or_null(util::JsonWriter& json, sim::ProcessId p) {
+  if (p == sim::kNoProcess)
+    json.null();
+  else
+    json.value(p);
+}
+
+const char* fate_name(LineageTracker::Fate fate) {
+  switch (fate) {
+    case LineageTracker::Fate::kOmitted: return "omission";
+    case LineageTracker::Fate::kDropped: return "drop";
+    case LineageTracker::Fate::kWiped: return "wipe";
+    default: return "?";
+  }
+}
+
+const char* action_name(LineageTracker::ActionKind kind) {
+  switch (kind) {
+    case LineageTracker::ActionKind::kCrash: return "crash";
+    case LineageTracker::ActionKind::kDelayChange: return "delay-change";
+    case LineageTracker::ActionKind::kStepTimeChange:
+      return "step-time-change";
+  }
+  return "?";
+}
+
+bool is_suppressed(LineageTracker::Fate fate) {
+  return fate == LineageTracker::Fate::kOmitted ||
+         fate == LineageTracker::Fate::kDropped ||
+         fate == LineageTracker::Fate::kWiped;
+}
+
+template <typename WriteFn>
+void write_file(const std::string& path, const WriteFn& write) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  write(out);
+  out.flush();
+  if (!out) throw std::runtime_error("obs: write failed for " + path);
+}
+
+}  // namespace
+
+void write_lineage_ndjson(std::ostream& out, LineageTracker& tracker,
+                          const TraceMeta& meta) {
+  tracker.finalize();
+  const auto& nodes = tracker.nodes();
+  const auto& emissions = tracker.emissions();
+  const auto& actions = tracker.actions();
+  std::uint64_t suppressed = 0;
+  for (const auto& rec : emissions)
+    if (is_suppressed(rec.fate)) ++suppressed;
+
+  {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("schema", kLineageSchema)
+        .member("protocol", std::string_view(meta.protocol))
+        .member("adversary", std::string_view(meta.adversary))
+        .member("n", meta.n)
+        .member("f", meta.f)
+        .member("seed", meta.seed)
+        .member("infected", static_cast<std::uint64_t>(nodes.size()));
+    json.key("last_process");
+    process_or_null(json, nodes.empty() ? sim::kNoProcess
+                                        : nodes.back().process);
+    json.member("last_step",
+                nodes.empty() ? std::uint64_t{0} : nodes.back().step)
+        .member("critical_path_len",
+                static_cast<std::uint64_t>(tracker.critical_path().size()))
+        .member("depth_max", tracker.depth_max())
+        .member("width_max", tracker.width_max())
+        .member("nodes", static_cast<std::uint64_t>(nodes.size()))
+        .member("suppressed", suppressed)
+        .member("actions", static_cast<std::uint64_t>(actions.size()))
+        .end_object();
+    out << json.str() << "\n";
+  }
+
+  for (const auto& node : nodes) {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("kind", "node")
+        .member("p", node.process)
+        .member("step", node.step)
+        .member("depth", node.depth);
+    json.key("parent");
+    process_or_null(json, node.parent);
+    json.member("cause", node.cause)
+        .member("on_critical_path", node.on_critical_path)
+        .end_object();
+    out << json.str() << "\n";
+  }
+
+  for (std::size_t i = 0; i < emissions.size(); ++i) {
+    const auto& rec = emissions[i];
+    if (!is_suppressed(rec.fate)) continue;
+    const bool on = tracker.suppression_on_critical_path(rec);
+    util::JsonWriter json;
+    json.begin_object()
+        .member("kind", "suppressed")
+        .member("action", fate_name(rec.fate));
+    json.key("from");
+    process_or_null(json, rec.from);
+    json.key("to");
+    process_or_null(json, rec.to);
+    json.member("emitted_at", rec.emitted_at)
+        .member("step", rec.resolved_at)
+        .member("id", static_cast<std::uint64_t>(i + 1))
+        .member("on_critical_path", on)
+        .end_object();
+    out << json.str() << "\n";
+  }
+
+  for (const auto& action : actions) {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("kind", "action")
+        .member("action", action_name(action.kind))
+        .member("p", action.process)
+        .member("step", action.step)
+        .member("cause", action.cause)
+        .member("on_critical_path", action.on_critical_path)
+        .end_object();
+    out << json.str() << "\n";
+  }
+
+  {
+    const auto& at = tracker.attribution();
+    util::JsonWriter json;
+    json.begin_object().member("kind", "attribution");
+    json.key("on")
+        .begin_object()
+        .member("omission", at.omissions_on)
+        .member("drop", at.drops_on)
+        .member("wipe", at.wipes_on)
+        .member("crash", at.crashes_on)
+        .member("delay_change", at.delay_changes_on)
+        .member("step_time_change", at.step_time_changes_on)
+        .end_object();
+    json.key("off")
+        .begin_object()
+        .member("omission", at.omissions_off)
+        .member("drop", at.drops_off)
+        .member("wipe", at.wipes_off)
+        .member("crash", at.crashes_off)
+        .member("delay_change", at.delay_changes_off)
+        .member("step_time_change", at.step_time_changes_off)
+        .end_object();
+    json.end_object();
+    out << json.str() << "\n";
+  }
+}
+
+void write_lineage_chrome(std::ostream& out, LineageTracker& tracker,
+                          const TraceMeta& meta) {
+  tracker.finalize();
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+
+  json.begin_object()
+      .member("name", "process_name")
+      .member("ph", "M")
+      .member("pid", 0)
+      .key("args")
+      .begin_object()
+      .member("name", std::string_view("ugf lineage: " + meta.protocol +
+                                       " vs " + meta.adversary))
+      .end_object()
+      .end_object();
+  for (std::uint32_t p = 0; p < meta.n; ++p) {
+    json.begin_object()
+        .member("name", "thread_name")
+        .member("ph", "M")
+        .member("pid", 0)
+        .member("tid", p)
+        .key("args")
+        .begin_object()
+        .member("name", std::string_view("process " + std::to_string(p)))
+        .end_object()
+        .end_object();
+  }
+
+  const auto& emissions = tracker.emissions();
+  for (const auto& node : tracker.nodes()) {
+    if (node.cause == 0 || node.cause > emissions.size()) {
+      // Root: mark the infection instant so the tree has visible seeds.
+      json.begin_object()
+          .member("name", "infected (root)")
+          .member("cat", "lineage")
+          .member("ph", "i")
+          .member("s", "t")
+          .member("ts", node.step)
+          .member("pid", 0)
+          .member("tid", node.process)
+          .end_object();
+      continue;
+    }
+    const auto& rec = emissions[node.cause - 1];
+    const char* cat =
+        node.on_critical_path ? "lineage-critical" : "lineage";
+    const std::string id = "lineage:" + std::to_string(node.cause);
+    json.begin_object()
+        .member("name", "infects")
+        .member("cat", cat)
+        .member("ph", "s")
+        .member("id", std::string_view(id))
+        .member("ts", rec.emitted_at)
+        .member("pid", 0)
+        .member("tid", rec.from)
+        .end_object();
+    json.begin_object()
+        .member("name", "infects")
+        .member("cat", cat)
+        .member("ph", "f")
+        .member("bp", "e")
+        .member("id", std::string_view(id))
+        .member("ts", node.step)
+        .member("pid", 0)
+        .member("tid", node.process)
+        .end_object();
+  }
+
+  json.end_array();
+  json.member("displayTimeUnit", "ms");
+  json.key("otherData")
+      .begin_object()
+      .member("schema", kLineageSchema)
+      .member("protocol", std::string_view(meta.protocol))
+      .member("adversary", std::string_view(meta.adversary))
+      .member("n", meta.n)
+      .member("f", meta.f)
+      .member("seed", meta.seed)
+      .member("critical_path_len",
+              static_cast<std::uint64_t>(tracker.critical_path().size()))
+      .end_object();
+  json.end_object();
+  out << json.str() << "\n";
+}
+
+void write_lineage_ndjson_file(const std::string& path,
+                               LineageTracker& tracker,
+                               const TraceMeta& meta) {
+  write_file(path, [&](std::ostream& out) {
+    write_lineage_ndjson(out, tracker, meta);
+  });
+}
+
+void write_lineage_chrome_file(const std::string& path,
+                               LineageTracker& tracker,
+                               const TraceMeta& meta) {
+  write_file(path, [&](std::ostream& out) {
+    write_lineage_chrome(out, tracker, meta);
+  });
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,213 @@
+#pragma once
+
+/// \file lineage.hpp
+/// Causal lineage of one run: who infected whom, through which exact
+/// emission, and which adversary decisions stood in the way.
+///
+/// `LineageTracker` is an `EventSink` that folds the engine's typed
+/// event stream (obs/event.hpp) into a propagation DAG online, keyed by
+/// the per-emission `cause` ids the engine assigns on the hot path:
+///
+///   * one `EmissionRec` per emission attempt (accepted, omitted or
+///     dropped alike), resolved to a final `Fate` as later events name
+///     the same id;
+///   * one `InfectionNode` per process that ever held gossip 0, with a
+///     parent edge to the emission whose delivery flipped the bit and a
+///     depth = parent depth + 1 (roots — infected at run start or by
+///     local protocol state — have depth 0 and no parent);
+///   * one `AdversaryAction` per node-like adversary decision (crash,
+///     delay-change, step-time-change), attributed to the emission the
+///     adversary was reacting to when it decided.
+///
+/// `finalize()` then computes the run's **critical path**: the exact
+/// emission→delivery chain from a root to the *last* process infected —
+/// the chain whose completion time is the run's spreading time. On top
+/// of it sit the adversary-attribution summaries: an edge-like
+/// suppression (omission / drop / crash-wipe of an emission targeting
+/// process r) counts as *on the critical path* iff r is a critical-path
+/// node and the emission predates r's infection — i.e. the adversary
+/// burned budget delaying the chain that ended up mattering; a
+/// node-like decision counts iff its victim is a critical-path node.
+///
+/// Serialization: `write_lineage_ndjson` renders the DAG as the
+/// versioned `ugf-lineage-v1` artifact (meta line, then node /
+/// suppressed / action / attribution records, one JSON object per
+/// line); `write_lineage_chrome` renders the parent edges as Chrome
+/// trace_event flow arrows (critical-path edges in their own category)
+/// so chrome://tracing draws the infection tree. Both are
+/// deterministic: same run, same bytes — the tracker holds no pointers,
+/// timestamps or thread state, so lineage output is bit-identical
+/// across Monte-Carlo thread counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace ugf::obs {
+
+struct TraceMeta;  // obs/export.hpp
+
+/// Lineage artifact schema version (bumped on breaking changes).
+inline constexpr const char* kLineageSchema = "ugf-lineage-v1";
+
+/// Folds a run's event stream into its infection DAG. Attach to one
+/// run (directly or via TeeSink), then call `finalize()` — or just one
+/// of the writers, which finalize for you.
+class LineageTracker final : public EventSink {
+ public:
+  /// What finally happened to one emission attempt.
+  enum class Fate : std::uint8_t {
+    kPending,    ///< still in flight when the run ended
+    kDelivered,  ///< delivered to its receiver
+    kOmitted,    ///< suppressed by the adversary at emission time
+    kDropped,    ///< receiver already crashed at emission time
+    kWiped,      ///< accepted, then lost to the receiver's crash wipe
+  };
+
+  /// One emission attempt, indexed by `cause - 1`.
+  struct EmissionRec {
+    sim::ProcessId from = sim::kNoProcess;
+    sim::ProcessId to = sim::kNoProcess;
+    sim::GlobalStep emitted_at = 0;
+    /// Step of delivery / omission / drop / wipe (meaning per fate).
+    sim::GlobalStep resolved_at = 0;
+    Fate fate = Fate::kPending;
+  };
+
+  /// One process's infection (it first held gossip 0).
+  struct InfectionNode {
+    sim::ProcessId process = sim::kNoProcess;
+    sim::GlobalStep step = 0;
+    /// Emission whose delivery infected it; 0 for roots.
+    std::uint64_t cause = 0;
+    /// Infecting sender; kNoProcess for roots.
+    sim::ProcessId parent = sim::kNoProcess;
+    std::uint32_t depth = 0;
+    bool on_critical_path = false;
+  };
+
+  /// Node-like adversary decision (edge-like suppressions live in the
+  /// EmissionRec fates instead).
+  enum class ActionKind : std::uint8_t {
+    kCrash,
+    kDelayChange,
+    kStepTimeChange,
+  };
+  struct AdversaryAction {
+    ActionKind kind = ActionKind::kCrash;
+    sim::ProcessId process = sim::kNoProcess;
+    sim::GlobalStep step = 0;
+    /// Emission the adversary was reacting to; 0 = decision taken from
+    /// on_run_start / on_timer, outside any emission.
+    std::uint64_t cause = 0;
+    bool on_critical_path = false;
+  };
+
+  /// Budget attribution relative to the critical path.
+  struct Attribution {
+    std::uint64_t omissions_on = 0, omissions_off = 0;
+    std::uint64_t drops_on = 0, drops_off = 0;
+    std::uint64_t wipes_on = 0, wipes_off = 0;
+    std::uint64_t crashes_on = 0, crashes_off = 0;
+    std::uint64_t delay_changes_on = 0, delay_changes_off = 0;
+    std::uint64_t step_time_changes_on = 0, step_time_changes_off = 0;
+  };
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Computes critical path, per-record attribution flags and the
+  /// summary. Idempotent; every later on_event() is rejected.
+  void finalize();
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Rewinds the tracker for another run (capacity retained).
+  void clear() noexcept;
+
+  // --- results (all valid after finalize) ----------------------------------
+  [[nodiscard]] const std::vector<EmissionRec>& emissions() const noexcept {
+    return emissions_;
+  }
+  [[nodiscard]] const std::vector<InfectionNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<AdversaryAction>& actions() const noexcept {
+    return actions_;
+  }
+  /// Emission ids of the critical path, root-side first; empty when no
+  /// process was infected or the last infection is itself a root.
+  [[nodiscard]] const std::vector<std::uint64_t>& critical_path()
+      const noexcept {
+    return critical_path_;
+  }
+  [[nodiscard]] const Attribution& attribution() const noexcept {
+    return attribution_;
+  }
+  /// The last process infected (the critical path's tip); index into
+  /// nodes(), or nodes().size() when no process was ever infected.
+  [[nodiscard]] std::size_t last_node_index() const noexcept {
+    return nodes_.empty() ? 0 : nodes_.size() - 1;
+  }
+  [[nodiscard]] std::uint32_t depth_max() const noexcept { return depth_max_; }
+  [[nodiscard]] std::uint32_t width_max() const noexcept { return width_max_; }
+  /// Whether a suppressed emission delayed the chain that mattered:
+  /// its target is a critical-path node and the emission predates the
+  /// target's infection. Valid after finalize().
+  [[nodiscard]] bool suppression_on_critical_path(
+      const EmissionRec& rec) const noexcept {
+    const std::size_t target = node_index(rec.to);
+    return target != npos && nodes_[target].on_critical_path &&
+           rec.emitted_at < nodes_[target].step;
+  }
+
+  /// Publishes lineage series into a campaign registry (after
+  /// finalize): `lineage.infection_depth` (histogram, one sample per
+  /// node), `lineage.critical_path_len` (histogram, one per run),
+  /// `lineage.depth_max` / `lineage.width_max` (max gauges).
+  void publish_metrics(MetricsRegistry& registry) const;
+
+ private:
+  std::vector<EmissionRec> emissions_;
+  std::vector<InfectionNode> nodes_;
+  std::vector<AdversaryAction> actions_;
+  /// Emission ids accepted for each receiver and not yet resolved —
+  /// the candidates a crash wipe kills. Lazily pruned: entries whose
+  /// fate is no longer kPending are skipped at wipe time.
+  std::vector<std::vector<std::uint64_t>> pending_by_receiver_;
+  /// nodes_ index per process; npos when never infected.
+  std::vector<std::size_t> node_of_process_;
+  std::vector<std::uint64_t> critical_path_;
+  Attribution attribution_;
+  std::uint32_t depth_max_ = 0;
+  std::uint32_t width_max_ = 0;
+  bool finalized_ = false;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t node_index(sim::ProcessId p) const noexcept {
+    return p < node_of_process_.size() ? node_of_process_[p] : npos;
+  }
+  void ensure_process(sim::ProcessId p);
+};
+
+/// Writes the `ugf-lineage-v1` NDJSON artifact (finalizes the tracker).
+void write_lineage_ndjson(std::ostream& out, LineageTracker& tracker,
+                          const TraceMeta& meta);
+
+/// Writes the infection DAG as Chrome trace_event flow arrows
+/// (finalizes the tracker).
+void write_lineage_chrome(std::ostream& out, LineageTracker& tracker,
+                          const TraceMeta& meta);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void write_lineage_ndjson_file(const std::string& path,
+                               LineageTracker& tracker, const TraceMeta& meta);
+void write_lineage_chrome_file(const std::string& path,
+                               LineageTracker& tracker, const TraceMeta& meta);
+
+}  // namespace ugf::obs

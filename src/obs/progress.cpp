@@ -76,9 +76,17 @@ std::string SweepProgress::build_line_locked() const {
   line += buf;
   std::snprintf(buf, sizeof buf, " | %.1f runs/s", rate);
   line += buf;
-  if (total > done && rate > 0.0) {
-    std::snprintf(buf, sizeof buf, " | eta %.1fs",
-                  static_cast<double>(total - done) / rate);
+  if (total > done) {
+    // No observed rate yet (first window, zero completed runs) — or a
+    // rate so tiny the projection is meaningless — renders as a frank
+    // "unknown" instead of a garbage multi-year estimate.
+    const double eta = rate > 0.0 ? static_cast<double>(total - done) / rate
+                                  : -1.0;
+    if (eta >= 0.0 && eta < 1e7) {
+      std::snprintf(buf, sizeof buf, " | eta %.1fs", eta);
+    } else {
+      std::snprintf(buf, sizeof buf, " | eta --:--");
+    }
     line += buf;
   }
   std::snprintf(buf, sizeof buf, " | workers %llu",

@@ -197,7 +197,7 @@ class Engine::ControlImpl final : public AdversaryControl {
     UGF_ASSERT(engine_.procs_[p].d >= 1);
     if (engine_.procs_[p].d != old)
       engine_.emit(obs::EventType::kDelayChange, engine_.now_, p, kNoProcess,
-                   engine_.procs_[p].d, old);
+                   engine_.procs_[p].d, old, engine_.hook_cause_);
   }
 
   void set_local_step_time(ProcessId p, std::uint64_t delta) override {
@@ -208,7 +208,8 @@ class Engine::ControlImpl final : public AdversaryControl {
     UGF_ASSERT(engine_.procs_[p].delta >= 1);
     if (engine_.procs_[p].delta != old)
       engine_.emit(obs::EventType::kStepTimeChange, engine_.now_, p,
-                   kNoProcess, engine_.procs_[p].delta, old);
+                   kNoProcess, engine_.procs_[p].delta, old,
+                   engine_.hook_cause_);
   }
 
   void request_timer(GlobalStep step) override {
@@ -282,6 +283,7 @@ void Engine::init_run_state() {
   ran_ = false;
   in_emission_hook_ = false;
   suppress_current_ = false;
+  hook_cause_ = 0;
   reached_.clear();
   reached_count_ = 0;
 
@@ -314,21 +316,28 @@ void Engine::crash_process(ProcessId pid) {
   outcome_.dropped_messages += wiped;
   rt.inbox.clear();
   rt.outgoing.clear();
-  emit(obs::EventType::kCrash, now_, pid, kNoProcess, wiped, crashes_used_);
-  if (wiped > 0) emit(obs::EventType::kDrop, now_, pid, kNoProcess, wiped);
+  // A crash (and its inbox wipe) taken inside on_message_emitted is
+  // attributed to the emission the adversary was reacting to.
+  emit(obs::EventType::kCrash, now_, pid, kNoProcess, wiped, crashes_used_,
+       hook_cause_);
+  if (wiped > 0)
+    emit(obs::EventType::kDrop, now_, pid, kNoProcess, wiped, 0, hook_cause_);
 }
 
-void Engine::note_infection(ProcessId pid, GlobalStep step) {
+bool Engine::holds_gossip0(const Protocol& protocol) {
+  if (const util::DynamicBitset* bits = protocol.gossip_bits())
+    return bits->test(0);
+  return protocol.has_gossip_of(0);
+}
+
+void Engine::note_infection(ProcessId pid, GlobalStep step,
+                            std::uint64_t cause) {
   if (config_.sink == nullptr || reached_[pid] != 0) return;
-  const Protocol& protocol = *procs_[pid].protocol;
-  if (const util::DynamicBitset* bits = protocol.gossip_bits()) {
-    if (!bits->test(0)) return;
-  } else if (!protocol.has_gossip_of(0)) {
-    return;
-  }
+  if (!holds_gossip0(*procs_[pid].protocol)) return;
   reached_[pid] = 1;
   ++reached_count_;
-  emit(obs::EventType::kInfection, step, pid, kNoProcess, reached_count_);
+  emit(obs::EventType::kInfection, step, pid, kNoProcess, reached_count_, 0,
+       cause);
 }
 
 void Engine::schedule_begin_direct(ProcessId pid, GlobalStep at) {
@@ -356,8 +365,14 @@ void Engine::handle_step_begin(const ScheduledEvent& ev) {
 
   emit(obs::EventType::kStepBegin, s, ev.pid, kNoProcess, rt.inbox.size());
 
-  // Deliver everything that has arrived by the start of the step.
+  // Deliver everything that has arrived by the start of the step. When
+  // a sink wants provenance and this process has not held gossip 0 yet,
+  // the first delivery that flips the bit is latched as the infection's
+  // cause (0 if local protocol state flips it without a delivery).
   Message msg;
+  std::uint64_t infection_cause = 0;
+  const bool watch_infection =
+      config_.sink != nullptr && reached_[ev.pid] == 0;
   while (rt.inbox.pop_due(s, msg)) {
     UGF_ASSERT_MSG(msg.to == ev.pid, "message for %u delivered to %u", msg.to,
                    ev.pid);
@@ -367,10 +382,14 @@ void Engine::handle_step_begin(const ScheduledEvent& ev) {
                    static_cast<unsigned long long>(msg.arrives_at));
     ++outcome_.delivered_messages;
     emit(obs::EventType::kDelivery, s, ev.pid, msg.from, msg.sent_at,
-         msg.arrives_at);
+         msg.arrives_at, msg.cause);
     {
       obs::ScopedPhase phase(config_.profiler, obs::Phase::kProtocol);
       rt.protocol->on_message(ctx, msg);
+    }
+    if (watch_infection && infection_cause == 0 &&
+        holds_gossip0(*rt.protocol)) {
+      infection_cause = msg.cause;
     }
   }
 
@@ -378,7 +397,7 @@ void Engine::handle_step_begin(const ScheduledEvent& ev) {
     obs::ScopedPhase phase(config_.profiler, obs::Phase::kProtocol);
     rt.protocol->on_local_step(ctx);
   }
-  if (config_.sink != nullptr) note_infection(ev.pid, s);
+  if (config_.sink != nullptr) note_infection(ev.pid, s, infection_cause);
 
   const GlobalStep end = sat_add(s, rt.delta);
   ++rt.end_token;
@@ -406,34 +425,42 @@ void Engine::handle_step_end(const ScheduledEvent& ev) {
     ++rt.sent;
     ++outcome_.total_messages;
     outcome_.last_send_step = std::max(outcome_.last_send_step, e);
-    emit(obs::EventType::kEmission, e, ev.pid, to, rt.sent, rt.d);
+    // One 1-based emission id per attempt — accepted, omitted or dropped
+    // alike — so every downstream event (and every adversary reaction)
+    // can name the exact emission that triggered it. The same counter
+    // breaks inbox arrival ties: accepted messages still carry strictly
+    // increasing seqs in emission order.
+    const std::uint64_t cause = ++next_msg_seq_;
+    emit(obs::EventType::kEmission, e, ev.pid, to, rt.sent, rt.d, cause);
     if (adversary_ != nullptr) {
       in_emission_hook_ = true;
       suppress_current_ = false;
+      hook_cause_ = cause;
       {
         obs::ScopedPhase phase(config_.profiler, obs::Phase::kAdversary);
         adversary_->on_message_emitted(*control_,
                                        SendEvent{ev.pid, to, e, rt.sent});
       }
       in_emission_hook_ = false;
+      hook_cause_ = 0;
       if (suppress_current_) {
         ++outcome_.omitted_messages;
-        emit(obs::EventType::kOmission, e, ev.pid, to);
+        emit(obs::EventType::kOmission, e, ev.pid, to, 0, 0, cause);
         continue;
       }
     }
     auto& target = procs_[to];
     if (target.state == ProcessState::kCrashed) {
       ++outcome_.dropped_messages;
-      emit(obs::EventType::kDrop, e, to, ev.pid, 1);
+      emit(obs::EventType::kDrop, e, to, ev.pid, 1, 0, cause);
       continue;
     }
     // A suppressed (omitted) message must never reach this acceptance
     // path — the `continue` above it is what "omission" means.
     UGF_ASSERT(!suppress_current_);
     const GlobalStep arrival = sat_add(e, rt.d);
-    target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, payload},
-                      next_msg_seq_++);
+    target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, payload, cause},
+                      cause);
     if (target.state == ProcessState::kAsleep) schedule_wake(to, arrival);
   }
   rt.outgoing.clear();

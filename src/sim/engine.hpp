@@ -233,13 +233,18 @@ class Engine {
   /// Feeds one observation to the attached sink; no-op when detached.
   void emit(obs::EventType type, GlobalStep step, ProcessId a,
             ProcessId b = kNoProcess, std::uint64_t v0 = 0,
-            std::uint64_t v1 = 0) {
+            std::uint64_t v1 = 0, std::uint64_t cause = 0) {
     if (config_.sink != nullptr) [[unlikely]]
-      config_.sink->on_event(obs::TraceEvent{step, v0, v1, a, b, type});
+      config_.sink->on_event(obs::TraceEvent{step, v0, v1, a, b, type, cause});
   }
   /// Emits kInfection the first time `pid` holds the gossip of process
   /// 0 (rumor-spreading progress; only evaluated with a sink attached).
-  void note_infection(ProcessId pid, GlobalStep step);
+  /// `cause` is the emission id whose delivery flipped the gossip bit
+  /// this step (0 when infected at run start or by local state alone).
+  void note_infection(ProcessId pid, GlobalStep step, std::uint64_t cause = 0);
+  /// True iff `protocol` currently holds gossip 0 (word-parallel via
+  /// gossip_bits() when exposed, virtual fallback otherwise).
+  [[nodiscard]] static bool holds_gossip0(const Protocol& protocol);
 
   EngineConfig config_;
   const ProtocolFactory& factory_;
@@ -249,6 +254,10 @@ class Engine {
   PayloadArena arena_;
   TimingWheel events_;
   std::uint64_t next_seq_ = 0;
+  /// Emission ids handed out so far; pre-incremented once per emission
+  /// attempt (accepted, omitted or dropped alike), so the id is 1-based
+  /// and doubles as the inbox arrival tie-break — accepted messages
+  /// still carry strictly increasing seqs in emission order.
   std::uint64_t next_msg_seq_ = 0;
   GlobalStep now_ = 0;
   std::uint32_t crashes_used_ = 0;
@@ -256,6 +265,10 @@ class Engine {
   bool was_reset_ = false;  ///< this run cycle began with a reset()
   bool in_emission_hook_ = false;
   bool suppress_current_ = false;
+  /// Emission id the adversary is currently reacting to (valid inside
+  /// on_message_emitted); stamps causal attribution onto the decision
+  /// events (crash / wipe / delay-change / step-time-change).
+  std::uint64_t hook_cause_ = 0;
 
   /// Infection flags (reached_[p] == 1 once p held gossip 0); only
   /// maintained when a sink is attached.

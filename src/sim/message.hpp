@@ -52,6 +52,10 @@ struct Message {
   GlobalStep sent_at = 0;     ///< global step of emission (end of local step)
   GlobalStep arrives_at = 0;  ///< sent_at + d_from(at send time)
   PayloadRef payload;
+  /// 1-based id of the emission that put this message on the wire —
+  /// the causal identity obs::LineageTracker stitches deliveries to
+  /// (obs/event.hpp). Doubles as the inbox's arrival tie-break.
+  std::uint64_t cause = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<Message>);

@@ -151,6 +151,29 @@ TEST(ObsEvents, RecorderRingKeepsMostRecentAndCountsDropped) {
   EXPECT_EQ(ring.dropped_events(), 0u);
 }
 
+TEST(ObsEvents, RecorderRingExactMultipleWrapKeepsEmissionOrder) {
+  // Pushing exactly 2x capacity leaves head_ back at slot 0: the
+  // buffer is physically in order again, so events() must take its
+  // no-rotation path and still return the latest `capacity` events.
+  obs::EventRecorder ring(4);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ring.on_event(TraceEvent{i, i, 0, 0, 0, EventType::kSleep});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped_events(), 4u);
+  const auto ordered = ring.events();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ordered[i].step, 4u + i);  // steps 4..7, oldest first
+
+  // One more event wraps the head off slot 0 again; order must hold.
+  ring.on_event(TraceEvent{8, 8, 0, 0, 0, EventType::kSleep});
+  const auto rotated = ring.events();
+  ASSERT_EQ(rotated.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(rotated[i].step, 5u + i);  // steps 5..8
+  EXPECT_EQ(ring.dropped_events(), 5u);
+}
+
 TEST(ObsEvents, UnboundedRecorderNeverDrops) {
   obs::EventRecorder recorder;
   for (std::uint64_t i = 0; i < 1000; ++i)
@@ -186,6 +209,15 @@ TEST(ObsEvents, TeeSinkForwardsToBothAndToleratesNull) {
   obs::TeeSink half(nullptr, &left);
   half.on_event(TraceEvent{4, 0, 0, 0, 0, EventType::kSleep});
   EXPECT_EQ(left.total(), 2u);
+
+  // Null in the *second* slot takes the other early-out branch.
+  obs::TeeSink other_half(&left, nullptr);
+  other_half.on_event(TraceEvent{5, 0, 0, 0, 0, EventType::kSleep});
+  EXPECT_EQ(left.total(), 3u);
+
+  // Both null: a degenerate but legal tee that must simply do nothing.
+  obs::TeeSink none(nullptr, nullptr);
+  none.on_event(TraceEvent{6, 0, 0, 0, 0, EventType::kSleep});
 }
 
 }  // namespace

@@ -1,0 +1,342 @@
+// LineageTracker ground truth and determinism.
+//
+// The tracker is a pure fold over the engine's event stream, so every
+// claim it makes must be checkable against the stream itself: each
+// infection node's parent edge names an emission the recorder actually
+// saw (emitted by the parent, delivered to the child at the child's
+// infection step), the critical path replays hop by hop into exactly
+// the recorded last infection, and the attribution tallies add up to
+// the run's Outcome counters. The nine golden rows from
+// test_engine_reuse.cpp pin all of that across the three protocols and
+// three UGF strategy families; on top sit byte-identity checks for the
+// ugf-lineage-v1 artifact (repeat runs, tracker reuse via clear()).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/adversary_registry.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "obs/lineage.hpp"
+#include "obs/metrics.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ugf;
+using obs::EventType;
+using obs::LineageTracker;
+using obs::TraceEvent;
+
+struct GoldenCell {
+  std::uint64_t seed;
+  const char* protocol;
+};
+
+// Same matrix as the golden Outcome table in test_engine_reuse.cpp:
+// n = 16, f = 4, run_index = 0, adversary "ugf", seeds covering
+// Strategy 1, Strategy 2.k.0 and Strategy 2.k.l.
+const std::vector<GoldenCell>& golden_cells() {
+  static const std::vector<GoldenCell> cells = {
+      {2, "push-pull"},        {2, "ears"},        {2, "sears"},
+      {6, "push-pull"},        {6, "ears"},        {6, "sears"},
+      {0xB0D1E5, "push-pull"}, {0xB0D1E5, "ears"}, {0xB0D1E5, "sears"},
+  };
+  return cells;
+}
+
+runner::RunSpec golden_spec(const GoldenCell& cell) {
+  runner::RunSpec spec;
+  spec.n = 16;
+  spec.f = 4;
+  spec.runs = 1;
+  spec.base_seed = cell.seed;
+  return spec;
+}
+
+/// One golden run, observed twice over: the recorder keeps the raw
+/// stream (ground truth), the tracker folds it into the DAG.
+struct ObservedRun {
+  std::vector<TraceEvent> events;
+  LineageTracker tracker;
+  runner::RunRecord record;
+};
+
+void observe(const GoldenCell& cell, ObservedRun& run) {
+  const auto protocol = protocols::make_protocol(cell.protocol);
+  const auto adversary = core::make_adversary("ugf");
+  obs::EventRecorder recorder;
+  obs::TeeSink tee(&recorder, &run.tracker);
+  run.record = runner::MonteCarloRunner::run_once(
+      golden_spec(cell), 0, *protocol, *adversary, &tee);
+  run.events = recorder.raw();
+  run.tracker.finalize();
+}
+
+const TraceEvent* find_by_cause(const std::vector<TraceEvent>& events,
+                                EventType type, std::uint64_t cause) {
+  for (const TraceEvent& ev : events)
+    if (ev.type == type && ev.cause == cause) return &ev;
+  return nullptr;
+}
+
+class GoldenLineageTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenLineageTest, EveryParentEdgeIsARecordedDelivery) {
+  ObservedRun run;
+  observe(golden_cells()[GetParam()], run);
+  const auto& nodes = run.tracker.nodes();
+
+  // One node per recorded infection, in stream order.
+  std::size_t infections = 0;
+  for (const TraceEvent& ev : run.events)
+    if (ev.type == EventType::kInfection) {
+      ASSERT_LT(infections, nodes.size());
+      EXPECT_EQ(nodes[infections].process, ev.a);
+      EXPECT_EQ(nodes[infections].step, ev.step);
+      EXPECT_EQ(nodes[infections].cause, ev.cause);
+      ++infections;
+    }
+  EXPECT_EQ(infections, nodes.size());
+
+  for (const LineageTracker::InfectionNode& node : nodes) {
+    if (node.cause == 0) {
+      EXPECT_EQ(node.parent, sim::kNoProcess);
+      EXPECT_EQ(node.depth, 0u);
+      continue;
+    }
+    // The infecting emission exists, was sent by the recorded parent,
+    // and its delivery landed on this process at the infection step.
+    const TraceEvent* emitted =
+        find_by_cause(run.events, EventType::kEmission, node.cause);
+    ASSERT_NE(emitted, nullptr) << "emission #" << node.cause;
+    EXPECT_EQ(emitted->a, node.parent);
+    EXPECT_LE(emitted->step, node.step);
+    const TraceEvent* delivered =
+        find_by_cause(run.events, EventType::kDelivery, node.cause);
+    ASSERT_NE(delivered, nullptr) << "delivery of #" << node.cause;
+    EXPECT_EQ(delivered->a, node.process);
+    EXPECT_EQ(delivered->step, node.step);
+  }
+}
+
+TEST_P(GoldenLineageTest, CriticalPathReplaysIntoTheLastInfection) {
+  ObservedRun run;
+  observe(golden_cells()[GetParam()], run);
+  const auto& nodes = run.tracker.nodes();
+  const auto& path = run.tracker.critical_path();
+  ASSERT_FALSE(nodes.empty());
+
+  // Ground truth tip: the last kInfection event in the stream.
+  const TraceEvent* last = nullptr;
+  for (const TraceEvent& ev : run.events)
+    if (ev.type == EventType::kInfection) last = &ev;
+  ASSERT_NE(last, nullptr);
+  const LineageTracker::InfectionNode& tip = nodes.back();
+  EXPECT_EQ(tip.process, last->a);
+  EXPECT_EQ(tip.step, last->step);
+
+  // Replay the chain root-side first: each hop's recorded delivery
+  // infects the next process, the final hop infects exactly the
+  // recorded last process at the recorded step.
+  EXPECT_EQ(path.size(), tip.depth);
+  sim::ProcessId at = sim::kNoProcess;
+  sim::GlobalStep infected_at = 0;
+  for (std::size_t hop = 0; hop < path.size(); ++hop) {
+    const TraceEvent* emitted =
+        find_by_cause(run.events, EventType::kEmission, path[hop]);
+    const TraceEvent* delivered =
+        find_by_cause(run.events, EventType::kDelivery, path[hop]);
+    ASSERT_NE(emitted, nullptr) << "hop " << hop;
+    ASSERT_NE(delivered, nullptr) << "hop " << hop;
+    if (hop == 0) {
+      // The chain starts at a root (depth 0, infected at step 0 or by
+      // local state; its node carries no cause).
+      at = emitted->a;
+    } else {
+      EXPECT_EQ(emitted->a, at) << "hop " << hop << " sender mismatch";
+      EXPECT_GE(emitted->step, infected_at)
+          << "hop " << hop << " emitted before its sender was infected";
+    }
+    at = delivered->a;
+    infected_at = delivered->step;
+  }
+  EXPECT_EQ(at, last->a);
+  EXPECT_EQ(infected_at, last->step);
+
+  // Exactly depth+1 nodes are flagged on the path, depths 0..depth.
+  std::vector<bool> seen_depth(tip.depth + 1, false);
+  std::size_t flagged = 0;
+  for (const LineageTracker::InfectionNode& node : nodes)
+    if (node.on_critical_path) {
+      ++flagged;
+      ASSERT_LE(node.depth, tip.depth);
+      EXPECT_FALSE(seen_depth[node.depth]) << "two path nodes at one depth";
+      seen_depth[node.depth] = true;
+    }
+  EXPECT_EQ(flagged, static_cast<std::size_t>(tip.depth) + 1);
+}
+
+TEST_P(GoldenLineageTest, AttributionTalliesMatchTheOutcome) {
+  ObservedRun run;
+  observe(golden_cells()[GetParam()], run);
+  const sim::Outcome& out = run.record.outcome;
+  const LineageTracker::Attribution& at = run.tracker.attribution();
+
+  EXPECT_EQ(at.omissions_on + at.omissions_off, out.omitted_messages);
+  // Outcome::dropped_messages counts both at-emission drops and
+  // crash-wipe losses; the tracker splits them by mechanism.
+  EXPECT_EQ(at.drops_on + at.drops_off + at.wipes_on + at.wipes_off,
+            out.dropped_messages);
+  EXPECT_EQ(at.crashes_on + at.crashes_off, out.crashed);
+
+  // Every emission resolved: pending ones are exactly the in-flight
+  // remainder, which a non-truncated run does not have.
+  ASSERT_FALSE(out.truncated);
+  std::uint64_t delivered = 0, suppressed = 0, pending = 0;
+  for (const LineageTracker::EmissionRec& rec : run.tracker.emissions()) {
+    switch (rec.fate) {
+      case LineageTracker::Fate::kDelivered: ++delivered; break;
+      case LineageTracker::Fate::kPending: ++pending; break;
+      default: ++suppressed; break;
+    }
+  }
+  EXPECT_EQ(run.tracker.emissions().size(), out.total_messages);
+  EXPECT_EQ(delivered, out.delivered_messages);
+  EXPECT_EQ(suppressed, out.dropped_messages + out.omitted_messages);
+  EXPECT_EQ(pending, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GoldenLineageTest, ::testing::Range<std::size_t>(0, 9),
+    [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+      const GoldenCell& cell = golden_cells()[param_info.param];
+      std::string name = cell.protocol;
+      name += "_seed_";
+      name += std::to_string(cell.seed);
+      for (auto& c : name)
+        if (c == '-' || c == '.') c = '_';
+      return name;
+    });
+
+// ---- Determinism of the serialized artifact -----------------------------
+
+std::string lineage_bytes(LineageTracker& tracker) {
+  obs::TraceMeta meta;
+  meta.protocol = "push-pull";
+  meta.adversary = "ugf";
+  meta.n = 16;
+  meta.f = 4;
+  meta.seed = 6;
+  std::ostringstream out;
+  obs::write_lineage_ndjson(out, tracker, meta);
+  return out.str();
+}
+
+TEST(ObsLineage, ArtifactIsByteIdenticalAcrossRunsAndTrackerReuse) {
+  const GoldenCell cell{6, "push-pull"};
+  ObservedRun first;
+  observe(cell, first);
+  const std::string baseline = lineage_bytes(first.tracker);
+  ASSERT_FALSE(baseline.empty());
+
+  // Fresh tracker, fresh engine: same bytes.
+  ObservedRun second;
+  observe(cell, second);
+  EXPECT_EQ(lineage_bytes(second.tracker), baseline);
+
+  // Reused tracker (clear() between runs): still the same bytes.
+  second.tracker.clear();
+  EXPECT_FALSE(second.tracker.finalized());
+  const auto protocol = protocols::make_protocol(cell.protocol);
+  const auto adversary = core::make_adversary("ugf");
+  (void)runner::MonteCarloRunner::run_once(golden_spec(cell), 0, *protocol,
+                                           *adversary, &second.tracker);
+  EXPECT_EQ(lineage_bytes(second.tracker), baseline);
+}
+
+TEST(ObsLineage, ChromeFlowArtifactIsDeterministic) {
+  const GoldenCell cell{2, "ears"};
+  ObservedRun a, b;
+  observe(cell, a);
+  observe(cell, b);
+  obs::TraceMeta meta;
+  meta.protocol = cell.protocol;
+  meta.adversary = "ugf";
+  meta.n = 16;
+  meta.f = 4;
+  meta.seed = cell.seed;
+  std::ostringstream out_a, out_b;
+  obs::write_lineage_chrome(out_a, a.tracker, meta);
+  obs::write_lineage_chrome(out_b, b.tracker, meta);
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_NE(out_a.str().find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(out_a.str().find("lineage-critical"), std::string::npos);
+}
+
+// ---- Benign runs and metrics --------------------------------------------
+
+TEST(ObsLineage, BenignRunHasOneRootAndNoSuppressions) {
+  const auto protocol = protocols::make_protocol("push-pull");
+  const auto adversary = core::make_adversary("none");
+  LineageTracker tracker;
+  runner::RunSpec spec;
+  spec.n = 25;
+  spec.f = 7;
+  spec.runs = 1;
+  spec.base_seed = 3;
+  (void)runner::MonteCarloRunner::run_once(spec, 0, *protocol, *adversary,
+                                           &tracker);
+  tracker.finalize();
+  ASSERT_EQ(tracker.nodes().size(), 25u);  // benign push-pull reaches all
+  std::size_t roots = 0;
+  for (const LineageTracker::InfectionNode& node : tracker.nodes())
+    if (node.depth == 0) ++roots;
+  EXPECT_EQ(roots, 1u);  // only the initially-infected process
+  EXPECT_EQ(tracker.actions().size(), 0u);
+  const LineageTracker::Attribution& at = tracker.attribution();
+  EXPECT_EQ(at.omissions_on + at.omissions_off + at.drops_on + at.drops_off +
+                at.wipes_on + at.wipes_off,
+            0u);
+  EXPECT_GE(tracker.depth_max(), 1u);
+  EXPECT_GE(tracker.width_max(), 1u);
+  EXPECT_EQ(tracker.critical_path().size(), tracker.nodes().back().depth);
+}
+
+TEST(ObsLineage, PublishMetricsRegistersTheLineageSeries) {
+  const auto protocol = protocols::make_protocol("push-pull");
+  const auto adversary = core::make_adversary("ugf");
+  LineageTracker tracker;
+  runner::RunSpec spec;
+  spec.n = 16;
+  spec.f = 4;
+  spec.runs = 1;
+  spec.base_seed = 2;
+  (void)runner::MonteCarloRunner::run_once(spec, 0, *protocol, *adversary,
+                                           &tracker);
+  tracker.finalize();
+  obs::MetricsRegistry registry;
+  tracker.publish_metrics(registry);
+  const auto snapshot = registry.snapshot();
+  const auto* depth = snapshot.find_histogram("lineage.infection_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->count, tracker.nodes().size());
+  const auto* path_len = snapshot.find_histogram("lineage.critical_path_len");
+  ASSERT_NE(path_len, nullptr);
+  EXPECT_EQ(path_len->count, 1u);
+  EXPECT_EQ(path_len->max, tracker.critical_path().size());
+  const auto* depth_max = snapshot.find_gauge("lineage.depth_max");
+  ASSERT_NE(depth_max, nullptr);
+  EXPECT_EQ(depth_max->value, tracker.depth_max());
+  const auto* width_max = snapshot.find_gauge("lineage.width_max");
+  ASSERT_NE(width_max, nullptr);
+  EXPECT_EQ(width_max->value, tracker.width_max());
+}
+
+}  // namespace

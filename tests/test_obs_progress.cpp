@@ -87,6 +87,31 @@ TEST(SweepProgress, WorkerGaugeTracksBeginEnd) {
   EXPECT_NE(progress.current_line().find("workers 1"), std::string::npos);
 }
 
+TEST(SweepProgress, ZeroRateEtaRendersAsUnknown) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  progress.add_planned_runs(100);
+  // Planned work but no completed run yet: the observed rate is zero,
+  // so any numeric projection would be garbage. The line must still
+  // carry an eta field — rendered as the frank "--:--" placeholder.
+  const std::string line = progress.current_line();
+  EXPECT_NE(line.find("eta --:--"), std::string::npos) << line;
+  EXPECT_EQ(line.find("eta inf"), std::string::npos) << line;
+  EXPECT_EQ(line.find("eta nan"), std::string::npos) << line;
+}
+
+TEST(SweepProgress, CompletedRunsProduceNumericEta) {
+  CaptureFile capture;
+  SweepProgress progress(capture_options(capture.get()));
+  progress.add_planned_runs(2);
+  progress.note_run_complete();
+  // One run done in however little wall time: a real rate exists, so
+  // the eta is numeric (possibly 0.0s), never the placeholder.
+  const std::string line = progress.current_line();
+  EXPECT_NE(line.find("eta "), std::string::npos) << line;
+  EXPECT_EQ(line.find("--:--"), std::string::npos) << line;
+}
+
 TEST(SweepProgress, WithoutPlannedTotalLineOmitsPercentage) {
   CaptureFile capture;
   SweepProgress progress(capture_options(capture.get()));

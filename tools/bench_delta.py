@@ -30,12 +30,14 @@ from pathlib import Path
 SCHEMA = "ugf-bench-baseline-v1"
 
 # Fields the --gate mode refuses to let regress: the costs everybody
-# pays with observability detached, plus the scheduler kernel itself.
+# pays with observability detached, the scheduler kernel itself, and
+# the lineage tracker (the one attached sink CI smoke always exercises).
 GATE_FIELDS = (
     "detached_pristine_ns_per_step",
     "detached_paired_ns_per_step",
     "large_n_detached_ns_per_step",
     "sched_wheel_ns_per_op",
+    "lineage_tracker_ns_per_step",
 )
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Human-readable report from a ``ugf-lineage-v1`` NDJSON file.
+
+Folds the lineage stream ``--lineage`` writes (see
+docs/OBSERVABILITY.md) into the three summaries an attack post-mortem
+wants first:
+
+  * the propagation profile — infections per depth, max width, and how
+    the critical path compares to the tree's depth;
+  * the critical path itself — the root-to-last-process chain of
+    infections, one hop per line, with the step each hop landed;
+  * adversary attribution — for every action class (omission, drop,
+    wipe, crash, delay-change, step-time-change), how much of the
+    budget landed ON the critical path versus off it. Budget spent off
+    the critical path did not delay termination at all.
+
+Usage:
+  lineage_report.py LINEAGE.ndjson [LINEAGE.ndjson ...]
+
+With several files the report is printed per file, making it easy to
+eyeball a budget sweep (fig. family: critical-path length vs adversary
+budget). Exits 0 on success, 2 when a file is unreadable or not a
+ugf-lineage-v1 stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+SCHEMA = "ugf-lineage-v1"
+
+ACTION_LABELS = (
+    ("omission", "omissions"),
+    ("drop", "drops"),
+    ("wipe", "wipes"),
+    ("crash", "crashes"),
+    ("delay_change", "delay changes"),
+    ("step_time_change", "step-time changes"),
+)
+
+
+def load_stream(path: Path) -> tuple[dict, list[dict]]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        sys.exit(f"lineage_report: {path} is empty")
+    meta = json.loads(lines[0])
+    if not isinstance(meta, dict) or meta.get("schema") != SCHEMA:
+        sys.exit(f"lineage_report: {path} is not a {SCHEMA} stream")
+    records = [json.loads(line) for line in lines[1:] if line]
+    return meta, records
+
+
+def report(path: Path) -> None:
+    meta, records = load_stream(path)
+    nodes = [r for r in records if r.get("kind") == "node"]
+    suppressed = [r for r in records if r.get("kind") == "suppressed"]
+    actions = [r for r in records if r.get("kind") == "action"]
+    attribution = next(
+        (r for r in records if r.get("kind") == "attribution"), None)
+
+    print(f"== {path} ==")
+    print(f"{meta['protocol']} vs {meta['adversary']}  "
+          f"(n={meta['n']}, f={meta['f']}, seed={meta['seed']})")
+    print(f"infected {meta['infected']}/{meta['n']}, last process "
+          f"{meta['last_process']} at step {meta['last_step']}")
+
+    # Propagation profile: infections per depth level.
+    width = Counter(node["depth"] for node in nodes)
+    print(f"\npropagation profile (depth_max {meta['depth_max']}, "
+          f"width_max {meta['width_max']}):")
+    peak = max(width.values(), default=1)
+    for depth in sorted(width):
+        bar = "#" * max(1, round(40 * width[depth] / peak))
+        print(f"  depth {depth:3d}  {width[depth]:6d}  {bar}")
+
+    # Critical path: the chain that infected the last process.
+    chain = sorted((n for n in nodes if n.get("on_critical_path")),
+                   key=lambda n: (n["depth"], n["step"]))
+    print(f"\ncritical path ({meta['critical_path_len']} hops):")
+    for node in chain:
+        src = "root" if node["parent"] is None \
+            else f"from p{node['parent']} (emission #{node['cause']})"
+        print(f"  step {node['step']:5d}  p{node['p']:<5d} {src}")
+
+    # Attribution: adversary budget on vs off the critical path.
+    if attribution is not None:
+        on, off = attribution["on"], attribution["off"]
+        total_on = sum(on.values())
+        total_off = sum(off.values())
+        total = total_on + total_off
+        print(f"\nadversary attribution ({total} actions, "
+              f"{total_on} on the critical path):")
+        for key, label in ACTION_LABELS:
+            if on[key] == 0 and off[key] == 0:
+                continue
+            print(f"  {label:<18} on {on[key]:5d}   off {off[key]:5d}")
+        if total:
+            print(f"  budget efficiency: {100.0 * total_on / total:.1f}% "
+                  "of actions touched the chain that decided termination")
+    print(f"records: {len(nodes)} nodes, {len(suppressed)} suppressed "
+          f"emissions, {len(actions)} adversary actions\n")
+
+
+def main(argv: list[str]) -> int:
+    paths = [a for a in argv[1:] if not a.startswith("-")]
+    if not paths or any(a in ("-h", "--help") for a in argv[1:]):
+        print(__doc__, file=sys.stderr)
+        return 0 if paths or "-h" in argv[1:] or "--help" in argv[1:] else 2
+    for arg in paths:
+        path = Path(arg)
+        if not path.is_file():
+            sys.exit(f"lineage_report: no such file: {path}")
+        report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -247,6 +247,24 @@ TRACE_EVENT_TYPES = {
     "step-begin", "step-end", "sleep", "delay-change", "step-time-change",
 }
 
+LINEAGE_SCHEMA = "ugf-lineage-v1"
+LINEAGE_META_KEYS = {"schema", "protocol", "adversary", "n", "f", "seed",
+                     "infected", "last_process", "last_step",
+                     "critical_path_len", "depth_max", "width_max", "nodes",
+                     "suppressed", "actions"}
+LINEAGE_RECORD_KEYS = {
+    "node": {"kind", "p", "step", "depth", "parent", "cause",
+             "on_critical_path"},
+    "suppressed": {"kind", "action", "from", "to", "emitted_at", "step",
+                   "id", "on_critical_path"},
+    "action": {"kind", "action", "p", "step", "cause", "on_critical_path"},
+    "attribution": {"kind", "on", "off"},
+}
+LINEAGE_SUPPRESSED_ACTIONS = {"omission", "drop", "wipe"}
+LINEAGE_ADVERSARY_ACTIONS = {"crash", "delay-change", "step-time-change"}
+LINEAGE_ATTRIBUTION_KEYS = {"omission", "drop", "wipe", "crash",
+                            "delay_change", "step_time_change"}
+
 
 def validate_trace(path: Path) -> int:
     """Validates one NDJSON trace file; prints findings, returns count."""
@@ -327,6 +345,126 @@ def validate_trace(path: Path) -> int:
         print(finding)
     status = "valid" if not findings else f"{len(findings)} finding(s)"
     print(f"lint_ugf: {event_count} trace events checked, {status}",
+          file=sys.stderr)
+    return len(findings)
+
+
+def validate_lineage(path: Path) -> int:
+    """Validates one ugf-lineage-v1 NDJSON file; prints findings."""
+    import json
+
+    findings: list[str] = []
+
+    def bad(lineno: int, message: str) -> None:
+        findings.append(f"{path}:{lineno}: lineage: {message}")
+
+    def uint(value: object) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) \
+            and value >= 0
+
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        print(f"{path}:1: lineage: empty file (expected a meta line)")
+        return 1
+
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        bad(1, f"meta line is not valid JSON ({err})")
+        meta = None
+    declared = {"nodes": None, "suppressed": None, "actions": None}
+    if isinstance(meta, dict):
+        if set(meta) != LINEAGE_META_KEYS:
+            bad(1, f"meta keys are {sorted(meta)}, "
+                f"expected {sorted(LINEAGE_META_KEYS)}")
+        if meta.get("schema") != LINEAGE_SCHEMA:
+            bad(1, f"schema is {meta.get('schema')!r}, "
+                f"expected {LINEAGE_SCHEMA!r}")
+        for key in declared:
+            if uint(meta.get(key)):
+                declared[key] = meta[key]
+        if uint(meta.get("critical_path_len")) \
+                and uint(meta.get("depth_max")) \
+                and meta["critical_path_len"] > meta["depth_max"] + 1:
+            bad(1, f"critical_path_len {meta['critical_path_len']} exceeds "
+                f"depth_max {meta['depth_max']} + 1; the critical path is "
+                "one root-to-leaf chain")
+    elif meta is not None:
+        bad(1, "meta line is not a JSON object")
+
+    counts = {"node": 0, "suppressed": 0, "action": 0, "attribution": 0}
+    critical_nodes = 0
+    for i, line in enumerate(lines[1:], start=2):
+        if not line:
+            bad(i, "blank line inside the lineage stream")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            bad(i, f"not valid JSON ({err})")
+            continue
+        if not isinstance(record, dict):
+            bad(i, "record line is not a JSON object")
+            continue
+        kind = record.get("kind")
+        expected = LINEAGE_RECORD_KEYS.get(kind)
+        if expected is None:
+            bad(i, f"unknown record kind {kind!r}")
+            continue
+        counts[kind] += 1
+        if set(record) != expected:
+            bad(i, f"{kind} keys are {sorted(record)}, "
+                f"expected {sorted(expected)}")
+            continue
+        if kind == "node":
+            if not uint(record["cause"]):
+                bad(i, f"node cause {record['cause']!r} is not a "
+                    "non-negative integer")
+            if record["depth"] == 0 and record["parent"] is not None:
+                bad(i, f"root node (depth 0) has parent "
+                    f"{record['parent']!r}, expected null")
+            if record["on_critical_path"] is True:
+                critical_nodes += 1
+        elif kind == "suppressed":
+            if record["action"] not in LINEAGE_SUPPRESSED_ACTIONS:
+                bad(i, f"suppressed action {record['action']!r} not in "
+                    f"{sorted(LINEAGE_SUPPRESSED_ACTIONS)}")
+        elif kind == "action":
+            if record["action"] not in LINEAGE_ADVERSARY_ACTIONS:
+                bad(i, f"adversary action {record['action']!r} not in "
+                    f"{sorted(LINEAGE_ADVERSARY_ACTIONS)}")
+        else:  # attribution
+            for side in ("on", "off"):
+                tallies = record[side]
+                if not isinstance(tallies, dict) \
+                        or set(tallies) != LINEAGE_ATTRIBUTION_KEYS \
+                        or not all(uint(v) for v in tallies.values()):
+                    bad(i, f"attribution.{side} must map "
+                        f"{sorted(LINEAGE_ATTRIBUTION_KEYS)} to "
+                        "non-negative integers")
+
+    for key, kind in (("nodes", "node"), ("suppressed", "suppressed"),
+                      ("actions", "action")):
+        if declared[key] is not None and declared[key] != counts[kind]:
+            bad(1, f"meta declares {declared[key]} {key} "
+                f"but the file has {counts[kind]}")
+    if counts["attribution"] != 1:
+        bad(1, f"expected exactly one attribution record, "
+            f"found {counts['attribution']}")
+    # The path is counted in edges; the flagged nodes include the root,
+    # so a K-edge critical path flags exactly K+1 nodes (0 when nothing
+    # was infected at all).
+    if isinstance(meta, dict) and uint(meta.get("critical_path_len")):
+        want = meta["critical_path_len"] + 1 if counts["node"] > 0 else 0
+        if critical_nodes != want:
+            bad(1, f"meta declares critical_path_len "
+                f"{meta['critical_path_len']} (edges) but {critical_nodes} "
+                f"nodes are flagged on_critical_path, expected {want}")
+
+    for finding in findings:
+        print(finding)
+    status = "valid" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_ugf: {counts['node']} lineage nodes checked, {status}",
           file=sys.stderr)
     return len(findings)
 
@@ -475,11 +613,17 @@ def validate_artifact(path: Path) -> int:
         return 1
 
     # A whole-file JSON document is a manifest or metrics snapshot;
-    # anything else (including every multi-line NDJSON trace) falls
-    # through to the trace validator.
+    # anything else is NDJSON, dispatched on the schema its first line
+    # declares (lineage DAG vs plain event trace).
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:
+        try:
+            first = json.loads(text.splitlines()[0]) if text else None
+        except json.JSONDecodeError:
+            first = None
+        if isinstance(first, dict) and first.get("schema") == LINEAGE_SCHEMA:
+            return validate_lineage(path)
         return validate_trace(path)
     if not isinstance(doc, dict):
         print(f"{path}:1: artifact: top-level JSON is not an object")
@@ -495,7 +639,7 @@ def validate_artifact(path: Path) -> int:
     else:
         print(f"{path}:1: artifact: unknown schema {schema!r} (expected "
               f"{MANIFEST_SCHEMA!r}, {METRICS_SCHEMA!r}, or an NDJSON "
-              f"{TRACE_SCHEMA!r} trace)")
+              f"{TRACE_SCHEMA!r} / {LINEAGE_SCHEMA!r} stream)")
         return 1
 
     for finding in findings:
