@@ -22,7 +22,7 @@
 int main(int argc, char** argv) {
   using namespace ugf;
   const util::CliArgs args(argc, argv);
-  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
+  const auto n = args.get_process_count("n", 100);
   const double fraction = args.get_double("fraction", 0.3);
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 24));
   const auto q1s = args.get_double_list("q1s", {0.1, 1.0 / 3.0, 0.6, 0.9});

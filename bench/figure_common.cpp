@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <iostream>
+#include <stdexcept>
 
 #include "bench/campaign.hpp"
 #include "core/adversary_registry.hpp"
@@ -26,8 +27,13 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       std::vector<std::uint64_t> fallback;
       for (const auto n : config.grid) fallback.push_back(n);
       std::vector<std::uint32_t> grid;
-      for (const auto n : args.get_uint_list("grid", fallback))
+      for (const auto n : args.get_uint_list("grid", fallback)) {
+        if (n < 2 || n > 0xFFFFFFFFull)
+          throw std::invalid_argument(
+              "--grid entry " + std::to_string(n) +
+              " out of range: need 2 <= N <= 4294967295");
         grid.push_back(static_cast<std::uint32_t>(n));
+      }
       return grid;
     }();
     config.runs =
@@ -46,7 +52,27 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     const bool profile = args.get_bool("profile", false);
     if (profile) config.profiler = &profiler;
 
-    const auto protocol = protocols::make_protocol(spec.protocol);
+    // --state-mode=exact keeps the paper-faithful per-process protocol
+    // (the default); --state-mode=counting swaps in the O(N)-bounded
+    // scale variant (push-pull-counting / ears-summary / sears-summary)
+    // so the same panel harness can drive N >= 10^5 envelope runs.
+    const std::string state_mode = args.get_string("state-mode", "exact");
+    std::string protocol_name = spec.protocol;
+    if (state_mode == "counting") {
+      if (spec.protocol == "push-pull")
+        protocol_name = "push-pull-counting";
+      else if (spec.protocol == "ears")
+        protocol_name = "ears-summary";
+      else if (spec.protocol == "sears")
+        protocol_name = "sears-summary";
+      else
+        throw std::invalid_argument("--state-mode=counting has no scale "
+                                    "variant for protocol " + spec.protocol);
+    } else if (state_mode != "exact") {
+      throw std::invalid_argument("--state-mode must be exact or counting, "
+                                  "got " + state_mode);
+    }
+    const auto protocol = protocols::make_protocol(protocol_name);
     const auto none = core::make_adversary("none");
     const auto ugf = core::make_adversary("ugf");
     core::AdversaryParams max_params;
@@ -63,7 +89,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     // Campaign observability: metrics registry, live progress line, and
     // the provenance manifest all hang off this scope (campaign.hpp).
     CampaignScope campaign(args, spec.figure_id);
-    campaign.set_protocol(spec.protocol);
+    campaign.set_protocol(protocol_name);
     campaign.add_adversary(describe_adversary("no adversary", "none"));
     campaign.add_adversary(describe_adversary("UGF", "ugf"));
     campaign.add_adversary(
@@ -73,7 +99,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     campaign.attach(config, adversaries.size());
 
     std::cout << spec.figure_id << ": " << spec.title << "\n"
-              << "protocol=" << spec.protocol << " runs=" << config.runs
+              << "protocol=" << protocol_name << " runs=" << config.runs
               << " F=" << config.f_fraction << "N"
               << " grid-max=" << config.grid.back() << "\n"
               << std::flush;
@@ -133,7 +159,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
         const auto record = runner::MonteCarloRunner::run_once(
             one, 0, *protocol, *ugf, &recorder);
         obs::TraceMeta meta;
-        meta.protocol = spec.protocol;
+        meta.protocol = protocol_name;
         meta.adversary = record.strategy;
         meta.n = one.n;
         meta.f = one.f;
@@ -156,7 +182,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
                     << " (open in chrome://tracing or ui.perfetto.dev)\n";
         }
       }
-      campaign.export_lineage(one, *protocol, *ugf, spec.protocol, std::cout);
+      campaign.export_lineage(one, *protocol, *ugf, protocol_name, std::cout);
     }
 
     campaign.finish(std::cout);

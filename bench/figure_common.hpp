@@ -20,6 +20,12 @@
 ///                      defaults included — land there, while paths
 ///                      with a directory component are used verbatim
 ///   --quick            small grid + few runs (CI-friendly)
+///   --state-mode=exact|counting
+///                      exact (default) runs the paper-faithful
+///                      protocol; counting swaps in the O(N)-bounded
+///                      scale variant (push-pull-counting,
+///                      ears-summary, sears-summary) for envelope runs
+///                      at N >= 10^5
 ///
 /// Observability flags (see docs/OBSERVABILITY.md):
 ///   --timeseries=path  collect per-run event streams, ascii-plot the

@@ -15,8 +15,10 @@
 #include "adversary/fixed_strategies.hpp"
 #include "core/ugf.hpp"
 #include "obs/event.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/ears.hpp"
 #include "protocols/push_pull.hpp"
+#include "protocols/push_pull_counting.hpp"
 #include "reference_heap.hpp"
 #include "sim/engine.hpp"
 #include "sim/timing_wheel.hpp"
@@ -228,6 +230,39 @@ void BM_PushPullRunColdEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_PushPullRunColdEngine)->Arg(16)->Arg(50)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
+
+void BM_SoaScaleSweep(benchmark::State& state) {
+  // The SoA engine-core N-sweep (10^3 → 10^6): benign counting
+  // push-pull — O(1) protocol state per process, so the run exercises
+  // exactly the table/pool/plane machinery the refactor flattened.
+  // ns/step (the inverse of items/s) must stay near-flat down the
+  // sweep and bytes/proc bounded; bench/perf_scale.cpp asserts both,
+  // this benchmark is the place to look when it trips.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  protocols::PushPullCountingFactory factory;
+  obs::MetricsRegistry registry;
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = 0;
+    cfg.seed = seed++;
+    // ~n log n local steps with a handful of events each; the default
+    // 50M event cap is too tight for n = 10^6.
+    cfg.max_events = 4'000'000'000ull;
+    cfg.metrics = &registry;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    steps += out.local_steps_executed;
+  }
+  const auto snap = registry.snapshot();
+  if (const auto* gauge = snap.find_gauge("engine.table.bytes_per_process"))
+    state.counters["bytes/proc"] = static_cast<double>(gauge->value);
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SoaScaleSweep)->Arg(1'000)->Arg(10'000)->Arg(100'000)
+    ->Arg(1'000'000)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_ArenaMakeReset(benchmark::State& state) {
   // Raw arena throughput: payloads per second through make<T>() with a

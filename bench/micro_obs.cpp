@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "protocols/push_pull.hpp"
+#include "protocols/push_pull_counting.hpp"
 #include "reference_heap.hpp"
 #include "sim/engine.hpp"
 #include "sim/timing_wheel.hpp"
@@ -141,6 +142,45 @@ Sample measure_engine(bool warm, std::uint32_t n, std::uint32_t runs,
   return sample;
 }
 
+struct SoaSample {
+  double ns_per_step = 0.0;
+  std::uint64_t bytes_per_process = 0;
+};
+
+/// SoA engine-core pass: `runs` benign counting push-pull runs (O(1)
+/// protocol state per process) at size n against one warm engine, with
+/// a metrics registry attached. Reports ns/step plus the published
+/// "engine.table.bytes_per_process" gauge — the two numbers the
+/// million-process envelope is guarded by (bench/perf_scale.cpp runs
+/// the full sweep; this block pins the mid-size point in the baseline).
+SoaSample measure_soa(std::uint32_t n, std::uint32_t runs,
+                      std::uint64_t base_seed) {
+  protocols::PushPullCountingFactory factory;
+  obs::MetricsRegistry registry;
+  SoaSample sample;
+  std::uint64_t steps = 0;
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = base_seed;
+  cfg.metrics = &registry;
+  sim::Engine engine(cfg, factory, nullptr);
+  (void)engine.run();  // pre-grow capacity (untimed)
+  util::Stopwatch watch;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    cfg.seed = base_seed + 1 + i;
+    engine.reset(cfg, nullptr);
+    steps += engine.run().local_steps_executed;
+  }
+  sample.ns_per_step =
+      watch.seconds() * 1e9 /
+      static_cast<double>(std::max<std::uint64_t>(1, steps));
+  const auto snap = registry.snapshot();
+  if (const auto* gauge = snap.find_gauge("engine.table.bytes_per_process"))
+    sample.bytes_per_process = gauge->value;
+  return sample;
+}
+
 /// Steady-state scheduler cost (ns per pop+push cycle) with `inflight`
 /// events pending and uniform delays up to `horizon` steps ahead of the
 /// popped event — the schedule shape Strategy 2.k.l produces, where a
@@ -171,7 +211,7 @@ double measure_scheduler(std::uint64_t horizon, std::uint64_t inflight,
 int main(int argc, char** argv) {
   try {
     const util::CliArgs args(argc, argv);
-    const auto n = static_cast<std::uint32_t>(args.get_uint("n", 100));
+    const auto n = args.get_process_count("n", 100);
     const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 30));
     const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
     const std::uint64_t seed = args.get_uint("seed", 0x0B5EED5ull);
@@ -187,6 +227,9 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_uint("large-n", 1000));
     const auto large_runs =
         static_cast<std::uint32_t>(args.get_uint("large-runs", 5));
+    const auto soa_n = args.get_process_count("soa-n", 10'000);
+    const auto soa_runs =
+        static_cast<std::uint32_t>(args.get_uint("soa-runs", 3));
     const std::uint64_t sched_horizon =
         args.get_uint("sched-horizon", 1'000'000);
     const std::uint64_t sched_inflight =
@@ -266,6 +309,17 @@ int main(int argc, char** argv) {
       large_steps = d.steps;
     }
 
+    // SoA block: warm engine, counting push-pull (O(1) protocol state)
+    // — the step-loop and bytes/process figures of the refactored
+    // process table at a size where table/pool traffic dominates.
+    std::vector<double> soa_ns;
+    std::uint64_t soa_bytes = 0;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const SoaSample s = measure_soa(soa_n, soa_runs, seed);
+      soa_ns.push_back(s.ns_per_step);
+      soa_bytes = s.bytes_per_process;
+    }
+
     // Scheduler block: pop+push steady state at a Strategy-2.k.l
     // horizon, timing wheel vs the pre-wheel binary heap
     // (bench/reference_heap.hpp), identical event sequences.
@@ -296,6 +350,7 @@ int main(int argc, char** argv) {
     /// Step-loop throughput gain of the warm engine over the cold path.
     const double warm_speedup = (cold_med / warm_med - 1.0) * 100.0;
     const double large_med = median(large_detached);
+    const double soa_med = median(soa_ns);
     const double wheel_med = median(sched_wheel);
     const double heap_med = median(sched_heap);
     /// Wheel cost relative to the heap; negative means the wheel wins.
@@ -332,6 +387,11 @@ int main(int argc, char** argv) {
               << large_n * 3 / 10 << ", " << large_runs << " runs x " << reps
               << " reps (" << large_steps << " steps per pass)\n";
     row("detached large-N", large_med, 0.0);
+    std::cout << "SoA engine core: push-pull-counting benign, n=" << soa_n
+              << ", f=0, " << soa_runs << " runs x " << reps << " reps\n";
+    row("soa warm engine", soa_med, 0.0);
+    std::cout << "  bytes/process         " << std::setw(9) << soa_bytes
+              << " (engine.table.bytes_per_process gauge)\n";
     std::cout << "scheduler steady state: " << sched_inflight
               << " in-flight, horizon " << sched_horizon << " steps, "
               << sched_ops << " pop+push ops x " << reps << " reps\n";
@@ -379,6 +439,10 @@ int main(int argc, char** argv) {
           .member("large_n", large_n)
           .member("large_n_runs_per_pass", large_runs)
           .member("large_n_detached_ns_per_step", large_med)
+          .member("soa_n", soa_n)
+          .member("soa_runs_per_pass", soa_runs)
+          .member("soa_step_ns", soa_med)
+          .member("bytes_per_process", soa_bytes)
           .member("sched_horizon_steps", sched_horizon)
           .member("sched_inflight_events", sched_inflight)
           .member("sched_ops", sched_ops)

@@ -1,0 +1,144 @@
+// Million-process engine-core envelope check.
+//
+// Runs counting push-pull (O(1) protocol state per process) benign at
+// every N in --ns (default 10^4, 10^5, 10^6) on a warm engine and
+// asserts two properties of the SoA process table:
+//
+//   1. ns/step stays flat in N: max/min ratio across the grid must not
+//      exceed --max-ratio. The margin is loose on purpose — past L2 the
+//      random-peer access pattern is cache-miss bound and a few x of
+//      drift between 10^4 and 10^6 is physics, not a regression. What
+//      the gate catches is accidental O(N) work per step (a scan over
+//      the table, an inbox walk proportional to N) which shows up as a
+//      10-100x blowup, far outside the margin.
+//
+//   2. bytes/process stays bounded: the engine.table.bytes_per_process
+//      gauge (resident columns + pools + protocol plane + event arena,
+//      divided by N) must stay under --max-bytes at every grid point.
+//      The pre-refactor array-of-structs table held an N x N knowledge
+//      matrix in the EARS family and per-process inbox vectors; any
+//      reintroduced per-process O(N) state blows this bound immediately
+//      at 10^6.
+//
+// Registered in ctest as perf_scale (LABELS perf, RUN_SERIAL) and
+// skipped under sanitizers like the other perf tests; the 10^6 point
+// takes on the order of minutes on one core, which is why this is not
+// part of the default label-less test sweep.
+//
+// Flags: --ns=10000,100000,1000000 --seed=S --max-ratio=12
+//        --max-bytes=16384
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "protocols/push_pull_counting.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace ugf;
+
+struct Point {
+  std::uint32_t n = 0;
+  double ns_per_step = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t bytes_per_process = 0;
+};
+
+/// One benign counting push-pull run at size n on a fresh engine; the
+/// whole run is timed (no warm-up pass — at these sizes the step loop
+/// dwarfs construction, and a second 10^6 run would double the test's
+/// wall time for nothing).
+Point measure(std::uint32_t n, std::uint64_t seed) {
+  protocols::PushPullCountingFactory factory;
+  obs::MetricsRegistry registry;
+  sim::EngineConfig cfg;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = seed;
+  cfg.max_events = 4'000'000'000ull;  // default 50M is sized for N <= 10^4
+  cfg.metrics = &registry;
+  Point point;
+  point.n = n;
+  util::Stopwatch watch;
+  sim::Engine engine(cfg, factory, nullptr);
+  point.steps = engine.run().local_steps_executed;
+  point.ns_per_step = watch.seconds() * 1e9 /
+                      static_cast<double>(std::max<std::uint64_t>(1, point.steps));
+  const auto snap = registry.snapshot();
+  if (const auto* gauge = snap.find_gauge("engine.table.bytes_per_process"))
+    point.bytes_per_process = gauge->value;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    const auto grid =
+        args.get_uint_list("ns", {10'000, 100'000, 1'000'000});
+    const auto seed = args.get_uint("seed", 0x5CA1Eull);
+    const double max_ratio = args.get_double("max-ratio", 12.0);
+    const auto max_bytes = args.get_uint("max-bytes", 16'384);
+
+    std::cout << "perf_scale: counting push-pull benign, f=0, "
+              << grid.size() << " grid points\n"
+              << std::left << std::setw(12) << "n" << std::setw(14)
+              << "ns/step" << std::setw(14) << "steps" << std::setw(14)
+              << "bytes/proc" << "\n";
+
+    std::vector<Point> points;
+    for (const auto n : grid) {
+      if (n < 2 || n > 0xFFFFFFFFull) {
+        std::cerr << "perf_scale: --ns entry " << n
+                  << " out of range: need 2 <= N <= 4294967295\n";
+        return 2;
+      }
+      const Point p = measure(static_cast<std::uint32_t>(n), seed);
+      std::cout << std::setw(12) << p.n << std::setw(14) << std::fixed
+                << std::setprecision(1) << p.ns_per_step << std::setw(14)
+                << p.steps << std::setw(14) << p.bytes_per_process << "\n"
+                << std::flush;
+      points.push_back(p);
+    }
+
+    bool ok = true;
+    double lo = points.front().ns_per_step, hi = lo;
+    for (const Point& p : points) {
+      lo = std::min(lo, p.ns_per_step);
+      hi = std::max(hi, p.ns_per_step);
+      if (p.bytes_per_process == 0) {
+        std::cerr << "perf_scale: FAIL n=" << p.n
+                  << " engine.table.bytes_per_process gauge missing\n";
+        ok = false;
+      } else if (p.bytes_per_process > max_bytes) {
+        std::cerr << "perf_scale: FAIL n=" << p.n << " bytes/process "
+                  << p.bytes_per_process << " > " << max_bytes << "\n";
+        ok = false;
+      }
+    }
+    const double ratio = hi / std::max(1e-9, lo);
+    if (ratio > max_ratio) {
+      std::cerr << "perf_scale: FAIL ns/step spread " << std::fixed
+                << std::setprecision(2) << ratio << "x > " << max_ratio
+                << "x (" << lo << " .. " << hi << " ns/step)\n";
+      ok = false;
+    }
+    if (ok)
+      std::cout << "perf_scale: OK — ns/step spread " << std::fixed
+                << std::setprecision(2) << ratio << "x <= " << max_ratio
+                << "x, bytes/process <= " << max_bytes << "\n";
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_scale: error: " << e.what() << "\n";
+    return 2;
+  }
+}

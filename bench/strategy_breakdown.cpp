@@ -22,7 +22,7 @@
 int main(int argc, char** argv) {
   using namespace ugf;
   const util::CliArgs args(argc, argv);
-  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 150));
+  const auto n = args.get_process_count("n", 150);
   const double fraction = args.get_double("fraction", 0.3);
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 20));
   const auto csv_path = args.out_path("csv", "strategy_breakdown.csv");

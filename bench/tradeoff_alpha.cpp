@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   using namespace ugf;
   namespace theory = core::theory;
   const util::CliArgs args(argc, argv);
-  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 200));
+  const auto n = args.get_process_count("n", 200);
   const double fraction = args.get_double("fraction", 0.3);
   const auto runs = static_cast<std::uint32_t>(args.get_uint("runs", 30));
   const auto alphas = args.get_uint_list("alphas", {1, 2, 4, 8, 16});

@@ -43,6 +43,12 @@ class BroadcastAllFactory final : public sim::ProtocolFactory {
       sim::ProcessId self, const sim::SystemInfo& info) const override {
     return std::make_unique<BroadcastAllProcess>(self, info);
   }
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override {
+    return std::make_unique<sim::VectorPlane<BroadcastAllProcess>>(
+        info.n,
+        [&info](sim::ProcessId p) { return BroadcastAllProcess(p, info); });
+  }
 };
 
 }  // namespace ugf::protocols

@@ -162,9 +162,180 @@ bool EarsProcess::has_gossip_of(sim::ProcessId origin) const noexcept {
   return gossips_.test(origin);
 }
 
+// ---- EarsSummaryProcess ---------------------------------------------------
+
+EarsSummaryProcess::EarsSummaryProcess(sim::ProcessId self,
+                                       const sim::SystemInfo& info,
+                                       const EarsConfig& config,
+                                       std::uint32_t fanout)
+    : self_(self),
+      n_(info.n),
+      fanout_(std::clamp<std::uint32_t>(fanout, 1, info.n - 1)),
+      silence_threshold_(
+          silence_threshold_for(info.n, info.f, config.silence_multiplier)),
+      bookkeeping_fallback_(silence_threshold_ *
+                            std::max<std::uint32_t>(1,
+                                                    config.fallback_factor)),
+      own_fallback_(info.f + bookkeeping_fallback_),
+      gossips_(info.n),
+      ack_count_(info.n, 0),
+      acked_me_(info.n),
+      seen_versions_(info.n, 0) {
+  gossips_.set(self_);
+  // The exact mode's knows_(self, self): this process acknowledges its
+  // own gossip, so its row count is 1 and its own-gossip bit is set.
+  ack_count_[self_] = 1;
+  acked_me_.set(self_);
+}
+
+sim::PayloadRef EarsSummaryProcess::snapshot(sim::ProcessContext& ctx) {
+  if (!snapshot_)
+    snapshot_ = ctx.make_payload<KnowledgeSummaryPayload>(self_, version_,
+                                                          gossips_, ack_count_);
+  return snapshot_;
+}
+
+void EarsSummaryProcess::on_message(sim::ProcessContext& /*ctx*/,
+                                    const sim::Message& msg) {
+  const auto* payload = payload_as<KnowledgeSummaryPayload>(msg);
+  if (payload == nullptr) return;
+  if (seen_versions_[payload->sender()] >= payload->version()) return;
+  seen_versions_[payload->sender()] = payload->version();
+
+  // Courtesy reply, exactly as in the exact mode (finite via the
+  // version dedup above).
+  if (completed_) pending_replies_.push_back(msg.from);
+
+  const bool gossip_news = gossips_.or_with(payload->gossips());
+  bool changed = gossip_news;
+  // Max-merge the acknowledgment-set sizes the sender knew of.
+  const auto& counts = payload->ack_counts();
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    if (counts[r] > ack_count_[r]) {
+      ack_count_[r] = counts[r];
+      changed = true;
+    }
+  }
+  // Direct evidence from the sender itself: it holds its gossip set, so
+  // (by self-acknowledgment) it has acked all of it — including ours,
+  // if our bit is in it.
+  const auto sender_acks =
+      static_cast<std::uint32_t>(payload->gossips().count());
+  if (sender_acks > ack_count_[payload->sender()]) {
+    ack_count_[payload->sender()] = sender_acks;
+    changed = true;
+  }
+  if (payload->gossips().test(self_) && !acked_me_.test(payload->sender())) {
+    acked_me_.set(payload->sender());
+    changed = true;
+  }
+  // Self-acknowledgment of the (possibly grown) own gossip set.
+  const auto own_acks = static_cast<std::uint32_t>(gossips_.count());
+  if (own_acks > ack_count_[self_]) {
+    ack_count_[self_] = own_acks;
+    changed = true;
+  }
+  if (changed) {
+    snapshot_ = {};
+    ++version_;
+  }
+  if (gossip_news) {
+    // Same news rule as the exact mode: only a new gossip resets the
+    // silence timer and revives a completed process.
+    news_pending_ = true;
+    completed_ = false;
+  }
+}
+
+void EarsSummaryProcess::on_local_step(sim::ProcessContext& ctx) {
+  if (completed_) {
+    for (const auto requester : pending_replies_)
+      ctx.send(requester, snapshot(ctx));
+    pending_replies_.clear();
+    return;
+  }
+  pending_replies_.clear();
+
+  if (news_pending_) {
+    silent_steps_ = 0;
+    news_pending_ = false;
+  } else {
+    ++silent_steps_;
+  }
+
+  if (fanout_ == 1) {
+    auto target = static_cast<sim::ProcessId>(ctx.rng().below(n_ - 1));
+    if (target >= self_) ++target;
+    ctx.send(target, snapshot(ctx));
+  } else {
+    const auto raw = ctx.rng().sample_without_replacement(n_ - 1, fanout_);
+    const auto payload = snapshot(ctx);
+    for (const auto r : raw) {
+      const auto target = static_cast<sim::ProcessId>(r >= self_ ? r + 1 : r);
+      ctx.send(target, payload);
+    }
+  }
+
+  if (silent_steps_ >= silence_threshold_ &&
+      (own_gossip_acknowledged() || silent_steps_ >= own_fallback_) &&
+      (knowledge_condition() || silent_steps_ >= bookkeeping_fallback_)) {
+    completed_ = true;
+  }
+}
+
+bool EarsSummaryProcess::knowledge_condition() const noexcept {
+  // Counting projection of the exact gate: a seen row (count > 0) must
+  // have acknowledged at least as many gossips as we hold. Cannot
+  // over-claim per row size — a row that acked |G| gossips may still
+  // miss one of ours — but is monotone and reaches the same fixpoint
+  // once everyone acked everything.
+  const auto mine = static_cast<std::uint32_t>(gossips_.count());
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    if (ack_count_[r] != 0 && ack_count_[r] < mine) return false;
+  }
+  return true;
+}
+
+bool EarsSummaryProcess::own_gossip_acknowledged() const noexcept {
+  // Every seen row must have direct evidence of holding our gossip.
+  // Strictly harder than the exact gate (no transitive matrix
+  // evidence) — the own_fallback_ silence window bounds the wait.
+  for (std::uint32_t r = 0; r < n_; ++r) {
+    if (r == self_) continue;
+    if (ack_count_[r] != 0 && !acked_me_.test(r)) return false;
+  }
+  return true;
+}
+
+bool EarsSummaryProcess::wants_sleep() const noexcept { return completed_; }
+bool EarsSummaryProcess::completed() const noexcept { return completed_; }
+
+bool EarsSummaryProcess::has_gossip_of(sim::ProcessId origin) const noexcept {
+  return gossips_.test(origin);
+}
+
+// ---- Factories ------------------------------------------------------------
+
 std::unique_ptr<sim::Protocol> EarsFactory::create(
     sim::ProcessId self, const sim::SystemInfo& info) const {
+  if (!config_.exact_bookkeeping)
+    return std::make_unique<EarsSummaryProcess>(self, info, config_,
+                                                /*fanout=*/1);
   return std::make_unique<EarsProcess>(self, info, config_, /*fanout=*/1);
+}
+
+std::unique_ptr<sim::ProtocolPlane> EarsFactory::create_plane(
+    const sim::SystemInfo& info) const {
+  if (!config_.exact_bookkeeping) {
+    return std::make_unique<sim::VectorPlane<EarsSummaryProcess>>(
+        info.n, [this, &info](sim::ProcessId p) {
+          return EarsSummaryProcess(p, info, config_, /*fanout=*/1);
+        });
+  }
+  return std::make_unique<sim::VectorPlane<EarsProcess>>(
+      info.n, [this, &info](sim::ProcessId p) {
+        return EarsProcess(p, info, config_, /*fanout=*/1);
+      });
 }
 
 std::uint32_t SearsFactory::fanout_for(std::uint32_t n, double c, double eps) {
@@ -176,8 +347,26 @@ std::uint32_t SearsFactory::fanout_for(std::uint32_t n, double c, double eps) {
 
 std::unique_ptr<sim::Protocol> SearsFactory::create(
     sim::ProcessId self, const sim::SystemInfo& info) const {
-  return std::make_unique<EarsProcess>(
-      self, info, config_.base, fanout_for(info.n, config_.c, config_.eps));
+  const std::uint32_t fanout = fanout_for(info.n, config_.c, config_.eps);
+  if (!config_.base.exact_bookkeeping)
+    return std::make_unique<EarsSummaryProcess>(self, info, config_.base,
+                                                fanout);
+  return std::make_unique<EarsProcess>(self, info, config_.base, fanout);
+}
+
+std::unique_ptr<sim::ProtocolPlane> SearsFactory::create_plane(
+    const sim::SystemInfo& info) const {
+  const std::uint32_t fanout = fanout_for(info.n, config_.c, config_.eps);
+  if (!config_.base.exact_bookkeeping) {
+    return std::make_unique<sim::VectorPlane<EarsSummaryProcess>>(
+        info.n, [this, &info, fanout](sim::ProcessId p) {
+          return EarsSummaryProcess(p, info, config_.base, fanout);
+        });
+  }
+  return std::make_unique<sim::VectorPlane<EarsProcess>>(
+      info.n, [this, &info, fanout](sim::ProcessId p) {
+        return EarsProcess(p, info, config_.base, fanout);
+      });
 }
 
 }  // namespace ugf::protocols

@@ -48,6 +48,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "protocols/payloads.hpp"
 #include "sim/protocol.hpp"
@@ -64,6 +65,15 @@ struct EarsConfig {
   /// yields after fallback_factor * threshold silent local steps, the
   /// own-gossip gate after max(N, fallback_factor * threshold).
   std::uint32_t fallback_factor = 3;
+  /// true (default): the paper-faithful N x N receipt relation I (an
+  /// EarsProcess per process — Theta(N^2) bits each, Theta(N^3) per
+  /// run). false: the O(N)-per-process counting summary of I (an
+  /// EarsSummaryProcess per process) — same silence / fallback gates,
+  /// same gossip dissemination, bounded state; completion decisions may
+  /// lean on the fallbacks where the exact mode's matrix would have
+  /// decided earlier. The goldens pin the exact mode; the summary mode
+  /// is verified against it at small N (tests/test_ears_summary.cpp).
+  bool exact_bookkeeping = true;
 };
 
 struct SearsConfig {
@@ -128,12 +138,82 @@ class EarsProcess : public sim::Protocol {
   sim::PayloadRef snapshot_;
 };
 
+/// The O(N)-per-process summary variant (EarsConfig::exact_bookkeeping
+/// == false). Gossip dissemination is identical to EarsProcess; the
+/// receipt relation I is projected to counting thresholds:
+///
+///  * ack_count_[r] — the largest acknowledgment-set size process r has
+///    been seen with (max-merged from incoming summaries; a sender
+///    holding G acknowledges all of G, so its own row is |G|);
+///    (a row is "seen" — the exact mode's row_any() — iff its count is
+///    nonzero);
+///  * acked_me_ — processes with *direct* evidence of holding this
+///    process's gossip: a summary whose gossip set contains self came
+///    from a sender that (by self-acknowledgment) has acked it.
+///
+/// The gates translate to: knowledge condition — every seen row's count
+/// reaches |G(rho)|; own-gossip — every seen row is in acked_me_.
+/// Both are monotone under-approximations of the exact gates (counts
+/// can under-estimate which gossips a row acked; acked_me_ lacks the
+/// matrix's transitive evidence), so the summary completes no earlier
+/// than the exact mode on the same evidence — and at the latest at the
+/// same silence fallbacks, which is what guarantees quiescence.
+class EarsSummaryProcess : public sim::Protocol {
+ public:
+  EarsSummaryProcess(sim::ProcessId self, const sim::SystemInfo& info,
+                     const EarsConfig& config, std::uint32_t fanout);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override;
+  [[nodiscard]] bool completed() const noexcept override;
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override;
+  [[nodiscard]] const util::DynamicBitset* gossip_bits()
+      const noexcept override {
+    return &gossips_;
+  }
+
+  /// White-box accessors for tests.
+  [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {
+    return gossips_;
+  }
+  [[nodiscard]] std::uint32_t silence_threshold() const noexcept {
+    return silence_threshold_;
+  }
+  [[nodiscard]] bool knowledge_condition() const noexcept;
+  [[nodiscard]] bool own_gossip_acknowledged() const noexcept;
+
+ private:
+  [[nodiscard]] sim::PayloadRef snapshot(sim::ProcessContext& ctx);
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint32_t fanout_;
+  std::uint32_t silence_threshold_;
+  std::uint32_t bookkeeping_fallback_;
+  std::uint32_t own_fallback_;
+
+  util::DynamicBitset gossips_;  ///< G(rho) — exact, as in EarsProcess
+  std::vector<std::uint32_t> ack_count_;  ///< max-merged |I row r|
+  util::DynamicBitset acked_me_;
+  std::uint32_t silent_steps_ = 0;
+  bool news_pending_ = false;
+  bool completed_ = false;
+  std::uint64_t version_ = 1;
+  std::vector<std::uint64_t> seen_versions_;
+  std::vector<sim::ProcessId> pending_replies_;
+  sim::PayloadRef snapshot_;
+};
+
 class EarsFactory final : public sim::ProtocolFactory {
  public:
   explicit EarsFactory(EarsConfig config = {}) : config_(config) {}
   [[nodiscard]] const char* name() const noexcept override { return "ears"; }
   [[nodiscard]] std::unique_ptr<sim::Protocol> create(
       sim::ProcessId self, const sim::SystemInfo& info) const override;
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override;
 
  private:
   EarsConfig config_;
@@ -145,6 +225,8 @@ class SearsFactory final : public sim::ProtocolFactory {
   [[nodiscard]] const char* name() const noexcept override { return "sears"; }
   [[nodiscard]] std::unique_ptr<sim::Protocol> create(
       sim::ProcessId self, const sim::SystemInfo& info) const override;
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override;
 
   /// The SEARS per-step fan-out ceil(c * n^eps * ln n), clamped to
   /// [1, n-1]; exposed for tests and reports.

@@ -8,6 +8,10 @@
 /// Message complexity ignores payload size (Def II.3), so carrying a
 /// whole knowledge snapshot still counts as a single message.
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "sim/message.hpp"
 #include "util/bitset2d.hpp"
 #include "util/dynamic_bitset.hpp"
@@ -37,6 +41,23 @@ class GossipSetPayload final : public sim::Payload {
 
  private:
   util::DynamicBitset gossips_;
+};
+
+/// A gossip *count* (counting push-pull): "my gossip set has at least
+/// this many members". The scale-mode stand-in for GossipSetPayload —
+/// O(1) instead of O(N) bits, at the price of not knowing *which*
+/// gossips the sender holds.
+class GossipCountPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x47434E54;  // 'GCNT'
+
+  explicit GossipCountPayload(std::uint64_t count) noexcept
+      : Payload(kKind), count_(count) {}
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_;
 };
 
 /// An EARS/SEARS knowledge snapshot: the sender's gossip set G and its
@@ -69,6 +90,41 @@ class KnowledgePayload final : public sim::Payload {
  private:
   util::DynamicBitset gossips_;
   util::Bitset2D knows_;
+  std::uint64_t version_;
+  sim::ProcessId sender_;
+};
+
+/// The O(N) summary-mode stand-in for KnowledgePayload: the sender's
+/// gossip set G plus, per process, the *size* of that process's
+/// acknowledgment set as far as the sender knows — a counting-threshold
+/// projection of the receipt relation I (row r carries |I row r|, not
+/// the row itself). Receivers max-merge the counts; the N x N matrix
+/// never travels and never exists at either end.
+class KnowledgeSummaryPayload final : public sim::Payload {
+ public:
+  static constexpr std::uint32_t kKind = 0x4B53554D;  // 'KSUM'
+
+  KnowledgeSummaryPayload(sim::ProcessId sender, std::uint64_t version,
+                          util::DynamicBitset gossips,
+                          std::vector<std::uint32_t> ack_counts)
+      : Payload(kKind),
+        gossips_(std::move(gossips)),
+        ack_counts_(std::move(ack_counts)),
+        version_(version),
+        sender_(sender) {}
+
+  [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {
+    return gossips_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& ack_counts() const noexcept {
+    return ack_counts_;
+  }
+  [[nodiscard]] sim::ProcessId sender() const noexcept { return sender_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  util::DynamicBitset gossips_;
+  std::vector<std::uint32_t> ack_counts_;
   std::uint64_t version_;
   sim::ProcessId sender_;
 };

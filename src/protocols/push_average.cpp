@@ -147,4 +147,16 @@ std::unique_ptr<sim::Protocol> PushAverageFactory::create(
                                               std::move(initial));
 }
 
+std::unique_ptr<sim::ProtocolPlane> PushAverageFactory::create_plane(
+    const sim::SystemInfo& info) const {
+  return std::make_unique<sim::VectorPlane<PushAverageProcess>>(
+      info.n, [this, &info](sim::ProcessId p) {
+        auto initial = initializer_ != nullptr
+                           ? initializer_(p, config_.dimension)
+                           : default_initializer(p, config_.dimension);
+        initial.resize(config_.dimension, 0.0);
+        return PushAverageProcess(p, info, config_, std::move(initial));
+      });
+}
+
 }  // namespace ugf::protocols

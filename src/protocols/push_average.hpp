@@ -127,6 +127,8 @@ class PushAverageFactory final : public sim::ProtocolFactory {
   }
   [[nodiscard]] std::unique_ptr<sim::Protocol> create(
       sim::ProcessId self, const sim::SystemInfo& info) const override;
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override;
 
   /// Default contribution: dimension-d vector with entries
   /// (self + 1) * (j + 1), a spread-out deterministic profile whose

@@ -77,6 +77,12 @@ class PushPullFactory final : public sim::ProtocolFactory {
       sim::ProcessId self, const sim::SystemInfo& info) const override {
     return std::make_unique<PushPullProcess>(self, info);
   }
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override {
+    return std::make_unique<sim::VectorPlane<PushPullProcess>>(
+        info.n,
+        [&info](sim::ProcessId p) { return PushPullProcess(p, info); });
+  }
 };
 
 }  // namespace ugf::protocols

@@ -1,0 +1,86 @@
+#include "protocols/push_pull_counting.hpp"
+
+#include <algorithm>
+
+namespace ugf::protocols {
+
+PushPullCountingProcess::PushPullCountingProcess(sim::ProcessId self,
+                                                 const sim::SystemInfo& info)
+    : self_(self), n_(info.n) {}
+
+bool PushPullCountingProcess::satisfied() const noexcept {
+  // Count saturated, or pull budget exhausted — the counting analogue
+  // of "for every other process: known or already pull-requested"
+  // (the exact protocol's pulled-set holds at most N - 1 others).
+  return known_count_ >= n_ || pulls_sent_ + 1 >= n_;
+}
+
+sim::PayloadRef PushPullCountingProcess::count_snapshot(
+    sim::ProcessContext& ctx) {
+  if (!snapshot_)
+    snapshot_ = ctx.make_payload<GossipCountPayload>(known_count_);
+  return snapshot_;
+}
+
+void PushPullCountingProcess::merge(std::uint64_t other_count) {
+  // Expected-union merge: u = min(N, a + c - floor(a c / N)). Strictly
+  // increasing while a < N and c >= 1 (floor(a c / N) <= c - 1), so
+  // merging can never stall short of saturation.
+  const std::uint64_t a = known_count_;
+  const std::uint64_t c = other_count;
+  const std::uint64_t u = std::min<std::uint64_t>(n_, a + c - (a * c) / n_);
+  if (u != known_count_) {
+    known_count_ = u;
+    snapshot_ = {};  // stale count; next send re-snapshots
+  }
+}
+
+sim::ProcessId PushPullCountingProcess::random_other(sim::ProcessContext& ctx) {
+  auto target = static_cast<sim::ProcessId>(ctx.rng().below(n_ - 1));
+  if (target >= self_) ++target;  // uniform over everyone but self
+  return target;
+}
+
+void PushPullCountingProcess::on_message(sim::ProcessContext& /*ctx*/,
+                                         const sim::Message& msg) {
+  if (payload_as<PullRequestPayload>(msg) != nullptr) {
+    pending_replies_.push_back(msg.from);
+    return;
+  }
+  if (const auto* payload = payload_as<GossipCountPayload>(msg))
+    merge(payload->count());
+}
+
+void PushPullCountingProcess::on_local_step(sim::ProcessContext& ctx) {
+  // Answer every pull delivered since the previous step — also while
+  // satisfied, so stragglers still get their replies (each reply is
+  // solicited, hence finite).
+  for (const auto requester : pending_replies_)
+    ctx.send(requester, count_snapshot(ctx));
+  pending_replies_.clear();
+
+  if (satisfied()) return;
+
+  // One pull and one push per step, both to uniformly random others
+  // (the exact protocol restricts targets via its pulled/served sets;
+  // tracking those is exactly the Theta(N) state this mode sheds).
+  if (!pull_req_) pull_req_ = ctx.make_payload<PullRequestPayload>();
+  ctx.send(random_other(ctx), pull_req_);
+  ++pulls_sent_;
+  ctx.send(random_other(ctx), count_snapshot(ctx));
+}
+
+bool PushPullCountingProcess::wants_sleep() const noexcept {
+  return pending_replies_.empty() && satisfied();
+}
+
+bool PushPullCountingProcess::completed() const noexcept {
+  return wants_sleep();
+}
+
+bool PushPullCountingProcess::has_gossip_of(
+    sim::ProcessId origin) const noexcept {
+  return origin == self_ || known_count_ >= n_;
+}
+
+}  // namespace ugf::protocols

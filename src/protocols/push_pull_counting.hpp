@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file push_pull_counting.hpp
+/// Push-Pull with O(1) per-process state — the million-process scale
+/// mode of the bundled Push-Pull protocol (push_pull.hpp).
+///
+/// The exact protocol keeps three N-bit sets per process (known /
+/// pulled / served), i.e. Theta(N) bytes per process and Theta(N^2)
+/// for a run — ~375 GB at N = 10^6. This variant replaces all of them
+/// with a single *gossip count* a = |G(rho)| and a pull counter:
+///
+///  * a push / pull reply carries the sender's count c, not its set;
+///  * the receiver merges u = min(N, a + c - floor(a * c / N)) — the
+///    expected union size of two independent uniform random subsets of
+///    sizes a and c, the same mean-field estimate push-pull analyses
+///    use. The merge is monotone, saturates at N, and strictly
+///    increases while a < N (floor(a c / N) <= c - 1 for a < N), so a
+///    process that keeps hearing counts reaches N in at most N merges
+///    (in practice O(log N): counts grow epidemically);
+///  * pull / push targets are uniform over everyone else (no
+///    already-pulled / already-served tracking); a process gives up
+///    pulling after N - 1 pull requests — the same exhaustion bound at
+///    which the exact protocol's pulled-set fills up — so quiescence
+///    survives crash-induced starvation.
+///
+/// A process reports rumor gathering via `claims_all_gossip()` (count
+/// saturated at N): with F = 0 every pull is answered, every reply
+/// strictly increases the count, and the verdict matches the exact
+/// protocol. Under crashes the count may stick below N — the summary
+/// then *under*-claims and the run reports rumor gathering false, which
+/// is the conservative direction. Use the exact protocol where
+/// per-origin verdicts matter; this mode exists for the N = 10^6
+/// engine-scale envelope (bench/perf_scale.cpp).
+
+#include <memory>
+#include <vector>
+
+#include "protocols/payloads.hpp"
+#include "sim/protocol.hpp"
+
+namespace ugf::protocols {
+
+class PushPullCountingProcess final : public sim::Protocol {
+ public:
+  PushPullCountingProcess(sim::ProcessId self, const sim::SystemInfo& info);
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override;
+  void on_local_step(sim::ProcessContext& ctx) override;
+  [[nodiscard]] bool wants_sleep() const noexcept override;
+  [[nodiscard]] bool completed() const noexcept override;
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override;
+  /// O(1) rumor-gathering verdict (see file comment).
+  [[nodiscard]] bool claims_all_gossip() const noexcept {
+    return known_count_ >= n_;
+  }
+
+  /// White-box accessors for tests.
+  [[nodiscard]] std::uint64_t known_count() const noexcept {
+    return known_count_;
+  }
+  [[nodiscard]] std::uint64_t pulls_sent() const noexcept {
+    return pulls_sent_;
+  }
+
+ private:
+  [[nodiscard]] bool satisfied() const noexcept;
+  [[nodiscard]] sim::PayloadRef count_snapshot(sim::ProcessContext& ctx);
+  void merge(std::uint64_t other_count);
+  [[nodiscard]] sim::ProcessId random_other(sim::ProcessContext& ctx);
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint64_t known_count_ = 1;  ///< a = |G(rho)|, starts at {own gossip}
+  std::uint64_t pulls_sent_ = 0;
+  std::vector<sim::ProcessId> pending_replies_;
+  /// Cached count snapshot / pull request (invalidated on count change;
+  /// the instance dies with the run's arena, so caching cannot dangle).
+  sim::PayloadRef snapshot_;
+  sim::PayloadRef pull_req_;
+};
+
+class PushPullCountingFactory final : public sim::ProtocolFactory {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "push-pull-counting";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<PushPullCountingProcess>(self, info);
+  }
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override {
+    return std::make_unique<sim::VectorPlane<PushPullCountingProcess>>(
+        info.n, [&info](sim::ProcessId p) {
+          return PushPullCountingProcess(p, info);
+        });
+  }
+};
+
+}  // namespace ugf::protocols

@@ -6,6 +6,7 @@
 #include "protocols/push_average.hpp"
 #include "protocols/ears.hpp"
 #include "protocols/push_pull.hpp"
+#include "protocols/push_pull_counting.hpp"
 #include "protocols/sequential.hpp"
 
 namespace ugf::protocols {
@@ -15,6 +16,22 @@ std::unique_ptr<sim::ProtocolFactory> make_protocol(std::string_view name) {
     return std::make_unique<PushPullFactory>();
   if (name == "ears") return std::make_unique<EarsFactory>();
   if (name == "sears") return std::make_unique<SearsFactory>();
+  // Scale modes: O(N)-bounded per-process state for engine-envelope
+  // runs at N >= 10^5. Deliberately absent from protocol_names() — the
+  // figure panels and sweep tests enumerate that list, and these modes
+  // are approximations of protocols already in it.
+  if (name == "push-pull-counting" || name == "push_pull_counting")
+    return std::make_unique<PushPullCountingFactory>();
+  if (name == "ears-summary" || name == "ears_summary") {
+    EarsConfig config;
+    config.exact_bookkeeping = false;
+    return std::make_unique<EarsFactory>(config);
+  }
+  if (name == "sears-summary" || name == "sears_summary") {
+    SearsConfig config;
+    config.base.exact_bookkeeping = false;
+    return std::make_unique<SearsFactory>(config);
+  }
   if (name == "sequential") return std::make_unique<SequentialFactory>();
   if (name == "broadcast-all" || name == "broadcast_all")
     return std::make_unique<BroadcastAllFactory>();

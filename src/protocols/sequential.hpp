@@ -46,6 +46,12 @@ class SequentialFactory final : public sim::ProtocolFactory {
       sim::ProcessId self, const sim::SystemInfo& info) const override {
     return std::make_unique<SequentialProcess>(self, info);
   }
+  [[nodiscard]] std::unique_ptr<sim::ProtocolPlane> create_plane(
+      const sim::SystemInfo& info) const override {
+    return std::make_unique<sim::VectorPlane<SequentialProcess>>(
+        info.n,
+        [&info](sim::ProcessId p) { return SequentialProcess(p, info); });
+  }
 };
 
 }  // namespace ugf::protocols

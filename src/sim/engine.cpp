@@ -11,83 +11,6 @@ namespace ugf::sim {
 
 using util::sat_add;
 
-void Engine::Inbox::push(std::uint64_t d, Message msg, std::uint64_t seq) {
-  // Senders keep their delivery time d for long stretches, so the lane
-  // hit by the previous push almost always matches; fall back to the
-  // linear scan only when it does not.
-  Lane* lane = nullptr;
-  if (last_lane_ < lanes_.size() && lanes_[last_lane_].d == d) {
-    lane = &lanes_[last_lane_];
-  } else {
-    for (std::size_t i = 0; i < lanes_.size(); ++i) {
-      if (lanes_[i].d == d) {
-        lane = &lanes_[i];
-        last_lane_ = i;
-        break;
-      }
-    }
-    if (lane == nullptr) {
-      lanes_.push_back(Lane{d, {}});
-      lane = &lanes_.back();
-      last_lane_ = lanes_.size() - 1;
-    }
-  }
-  UGF_ASSERT_MSG(lane->fifo.empty() ||
-                     lane->fifo.back().msg.arrives_at <= msg.arrives_at,
-                 "lane d=%llu accepted out of arrival order",
-                 static_cast<unsigned long long>(d));
-  UGF_ASSERT_MSG(msg.arrives_at >= msg.sent_at,
-                 "message arrives at %llu before its emission at %llu",
-                 static_cast<unsigned long long>(msg.arrives_at),
-                 static_cast<unsigned long long>(msg.sent_at));
-  earliest_ = std::min(earliest_, msg.arrives_at);
-  lane->fifo.push_back(InboxEntry{std::move(msg), seq});
-  ++size_;
-}
-
-void Engine::Inbox::recompute_earliest() noexcept {
-  earliest_ = kNeverStep;
-  for (const auto& lane : lanes_) {
-    if (!lane.fifo.empty())
-      earliest_ = std::min(earliest_, lane.fifo.front().msg.arrives_at);
-  }
-}
-
-bool Engine::Inbox::pop_due(GlobalStep step, Message& out) {
-  if (earliest_ > step) return false;  // O(1) miss: nothing is due yet
-  Lane* best = nullptr;
-  for (auto& lane : lanes_) {
-    if (lane.fifo.empty()) continue;
-    const auto& front = lane.fifo.front();
-    if (front.msg.arrives_at > step) continue;
-    if (best == nullptr ||
-        front.msg.arrives_at < best->fifo.front().msg.arrives_at ||
-        (front.msg.arrives_at == best->fifo.front().msg.arrives_at &&
-         front.seq < best->fifo.front().seq)) {
-      best = &lane;
-    }
-  }
-  UGF_ASSERT_MSG(best != nullptr,
-                 "earliest cache says a message is due at %llu but no lane "
-                 "front is",
-                 static_cast<unsigned long long>(step));
-  out = std::move(best->fifo.front().msg);
-  best->fifo.pop_front();
-  --size_;
-  recompute_earliest();
-  return true;
-}
-
-void Engine::Inbox::clear() noexcept {
-  // Lanes are kept (with their deque chunk maps) so a reused engine —
-  // or a crashed-then-ignored process slot — does not reallocate them;
-  // every scan already skips empty lanes.
-  for (auto& lane : lanes_) lane.fifo.clear();
-  size_ = 0;
-  earliest_ = kNeverStep;
-  last_lane_ = 0;
-}
-
 /// Per-step protocol services; bound to the process whose StepBegin is
 /// currently executing.
 class Engine::ContextImpl final : public ProcessContext {
@@ -100,7 +23,7 @@ class Engine::ContextImpl final : public ProcessContext {
     return info_;
   }
   [[nodiscard]] util::Rng& rng() noexcept override {
-    return engine_.procs_[self_].rng;
+    return engine_.table_.rng[self_];
   }
   [[nodiscard]] PayloadArena& arena() noexcept override {
     return engine_.arena_;
@@ -113,11 +36,11 @@ class Engine::ContextImpl final : public ProcessContext {
       throw std::invalid_argument("ProcessContext::send: self-send");
     if (!payload)
       throw std::invalid_argument("ProcessContext::send: null payload");
-    engine_.procs_[self_].outgoing.emplace_back(to, payload);
+    engine_.outgoing_.push(self_, to, payload);
   }
 
   [[nodiscard]] std::size_t queued_sends() const noexcept override {
-    return engine_.procs_[self_].outgoing.size();
+    return engine_.outgoing_.size(self_);
   }
 
  private:
@@ -147,18 +70,18 @@ class Engine::ControlImpl final : public AdversaryControl {
   [[nodiscard]] bool is_crashed(ProcessId p) const noexcept override {
     UGF_ASSERT_MSG(p < engine_.config_.n, "is_crashed(%u) with n=%u", p,
                    engine_.config_.n);
-    return engine_.procs_[p].state == ProcessState::kCrashed;
+    return engine_.table_.state[p] == ProcessState::kCrashed;
   }
   [[nodiscard]] bool is_asleep(ProcessId p) const noexcept override {
     UGF_ASSERT_MSG(p < engine_.config_.n, "is_asleep(%u) with n=%u", p,
                    engine_.config_.n);
-    return engine_.procs_[p].state == ProcessState::kAsleep;
+    return engine_.table_.state[p] == ProcessState::kAsleep;
   }
   [[nodiscard]] std::uint64_t messages_sent_by(
       ProcessId p) const noexcept override {
     UGF_ASSERT_MSG(p < engine_.config_.n, "messages_sent_by(%u) with n=%u", p,
                    engine_.config_.n);
-    return engine_.procs_[p].sent;
+    return engine_.table_.sent[p];
   }
   [[nodiscard]] GlobalStep now() const noexcept override {
     return engine_.now_;
@@ -167,19 +90,18 @@ class Engine::ControlImpl final : public AdversaryControl {
       ProcessId p) const noexcept override {
     UGF_ASSERT_MSG(p < engine_.config_.n, "delivery_time(%u) with n=%u", p,
                    engine_.config_.n);
-    return engine_.procs_[p].d;
+    return engine_.table_.d[p];
   }
   [[nodiscard]] std::uint64_t local_step_time(
       ProcessId p) const noexcept override {
     UGF_ASSERT_MSG(p < engine_.config_.n, "local_step_time(%u) with n=%u", p,
                    engine_.config_.n);
-    return engine_.procs_[p].delta;
+    return engine_.table_.delta[p];
   }
 
   bool crash(ProcessId p) override {
     if (p >= engine_.config_.n) return false;
-    auto& rt = engine_.procs_[p];
-    if (rt.state == ProcessState::kCrashed) return false;
+    if (engine_.table_.state[p] == ProcessState::kCrashed) return false;
     if (engine_.crashes_used_ >= engine_.config_.f) return false;
     ++engine_.crashes_used_;
     engine_.crash_process(p);
@@ -192,23 +114,23 @@ class Engine::ControlImpl final : public AdversaryControl {
   void set_delivery_time(ProcessId p, std::uint64_t d) override {
     if (p >= engine_.config_.n)
       throw std::out_of_range("AdversaryControl::set_delivery_time");
-    const std::uint64_t old = engine_.procs_[p].d;
-    engine_.procs_[p].d = std::max<std::uint64_t>(1, d);
-    UGF_ASSERT(engine_.procs_[p].d >= 1);
-    if (engine_.procs_[p].d != old)
+    const std::uint64_t old = engine_.table_.d[p];
+    engine_.table_.d[p] = std::max<std::uint64_t>(1, d);
+    UGF_ASSERT(engine_.table_.d[p] >= 1);
+    if (engine_.table_.d[p] != old)
       engine_.emit(obs::EventType::kDelayChange, engine_.now_, p, kNoProcess,
-                   engine_.procs_[p].d, old, engine_.hook_cause_);
+                   engine_.table_.d[p], old, engine_.hook_cause_);
   }
 
   void set_local_step_time(ProcessId p, std::uint64_t delta) override {
     if (p >= engine_.config_.n)
       throw std::out_of_range("AdversaryControl::set_local_step_time");
-    const std::uint64_t old = engine_.procs_[p].delta;
-    engine_.procs_[p].delta = std::max<std::uint64_t>(1, delta);
-    UGF_ASSERT(engine_.procs_[p].delta >= 1);
-    if (engine_.procs_[p].delta != old)
+    const std::uint64_t old = engine_.table_.delta[p];
+    engine_.table_.delta[p] = std::max<std::uint64_t>(1, delta);
+    UGF_ASSERT(engine_.table_.delta[p] >= 1);
+    if (engine_.table_.delta[p] != old)
       engine_.emit(obs::EventType::kStepTimeChange, engine_.now_, p,
-                   kNoProcess, engine_.procs_[p].delta, old,
+                   kNoProcess, engine_.table_.delta[p], old,
                    engine_.hook_cause_);
   }
 
@@ -253,27 +175,17 @@ void Engine::reset(const EngineConfig& config, Adversary* adversary) {
 void Engine::init_run_state() {
   const SystemInfo info{config_.n, config_.f};
   const util::Rng master(config_.seed);
-  procs_.resize(config_.n);
-  for (ProcessId p = 0; p < config_.n; ++p) {
-    auto& rt = procs_[p];
-    // Fresh protocol state every run; the container, inbox lanes and
-    // outgoing buffers keep their grown capacity.
-    rt.protocol = factory_.create(p, info);
-    if (!rt.protocol) throw std::runtime_error("ProtocolFactory returned null");
-    rt.rng = master.child(p);
-    rt.state = ProcessState::kAwake;
-    rt.delta = 1;
-    rt.d = 1;
-    rt.sent = 0;
-    rt.last_step_end = 0;
-    rt.next_begin = kNeverStep;
-    rt.begin_token = 0;
-    rt.end_token = 0;
-    rt.inbox.clear();
-    rt.outgoing.clear();
-  }
-  // Payloads of the previous run die here, after the protocol instances
-  // that cached refs to them were replaced above; the slabs stay.
+  // Fresh protocol state every run; the table columns and pooled
+  // inbox/outgoing chunks keep their grown capacity. The plane is
+  // replaced *before* the arena reset so no protocol instance can hold
+  // a ref into the payloads being destroyed.
+  plane_ = factory_.create_plane(info);
+  if (!plane_) throw std::runtime_error("ProtocolFactory returned null plane");
+  table_.reset(config_.n, master);
+  inboxes_.reset(config_.n);
+  outgoing_.reset(config_.n);
+  // Payloads of the previous run die here, after the plane that may
+  // have cached refs to them was replaced above; the slabs stay.
   arena_.reset();
   events_.clear();
   next_seq_ = 0;
@@ -305,17 +217,21 @@ void Engine::init_run_state() {
   outcome_.completion_step.assign(config_.n, kNeverStep);
 }
 
+std::size_t Engine::resident_state_bytes() const noexcept {
+  return table_.bytes() + inboxes_.bytes() + outgoing_.bytes() +
+         (plane_ ? plane_->state_bytes() : 0);
+}
+
 void Engine::crash_process(ProcessId pid) {
-  auto& rt = procs_[pid];
-  rt.state = ProcessState::kCrashed;
+  table_.state[pid] = ProcessState::kCrashed;
   // Invalidate every scheduled event of this process.
-  ++rt.begin_token;
-  ++rt.end_token;
-  rt.next_begin = kNeverStep;
-  const std::uint64_t wiped = rt.inbox.size();
+  ++table_.begin_token[pid];
+  ++table_.end_token[pid];
+  table_.next_begin[pid] = kNeverStep;
+  const std::uint64_t wiped = inboxes_.size(pid);
   outcome_.dropped_messages += wiped;
-  rt.inbox.clear();
-  rt.outgoing.clear();
+  inboxes_.clear(pid);
+  outgoing_.clear(pid);
   // A crash (and its inbox wipe) taken inside on_message_emitted is
   // attributed to the emission the adversary was reacting to.
   emit(obs::EventType::kCrash, now_, pid, kNoProcess, wiped, crashes_used_,
@@ -324,16 +240,17 @@ void Engine::crash_process(ProcessId pid) {
     emit(obs::EventType::kDrop, now_, pid, kNoProcess, wiped, 0, hook_cause_);
 }
 
-bool Engine::holds_gossip0(const Protocol& protocol) {
-  if (const util::DynamicBitset* bits = protocol.gossip_bits())
+bool Engine::holds_gossip0(ProcessId pid) const {
+  if (const util::DynamicBitset* bits = plane_->gossip_bits(pid))
     return bits->test(0);
-  return protocol.has_gossip_of(0);
+  if (plane_->claims_all_gossip(pid)) return true;
+  return plane_->has_gossip_of(pid, 0);
 }
 
 void Engine::note_infection(ProcessId pid, GlobalStep step,
                             std::uint64_t cause) {
   if (config_.sink == nullptr || reached_[pid] != 0) return;
-  if (!holds_gossip0(*procs_[pid].protocol)) return;
+  if (!holds_gossip0(pid)) return;
   reached_[pid] = 1;
   ++reached_count_;
   emit(obs::EventType::kInfection, step, pid, kNoProcess, reached_count_, 0,
@@ -341,29 +258,31 @@ void Engine::note_infection(ProcessId pid, GlobalStep step,
 }
 
 void Engine::schedule_begin_direct(ProcessId pid, GlobalStep at) {
-  auto& rt = procs_[pid];
-  ++rt.begin_token;
-  rt.next_begin = at;
-  events_.push(make_event(at, EventKind::kStepBegin, pid, rt.begin_token));
+  ++table_.begin_token[pid];
+  table_.next_begin[pid] = at;
+  events_.push(
+      make_event(at, EventKind::kStepBegin, pid, table_.begin_token[pid]));
 }
 
 void Engine::schedule_wake(ProcessId pid, GlobalStep at) {
-  auto& rt = procs_[pid];
-  if (rt.state != ProcessState::kAsleep) return;
-  if (rt.next_begin != kNeverStep && rt.next_begin <= at) return;
+  if (table_.state[pid] != ProcessState::kAsleep) return;
+  if (table_.next_begin[pid] != kNeverStep && table_.next_begin[pid] <= at)
+    return;
   schedule_begin_direct(pid, at);
 }
 
 void Engine::handle_step_begin(const ScheduledEvent& ev) {
-  auto& rt = procs_[ev.pid];
-  if (ev.token != rt.begin_token || rt.state == ProcessState::kCrashed) return;
-  rt.next_begin = kNeverStep;
-  rt.state = ProcessState::kAwake;
+  const ProcessId pid = ev.pid;
+  if (ev.token != table_.begin_token[pid] ||
+      table_.state[pid] == ProcessState::kCrashed)
+    return;
+  table_.next_begin[pid] = kNeverStep;
+  table_.state[pid] = ProcessState::kAwake;
 
   const GlobalStep s = ev.step;
-  ContextImpl ctx(*this, ev.pid, SystemInfo{config_.n, config_.f});
+  ContextImpl ctx(*this, pid, SystemInfo{config_.n, config_.f});
 
-  emit(obs::EventType::kStepBegin, s, ev.pid, kNoProcess, rt.inbox.size());
+  emit(obs::EventType::kStepBegin, s, pid, kNoProcess, inboxes_.size(pid));
 
   // Deliver everything that has arrived by the start of the step. When
   // a sink wants provenance and this process has not held gossip 0 yet,
@@ -371,58 +290,58 @@ void Engine::handle_step_begin(const ScheduledEvent& ev) {
   // cause (0 if local protocol state flips it without a delivery).
   Message msg;
   std::uint64_t infection_cause = 0;
-  const bool watch_infection =
-      config_.sink != nullptr && reached_[ev.pid] == 0;
-  while (rt.inbox.pop_due(s, msg)) {
-    UGF_ASSERT_MSG(msg.to == ev.pid, "message for %u delivered to %u", msg.to,
-                   ev.pid);
+  const bool watch_infection = config_.sink != nullptr && reached_[pid] == 0;
+  while (inboxes_.pop_due(pid, s, msg)) {
+    UGF_ASSERT_MSG(msg.to == pid, "message for %u delivered to %u", msg.to,
+                   pid);
     UGF_ASSERT_MSG(msg.arrives_at <= s,
                    "message delivered at %llu before its arrival at %llu",
                    static_cast<unsigned long long>(s),
                    static_cast<unsigned long long>(msg.arrives_at));
     ++outcome_.delivered_messages;
-    emit(obs::EventType::kDelivery, s, ev.pid, msg.from, msg.sent_at,
+    emit(obs::EventType::kDelivery, s, pid, msg.from, msg.sent_at,
          msg.arrives_at, msg.cause);
     {
       obs::ScopedPhase phase(config_.profiler, obs::Phase::kProtocol);
-      rt.protocol->on_message(ctx, msg);
+      plane_->on_message(ctx, msg);
     }
-    if (watch_infection && infection_cause == 0 &&
-        holds_gossip0(*rt.protocol)) {
+    if (watch_infection && infection_cause == 0 && holds_gossip0(pid)) {
       infection_cause = msg.cause;
     }
   }
 
   {
     obs::ScopedPhase phase(config_.profiler, obs::Phase::kProtocol);
-    rt.protocol->on_local_step(ctx);
+    plane_->on_local_step(ctx);
   }
-  if (config_.sink != nullptr) note_infection(ev.pid, s, infection_cause);
+  if (config_.sink != nullptr) note_infection(pid, s, infection_cause);
 
-  const GlobalStep end = sat_add(s, rt.delta);
-  ++rt.end_token;
-  events_.push(make_event(end, EventKind::kStepEnd, ev.pid, rt.end_token));
+  const GlobalStep end = sat_add(s, table_.delta[pid]);
+  ++table_.end_token[pid];
+  events_.push(make_event(end, EventKind::kStepEnd, pid, table_.end_token[pid]));
 }
 
 void Engine::handle_step_end(const ScheduledEvent& ev) {
-  auto& rt = procs_[ev.pid];
-  if (ev.token != rt.end_token || rt.state == ProcessState::kCrashed) return;
+  const ProcessId pid = ev.pid;
+  if (ev.token != table_.end_token[pid] ||
+      table_.state[pid] == ProcessState::kCrashed)
+    return;
 
   const GlobalStep e = ev.step;
-  const std::uint64_t sent_before = rt.sent;
+  const std::uint64_t sent_before = table_.sent[pid];
 
   // Emit the messages queued during the step, one by one; the adversary
   // observes each emission and may crash the receiver first (Strategy
-  // 2.k.0) or even the sender. Crashing the sender clears rt.outgoing
-  // under the loop, so iteration is by index and each destination /
-  // payload is copied into locals *before* the hook runs: the container
-  // may be wiped, but never the element being emitted. A sender crash
-  // ends the fan-out after the current message (size() drops to 0); the
-  // message already on the wire is still accepted if its receiver lives.
-  for (std::size_t i = 0; i < rt.outgoing.size(); ++i) {
-    const ProcessId to = rt.outgoing[i].first;
-    const PayloadRef payload = rt.outgoing[i].second;
-    ++rt.sent;
+  // 2.k.0) or even the sender. Crashing the sender clears the pooled
+  // outgoing queue under the loop, so each message is popped into
+  // locals *before* the hook runs: the queue may be wiped, but never
+  // the element being emitted. A sender crash ends the fan-out after
+  // the current message (the queue drains to empty); the message
+  // already on the wire is still accepted if its receiver lives.
+  ProcessId to = kNoProcess;
+  PayloadRef payload;
+  while (outgoing_.pop(pid, to, payload)) {
+    ++table_.sent[pid];
     ++outcome_.total_messages;
     outcome_.last_send_step = std::max(outcome_.last_send_step, e);
     // One 1-based emission id per attempt — accepted, omitted or dropped
@@ -431,7 +350,8 @@ void Engine::handle_step_end(const ScheduledEvent& ev) {
     // breaks inbox arrival ties: accepted messages still carry strictly
     // increasing seqs in emission order.
     const std::uint64_t cause = ++next_msg_seq_;
-    emit(obs::EventType::kEmission, e, ev.pid, to, rt.sent, rt.d, cause);
+    emit(obs::EventType::kEmission, e, pid, to, table_.sent[pid],
+         table_.d[pid], cause);
     if (adversary_ != nullptr) {
       in_emission_hook_ = true;
       suppress_current_ = false;
@@ -439,48 +359,46 @@ void Engine::handle_step_end(const ScheduledEvent& ev) {
       {
         obs::ScopedPhase phase(config_.profiler, obs::Phase::kAdversary);
         adversary_->on_message_emitted(*control_,
-                                       SendEvent{ev.pid, to, e, rt.sent});
+                                       SendEvent{pid, to, e, table_.sent[pid]});
       }
       in_emission_hook_ = false;
       hook_cause_ = 0;
       if (suppress_current_) {
         ++outcome_.omitted_messages;
-        emit(obs::EventType::kOmission, e, ev.pid, to, 0, 0, cause);
+        emit(obs::EventType::kOmission, e, pid, to, 0, 0, cause);
         continue;
       }
     }
-    auto& target = procs_[to];
-    if (target.state == ProcessState::kCrashed) {
+    if (table_.state[to] == ProcessState::kCrashed) {
       ++outcome_.dropped_messages;
-      emit(obs::EventType::kDrop, e, to, ev.pid, 1, 0, cause);
+      emit(obs::EventType::kDrop, e, to, pid, 1, 0, cause);
       continue;
     }
     // A suppressed (omitted) message must never reach this acceptance
     // path — the `continue` above it is what "omission" means.
     UGF_ASSERT(!suppress_current_);
-    const GlobalStep arrival = sat_add(e, rt.d);
-    target.inbox.push(rt.d, Message{ev.pid, to, e, arrival, payload, cause},
-                      cause);
-    if (target.state == ProcessState::kAsleep) schedule_wake(to, arrival);
+    const std::uint64_t d = table_.d[pid];
+    const GlobalStep arrival = sat_add(e, d);
+    inboxes_.push(to, d, Message{pid, to, e, arrival, payload, cause}, cause);
+    if (table_.state[to] == ProcessState::kAsleep) schedule_wake(to, arrival);
   }
-  rt.outgoing.clear();
-  if (rt.state == ProcessState::kCrashed) return;
+  if (table_.state[pid] == ProcessState::kCrashed) return;
 
-  rt.last_step_end = e;
+  table_.last_step_end[pid] = e;
   ++outcome_.local_steps_executed;
-  emit(obs::EventType::kStepEnd, e, ev.pid, kNoProcess, rt.sent - sent_before,
-       rt.delta);
+  emit(obs::EventType::kStepEnd, e, pid, kNoProcess,
+       table_.sent[pid] - sent_before, table_.delta[pid]);
 
-  if (rt.protocol->wants_sleep()) {
-    rt.state = ProcessState::kAsleep;
-    emit(obs::EventType::kSleep, e, ev.pid);
-    if (!rt.inbox.empty()) {
+  if (plane_->wants_sleep(pid)) {
+    table_.state[pid] = ProcessState::kAsleep;
+    emit(obs::EventType::kSleep, e, pid);
+    if (!inboxes_.empty(pid)) {
       // A message arrived during the step (or is in flight): the process
       // notices it and wakes no earlier than the end of this step.
-      schedule_wake(ev.pid, std::max(e, rt.inbox.earliest_arrival()));
+      schedule_wake(pid, std::max(e, inboxes_.earliest_arrival(pid)));
     }
   } else {
-    schedule_begin_direct(ev.pid, e);
+    schedule_begin_direct(pid, e);
   }
 }
 
@@ -505,7 +423,7 @@ Outcome Engine::run() {
 
   // Every non-crashed process starts its first local step at step 0.
   for (ProcessId p = 0; p < config_.n; ++p) {
-    if (procs_[p].state != ProcessState::kCrashed)
+    if (table_.state[p] != ProcessState::kCrashed)
       schedule_begin_direct(p, 0);
   }
 
@@ -599,6 +517,8 @@ void Engine::publish_metrics() {
     metrics_.arena_bytes = r.gauge("engine.arena.bytes_in_use");
     metrics_.arena_capacity_bytes = r.gauge("engine.arena.capacity_bytes");
     metrics_.arena_slabs = r.gauge("engine.arena.slabs");
+    metrics_.table_bytes = r.gauge("engine.table.bytes");
+    metrics_.table_bytes_per_process = r.gauge("engine.table.bytes_per_process");
     metrics_.wheel_max_buckets = r.gauge("engine.wheel.max_buckets");
     metrics_.wheel_max_spill = r.gauge("engine.wheel.max_spill");
     metrics_.wheel_max_horizon = r.gauge("engine.wheel.max_horizon");
@@ -626,6 +546,13 @@ void Engine::publish_metrics() {
   metrics_.arena_bytes.note_max(arena_.bytes_in_use());
   metrics_.arena_capacity_bytes.note_max(arena_.capacity_bytes());
   metrics_.arena_slabs.note_max(arena_.slab_count());
+  // The SoA footprint: table columns + pooled queues + protocol plane,
+  // with the arena's capacity folded into the per-process figure so it
+  // reflects everything a run keeps resident per process.
+  const std::size_t state_bytes = resident_state_bytes();
+  metrics_.table_bytes.note_max(state_bytes);
+  metrics_.table_bytes_per_process.note_max(
+      (state_bytes + arena_.capacity_bytes()) / std::max(1u, config_.n));
 
   const TimingWheel::Stats wheel = events_.stats();
   metrics_.wheel_cascades.add(wheel.cascades);
@@ -641,14 +568,13 @@ void Engine::finalize(Outcome& outcome) const {
   outcome.d_max = 1;
   outcome.t_end = 0;
   for (ProcessId p = 0; p < config_.n; ++p) {
-    const auto& rt = procs_[p];
-    outcome.per_process_sent[p] = rt.sent;
-    outcome.final_state[p] = rt.state;
-    outcome.delta_max = std::max(outcome.delta_max, rt.delta);
-    outcome.d_max = std::max(outcome.d_max, rt.d);
-    if (rt.state != ProcessState::kCrashed) {
-      outcome.completion_step[p] = rt.last_step_end;
-      outcome.t_end = std::max(outcome.t_end, rt.last_step_end);
+    outcome.per_process_sent[p] = table_.sent[p];
+    outcome.final_state[p] = table_.state[p];
+    outcome.delta_max = std::max(outcome.delta_max, table_.delta[p]);
+    outcome.d_max = std::max(outcome.d_max, table_.d[p]);
+    if (table_.state[p] != ProcessState::kCrashed) {
+      outcome.completion_step[p] = table_.last_step_end[p];
+      outcome.t_end = std::max(outcome.t_end, table_.last_step_end[p]);
     }
   }
   outcome.time_complexity =
@@ -661,9 +587,9 @@ void Engine::finalize(Outcome& outcome) const {
   // and nothing leaks.
   std::uint64_t pending = 0;
   std::uint64_t per_process_total = 0;
-  for (const auto& rt : procs_) {
-    pending += rt.inbox.size();
-    per_process_total += rt.sent;
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    pending += inboxes_.size(p);
+    per_process_total += table_.sent[p];
   }
   UGF_AUDIT_MSG(outcome.delivered_messages + outcome.dropped_messages +
                         outcome.omitted_messages + pending ==
@@ -684,27 +610,29 @@ void Engine::finalize(Outcome& outcome) const {
 
   // Rumor gathering (Def II.1): every correct process must hold the
   // gossip of every correct process. Meaningless if truncated.
-  // Protocols exposing gossip_bits() are checked word-parallel against
-  // the correct-process mask; the rest fall back to n virtual calls.
+  // Protocols exposing gossip_bits are checked word-parallel against
+  // the correct-process mask; claims_all_gossip short-circuits in O(1)
+  // for counting/summary protocols; the rest fall back to n virtual
+  // calls (with an early break on the first failure).
   outcome.rumor_gathering_ok = !outcome.truncated;
   if (outcome.rumor_gathering_ok) {
     util::DynamicBitset correct_mask(config_.n);
     for (ProcessId q = 0; q < config_.n; ++q) {
-      if (procs_[q].state != ProcessState::kCrashed) correct_mask.set(q);
+      if (table_.state[q] != ProcessState::kCrashed) correct_mask.set(q);
     }
     for (ProcessId p = 0; p < config_.n && outcome.rumor_gathering_ok; ++p) {
-      if (procs_[p].state == ProcessState::kCrashed) continue;
-      const Protocol& protocol = *procs_[p].protocol;
-      if (const util::DynamicBitset* bits = protocol.gossip_bits()) {
+      if (table_.state[p] == ProcessState::kCrashed) continue;
+      if (const util::DynamicBitset* bits = plane_->gossip_bits(p)) {
         UGF_ASSERT_MSG(bits->size() == config_.n,
                        "gossip_bits() sized %zu for n=%u", bits->size(),
                        config_.n);
         outcome.rumor_gathering_ok = bits->contains(correct_mask);
         continue;
       }
+      if (plane_->claims_all_gossip(p)) continue;
       for (ProcessId q = 0; q < config_.n; ++q) {
-        if (procs_[q].state == ProcessState::kCrashed) continue;
-        if (!protocol.has_gossip_of(q)) {
+        if (table_.state[q] == ProcessState::kCrashed) continue;
+        if (!plane_->has_gossip_of(p, q)) {
           outcome.rumor_gathering_ok = false;
           break;
         }

@@ -27,16 +27,22 @@
 /// protocol randomness comes from per-process child streams of the run
 /// seed.
 ///
+/// Layout: per-process state is a structure-of-arrays ProcessTable
+/// (sim/process_table.hpp) plus two engine-owned pools for inbox lanes
+/// and outgoing buffers; protocol state lives in one ProtocolPlane per
+/// run instead of one heap object per process. Constructing an engine
+/// for N = 10^6 processes is a handful of large allocations, not
+/// millions of small ones.
+///
 /// Reuse: `reset()` rewinds an engine for another run while retaining
-/// every capacity the previous run grew — the process table, inbox
-/// lanes, event-queue storage and payload-arena slabs — so a
-/// Monte-Carlo worker runs its whole batch share against warm memory.
-/// A reset engine is indistinguishable from a freshly constructed one
-/// (same config ⇒ bit-for-bit identical Outcome).
+/// every capacity the previous run grew — the process table columns,
+/// pooled inbox/outgoing chunks, event-queue storage and payload-arena
+/// slabs — so a Monte-Carlo worker runs its whole batch share against
+/// warm memory. A reset engine is indistinguishable from a freshly
+/// constructed one (same config ⇒ bit-for-bit identical Outcome).
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -47,6 +53,7 @@
 #include "sim/message.hpp"
 #include "sim/outcome.hpp"
 #include "sim/payload_arena.hpp"
+#include "sim/process_table.hpp"
 #include "sim/protocol.hpp"
 #include "sim/timing_wheel.hpp"
 #include "sim/types.hpp"
@@ -97,22 +104,23 @@ class Engine {
   [[nodiscard]] Outcome run();
 
   /// Rewinds the engine for another run() under a new config (same
-  /// factory; `n` may even change). Fresh protocol instances are
-  /// created and every payload of the previous run is destroyed — any
+  /// factory; `n` may even change). A fresh protocol plane is created
+  /// and every payload of the previous run is destroyed — any
   /// PayloadRef from the previous run is dangling after this — but all
-  /// grown capacity (process table, inbox lanes, event-queue storage,
-  /// arena slabs) is retained. Equivalent to constructing a new Engine:
-  /// the run is a pure function of (config, factory, adversary) either
-  /// way.
+  /// grown capacity (process table, pooled inbox/outgoing chunks,
+  /// event-queue storage, arena slabs) is retained. Equivalent to
+  /// constructing a new Engine: the run is a pure function of (config,
+  /// factory, adversary) either way.
   void reset(const EngineConfig& config, Adversary* adversary);
 
   /// The run's payload arena (stats inspection in tests/benches).
   [[nodiscard]] const PayloadArena& arena() const noexcept { return arena_; }
 
-  struct InboxEntry {
-    Message msg;
-    std::uint64_t seq = 0;
-  };
+  /// Resident bytes of the per-process machinery: table columns,
+  /// pooled inbox/outgoing storage and the protocol plane's state
+  /// (arena bytes are reported separately). Also published per process
+  /// as the "engine.table.bytes_per_process" gauge.
+  [[nodiscard]] std::size_t resident_state_bytes() const noexcept;
 
   /// Pending deliveries of one process. Messages are accepted in
   /// non-decreasing emission time, so within one delivery-time class d
@@ -122,50 +130,49 @@ class Engine {
   /// sequential memory — a binary heap degrades badly when Strategy
   /// 2.k.l parks ~10^6 far-future messages in flight. Adversaries that
   /// use many distinct d values degrade gracefully (one lane each).
-  /// Public for direct unit testing; processes never see it.
+  ///
+  /// The engine itself stores every process's lanes in one shared
+  /// InboxPool (sim/process_table.hpp); this class is a single-process
+  /// view over a private pool, kept public for direct unit testing of
+  /// the exact pooled semantics. Processes never see it.
   class Inbox {
    public:
-    void push(std::uint64_t d, Message msg, std::uint64_t seq);
-    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    Inbox() { pool_.reset(1); }
+
+    void push(std::uint64_t d, Message msg, std::uint64_t seq) {
+      pool_.push(0, d, std::move(msg), seq);
+    }
+    [[nodiscard]] bool empty() const noexcept { return pool_.empty(0); }
+    [[nodiscard]] std::size_t size() const noexcept { return pool_.size(0); }
     /// Distinct delivery-time lanes ever seen (diagnostics/tests).
     [[nodiscard]] std::size_t lane_count() const noexcept {
-      return lanes_.size();
+      return pool_.lane_count(0);
     }
     /// Earliest pending arrival step; kNeverStep when empty. O(1): the
     /// value is maintained incrementally on push and recomputed from
     /// the lane fronts only after a successful pop.
     [[nodiscard]] GlobalStep earliest_arrival() const noexcept {
-      return earliest_;
+      return pool_.earliest_arrival(0);
     }
     /// True iff a message with arrival <= step is pending; if so, moves
     /// the earliest (by arrival, then acceptance order) into `out`.
-    bool pop_due(GlobalStep step, Message& out);
-    /// Discards every pending message. Lanes (and their deque chunks)
+    bool pop_due(GlobalStep step, Message& out) {
+      return pool_.pop_due(0, step, out);
+    }
+    /// Discards every pending message. Lanes (and their chunk storage)
     /// are kept for reuse — empty lanes are skipped by every scan, so
     /// retention is invisible to callers.
-    void clear() noexcept;
+    void clear() noexcept { pool_.clear(0); }
 
    private:
-    struct Lane {
-      std::uint64_t d = 0;
-      std::deque<InboxEntry> fifo;
-    };
-    void recompute_earliest() noexcept;
-    std::vector<Lane> lanes_;
-    std::size_t size_ = 0;
-    /// Min over the lane fronts' arrival steps; kNeverStep when empty.
-    GlobalStep earliest_ = kNeverStep;
-    /// Lane hit by the previous push — senders keep their d for long
-    /// stretches, so the next push almost always lands there again.
-    std::size_t last_lane_ = 0;
+    InboxPool pool_;
   };
 
  private:
   enum class EventKind : std::uint8_t { kStepBegin, kStepEnd, kTimer };
 
   /// Builds a wheel event; `token` is the validity token checked
-  /// against the runtime when the event fires.
+  /// against the process table when the event fires.
   [[nodiscard]] ScheduledEvent make_event(GlobalStep step, EventKind kind,
                                           ProcessId pid,
                                           std::uint64_t token) noexcept {
@@ -173,26 +180,11 @@ class Engine {
                           static_cast<std::uint8_t>(kind)};
   }
 
-  struct ProcessRuntime {
-    std::unique_ptr<Protocol> protocol;
-    util::Rng rng{0};
-    ProcessState state = ProcessState::kAwake;
-    std::uint64_t delta = 1;  ///< local step duration delta_rho
-    std::uint64_t d = 1;      ///< delivery time d_rho
-    std::uint64_t sent = 0;   ///< M_rho so far
-    GlobalStep last_step_end = 0;
-    GlobalStep next_begin = kNeverStep;  ///< scheduled StepBegin, if any
-    std::uint64_t begin_token = 0;
-    std::uint64_t end_token = 0;
-    Inbox inbox;
-    std::vector<std::pair<ProcessId, PayloadRef>> outgoing;
-  };
-
   class ContextImpl;
   class ControlImpl;
 
-  /// Shared by the constructor and reset(): (re)creates the per-process
-  /// runtimes and zeroes all per-run mutable state, reusing capacity.
+  /// Shared by the constructor and reset(): (re)creates the protocol
+  /// plane and zeroes all per-run mutable state, reusing capacity.
   void init_run_state();
 
   /// Resolved metric handles, re-resolved only when the configured
@@ -215,6 +207,8 @@ class Engine {
     obs::Gauge arena_bytes;
     obs::Gauge arena_capacity_bytes;
     obs::Gauge arena_slabs;
+    obs::Gauge table_bytes;
+    obs::Gauge table_bytes_per_process;
     obs::Gauge wheel_max_buckets;
     obs::Gauge wheel_max_spill;
     obs::Gauge wheel_max_horizon;
@@ -242,15 +236,19 @@ class Engine {
   /// `cause` is the emission id whose delivery flipped the gossip bit
   /// this step (0 when infected at run start or by local state alone).
   void note_infection(ProcessId pid, GlobalStep step, std::uint64_t cause = 0);
-  /// True iff `protocol` currently holds gossip 0 (word-parallel via
-  /// gossip_bits() when exposed, virtual fallback otherwise).
-  [[nodiscard]] static bool holds_gossip0(const Protocol& protocol);
+  /// True iff process `pid` currently holds gossip 0 (word-parallel via
+  /// gossip_bits when exposed, claims_all_gossip or virtual fallback
+  /// otherwise).
+  [[nodiscard]] bool holds_gossip0(ProcessId pid) const;
 
   EngineConfig config_;
   const ProtocolFactory& factory_;
   Adversary* adversary_;
 
-  std::vector<ProcessRuntime> procs_;
+  ProcessTable table_;
+  InboxPool inboxes_;
+  OutgoingPool outgoing_;
+  std::unique_ptr<ProtocolPlane> plane_;
   PayloadArena arena_;
   TimingWheel events_;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,316 @@
+#include "sim/process_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ugf::sim {
+
+// ---- ProcessTable ---------------------------------------------------------
+
+void ProcessTable::reset(std::uint32_t n, const util::Rng& master) {
+  rng.resize(n);
+  state.resize(n);
+  delta.resize(n);
+  d.resize(n);
+  sent.resize(n);
+  last_step_end.resize(n);
+  next_begin.resize(n);
+  begin_token.resize(n);
+  end_token.resize(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    rng[p] = master.child(p);
+    state[p] = ProcessState::kAwake;
+    delta[p] = 1;
+    d[p] = 1;
+    sent[p] = 0;
+    last_step_end[p] = 0;
+    next_begin[p] = kNeverStep;
+    begin_token[p] = 0;
+    end_token[p] = 0;
+  }
+}
+
+std::size_t ProcessTable::bytes() const noexcept {
+  return rng.capacity() * sizeof(util::Rng) +
+         state.capacity() * sizeof(ProcessState) +
+         (delta.capacity() + d.capacity() + sent.capacity() +
+          begin_token.capacity() + end_token.capacity()) *
+             sizeof(std::uint64_t) +
+         (last_step_end.capacity() + next_begin.capacity()) *
+             sizeof(GlobalStep);
+}
+
+// ---- InboxPool ------------------------------------------------------------
+
+std::uint32_t InboxPool::alloc_chunk() {
+  if (free_chunks_ != kNil) {
+    const std::uint32_t c = free_chunks_;
+    free_chunks_ = chunks_[c].next;
+    chunks_[c].next = kNil;
+    return c;
+  }
+  chunks_.emplace_back();
+  return static_cast<std::uint32_t>(chunks_.size() - 1);
+}
+
+void InboxPool::free_chunk(std::uint32_t chunk) noexcept {
+  chunks_[chunk].next = free_chunks_;
+  free_chunks_ = chunk;
+}
+
+void InboxPool::reset(std::uint32_t n) {
+  // Shrinking: recycle the chunks of surplus processes and detach
+  // their lane nodes to the free list before the heads disappear.
+  for (std::size_t p = n; p < heads_.size(); ++p) {
+    clear(static_cast<ProcessId>(p));
+    std::uint32_t li = heads_[p].first_lane;
+    while (li != kNil) {
+      const std::uint32_t next = lanes_[li].next;
+      lanes_[li].next = free_lanes_;
+      free_lanes_ = li;
+      li = next;
+    }
+    heads_[p] = Head{};
+  }
+  const std::size_t surviving = std::min<std::size_t>(heads_.size(), n);
+  heads_.resize(n);
+  // Surviving processes keep their lanes, emptied — same retention the
+  // per-process Inbox::clear() used to give a reused engine.
+  for (std::size_t p = 0; p < surviving; ++p)
+    clear(static_cast<ProcessId>(p));
+}
+
+void InboxPool::push(ProcessId p, std::uint64_t d, Message msg,
+                     std::uint64_t seq) {
+  Head& h = heads_[p];
+  std::uint32_t li = h.hint_lane;
+  if (li == kNil || lanes_[li].d != d) {
+    li = kNil;
+    std::uint32_t tail = kNil;
+    for (std::uint32_t i = h.first_lane; i != kNil; i = lanes_[i].next) {
+      if (lanes_[i].d == d) {
+        li = i;
+        break;
+      }
+      tail = i;
+    }
+    if (li == kNil) {
+      if (free_lanes_ != kNil) {
+        li = free_lanes_;
+        free_lanes_ = lanes_[li].next;
+        lanes_[li] = Lane{};
+      } else {
+        lanes_.emplace_back();
+        li = static_cast<std::uint32_t>(lanes_.size() - 1);
+      }
+      lanes_[li].d = d;
+      if (tail == kNil)
+        h.first_lane = li;
+      else
+        lanes_[tail].next = li;
+    }
+    h.hint_lane = li;
+  }
+  UGF_ASSERT_MSG(lanes_[li].size == 0 ||
+                     lanes_[li].last_arrival <= msg.arrives_at,
+                 "lane d=%llu accepted out of arrival order",
+                 static_cast<unsigned long long>(d));
+  UGF_ASSERT_MSG(msg.arrives_at >= msg.sent_at,
+                 "message arrives at %llu before its emission at %llu",
+                 static_cast<unsigned long long>(msg.arrives_at),
+                 static_cast<unsigned long long>(msg.sent_at));
+  // Chunk allocation may grow chunks_; take references afterwards.
+  if (lanes_[li].tail_chunk == kNil) {
+    const std::uint32_t c = alloc_chunk();
+    Lane& lane = lanes_[li];
+    lane.head_chunk = lane.tail_chunk = c;
+    lane.head_slot = lane.tail_slot = 0;
+  } else if (lanes_[li].tail_slot == kChunkEntries) {
+    const std::uint32_t c = alloc_chunk();
+    Lane& lane = lanes_[li];
+    chunks_[lane.tail_chunk].next = c;
+    lane.tail_chunk = c;
+    lane.tail_slot = 0;
+  }
+  Lane& lane = lanes_[li];
+  h.earliest = std::min(h.earliest, msg.arrives_at);
+  lane.last_arrival = msg.arrives_at;
+  chunks_[lane.tail_chunk].slots[lane.tail_slot] = InboxEntry{msg, seq};
+  ++lane.tail_slot;
+  ++lane.size;
+  ++h.size;
+}
+
+void InboxPool::recompute_earliest(ProcessId p) noexcept {
+  Head& h = heads_[p];
+  h.earliest = kNeverStep;
+  for (std::uint32_t li = h.first_lane; li != kNil; li = lanes_[li].next) {
+    const Lane& lane = lanes_[li];
+    if (lane.size == 0) continue;
+    h.earliest = std::min(
+        h.earliest, chunks_[lane.head_chunk].slots[lane.head_slot].msg.arrives_at);
+  }
+}
+
+bool InboxPool::pop_due(ProcessId p, GlobalStep step, Message& out) {
+  Head& h = heads_[p];
+  if (h.earliest > step) return false;  // O(1) miss: nothing is due yet
+  std::uint32_t best = kNil;
+  GlobalStep best_arrival = 0;
+  std::uint64_t best_seq = 0;
+  for (std::uint32_t li = h.first_lane; li != kNil; li = lanes_[li].next) {
+    const Lane& lane = lanes_[li];
+    if (lane.size == 0) continue;
+    const InboxEntry& front = chunks_[lane.head_chunk].slots[lane.head_slot];
+    if (front.msg.arrives_at > step) continue;
+    if (best == kNil || front.msg.arrives_at < best_arrival ||
+        (front.msg.arrives_at == best_arrival && front.seq < best_seq)) {
+      best = li;
+      best_arrival = front.msg.arrives_at;
+      best_seq = front.seq;
+    }
+  }
+  UGF_ASSERT_MSG(best != kNil,
+                 "earliest cache says a message is due at %llu but no lane "
+                 "front is",
+                 static_cast<unsigned long long>(step));
+  if (best == kNil) return false;
+  Lane& lane = lanes_[best];
+  out = chunks_[lane.head_chunk].slots[lane.head_slot].msg;
+  ++lane.head_slot;
+  --lane.size;
+  --h.size;
+  if (lane.size == 0) {
+    // The last entry always lives in the final chunk of the lane.
+    UGF_ASSERT(lane.head_chunk == lane.tail_chunk);
+    free_chunk(lane.head_chunk);
+    lane.head_chunk = lane.tail_chunk = kNil;
+    lane.head_slot = lane.tail_slot = 0;
+  } else if (lane.head_slot == kChunkEntries) {
+    const std::uint32_t consumed = lane.head_chunk;
+    lane.head_chunk = chunks_[consumed].next;
+    lane.head_slot = 0;
+    free_chunk(consumed);
+  }
+  recompute_earliest(p);
+  return true;
+}
+
+void InboxPool::clear(ProcessId p) noexcept {
+  Head& h = heads_[p];
+  for (std::uint32_t li = h.first_lane; li != kNil; li = lanes_[li].next) {
+    Lane& lane = lanes_[li];
+    std::uint32_t c = lane.head_chunk;
+    while (c != kNil) {
+      const std::uint32_t next = chunks_[c].next;
+      free_chunk(c);
+      c = next;
+    }
+    lane.head_chunk = lane.tail_chunk = kNil;
+    lane.head_slot = lane.tail_slot = 0;
+    lane.size = 0;
+    lane.last_arrival = 0;
+  }
+  h.size = 0;
+  h.earliest = kNeverStep;
+  // Mirror of the old last-lane hint reset: point back at the first
+  // retained lane (correctness never depends on the hint, only speed).
+  h.hint_lane = h.first_lane;
+}
+
+std::size_t InboxPool::lane_count(ProcessId p) const noexcept {
+  std::size_t count = 0;
+  for (std::uint32_t li = heads_[p].first_lane; li != kNil;
+       li = lanes_[li].next)
+    ++count;
+  return count;
+}
+
+std::size_t InboxPool::bytes() const noexcept {
+  return heads_.capacity() * sizeof(Head) + lanes_.capacity() * sizeof(Lane) +
+         chunks_.capacity() * sizeof(Chunk);
+}
+
+// ---- OutgoingPool ---------------------------------------------------------
+
+std::uint32_t OutgoingPool::alloc_chunk() {
+  if (free_chunks_ != kNil) {
+    const std::uint32_t c = free_chunks_;
+    free_chunks_ = chunks_[c].next;
+    chunks_[c].next = kNil;
+    return c;
+  }
+  chunks_.emplace_back();
+  return static_cast<std::uint32_t>(chunks_.size() - 1);
+}
+
+void OutgoingPool::free_chunk(std::uint32_t chunk) noexcept {
+  chunks_[chunk].next = free_chunks_;
+  free_chunks_ = chunk;
+}
+
+void OutgoingPool::reset(std::uint32_t n) {
+  for (std::size_t p = 0; p < heads_.size(); ++p)
+    clear(static_cast<ProcessId>(p));
+  heads_.resize(n);
+}
+
+void OutgoingPool::push(ProcessId p, ProcessId to, PayloadRef payload) {
+  if (heads_[p].tail_chunk == kNil) {
+    const std::uint32_t c = alloc_chunk();
+    Head& h = heads_[p];
+    h.head_chunk = h.tail_chunk = c;
+    h.head_slot = h.tail_slot = 0;
+  } else if (heads_[p].tail_slot == kChunkEntries) {
+    const std::uint32_t c = alloc_chunk();
+    Head& h = heads_[p];
+    chunks_[h.tail_chunk].next = c;
+    h.tail_chunk = c;
+    h.tail_slot = 0;
+  }
+  Head& h = heads_[p];
+  chunks_[h.tail_chunk].slots[h.tail_slot] = Entry{to, payload};
+  ++h.tail_slot;
+  ++h.size;
+}
+
+bool OutgoingPool::pop(ProcessId p, ProcessId& to,
+                       PayloadRef& payload) noexcept {
+  Head& h = heads_[p];
+  if (h.size == 0) return false;
+  const Entry& entry = chunks_[h.head_chunk].slots[h.head_slot];
+  to = entry.to;
+  payload = entry.payload;
+  ++h.head_slot;
+  --h.size;
+  if (h.size == 0) {
+    UGF_ASSERT(h.head_chunk == h.tail_chunk);
+    free_chunk(h.head_chunk);
+    h.head_chunk = h.tail_chunk = kNil;
+    h.head_slot = h.tail_slot = 0;
+  } else if (h.head_slot == kChunkEntries) {
+    const std::uint32_t consumed = h.head_chunk;
+    h.head_chunk = chunks_[consumed].next;
+    h.head_slot = 0;
+    free_chunk(consumed);
+  }
+  return true;
+}
+
+void OutgoingPool::clear(ProcessId p) noexcept {
+  Head& h = heads_[p];
+  std::uint32_t c = h.head_chunk;
+  while (c != kNil) {
+    const std::uint32_t next = chunks_[c].next;
+    free_chunk(c);
+    c = next;
+  }
+  h = Head{};
+}
+
+std::size_t OutgoingPool::bytes() const noexcept {
+  return heads_.capacity() * sizeof(Head) + chunks_.capacity() * sizeof(Chunk);
+}
+
+}  // namespace ugf::sim

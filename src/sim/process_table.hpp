@@ -1,0 +1,218 @@
+#pragma once
+
+/// \file process_table.hpp
+/// Structure-of-arrays process state and pooled per-process queues.
+///
+/// The engine used to keep one fat ProcessRuntime struct per process —
+/// a unique_ptr<Protocol>, an Inbox with its own lane vector and
+/// deques, and an outgoing vector, ~200 resident bytes plus several
+/// heap objects each. At the million-process scale that layout is the
+/// wall: construction alone is millions of allocations, and every
+/// event touches cache lines full of fields it never reads.
+///
+/// This header splits that struct three ways:
+///  * ProcessTable — the POD scheduling fields as parallel flat arrays
+///    (one cache-friendly column per field);
+///  * InboxPool — every process's pending deliveries in shared chunked
+///    storage, index-linked (no pointers, so the backing vectors may
+///    grow), with the exact per-d FIFO-lane semantics of the old
+///    Engine::Inbox: O(1) accept, pop by (arrival, acceptance-seq),
+///    lanes retained across clears;
+///  * OutgoingPool — the queued sends of all processes in shared
+///    chunked FIFOs.
+///
+/// Chunks and lane nodes are recycled through free lists, so a warm
+/// engine (Monte-Carlo reuse) runs against already-grown storage and
+/// the steady-state allocation count per run is zero — same contract
+/// the per-process containers used to give, now with one allocator
+/// arena for the whole table instead of N of them.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace ugf::sim {
+
+/// One pending delivery: the message plus its acceptance sequence
+/// number (the arrival tie-break — globally unique, so ordering by
+/// (arrives_at, seq) is strict).
+struct InboxEntry {
+  Message msg;
+  std::uint64_t seq = 0;
+};
+
+/// Flat parallel arrays of the per-process scheduling fields (the old
+/// ProcessRuntime minus protocol/inbox/outgoing). All vectors share
+/// indexing by ProcessId and are resized together by reset().
+struct ProcessTable {
+  std::vector<util::Rng> rng;
+  std::vector<ProcessState> state;
+  std::vector<std::uint64_t> delta;  ///< local step duration delta_rho
+  std::vector<std::uint64_t> d;      ///< delivery time d_rho
+  std::vector<std::uint64_t> sent;   ///< M_rho so far
+  std::vector<GlobalStep> last_step_end;
+  std::vector<GlobalStep> next_begin;  ///< scheduled StepBegin, if any
+  std::vector<std::uint64_t> begin_token;
+  std::vector<std::uint64_t> end_token;
+
+  /// (Re)initialises all columns for `n` processes: awake, delta = d =
+  /// 1, rng[p] = master.child(p). Capacity is retained across calls.
+  void reset(std::uint32_t n, const util::Rng& master);
+
+  /// Resident bytes of all columns (capacity, not size).
+  [[nodiscard]] std::size_t bytes() const noexcept;
+};
+
+/// Pending deliveries of every process, in pooled chunked storage.
+///
+/// Per process the structure is a linked list of *lanes*, one per
+/// distinct delivery time d ever seen (messages are accepted in
+/// non-decreasing emission time, so within one lane the arrival times
+/// are non-decreasing: each lane is an append-only FIFO). pop_due
+/// merges the lane fronts by (arrives_at, acceptance seq). Lanes stay
+/// attached to their process across clear() — identical behaviour to
+/// the old per-process Inbox, including the per-process last-hit lane
+/// hint — but lane nodes and entry chunks come from pool-wide free
+/// lists instead of per-process heap containers.
+class InboxPool {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// (Re)sizes to `n` processes. Existing processes keep their lanes
+  /// (emptied); chunks are recycled; shrinking detaches surplus lanes.
+  void reset(std::uint32_t n);
+
+  /// Accepts one message for process `p` on the lane of delivery time
+  /// `d`, creating the lane on first use.
+  void push(ProcessId p, std::uint64_t d, Message msg, std::uint64_t seq);
+
+  /// True iff a message for `p` with arrival <= step is pending; if
+  /// so, moves the earliest (by arrival, then acceptance seq) into
+  /// `out`.
+  bool pop_due(ProcessId p, GlobalStep step, Message& out);
+
+  /// Discards every pending message of `p`. Lane nodes stay attached
+  /// (empty); their chunks go back to the pool's free list.
+  void clear(ProcessId p) noexcept;
+
+  [[nodiscard]] bool empty(ProcessId p) const noexcept {
+    return heads_[p].size == 0;
+  }
+  [[nodiscard]] std::size_t size(ProcessId p) const noexcept {
+    return heads_[p].size;
+  }
+  /// Distinct delivery-time lanes ever seen by `p` (diagnostics).
+  [[nodiscard]] std::size_t lane_count(ProcessId p) const noexcept;
+  /// Earliest pending arrival of `p`; kNeverStep when empty. O(1):
+  /// maintained on push, recomputed from lane fronts after a pop.
+  [[nodiscard]] GlobalStep earliest_arrival(ProcessId p) const noexcept {
+    return heads_[p].earliest;
+  }
+
+  /// Resident bytes of the whole pool (capacity, not size).
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+ private:
+  /// Entries per chunk: sized for the common case (a handful of
+  /// messages in flight per process) so a million single-lane inboxes
+  /// do not each pin a near-empty jumbo block.
+  static constexpr std::uint32_t kChunkEntries = 4;
+
+  struct Chunk {
+    std::array<InboxEntry, kChunkEntries> slots;
+    std::uint32_t next = kNil;
+  };
+  struct Lane {
+    std::uint64_t d = 0;
+    /// Arrival step of the most recently accepted entry (the FIFO
+    /// order assert; tracking it here avoids a tail-chunk walk).
+    GlobalStep last_arrival = 0;
+    std::uint64_t size = 0;
+    std::uint32_t head_chunk = kNil;
+    std::uint32_t tail_chunk = kNil;
+    std::uint32_t head_slot = 0;  ///< front entry index in head chunk
+    std::uint32_t tail_slot = 0;  ///< next write index in tail chunk
+    std::uint32_t next = kNil;    ///< next lane of the same process
+  };
+  struct Head {
+    std::uint32_t first_lane = kNil;
+    /// Lane hit by the previous push — senders keep their d for long
+    /// stretches, so the next push almost always lands there again.
+    std::uint32_t hint_lane = kNil;
+    std::uint64_t size = 0;
+    GlobalStep earliest = kNeverStep;
+  };
+
+  std::uint32_t alloc_chunk();
+  void free_chunk(std::uint32_t chunk) noexcept;
+  void recompute_earliest(ProcessId p) noexcept;
+
+  std::vector<Head> heads_;
+  std::vector<Lane> lanes_;
+  std::vector<Chunk> chunks_;
+  std::uint32_t free_chunks_ = kNil;
+  std::uint32_t free_lanes_ = kNil;
+};
+
+/// Messages queued by ProcessContext::send, drained at the sender's
+/// StepEnd — per-process FIFOs over pooled chunks, same recycling
+/// story as InboxPool.
+class OutgoingPool {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Entry {
+    ProcessId to = kNoProcess;
+    PayloadRef payload;
+  };
+
+  /// (Re)sizes to `n` processes and empties every queue.
+  void reset(std::uint32_t n);
+
+  void push(ProcessId p, ProcessId to, PayloadRef payload);
+
+  /// Pops the oldest queued send of `p` into (to, payload); false when
+  /// empty.
+  bool pop(ProcessId p, ProcessId& to, PayloadRef& payload) noexcept;
+
+  /// Drops every queued send of `p` (sender crash), recycling chunks.
+  void clear(ProcessId p) noexcept;
+
+  [[nodiscard]] bool empty(ProcessId p) const noexcept {
+    return heads_[p].size == 0;
+  }
+  [[nodiscard]] std::size_t size(ProcessId p) const noexcept {
+    return heads_[p].size;
+  }
+
+  /// Resident bytes of the whole pool (capacity, not size).
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+ private:
+  static constexpr std::uint32_t kChunkEntries = 8;
+
+  struct Chunk {
+    std::array<Entry, kChunkEntries> slots;
+    std::uint32_t next = kNil;
+  };
+  struct Head {
+    std::uint32_t head_chunk = kNil;
+    std::uint32_t tail_chunk = kNil;
+    std::uint32_t head_slot = 0;
+    std::uint32_t tail_slot = 0;
+    std::uint64_t size = 0;
+  };
+
+  std::uint32_t alloc_chunk();
+  void free_chunk(std::uint32_t chunk) noexcept;
+
+  std::vector<Head> heads_;
+  std::vector<Chunk> chunks_;
+  std::uint32_t free_chunks_ = kNil;
+};
+
+}  // namespace ugf::sim

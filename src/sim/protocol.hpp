@@ -16,8 +16,11 @@
 /// the only facts available are SystemInfo (N and the crash bound F) and
 /// whatever arrives in messages.
 
+#include <concepts>
 #include <memory>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "sim/message.hpp"
 #include "sim/payload_arena.hpp"
@@ -108,6 +111,144 @@ class Protocol {
   }
 };
 
+/// The protocol state of one whole run, indexed by ProcessId. The
+/// engine owns exactly one plane per run cycle (no per-process heap
+/// objects on the hot path); the acting process of `on_message` /
+/// `on_local_step` is `ctx.self()`. Planes are created fresh by
+/// `ProtocolFactory::create_plane` at every Engine construction /
+/// reset(), so — like per-process Protocol instances before them —
+/// they may cache arena PayloadRefs without ever dangling.
+class ProtocolPlane {
+ public:
+  virtual ~ProtocolPlane() = default;
+
+  /// Delivery of one message to process `ctx.self()` (== msg.to).
+  virtual void on_message(ProcessContext& ctx, const Message& msg) = 0;
+
+  /// One local step of process `ctx.self()`, after its deliveries.
+  virtual void on_local_step(ProcessContext& ctx) = 0;
+
+  /// Per-process queries; see Protocol for the contracts.
+  [[nodiscard]] virtual bool wants_sleep(ProcessId p) const noexcept = 0;
+  [[nodiscard]] virtual bool completed(ProcessId p) const noexcept = 0;
+  [[nodiscard]] virtual bool has_gossip_of(ProcessId p,
+                                           ProcessId origin) const noexcept = 0;
+
+  /// Optional word-parallel gossip view of process `p` (see
+  /// Protocol::gossip_bits); nullptr when not kept.
+  [[nodiscard]] virtual const util::DynamicBitset* gossip_bits(
+      ProcessId /*p*/) const noexcept {
+    return nullptr;
+  }
+
+  /// True when process `p` asserts it holds the gossip of *every*
+  /// process. Lets the engine verify rumor gathering in O(1) per
+  /// process for summary/counting protocols that keep no per-origin
+  /// bits — without this the fallback costs n virtual calls per
+  /// process, which is O(N^2) at the million-process scale.
+  [[nodiscard]] virtual bool claims_all_gossip(ProcessId /*p*/) const noexcept {
+    return false;
+  }
+
+  /// Approximate resident bytes of the whole plane's protocol state
+  /// (for the engine's bytes-per-process gauge); 0 = unknown.
+  [[nodiscard]] virtual std::size_t state_bytes() const noexcept { return 0; }
+};
+
+/// Adapter plane over one heap-allocated Protocol per process — the
+/// compatibility path for external factories that only implement
+/// `create()` (instrumentation wrappers, test doubles, examples).
+class PerProcessPlane final : public ProtocolPlane {
+ public:
+  explicit PerProcessPlane(std::vector<std::unique_ptr<Protocol>> procs)
+      : procs_(std::move(procs)) {}
+
+  void on_message(ProcessContext& ctx, const Message& msg) override {
+    procs_[ctx.self()]->on_message(ctx, msg);
+  }
+  void on_local_step(ProcessContext& ctx) override {
+    procs_[ctx.self()]->on_local_step(ctx);
+  }
+  [[nodiscard]] bool wants_sleep(ProcessId p) const noexcept override {
+    return procs_[p]->wants_sleep();
+  }
+  [[nodiscard]] bool completed(ProcessId p) const noexcept override {
+    return procs_[p]->completed();
+  }
+  [[nodiscard]] bool has_gossip_of(ProcessId p,
+                                   ProcessId origin) const noexcept override {
+    return procs_[p]->has_gossip_of(origin);
+  }
+  [[nodiscard]] const util::DynamicBitset* gossip_bits(
+      ProcessId p) const noexcept override {
+    return procs_[p]->gossip_bits();
+  }
+
+  /// The wrapped instance (white-box tests / instrumentation).
+  [[nodiscard]] Protocol& process(ProcessId p) noexcept { return *procs_[p]; }
+
+ private:
+  std::vector<std::unique_ptr<Protocol>> procs_;
+};
+
+/// Native plane of the bundled protocols: the per-process state
+/// machines live by value in one contiguous vector — no per-process
+/// heap object, no virtual dispatch on the hot path (P is final, so
+/// the calls below devirtualize). Construction order is ProcessId
+/// order, exactly matching the old one-create()-per-process path.
+template <typename P>
+class VectorPlane final : public ProtocolPlane {
+ public:
+  template <typename MakeFn>
+  VectorPlane(std::uint32_t n, MakeFn make) {
+    procs_.reserve(n);
+    for (ProcessId p = 0; p < n; ++p) procs_.push_back(make(p));
+  }
+
+  void on_message(ProcessContext& ctx, const Message& msg) override {
+    procs_[ctx.self()].on_message(ctx, msg);
+  }
+  void on_local_step(ProcessContext& ctx) override {
+    procs_[ctx.self()].on_local_step(ctx);
+  }
+  [[nodiscard]] bool wants_sleep(ProcessId p) const noexcept override {
+    return procs_[p].wants_sleep();
+  }
+  [[nodiscard]] bool completed(ProcessId p) const noexcept override {
+    return procs_[p].completed();
+  }
+  [[nodiscard]] bool has_gossip_of(ProcessId p,
+                                   ProcessId origin) const noexcept override {
+    return procs_[p].has_gossip_of(origin);
+  }
+  [[nodiscard]] const util::DynamicBitset* gossip_bits(
+      ProcessId p) const noexcept override {
+    return procs_[p].gossip_bits();
+  }
+  [[nodiscard]] bool claims_all_gossip(ProcessId p) const noexcept override {
+    if constexpr (requires(const P& q) {
+                    { q.claims_all_gossip() } -> std::convertible_to<bool>;
+                  }) {
+      return procs_[p].claims_all_gossip();
+    } else {
+      (void)p;
+      return false;
+    }
+  }
+  [[nodiscard]] std::size_t state_bytes() const noexcept override {
+    return procs_.capacity() * sizeof(P);
+  }
+
+  /// The embedded instance (white-box tests).
+  [[nodiscard]] P& process(ProcessId p) noexcept { return procs_[p]; }
+  [[nodiscard]] const P& process(ProcessId p) const noexcept {
+    return procs_[p];
+  }
+
+ private:
+  std::vector<P> procs_;
+};
+
 /// Creates the per-process protocol instances of one run.
 class ProtocolFactory {
  public:
@@ -116,9 +257,30 @@ class ProtocolFactory {
   /// Human-readable protocol name (for reports).
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 
-  /// Instantiates the state machine of process `self`.
+  /// Instantiates the state machine of process `self`. Still the
+  /// canonical definition of the protocol logic: white-box tests and
+  /// wrapper factories compose per-process instances, and the default
+  /// `create_plane` below is built from it.
   [[nodiscard]] virtual std::unique_ptr<Protocol> create(
       ProcessId self, const SystemInfo& info) const = 0;
+
+  /// Builds the whole run's protocol state plane. The default adapts
+  /// `create()` via PerProcessPlane; the bundled factories override it
+  /// with a contiguous VectorPlane of their process type.
+  [[nodiscard]] virtual std::unique_ptr<ProtocolPlane> create_plane(
+      const SystemInfo& info) const;
 };
+
+inline std::unique_ptr<ProtocolPlane> ProtocolFactory::create_plane(
+    const SystemInfo& info) const {
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.reserve(info.n);
+  for (ProcessId p = 0; p < info.n; ++p) {
+    auto protocol = create(p, info);
+    if (!protocol) throw std::runtime_error("ProtocolFactory returned null");
+    procs.push_back(std::move(protocol));
+  }
+  return std::make_unique<PerProcessPlane>(std::move(procs));
+}
 
 }  // namespace ugf::sim

@@ -1,7 +1,10 @@
 #include "util/cli.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
 
 namespace ugf::util {
@@ -87,6 +90,30 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
     return true;
   if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
   throw std::invalid_argument("CliArgs: bad boolean for --" + name + ": " + *v);
+}
+
+std::uint32_t CliArgs::get_process_count(const std::string& name,
+                                         std::uint32_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  const std::string tool = std::filesystem::path(program_).filename().string();
+  std::uint64_t parsed = 0;
+  const char* first = v->data();
+  const char* last = first + v->size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc{} || ptr != last) {
+    std::fprintf(stderr, "%s: --%s expects an unsigned integer, got \"%s\"\n",
+                 tool.c_str(), name.c_str(), v->c_str());
+    std::exit(2);
+  }
+  if (parsed < 2 || parsed > std::numeric_limits<std::uint32_t>::max()) {
+    std::fprintf(stderr,
+                 "%s: --%s=%llu out of range: need 2 <= N <= 4294967295\n",
+                 tool.c_str(), name.c_str(),
+                 static_cast<unsigned long long>(parsed));
+    std::exit(2);
+  }
+  return static_cast<std::uint32_t>(parsed);
 }
 
 std::string CliArgs::out_path(const std::string& flag,

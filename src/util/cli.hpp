@@ -30,6 +30,15 @@ class CliArgs {
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Parses `--name` as a process count. The value is read as a full
+  /// 64-bit unsigned integer (no silent truncation) and must satisfy
+  /// 2 <= N <= 2^32 - 1 — an engine run needs at least two processes
+  /// and ProcessId is 32-bit. Garbage, trailing junk, overflow and
+  /// out-of-range values print a one-line error and exit(2) instead of
+  /// throwing, so every figure binary rejects bad input the same way.
+  [[nodiscard]] std::uint32_t get_process_count(const std::string& name,
+                                                std::uint32_t fallback) const;
+
   /// Comma-separated list of unsigned integers, e.g. --grid=10,20,50.
   [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
       const std::string& name, const std::vector<std::uint64_t>& fallback) const;

@@ -1,0 +1,132 @@
+// Exact-vs-summary EARS/SEARS agreement property (ISSUE 8 satellite).
+//
+// The summary bookkeeping (EarsSummaryProcess: per-peer acknowledgment
+// counts + direct-evidence bitset instead of the exact N x N knowledge
+// matrix) must be behaviourally safe: at every N <= 64 and across
+// seeds, a run under the summary mode quiesces exactly like the exact
+// mode does, and in the benign case reaches the same rumor-gathering
+// verdict. The summary completion gates are monotone
+// under-approximations of the exact gates — a summary process never
+// completes on evidence the exact process would reject — and both
+// modes share the silence/fallback timers that force quiescence, so
+// divergence here means the summary plane broke one of the gates.
+//
+// Under a crashing adversary the two executions legitimately diverge
+// run-by-run (different payload sizes shift message timing, so the
+// adversary's targets differ); there the property is only that both
+// modes still quiesce without truncation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+
+#include "core/adversary_registry.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+
+namespace {
+
+using namespace ugf;
+
+constexpr std::uint32_t kSizes[] = {5, 16, 33, 64};
+constexpr std::uint64_t kSeeds[] = {0xEA125, 0xBEEF, 0x5CA1E, 0x90551};
+
+using Combo = std::tuple<const char*, const char*, std::uint64_t>;
+
+runner::RunSpec spec_for(std::uint32_t n, std::uint64_t seed) {
+  runner::RunSpec spec;
+  spec.n = n;
+  spec.f = n * 3 / 10;
+  spec.runs = 1;
+  spec.base_seed = seed;
+  return spec;
+}
+
+class EarsSummaryAgreement : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(EarsSummaryAgreement, QuiescenceVerdictsAgree) {
+  const auto [exact_name, summary_name, seed] = GetParam();
+  const auto exact = protocols::make_protocol(exact_name);
+  const auto summary = protocols::make_protocol(summary_name);
+  const auto none = core::make_adversary("none");
+
+  for (const std::uint32_t n : kSizes) {
+    const auto spec = spec_for(n, seed);
+    const auto a = runner::MonteCarloRunner::run_once(spec, 0, *exact, *none);
+    const auto b = runner::MonteCarloRunner::run_once(spec, 0, *summary,
+                                                      *none);
+    // Quiescence: neither mode may hit the safety caps.
+    EXPECT_FALSE(a.outcome.truncated) << exact_name << " n=" << n;
+    EXPECT_FALSE(b.outcome.truncated) << summary_name << " n=" << n;
+    // Benign verdict agreement: same seed, same rumor-gathering result
+    // (and for a benign run the exact mode always gathers, so this
+    // pins the summary mode to true as well).
+    EXPECT_EQ(a.outcome.rumor_gathering_ok, b.outcome.rumor_gathering_ok)
+        << exact_name << " vs " << summary_name << " n=" << n;
+    EXPECT_TRUE(a.outcome.rumor_gathering_ok) << exact_name << " n=" << n;
+    EXPECT_EQ(a.outcome.crashed, 0u);
+    EXPECT_EQ(b.outcome.crashed, 0u);
+  }
+}
+
+TEST_P(EarsSummaryAgreement, BothModesQuiesceUnderCrashes) {
+  const auto [exact_name, summary_name, seed] = GetParam();
+  const auto exact = protocols::make_protocol(exact_name);
+  const auto summary = protocols::make_protocol(summary_name);
+
+  for (const char* adversary_name : {"ugf", "strategy-1"}) {
+    const auto adversary = core::make_adversary(adversary_name);
+    for (const std::uint32_t n : kSizes) {
+      const auto spec = spec_for(n, seed);
+      const auto a =
+          runner::MonteCarloRunner::run_once(spec, 0, *exact, *adversary);
+      const auto b =
+          runner::MonteCarloRunner::run_once(spec, 0, *summary, *adversary);
+      EXPECT_FALSE(a.outcome.truncated)
+          << exact_name << " vs " << adversary_name << " n=" << n;
+      EXPECT_FALSE(b.outcome.truncated)
+          << summary_name << " vs " << adversary_name << " n=" << n;
+      EXPECT_LE(a.outcome.crashed, spec.f);
+      EXPECT_LE(b.outcome.crashed, spec.f);
+    }
+  }
+}
+
+// Determinism of the summary plane itself: same seed, same outcome —
+// the property every other agreement check implicitly leans on.
+TEST_P(EarsSummaryAgreement, SummaryModeIsDeterministic) {
+  const auto [exact_name, summary_name, seed] = GetParam();
+  (void)exact_name;
+  const auto summary = protocols::make_protocol(summary_name);
+  const auto ugf = core::make_adversary("ugf");
+  const auto spec = spec_for(33, seed);
+  const auto a = runner::MonteCarloRunner::run_once(spec, 0, *summary, *ugf);
+  const auto b = runner::MonteCarloRunner::run_once(spec, 0, *summary, *ugf);
+  EXPECT_EQ(a.outcome.total_messages, b.outcome.total_messages);
+  EXPECT_EQ(a.outcome.t_end, b.outcome.t_end);
+  EXPECT_EQ(a.outcome.crashed, b.outcome.crashed);
+  EXPECT_EQ(a.outcome.per_process_sent, b.outcome.per_process_sent);
+  EXPECT_EQ(a.outcome.rumor_gathering_ok, b.outcome.rumor_gathering_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExactVsSummary, EarsSummaryAgreement,
+    ::testing::Combine(::testing::Values("ears"),
+                       ::testing::Values("ears-summary"),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      return "ears_seed" + std::to_string(param_info.index);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    SearsExactVsSummary, EarsSummaryAgreement,
+    ::testing::Combine(::testing::Values("sears"),
+                       ::testing::Values("sears-summary"),
+                       ::testing::ValuesIn(kSeeds)),
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      return "sears_seed" + std::to_string(param_info.index);
+    });
+
+}  // namespace

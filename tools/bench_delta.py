@@ -30,14 +30,18 @@ from pathlib import Path
 SCHEMA = "ugf-bench-baseline-v1"
 
 # Fields the --gate mode refuses to let regress: the costs everybody
-# pays with observability detached, the scheduler kernel itself, and
-# the lineage tracker (the one attached sink CI smoke always exercises).
+# pays with observability detached, the scheduler kernel itself, the
+# lineage tracker (the one attached sink CI smoke always exercises),
+# and the SoA engine-core envelope (ns/step and resident bytes per
+# process at the baseline scale point).
 GATE_FIELDS = (
     "detached_pristine_ns_per_step",
     "detached_paired_ns_per_step",
     "large_n_detached_ns_per_step",
     "sched_wheel_ns_per_op",
     "lineage_tracker_ns_per_step",
+    "soa_step_ns",
+    "bytes_per_process",
 )
 
 
