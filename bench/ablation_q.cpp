@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   spec.f = static_cast<std::uint32_t>(fraction * n);
   spec.runs = runs;
   spec.base_seed = 0xAB1A;
+  spec.engine_threads = args.get_thread_count("engine-threads", 1);
 
   bench::CampaignScope campaign(args, "ablation_q");
   campaign.set_protocol("push-pull,ears");

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   spec.f = static_cast<std::uint32_t>(fraction * n);
   spec.runs = runs;
   spec.base_seed = 0x7A0;
+  spec.engine_threads = args.get_thread_count("engine-threads", 1);
 
   const auto f = spec.f;
   const std::vector<std::uint64_t> taus = {

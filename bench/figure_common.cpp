@@ -40,6 +40,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
         static_cast<std::uint32_t>(args.get_uint("runs", spec.default_runs));
     config.f_fraction = args.get_double("fraction", 0.3);
     config.base_seed = args.get_uint("seed", 0xF16BA5Eull);
+    config.engine_threads = args.get_thread_count("engine-threads", 1);
     if (args.get_bool("quick", false)) {
       config.grid = {10, 20, 30, 50, 70, 100};
       config.runs = 10;

@@ -13,6 +13,11 @@
 ///   --runs=K           runs per grid point (default: paper's 50)
 ///   --fraction=0.3     F = fraction * N    (default: 0.3, as in Fig. 3)
 ///   --seed=S           base seed
+///   --engine-threads=T worker threads *inside* each engine run
+///                      (deterministic partitioned step execution;
+///                      outcomes are bit-for-bit identical at every T,
+///                      and runs an adversary or trace sink makes
+///                      order-sensitive fall back to the serial loop)
 ///   --csv=path         CSV output path     (default: <figure_id>.csv)
 ///   --json=path        JSON output path    (default: <figure_id>.json)
 ///   --out-dir=dir      directory for output artifacts (default:

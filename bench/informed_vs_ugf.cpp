@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   spec.f = static_cast<std::uint32_t>(fraction * n);
   spec.runs = runs;
   spec.base_seed = 0x1F0;
+  spec.engine_threads = args.get_thread_count("engine-threads", 1);
 
   std::cout << "Informed vs universal at N=" << n << ", F=" << spec.f << ", "
             << runs << " runs per cell (medians; q3 in brackets)\n\n";

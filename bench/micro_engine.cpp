@@ -264,6 +264,41 @@ void BM_SoaScaleSweep(benchmark::State& state) {
 BENCHMARK(BM_SoaScaleSweep)->Arg(1'000)->Arg(10'000)->Arg(100'000)
     ->Arg(1'000'000)->Unit(benchmark::kMillisecond)->Iterations(1);
 
+void BM_ParallelEngineSweep(benchmark::State& state) {
+  // Intra-run parallelism sweep: the same benign counting run as
+  // BM_SoaScaleSweep, partitioned across Args(n, threads) — items/s at
+  // threads=1 (the serial loop) is the baseline each thread count is
+  // judged against. bench/perf_parallel.cpp gates the 4-thread point;
+  // this sweep shows the whole curve (and where it flattens out).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  protocols::PushPullCountingFactory factory;
+  obs::MetricsRegistry registry;
+  std::uint64_t seed = 1;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = 0;
+    cfg.seed = seed++;
+    cfg.max_events = 4'000'000'000ull;
+    cfg.metrics = &registry;
+    cfg.intra_run_threads = threads;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    steps += out.local_steps_executed;
+  }
+  const auto snap = registry.snapshot();
+  if (const auto* merge = snap.find_counter("engine.parallel.merge_ns"))
+    state.counters["merge_ns/step"] =
+        static_cast<double>(merge->value) /
+        static_cast<double>(std::max<std::uint64_t>(1, steps));
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_ParallelEngineSweep)
+    ->ArgsProduct({{100'000, 1'000'000}, {1, 2, 3, 4, 5, 6, 7, 8}})
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
 void BM_ArenaMakeReset(benchmark::State& state) {
   // Raw arena throughput: payloads per second through make<T>() with a
   // periodic reset, the allocation pattern of one warm run.

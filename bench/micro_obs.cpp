@@ -181,6 +181,70 @@ SoaSample measure_soa(std::uint32_t n, std::uint32_t runs,
   return sample;
 }
 
+struct ParallelSample {
+  double speedup_x = 0.0;
+  double merge_ns_per_step = 0.0;
+};
+
+/// Partitioned-executor pass: paired serial vs parallel wall time on
+/// one warm engine (counting push-pull, benign, f=0, identical seeds).
+/// `speedup_x` is serial/parallel wall time — on a box with fewer
+/// hardware threads than `threads` it honestly lands at or below 1.0;
+/// the committed baseline records whatever this machine can do, and
+/// bench/perf_parallel.cpp holds the hard >=2x gate (with a skip on
+/// starved boxes). `merge_ns_per_step` is the coordinator's seq-ordered
+/// merge cost (engine.parallel.merge_ns counter over executed local
+/// steps) — the serial fraction that bounds scaling, so it gates like
+/// any other hot-path cost.
+ParallelSample measure_parallel(std::uint32_t n, std::uint32_t runs,
+                                std::uint32_t threads,
+                                std::uint64_t base_seed) {
+  protocols::PushPullCountingFactory factory;
+  ParallelSample sample;
+  sim::EngineConfig serial_cfg;
+  serial_cfg.n = n;
+  serial_cfg.f = 0;
+  serial_cfg.seed = base_seed;
+  sim::EngineConfig wide_cfg = serial_cfg;
+  wide_cfg.intra_run_threads = threads;
+  obs::MetricsRegistry registry;
+  wide_cfg.metrics = &registry;
+  sim::Engine engine(serial_cfg, factory, nullptr);
+  (void)engine.run();  // pre-grow serial capacity (untimed)
+  engine.reset(wide_cfg, nullptr);
+  (void)engine.run();  // pre-grow shard geometry + worker arenas (untimed)
+  const std::uint64_t warm_merge_ns = [&registry] {
+    const auto snap = registry.snapshot();
+    const auto* c = snap.find_counter("engine.parallel.merge_ns");
+    return c != nullptr ? c->value : 0ull;
+  }();
+
+  util::Stopwatch serial_watch;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    serial_cfg.seed = base_seed + 1 + i;
+    engine.reset(serial_cfg, nullptr);
+    (void)engine.run();
+  }
+  const double serial_s = serial_watch.seconds();
+
+  std::uint64_t parallel_steps = 0;
+  util::Stopwatch parallel_watch;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    wide_cfg.seed = base_seed + 1 + i;
+    engine.reset(wide_cfg, nullptr);
+    parallel_steps += engine.run().local_steps_executed;
+  }
+  const double parallel_s = parallel_watch.seconds();
+
+  sample.speedup_x = serial_s / std::max(1e-12, parallel_s);
+  const auto snap = registry.snapshot();
+  if (const auto* c = snap.find_counter("engine.parallel.merge_ns"))
+    sample.merge_ns_per_step =
+        static_cast<double>(c->value - warm_merge_ns) /
+        static_cast<double>(std::max<std::uint64_t>(1, parallel_steps));
+  return sample;
+}
+
 /// Steady-state scheduler cost (ns per pop+push cycle) with `inflight`
 /// events pending and uniform delays up to `horizon` steps ahead of the
 /// popped event — the schedule shape Strategy 2.k.l produces, where a
@@ -230,6 +294,10 @@ int main(int argc, char** argv) {
     const auto soa_n = args.get_process_count("soa-n", 10'000);
     const auto soa_runs =
         static_cast<std::uint32_t>(args.get_uint("soa-runs", 3));
+    const auto par_n = args.get_process_count("par-n", 10'000);
+    const auto par_runs =
+        static_cast<std::uint32_t>(args.get_uint("par-runs", 3));
+    const auto par_threads = args.get_thread_count("par-threads", 4);
     const std::uint64_t sched_horizon =
         args.get_uint("sched-horizon", 1'000'000);
     const std::uint64_t sched_inflight =
@@ -320,6 +388,17 @@ int main(int argc, char** argv) {
       soa_bytes = s.bytes_per_process;
     }
 
+    // Parallel block: partitioned step execution vs serial on the same
+    // warm engine — the speedup this box delivers plus the merge cost
+    // the coordinator pays per step (the serial fraction of the design).
+    std::vector<double> par_speedup, par_merge;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const ParallelSample s =
+          measure_parallel(par_n, par_runs, par_threads, seed);
+      par_speedup.push_back(s.speedup_x);
+      par_merge.push_back(s.merge_ns_per_step);
+    }
+
     // Scheduler block: pop+push steady state at a Strategy-2.k.l
     // horizon, timing wheel vs the pre-wheel binary heap
     // (bench/reference_heap.hpp), identical event sequences.
@@ -351,6 +430,8 @@ int main(int argc, char** argv) {
     const double warm_speedup = (cold_med / warm_med - 1.0) * 100.0;
     const double large_med = median(large_detached);
     const double soa_med = median(soa_ns);
+    const double par_speedup_med = median(par_speedup);
+    const double par_merge_med = median(par_merge);
     const double wheel_med = median(sched_wheel);
     const double heap_med = median(sched_heap);
     /// Wheel cost relative to the heap; negative means the wheel wins.
@@ -392,6 +473,14 @@ int main(int argc, char** argv) {
     row("soa warm engine", soa_med, 0.0);
     std::cout << "  bytes/process         " << std::setw(9) << soa_bytes
               << " (engine.table.bytes_per_process gauge)\n";
+    std::cout << "parallel step execution: push-pull-counting benign, n="
+              << par_n << ", f=0, " << par_threads << " threads, "
+              << par_runs << " runs x " << reps << " reps\n";
+    std::cout << "  speedup vs serial     " << std::setw(9) << std::fixed
+              << std::setprecision(2) << par_speedup_med << " x\n";
+    std::cout << "  merge cost            " << std::setw(9)
+              << std::setprecision(1) << par_merge_med
+              << " ns/step (engine.parallel.merge_ns counter)\n";
     std::cout << "scheduler steady state: " << sched_inflight
               << " in-flight, horizon " << sched_horizon << " steps, "
               << sched_ops << " pop+push ops x " << reps << " reps\n";
@@ -443,6 +532,11 @@ int main(int argc, char** argv) {
           .member("soa_runs_per_pass", soa_runs)
           .member("soa_step_ns", soa_med)
           .member("bytes_per_process", soa_bytes)
+          .member("par_n", par_n)
+          .member("par_runs_per_pass", par_runs)
+          .member("par_threads", par_threads)
+          .member("parallel_step_speedup_x", par_speedup_med)
+          .member("parallel_merge_ns_per_step", par_merge_med)
           .member("sched_horizon_steps", sched_horizon)
           .member("sched_inflight_events", sched_inflight)
           .member("sched_ops", sched_ops)

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   spec.f = static_cast<std::uint32_t>(fraction * n);
   spec.runs = runs;
   spec.base_seed = 0x0515;
+  spec.engine_threads = args.get_thread_count("engine-threads", 1);
 
   std::cout << "Omission vs delay at N=" << n << ", F=" << spec.f << ", "
             << runs << " runs per cell\n\n";

@@ -1,0 +1,123 @@
+// Parallel step-execution speedup gate.
+//
+// Runs counting push-pull (benign, f=0) at --n twice on the same
+// engine: once serial (intra_run_threads=1) and once partitioned
+// across --threads workers, and asserts the parallel run is at least
+// --min-speedup times faster. Determinism is not re-checked here (the
+// ThreadInvariance tests pin bit-for-bit equality); this test exists
+// so the executor cannot silently rot into a slower-than-serial
+// curiosity — the outcome totals are still compared as a cheap
+// tripwire.
+//
+// Registered in ctest as perf_parallel (LABELS perf, RUN_SERIAL,
+// SKIP_RETURN_CODE 77) and skipped under sanitizers like the other
+// perf tests. On machines with fewer than --threads hardware threads
+// the speedup target is physically unreachable, so the test exits 77
+// (ctest SKIP) instead of failing: a 1-core CI runner must not paint
+// the gate red.
+//
+// Flags: --n=1000000 --threads=4 --min-speedup=2.0 --seed=S
+//        --reps=1 (best-of-k timing for noisy boxes)
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "protocols/push_pull_counting.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace ugf;
+
+/// Best-of-`reps` wall time of one full run at `threads`; the engine is
+/// reset (warm) between reps, so allocation noise drops out of the
+/// comparison after the first rep.
+double best_run_seconds(sim::Engine& engine, const sim::EngineConfig& cfg,
+                        std::uint32_t reps, std::uint64_t& out_messages) {
+  double best = 0.0;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    engine.reset(cfg, nullptr);
+    const util::Stopwatch watch;
+    const auto outcome = engine.run();
+    const double seconds = watch.seconds();
+    out_messages = outcome.total_messages;
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    const auto n = args.get_process_count("n", 1'000'000);
+    const auto threads = args.get_thread_count("threads", 4);
+    const double min_speedup = args.get_double("min-speedup", 2.0);
+    const auto seed = args.get_uint("seed", 0x9A11E1ull);
+    const auto reps =
+        static_cast<std::uint32_t>(std::max<std::uint64_t>(
+            1, args.get_uint("reps", 1)));
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0 && hw < threads) {
+      std::cout << "perf_parallel: SKIP — " << threads
+                << " engine threads requested but only " << hw
+                << " hardware thread(s) available; a speedup target is "
+                   "unreachable here\n";
+      return 77;  // ctest SKIP_RETURN_CODE
+    }
+
+    protocols::PushPullCountingFactory factory;
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = 0;
+    cfg.seed = seed;
+    cfg.max_events = 4'000'000'000ull;  // default 50M is sized for N <= 10^4
+
+    sim::Engine engine(cfg, factory, nullptr);
+    std::uint64_t serial_messages = 0;
+    const double serial_s = best_run_seconds(engine, cfg, reps,
+                                             serial_messages);
+
+    sim::EngineConfig wide = cfg;
+    wide.intra_run_threads = threads;
+    std::uint64_t parallel_messages = 0;
+    const double parallel_s = best_run_seconds(engine, wide, reps,
+                                               parallel_messages);
+
+    const double speedup = serial_s / std::max(1e-9, parallel_s);
+    std::cout << "perf_parallel: counting push-pull benign, n=" << n
+              << ", threads=" << threads << "\n"
+              << std::fixed << std::setprecision(3)
+              << "  serial:   " << serial_s << " s\n"
+              << "  parallel: " << parallel_s << " s\n"
+              << "  speedup:  " << std::setprecision(2) << speedup << "x\n";
+
+    if (parallel_messages != serial_messages) {
+      std::cerr << "perf_parallel: FAIL — outcome diverged: "
+                << parallel_messages << " messages parallel vs "
+                << serial_messages << " serial\n";
+      return 1;
+    }
+    if (speedup < min_speedup) {
+      std::cerr << "perf_parallel: FAIL — speedup " << std::fixed
+                << std::setprecision(2) << speedup << "x < required "
+                << min_speedup << "x at " << threads << " threads\n";
+      return 1;
+    }
+    std::cout << "perf_parallel: OK — speedup " << std::fixed
+              << std::setprecision(2) << speedup << "x >= " << min_speedup
+              << "x\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_parallel: error: " << e.what() << "\n";
+    return 2;
+  }
+}

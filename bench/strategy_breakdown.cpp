@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   spec.f = static_cast<std::uint32_t>(fraction * n);
   spec.runs = runs;
   spec.base_seed = 0x57A7;
+  spec.engine_threads = args.get_thread_count("engine-threads", 1);
 
   const std::vector<std::string> adversaries = {
       "none", "strategy-1", "strategy-2.k.0", "strategy-2.k.l", "oblivious",

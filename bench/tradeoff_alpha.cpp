@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
     spec.f = f;
     spec.runs = runs;
     spec.base_seed = 0xA1FA;
+    spec.engine_threads = args.get_thread_count("engine-threads", 1);
     campaign.attach(spec);
     const auto batch = runner.run_batch(spec, *protocol, *ugf_factory);
     const double mean_time = batch.time.mean;

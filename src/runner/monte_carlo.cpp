@@ -56,6 +56,7 @@ RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
   config.max_events = spec.max_events;
   config.profiler = spec.profiler;
   config.metrics = spec.metrics;
+  config.intra_run_threads = spec.engine_threads;
 
   // The caller's sink and the internal time-series recorder are
   // independent consumers; tee when both are wanted.

@@ -59,6 +59,13 @@ struct RunSpec {
   /// Workers tick note_run_complete() once per finished run and mark
   /// themselves active for the utilization display.
   obs::SweepProgress* progress = nullptr;
+  /// Worker threads *inside* each engine run
+  /// (EngineConfig::intra_run_threads): outcomes are bit-for-bit
+  /// identical at every value, so this composes freely with the
+  /// runner's own worker pool — total concurrency is the product.
+  /// Engines fall back to their serial loop for runs an adversary or
+  /// event sink makes order-sensitive.
+  std::uint32_t engine_threads = 1;
 };
 
 /// One run's outcome plus provenance.

@@ -62,6 +62,7 @@ Curve sweep_curve(const SweepConfig& config,
     spec.profiler = config.profiler;
     spec.metrics = config.metrics;
     spec.progress = config.progress;
+    spec.engine_threads = config.engine_threads;
 
     const BatchResult batch = runner.run_batch(spec, protocol, adversary);
     CurvePoint point;

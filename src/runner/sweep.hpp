@@ -28,6 +28,9 @@ struct SweepConfig {
   std::uint32_t runs = 50;
   std::uint64_t base_seed = 0xF16BA5Eull;
   std::size_t threads = 0;
+  /// Worker threads inside each engine run (RunSpec::engine_threads);
+  /// outcome-neutral by construction, multiplies with `threads`.
+  std::uint32_t engine_threads = 1;
   sim::GlobalStep max_steps = 1'000'000'000'000ull;
   std::uint64_t max_events = 50'000'000ull;
   /// Collect aggregated infection/traffic curves per grid point

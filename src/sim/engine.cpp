@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/parallel_executor.hpp"
 #include "util/check.hpp"
 #include "util/dynamic_bitset.hpp"
 #include "util/saturating.hpp"
@@ -172,6 +173,15 @@ void Engine::reset(const EngineConfig& config, Adversary* adversary) {
   init_run_state();
 }
 
+std::uint32_t Engine::plan_run_shards() const noexcept {
+  if (config_.intra_run_threads <= 1) return 1;
+  // An adversary observes every emission synchronously (and may mutate
+  // foreign state mid-step); a sink observes the exact serial event
+  // interleaving. Either forces the serial loop.
+  if (adversary_ != nullptr || config_.sink != nullptr) return 1;
+  return std::min(config_.intra_run_threads, config_.n);
+}
+
 void Engine::init_run_state() {
   const SystemInfo info{config_.n, config_.f};
   const util::Rng master(config_.seed);
@@ -181,12 +191,20 @@ void Engine::init_run_state() {
   // a ref into the payloads being destroyed.
   plane_ = factory_.create_plane(info);
   if (!plane_) throw std::runtime_error("ProtocolFactory returned null plane");
+  run_shards_ = plan_run_shards();
+  parallel_fallback_ = config_.intra_run_threads > 1 && run_shards_ == 1;
   table_.reset(config_.n, master);
-  inboxes_.reset(config_.n);
-  outgoing_.reset(config_.n);
+  inboxes_.reset(config_.n, run_shards_);
+  outgoing_.reset(config_.n, run_shards_);
   // Payloads of the previous run die here, after the plane that may
-  // have cached refs to them was replaced above; the slabs stay.
+  // have cached refs to them was replaced above; the slabs stay —
+  // including those of worker arenas a previous (possibly wider)
+  // parallel run grew.
   arena_.reset();
+  while (run_shards_ > 1 && worker_arenas_.size() < run_shards_ - 1u)
+    worker_arenas_.push_back(std::make_unique<PayloadArena>());
+  for (const auto& arena : worker_arenas_) arena->reset();
+  if (parallel_) parallel_->reset_stats();
   events_.clear();
   next_seq_ = 0;
   next_msg_seq_ = 0;
@@ -427,6 +445,30 @@ Outcome Engine::run() {
       schedule_begin_direct(p, 0);
   }
 
+  if (run_shards_ > 1) {
+    if (!parallel_) parallel_ = std::make_unique<ParallelStepExecutor>(*this);
+    parallel_->run_loop(run_shards_);
+  } else {
+    run_serial_loop();
+  }
+
+  if (config_.profiler != nullptr) {
+    const TimingWheel::Stats wheel = events_.stats();
+    obs::SchedulerStats sched;
+    sched.max_buckets = wheel.max_buckets;
+    sched.max_spill = wheel.max_spill;
+    sched.max_horizon = wheel.max_horizon;
+    sched.cascades = wheel.cascades;
+    sched.spill_refiles = wheel.spill_refiles;
+    config_.profiler->note_scheduler(sched);
+  }
+
+  finalize(outcome_);
+  if (config_.metrics != nullptr) publish_metrics();
+  return outcome_;
+}
+
+void Engine::run_serial_loop() {
   std::uint64_t processed = 0;
   while (!events_.empty()) {
     const ScheduledEvent ev = events_.pop();
@@ -479,21 +521,6 @@ Outcome Engine::run() {
               metrics_before.local_steps_executed);
 #endif
   }
-
-  if (config_.profiler != nullptr) {
-    const TimingWheel::Stats wheel = events_.stats();
-    obs::SchedulerStats sched;
-    sched.max_buckets = wheel.max_buckets;
-    sched.max_spill = wheel.max_spill;
-    sched.max_horizon = wheel.max_horizon;
-    sched.cascades = wheel.cascades;
-    sched.spill_refiles = wheel.spill_refiles;
-    config_.profiler->note_scheduler(sched);
-  }
-
-  finalize(outcome_);
-  if (config_.metrics != nullptr) publish_metrics();
-  return outcome_;
 }
 
 void Engine::publish_metrics() {
@@ -522,6 +549,10 @@ void Engine::publish_metrics() {
     metrics_.wheel_max_buckets = r.gauge("engine.wheel.max_buckets");
     metrics_.wheel_max_spill = r.gauge("engine.wheel.max_spill");
     metrics_.wheel_max_horizon = r.gauge("engine.wheel.max_horizon");
+    metrics_.parallel_batches = r.counter("engine.parallel.batches");
+    metrics_.parallel_merge_ns = r.counter("engine.parallel.merge_ns");
+    metrics_.parallel_fallbacks = r.counter("engine.parallel.fallbacks");
+    metrics_.parallel_threads = r.gauge("engine.parallel.threads");
   }
 
   metrics_.runs.add(1);
@@ -541,18 +572,37 @@ void Engine::publish_metrics() {
   metrics_.crashes.add(outcome_.crashed);
   // Payloads are only destroyed at reset, so the end-of-run live count
   // is exactly the number this run allocated, and bytes_in_use is the
-  // run's high-water mark.
-  metrics_.arena_payloads.add(arena_.live_payloads());
-  metrics_.arena_bytes.note_max(arena_.bytes_in_use());
-  metrics_.arena_capacity_bytes.note_max(arena_.capacity_bytes());
-  metrics_.arena_slabs.note_max(arena_.slab_count());
+  // run's high-water mark. Parallel runs allocate from one arena per
+  // worker shard; the ledgers fold them all in.
+  std::uint64_t live_payloads = arena_.live_payloads();
+  std::uint64_t arena_bytes = arena_.bytes_in_use();
+  std::uint64_t arena_capacity = arena_.capacity_bytes();
+  std::uint64_t arena_slabs = arena_.slab_count();
+  for (const auto& arena : worker_arenas_) {
+    live_payloads += arena->live_payloads();
+    arena_bytes += arena->bytes_in_use();
+    arena_capacity += arena->capacity_bytes();
+    arena_slabs += arena->slab_count();
+  }
+  metrics_.arena_payloads.add(live_payloads);
+  metrics_.arena_bytes.note_max(arena_bytes);
+  metrics_.arena_capacity_bytes.note_max(arena_capacity);
+  metrics_.arena_slabs.note_max(arena_slabs);
   // The SoA footprint: table columns + pooled queues + protocol plane,
-  // with the arena's capacity folded into the per-process figure so it
+  // with the arenas' capacity folded into the per-process figure so it
   // reflects everything a run keeps resident per process.
   const std::size_t state_bytes = resident_state_bytes();
   metrics_.table_bytes.note_max(state_bytes);
   metrics_.table_bytes_per_process.note_max(
-      (state_bytes + arena_.capacity_bytes()) / std::max(1u, config_.n));
+      (state_bytes + arena_capacity) / std::max(1u, config_.n));
+
+  if (run_shards_ > 1 && parallel_) {
+    const ParallelStepExecutor::Stats& pstats = parallel_->stats();
+    metrics_.parallel_batches.add(pstats.batches);
+    metrics_.parallel_merge_ns.add(pstats.merge_ns);
+  }
+  if (parallel_fallback_) metrics_.parallel_fallbacks.add(1);
+  metrics_.parallel_threads.note_max(run_shards_);
 
   const TimingWheel::Stats wheel = events_.stats();
   metrics_.wheel_cascades.add(wheel.cascades);

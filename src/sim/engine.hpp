@@ -61,6 +61,8 @@
 
 namespace ugf::sim {
 
+class ParallelStepExecutor;
+
 struct EngineConfig {
   /// Number of processes N (>= 2).
   std::uint32_t n = 0;
@@ -86,6 +88,17 @@ struct EngineConfig {
   /// across engines/threads. See docs/OBSERVABILITY.md for the metric
   /// names.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Worker threads used *inside* one run (ParallelStepExecutor,
+  /// sim/parallel_executor.hpp): due processes of each global step are
+  /// partitioned into contiguous pid shards, one worker per shard, and
+  /// the emitted events are merged back in deterministic seq order, so
+  /// the Outcome is bit-for-bit identical at every thread count. 1 (the
+  /// default) is the plain serial event loop. Values > 1 engage only
+  /// for benign runs without an event sink — an adversary observes each
+  /// emission synchronously and a sink observes the exact serial event
+  /// interleaving, so both force the serial path (the run is still
+  /// correct, just single-threaded). Capped at n.
+  std::uint32_t intra_run_threads = 1;
 };
 
 /// Runs one dissemination to quiescence and reports its Outcome.
@@ -183,9 +196,25 @@ class Engine {
   class ContextImpl;
   class ControlImpl;
 
+  /// The parallel executor is the engine's other event loop: same
+  /// state, same invariants, partitioned across worker threads. It
+  /// lives in its own translation unit and reaches the engine's
+  /// internals directly rather than through a widened public surface.
+  friend class ParallelStepExecutor;
+
   /// Shared by the constructor and reset(): (re)creates the protocol
   /// plane and zeroes all per-run mutable state, reusing capacity.
   void init_run_state();
+
+  /// Worker shards this run executes on: config_.intra_run_threads
+  /// clamped to n when the run is parallel-eligible (benign, sinkless),
+  /// 1 otherwise.
+  [[nodiscard]] std::uint32_t plan_run_shards() const noexcept;
+
+  /// The pre-parallelism per-event loop; also the threads==1 path and
+  /// the fallback whenever an adversary or sink demands exact serial
+  /// interleaving.
+  void run_serial_loop();
 
   /// Resolved metric handles, re-resolved only when the configured
   /// registry changes (reset() normally carries the same one, so a
@@ -212,6 +241,10 @@ class Engine {
     obs::Gauge wheel_max_buckets;
     obs::Gauge wheel_max_spill;
     obs::Gauge wheel_max_horizon;
+    obs::Counter parallel_batches;
+    obs::Counter parallel_merge_ns;
+    obs::Counter parallel_fallbacks;
+    obs::Gauge parallel_threads;
   };
 
   /// Publishes this run's counters into config_.metrics (end of run()).
@@ -250,6 +283,19 @@ class Engine {
   OutgoingPool outgoing_;
   std::unique_ptr<ProtocolPlane> plane_;
   PayloadArena arena_;
+  /// Private arenas of worker shards 1..run_shards_-1 (shard 0 — the
+  /// coordinator — allocates from arena_, so the serial engine is the
+  /// one-shard degenerate case). Retained across resets like arena_;
+  /// boxed because PayloadArena pins its slab bookkeeping in place.
+  std::vector<std::unique_ptr<PayloadArena>> worker_arenas_;
+  /// Lazily built on the first parallel run(); holds the worker pool
+  /// and per-batch scratch, both kept warm across resets.
+  std::unique_ptr<ParallelStepExecutor> parallel_;
+  /// Shards planned for the current run cycle (1 = serial).
+  std::uint32_t run_shards_ = 1;
+  /// intra_run_threads > 1 was requested but the run demanded the
+  /// serial path (adversary / sink attached).
+  bool parallel_fallback_ = false;
   TimingWheel events_;
   std::uint64_t next_seq_ = 0;
   /// Emission ids handed out so far; pre-incremented once per emission

@@ -1,0 +1,325 @@
+#include "sim/parallel_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/profile.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/saturating.hpp"
+
+namespace ugf::sim {
+
+using util::sat_add;
+
+namespace {
+
+/// Monotonic nanoseconds for the merge-time telemetry.
+std::uint64_t mono_ns() noexcept {
+  // Read between waves for the engine.parallel.merge_ns counter only;
+  // never visible to the simulated world, so runs stay a pure function
+  // of (config, seed).
+  // ugf-analyzer: allow(wallclock): coordinator-side merge telemetry
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Per-worker protocol services: the parallel twin of
+/// Engine::ContextImpl, identical except that payloads come from the
+/// worker shard's private arena (one allocator writer per thread).
+/// Payload addresses therefore differ from a serial run's — payloads
+/// are opaque values to every protocol, so nothing downstream can
+/// observe the difference.
+class ParallelStepExecutor::WorkerContext final : public ProcessContext {
+ public:
+  WorkerContext(Engine& engine, PayloadArena& arena) noexcept
+      : engine_(engine),
+        arena_(arena),
+        info_{engine.config_.n, engine.config_.f} {}
+
+  /// Re-aims the context at the shard process whose StepBegin is next.
+  void bind(ProcessId self) noexcept { self_ = self; }
+
+  [[nodiscard]] ProcessId self() const noexcept override { return self_; }
+  [[nodiscard]] const SystemInfo& system() const noexcept override {
+    return info_;
+  }
+  [[nodiscard]] util::Rng& rng() noexcept override {
+    return engine_.table_.rng[self_];
+  }
+  [[nodiscard]] PayloadArena& arena() noexcept override { return arena_; }
+
+  void send(ProcessId to, PayloadRef payload) override {
+    if (to >= engine_.config_.n)
+      throw std::out_of_range("ProcessContext::send: bad destination");
+    if (to == self_)
+      throw std::invalid_argument("ProcessContext::send: self-send");
+    if (!payload)
+      throw std::invalid_argument("ProcessContext::send: null payload");
+    engine_.outgoing_.push(self_, to, payload);
+  }
+
+  [[nodiscard]] std::size_t queued_sends() const noexcept override {
+    return engine_.outgoing_.size(self_);
+  }
+
+ private:
+  Engine& engine_;
+  PayloadArena& arena_;
+  ProcessId self_ = kNoProcess;
+  SystemInfo info_;
+};
+
+void ParallelStepExecutor::run_loop(std::uint32_t shards) {
+  Engine& e = engine_;
+  UGF_ASSERT_MSG(shards >= 2, "parallel run_loop with %u shard(s)", shards);
+  UGF_ASSERT_MSG(e.adversary_ == nullptr && e.config_.sink == nullptr,
+                 "parallel run_loop requires a benign, sinkless run");
+  map_ = ShardMap(e.config_.n, shards);
+  UGF_ASSERT_MSG(map_ == e.inboxes_.shard_map(),
+                 "pool shard geometry diverged from the executor's");
+  if (pool_ == nullptr || pool_->size() != shards - 1)
+    pool_ = std::make_unique<util::ThreadPool>(shards - 1);
+  shard_bounds_.resize(shards + 1);
+  for (std::uint32_t w = 0; w <= shards; ++w) shard_bounds_[w] = w;
+  delivered_.assign(shards, 0);
+  if (wave_min_arrival_.size() != e.config_.n) {
+    wave_min_arrival_.assign(e.config_.n, 0);
+    wave_epoch_mark_.assign(e.config_.n, 0);
+  }
+
+  // Same loop contract as Engine::run_serial_loop, at wave granularity:
+  // every event of the current step is collected (peek_step keeps the
+  // wheel's last-popped step at s, so same-step pushes from this wave
+  // stay legal), then executed phase by phase. Truncation triggers on
+  // the same popped-event count; the only divergence is that a
+  // max_events limit landing strictly inside a wave truncates before
+  // the wave instead of mid-wave (see file comment).
+  std::uint64_t processed = 0;
+  while (!e.events_.empty()) {
+    const GlobalStep s = e.events_.peek_step();
+    if (s > e.config_.max_steps) {
+      e.outcome_.truncated = true;
+      break;
+    }
+    wave_.clear();
+    while (!e.events_.empty() && e.events_.peek_step() == s)
+      wave_.push_back(e.events_.pop());
+    processed += wave_.size();
+    if (processed > e.config_.max_events) {
+      e.outcome_.truncated = true;
+      break;
+    }
+    UGF_ASSERT_MSG(s >= e.now_,
+                   "event queue went backwards: step %llu after %llu",
+                   static_cast<unsigned long long>(s),
+                   static_cast<unsigned long long>(e.now_));
+    e.now_ = s;
+    run_wave(s);
+    ++stats_.batches;
+  }
+}
+
+void ParallelStepExecutor::run_wave(GlobalStep s) {
+  Engine& e = engine_;
+  ++wave_epoch_;
+  begins_.clear();
+  ends_.clear();
+  for (const ScheduledEvent& ev : wave_) {
+    switch (static_cast<Engine::EventKind>(ev.kind)) {
+      case Engine::EventKind::kStepBegin:
+        // Superseded wake-begins carry an old token, exactly as in the
+        // serial loop's handle_step_begin guard.
+        if (ev.token == e.table_.begin_token[ev.pid] &&
+            e.table_.state[ev.pid] != ProcessState::kCrashed)
+          begins_.push_back(ev.pid);
+        break;
+      case Engine::EventKind::kStepEnd:
+        // Benign runs cannot stale a StepEnd: tokens only advance at
+        // the owning process's next StepBegin (or a crash, and there
+        // is no crasher here).
+        UGF_ASSERT(ev.token == e.table_.end_token[ev.pid]);
+        UGF_ASSERT(e.table_.state[ev.pid] != ProcessState::kCrashed);
+        ends_.push_back(ev.pid);
+        break;
+      case Engine::EventKind::kTimer:
+        UGF_ASSERT_MSG(false, "timer event in a benign run");
+        break;
+    }
+  }
+  if (!begins_.empty()) run_begin_phase(s);
+  if (!ends_.empty()) run_end_phase(s);
+}
+
+void ParallelStepExecutor::run_begin_phase(GlobalStep s) {
+  Engine& e = engine_;
+  // StepBegins commute: each touches only its own table columns, its
+  // own inbox lanes (and their shard arena), its own protocol-plane
+  // slot and RNG stream, and queues sends into its own outgoing FIFO.
+  // Workers filter the wave's begin list down to their shard, so the
+  // per-shard pooled storage keeps its single-writer guarantee.
+  pool_->parallel_for(
+      shard_bounds_, [&](std::size_t w, std::size_t, std::size_t) {
+        WorkerContext ctx(e, w == 0 ? e.arena_ : *e.worker_arenas_[w - 1]);
+        std::uint64_t delivered = 0;
+        Message msg;
+        for (const ProcessId pid : begins_) {
+          if (map_.of(pid) != w) continue;
+          e.table_.next_begin[pid] = kNeverStep;
+          e.table_.state[pid] = ProcessState::kAwake;
+          ctx.bind(pid);
+          while (e.inboxes_.pop_due(pid, s, msg)) {
+            UGF_ASSERT_MSG(msg.to == pid, "message for %u delivered to %u",
+                           msg.to, pid);
+            ++delivered;
+            obs::ScopedPhase phase(e.config_.profiler, obs::Phase::kProtocol);
+            e.plane_->on_message(ctx, msg);
+          }
+          obs::ScopedPhase phase(e.config_.profiler, obs::Phase::kProtocol);
+          e.plane_->on_local_step(ctx);
+        }
+        delivered_[w] = delivered;
+      });
+  for (const std::uint64_t d : delivered_) e.outcome_.delivered_messages += d;
+
+  // Seq-ordered merge: the StepEnds are scheduled by the coordinator
+  // in wave order — the exact order the serial loop would have pushed
+  // them — so their relative wheel position (and with it the emission
+  // ids of the next wave) is bit-for-bit reproduced.
+  const std::uint64_t t0 = mono_ns();
+  for (const ProcessId pid : begins_) {
+    const GlobalStep end = sat_add(s, e.table_.delta[pid]);
+    ++e.table_.end_token[pid];
+    e.events_.push(e.make_event(end, Engine::EventKind::kStepEnd, pid,
+                                e.table_.end_token[pid]));
+  }
+  stats_.merge_ns += mono_ns() - t0;
+}
+
+void ParallelStepExecutor::run_end_phase(GlobalStep s) {
+  Engine& e = engine_;
+  const std::size_t n_ends = ends_.size();
+
+  // Pre-reserve the wave's emission-id range: the serial loop hands
+  // out ++next_msg_seq_ per popped outgoing entry while walking ends
+  // in seq order, so prefix sums over the queued-send counts assign
+  // every future emission its exact serial id before any worker runs.
+  emit_ofs_.resize(n_ends + 1);
+  emit_ofs_[0] = 0;
+  for (std::size_t i = 0; i < n_ends; ++i)
+    emit_ofs_[i + 1] = emit_ofs_[i] + e.outgoing_.size(ends_[i]);
+  const std::uint64_t total = emit_ofs_[n_ends];
+  const std::uint64_t id0 = e.next_msg_seq_;
+  e.next_msg_seq_ += total;
+  emissions_.resize(total);
+  sleeps_.assign(n_ends, 0);
+  pre_push_earliest_.resize(n_ends);
+
+  // Stage a (parallel over source shards): drain each ending process's
+  // outgoing FIFO into its pre-reserved slot range and take the local
+  // bookkeeping that only touches source-shard columns. The sleep
+  // verdict is recorded but not applied — stage c replays state flips
+  // in serial order.
+  pool_->parallel_for(
+      shard_bounds_, [&](std::size_t w, std::size_t, std::size_t) {
+        for (std::size_t i = 0; i < n_ends; ++i) {
+          const ProcessId pid = ends_[i];
+          if (map_.of(pid) != w) continue;
+          std::uint64_t slot = emit_ofs_[i];
+          ProcessId to = kNoProcess;
+          PayloadRef payload;
+          while (e.outgoing_.pop(pid, to, payload)) {
+            ++e.table_.sent[pid];
+            const std::uint64_t d = e.table_.d[pid];
+            emissions_[slot] = Emission{payload, sat_add(s, d), d, pid, to};
+            ++slot;
+          }
+          UGF_ASSERT_MSG(slot == emit_ofs_[i + 1],
+                         "outgoing queue of %u changed size mid-wave", pid);
+          e.table_.last_step_end[pid] = s;
+          sleeps_[i] = e.plane_->wants_sleep(pid) ? 1 : 0;
+        }
+      });
+
+  e.outcome_.total_messages += total;
+  e.outcome_.local_steps_executed += n_ends;
+  if (total > 0)
+    e.outcome_.last_send_step = std::max(e.outcome_.last_send_step, s);
+
+  const std::uint64_t t0 = mono_ns();
+  // Pre-push inbox snapshot: the serial self-wake of a sleeping process
+  // reads its inbox as of its own end event — before higher-seq ends
+  // of the same step pushed into it. Those later arrivals are folded
+  // back in during stage c via the wave-running minimum.
+  for (std::size_t i = 0; i < n_ends; ++i) {
+    if (sleeps_[i] != 0)
+      pre_push_earliest_[i] = e.inboxes_.earliest_arrival(ends_[i]);
+  }
+  stats_.merge_ns += mono_ns() - t0;
+
+  // Stage b (parallel over destination shards): apply the wave's inbox
+  // pushes in global emission-id order. Every worker scans the full
+  // id-sorted buffer and takes only its own shard's destinations, so
+  // each per-process lane still accepts in strictly increasing id
+  // order — the serial acceptance order.
+  if (total > 0) {
+    pool_->parallel_for(
+        shard_bounds_, [&](std::size_t w, std::size_t, std::size_t) {
+          for (std::uint64_t idx = 0; idx < total; ++idx) {
+            const Emission& m = emissions_[idx];
+            if (map_.of(m.to) != w) continue;
+            UGF_ASSERT(e.table_.state[m.to] != ProcessState::kCrashed);
+            const std::uint64_t id = id0 + idx + 1;
+            e.inboxes_.push(m.to, m.d,
+                            Message{m.from, m.to, s, m.arrival, m.payload, id},
+                            id);
+          }
+        });
+  }
+
+  // Stage c (coordinator): replay the serial wake/sleep sequence. The
+  // walk visits ends in wave order and their emissions in id order, so
+  // every schedule_wake / schedule_begin_direct below fires with the
+  // arguments — and in the relative order — of the serial loop, which
+  // is what keeps the next waves' event ordering (and thus all
+  // downstream emission ids) bit-for-bit identical.
+  const std::uint64_t t1 = mono_ns();
+  for (std::size_t i = 0; i < n_ends; ++i) {
+    const ProcessId pid = ends_[i];
+    for (std::uint64_t idx = emit_ofs_[i]; idx < emit_ofs_[i + 1]; ++idx) {
+      const Emission& m = emissions_[idx];
+      if (wave_epoch_mark_[m.to] != wave_epoch_) {
+        wave_epoch_mark_[m.to] = wave_epoch_;
+        wave_min_arrival_[m.to] = m.arrival;
+      } else {
+        wave_min_arrival_[m.to] =
+            std::min(wave_min_arrival_[m.to], m.arrival);
+      }
+      if (e.table_.state[m.to] == ProcessState::kAsleep)
+        e.schedule_wake(m.to, m.arrival);
+    }
+    if (sleeps_[i] != 0) {
+      e.table_.state[pid] = ProcessState::kAsleep;
+      GlobalStep earliest = pre_push_earliest_[i];
+      if (wave_epoch_mark_[pid] == wave_epoch_)
+        earliest = std::min(earliest, wave_min_arrival_[pid]);
+      // Serial equivalence of the folded-in later arrivals: the serial
+      // engine self-wakes at max(s, pre-push earliest) and lets each
+      // later same-step push lower next_begin via schedule_wake; both
+      // compute min(max(s, E0), A1, A2, ...) == max(s, min(E0, A1,
+      // A2, ...)) because every same-step arrival Ai = s + di > s.
+      if (earliest != kNeverStep) e.schedule_wake(pid, std::max(s, earliest));
+    } else {
+      e.schedule_begin_direct(pid, s);
+    }
+  }
+  stats_.merge_ns += mono_ns() - t1;
+}
+
+}  // namespace ugf::sim

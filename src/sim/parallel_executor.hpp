@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file parallel_executor.hpp
+/// Deterministic intra-run parallelism: partitioned step execution
+/// with a bit-for-bit seq-ordered merge (ROADMAP item 2).
+///
+/// The engine's exact (step, seq) ordering makes one global step a
+/// natural parallel unit: with no adversary and no event sink, the
+/// process-local work of every event due at step s — inbox pop_due
+/// drain, the protocol calls, fan-out generation into the
+/// OutgoingPool — commutes across processes, because nothing a
+/// process does at step s can be observed by another process before
+/// step s+1 (delivery times are >= 1) and no synchronous hook can
+/// mutate foreign state mid-step. The executor exploits exactly that
+/// window and nothing more:
+///
+///   * the coordinator pops one *wave* — every event scheduled at the
+///     current step — off the TimingWheel in seq order and filters
+///     stale tokens, exactly like the serial loop;
+///   * StepBegins run on util::ThreadPool workers, one worker per
+///     contiguous pid shard (ShardMap — SoA columns and the pooled
+///     queues are sharded along the same map, so every structural
+///     mutation has exactly one writing thread); the coordinator then
+///     pushes the resulting StepEnds onto the wheel *in wave order*,
+///     reproducing the serial push sequence event for event;
+///   * StepEnds run in three stages: (a) workers drain their shard's
+///     outgoing queues into a shared emission buffer whose slots are
+///     pre-reserved by prefix sums over the wave — emission ids (the
+///     inbox tie-break the serial engine assigns with ++next_msg_seq_)
+///     become a pure function of the wave, not of thread timing; (b)
+///     workers apply inbox pushes for their *destination* shard by
+///     scanning that buffer in global id order; (c) the coordinator
+///     replays the wake/sleep decisions of every ending process in
+///     wave order against pre-push inbox snapshots, issuing the exact
+///     wheel pushes the serial engine would have issued, in the same
+///     order.
+///
+/// Determinism argument, in one line per hazard: emission ids —
+/// prefix-sum reservation; wheel push order — coordinator-only pushes
+/// in wave order; pooled-queue structure — one writer per shard;
+/// payload addresses — per-shard arenas (addresses differ from the
+/// serial run, but payloads are opaque values, never compared by
+/// address); RNG streams — per-process, untouched. What is *not*
+/// reproduced: absolute wheel seq numbers (only relative order is
+/// observable) and mid-wave truncation (max_events lands on a wave
+/// boundary here; runs sized to truncate exactly mid-wave may differ —
+/// the determinism tests pin this edge to the serial path).
+///
+/// Runs with an adversary (synchronous on_message_emitted can crash a
+/// receiver between two emissions of one fan-out) or an event sink
+/// (ugf-trace-v1 byte-identity requires the serial interleaving) never
+/// reach this executor: Engine::run() falls back to the serial loop,
+/// so the nine golden outcome rows and the trace goldens are untouched
+/// by construction, and additionally verified by the thread-matrix
+/// determinism tests.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/process_table.hpp"
+#include "sim/timing_wheel.hpp"
+#include "sim/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ugf::sim {
+
+class Engine;
+
+/// Partitioned event loop over an Engine's run state; one instance per
+/// engine, reused (warm pool + scratch) across reset cycles.
+class ParallelStepExecutor {
+ public:
+  explicit ParallelStepExecutor(Engine& engine) noexcept : engine_(engine) {}
+
+  ParallelStepExecutor(const ParallelStepExecutor&) = delete;
+  ParallelStepExecutor& operator=(const ParallelStepExecutor&) = delete;
+
+  /// Executes the engine's whole event loop on `shards` >= 2 workers
+  /// (the coordinator doubles as shard 0's worker). Precondition: the
+  /// engine's pools were reset with the same shard count, no adversary,
+  /// no sink. Mutates the engine's run state exactly as
+  /// Engine::run_serial_loop would.
+  void run_loop(std::uint32_t shards);
+
+  /// Cumulative executor telemetry (published as engine.parallel.*).
+  struct Stats {
+    std::uint64_t batches = 0;   ///< waves executed in parallel
+    std::uint64_t merge_ns = 0;  ///< coordinator time in seq-ordered merges
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+ private:
+  class WorkerContext;
+
+  /// One drained outgoing entry, parked between the source-shard drain
+  /// (stage a) and the destination-shard inbox apply (stage b). Slot
+  /// index == emission id - id0 - 1, so the buffer is id-sorted by
+  /// construction.
+  struct Emission {
+    PayloadRef payload;
+    GlobalStep arrival = 0;
+    std::uint64_t d = 0;
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+  };
+
+  void run_wave(GlobalStep s);
+  void run_begin_phase(GlobalStep s);
+  void run_end_phase(GlobalStep s);
+
+  Engine& engine_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< shards-1 workers
+  ShardMap map_;
+  /// Chunk boundaries {0, 1, ..., shards}: phases dispatch one chunk
+  /// per shard through ThreadPool::parallel_for's static-partition
+  /// overload (chunk index == shard index).
+  std::vector<std::size_t> shard_bounds_;
+
+  // Per-wave scratch, grown once and reused.
+  std::vector<ScheduledEvent> wave_;
+  std::vector<ProcessId> begins_;  ///< valid StepBegins, wave order
+  std::vector<ProcessId> ends_;    ///< valid StepEnds, wave order
+  std::vector<std::uint64_t> emit_ofs_;  ///< per-end emission prefix sums
+  std::vector<Emission> emissions_;      ///< id-ordered wave emissions
+  std::vector<std::uint8_t> sleeps_;     ///< per-end wants_sleep verdict
+  std::vector<GlobalStep> pre_push_earliest_;  ///< per-end inbox snapshot
+  std::vector<std::uint64_t> delivered_;       ///< per-shard delivery count
+  /// Running min arrival pushed to each destination within the current
+  /// wave (stage c), versioned by wave_epoch_ so no O(n) clear per wave.
+  std::vector<GlobalStep> wave_min_arrival_;
+  std::vector<std::uint64_t> wave_epoch_mark_;
+  std::uint64_t wave_epoch_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace ugf::sim

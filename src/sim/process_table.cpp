@@ -43,32 +43,50 @@ std::size_t ProcessTable::bytes() const noexcept {
 
 // ---- InboxPool ------------------------------------------------------------
 
-std::uint32_t InboxPool::alloc_chunk() {
-  if (free_chunks_ != kNil) {
-    const std::uint32_t c = free_chunks_;
-    free_chunks_ = chunks_[c].next;
-    chunks_[c].next = kNil;
+std::uint32_t InboxPool::alloc_chunk(Arena& a) {
+  if (a.free_chunks != kNil) {
+    const std::uint32_t c = a.free_chunks;
+    a.free_chunks = a.chunks[c].next;
+    a.chunks[c].next = kNil;
     return c;
   }
-  chunks_.emplace_back();
-  return static_cast<std::uint32_t>(chunks_.size() - 1);
+  a.chunks.emplace_back();
+  return static_cast<std::uint32_t>(a.chunks.size() - 1);
 }
 
-void InboxPool::free_chunk(std::uint32_t chunk) noexcept {
-  chunks_[chunk].next = free_chunks_;
-  free_chunks_ = chunk;
+void InboxPool::free_chunk(Arena& a, std::uint32_t chunk) noexcept {
+  a.chunks[chunk].next = a.free_chunks;
+  a.free_chunks = chunk;
 }
 
-void InboxPool::reset(std::uint32_t n) {
+void InboxPool::reset(std::uint32_t n, std::uint32_t shards) {
+  const ShardMap map(n, shards);
+  if (!(map == map_)) {
+    // Shard geometry changed: every lane/chunk index in heads_ refers
+    // to a pid→arena mapping that no longer holds. Rebuild from empty,
+    // keeping only vector capacity (and dropping surplus arenas).
+    map_ = map;
+    arenas_.resize(map.shards());
+    for (Arena& a : arenas_) {
+      a.lanes.clear();
+      a.chunks.clear();
+      a.free_chunks = kNil;
+      a.free_lanes = kNil;
+    }
+    heads_.assign(n, Head{});
+    return;
+  }
   // Shrinking: recycle the chunks of surplus processes and detach
-  // their lane nodes to the free list before the heads disappear.
+  // their lane nodes to their shard's free list before the heads
+  // disappear.
   for (std::size_t p = n; p < heads_.size(); ++p) {
     clear(static_cast<ProcessId>(p));
+    Arena& a = arena_of(static_cast<ProcessId>(p));
     std::uint32_t li = heads_[p].first_lane;
     while (li != kNil) {
-      const std::uint32_t next = lanes_[li].next;
-      lanes_[li].next = free_lanes_;
-      free_lanes_ = li;
+      const std::uint32_t next = a.lanes[li].next;
+      a.lanes[li].next = a.free_lanes;
+      a.free_lanes = li;
       li = next;
     }
     heads_[p] = Head{};
@@ -83,86 +101,90 @@ void InboxPool::reset(std::uint32_t n) {
 
 void InboxPool::push(ProcessId p, std::uint64_t d, Message msg,
                      std::uint64_t seq) {
+  Arena& a = arena_of(p);
   Head& h = heads_[p];
   std::uint32_t li = h.hint_lane;
-  if (li == kNil || lanes_[li].d != d) {
+  if (li == kNil || a.lanes[li].d != d) {
     li = kNil;
     std::uint32_t tail = kNil;
-    for (std::uint32_t i = h.first_lane; i != kNil; i = lanes_[i].next) {
-      if (lanes_[i].d == d) {
+    for (std::uint32_t i = h.first_lane; i != kNil; i = a.lanes[i].next) {
+      if (a.lanes[i].d == d) {
         li = i;
         break;
       }
       tail = i;
     }
     if (li == kNil) {
-      if (free_lanes_ != kNil) {
-        li = free_lanes_;
-        free_lanes_ = lanes_[li].next;
-        lanes_[li] = Lane{};
+      if (a.free_lanes != kNil) {
+        li = a.free_lanes;
+        a.free_lanes = a.lanes[li].next;
+        a.lanes[li] = Lane{};
       } else {
-        lanes_.emplace_back();
-        li = static_cast<std::uint32_t>(lanes_.size() - 1);
+        a.lanes.emplace_back();
+        li = static_cast<std::uint32_t>(a.lanes.size() - 1);
       }
-      lanes_[li].d = d;
+      a.lanes[li].d = d;
       if (tail == kNil)
         h.first_lane = li;
       else
-        lanes_[tail].next = li;
+        a.lanes[tail].next = li;
     }
     h.hint_lane = li;
   }
-  UGF_ASSERT_MSG(lanes_[li].size == 0 ||
-                     lanes_[li].last_arrival <= msg.arrives_at,
+  UGF_ASSERT_MSG(a.lanes[li].size == 0 ||
+                     a.lanes[li].last_arrival <= msg.arrives_at,
                  "lane d=%llu accepted out of arrival order",
                  static_cast<unsigned long long>(d));
   UGF_ASSERT_MSG(msg.arrives_at >= msg.sent_at,
                  "message arrives at %llu before its emission at %llu",
                  static_cast<unsigned long long>(msg.arrives_at),
                  static_cast<unsigned long long>(msg.sent_at));
-  // Chunk allocation may grow chunks_; take references afterwards.
-  if (lanes_[li].tail_chunk == kNil) {
-    const std::uint32_t c = alloc_chunk();
-    Lane& lane = lanes_[li];
+  // Chunk allocation may grow a.chunks; take references afterwards.
+  if (a.lanes[li].tail_chunk == kNil) {
+    const std::uint32_t c = alloc_chunk(a);
+    Lane& lane = a.lanes[li];
     lane.head_chunk = lane.tail_chunk = c;
     lane.head_slot = lane.tail_slot = 0;
-  } else if (lanes_[li].tail_slot == kChunkEntries) {
-    const std::uint32_t c = alloc_chunk();
-    Lane& lane = lanes_[li];
-    chunks_[lane.tail_chunk].next = c;
+  } else if (a.lanes[li].tail_slot == kChunkEntries) {
+    const std::uint32_t c = alloc_chunk(a);
+    Lane& lane = a.lanes[li];
+    a.chunks[lane.tail_chunk].next = c;
     lane.tail_chunk = c;
     lane.tail_slot = 0;
   }
-  Lane& lane = lanes_[li];
+  Lane& lane = a.lanes[li];
   h.earliest = std::min(h.earliest, msg.arrives_at);
   lane.last_arrival = msg.arrives_at;
-  chunks_[lane.tail_chunk].slots[lane.tail_slot] = InboxEntry{msg, seq};
+  a.chunks[lane.tail_chunk].slots[lane.tail_slot] = InboxEntry{msg, seq};
   ++lane.tail_slot;
   ++lane.size;
   ++h.size;
 }
 
 void InboxPool::recompute_earliest(ProcessId p) noexcept {
+  const Arena& a = arena_of(p);
   Head& h = heads_[p];
   h.earliest = kNeverStep;
-  for (std::uint32_t li = h.first_lane; li != kNil; li = lanes_[li].next) {
-    const Lane& lane = lanes_[li];
+  for (std::uint32_t li = h.first_lane; li != kNil; li = a.lanes[li].next) {
+    const Lane& lane = a.lanes[li];
     if (lane.size == 0) continue;
     h.earliest = std::min(
-        h.earliest, chunks_[lane.head_chunk].slots[lane.head_slot].msg.arrives_at);
+        h.earliest,
+        a.chunks[lane.head_chunk].slots[lane.head_slot].msg.arrives_at);
   }
 }
 
 bool InboxPool::pop_due(ProcessId p, GlobalStep step, Message& out) {
+  Arena& a = arena_of(p);
   Head& h = heads_[p];
   if (h.earliest > step) return false;  // O(1) miss: nothing is due yet
   std::uint32_t best = kNil;
   GlobalStep best_arrival = 0;
   std::uint64_t best_seq = 0;
-  for (std::uint32_t li = h.first_lane; li != kNil; li = lanes_[li].next) {
-    const Lane& lane = lanes_[li];
+  for (std::uint32_t li = h.first_lane; li != kNil; li = a.lanes[li].next) {
+    const Lane& lane = a.lanes[li];
     if (lane.size == 0) continue;
-    const InboxEntry& front = chunks_[lane.head_chunk].slots[lane.head_slot];
+    const InboxEntry& front = a.chunks[lane.head_chunk].slots[lane.head_slot];
     if (front.msg.arrives_at > step) continue;
     if (best == kNil || front.msg.arrives_at < best_arrival ||
         (front.msg.arrives_at == best_arrival && front.seq < best_seq)) {
@@ -176,35 +198,36 @@ bool InboxPool::pop_due(ProcessId p, GlobalStep step, Message& out) {
                  "front is",
                  static_cast<unsigned long long>(step));
   if (best == kNil) return false;
-  Lane& lane = lanes_[best];
-  out = chunks_[lane.head_chunk].slots[lane.head_slot].msg;
+  Lane& lane = a.lanes[best];
+  out = a.chunks[lane.head_chunk].slots[lane.head_slot].msg;
   ++lane.head_slot;
   --lane.size;
   --h.size;
   if (lane.size == 0) {
     // The last entry always lives in the final chunk of the lane.
     UGF_ASSERT(lane.head_chunk == lane.tail_chunk);
-    free_chunk(lane.head_chunk);
+    free_chunk(a, lane.head_chunk);
     lane.head_chunk = lane.tail_chunk = kNil;
     lane.head_slot = lane.tail_slot = 0;
   } else if (lane.head_slot == kChunkEntries) {
     const std::uint32_t consumed = lane.head_chunk;
-    lane.head_chunk = chunks_[consumed].next;
+    lane.head_chunk = a.chunks[consumed].next;
     lane.head_slot = 0;
-    free_chunk(consumed);
+    free_chunk(a, consumed);
   }
   recompute_earliest(p);
   return true;
 }
 
 void InboxPool::clear(ProcessId p) noexcept {
+  Arena& a = arena_of(p);
   Head& h = heads_[p];
-  for (std::uint32_t li = h.first_lane; li != kNil; li = lanes_[li].next) {
-    Lane& lane = lanes_[li];
+  for (std::uint32_t li = h.first_lane; li != kNil; li = a.lanes[li].next) {
+    Lane& lane = a.lanes[li];
     std::uint32_t c = lane.head_chunk;
     while (c != kNil) {
-      const std::uint32_t next = chunks_[c].next;
-      free_chunk(c);
+      const std::uint32_t next = a.chunks[c].next;
+      free_chunk(a, c);
       c = next;
     }
     lane.head_chunk = lane.tail_chunk = kNil;
@@ -220,97 +243,118 @@ void InboxPool::clear(ProcessId p) noexcept {
 }
 
 std::size_t InboxPool::lane_count(ProcessId p) const noexcept {
+  const Arena& a = arena_of(p);
   std::size_t count = 0;
   for (std::uint32_t li = heads_[p].first_lane; li != kNil;
-       li = lanes_[li].next)
+       li = a.lanes[li].next)
     ++count;
   return count;
 }
 
 std::size_t InboxPool::bytes() const noexcept {
-  return heads_.capacity() * sizeof(Head) + lanes_.capacity() * sizeof(Lane) +
-         chunks_.capacity() * sizeof(Chunk);
+  std::size_t total = heads_.capacity() * sizeof(Head);
+  for (const Arena& a : arenas_)
+    total += a.lanes.capacity() * sizeof(Lane) +
+             a.chunks.capacity() * sizeof(Chunk);
+  return total;
 }
 
 // ---- OutgoingPool ---------------------------------------------------------
 
-std::uint32_t OutgoingPool::alloc_chunk() {
-  if (free_chunks_ != kNil) {
-    const std::uint32_t c = free_chunks_;
-    free_chunks_ = chunks_[c].next;
-    chunks_[c].next = kNil;
+std::uint32_t OutgoingPool::alloc_chunk(Arena& a) {
+  if (a.free_chunks != kNil) {
+    const std::uint32_t c = a.free_chunks;
+    a.free_chunks = a.chunks[c].next;
+    a.chunks[c].next = kNil;
     return c;
   }
-  chunks_.emplace_back();
-  return static_cast<std::uint32_t>(chunks_.size() - 1);
+  a.chunks.emplace_back();
+  return static_cast<std::uint32_t>(a.chunks.size() - 1);
 }
 
-void OutgoingPool::free_chunk(std::uint32_t chunk) noexcept {
-  chunks_[chunk].next = free_chunks_;
-  free_chunks_ = chunk;
+void OutgoingPool::free_chunk(Arena& a, std::uint32_t chunk) noexcept {
+  a.chunks[chunk].next = a.free_chunks;
+  a.free_chunks = chunk;
 }
 
-void OutgoingPool::reset(std::uint32_t n) {
+void OutgoingPool::reset(std::uint32_t n, std::uint32_t shards) {
+  const ShardMap map(n, shards);
+  if (!(map == map_)) {
+    map_ = map;
+    arenas_.resize(map.shards());
+    for (Arena& a : arenas_) {
+      a.chunks.clear();
+      a.free_chunks = kNil;
+    }
+    heads_.assign(n, Head{});
+    return;
+  }
   for (std::size_t p = 0; p < heads_.size(); ++p)
     clear(static_cast<ProcessId>(p));
   heads_.resize(n);
 }
 
 void OutgoingPool::push(ProcessId p, ProcessId to, PayloadRef payload) {
+  Arena& a = arena_of(p);
   if (heads_[p].tail_chunk == kNil) {
-    const std::uint32_t c = alloc_chunk();
+    const std::uint32_t c = alloc_chunk(a);
     Head& h = heads_[p];
     h.head_chunk = h.tail_chunk = c;
     h.head_slot = h.tail_slot = 0;
   } else if (heads_[p].tail_slot == kChunkEntries) {
-    const std::uint32_t c = alloc_chunk();
+    const std::uint32_t c = alloc_chunk(a);
     Head& h = heads_[p];
-    chunks_[h.tail_chunk].next = c;
+    a.chunks[h.tail_chunk].next = c;
     h.tail_chunk = c;
     h.tail_slot = 0;
   }
   Head& h = heads_[p];
-  chunks_[h.tail_chunk].slots[h.tail_slot] = Entry{to, payload};
+  a.chunks[h.tail_chunk].slots[h.tail_slot] = Entry{to, payload};
   ++h.tail_slot;
   ++h.size;
 }
 
 bool OutgoingPool::pop(ProcessId p, ProcessId& to,
                        PayloadRef& payload) noexcept {
+  Arena& a = arena_of(p);
   Head& h = heads_[p];
   if (h.size == 0) return false;
-  const Entry& entry = chunks_[h.head_chunk].slots[h.head_slot];
+  const Entry& entry = a.chunks[h.head_chunk].slots[h.head_slot];
   to = entry.to;
   payload = entry.payload;
   ++h.head_slot;
   --h.size;
   if (h.size == 0) {
     UGF_ASSERT(h.head_chunk == h.tail_chunk);
-    free_chunk(h.head_chunk);
+    free_chunk(a, h.head_chunk);
     h.head_chunk = h.tail_chunk = kNil;
     h.head_slot = h.tail_slot = 0;
   } else if (h.head_slot == kChunkEntries) {
     const std::uint32_t consumed = h.head_chunk;
-    h.head_chunk = chunks_[consumed].next;
+    h.head_chunk = a.chunks[consumed].next;
     h.head_slot = 0;
-    free_chunk(consumed);
+    free_chunk(a, consumed);
   }
   return true;
 }
 
 void OutgoingPool::clear(ProcessId p) noexcept {
+  Arena& a = arena_of(p);
   Head& h = heads_[p];
   std::uint32_t c = h.head_chunk;
   while (c != kNil) {
-    const std::uint32_t next = chunks_[c].next;
-    free_chunk(c);
+    const std::uint32_t next = a.chunks[c].next;
+    free_chunk(a, c);
     c = next;
   }
   h = Head{};
 }
 
 std::size_t OutgoingPool::bytes() const noexcept {
-  return heads_.capacity() * sizeof(Head) + chunks_.capacity() * sizeof(Chunk);
+  std::size_t total = heads_.capacity() * sizeof(Head);
+  for (const Arena& a : arenas_)
+    total += a.chunks.capacity() * sizeof(Chunk);
+  return total;
 }
 
 }  // namespace ugf::sim

@@ -26,6 +26,16 @@
 /// the steady-state allocation count per run is zero — same contract
 /// the per-process containers used to give, now with one allocator
 /// arena for the whole table instead of N of them.
+///
+/// Sharding (intra-run parallelism). Both pools partition their
+/// backing storage into S arenas along a fixed contiguous pid→shard
+/// map (ShardMap), one arena per parallel-executor worker. Every
+/// structural mutation for process p — lane allocation, chunk
+/// allocation/free — touches only arena(shard(p)), so S workers may
+/// operate concurrently as long as each sticks to the processes of its
+/// own shard. The per-pid Head entries are disjoint by construction.
+/// S == 1 (the serial engine) is byte-identical to the pre-sharding
+/// layout, including capacity retention across resets of any size.
 
 #include <array>
 #include <cstdint>
@@ -43,6 +53,43 @@ namespace ugf::sim {
 struct InboxEntry {
   Message msg;
   std::uint64_t seq = 0;
+};
+
+/// Fixed contiguous pid→shard mapping shared by the pooled queues and
+/// the parallel step executor: shard(p) = min(p / ceil(n/S), S-1).
+/// S == 1 maps every pid to shard 0 independently of n, so a serial
+/// pool keeps its grown storage across resets of arbitrary size —
+/// exactly the pre-sharding retention contract.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  ShardMap(std::uint32_t n, std::uint32_t shards)
+      : shards_(shards < 1 ? 1 : shards),
+        size_(shards_ == 1 ? 0 : (n + shards_ - 1) / shards_) {
+    if (shards_ > 1 && size_ == 0) size_ = 1;
+  }
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+  /// Processes per shard (the last shard takes the remainder);
+  /// 0 in the degenerate single-shard map.
+  [[nodiscard]] std::uint32_t shard_size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t of(ProcessId p) const noexcept {
+    if (shards_ == 1) return 0;
+    const std::uint32_t s = p / size_;
+    return s < shards_ ? s : shards_ - 1;
+  }
+  /// First pid of shard `s` (clamped to n by callers iterating ranges).
+  [[nodiscard]] std::uint32_t begin_of(std::uint32_t s) const noexcept {
+    return shards_ == 1 ? 0 : s * size_;
+  }
+
+  [[nodiscard]] bool operator==(const ShardMap& o) const noexcept {
+    return shards_ == o.shards_ && size_ == o.size_;
+  }
+
+ private:
+  std::uint32_t shards_ = 1;
+  std::uint32_t size_ = 0;
 };
 
 /// Flat parallel arrays of the per-process scheduling fields (the old
@@ -76,15 +123,23 @@ struct ProcessTable {
 /// merges the lane fronts by (arrives_at, acceptance seq). Lanes stay
 /// attached to their process across clear() — identical behaviour to
 /// the old per-process Inbox, including the per-process last-hit lane
-/// hint — but lane nodes and entry chunks come from pool-wide free
+/// hint — but lane nodes and entry chunks come from per-shard free
 /// lists instead of per-process heap containers.
+///
+/// Concurrency contract: concurrent calls are allowed iff they address
+/// processes of distinct shards (one executor worker per shard). No
+/// internal synchronisation; mixing shards on one pid is a data race.
 class InboxPool {
  public:
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  /// (Re)sizes to `n` processes. Existing processes keep their lanes
-  /// (emptied); chunks are recycled; shrinking detaches surplus lanes.
-  void reset(std::uint32_t n);
+  /// (Re)sizes to `n` processes split over `shards` arenas. While the
+  /// shard geometry (count and shard width) is unchanged, existing
+  /// processes keep their lanes (emptied) and chunks are recycled —
+  /// the warm-engine contract. A geometry change (different shard
+  /// count, or a different n under multi-shard mapping) rebuilds the
+  /// arenas from scratch, keeping only vector capacity.
+  void reset(std::uint32_t n, std::uint32_t shards = 1);
 
   /// Accepts one message for process `p` on the lane of delivery time
   /// `d`, creating the lane on first use.
@@ -96,7 +151,7 @@ class InboxPool {
   bool pop_due(ProcessId p, GlobalStep step, Message& out);
 
   /// Discards every pending message of `p`. Lane nodes stay attached
-  /// (empty); their chunks go back to the pool's free list.
+  /// (empty); their chunks go back to the shard's free list.
   void clear(ProcessId p) noexcept;
 
   [[nodiscard]] bool empty(ProcessId p) const noexcept {
@@ -112,6 +167,8 @@ class InboxPool {
   [[nodiscard]] GlobalStep earliest_arrival(ProcessId p) const noexcept {
     return heads_[p].earliest;
   }
+
+  [[nodiscard]] const ShardMap& shard_map() const noexcept { return map_; }
 
   /// Resident bytes of the whole pool (capacity, not size).
   [[nodiscard]] std::size_t bytes() const noexcept;
@@ -146,21 +203,33 @@ class InboxPool {
     std::uint64_t size = 0;
     GlobalStep earliest = kNeverStep;
   };
+  /// One shard's private storage; lane/chunk indices in the Heads of
+  /// this shard's processes refer into these vectors only.
+  struct Arena {
+    std::vector<Lane> lanes;
+    std::vector<Chunk> chunks;
+    std::uint32_t free_chunks = kNil;
+    std::uint32_t free_lanes = kNil;
+  };
 
-  std::uint32_t alloc_chunk();
-  void free_chunk(std::uint32_t chunk) noexcept;
+  std::uint32_t alloc_chunk(Arena& a);
+  static void free_chunk(Arena& a, std::uint32_t chunk) noexcept;
   void recompute_earliest(ProcessId p) noexcept;
+  [[nodiscard]] Arena& arena_of(ProcessId p) noexcept {
+    return arenas_[map_.of(p)];
+  }
+  [[nodiscard]] const Arena& arena_of(ProcessId p) const noexcept {
+    return arenas_[map_.of(p)];
+  }
 
   std::vector<Head> heads_;
-  std::vector<Lane> lanes_;
-  std::vector<Chunk> chunks_;
-  std::uint32_t free_chunks_ = kNil;
-  std::uint32_t free_lanes_ = kNil;
+  std::vector<Arena> arenas_ = std::vector<Arena>(1);
+  ShardMap map_;
 };
 
 /// Messages queued by ProcessContext::send, drained at the sender's
-/// StepEnd — per-process FIFOs over pooled chunks, same recycling
-/// story as InboxPool.
+/// StepEnd — per-process FIFOs over pooled chunks, same recycling and
+/// per-shard concurrency story as InboxPool.
 class OutgoingPool {
  public:
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
@@ -170,8 +239,9 @@ class OutgoingPool {
     PayloadRef payload;
   };
 
-  /// (Re)sizes to `n` processes and empties every queue.
-  void reset(std::uint32_t n);
+  /// (Re)sizes to `n` processes over `shards` arenas and empties every
+  /// queue. Same geometry-change semantics as InboxPool::reset.
+  void reset(std::uint32_t n, std::uint32_t shards = 1);
 
   void push(ProcessId p, ProcessId to, PayloadRef payload);
 
@@ -206,13 +276,20 @@ class OutgoingPool {
     std::uint32_t tail_slot = 0;
     std::uint64_t size = 0;
   };
+  struct Arena {
+    std::vector<Chunk> chunks;
+    std::uint32_t free_chunks = kNil;
+  };
 
-  std::uint32_t alloc_chunk();
-  void free_chunk(std::uint32_t chunk) noexcept;
+  std::uint32_t alloc_chunk(Arena& a);
+  static void free_chunk(Arena& a, std::uint32_t chunk) noexcept;
+  [[nodiscard]] Arena& arena_of(ProcessId p) noexcept {
+    return arenas_[map_.of(p)];
+  }
 
   std::vector<Head> heads_;
-  std::vector<Chunk> chunks_;
-  std::uint32_t free_chunks_ = kNil;
+  std::vector<Arena> arenas_ = std::vector<Arena>(1);
+  ShardMap map_;
 };
 
 }  // namespace ugf::sim

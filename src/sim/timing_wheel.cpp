@@ -149,6 +149,12 @@ TimingWheel::Bucket& TimingWheel::front_bucket() {
   }
 }
 
+GlobalStep TimingWheel::peek_step() {
+  Bucket& bucket = front_bucket();
+  UGF_ASSERT(bucket.head < bucket.events.size());
+  return bucket.events[bucket.head].step;
+}
+
 ScheduledEvent TimingWheel::pop() {
   Bucket& bucket = front_bucket();
   UGF_ASSERT(bucket.head < bucket.events.size());

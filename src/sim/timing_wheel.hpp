@@ -97,6 +97,14 @@ class TimingWheel {
   /// order. The wheel must not be empty.
   ScheduledEvent pop();
 
+  /// Step of the earliest pending event without removing it. Windows
+  /// advance and buckets cascade exactly as pop() would, so a
+  /// peek_step()/pop() pair does no duplicate cascade work. The wheel
+  /// must not be empty. Lets the parallel executor collect one whole
+  /// global step into a batch while same-step pushes are still legal
+  /// (pop() would advance the last-popped step past them).
+  [[nodiscard]] GlobalStep peek_step();
+
   /// Discards every pending event and rewinds the cursor to step 0.
   /// Bucket vectors and the spill list keep their grown capacity; the
   /// stats gauges restart from zero.

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 namespace ugf::util {
 
@@ -112,6 +113,38 @@ std::uint32_t CliArgs::get_process_count(const std::string& name,
                  tool.c_str(), name.c_str(),
                  static_cast<unsigned long long>(parsed));
     std::exit(2);
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+std::uint32_t CliArgs::get_thread_count(const std::string& name,
+                                        std::uint32_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  const std::string tool = std::filesystem::path(program_).filename().string();
+  std::uint64_t parsed = 0;
+  const char* first = v->data();
+  const char* last = first + v->size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc{} || ptr != last) {
+    std::fprintf(stderr, "%s: --%s expects an unsigned integer, got \"%s\"\n",
+                 tool.c_str(), name.c_str(), v->c_str());
+    std::exit(2);
+  }
+  if (parsed < 1 || parsed > std::numeric_limits<std::uint32_t>::max()) {
+    std::fprintf(stderr,
+                 "%s: --%s=%llu out of range: need 1 <= T <= 4294967295\n",
+                 tool.c_str(), name.c_str(),
+                 static_cast<unsigned long long>(parsed));
+    std::exit(2);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && parsed > hw) {
+    std::fprintf(stderr,
+                 "%s: note: --%s=%llu exceeds hardware concurrency (%u); "
+                 "threads will be oversubscribed\n",
+                 tool.c_str(), name.c_str(),
+                 static_cast<unsigned long long>(parsed), hw);
   }
   return static_cast<std::uint32_t>(parsed);
 }

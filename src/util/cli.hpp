@@ -39,6 +39,17 @@ class CliArgs {
   [[nodiscard]] std::uint32_t get_process_count(const std::string& name,
                                                 std::uint32_t fallback) const;
 
+  /// Parses `--name` as a thread count (runner workers or
+  /// --engine-threads). Same discipline as get_process_count: full
+  /// 64-bit parse, then 1 <= T <= 2^32 - 1 — 0 is rejected rather than
+  /// treated as "auto" so a typo can't silently fan out to every core.
+  /// Garbage, trailing junk, overflow and out-of-range values print a
+  /// one-line error and exit(2). Values above the machine's hardware
+  /// concurrency are accepted (oversubscription is legal and sometimes
+  /// wanted) with a one-line stderr note.
+  [[nodiscard]] std::uint32_t get_thread_count(const std::string& name,
+                                               std::uint32_t fallback) const;
+
   /// Comma-separated list of unsigned integers, e.g. --grid=10,20,50.
   [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
       const std::string& name, const std::vector<std::uint64_t>& fallback) const;

@@ -60,4 +60,40 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for(
+    const std::vector<std::size_t>& bounds,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& f) {
+  if (bounds.size() < 2) return;
+  const std::size_t chunks = bounds.size() - 1;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  std::exception_ptr first_error;
+  try {
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t lo = bounds[c];
+      const std::size_t hi = bounds[c + 1];
+      futures.push_back(submit([&f, c, lo, hi]() { f(c, lo, hi); }));
+    }
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // The coordinator takes chunk 0 itself; error precedence matches the
+  // dynamic overload (submission failure, then earliest chunk), and
+  // every path still waits for the full join below.
+  try {
+    f(0, bounds[0], bounds[1]);
+  } catch (...) {
+    if (!first_error) first_error = std::current_exception();
+  }
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace ugf::util

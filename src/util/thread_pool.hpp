@@ -160,6 +160,26 @@ class ThreadPool {
   /// are joined, so no worker can outlive the closure it references.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
 
+  /// Static-partition variant for callers that need a *fixed* work→
+  /// worker assignment instead of the dynamic claiming above (the
+  /// parallel step executor partitions processes into contiguous pid
+  /// shards so each shard's pooled storage has exactly one writer).
+  ///
+  /// `bounds` lists chunk boundaries: chunk c covers [bounds[c],
+  /// bounds[c+1]), so bounds must be non-decreasing with
+  /// bounds.size() - 1 chunks; an empty or single-entry list is a
+  /// no-op. Chunk 0 runs inline on the calling thread (the coordinator
+  /// participates instead of idling); chunks 1.. are submitted to the
+  /// pool. Empty chunks are still invoked — callers key per-chunk
+  /// state (RNGs, arenas) off the chunk index. Blocks until every
+  /// chunk finished; the first exception (submission failure, then the
+  /// inline chunk, then the lowest submitted chunk) is rethrown after
+  /// the join.
+  void parallel_for(
+      const std::vector<std::size_t>& bounds,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& f);
+
  private:
   void worker_loop();
 

@@ -1,18 +1,48 @@
 // Whole-matrix determinism: a run is a pure function of
 // (EngineConfig, factory, adversary seed) for every bundled protocol x
 // adversary combination — the property all reproducibility rests on.
+// Since the parallel step executor, that purity must additionally be
+// independent of EngineConfig::intra_run_threads and of the runner's
+// worker count, separately and combined.
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <sstream>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/adversary_registry.hpp"
+#include "obs/event.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/registry.hpp"
 #include "runner/monte_carlo.hpp"
+#include "sim/engine.hpp"
 
 namespace {
 
 using namespace ugf;
+
+void expect_same_outcome(const sim::Outcome& a, const sim::Outcome& b) {
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.t_end, b.t_end);
+  EXPECT_EQ(a.delta_max, b.delta_max);
+  EXPECT_EQ(a.d_max, b.d_max);
+  EXPECT_EQ(a.time_complexity, b.time_complexity);
+  EXPECT_EQ(a.rumor_gathering_ok, b.rumor_gathering_ok);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.delivered_messages, b.delivered_messages);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.omitted_messages, b.omitted_messages);
+  EXPECT_EQ(a.last_send_step, b.last_send_step);
+  EXPECT_EQ(a.local_steps_executed, b.local_steps_executed);
+  EXPECT_EQ(a.per_process_sent, b.per_process_sent);
+  EXPECT_EQ(a.final_state, b.final_state);
+  EXPECT_EQ(a.completion_step, b.completion_step);
+}
 
 using Combo = std::tuple<const char*, const char*>;
 
@@ -67,5 +97,194 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-' || c == '.') c = '_';
       return name;
     });
+
+// ---- Intra-run thread invariance ----------------------------------------
+
+// The nine golden (protocol, seed) rows of test_engine_reuse.cpp: UGF
+// at n = 16, f = 4, covering Strategy 1, 2.k.0 and 2.k.l. The exact
+// values are pinned over there; here every (engine threads x runner
+// workers) cell must reproduce the reference cell bit for bit.
+struct GoldenPoint {
+  std::uint64_t seed;
+  const char* protocol;
+};
+
+const std::vector<GoldenPoint>& golden_points() {
+  static const std::vector<GoldenPoint> points = {
+      {2, "push-pull"},        {2, "ears"},        {2, "sears"},
+      {6, "push-pull"},        {6, "ears"},        {6, "sears"},
+      {0xB0D1E5, "push-pull"}, {0xB0D1E5, "ears"}, {0xB0D1E5, "sears"},
+  };
+  return points;
+}
+
+TEST(ThreadInvariance, GoldenRowsAcrossEngineThreadsTimesRunnerWorkers) {
+  const auto adversary = core::make_adversary("ugf");
+  for (const GoldenPoint& point : golden_points()) {
+    const auto protocol = protocols::make_protocol(point.protocol);
+    runner::RunSpec spec;
+    spec.n = 16;
+    spec.f = 4;
+    spec.runs = 6;
+    spec.base_seed = point.seed;
+
+    runner::MonteCarloRunner reference_runner(1);
+    const auto reference = reference_runner.run_batch(spec, *protocol,
+                                                      *adversary);
+    for (const std::uint32_t engine_threads : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+        runner::RunSpec wide = spec;
+        wide.engine_threads = engine_threads;
+        runner::MonteCarloRunner runner(workers);
+        const auto batch = runner.run_batch(wide, *protocol, *adversary);
+        ASSERT_EQ(batch.runs.size(), reference.runs.size());
+        for (std::size_t i = 0; i < batch.runs.size(); ++i) {
+          SCOPED_TRACE(std::string(point.protocol) + " seed=" +
+                       std::to_string(point.seed) + " engine_threads=" +
+                       std::to_string(engine_threads) + " workers=" +
+                       std::to_string(workers) + " run=" + std::to_string(i));
+          EXPECT_EQ(batch.runs[i].seed, reference.runs[i].seed);
+          EXPECT_EQ(batch.runs[i].strategy, reference.runs[i].strategy);
+          expect_same_outcome(batch.runs[i].outcome, reference.runs[i].outcome);
+        }
+      }
+    }
+  }
+}
+
+// The direct-engine variant actually exercises the partitioned
+// executor: benign run, no sink, so plan_run_shards() engages even in
+// checked builds (where the runner attaches a FlightRecorder sink that
+// forces the serial fallback).
+TEST(ThreadInvariance, BenignEngineIsBitForBitAtEveryThreadCount) {
+  for (const char* protocol_name :
+       {"push-pull", "ears", "sears", "sequential", "broadcast-all",
+        "push-average"}) {
+    const auto protocol = protocols::make_protocol(protocol_name);
+    sim::EngineConfig config;
+    config.n = 37;
+    config.f = 0;
+    config.seed = 0xD17;
+
+    sim::Engine serial(config, *protocol, nullptr);
+    const auto reference = serial.run();
+
+    for (const std::uint32_t threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::string(protocol_name) + " threads=" +
+                   std::to_string(threads));
+      obs::MetricsRegistry registry;
+      sim::EngineConfig parallel_config = config;
+      parallel_config.intra_run_threads = threads;
+      parallel_config.metrics = &registry;
+      sim::Engine parallel(parallel_config, *protocol, nullptr);
+      expect_same_outcome(parallel.run(), reference);
+
+      // The partitioned executor must genuinely have run (benign +
+      // sinkless is parallel-eligible), not silently fallen back.
+      const auto snap = registry.snapshot();
+      const auto* batches = snap.find_counter("engine.parallel.batches");
+      ASSERT_NE(batches, nullptr);
+      EXPECT_GT(batches->value, 0u);
+      const auto* fallbacks = snap.find_counter("engine.parallel.fallbacks");
+      ASSERT_NE(fallbacks, nullptr);
+      EXPECT_EQ(fallbacks->value, 0u);
+
+      // And warm-reset reuse of a parallel engine stays pure too.
+      parallel.reset(parallel_config, nullptr);
+      expect_same_outcome(parallel.run(), reference);
+    }
+  }
+}
+
+// Seeded random-config property test: draws over protocol x adversary
+// x N. Benign draws pit the partitioned executor against the serial
+// loop directly; adversarial draws go through the runner and verify
+// the engine_threads knob is outcome-neutral there as well (serial
+// fallback, bit for bit).
+TEST(ThreadInvariance, RandomConfigsSerialVsParallelProperty) {
+  const std::vector<const char*> protocol_names = {
+      "push-pull", "ears", "sears", "sequential", "broadcast-all",
+      "push-average"};
+  const std::vector<const char*> adversary_names = {
+      "none", "ugf", "strategy-1", "strategy-2.k.l", "oblivious", "jitter"};
+  std::mt19937_64 rng(0xC0117E57ull);
+
+  for (int draw = 0; draw < 24; ++draw) {
+    const char* protocol_name =
+        protocol_names[rng() % protocol_names.size()];
+    const char* adversary_name =
+        adversary_names[rng() % adversary_names.size()];
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng() % 59);
+    const std::uint32_t f = static_cast<std::uint32_t>(rng() % n);
+    const std::uint64_t seed = rng();
+    const std::uint32_t threads = 2 + static_cast<std::uint32_t>(rng() % 7);
+    SCOPED_TRACE(std::string(protocol_name) + " vs " + adversary_name +
+                 " n=" + std::to_string(n) + " f=" + std::to_string(f) +
+                 " seed=" + std::to_string(seed) + " threads=" +
+                 std::to_string(threads));
+    const auto protocol = protocols::make_protocol(protocol_name);
+
+    if (std::string(adversary_name) == "none") {
+      sim::EngineConfig config;
+      config.n = n;
+      config.f = f;
+      config.seed = seed;
+      sim::Engine serial(config, *protocol, nullptr);
+      sim::EngineConfig parallel_config = config;
+      parallel_config.intra_run_threads = threads;
+      sim::Engine parallel(parallel_config, *protocol, nullptr);
+      expect_same_outcome(parallel.run(), serial.run());
+    } else {
+      const auto adversary = core::make_adversary(adversary_name);
+      runner::RunSpec spec;
+      spec.n = n;
+      spec.f = f;
+      spec.runs = 1;
+      spec.base_seed = seed;
+      const auto serial = runner::MonteCarloRunner::run_once(
+          spec, 0, *protocol, *adversary);
+      runner::RunSpec wide = spec;
+      wide.engine_threads = threads;
+      const auto parallel = runner::MonteCarloRunner::run_once(
+          wide, 0, *protocol, *adversary);
+      EXPECT_EQ(parallel.strategy, serial.strategy);
+      expect_same_outcome(parallel.outcome, serial.outcome);
+    }
+  }
+}
+
+// ugf-trace-v1 byte-identity: a traced run attaches a sink, which
+// pins the serial loop regardless of engine_threads — the NDJSON bytes
+// must be identical at every thread count.
+TEST(ThreadInvariance, TraceBytesIdenticalAcrossEngineThreads) {
+  const auto protocol = protocols::make_protocol("push-pull");
+  const auto adversary = core::make_adversary("ugf");
+
+  const auto trace_for = [&](std::uint32_t engine_threads) {
+    runner::RunSpec spec;
+    spec.n = 16;
+    spec.f = 4;
+    spec.runs = 1;
+    spec.base_seed = 2;
+    spec.engine_threads = engine_threads;
+    obs::EventRecorder recorder;
+    const auto record = runner::MonteCarloRunner::run_once(
+        spec, 0, *protocol, *adversary, &recorder);
+    obs::TraceMeta meta;
+    meta.protocol = "push-pull";
+    meta.adversary = record.strategy;
+    meta.n = spec.n;
+    meta.f = spec.f;
+    meta.seed = record.seed;
+    std::ostringstream out;
+    obs::write_ndjson_trace(out, recorder.raw(), meta);
+    return out.str();
+  };
+
+  const std::string reference = trace_for(1);
+  EXPECT_FALSE(reference.empty());
+  for (const std::uint32_t threads : {2u, 4u, 8u})
+    EXPECT_EQ(trace_for(threads), reference) << "threads=" << threads;
+}
 
 }  // namespace

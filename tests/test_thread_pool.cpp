@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -136,6 +137,81 @@ TEST(MoveOnlyTaskUnit, MoveTransfersOwnership) {
   ASSERT_TRUE(c);
   c();
   EXPECT_EQ(hits, 2);
+}
+
+TEST(ThreadPoolBounds, StaticPartitionCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  // Deliberately unbalanced: chunk sizes 1, 0, 46, 3.
+  const std::vector<std::size_t> bounds = {0, 1, 1, 47, 50};
+  std::vector<std::atomic<int>> hits(50);
+  std::vector<std::atomic<int>> chunk_calls(4);
+  pool.parallel_for(bounds, [&](std::size_t chunk, std::size_t begin,
+                                std::size_t end) {
+    ++chunk_calls[chunk];
+    EXPECT_EQ(begin, bounds[chunk]);
+    EXPECT_EQ(end, bounds[chunk + 1]);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Empty chunks are still invoked — callers key per-chunk state (RNGs,
+  // arenas) off the chunk index.
+  for (const auto& c : chunk_calls) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolBounds, EmptyAndSingletonBoundsAreNoOps) {
+  ThreadPool pool(2);
+  const auto must_not_run = [](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "must not run";
+  };
+  pool.parallel_for(std::vector<std::size_t>{}, must_not_run);
+  pool.parallel_for(std::vector<std::size_t>{7}, must_not_run);
+}
+
+TEST(ThreadPoolBounds, SingleChunkRunsInlineOnCaller) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for(std::vector<std::size_t>{3, 9},
+                    [&](std::size_t chunk, std::size_t begin,
+                        std::size_t end) {
+                      EXPECT_EQ(chunk, 0u);
+                      EXPECT_EQ(begin, 3u);
+                      EXPECT_EQ(end, 9u);
+                      ran_on = std::this_thread::get_id();
+                    });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolBounds, AllEmptyChunksStillInvoked) {
+  ThreadPool pool(2);
+  const std::vector<std::size_t> bounds = {5, 5, 5, 5};
+  std::atomic<int> calls{0};
+  pool.parallel_for(bounds, [&](std::size_t, std::size_t begin,
+                                std::size_t end) {
+    EXPECT_EQ(begin, end);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolBounds, LowestChunkExceptionWinsAfterFullJoin) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> bounds = {0, 10, 20, 30, 40};
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(bounds, [&](std::size_t chunk, std::size_t,
+                                  std::size_t) {
+      if (chunk >= 2) throw std::runtime_error("chunk " +
+                                               std::to_string(chunk));
+      ++completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2");
+  }
+  // Both non-throwing chunks (0 inline, 1 pooled) ran to completion
+  // before the rethrow.
+  EXPECT_EQ(completed.load(), 2);
 }
 
 TEST(MoveOnlyTaskUnit, OversizedCallablesAreBoxed) {

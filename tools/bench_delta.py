@@ -32,8 +32,10 @@ SCHEMA = "ugf-bench-baseline-v1"
 # Fields the --gate mode refuses to let regress: the costs everybody
 # pays with observability detached, the scheduler kernel itself, the
 # lineage tracker (the one attached sink CI smoke always exercises),
-# and the SoA engine-core envelope (ns/step and resident bytes per
-# process at the baseline scale point).
+# the SoA engine-core envelope (ns/step and resident bytes per process
+# at the baseline scale point), and the partitioned step executor (its
+# coordinator merge cost, and the speedup it buys — the one gate field
+# where *down* is the regression direction).
 GATE_FIELDS = (
     "detached_pristine_ns_per_step",
     "detached_paired_ns_per_step",
@@ -42,7 +44,16 @@ GATE_FIELDS = (
     "lineage_tracker_ns_per_step",
     "soa_step_ns",
     "bytes_per_process",
+    "parallel_merge_ns_per_step",
+    "parallel_step_speedup_x",
 )
+
+# Gate fields where larger is better: these fail when the fresh value
+# drops more than --gate-pct below the committed baseline, instead of
+# when it rises above it.
+HIGHER_IS_BETTER = frozenset({
+    "parallel_step_speedup_x",
+})
 
 
 def load(path: str) -> dict:
@@ -105,6 +116,12 @@ def main(argv: list[str]) -> int:
                 # A gate field missing from either file is itself a
                 # regression — someone dropped it from the emitter.
                 failed.append(f"{key}: missing from baseline or fresh run")
+            elif key in HIGHER_IS_BETTER:
+                if entry["delta_pct"] < -gate_pct:
+                    failed.append(f"{key}: {entry['committed']:.2f} -> "
+                                  f"{entry['fresh']:.2f} "
+                                  f"({entry['delta_pct']:+.2f}% < "
+                                  f"-{gate_pct}%)")
             elif entry["delta_pct"] > gate_pct:
                 failed.append(f"{key}: {entry['committed']:.1f} -> "
                               f"{entry['fresh']:.1f} "

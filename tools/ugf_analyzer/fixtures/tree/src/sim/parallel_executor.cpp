@@ -1,0 +1,23 @@
+// Fixture: the partitioned step executor is a sanctioned concurrency
+// site (THREAD_DISCIPLINE_ALLOWED_FILES): primitives here produce no
+// findings — the file carve, not an inline allow, keeps them out of
+// the golden. The merge-telemetry clock read is NOT carved (wallclock
+// still applies everywhere in src/sim) and needs its inline allow.
+// Expected findings: none. Line 19 is suppressed (wallclock).
+#include "std_stub.hpp"
+
+namespace fx {
+
+struct ShardMerge {
+  std::vector<std::thread> lanes;  // carved: no thread-discipline finding
+  std::mutex wave_guard;           // carved
+};
+
+long long merge_clock() {
+  std::atomic<int> staged;  // carved
+  // ugf-analyzer: allow(wallclock): fixture merge-telemetry clock read
+  auto t = std::chrono::steady_clock::now();
+  return t.ticks + staged.load();
+}
+
+}  // namespace fx

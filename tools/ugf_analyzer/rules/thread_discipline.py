@@ -1,7 +1,8 @@
 """thread-discipline: concurrency flows through util::ThreadPool.
 
 Constructing std::thread / std::async / mutexes / atomics outside the
-pool (and outside the documented padded-cell observability files)
+pool, the partitioned step executor built on it, and the documented
+padded-cell observability files
 creates ad-hoc concurrency the determinism story cannot see: engine
 state would be shared off the (step, seq)-ordered path, and the
 thread-count-invariance tests would no longer cover reality.
@@ -32,8 +33,9 @@ _DECL_KINDS = {"VAR_DECL", "FIELD_DECL"}
 class ThreadDisciplineRule(Rule):
     name = "thread-discipline"
     description = ("no std::thread/std::async/mutexes/atomics "
-                   "constructed outside src/util/thread_pool and the "
-                   "src/obs padded-cell files")
+                   "constructed outside src/util/thread_pool, "
+                   "src/sim/parallel_executor, and the src/obs "
+                   "padded-cell files")
 
     def visit(self, cursor, ctx: AnalysisContext) -> None:
         kind = kind_name(cursor)
@@ -56,9 +58,10 @@ class ThreadDisciplineRule(Rule):
         primitive = match.group(0).rstrip("<")
         ctx.report(
             cursor, self.name,
-            f"{primitive} constructed outside src/util/thread_pool and "
-            "the src/obs padded-cell files; worker concurrency flows "
-            "through util::ThreadPool so determinism tests cover it")
+            f"{primitive} constructed outside src/util/thread_pool, "
+            "src/sim/parallel_executor, and the src/obs padded-cell "
+            "files; worker concurrency flows through util::ThreadPool "
+            "so determinism tests cover it")
 
     def _check_call(self, cursor, ctx: AnalysisContext) -> None:
         rel, _ = ctx.cursor_rel(cursor)

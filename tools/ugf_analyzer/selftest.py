@@ -29,6 +29,7 @@ PARSE_ARGS = ["-x", "c++", "-std=c++17", "-I", str(STUBS),
 # (file, line, rule) triples that must be caught by inline allows.
 EXPECTED_SUPPRESSED = {
     ("src/runner/thread_cases.cpp", 21, "thread-discipline"),
+    ("src/sim/parallel_executor.cpp", 19, "wallclock"),
     ("src/sim/wallclock_cases.cpp", 26, "wallclock"),
     ("src/util/shared_state_cases.cpp", 22, "shared-state"),
 }
