@@ -98,6 +98,11 @@ int main(int argc, char** argv) {
     const core::UgfFactory factory(core::UgfConfig{});
     campaign.export_lineage(spec, *protocol, factory, "push-pull", std::cout);
   }
+  if (campaign.digest_enabled()) {
+    const auto protocol = protocols::make_protocol("push-pull");
+    const auto none = core::make_adversary("none");
+    campaign.export_digest(spec, *protocol, *none, "push-pull", std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"

@@ -1,5 +1,6 @@
 #include "bench/campaign.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -7,6 +8,8 @@
 
 #include "obs/export.hpp"
 #include "obs/lineage.hpp"
+#include "obs/state_digest.hpp"
+#include "util/rng.hpp"
 
 namespace ugf::bench {
 
@@ -151,6 +154,10 @@ CampaignScope::CampaignScope(const util::CliArgs& args, std::string figure_id)
       !is_off(args.get_string("lineage-chrome", "")))
     lineage_chrome_path_ =
         args.out_path("lineage-chrome", figure_id_ + ".lineage.chrome.json");
+  if (args.has("digest") && !is_off(args.get_string("digest", "")))
+    digest_path_ = args.out_path("digest", figure_id_ + ".digest.ndjson");
+  digest_cadence_ =
+      std::max<std::uint64_t>(1, args.get_uint("digest-cadence", 1));
   registry_enabled_ = !manifest_path_.empty() || !metrics_path_.empty() ||
                       !prom_path_.empty();
 }
@@ -210,6 +217,59 @@ void CampaignScope::export_lineage(const runner::RunSpec& spec,
         << " (open in chrome://tracing or ui.perfetto.dev)\n";
   }
   if (registry_enabled_) tracker.publish_metrics(registry_);
+}
+
+void CampaignScope::export_digest(const runner::RunSpec& spec,
+                                  const sim::ProtocolFactory& protocol,
+                                  const adversary::AdversaryFactory& adversary,
+                                  const std::string& protocol_name,
+                                  std::ostream& out) {
+  if (!digest_enabled()) return;
+  // Same seeding discipline as the runner's run 0, but the engine is
+  // built directly: the runner's checked-build flight recorder installs
+  // an event sink, which forces the serial loop — and the whole point
+  // of the digest stream is to witness the loop the thread count
+  // actually selects.
+  const std::uint64_t run_seed = util::mix_seed(spec.base_seed, 0);
+  const std::uint64_t adversary_seed = util::mix_seed(run_seed, 0xAD7E25A27ull);
+
+  obs::StateDigester digester({/*cadence=*/digest_cadence_});
+  digester.start_capture();
+
+  sim::EngineConfig config;
+  config.n = spec.n;
+  config.f = spec.f;
+  config.seed = run_seed;
+  config.max_steps = spec.max_steps;
+  config.max_events = spec.max_events;
+  config.intra_run_threads = spec.engine_threads;
+  config.digester = &digester;
+
+  const auto instance = adversary.create(adversary_seed);
+  sim::Engine engine(config, protocol, instance.get());
+  (void)engine.run();
+
+  obs::TraceMeta meta;
+  meta.protocol = protocol_name;
+  meta.adversary = instance != nullptr ? instance->name() : "none";
+  meta.n = spec.n;
+  meta.f = spec.f;
+  meta.seed = run_seed;
+  if (!digester.write_file(digest_path_, meta))
+    throw std::runtime_error("cannot write digest stream: " + digest_path_);
+  note_artifact("digest", digest_path_);
+  out << "digest: " << digest_path_ << " ("
+      << digester.stats().samples << " samples, "
+      << digester.stats().records << " records, cadence " << digest_cadence_
+      << ", engine-threads " << spec.engine_threads << ")\n";
+  if (registry_enabled_) {
+    auto samples = registry_.counter("digest.samples");
+    auto records = registry_.counter("digest.records");
+    auto fold_ns = registry_.counter("digest.fold_ns");
+    samples.add(digester.stats().samples);
+    records.add(digester.stats().records);
+    fold_ns.add(digester.stats().total_ns);
+  }
 }
 
 runner::ProgressFn CampaignScope::progress_fn() {

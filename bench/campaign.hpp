@@ -25,6 +25,13 @@
 ///   --lineage-chrome[=PATH] same run's infection DAG as Chrome
 ///                          trace_event flow arrows (default
 ///                          <id>.lineage.chrome.json)
+///   --digest[=PATH|off]    per-step subsystem state digests of one
+///                          representative run as ugf-digest-v1 NDJSON
+///                          (default <id>.digest.ndjson; see
+///                          obs/state_digest.hpp and
+///                          tools/divergence_bisect.py)
+///   --digest-cadence=N     sample every N global steps (default 1; the
+///                          final step is always sampled)
 ///
 /// This header also hosts the manifest <-> runner conversions (sweep
 /// configs, adversary parameters) that obs cannot provide itself — obs
@@ -144,6 +151,24 @@ class CampaignScope {
                       const adversary::AdversaryFactory& adversary,
                       const std::string& protocol_name, std::ostream& out);
 
+  /// True when --digest asked for the state-digest export.
+  [[nodiscard]] bool digest_enabled() const noexcept {
+    return !digest_path_.empty();
+  }
+
+  /// Re-executes run 0 of `spec` with an obs::StateDigester attached
+  /// and writes the ugf-digest-v1 stream. The engine is constructed
+  /// directly (not through the runner) so `spec.engine_threads` drives
+  /// the real parallel step path even in checked builds — the digest
+  /// stream is the cross-thread determinism witness, so it must come
+  /// from whichever loop the thread count selects. Publishes digest.*
+  /// metrics into the campaign registry and prints the path to `out`.
+  /// No-op unless digest_enabled().
+  void export_digest(const runner::RunSpec& spec,
+                     const sim::ProtocolFactory& protocol,
+                     const adversary::AdversaryFactory& adversary,
+                     const std::string& protocol_name, std::ostream& out);
+
   /// Batch-level progress callback for sweep_figure/sweep_curve: feeds
   /// the live renderer when it is active, otherwise prints the classic
   /// per-grid-point stderr line. See the ProgressFn threading contract
@@ -163,6 +188,8 @@ class CampaignScope {
   std::string prom_path_;      ///< empty = disabled
   std::string lineage_path_;   ///< empty = disabled
   std::string lineage_chrome_path_;  ///< empty = disabled
+  std::string digest_path_;    ///< empty = disabled
+  std::uint64_t digest_cadence_ = 1;
   obs::MetricsRegistry registry_;
   obs::SweepProgress progress_;
   obs::RunManifest manifest_;

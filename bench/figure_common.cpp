@@ -145,7 +145,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
     const std::string chrome_path =
         args.has("chrome-trace") ? args.out_path("chrome-trace", "") : "";
     if (!trace_path.empty() || !chrome_path.empty() ||
-        campaign.lineage_enabled()) {
+        campaign.lineage_enabled() || campaign.digest_enabled()) {
       obs::ScopedPhase phase(config.profiler, obs::Phase::kExport);
       runner::RunSpec one;
       one.n = config.grid.front();
@@ -154,6 +154,7 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
       one.base_seed = util::mix_seed(config.base_seed, one.n);
       one.max_steps = config.max_steps;
       one.max_events = config.max_events;
+      one.engine_threads = config.engine_threads;
       if (profile) one.profiler = &profiler;
       if (!trace_path.empty() || !chrome_path.empty()) {
         obs::EventRecorder recorder;
@@ -184,6 +185,10 @@ int run_panel(int argc, const char* const* argv, const PanelSpec& spec) {
         }
       }
       campaign.export_lineage(one, *protocol, *ugf, protocol_name, std::cout);
+      // The digest run is benign (no adversary) so --engine-threads
+      // selects the real parallel step path: the stream is the
+      // cross-thread determinism witness, not an attack record.
+      campaign.export_digest(one, *protocol, *none, protocol_name, std::cout);
     }
 
     campaign.finish(std::cout);

@@ -54,7 +54,11 @@
 /// line; default on iff stderr is a TTY and $CI is unset),
 /// --lineage[=PATH|off] (causal lineage of the same representative run
 /// as ugf-lineage-v1 NDJSON), --lineage-chrome[=PATH] (its infection
-/// DAG as Chrome flow arrows).
+/// DAG as Chrome flow arrows), --digest[=PATH|off] (per-step subsystem
+/// state digests of the same representative run — but benign, so the
+/// --engine-threads parallel path engages — as ugf-digest-v1 NDJSON;
+/// compare streams with tools/divergence_bisect.py) and
+/// --digest-cadence=N (sample every N global steps).
 
 #include <string>
 

@@ -112,6 +112,15 @@ int main(int argc, char** argv) {
     one.base_seed = util::mix_seed(seed, one.n);
     campaign.export_lineage(one, *protocol, *ugf, "push-pull", std::cout);
   }
+  if (campaign.digest_enabled()) {
+    const auto protocol = protocols::make_protocol("push-pull");
+    const auto none = core::make_adversary("none");
+    runner::RunSpec one;
+    one.n = grid.front();
+    one.f = runner::f_for(one.n, fracs.front());
+    one.base_seed = util::mix_seed(seed, one.n);
+    campaign.export_digest(one, *protocol, *none, "push-pull", std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "  (" << watch.seconds() << "s)\n"

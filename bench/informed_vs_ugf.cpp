@@ -92,6 +92,12 @@ int main(int argc, char** argv) {
     campaign.export_lineage(spec, *protocol, *ugf, protocol_names.front(),
                             std::cout);
   }
+  if (campaign.digest_enabled()) {
+    const auto protocol = protocols::make_protocol(protocol_names.front());
+    const auto none = core::make_adversary("none");
+    campaign.export_digest(spec, *protocol, *none, protocol_names.front(),
+                           std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"

@@ -10,6 +10,10 @@
 //   metrics    obs::MetricsRegistry attached (one publication per run)
 //   lineage    obs::LineageTracker attached (online DAG + finalize)
 //
+// plus a state-digest block (obs::StateDigester attached compute-only
+// at cadence 1 and 64 — the cadence-64 cost gates via bench_delta.py;
+// digest-off is the detached rows, a single untaken branch).
+//
 // The configurations run interleaved with identical seeds (paired
 // comparison), repeated --reps times; medians are reported, printed as
 // a table and optionally written as JSON (--json=BENCH_baseline.json).
@@ -34,10 +38,13 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "obs/event.hpp"
 #include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/state_digest.hpp"
 #include "protocols/push_pull.hpp"
 #include "protocols/push_pull_counting.hpp"
 #include "reference_heap.hpp"
@@ -245,6 +252,34 @@ ParallelSample measure_parallel(std::uint32_t n, std::uint32_t runs,
   return sample;
 }
 
+/// State-digest probe pass: `runs` benign push-pull runs with one
+/// compute-only obs::StateDigester attached at the given cadence (the
+/// digester is reset per run by Engine::run, so reuse is free). The
+/// digest-off cost is the detached rows above: EngineConfig::digester
+/// defaults to nullptr and the sampling guard is one pointer compare.
+Sample measure_digest(std::uint32_t n, std::uint32_t runs,
+                      std::uint64_t base_seed, std::uint64_t cadence) {
+  protocols::PushPullFactory factory;
+  obs::StateDigester digester({cadence});
+  Sample sample;
+  util::Stopwatch watch;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    sim::EngineConfig cfg;
+    cfg.n = n;
+    cfg.f = n * 3 / 10;
+    cfg.seed = base_seed + i;
+    cfg.digester = &digester;
+    sim::Engine engine(cfg, factory, nullptr);
+    const auto out = engine.run();
+    sample.steps += out.local_steps_executed;
+    sample.messages += out.total_messages;
+  }
+  sample.ns_per_step =
+      watch.seconds() * 1e9 /
+      static_cast<double>(std::max<std::uint64_t>(1, sample.steps));
+  return sample;
+}
+
 /// Steady-state scheduler cost (ns per pop+push cycle) with `inflight`
 /// events pending and uniform delays up to `horizon` steps ahead of the
 /// popped event — the schedule shape Strategy 2.k.l produces, where a
@@ -399,6 +434,16 @@ int main(int argc, char** argv) {
       par_merge.push_back(s.merge_ns_per_step);
     }
 
+    // Digest block: state-digest probe attached (compute-only) at
+    // cadence 1 (every completed global step) and 64 (the relaxed
+    // monitoring cadence the baseline gate records). Digest-off is the
+    // detached rows above — a null digester costs one untaken branch.
+    std::vector<double> digest_c1, digest_c64;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      digest_c1.push_back(measure_digest(n, runs, seed, 1).ns_per_step);
+      digest_c64.push_back(measure_digest(n, runs, seed, 64).ns_per_step);
+    }
+
     // Scheduler block: pop+push steady state at a Strategy-2.k.l
     // horizon, timing wheel vs the pre-wheel binary heap
     // (bench/reference_heap.hpp), identical event sequences.
@@ -432,6 +477,12 @@ int main(int argc, char** argv) {
     const double soa_med = median(soa_ns);
     const double par_speedup_med = median(par_speedup);
     const double par_merge_med = median(par_merge);
+    const double digest1_med = median(digest_c1);
+    const double digest64_med = median(digest_c64);
+    const double digest1_overhead = (digest1_med - d_med) / d_med * 100.0;
+    const double digest64_overhead = (digest64_med - d_med) / d_med * 100.0;
+    const std::uint64_t hardware_threads =
+        std::max(1u, std::thread::hardware_concurrency());
     const double wheel_med = median(sched_wheel);
     const double heap_med = median(sched_heap);
     /// Wheel cost relative to the heap; negative means the wheel wins.
@@ -481,6 +532,11 @@ int main(int argc, char** argv) {
     std::cout << "  merge cost            " << std::setw(9)
               << std::setprecision(1) << par_merge_med
               << " ns/step (engine.parallel.merge_ns counter)\n";
+    std::cout << "state-digest probe: push-pull benign, n=" << n << ", f="
+              << n * 3 / 10 << ", " << runs << " runs x " << reps
+              << " reps (overhead vs detached paired)\n";
+    row("digest cadence 1", digest1_med, digest1_overhead);
+    row("digest cadence 64", digest64_med, digest64_overhead);
     std::cout << "scheduler steady state: " << sched_inflight
               << " in-flight, horizon " << sched_horizon << " steps, "
               << sched_ops << " pop+push ops x " << reps << " reps\n";
@@ -535,8 +591,13 @@ int main(int argc, char** argv) {
           .member("par_n", par_n)
           .member("par_runs_per_pass", par_runs)
           .member("par_threads", par_threads)
+          .member("hardware_threads", hardware_threads)
           .member("parallel_step_speedup_x", par_speedup_med)
           .member("parallel_merge_ns_per_step", par_merge_med)
+          .member("digest_cadence1_ns_per_step", digest1_med)
+          .member("digest_cadence1_overhead_pct", digest1_overhead)
+          .member("digest_ns_per_step", digest64_med)
+          .member("digest_overhead_pct", digest64_overhead)
           .member("sched_horizon_steps", sched_horizon)
           .member("sched_inflight_events", sched_inflight)
           .member("sched_ops", sched_ops)

@@ -94,6 +94,12 @@ int main(int argc, char** argv) {
     campaign.export_lineage(spec, *protocol, *omission,
                             protocol_names.front(), std::cout);
   }
+  if (campaign.digest_enabled()) {
+    const auto protocol = protocols::make_protocol(protocol_names.front());
+    const auto none = core::make_adversary("none");
+    campaign.export_digest(spec, *protocol, *none, protocol_names.front(),
+                           std::cout);
+  }
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"
             << "Expected: the omission twin matches the delay strategy's "

@@ -112,6 +112,16 @@ int main(int argc, char** argv) {
     campaign.export_lineage(one, *protocol, *ugf_factory,
                             protocol_names.front(), std::cout);
   }
+  if (campaign.digest_enabled()) {
+    const auto protocol = protocols::make_protocol(protocol_names.front());
+    const auto none = core::make_adversary("none");
+    runner::RunSpec one;
+    one.n = n;
+    one.f = f;
+    one.base_seed = 0xA1FA;
+    campaign.export_digest(one, *protocol, *none, protocol_names.front(),
+                           std::cout);
+  }
   campaign.note_artifact("csv", csv_path);
   campaign.finish(std::cout);
   std::cout << "csv: " << csv_path << "\n"

@@ -3,12 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <mutex>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/state_digest.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace ugf::obs {
 
@@ -49,11 +54,12 @@ FlightRecorder::~FlightRecorder() {
   util::remove_check_failure_hook(hook_id_);
 }
 
-void FlightRecorder::bind(Context context,
-                          const MetricsRegistry* metrics) noexcept {
+void FlightRecorder::bind(Context context, const MetricsRegistry* metrics,
+                          const StateDigester* digester) noexcept {
   ring_.clear();
   context_ = std::move(context);
   metrics_ = metrics;
+  digester_ = digester;
   owner_thread_ = std::this_thread::get_id();
 }
 
@@ -71,6 +77,23 @@ std::string FlightRecorder::dump(const std::string& dir) const {
   write_ndjson_trace_file(stem + ".ndjson", ring_.events(), meta);
   if (metrics_ != nullptr)
     write_metrics_json_file(stem + ".metrics.json", metrics_->snapshot());
+  if (digester_ != nullptr && !digester_->latest_roots().empty()) {
+    std::ofstream out(stem + ".digest.ndjson", std::ios::binary);
+    if (!out)
+      throw std::runtime_error("flight recorder: cannot write digest dump");
+    for (const StateDigester::RootSnapshot& snap : digester_->latest_roots()) {
+      util::JsonWriter json;
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(snap.digest));
+      json.begin_object()
+          .member("subsystem", std::string_view(snap.subsystem))
+          .member("step", snap.step)
+          .member("digest", std::string_view(hex))
+          .end_object();
+      out << json.str() << "\n";
+    }
+  }
   return stem;
 }
 
@@ -92,6 +115,10 @@ void FlightRecorder::on_check_failure(void* self) noexcept {
                  stem.c_str());
     if (recorder->metrics_ != nullptr)
       std::fprintf(stderr, "flight recorder: metrics -> %s.metrics.json\n",
+                   stem.c_str());
+    if (recorder->digester_ != nullptr &&
+        !recorder->digester_->latest_roots().empty())
+      std::fprintf(stderr, "flight recorder: digests -> %s.digest.ndjson\n",
                    stem.c_str());
   } catch (const std::exception& err) {
     std::fprintf(stderr, "flight recorder: dump failed: %s\n", err.what());

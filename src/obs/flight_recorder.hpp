@@ -12,6 +12,10 @@
 ///                                tools/lint_ugf.py --validate-trace)
 ///   <dir>/<stem>.metrics.json  — the bound registry's merged
 ///                                `ugf-metrics-v1` snapshot, if any
+///   <dir>/<stem>.digest.ndjson — the bound StateDigester's most recent
+///                                root digest per subsystem, if any —
+///                                pins which subsystem diverged first
+///                                before the invariant tripped
 ///
 /// to stderr-announced paths before the process aborts, turning a bare
 /// "UGF_AUDIT failed" into a replayable trace tail. Only recorders
@@ -33,6 +37,7 @@
 namespace ugf::obs {
 
 class MetricsRegistry;
+class StateDigester;
 
 class FlightRecorder final : public EventSink {
  public:
@@ -56,9 +61,10 @@ class FlightRecorder final : public EventSink {
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
   /// Rebinds the recorder to a new run: clears the ring and replaces
-  /// the meta context. `metrics` may be nullptr. Call between runs
-  /// when reusing one recorder per worker.
-  void bind(Context context, const MetricsRegistry* metrics) noexcept;
+  /// the meta context. `metrics` and `digester` may be nullptr. Call
+  /// between runs when reusing one recorder per worker.
+  void bind(Context context, const MetricsRegistry* metrics,
+            const StateDigester* digester = nullptr) noexcept;
 
   void on_event(const TraceEvent& event) override { ring_.on_event(event); }
 
@@ -80,6 +86,7 @@ class FlightRecorder final : public EventSink {
   EventRecorder ring_;
   Context context_;
   const MetricsRegistry* metrics_ = nullptr;
+  const StateDigester* digester_ = nullptr;
   std::thread::id owner_thread_;  ///< only this thread's failures dump
   std::size_t hook_id_ = 0;
 };

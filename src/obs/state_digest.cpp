@@ -1,0 +1,65 @@
+#include "obs/state_digest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "util/json.hpp"
+
+namespace ugf::obs {
+
+namespace {
+
+/// Digests render as fixed-width lowercase hex so streams from two runs
+/// can be compared byte-for-byte (and diffed by line tools).
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+void StateDigester::write(std::ostream& out, const TraceMeta& meta) const {
+  {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("schema", kDigestSchema)
+        .member("protocol", std::string_view(meta.protocol))
+        .member("adversary", std::string_view(meta.adversary))
+        .member("n", meta.n)
+        .member("f", meta.f)
+        .member("seed", meta.seed)
+        .member("cadence", config_.cadence)
+        .member("segments", leaves_)
+        .member("records", static_cast<std::uint64_t>(records_.size()))
+        .end_object();
+    out << json.str() << "\n";
+  }
+  for (const Record& rec : records_) {
+    util::JsonWriter json;
+    json.begin_object()
+        .member("step", rec.step)
+        .member("subsystem", std::string_view(names_[rec.subsystem]))
+        .member("level", static_cast<std::uint32_t>(rec.level))
+        .member("lo", rec.lo)
+        .member("hi", rec.hi)
+        .member("digest", std::string_view(hex16(rec.digest)))
+        .end_object();
+    out << json.str() << "\n";
+  }
+}
+
+bool StateDigester::write_file(const std::string& path,
+                               const TraceMeta& meta) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write(out, meta);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ugf::obs

@@ -1,0 +1,273 @@
+#pragma once
+/// \file
+/// \brief Deterministic per-step subsystem state digests with merkle
+/// segmentation over contiguous pid ranges (`ugf-digest-v1`).
+///
+/// `StateDigester` is an engine-side probe: at a configurable step cadence
+/// the engine folds every subsystem — process-table columns, protocol plane
+/// state, pending inboxes, timing-wheel occupancy, payload-arena live stats,
+/// per-process RNG stream positions — into 64-bit digests. Per-process
+/// subsystems are segmented into a small merkle tree over contiguous pid
+/// ranges, so comparing two streams localizes a mismatch to a pid shard,
+/// not just a step. Everything the engine calls is header-inline, keeping
+/// `ugf_sim` free of a link dependency on `ugf_obs`; only the NDJSON stream
+/// writer lives in the .cpp.
+///
+/// Determinism contract: a digest stream is a pure function of
+/// (config, factory, adversary) — identical across engine thread counts,
+/// runner worker counts, and warm engine reuse. Anything that is not
+/// (payload addresses, wheel sequence numbers, cumulative-across-reset
+/// counters) must never be folded in.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ugf::obs {
+
+struct TraceMeta;
+
+/// Schema identifier stamped into exported digest stream headers.
+inline constexpr const char* kDigestSchema = "ugf-digest-v1";
+
+/// Chain-init constant for segment folds. Validators never re-derive leaf
+/// digests from raw state; they only recompute parents from leaves via
+/// util::mix_seed, so this constant is private to the producer.
+inline constexpr std::uint64_t kDigestInit = 0xD16E5715ULL;
+
+/// Per-step, per-subsystem merkle digests of engine state.
+///
+/// Engine-facing protocol per sampled step:
+///   begin_run(n) once per run, then for each sampled step:
+///   begin_sample(step); fold_per_process(...)* / fold_accumulated(...) /
+///   fold_global(...)*; end_sample().
+///
+/// Record capture (for export / comparison) is opt-in via start_capture();
+/// without it the digester is compute-only and keeps just the latest root
+/// per subsystem (for FlightRecorder post-mortems) plus counters, so a
+/// cadence-1 probe on a long run costs no memory growth.
+class StateDigester {
+ public:
+  struct Config {
+    /// Sample every `cadence` global steps (step % cadence == 0). The final
+    /// step of a run is always sampled regardless of cadence.
+    std::uint64_t cadence = 1;
+    /// Requested merkle leaf count; clamped per run to the largest power of
+    /// two <= n (minimum 1).
+    std::uint32_t leaf_segments = 8;
+  };
+
+  /// One emitted digest record. `subsystem` indexes names().
+  struct Record {
+    std::uint64_t step = 0;
+    std::uint64_t digest = 0;
+    std::uint32_t subsystem = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint8_t level = 0;  ///< 0 = root; each level splits the pid range.
+  };
+
+  /// Latest root digest seen for one subsystem (FlightRecorder snapshot).
+  struct RootSnapshot {
+    std::string subsystem;
+    std::uint64_t step = 0;
+    std::uint64_t digest = 0;
+  };
+
+  struct Stats {
+    std::uint64_t samples = 0;    ///< Steps sampled this run.
+    std::uint64_t records = 0;    ///< Digest records produced this run.
+    std::uint64_t total_ns = 0;   ///< Wall time spent folding this run.
+  };
+
+  StateDigester() = default;
+  explicit StateDigester(Config config) : config_(config) {}
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Enable structured record capture (required before write()/records()).
+  void start_capture() noexcept { capture_ = true; }
+  [[nodiscard]] bool capturing() const noexcept { return capture_; }
+
+  /// Reset per-run state. Clears captured records, latest roots and the
+  /// stats counters so a reset + rerun produces a byte-identical stream
+  /// (and per-run stats for metrics publishing); the subsystem name
+  /// table survives.
+  void begin_run(std::uint32_t n) {
+    stats_ = Stats{};
+    n_ = n;
+    leaves_ = 1;
+    while (leaves_ * 2 <= config_.leaf_segments && leaves_ * 2 <= n_) {
+      leaves_ *= 2;
+    }
+    if (n_ == 0) leaves_ = 1;
+    scratch_.assign(n_, 0);
+    acc_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    tree_.assign(static_cast<std::size_t>(leaves_) * 2, 0);
+    records_.clear();
+    latest_.clear();
+    have_sampled_ = false;
+    last_sampled_step_ = 0;
+  }
+
+  /// True when `step` should be sampled: matches the cadence (or is
+  /// forced, e.g. the final step of a run) and was not already sampled.
+  [[nodiscard]] bool should_sample(std::uint64_t step,
+                                   bool force = false) const noexcept {
+    if (have_sampled_ && step == last_sampled_step_) return false;
+    if (!force && config_.cadence > 1 && step % config_.cadence != 0) {
+      return false;
+    }
+    return true;
+  }
+
+  void begin_sample(std::uint64_t step) {
+    step_ = step;
+    have_sampled_ = true;
+    last_sampled_step_ = step;
+    // ugf-analyzer: allow(wallclock): probe self-timing telemetry only;
+    // never feeds simulation state.
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  void end_sample() {
+    ++stats_.samples;
+    // ugf-analyzer: allow(wallclock): probe self-timing telemetry only;
+    // never feeds simulation state.
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.total_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_)
+            .count());
+  }
+
+  /// Fold a per-process subsystem: `fn(pid) -> uint64_t` is evaluated for
+  /// every pid in [0, n) and the results are merkle-segmented.
+  template <typename Fn>
+  void fold_per_process(const char* name, Fn&& fn) {
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      scratch_[p] = static_cast<std::uint64_t>(fn(p));
+    }
+    emit_tree(name, scratch_.data());
+  }
+
+  /// Zeroed per-pid accumulator of size n + 1 for order-insensitive folds
+  /// (timing-wheel events arrive in shard-dependent order): callers
+  /// wrapping-add commutative contributions into slot `pid`, or into the
+  /// overflow slot [n] for events without an in-range pid (timers).
+  [[nodiscard]] std::vector<std::uint64_t>& accumulator() noexcept {
+    acc_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    return acc_;
+  }
+
+  /// Emit the merkle tree over accumulator slots [0, n). The overflow slot
+  /// is left untouched for a subsequent fold_global().
+  void fold_accumulated(const char* name) { emit_tree(name, acc_.data()); }
+
+  /// Emit a single whole-range root record for scalar subsystem state.
+  void fold_global(const char* name, std::uint64_t value) {
+    emit_record(intern(name), 0, 0, n_, util::mix_seed(kDigestInit, value));
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t leaves() const noexcept { return leaves_; }
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+  /// Latest root digest per subsystem, in first-fold order.
+  [[nodiscard]] const std::vector<RootSnapshot>& latest_roots()
+      const noexcept {
+    return latest_;
+  }
+
+  /// Write the captured stream as `ugf-digest-v1` NDJSON (header line with
+  /// run metadata, then one record per line). Defined in state_digest.cpp.
+  void write(std::ostream& out, const TraceMeta& meta) const;
+  /// write() to `path`; returns false (and writes nothing) on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path,
+                                const TraceMeta& meta) const;
+
+ private:
+  [[nodiscard]] std::uint32_t intern(const char* name) {
+    for (std::uint32_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return i;
+    }
+    names_.emplace_back(name);
+    return static_cast<std::uint32_t>(names_.size()) - 1;
+  }
+
+  void emit_record(std::uint32_t subsystem, std::uint8_t level,
+                   std::uint32_t lo, std::uint32_t hi, std::uint64_t digest) {
+    ++stats_.records;
+    if (capture_) {
+      records_.push_back(Record{step_, digest, subsystem, lo, hi, level});
+    }
+    if (level == 0) {
+      for (auto& snap : latest_) {
+        if (snap.subsystem == names_[subsystem]) {
+          snap.step = step_;
+          snap.digest = digest;
+          return;
+        }
+      }
+      latest_.push_back(RootSnapshot{names_[subsystem], step_, digest});
+    }
+  }
+
+  /// Build and emit the merkle tree over `values[0..n)`: leaf i covers
+  /// [i*n/L, (i+1)*n/L) and chains mix_seed over its pids from kDigestInit;
+  /// parents are mix_seed(left, right). Records are emitted top-down
+  /// (root = level 0) so consumers can bisect without buffering.
+  void emit_tree(const char* name, const std::uint64_t* values) {
+    const std::uint32_t sub = intern(name);
+    const std::uint32_t leaves = leaves_;
+    for (std::uint32_t i = 0; i < leaves; ++i) {
+      const std::uint32_t lo = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(i) * n_ / leaves);
+      const std::uint32_t hi = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(i) + 1) * n_ / leaves);
+      std::uint64_t h = kDigestInit;
+      for (std::uint32_t p = lo; p < hi; ++p) {
+        h = util::mix_seed(h, values[p]);
+      }
+      tree_[leaves + i] = h;
+    }
+    for (std::uint32_t i = leaves; i-- > 1;) {
+      tree_[i] = util::mix_seed(tree_[2 * i], tree_[2 * i + 1]);
+    }
+    std::uint8_t level = 0;
+    for (std::uint32_t width = 1; width <= leaves; width *= 2, ++level) {
+      for (std::uint32_t j = 0; j < width; ++j) {
+        const std::uint32_t lo = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(j) * n_ / width);
+        const std::uint32_t hi = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(j) + 1) * n_ / width);
+        emit_record(sub, level, lo, hi, tree_[width + j]);
+      }
+    }
+  }
+
+  Config config_{};
+  std::uint32_t n_ = 0;
+  std::uint32_t leaves_ = 1;
+  std::uint64_t step_ = 0;
+  std::uint64_t last_sampled_step_ = 0;
+  bool have_sampled_ = false;
+  bool capture_ = false;
+  std::vector<std::uint64_t> scratch_;
+  std::vector<std::uint64_t> acc_;
+  std::vector<std::uint64_t> tree_;
+  std::vector<Record> records_;
+  std::vector<std::string> names_;
+  std::vector<RootSnapshot> latest_;
+  Stats stats_{};
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace ugf::obs

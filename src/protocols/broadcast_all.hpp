@@ -26,6 +26,10 @@ class BroadcastAllProcess final : public sim::Protocol {
       sim::ProcessId origin) const noexcept override {
     return known_.test(origin);
   }
+  void digest_into(std::uint64_t& h) const noexcept override {
+    h = util::mix_seed(h, std::uint64_t{done_});
+    h = util::mix_words(h, known_.words().data(), known_.words().size());
+  }
 
  private:
   sim::ProcessId self_;

@@ -100,6 +100,17 @@ class EarsProcess : public sim::Protocol {
       const noexcept override {
     return &gossips_;
   }
+  void digest_into(std::uint64_t& h) const noexcept override {
+    h = util::mix_words(h, gossips_.words().data(), gossips_.words().size());
+    h = util::mix_words(h, knows_.words().data(), knows_.words().size());
+    h = util::mix_seed(h, silent_steps_);
+    h = util::mix_seed(h, (std::uint64_t{news_pending_} << 1) |
+                              std::uint64_t{completed_});
+    h = util::mix_seed(h, version_);
+    h = util::mix_words(h, seen_versions_.data(), seen_versions_.size());
+    h = util::mix_seed(h, pending_replies_.size());
+    for (const sim::ProcessId p : pending_replies_) h = util::mix_seed(h, p);
+  }
 
   /// White-box accessors for tests.
   [[nodiscard]] const util::DynamicBitset& gossips() const noexcept {
@@ -172,6 +183,19 @@ class EarsSummaryProcess : public sim::Protocol {
   [[nodiscard]] const util::DynamicBitset* gossip_bits()
       const noexcept override {
     return &gossips_;
+  }
+  void digest_into(std::uint64_t& h) const noexcept override {
+    h = util::mix_words(h, gossips_.words().data(), gossips_.words().size());
+    for (const std::uint32_t c : ack_count_) h = util::mix_seed(h, c);
+    h = util::mix_words(h, acked_me_.words().data(),
+                        acked_me_.words().size());
+    h = util::mix_seed(h, silent_steps_);
+    h = util::mix_seed(h, (std::uint64_t{news_pending_} << 1) |
+                              std::uint64_t{completed_});
+    h = util::mix_seed(h, version_);
+    h = util::mix_words(h, seen_versions_.data(), seen_versions_.size());
+    h = util::mix_seed(h, pending_replies_.size());
+    for (const sim::ProcessId p : pending_replies_) h = util::mix_seed(h, p);
   }
 
   /// White-box accessors for tests.

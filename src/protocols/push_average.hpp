@@ -33,6 +33,7 @@
 /// stays conserved throughout because a sender always halves its own
 /// share regardless of the receiver's state.
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -83,6 +84,20 @@ class PushAverageProcess final : public sim::Protocol {
   [[nodiscard]] bool completed() const noexcept override;
   [[nodiscard]] bool has_gossip_of(
       sim::ProcessId origin) const noexcept override;
+
+  void digest_into(std::uint64_t& h) const noexcept override {
+    for (const double v : s_) h = util::mix_seed(h, std::bit_cast<std::uint64_t>(v));
+    h = util::mix_seed(h, std::bit_cast<std::uint64_t>(w_));
+    h = util::mix_words(h, origins_.words().data(), origins_.words().size());
+    h = util::mix_seed(h, sent_);
+    h = util::mix_seed(h, silent_steps_);
+    h = util::mix_seed(h, (std::uint64_t{news_pending_} << 1) |
+                              std::uint64_t{completed_});
+    h = util::mix_seed(h, courtesy_budget_);
+    h = util::mix_seed(h, reply_to_);
+    h = util::mix_seed(h, floor_targets_.size());
+    for (const sim::ProcessId p : floor_targets_) h = util::mix_seed(h, p);
+  }
 
   /// Current model estimate s/w (well-defined: w > 0 always).
   [[nodiscard]] std::vector<double> estimate() const;

@@ -43,6 +43,13 @@ class PushPullProcess final : public sim::Protocol {
       const noexcept override {
     return &known_;
   }
+  void digest_into(std::uint64_t& h) const noexcept override {
+    h = util::mix_words(h, known_.words().data(), known_.words().size());
+    h = util::mix_words(h, pulled_.words().data(), pulled_.words().size());
+    h = util::mix_words(h, served_.words().data(), served_.words().size());
+    h = util::mix_seed(h, pending_replies_.size());
+    for (const sim::ProcessId p : pending_replies_) h = util::mix_seed(h, p);
+  }
 
   /// Exposed for white-box tests.
   [[nodiscard]] const util::DynamicBitset& known() const noexcept {

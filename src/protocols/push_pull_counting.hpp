@@ -54,6 +54,12 @@ class PushPullCountingProcess final : public sim::Protocol {
   [[nodiscard]] bool claims_all_gossip() const noexcept {
     return known_count_ >= n_;
   }
+  void digest_into(std::uint64_t& h) const noexcept override {
+    h = util::mix_seed(h, known_count_);
+    h = util::mix_seed(h, pulls_sent_);
+    h = util::mix_seed(h, pending_replies_.size());
+    for (const sim::ProcessId p : pending_replies_) h = util::mix_seed(h, p);
+  }
 
   /// White-box accessors for tests.
   [[nodiscard]] std::uint64_t known_count() const noexcept {

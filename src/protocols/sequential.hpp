@@ -26,6 +26,10 @@ class SequentialProcess final : public sim::Protocol {
   [[nodiscard]] bool completed() const noexcept override;
   [[nodiscard]] bool has_gossip_of(
       sim::ProcessId origin) const noexcept override;
+  void digest_into(std::uint64_t& h) const noexcept override {
+    h = util::mix_seed(h, next_offset_);
+    h = util::mix_words(h, known_.words().data(), known_.words().size());
+  }
 
  private:
   sim::ProcessId self_;

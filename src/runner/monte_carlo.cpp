@@ -57,6 +57,10 @@ RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
   config.profiler = spec.profiler;
   config.metrics = spec.metrics;
   config.intra_run_threads = spec.engine_threads;
+  // One digester, one engine: run 0 executes exactly once whatever the
+  // worker count, so attaching it there keeps batches race-free and the
+  // digest stream deterministic.
+  config.digester = run_index == 0 ? spec.digester : nullptr;
 
   // The caller's sink and the internal time-series recorder are
   // independent consumers; tee when both are wanted.
@@ -80,7 +84,7 @@ RunRecord execute_run(std::unique_ptr<sim::Engine>& engine,
   flight.bind({protocol.name(),
                instance != nullptr ? instance->name() : "none", spec.n,
                spec.f, run_seed},
-              spec.metrics);
+              spec.metrics, config.digester);
   obs::TeeSink flight_tee(&flight, config.sink);
   config.sink = &flight_tee;
 #endif

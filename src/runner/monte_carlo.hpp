@@ -66,6 +66,11 @@ struct RunSpec {
   /// Engines fall back to their serial loop for runs an adversary or
   /// event sink makes order-sensitive.
   std::uint32_t engine_threads = 1;
+  /// Optional state digester (obs/state_digest.hpp), attached to run 0
+  /// of the batch ONLY — the digester is single-engine state, and run 0
+  /// executes exactly once regardless of worker count, so batches stay
+  /// deterministic. Must outlive the batch. nullptr disables digests.
+  obs::StateDigester* digester = nullptr;
 };
 
 /// One run's outcome plus provenance.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/state_digest.hpp"
 #include "sim/parallel_executor.hpp"
 #include "util/check.hpp"
 #include "util/dynamic_bitset.hpp"
@@ -434,6 +435,8 @@ Outcome Engine::run() {
     for (ProcessId p = 0; p < config_.n; ++p) note_infection(p, 0);
   }
 
+  if (config_.digester != nullptr) config_.digester->begin_run(config_.n);
+
   if (adversary_ != nullptr) {
     obs::ScopedPhase phase(config_.profiler, obs::Phase::kAdversary);
     adversary_->on_run_start(*control_);
@@ -451,6 +454,10 @@ Outcome Engine::run() {
   } else {
     run_serial_loop();
   }
+
+  // Final-state digest regardless of cadence (deduped if the last step
+  // boundary already sampled), so every stream ends on the same record.
+  if (config_.digester != nullptr) sample_digest(now_, /*force=*/true);
 
   if (config_.profiler != nullptr) {
     const TimingWheel::Stats wheel = events_.stats();
@@ -520,7 +527,81 @@ void Engine::run_serial_loop() {
     UGF_AUDIT(outcome_.local_steps_executed >=
               metrics_before.local_steps_executed);
 #endif
+    // Digest at completed global-step boundaries only: every event of
+    // now_ has been handled once the next pending event is later (the
+    // same boundary the parallel executor's wave collection uses).
+    if (config_.digester != nullptr &&
+        (events_.empty() || events_.peek_step() > now_)) {
+      sample_digest(now_);
+    }
   }
+}
+
+void Engine::sample_digest(GlobalStep step, bool force) {
+  obs::StateDigester& dig = *config_.digester;
+  if (!dig.should_sample(step, force)) return;
+  dig.begin_sample(step);
+  dig.fold_per_process("rng", [this](ProcessId p) {
+    return table_.rng[p].state_digest();
+  });
+  dig.fold_per_process("table.state", [this](ProcessId p) {
+    return static_cast<std::uint64_t>(table_.state[p]);
+  });
+  dig.fold_per_process("table.delta",
+                       [this](ProcessId p) { return table_.delta[p]; });
+  dig.fold_per_process("table.d", [this](ProcessId p) { return table_.d[p]; });
+  dig.fold_per_process("table.sent",
+                       [this](ProcessId p) { return table_.sent[p]; });
+  dig.fold_per_process("table.last_step_end", [this](ProcessId p) {
+    return table_.last_step_end[p];
+  });
+  dig.fold_per_process("table.next_begin", [this](ProcessId p) {
+    return table_.next_begin[p];
+  });
+  dig.fold_per_process("table.tokens", [this](ProcessId p) {
+    return util::mix_seed(table_.begin_token[p], table_.end_token[p]);
+  });
+  dig.fold_per_process("plane", [this](ProcessId p) {
+    std::uint64_t h = obs::kDigestInit;
+    plane_->digest_into(p, h);
+    return h;
+  });
+  dig.fold_per_process("inbox", [this](ProcessId p) {
+    return inboxes_.pending_digest(p);
+  });
+  // Wheel events are visited in wheel-internal order, which is not
+  // reproducible across serial/parallel placements; fold commutatively
+  // (wrapping add) per pid. Event seqs depend on push order and are
+  // excluded. Timer events carry no in-range pid and accumulate in the
+  // overflow slot, emitted as their own scalar subsystem.
+  {
+    std::vector<std::uint64_t>& acc = dig.accumulator();
+    const std::uint32_t n = config_.n;
+    events_.for_each_pending([&acc, n](const ScheduledEvent& ev) {
+      const std::uint64_t m =
+          util::mix_seed(ev.step, util::mix_seed(ev.kind, ev.token));
+      acc[ev.pid < n ? ev.pid : n] += m;
+    });
+    dig.fold_accumulated("wheel");
+    dig.fold_global("wheel.timers", acc[n]);
+  }
+  dig.fold_global("wheel.occupancy", events_.size());
+  // Arena live stats summed across the coordinator and worker arenas:
+  // the same payload set is allocated (shard-locally) at any thread
+  // count, so the sums are digest-safe even though addresses and the
+  // per-arena split are not. Cumulative-across-reset counters (e.g.
+  // total_payloads) are excluded — a warm engine must digest like a
+  // cold one.
+  {
+    std::uint64_t live = arena_.live_payloads();
+    std::uint64_t bytes = arena_.bytes_in_use();
+    for (const auto& arena : worker_arenas_) {
+      live += arena->live_payloads();
+      bytes += arena->bytes_in_use();
+    }
+    dig.fold_global("arena", util::mix_seed(live, bytes));
+  }
+  dig.end_sample();
 }
 
 void Engine::publish_metrics() {
@@ -553,6 +634,9 @@ void Engine::publish_metrics() {
     metrics_.parallel_merge_ns = r.counter("engine.parallel.merge_ns");
     metrics_.parallel_fallbacks = r.counter("engine.parallel.fallbacks");
     metrics_.parallel_threads = r.gauge("engine.parallel.threads");
+    metrics_.digest_samples = r.counter("digest.samples");
+    metrics_.digest_records = r.counter("digest.records");
+    metrics_.digest_fold_ns = r.counter("digest.fold_ns");
   }
 
   metrics_.runs.add(1);
@@ -603,6 +687,13 @@ void Engine::publish_metrics() {
   }
   if (parallel_fallback_) metrics_.parallel_fallbacks.add(1);
   metrics_.parallel_threads.note_max(run_shards_);
+
+  if (config_.digester != nullptr) {
+    const obs::StateDigester::Stats& dstats = config_.digester->stats();
+    metrics_.digest_samples.add(dstats.samples);
+    metrics_.digest_records.add(dstats.records);
+    metrics_.digest_fold_ns.add(dstats.total_ns);
+  }
 
   const TimingWheel::Stats wheel = events_.stats();
   metrics_.wheel_cascades.add(wheel.cascades);

@@ -59,6 +59,10 @@
 #include "sim/types.hpp"
 #include "util/rng.hpp"
 
+namespace ugf::obs {
+class StateDigester;
+}
+
 namespace ugf::sim {
 
 class ParallelStepExecutor;
@@ -88,6 +92,17 @@ struct EngineConfig {
   /// across engines/threads. See docs/OBSERVABILITY.md for the metric
   /// names.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional state digester (obs/state_digest.hpp); nullptr disables
+  /// digest sampling. When attached, the engine folds every subsystem
+  /// into per-step digests at the digester's cadence — after each fully
+  /// completed global step, on whichever loop (serial or parallel
+  /// coordinator) executed it — plus once at the end of the run. The
+  /// digest stream is a pure function of (config, factory, adversary):
+  /// identical at every intra_run_threads value. Attaching a digester
+  /// never changes the execution path (it does not force the serial
+  /// loop). Must outlive run(); must NOT be shared across concurrently
+  /// running engines.
+  obs::StateDigester* digester = nullptr;
   /// Worker threads used *inside* one run (ParallelStepExecutor,
   /// sim/parallel_executor.hpp): due processes of each global step are
   /// partitioned into contiguous pid shards, one worker per shard, and
@@ -216,6 +231,13 @@ class Engine {
   /// interleaving.
   void run_serial_loop();
 
+  /// Folds every subsystem into config_.digester at `step` (no-op when
+  /// the cadence skips the step, unless `force`). Called at completed
+  /// global-step boundaries only — both event loops guarantee no event
+  /// of `step` is still pending — so serial and parallel runs digest
+  /// the exact same states.
+  void sample_digest(GlobalStep step, bool force = false);
+
   /// Resolved metric handles, re-resolved only when the configured
   /// registry changes (reset() normally carries the same one, so a
   /// warm engine publishes without touching the registry's name map).
@@ -245,6 +267,9 @@ class Engine {
     obs::Counter parallel_merge_ns;
     obs::Counter parallel_fallbacks;
     obs::Gauge parallel_threads;
+    obs::Counter digest_samples;
+    obs::Counter digest_records;
+    obs::Counter digest_fold_ns;
   };
 
   /// Publishes this run's counters into config_.metrics (end of run()).

@@ -123,6 +123,13 @@ void ParallelStepExecutor::run_loop(std::uint32_t shards) {
     e.now_ = s;
     run_wave(s);
     ++stats_.batches;
+    // Global step s is complete (a wave is exactly one step); digest on
+    // the coordinator thread, after the workers' merge barrier, at the
+    // same boundary the serial loop samples.
+    if (e.config_.digester != nullptr &&
+        (e.events_.empty() || e.events_.peek_step() > s)) {
+      e.sample_digest(s);
+    }
   }
 }
 

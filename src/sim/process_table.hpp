@@ -170,6 +170,41 @@ class InboxPool {
 
   [[nodiscard]] const ShardMap& shard_map() const noexcept { return map_; }
 
+  /// 64-bit digest of `p`'s pending messages. Within one lane the FIFO
+  /// order is deterministic (identical serial vs parallel) and
+  /// acceptance seqs are emission ids, so each lane gets a chained
+  /// fold; across lanes the per-lane digests are combined with a
+  /// wrapping add, and empty lanes are skipped, because the lane list
+  /// itself is a warm-engine artifact — lanes persist (emptied) across
+  /// Engine::reset in whatever first-use order the *previous* run
+  /// established, and a warm engine must digest exactly like a cold
+  /// one. Payload refs are addresses and are skipped.
+  [[nodiscard]] std::uint64_t pending_digest(ProcessId p) const noexcept {
+    const Arena& a = arena_of(p);
+    std::uint64_t h = 0;
+    for (std::uint32_t li = heads_[p].first_lane; li != kNil;
+         li = a.lanes[li].next) {
+      const Lane& lane = a.lanes[li];
+      if (lane.size == 0) continue;
+      std::uint64_t lane_h = util::mix_seed(0x1B0C5ULL, lane.d);
+      std::uint32_t chunk = lane.head_chunk;
+      std::uint32_t slot = lane.head_slot;
+      for (std::uint64_t i = 0; i < lane.size; ++i) {
+        const InboxEntry& e = a.chunks[chunk].slots[slot];
+        lane_h = util::mix_seed(lane_h, e.msg.from);
+        lane_h = util::mix_seed(lane_h, e.msg.sent_at);
+        lane_h = util::mix_seed(lane_h, e.msg.arrives_at);
+        lane_h = util::mix_seed(lane_h, e.seq);
+        if (++slot == kChunkEntries) {
+          chunk = a.chunks[chunk].next;
+          slot = 0;
+        }
+      }
+      h += lane_h;
+    }
+    return h;
+  }
+
   /// Resident bytes of the whole pool (capacity, not size).
   [[nodiscard]] std::size_t bytes() const noexcept;
 

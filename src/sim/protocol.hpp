@@ -109,6 +109,15 @@ class Protocol {
       const noexcept {
     return nullptr;
   }
+
+  /// Folds this process's protocol state into the 64-bit digest `h`
+  /// (state-digest observability; see docs/OBSERVABILITY.md). Contract:
+  /// mix every field whose value is a deterministic function of the run
+  /// (config, factory, adversary) via util::mix_seed, in a fixed member
+  /// order; never mix addresses, PayloadRefs, or anything that varies
+  /// with engine thread count. The default folds nothing, which makes
+  /// the plane digest degenerate-but-stable for external protocols.
+  virtual void digest_into(std::uint64_t& /*h*/) const noexcept {}
 };
 
 /// The protocol state of one whole run, indexed by ProcessId. The
@@ -153,6 +162,12 @@ class ProtocolPlane {
   /// Approximate resident bytes of the whole plane's protocol state
   /// (for the engine's bytes-per-process gauge); 0 = unknown.
   [[nodiscard]] virtual std::size_t state_bytes() const noexcept { return 0; }
+
+  /// Folds process `p`'s protocol state into the digest `h` (same
+  /// contract as Protocol::digest_into). Sibling of state_bytes() in
+  /// the plane observability contract; the default folds nothing.
+  virtual void digest_into(ProcessId /*p*/,
+                           std::uint64_t& /*h*/) const noexcept {}
 };
 
 /// Adapter plane over one heap-allocated Protocol per process — the
@@ -182,6 +197,9 @@ class PerProcessPlane final : public ProtocolPlane {
   [[nodiscard]] const util::DynamicBitset* gossip_bits(
       ProcessId p) const noexcept override {
     return procs_[p]->gossip_bits();
+  }
+  void digest_into(ProcessId p, std::uint64_t& h) const noexcept override {
+    procs_[p]->digest_into(h);
   }
 
   /// The wrapped instance (white-box tests / instrumentation).
@@ -237,6 +255,9 @@ class VectorPlane final : public ProtocolPlane {
   }
   [[nodiscard]] std::size_t state_bytes() const noexcept override {
     return procs_.capacity() * sizeof(P);
+  }
+  void digest_into(ProcessId p, std::uint64_t& h) const noexcept override {
+    procs_[p].digest_into(h);
   }
 
   /// The embedded instance (white-box tests).

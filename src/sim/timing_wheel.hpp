@@ -117,6 +117,24 @@ class TimingWheel {
     return out;
   }
 
+  /// Invokes `fn(const ScheduledEvent&)` for every pending event, in
+  /// wheel-internal (level, bucket) order — NOT (step, seq) order, and
+  /// not reproducible across serial/parallel schedules that placed the
+  /// same events differently. Consumers must fold the visited set
+  /// order-insensitively (the state digester accumulates commutatively
+  /// per pid) and must not rely on `seq`, which depends on push order.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    for (const auto& level : levels_) {
+      for (const Bucket& bucket : level) {
+        for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+          fn(bucket.events[i]);
+        }
+      }
+    }
+    for (const ScheduledEvent& ev : spill_) fn(ev);
+  }
+
  private:
   static constexpr std::size_t kLevelBits = 10;  // log2(kBuckets)
   static constexpr std::size_t kBitmapWords = kBuckets / 64;

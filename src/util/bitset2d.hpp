@@ -54,6 +54,12 @@ class Bitset2D {
 
   friend bool operator==(const Bitset2D&, const Bitset2D&) = default;
 
+  /// Read-only view of the backing words (row-major, word-aligned rows);
+  /// used by state digests to fold the matrix without bit-level iteration.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
  private:
   static constexpr std::size_t kWordBits = 64;
   [[nodiscard]] std::size_t word_index(std::size_t r,

@@ -11,6 +11,7 @@
 /// their distributions are not reproducible across implementations.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -22,6 +23,15 @@ namespace ugf::util {
 
 /// Mixes two 64-bit values into one (for deriving child seeds).
 [[nodiscard]] std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Chains `count` words into digest `h` via mix_seed (order-sensitive);
+/// the word-at-a-time primitive of the state-digest observability layer.
+[[nodiscard]] inline std::uint64_t mix_words(std::uint64_t h,
+                                             const std::uint64_t* words,
+                                             std::size_t count) noexcept {
+  for (std::size_t i = 0; i < count; ++i) h = mix_seed(h, words[i]);
+  return h;
+}
 
 /// xoshiro256** pseudo random generator with convenience draws.
 ///
@@ -79,6 +89,16 @@ class Rng {
 
   /// The seed this generator was constructed with (for diagnostics).
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// 64-bit digest of the current stream position (all 256 state bits
+  /// folded via mix_seed). Two generators with equal digests have, with
+  /// overwhelming probability, consumed the same draws from the same
+  /// seed — the state-digest observability layer uses this to detect a
+  /// process whose RNG stream drifted.
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    return mix_seed(mix_seed(state_[0], state_[1]),
+                    mix_seed(state_[2], state_[3]));
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

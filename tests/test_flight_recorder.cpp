@@ -1,9 +1,10 @@
 // Tests for the post-mortem flight recorder (src/obs/flight_recorder.hpp):
 // the bounded ring keeps the most recent events, `dump()` writes a valid
-// ugf-trace-v1 NDJSON tail plus the bound metrics snapshot, and — when
-// checks are compiled in — a failing UGF_ASSERT on the owning thread
-// dumps before the process aborts (the acceptance criterion: a forced
-// invariant failure produces a parseable flight dump).
+// ugf-trace-v1 NDJSON tail plus the bound metrics snapshot and the bound
+// digester's latest per-subsystem root digests, and — when checks are
+// compiled in — a failing UGF_ASSERT on the owning thread dumps before
+// the process aborts (the acceptance criterion: a forced invariant
+// failure produces a parseable flight dump).
 
 #include "obs/flight_recorder.hpp"
 
@@ -18,6 +19,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/state_digest.hpp"
 #include "util/check.hpp"
 #include "util/json_parse.hpp"
 
@@ -114,7 +116,40 @@ TEST(FlightRecorder, DumpWithoutMetricsWritesOnlyTheTrace) {
   EXPECT_FALSE(read_lines(stem + ".ndjson").empty());
   std::ifstream metrics(stem + ".metrics.json");
   EXPECT_FALSE(metrics.good());
+  std::ifstream digests(stem + ".digest.ndjson");
+  EXPECT_FALSE(digests.good());
   std::remove((stem + ".ndjson").c_str());
+}
+
+TEST(FlightRecorder, DumpWritesTheBoundDigestersLatestRoots) {
+  obs::StateDigester digester;
+  digester.begin_run(16);
+  digester.begin_sample(3);
+  digester.fold_global("arena", 0xABCull);
+  digester.end_sample();
+  digester.begin_sample(9);
+  digester.fold_global("arena", 0xDEFull);
+  digester.fold_global("wheel.occupancy", 11ull);
+  digester.end_sample();
+
+  obs::FlightRecorder recorder(16);
+  recorder.bind({"push-pull", "ugf", 16, 4, 42}, nullptr, &digester);
+  recorder.on_event(delivery_event(0));
+  const std::string stem = recorder.dump(::testing::TempDir());
+
+  // One line per subsystem, holding the most recent root digest.
+  const auto lines = read_lines(stem + ".digest.ndjson");
+  ASSERT_EQ(lines.size(), 2u);
+  const auto arena = util::parse_json(lines[0]);
+  EXPECT_EQ(arena.at("subsystem").as_string(), "arena");
+  EXPECT_EQ(arena.at("step").as_uint64(), 9u);
+  EXPECT_EQ(arena.at("digest").as_string().size(), 16u);
+  const auto wheel = util::parse_json(lines[1]);
+  EXPECT_EQ(wheel.at("subsystem").as_string(), "wheel.occupancy");
+  EXPECT_EQ(wheel.at("step").as_uint64(), 9u);
+
+  std::remove((stem + ".ndjson").c_str());
+  std::remove((stem + ".digest.ndjson").c_str());
 }
 
 #if UGF_CHECKS_ENABLED
@@ -131,12 +166,19 @@ TEST(FlightRecorderDeathTest, CheckFailureDumpsBeforeAborting) {
   std::remove((stem + ".ndjson").c_str());
   std::remove((stem + ".metrics.json").c_str());
 
+  std::remove((stem + ".digest.ndjson").c_str());
+
   EXPECT_DEATH(
       {
         obs::MetricsRegistry registry;
         registry.counter("engine.runs").add(1);
+        obs::StateDigester digester;
+        digester.begin_run(32);
+        digester.begin_sample(5);
+        digester.fold_global("arena", 0x5EEDull);
+        digester.end_sample();
         obs::FlightRecorder recorder(32);
-        recorder.bind({"push-pull", "ugf", 32, 9, 77}, &registry);
+        recorder.bind({"push-pull", "ugf", 32, 9, 77}, &registry, &digester);
         recorder.on_event(delivery_event(5));
         UGF_ASSERT(1 + 1 == 3);
       },
@@ -150,8 +192,18 @@ TEST(FlightRecorderDeathTest, CheckFailureDumpsBeforeAborting) {
   const auto metrics = util::parse_json_file(stem + ".metrics.json");
   EXPECT_EQ(metrics.at("counters").at("engine.runs").as_uint64(), 1u);
 
+  // The digest snapshot rides along: the subsystem roots the digester
+  // held when the invariant tripped.
+  const auto digest_lines = read_lines(stem + ".digest.ndjson");
+  ASSERT_EQ(digest_lines.size(), 1u);
+  const auto snap = util::parse_json(digest_lines[0]);
+  EXPECT_EQ(snap.at("subsystem").as_string(), "arena");
+  EXPECT_EQ(snap.at("step").as_uint64(), 5u);
+  EXPECT_EQ(snap.at("digest").as_string().size(), 16u);
+
   std::remove((stem + ".ndjson").c_str());
   std::remove((stem + ".metrics.json").c_str());
+  std::remove((stem + ".digest.ndjson").c_str());
   unsetenv("UGF_FLIGHT_DIR");
 }
 

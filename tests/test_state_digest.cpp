@@ -1,0 +1,391 @@
+// State-digest observability (src/obs/state_digest.hpp + the engine's
+// sample_digest hook): the `ugf-digest-v1` stream must be a pure
+// function of (config, factory, adversary) — byte-identical across
+// engine thread counts, runner worker counts and warm engine reuse —
+// and an injected single-process state perturbation must be localized
+// by tools/divergence_bisect.py to the exact (step, subsystem, pid
+// segment).
+
+#include "obs/state_digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adversary_registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "protocols/push_pull.hpp"
+#include "protocols/registry.hpp"
+#include "runner/monte_carlo.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ugf;
+
+obs::TraceMeta meta_for(const char* protocol, const char* adversary,
+                        std::uint32_t n, std::uint32_t f,
+                        std::uint64_t seed) {
+  obs::TraceMeta meta;
+  meta.protocol = protocol;
+  meta.adversary = adversary;
+  meta.n = n;
+  meta.f = f;
+  meta.seed = seed;
+  return meta;
+}
+
+std::string render(const obs::StateDigester& digester,
+                   const obs::TraceMeta& meta) {
+  std::ostringstream out;
+  digester.write(out, meta);
+  return out.str();
+}
+
+// One benign direct-Engine run (no adversary, no sink — the parallel
+// step path engages whenever threads > 1) with a capturing digester;
+// returns the rendered stream.
+std::string benign_stream(const char* protocol_name, std::uint32_t threads,
+                          obs::MetricsRegistry* registry,
+                          std::uint64_t cadence = 1) {
+  const auto protocol = protocols::make_protocol(protocol_name);
+  obs::StateDigester digester({cadence});
+  digester.start_capture();
+  sim::EngineConfig config;
+  config.n = 37;
+  config.f = 0;
+  config.seed = 0xD17;
+  config.intra_run_threads = threads;
+  config.metrics = registry;
+  config.digester = &digester;
+  sim::Engine engine(config, *protocol, nullptr);
+  (void)engine.run();
+  return render(digester,
+                meta_for(protocol_name, "none", config.n, config.f,
+                         config.seed));
+}
+
+TEST(StateDigest, BenignStreamBytesIdenticalAcrossEngineThreads) {
+  for (const char* protocol_name :
+       {"push-pull", "ears", "sears", "sequential", "broadcast-all",
+        "push-average"}) {
+    const std::string reference = benign_stream(protocol_name, 1, nullptr);
+    EXPECT_FALSE(reference.empty());
+    for (const std::uint32_t threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::string(protocol_name) + " threads=" +
+                   std::to_string(threads));
+      obs::MetricsRegistry registry;
+      EXPECT_EQ(benign_stream(protocol_name, threads, &registry), reference);
+
+      // The parallel executor must genuinely have produced the stream —
+      // attaching a digester must not silently force the serial loop.
+      const auto snap = registry.snapshot();
+      const auto* batches = snap.find_counter("engine.parallel.batches");
+      ASSERT_NE(batches, nullptr);
+      EXPECT_GT(batches->value, 0u);
+      const auto* fallbacks = snap.find_counter("engine.parallel.fallbacks");
+      ASSERT_NE(fallbacks, nullptr);
+      EXPECT_EQ(fallbacks->value, 0u);
+    }
+  }
+}
+
+TEST(StateDigest, WarmResetReuseProducesIdenticalStream) {
+  const auto protocol = protocols::make_protocol("push-pull");
+  obs::StateDigester digester;
+  digester.start_capture();
+  sim::EngineConfig config;
+  config.n = 37;
+  config.f = 0;
+  config.seed = 0xD17;
+  config.intra_run_threads = 4;
+  config.digester = &digester;
+  const auto meta = meta_for("push-pull", "none", config.n, config.f,
+                             config.seed);
+
+  sim::Engine engine(config, *protocol, nullptr);
+  (void)engine.run();
+  const std::string cold = render(digester, meta);
+  EXPECT_FALSE(cold.empty());
+
+  // begin_run (inside run()) clears the captured records, so the warm
+  // rendering holds only the second run — which must match bit for bit.
+  engine.reset(config, nullptr);
+  (void)engine.run();
+  EXPECT_EQ(render(digester, meta), cold);
+}
+
+TEST(StateDigest, DifferentSeedsProduceDifferentStreams) {
+  const auto protocol = protocols::make_protocol("push-pull");
+  const auto stream_for = [&](std::uint64_t seed) {
+    obs::StateDigester digester;
+    digester.start_capture();
+    sim::EngineConfig config;
+    config.n = 37;
+    config.f = 0;
+    config.seed = seed;
+    config.digester = &digester;
+    sim::Engine engine(config, *protocol, nullptr);
+    (void)engine.run();
+    return render(digester,
+                  meta_for("push-pull", "none", config.n, config.f, 0));
+  };
+  EXPECT_NE(stream_for(0xD17), stream_for(0xD18));
+}
+
+TEST(StateDigest, CadenceSamplesFewerStepsButAlwaysTheFinalOne) {
+  const auto protocol = protocols::make_protocol("push-pull");
+  const auto run_with = [&](obs::StateDigester& dig) {
+    sim::EngineConfig config;
+    config.n = 37;
+    config.f = 0;
+    config.seed = 0xD17;
+    config.digester = &dig;
+    sim::Engine engine(config, *protocol, nullptr);
+    (void)engine.run();
+  };
+
+  obs::StateDigester dense({/*cadence=*/1});
+  dense.start_capture();
+  run_with(dense);
+  obs::StateDigester sparse({/*cadence=*/64});
+  sparse.start_capture();
+  run_with(sparse);
+
+  ASSERT_FALSE(dense.records().empty());
+  ASSERT_FALSE(sparse.records().empty());
+  EXPECT_GT(dense.stats().samples, sparse.stats().samples);
+  // Same terminal record: cadence only thins the middle of the stream.
+  EXPECT_EQ(dense.records().back().step, sparse.records().back().step);
+  EXPECT_EQ(dense.records().back().digest, sparse.records().back().digest);
+  // Every sparse sample sits on the cadence grid, except the forced
+  // final-state sample.
+  const std::uint64_t last = sparse.records().back().step;
+  for (const auto& record : sparse.records()) {
+    if (record.step != last) {
+      EXPECT_EQ(record.step % 64, 0u);
+    }
+  }
+}
+
+// ---- Runner-path invariance on the golden rows ---------------------------
+
+// The nine golden (protocol, seed) rows of test_determinism.cpp: UGF at
+// n = 16, f = 4, runs = 6, digester on run 0. Every (engine threads x
+// runner workers) cell must reproduce the workers=1/threads=1 stream
+// byte for byte.
+struct GoldenPoint {
+  std::uint64_t seed;
+  const char* protocol;
+};
+
+const std::vector<GoldenPoint>& golden_points() {
+  static const std::vector<GoldenPoint> points = {
+      {2, "push-pull"},        {2, "ears"},        {2, "sears"},
+      {6, "push-pull"},        {6, "ears"},        {6, "sears"},
+      {0xB0D1E5, "push-pull"}, {0xB0D1E5, "ears"}, {0xB0D1E5, "sears"},
+  };
+  return points;
+}
+
+TEST(StateDigest, GoldenRowStreamsInvariantAcrossThreadsTimesWorkers) {
+  const auto adversary = core::make_adversary("ugf");
+  for (const GoldenPoint& point : golden_points()) {
+    const auto protocol = protocols::make_protocol(point.protocol);
+    const auto batch_stream = [&](std::uint32_t engine_threads,
+                                  std::size_t workers) {
+      obs::StateDigester digester;
+      digester.start_capture();
+      runner::RunSpec spec;
+      spec.n = 16;
+      spec.f = 4;
+      spec.runs = 6;
+      spec.base_seed = point.seed;
+      spec.engine_threads = engine_threads;
+      spec.digester = &digester;
+      runner::MonteCarloRunner runner(workers);
+      (void)runner.run_batch(spec, *protocol, *adversary);
+      return render(digester, meta_for(point.protocol, "ugf", spec.n, spec.f,
+                                       point.seed));
+    };
+
+    const std::string reference = batch_stream(1, 1);
+    EXPECT_FALSE(reference.empty());
+    for (const std::uint32_t engine_threads : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+        SCOPED_TRACE(std::string(point.protocol) + " seed=" +
+                     std::to_string(point.seed) + " engine_threads=" +
+                     std::to_string(engine_threads) + " workers=" +
+                     std::to_string(workers));
+        EXPECT_EQ(batch_stream(engine_threads, workers), reference);
+      }
+    }
+  }
+}
+
+// ---- Injected perturbation + divergence_bisect.py ------------------------
+
+// Forwarding wrapper around one push-pull process: identical protocol
+// behaviour, but — when armed — digest_into mixes an extra value once
+// the process has executed more than `kPerturbAfterSteps` local steps.
+// The simulated execution is untouched; only the digest of one pid's
+// plane state drifts, mid-run.
+constexpr std::uint64_t kPerturbAfterSteps = 3;
+
+class PerturbedProtocol final : public sim::Protocol {
+ public:
+  PerturbedProtocol(std::unique_ptr<sim::Protocol> inner, bool armed)
+      : inner_(std::move(inner)), armed_(armed) {}
+
+  void on_message(sim::ProcessContext& ctx, const sim::Message& msg) override {
+    inner_->on_message(ctx, msg);
+  }
+  void on_local_step(sim::ProcessContext& ctx) override {
+    ++steps_;
+    inner_->on_local_step(ctx);
+  }
+  [[nodiscard]] bool wants_sleep() const noexcept override {
+    return inner_->wants_sleep();
+  }
+  [[nodiscard]] bool completed() const noexcept override {
+    return inner_->completed();
+  }
+  [[nodiscard]] bool has_gossip_of(
+      sim::ProcessId origin) const noexcept override {
+    return inner_->has_gossip_of(origin);
+  }
+  [[nodiscard]] const util::DynamicBitset* gossip_bits()
+      const noexcept override {
+    return inner_->gossip_bits();
+  }
+  void digest_into(std::uint64_t& h) const noexcept override {
+    inner_->digest_into(h);
+    if (armed_ && steps_ > kPerturbAfterSteps) h = util::mix_seed(h, 0xBAD);
+  }
+
+ private:
+  std::unique_ptr<sim::Protocol> inner_;
+  std::uint64_t steps_ = 0;
+  bool armed_ = false;
+};
+
+class PerturbingFactory final : public sim::ProtocolFactory {
+ public:
+  PerturbingFactory(sim::ProcessId target, bool armed)
+      : target_(target), armed_(armed) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "push-pull";
+  }
+  [[nodiscard]] std::unique_ptr<sim::Protocol> create(
+      sim::ProcessId self, const sim::SystemInfo& info) const override {
+    return std::make_unique<PerturbedProtocol>(base_.create(self, info),
+                                               armed_ && self == target_);
+  }
+
+ private:
+  protocols::PushPullFactory base_;
+  sim::ProcessId target_;
+  bool armed_;
+};
+
+TEST(StateDigest, BisectLocalizesAnInjectedPerturbation) {
+  constexpr sim::ProcessId kTarget = 5;
+  constexpr std::uint32_t kN = 16;
+  const auto stream_of = [&](bool armed, obs::StateDigester& digester) {
+    const PerturbingFactory factory(kTarget, armed);
+    digester.start_capture();
+    sim::EngineConfig config;
+    config.n = kN;
+    config.f = 0;
+    config.seed = 0xFACADE;
+    config.digester = &digester;
+    sim::Engine engine(config, factory, nullptr);
+    (void)engine.run();
+  };
+
+  obs::StateDigester clean, perturbed;
+  stream_of(false, clean);
+  stream_of(true, perturbed);
+
+  // Same record structure (the execution itself is untouched), but the
+  // digests drift from the first sample after the target's fourth step.
+  const auto& a = clean.records();
+  const auto& b = perturbed.records();
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t first = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].step, b[i].step);
+    ASSERT_EQ(a[i].subsystem, b[i].subsystem);
+    ASSERT_EQ(a[i].level, b[i].level);
+    ASSERT_EQ(a[i].lo, b[i].lo);
+    ASSERT_EQ(a[i].hi, b[i].hi);
+    if (a[i].digest != b[i].digest && first == a.size()) first = i;
+  }
+  ASSERT_LT(first, a.size()) << "perturbation never reached the digest";
+  EXPECT_GT(a[first].step, 0u) << "perturbation fired before step 4";
+  EXPECT_EQ(clean.names()[a[first].subsystem], "plane");
+
+  // Expected localization: within the first divergent (step, subsystem)
+  // group, the deepest divergent level's lowest segment — which must be
+  // the leaf containing the target pid.
+  const std::uint64_t step = a[first].step;
+  const std::uint32_t subsystem = a[first].subsystem;
+  std::uint8_t deepest = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].step == step && a[i].subsystem == subsystem &&
+        a[i].digest != b[i].digest) {
+      deepest = std::max(deepest, a[i].level);
+    }
+  }
+  std::uint32_t lo = kN, hi = kN;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].step == step && a[i].subsystem == subsystem &&
+        a[i].level == deepest && a[i].digest != b[i].digest && a[i].lo < lo) {
+      lo = a[i].lo;
+      hi = a[i].hi;
+    }
+  }
+  ASSERT_LT(lo, hi);
+  EXPECT_LE(lo, kTarget);
+  EXPECT_GT(hi, kTarget);
+  EXPECT_EQ(hi - lo, kN / clean.leaves()) << "not localized to one leaf";
+
+  // Hand both streams to the bisection tool and assert it reports
+  // exactly this (step, subsystem, segment).
+  if (std::system("python3 -c pass > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 unavailable";
+  const auto meta = meta_for("push-pull", "none", kN, 0, 0xFACADE);
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/ugf-digest-clean.ndjson";
+  const std::string path_b = dir + "/ugf-digest-perturbed.ndjson";
+  ASSERT_TRUE(clean.write_file(path_a, meta));
+  ASSERT_TRUE(perturbed.write_file(path_b, meta));
+  const std::string command =
+      std::string("python3 \"") + UGF_TOOLS_DIR "/divergence_bisect.py\" \"" +
+      path_a + "\" \"" + path_b + "\" --expect step=" + std::to_string(step) +
+      ",subsystem=plane,lo=" + std::to_string(lo) +
+      ",hi=" + std::to_string(hi) + " > /dev/null";
+  EXPECT_EQ(std::system(command.c_str()), 0) << command;
+
+  // And without --expect the divergence is still reported as exit 1.
+  const std::string bare =
+      std::string("python3 \"") + UGF_TOOLS_DIR "/divergence_bisect.py\" \"" +
+      path_a + "\" \"" + path_b + "\" > /dev/null";
+  EXPECT_NE(std::system(bare.c_str()), 0);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace

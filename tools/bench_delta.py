@@ -33,9 +33,10 @@ SCHEMA = "ugf-bench-baseline-v1"
 # pays with observability detached, the scheduler kernel itself, the
 # lineage tracker (the one attached sink CI smoke always exercises),
 # the SoA engine-core envelope (ns/step and resident bytes per process
-# at the baseline scale point), and the partitioned step executor (its
+# at the baseline scale point), the partitioned step executor (its
 # coordinator merge cost, and the speedup it buys — the one gate field
-# where *down* is the regression direction).
+# where *down* is the regression direction), and the state-digest probe
+# at its relaxed cadence-64 setting.
 GATE_FIELDS = (
     "detached_pristine_ns_per_step",
     "detached_paired_ns_per_step",
@@ -46,6 +47,7 @@ GATE_FIELDS = (
     "bytes_per_process",
     "parallel_merge_ns_per_step",
     "parallel_step_speedup_x",
+    "digest_ns_per_step",
 )
 
 # Gate fields where larger is better: these fail when the fresh value
@@ -110,7 +112,29 @@ def main(argv: list[str]) -> int:
 
     if gate:
         failed = []
+        # The speedup gate only means something when both boxes had at
+        # least par_threads hardware threads: an oversubscribed runner
+        # measures contention, not a regression. Baselines predating
+        # the hardware_threads field skip the gate too (nothing
+        # trustworthy to compare against).
+        def undersized(data: dict) -> bool:
+            hw = data.get("hardware_threads")
+            par = data.get("par_threads")
+            return not isinstance(hw, int) or isinstance(hw, bool) \
+                or (isinstance(par, int) and not isinstance(par, bool)
+                    and hw < par)
+
+        skip_speedup = undersized(committed) or undersized(fresh)
+        if skip_speedup:
+            print("bench_delta: skipping parallel_step_speedup_x gate "
+                  "(hardware_threads unrecorded or below par_threads in "
+                  f"committed [{committed.get('hardware_threads')!r}/"
+                  f"{committed.get('par_threads')!r}] or fresh "
+                  f"[{fresh.get('hardware_threads')!r}/"
+                  f"{fresh.get('par_threads')!r}])", file=sys.stderr)
         for key in GATE_FIELDS:
+            if key == "parallel_step_speedup_x" and skip_speedup:
+                continue
             entry = report["fields"].get(key)
             if entry is None:
                 # A gate field missing from either file is itself a

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Pinpoint the first divergence between two ugf-digest-v1 streams.
+
+Takes two NDJSON digest streams (e.g. a serial run and an
+``--engine-threads 8`` run, or the same figure run on two hosts) and
+reports the first divergent (step, subsystem, pid segment), using the
+merkle segmentation to localize the mismatch to the narrowest pid range
+the streams recorded.
+
+Usage:
+    divergence_bisect.py A.ndjson B.ndjson [--expect step=S,subsystem=X,lo=L,hi=H]
+
+Exit codes:
+    0  streams identical (or --expect matched the found divergence)
+    1  streams diverge (or --expect did not match)
+    2  usage / malformed or incomparable streams
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ugf-digest-v1"
+RECORD_KEYS = ("step", "subsystem", "level", "lo", "hi")
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - py3.8 compat, no typing dep
+    print(f"divergence_bisect: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_stream(path: str):
+    """Parse one stream; returns (header, [record dicts])."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    except OSError as exc:
+        fail(f"{path}: {exc}")
+    if not lines:
+        fail(f"{path}: empty stream")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        fail(f"{path}:1: not JSON: {exc}")
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        fail(f"{path}:1: missing schema {SCHEMA!r} header")
+    records = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i}: not JSON: {exc}")
+        if not isinstance(rec, dict):
+            fail(f"{path}:{i}: record is not an object")
+        for key in RECORD_KEYS + ("digest",):
+            if key not in rec:
+                fail(f"{path}:{i}: record missing {key!r}")
+        records.append(rec)
+    return header, records
+
+
+def key_of(rec):
+    return tuple(rec[k] for k in RECORD_KEYS)
+
+
+def group_at(records, step, subsystem):
+    return [
+        r for r in records if r["step"] == step and r["subsystem"] == subsystem
+    ]
+
+
+def find_divergence(recs_a, recs_b):
+    """First index where streams disagree, or None if identical.
+
+    A disagreement is either a differing record key (structural drift —
+    one engine sampled steps the other never reached) or a differing
+    digest for the same (step, subsystem, segment).
+    """
+    for i in range(min(len(recs_a), len(recs_b))):
+        a, b = recs_a[i], recs_b[i]
+        if key_of(a) != key_of(b) or a["digest"] != b["digest"]:
+            return i
+    if len(recs_a) != len(recs_b):
+        return min(len(recs_a), len(recs_b))
+    return None
+
+
+def localize(recs_a, recs_b, idx):
+    """Narrow the divergence at record index idx to its deepest segment.
+
+    Returns (step, subsystem, lo, hi, divergent_leaf_list). Records are
+    emitted top-down per (step, subsystem), so scanning that whole group
+    and keeping the deepest divergent level gives the narrowest pid range
+    the producer recorded.
+    """
+    first = recs_a[idx] if idx < len(recs_a) else recs_b[idx]
+    step, subsystem = first["step"], first["subsystem"]
+    group_a = {key_of(r): r["digest"] for r in group_at(recs_a, step, subsystem)}
+    group_b = {key_of(r): r["digest"] for r in group_at(recs_b, step, subsystem)}
+    divergent = []
+    for key in group_a:
+        if key in group_b and group_a[key] != group_b[key]:
+            divergent.append(key)
+    if not divergent:
+        # Structural divergence (truncation / different sampling): report
+        # the whole range of the first record that has no counterpart.
+        return step, subsystem, first["lo"], first["hi"], []
+    deepest = max(k[2] for k in divergent)
+    leaves = sorted(
+        [k for k in divergent if k[2] == deepest], key=lambda k: k[3]
+    )
+    lo, hi = leaves[0][3], leaves[0][4]
+    return step, subsystem, lo, hi, leaves
+
+
+def parse_expect(spec: str):
+    out = {}
+    for part in spec.split(","):
+        if "=" not in part:
+            fail(f"--expect: malformed component {part!r}")
+        k, v = part.split("=", 1)
+        k = k.strip()
+        if k not in ("step", "subsystem", "lo", "hi"):
+            fail(f"--expect: unknown key {k!r}")
+        out[k] = v.strip() if k == "subsystem" else int(v)
+    for k in ("step", "subsystem", "lo", "hi"):
+        if k not in out:
+            fail(f"--expect: missing key {k!r}")
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="first-divergence bisection over two ugf-digest-v1 streams"
+    )
+    parser.add_argument("stream_a")
+    parser.add_argument("stream_b")
+    parser.add_argument(
+        "--expect",
+        metavar="step=S,subsystem=X,lo=L,hi=H",
+        help="assert the divergence localizes exactly here "
+        "(exit 0 iff it does)",
+    )
+    args = parser.parse_args(argv)
+
+    header_a, recs_a = load_stream(args.stream_a)
+    header_b, recs_b = load_stream(args.stream_b)
+    for key in ("n", "cadence", "segments"):
+        if header_a.get(key) != header_b.get(key):
+            fail(
+                f"streams are not comparable: header {key!r} differs "
+                f"({header_a.get(key)!r} vs {header_b.get(key)!r})"
+            )
+    for key in ("protocol", "adversary", "f", "seed"):
+        if header_a.get(key) != header_b.get(key):
+            print(
+                f"divergence_bisect: note: header {key!r} differs "
+                f"({header_a.get(key)!r} vs {header_b.get(key)!r})",
+                file=sys.stderr,
+            )
+
+    idx = find_divergence(recs_a, recs_b)
+    if idx is None:
+        print(
+            f"identical: {len(recs_a)} records, "
+            f"n={header_a.get('n')} cadence={header_a.get('cadence')} "
+            f"segments={header_a.get('segments')}"
+        )
+        if args.expect:
+            print(
+                "divergence_bisect: --expect given but streams are identical",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    step, subsystem, lo, hi, leaves = localize(recs_a, recs_b, idx)
+    da = group_at(recs_a, step, subsystem)
+    db = group_at(recs_b, step, subsystem)
+    digest_a = next(
+        (r["digest"] for r in da if (r["lo"], r["hi"]) == (lo, hi)), "?"
+    )
+    digest_b = next(
+        (r["digest"] for r in db if (r["lo"], r["hi"]) == (lo, hi)), "?"
+    )
+    print("FIRST DIVERGENCE")
+    print(f"  step      : {step}")
+    print(f"  subsystem : {subsystem}")
+    print(f"  pid range : [{lo}, {hi})")
+    print(f"  digest A  : {digest_a}  ({args.stream_a})")
+    print(f"  digest B  : {digest_b}  ({args.stream_b})")
+    if len(leaves) > 1:
+        ranges = ", ".join(f"[{k[3]}, {k[4]})" for k in leaves)
+        print(f"  note      : {len(leaves)} segments diverge at the deepest "
+              f"level: {ranges}")
+    if not leaves:
+        print("  note      : structural divergence (one stream truncated or "
+              "sampled different steps) — range is the first unmatched record")
+
+    if args.expect:
+        want = parse_expect(args.expect)
+        got = {"step": step, "subsystem": subsystem, "lo": lo, "hi": hi}
+        if got == want:
+            print("expect: matched")
+            return 0
+        print(
+            f"divergence_bisect: expect mismatch: wanted {want}, got {got}",
+            file=sys.stderr,
+        )
+        return 1
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

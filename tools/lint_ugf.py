@@ -265,6 +265,36 @@ LINEAGE_ADVERSARY_ACTIONS = {"crash", "delay-change", "step-time-change"}
 LINEAGE_ATTRIBUTION_KEYS = {"omission", "drop", "wipe", "crash",
                             "delay_change", "step_time_change"}
 
+DIGEST_SCHEMA = "ugf-digest-v1"
+DIGEST_META_KEYS = {"schema", "protocol", "adversary", "n", "f", "seed",
+                    "cadence", "segments", "records"}
+DIGEST_RECORD_KEYS = {"step", "subsystem", "level", "lo", "hi", "digest"}
+
+_U64 = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> tuple[int, int]:
+    """One splitmix64 step; returns (output, advanced state). Mirrors
+    ugf::util::splitmix64 (src/util/rng.cpp) bit-for-bit."""
+    state = (state + 0x9E3779B97F4A7C15) & _U64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+    return (z ^ (z >> 31)), state
+
+
+def mix_seed(a: int, b: int) -> int:
+    """Python port of ugf::util::mix_seed — the merkle parent combiner of
+    ugf-digest-v1 streams. Leaf digests are opaque (their chain-init and
+    per-pid inputs are producer-private); only parent = mix_seed(left,
+    right) is part of the validated format."""
+    s = (a ^ ((0x9E3779B97F4A7C15 + ((b << 6) & _U64) + (b >> 2)) & _U64)) \
+        & _U64
+    out, s = _splitmix64(s)
+    s ^= b
+    out2, _ = _splitmix64(s)
+    return out ^ out2
+
 
 def validate_trace(path: Path) -> int:
     """Validates one NDJSON trace file; prints findings, returns count."""
@@ -469,6 +499,157 @@ def validate_lineage(path: Path) -> int:
     return len(findings)
 
 
+def validate_digest(path: Path) -> int:
+    """Validates one ugf-digest-v1 NDJSON file; prints findings.
+
+    Checks the header and record key sets, monotone non-decreasing
+    steps, and per-(step, subsystem) segment-tree consistency: level l
+    holds 2^l records splitting [0, n) at floor(j*n/2^l) boundaries, and
+    every parent digest equals mix_seed(left child, right child)."""
+    import json
+    import re
+
+    findings: list[str] = []
+
+    def bad(lineno: int, message: str) -> None:
+        findings.append(f"{path}:{lineno}: digest: {message}")
+
+    def uint(value: object) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) \
+            and value >= 0
+
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        print(f"{path}:1: digest: empty file (expected a header line)")
+        return 1
+
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        bad(1, f"header line is not valid JSON ({err})")
+        meta = None
+    n = segments = declared_records = None
+    if isinstance(meta, dict):
+        if set(meta) != DIGEST_META_KEYS:
+            bad(1, f"header keys are {sorted(meta)}, "
+                f"expected {sorted(DIGEST_META_KEYS)}")
+        if meta.get("schema") != DIGEST_SCHEMA:
+            bad(1, f"schema is {meta.get('schema')!r}, "
+                f"expected {DIGEST_SCHEMA!r}")
+        for key in ("n", "f", "seed", "cadence", "segments", "records"):
+            if not uint(meta.get(key)):
+                bad(1, f"header {key} is {meta.get(key)!r}, expected a "
+                    "non-negative integer")
+        if uint(meta.get("n")):
+            n = meta["n"]
+        if uint(meta.get("segments")):
+            segments = meta["segments"]
+            if segments < 1 or segments & (segments - 1):
+                bad(1, f"segments {segments} is not a power of two >= 1")
+                segments = None
+        if uint(meta.get("records")):
+            declared_records = meta["records"]
+    elif meta is not None:
+        bad(1, "header line is not a JSON object")
+
+    hex16 = re.compile(r"^[0-9a-f]{16}$")
+    record_count = 0
+    prev_step = -1
+    # Consecutive records of one (step, subsystem) form one tree, emitted
+    # top-down; records[level] collects that group's digests per level.
+    group_key: tuple | None = None
+    group_start = 2
+    group: list[list[int]] = []
+
+    def check_group() -> None:
+        if group_key is None or segments is None or n is None:
+            return
+        step, subsystem = group_key
+        depth = segments.bit_length()  # levels 0..depth-1
+        if len(group) == 1 and len(group[0]) == 1:
+            return  # scalar subsystem: a single root record
+        if len(group) != depth \
+                or any(len(level) != 1 << l for l, level in enumerate(group)):
+            bad(group_start, f"step {step} subsystem {subsystem!r}: "
+                f"{sum(len(lv) for lv in group)} records do not form a "
+                f"{segments}-leaf segment tree (expected 2*{segments}-1 "
+                "top-down)")
+            return
+        for l in range(depth - 1):
+            for j, parent in enumerate(group[l]):
+                want = mix_seed(group[l + 1][2 * j], group[l + 1][2 * j + 1])
+                if parent != want:
+                    bad(group_start, f"step {step} subsystem {subsystem!r} "
+                        f"level {l} segment {j}: parent digest "
+                        f"{parent:016x} != mix_seed(children) {want:016x}")
+
+    for i, line in enumerate(lines[1:], start=2):
+        if not line:
+            bad(i, "blank line inside the digest stream")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            bad(i, f"not valid JSON ({err})")
+            continue
+        if not isinstance(record, dict):
+            bad(i, "record line is not a JSON object")
+            continue
+        record_count += 1
+        if set(record) != DIGEST_RECORD_KEYS:
+            bad(i, f"record keys are {sorted(record)}, "
+                f"expected {sorted(DIGEST_RECORD_KEYS)}")
+            continue
+        step, level = record["step"], record["level"]
+        lo, hi = record["lo"], record["hi"]
+        if not uint(step):
+            bad(i, f"step {step!r} is not a non-negative integer")
+            continue
+        if step < prev_step:
+            bad(i, f"step went backwards ({step} after {prev_step}); "
+                "samples are emitted in increasing step order")
+        prev_step = max(prev_step, step)
+        if not isinstance(record["subsystem"], str):
+            bad(i, f"subsystem {record['subsystem']!r} is not a string")
+            continue
+        if not (uint(level) and uint(lo) and uint(hi)):
+            bad(i, "level/lo/hi must be non-negative integers")
+            continue
+        if not (isinstance(record["digest"], str)
+                and hex16.match(record["digest"])):
+            bad(i, f"digest {record['digest']!r} is not 16 lowercase hex "
+                "digits")
+            continue
+        if n is not None and not lo <= hi <= n:
+            bad(i, f"range [{lo}, {hi}) out of order or beyond n={n}")
+        if n is not None and n > 0 and segments is not None:
+            width = 1 << level
+            j = (lo * width + n - 1) // n  # smallest j with j*n/width >= lo
+            if level >= segments.bit_length() \
+                    or lo != (j * n) // width or hi != ((j + 1) * n) // width:
+                bad(i, f"range [{lo}, {hi}) at level {level} does not sit "
+                    f"on the floor(j*n/{width}) segment grid")
+        key = (step, record["subsystem"])
+        if key != group_key:
+            check_group()
+            group_key, group, group_start = key, [], i
+        while len(group) <= level:
+            group.append([])
+        group[level].append(int(record["digest"], 16))
+
+    check_group()
+    if declared_records is not None and declared_records != record_count:
+        bad(1, f"header declares {declared_records} records "
+            f"but the file has {record_count}")
+
+    for finding in findings:
+        print(finding)
+    status = "valid" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_ugf: {record_count} digest records checked, {status}",
+          file=sys.stderr)
+    return len(findings)
+
+
 METRICS_SCHEMA = "ugf-metrics-v1"
 MANIFEST_SCHEMA = "ugf-manifest-v1"
 MANIFEST_KEYS = {"schema", "figure", "protocol", "adversaries", "sweep",
@@ -624,6 +805,8 @@ def validate_artifact(path: Path) -> int:
             first = None
         if isinstance(first, dict) and first.get("schema") == LINEAGE_SCHEMA:
             return validate_lineage(path)
+        if isinstance(first, dict) and first.get("schema") == DIGEST_SCHEMA:
+            return validate_digest(path)
         return validate_trace(path)
     if not isinstance(doc, dict):
         print(f"{path}:1: artifact: top-level JSON is not an object")
@@ -639,7 +822,8 @@ def validate_artifact(path: Path) -> int:
     else:
         print(f"{path}:1: artifact: unknown schema {schema!r} (expected "
               f"{MANIFEST_SCHEMA!r}, {METRICS_SCHEMA!r}, or an NDJSON "
-              f"{TRACE_SCHEMA!r} / {LINEAGE_SCHEMA!r} stream)")
+              f"{TRACE_SCHEMA!r} / {LINEAGE_SCHEMA!r} / {DIGEST_SCHEMA!r} "
+              "stream)")
         return 1
 
     for finding in findings:
